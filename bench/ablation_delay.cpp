@@ -1,0 +1,49 @@
+// Ablation — delayed feedback. Real systems reveal costs late (the
+// "delayed feedback" the paper's introduction cites as a reason offline
+// methods fail); this bench sweeps the staleness d and reports each
+// policy's total cost on a drifting environment, showing how gracefully
+// the online algorithms degrade when acting on d-round-old information.
+//
+//   $ ./ablation_delay [--seed=N] [--rounds=N] [--workers=N]
+#include <iostream>
+
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+  const std::uint64_t seed = args.get_u64("seed", 21);
+  const std::size_t rounds = args.get_u64("rounds", 200);
+  const std::size_t workers = args.get_u64("workers", 10);
+
+  std::cout << "=== Ablation: feedback staleness (synthetic affine drift, N="
+            << workers << ", T=" << rounds << ") ===\n"
+            << "Total cost when every policy acts on d-round-old "
+               "information:\n\n";
+
+  exp::table t({"delay d", "EQU", "OGD", "ABS", "LB-BSP", "DOLBIE", "OPT*"});
+  for (std::size_t delay : {0u, 1u, 2u, 5u, 10u, 20u}) {
+    std::vector<double> row;
+    for (const auto& [name, factory] : exp::paper_policy_suite()) {
+      auto env = exp::make_synthetic_environment(
+          workers, exp::synthetic_family::affine, seed, /*volatility=*/2.0);
+      auto policy = factory(workers);
+      exp::harness_options options;
+      options.rounds = rounds;
+      options.feedback_delay = delay;
+      const exp::run_trace trace = exp::run(*policy, *env, options);
+      row.push_back(trace.global_cost.total());
+    }
+    t.add_row(std::to_string(delay), row);
+  }
+  t.print(std::cout);
+  std::cout << "\n(*) OPT previews the *current* round regardless of d — it "
+               "is the\nclairvoyant anchor, unaffected by staleness.\n"
+               "Reading: all online policies degrade with d; DOLBIE's "
+               "risk-averse\nstep keeps it feasible and competitive even on "
+               "badly stale costs.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Section III-B — the task-offloading use case: one end device plus
+// heterogeneous edge servers with super-linear (congestion) execution
+// costs. Exercises the min-max formulation on genuinely non-linear,
+// non-differentiable-at-the-max costs, where the proportional ABS rule has
+// no fixed point at the optimum and OGD needs finite-difference gradients.
+//
+//   $ ./edge_offloading [--seed=N] [--rounds=N] [--servers=N]
+//                       [--realizations=N]
+#include <iostream>
+
+#include "edge/scenario.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "stats/ci.h"
+#include "stats/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+
+  edge::offloading_options scenario;
+  scenario.n_servers = args.get_u64("servers", 9);
+  const std::size_t rounds = args.get_u64("rounds", 150);
+  const std::size_t realizations = args.get_u64("realizations", 50);
+  const std::uint64_t base_seed = args.get_u64("seed", 3);
+  const std::size_t workers = scenario.n_servers + 1;
+
+  std::cout << "=== Sec. III-B: task offloading, 1 device + "
+            << scenario.n_servers << " edge servers, " << realizations
+            << " realizations x " << rounds << " rounds ===\n\n";
+
+  exp::table t({"policy", "total completion [s] (mean +/- 95% CI)",
+                "final-round [s]", "vs EQU [%]"});
+  double equ_mean = 0.0;
+  for (const auto& [name, factory] : exp::paper_policy_suite()) {
+    stats::summary totals;
+    stats::summary finals;
+    for (std::size_t r = 0; r < realizations; ++r) {
+      edge::offloading_environment env(scenario, base_seed + r);
+      auto policy = factory(workers);
+      exp::harness_options options;
+      options.rounds = rounds;
+      const exp::run_trace trace = exp::run(*policy, env, options);
+      totals.add(trace.global_cost.total());
+      finals.add(trace.global_cost.back());
+    }
+    const stats::confidence_interval ci =
+        stats::mean_confidence_interval(totals);
+    if (name == "EQU") equ_mean = ci.mean;
+    t.add_row({name,
+               exp::format_double(ci.mean) + " +/- " +
+                   exp::format_double(ci.half_width, 2),
+               exp::format_double(finals.mean()),
+               equ_mean > 0.0
+                   ? exp::format_double(100.0 * (1.0 - ci.mean / equ_mean), 3)
+                   : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\nNon-linear (congestion-exponent) server costs: DOLBIE's\n"
+               "inverse-based assistance handles them without gradients.\n";
+  return 0;
+}

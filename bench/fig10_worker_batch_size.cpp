@@ -1,0 +1,74 @@
+// Fig. 10 — per-worker batch size (in samples) per round under each
+// policy, one realization (ResNet18, N = 30, B = 256). The paper's read:
+// all load-balancers grow the GPUs' batches and shrink the CPUs'; DOLBIE
+// converges fastest; ABS fluctuates; EQU stays at B/N.
+//
+// We print the mean batch size per processor group at selected rounds.
+//
+//   $ ./fig10_worker_batch_size [--seed=N] [--rounds=N] [--csv]
+#include <fstream>
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "ml/cluster.h"
+#include "ml/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+
+  ml::trainer_options options;
+  options.model = ml::model_kind::resnet18;
+  options.n_workers = args.get_u64("workers", 30);
+  options.rounds = args.get_u64("rounds", 100);
+  options.seed = args.get_u64("seed", 42);
+  options.record_per_worker = true;
+
+  // The cluster sampling is a pure function of the seed, so we can recover
+  // each worker's processor kind independently of the policy runs.
+  ml::cluster roster(options.n_workers, options.model, options.seed,
+                     options.cluster);
+
+  std::cout << "=== Fig. 10: batch size per worker per round ("
+            << ml::model_name(options.model) << ", B=" << options.global_batch
+            << ", one realization) ===\n\n";
+
+  const std::vector<std::size_t> checkpoints{0, 9, 24, 49,
+                                             options.rounds - 1};
+  for (const auto& [name, factory] :
+       exp::paper_policy_suite(options.global_batch)) {
+    auto policy = factory(options.n_workers);
+    const ml::trainer_result result = ml::train(*policy, options);
+
+    exp::table t({"processor group", "batch@r1", "batch@r10", "batch@r25",
+                  "batch@r50", "batch@r" + std::to_string(options.rounds)});
+    for (ml::processor_kind kind : ml::all_processors) {
+      std::vector<std::string> row{std::string(ml::processor_name(kind))};
+      for (std::size_t cp : checkpoints) {
+        double total = 0.0;
+        int count = 0;
+        for (std::size_t i = 0; i < options.n_workers; ++i) {
+          if (roster.kind(i) != kind) continue;
+          total += result.worker_batch[i][cp];
+          ++count;
+        }
+        row.push_back(count > 0 ? exp::format_double(total / count, 3)
+                                : "-");
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << name << " (mean samples per worker of each group):\n";
+    t.print(std::cout);
+    std::cout << "\n";
+
+    if (args.has("csv")) {
+      std::ofstream csv("fig10_" + name + ".csv");
+      exp::write_series_csv(csv, result.worker_batch);
+    }
+  }
+  if (args.has("csv")) {
+    std::cout << "wrote fig10_<policy>.csv (full per-worker traces)\n";
+  }
+  return 0;
+}

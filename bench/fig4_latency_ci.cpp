@@ -1,0 +1,56 @@
+// Fig. 4 — per-round training latency with 95% confidence intervals over
+// 100 realizations of processor sampling (ResNet18, N = 30, B = 256).
+//
+//   $ ./fig4_latency_ci [--realizations=N] [--rounds=N] [--seed=N] [--csv]
+#include <fstream>
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "stats/aggregate.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+
+  ml::trainer_options options;
+  options.model = ml::model_kind::resnet18;
+  options.n_workers = args.get_u64("workers", 30);
+  options.rounds = args.get_u64("rounds", 100);
+  options.seed = 0;
+  const std::size_t realizations = args.get_u64("realizations", 100);
+  const std::uint64_t base_seed = args.get_u64("seed", 1);
+
+  std::cout << "=== Fig. 4: per-round latency, mean +/- 95% CI over "
+            << realizations << " realizations ===\n"
+            << "model=" << ml::model_name(options.model)
+            << " N=" << options.n_workers << " T=" << options.rounds
+            << "\n\n";
+
+  std::vector<stats::aggregated_series> columns;
+  for (const auto& [name, factory] :
+       exp::paper_policy_suite(options.global_batch)) {
+    const exp::ml_sweep_result sweep = exp::sweep_training(
+        name, factory, options, realizations, base_seed);
+    columns.push_back(stats::aggregate(sweep.round_latency));
+  }
+  exp::print_aggregated(std::cout, columns, 25);
+
+  if (args.has("csv")) {
+    std::ofstream csv("fig4.csv");
+    csv << "round";
+    for (const auto& c : columns) {
+      csv << ',' << c.name << "_mean," << c.name << "_hw";
+    }
+    csv << '\n';
+    for (std::size_t r = 0; r < columns.front().mean.size(); ++r) {
+      csv << (r + 1);
+      for (const auto& c : columns) {
+        csv << ',' << c.mean[r] << ',' << c.half_width[r];
+      }
+      csv << '\n';
+    }
+    std::cout << "\nwrote fig4.csv\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 5 — cumulative training time with 95% confidence intervals over 100
+// realizations (ResNet18, N = 30, B = 256): the wall-clock cost each
+// algorithm pays to reach a given round.
+//
+//   $ ./fig5_cumulative_time_ci [--realizations=N] [--rounds=N] [--seed=N]
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "stats/aggregate.h"
+#include "stats/ci.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+
+  ml::trainer_options options;
+  options.model = ml::model_kind::resnet18;
+  options.n_workers = args.get_u64("workers", 30);
+  options.rounds = args.get_u64("rounds", 100);
+  const std::size_t realizations = args.get_u64("realizations", 100);
+  const std::uint64_t base_seed = args.get_u64("seed", 1);
+
+  std::cout << "=== Fig. 5: cumulative training time, mean +/- 95% CI over "
+            << realizations << " realizations ===\n"
+            << "model=" << ml::model_name(options.model)
+            << " N=" << options.n_workers << " T=" << options.rounds
+            << "\n\n";
+
+  std::vector<stats::aggregated_series> columns;
+  exp::table totals(
+      {"policy", "total time [s] (mean +/- 95% CI)", "vs EQU [%]"});
+  double equ_total = 0.0;
+  for (const auto& [name, factory] :
+       exp::paper_policy_suite(options.global_batch)) {
+    const exp::ml_sweep_result sweep = exp::sweep_training(
+        name, factory, options, realizations, base_seed);
+    columns.push_back(stats::aggregate(sweep.cumulative_time));
+    const stats::summary s = stats::summarize(sweep.total_time);
+    const stats::confidence_interval ci = stats::mean_confidence_interval(s);
+    if (name == "EQU") equ_total = ci.mean;
+    totals.add_row(
+        {name,
+         exp::format_double(ci.mean) + " +/- " +
+             exp::format_double(ci.half_width, 2),
+         equ_total > 0.0
+             ? exp::format_double(100.0 * (1.0 - ci.mean / equ_total), 3)
+             : "-"});
+  }
+  exp::print_aggregated(std::cout, columns, 20);
+  std::cout << "\nTotal training time after " << options.rounds
+            << " rounds:\n";
+  totals.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figs. 6-8 — training accuracy vs wall-clock time for LeNet5 (Fig. 6),
+// ResNet18 (Fig. 7) and VGG16 (Fig. 8), 100 epochs (~195 rounds/epoch at
+// B = 256 on CIFAR-10's 50k samples).
+//
+// Paper headlines: to 95% training accuracy on ResNet18, DOLBIE speeds up
+// training by ~78.1/67.4/46.9/34.1% vs EQU/OGD/LB-BSP/ABS, and the
+// DOLBIE-vs-LB-BSP advantage grows from 27.6% (LeNet5) to 83.2% (VGG16).
+//
+//   $ ./fig6to8_accuracy_vs_time [--epochs=N] [--seed=N] [--target=0.95]
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "ml/accuracy.h"
+#include "ml/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+
+  const std::size_t epochs = args.get_u64("epochs", 100);
+  const std::size_t rounds_per_epoch = 50'000 / 256;  // CIFAR-10, B = 256
+  const double target = args.get_double("target", 0.95);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+
+  for (ml::model_kind model : ml::all_models) {
+    ml::trainer_options options;
+    options.model = model;
+    options.n_workers = 30;
+    options.rounds = epochs * rounds_per_epoch;
+    options.global_batch = 256.0;
+    options.seed = seed;
+    options.record_per_worker = false;
+
+    const char* fig = model == ml::model_kind::lenet5      ? "Fig. 6"
+                      : model == ml::model_kind::resnet18 ? "Fig. 7"
+                                                          : "Fig. 8";
+    std::cout << "=== " << fig << ": " << ml::model_name(model)
+              << " accuracy vs wall-clock, " << epochs << " epochs ("
+              << options.rounds << " rounds) ===\n";
+
+    // Accuracy-vs-time curve: sample at every 10 epochs.
+    exp::table curve({"policy", "acc@10ep [s]", "acc@25ep [s]",
+                      "acc@50ep [s]", "acc@100ep [s]",
+                      "time to " + exp::format_double(100 * target, 3) +
+                          "% acc [s]"});
+    std::vector<std::pair<std::string, double>> to_target;
+    for (const auto& [name, factory] :
+         exp::paper_policy_suite(options.global_batch)) {
+      auto policy = factory(options.n_workers);
+      const ml::trainer_result result = ml::train(*policy, options);
+      const auto cumulative = result.round_latency.cumulative();
+      const auto at_epoch = [&](std::size_t ep) {
+        return cumulative[std::min(ep * rounds_per_epoch, options.rounds) -
+                          1];
+      };
+      const double t_target = result.time_to_accuracy(model, target);
+      to_target.emplace_back(name, t_target);
+      curve.add_row({name, exp::format_double(at_epoch(10)),
+                     exp::format_double(at_epoch(25)),
+                     exp::format_double(at_epoch(50)),
+                     exp::format_double(at_epoch(100)),
+                     t_target >= 0.0 ? exp::format_double(t_target)
+                                     : "unreached"});
+    }
+    std::cout << "Wall-clock time [s] at epoch milestones (accuracy follows "
+                 "the shared curve:\n  acc@10ep="
+              << ml::accuracy_after(model, 10 * rounds_per_epoch)
+              << " acc@100ep="
+              << ml::accuracy_after(model, 100 * rounds_per_epoch) << "):\n";
+    curve.print(std::cout);
+
+    // Speed-up table at the target accuracy.
+    double dolbie_time = -1.0;
+    for (const auto& [name, t] : to_target) {
+      if (name == "DOLBIE") dolbie_time = t;
+    }
+    exp::table speedup({"baseline", "speed-up of DOLBIE [%]"});
+    for (const auto& [name, t] : to_target) {
+      if (name == "DOLBIE" || name == "OPT" || t <= 0.0 || dolbie_time <= 0.0)
+        continue;
+      speedup.add_row(
+          {name, exp::format_double(100.0 * (1.0 - dolbie_time / t), 3)});
+    }
+    std::cout << "\nDOLBIE training-time reduction to " << 100 * target
+              << "% accuracy:\n";
+    speedup.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

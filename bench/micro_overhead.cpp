@@ -1,0 +1,115 @@
+// Section IV-C / Fig. 11 (lower panel) — micro-benchmarks of the per-round
+// decision computation, swept over the worker count N:
+//
+//   DOLBIE update       O(N) arithmetic + one analytic inverse per worker
+//   OGD update          finite-difference subgradient + O(N log N)
+//                       Euclidean simplex projection
+//   OPT solve           bisection water-filling (the instantaneous problem)
+//   simplex projection  the projection step alone
+//
+// google-benchmark binary; run with --benchmark_filter=... as usual.
+#include <algorithm>
+#include <cstdint>
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/ogd.h"
+#include "baselines/opt.h"
+#include "baselines/simplex_projection.h"
+#include "common/rng.h"
+#include "core/dolbie.h"
+#include "core/max_acceptable.h"
+#include "exp/scenario.h"
+
+namespace {
+
+using namespace dolbie;
+
+cost::cost_vector make_costs(std::size_t n, std::uint64_t seed) {
+  auto env = exp::make_synthetic_environment(
+      n, exp::synthetic_family::affine, seed);
+  return env->next_round();
+}
+
+void BM_DolbieUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cost::cost_vector costs = make_costs(n, 1);
+  const cost::cost_view view = cost::view_of(costs);
+  core::dolbie_policy policy(n);
+  const std::vector<double> locals = cost::evaluate(view, policy.current());
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  for (auto _ : state) {
+    policy.observe(fb);
+    benchmark::DoNotOptimize(policy.current().data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DolbieUpdate)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_OgdUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cost::cost_vector costs = make_costs(n, 2);
+  const cost::cost_view view = cost::view_of(costs);
+  baselines::ogd_policy policy(n);
+  const std::vector<double> locals = cost::evaluate(view, policy.current());
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  for (auto _ : state) {
+    policy.observe(fb);
+    benchmark::DoNotOptimize(policy.current().data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OgdUpdate)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_OptSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cost::cost_vector costs = make_costs(n, 3);
+  const cost::cost_view view = cost::view_of(costs);
+  for (auto _ : state) {
+    const auto sol = baselines::solve_instantaneous(view);
+    benchmark::DoNotOptimize(sol.value);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OptSolve)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_SimplexProjection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng gen(4);
+  std::vector<double> v(n);
+  for (double& c : v) c = gen.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    const auto p = baselines::project_to_simplex(v);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimplexProjection)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_MaxAcceptableAnalytic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cost::cost_vector costs = make_costs(n, 5);
+  const cost::cost_view view = cost::view_of(costs);
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  const std::vector<double> locals = cost::evaluate(view, x);
+  double l = 0.0;
+  for (double v : locals) l = std::max(l, v);
+  for (auto _ : state) {
+    const auto xp = core::max_acceptable_vector(view, x, l, 0);
+    benchmark::DoNotOptimize(xp.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MaxAcceptableAnalytic)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+
+}  // namespace

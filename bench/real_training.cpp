@@ -1,0 +1,93 @@
+// Real-gradient analogue of Figs. 6-8: synchronous distributed SGD with
+// *actual* models (softmax regression on Gaussian blobs; a tanh MLP on
+// concentric rings), where the parameter server aggregates true shard
+// gradients and accuracy is measured on a held-out set — no learning-curve
+// abstraction. Every policy trains the same trajectory (weighted shard
+// aggregation = full-batch mean); only the wall-clock differs.
+//
+//   $ ./real_training [--seed=N] [--rounds=N] [--workers=N]
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "learn/distributed_trainer.h"
+
+namespace {
+
+using namespace dolbie;
+
+void run_workload(const char* label, learn::classifier& prototype,
+                  const learn::dataset& train, const learn::dataset& test,
+                  const learn::real_training_options& options,
+                  double target) {
+  std::cout << "=== " << label << " (N=" << options.n_workers
+            << ", B=" << options.global_batch << ", T=" << options.rounds
+            << ") ===\n";
+  exp::table t({"policy", "total time [s]", "final test acc",
+                "time to " + exp::format_double(100 * target, 3) +
+                    "% test acc [s]",
+                "vs EQU [%]"});
+  double equ_time = -1.0;
+  std::vector<double> initial(prototype.parameters().begin(),
+                              prototype.parameters().end());
+  for (const auto& [name, factory] : exp::paper_policy_suite(
+           static_cast<double>(options.global_batch))) {
+    prototype.set_parameters(initial);  // same starting point for everyone
+    auto policy = factory(options.n_workers);
+    const learn::real_training_result r = learn::train_distributed(
+        *policy, prototype, train, test, options);
+    const double to_target = r.time_to_test_accuracy(target);
+    if (name == "EQU") equ_time = to_target;
+    t.add_row({name, exp::format_double(r.total_time),
+               exp::format_double(r.final_test_accuracy, 3),
+               to_target >= 0.0 ? exp::format_double(to_target)
+                                : "unreached",
+               (equ_time > 0.0 && to_target > 0.0)
+                   ? exp::format_double(100.0 * (1.0 - to_target / equ_time),
+                                        3)
+                   : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+
+  learn::real_training_options options;
+  options.rounds = args.get_u64("rounds", 400);
+  options.n_workers = args.get_u64("workers", 30);
+  options.global_batch = 256;
+  options.seed = seed;
+  options.eval_every = 10;
+
+  {
+    const learn::dataset all =
+        learn::dataset::gaussian_blobs(2500, 4, 3, 0.9, seed);
+    const learn::dataset train = all.subset(0, 2000);
+    const learn::dataset test = all.subset(2000, 500);
+    learn::softmax_regression model(4, 3, seed);
+    options.optimizer = {.learning_rate = 0.1, .momentum = 0.0};
+    run_workload("softmax regression / Gaussian blobs", model, train, test,
+                 options, 0.85);
+  }
+  {
+    const learn::dataset all =
+        learn::dataset::concentric_rings(2500, 2, 0.18, seed);
+    const learn::dataset train = all.subset(0, 2000);
+    const learn::dataset test = all.subset(2000, 500);
+    learn::mlp_classifier model(2, 16, 2, seed);
+    options.optimizer = {.learning_rate = 0.15, .momentum = 0.9};
+    run_workload("MLP(16) / concentric rings (non-convex)", model, train,
+                 test, options, 0.9);
+  }
+  std::cout << "Reading: with real gradients the policies' accuracy curves\n"
+               "coincide round-for-round; the wall-clock separation (DOLBIE\n"
+               "fastest among online policies) is pure load balancing —\n"
+               "the paper's Figs. 6-8 mechanism, demonstrated end to end.\n";
+  return 0;
+}

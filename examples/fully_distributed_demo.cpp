@@ -1,0 +1,46 @@
+// The two protocol realizations of DOLBIE side by side: Algorithm 1
+// (master-worker, 3N messages/round) and Algorithm 2 (fully-distributed
+// min-consensus, N^2-1 messages/round), both running as genuine
+// message-passing state machines over the simulated network and producing
+// bit-identical iterates to the sequential reference.
+//
+//   $ ./fully_distributed_demo [--workers=N] [--rounds=N] [--seed=N]
+#include <iostream>
+#include <memory>
+
+#include "dist/runner.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+
+  const std::size_t workers = args.get_u64("workers", 12);
+  const std::size_t rounds = args.get_u64("rounds", 50);
+  const std::uint64_t seed = args.get_u64("seed", 3);
+
+  auto env = exp::make_synthetic_environment(
+      workers, exp::synthetic_family::mixed, seed);
+  const dist::equivalence_report report = dist::run_equivalence(
+      workers, rounds, [&] { return env->next_round(); });
+
+  std::cout << "DOLBIE protocol realizations, N=" << workers
+            << ", T=" << rounds << "\n\n";
+  exp::table t({"realization", "messages/round", "bytes/round",
+                "max |x - x_seq| over run"});
+  t.add_row({"master-worker (Alg. 1)",
+             std::to_string(report.master_worker_traffic.messages_sent),
+             std::to_string(report.master_worker_traffic.bytes_sent),
+             exp::format_double(report.max_divergence_master_worker, 3)});
+  t.add_row({"fully-distributed (Alg. 2)",
+             std::to_string(report.fully_distributed_traffic.messages_sent),
+             std::to_string(report.fully_distributed_traffic.bytes_sent),
+             exp::format_double(report.max_divergence_fully_distributed, 3)});
+  t.print(std::cout);
+
+  std::cout << "\nExpected: 3N = " << 3 * workers
+            << " messages for Alg. 1, N^2-1 = " << workers * workers - 1
+            << " for Alg. 2; divergence exactly 0 (bit-identical updates).\n";
+  return 0;
+}

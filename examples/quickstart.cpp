@@ -1,0 +1,58 @@
+// Quickstart: balance a time-varying workload over four heterogeneous
+// workers with DOLBIE and watch the global cost approach the per-round
+// optimum.
+//
+//   $ ./quickstart
+//
+// Walks through the three public-API steps: build an environment (or bring
+// your own cost functions), construct the policy, and loop
+// preview-play-observe — here via the bundled harness.
+#include <iostream>
+
+#include "core/dolbie.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+int main() {
+  using namespace dolbie;
+
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kRounds = 60;
+
+  // 1. An environment: four workers with drifting affine costs (think
+  //    "processing time = load/speed + fixed overhead" with the speed
+  //    fluctuating round to round).
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::affine, /*seed=*/7);
+
+  // 2. The DOLBIE policy. With no options it starts from the uniform
+  //    partition and the paper's safe initial step size.
+  core::dolbie_policy policy(kWorkers);
+
+  // 3. Run the online game, tracking dynamic regret against the
+  //    instantaneous optimum.
+  exp::harness_options options;
+  options.rounds = kRounds;
+  options.track_regret = true;
+  const exp::run_trace trace = exp::run(policy, *env, options);
+
+  std::cout << "DOLBIE on " << kWorkers << " workers, " << kRounds
+            << " rounds\n\n";
+  std::vector<series> columns;
+  columns.push_back(trace.global_cost);
+  series opt = trace.optimal_cost;
+  opt.set_name("OPT (clairvoyant)");
+  columns.push_back(std::move(opt));
+  exp::print_series(std::cout, columns, /*max_rows=*/15);
+
+  std::cout << "\ntotal cost (DOLBIE) : " << trace.global_cost.total()
+            << "\ntotal cost (OPT)    : " << trace.regret.optimal_total()
+            << "\ndynamic regret      : " << trace.regret.regret()
+            << "\npath length P_T     : " << trace.regret.path_length()
+            << "\n";
+  std::cout << "\nThe gap between the first and last rounds shows DOLBIE's\n"
+               "risk-averse assistance pulling the max cost towards OPT\n"
+               "without gradients or projections.\n";
+  return 0;
+}

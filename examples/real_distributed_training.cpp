@@ -1,0 +1,62 @@
+// End-to-end distributed learning with real gradients: train a small MLP
+// on a non-linearly-separable dataset across a heterogeneous simulated
+// cluster, with DOLBIE tuning the per-worker batch sizes online.
+//
+//   $ ./real_distributed_training [--rounds=N] [--workers=N] [--seed=N]
+//
+// Shows the full public API of the learning substrate: dataset -> model ->
+// optimizer -> train_distributed(policy, ...).
+#include <iostream>
+
+#include "core/dolbie.h"
+#include "exp/report.h"
+#include "learn/distributed_trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  const exp::cli_args args(argc, argv);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+
+  // 1. Data: two concentric rings — a linear model cannot solve this.
+  const learn::dataset all =
+      learn::dataset::concentric_rings(2000, 2, 0.1, seed);
+  const learn::dataset train = all.subset(0, 1600);
+  const learn::dataset test = all.subset(1600, 400);
+
+  // 2. Model and optimizer.
+  learn::mlp_classifier model(/*dims=*/2, /*hidden=*/16, /*classes=*/2,
+                              seed);
+  learn::real_training_options options;
+  options.rounds = args.get_u64("rounds", 300);
+  options.n_workers = args.get_u64("workers", 8);
+  options.global_batch = 64;
+  options.seed = seed;
+  options.eval_every = 25;
+  options.optimizer = {.learning_rate = 0.3, .momentum = 0.9};
+
+  // 3. The balancer: DOLBIE with the experiment-suite step rule.
+  core::dolbie_options dopt;
+  dopt.rule = core::step_rule::exact_feasibility;
+  core::dolbie_policy policy(options.n_workers, dopt);
+
+  // 4. Train.
+  const learn::real_training_result result =
+      learn::train_distributed(policy, model, train, test, options);
+
+  std::cout << "MLP on concentric rings, " << options.n_workers
+            << " heterogeneous workers, " << options.rounds << " rounds\n\n";
+  exp::table t({"round", "test accuracy", "cumulative time [s]"});
+  const auto cumulative = result.round_latency.cumulative();
+  for (std::size_t k = 0; k < result.eval_rounds.size(); ++k) {
+    t.add_row(std::to_string(result.eval_rounds[k]),
+              {result.test_accuracy[k],
+               cumulative[result.eval_rounds[k] - 1]});
+  }
+  t.print(std::cout);
+  std::cout << "\nfinal train accuracy : " << result.final_train_accuracy
+            << "\nfinal test accuracy  : " << result.final_test_accuracy
+            << "\ntotal wall-clock     : " << result.total_time << " s\n"
+            << "\nEvery batch was partitioned online by DOLBIE; the model\n"
+               "saw exactly the same gradients a single-node run would.\n";
+  return 0;
+}

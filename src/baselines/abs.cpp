@@ -1,0 +1,53 @@
+#include "baselines/abs.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::baselines {
+
+abs_policy::abs_policy(std::size_t n_workers, abs_options options)
+    : options_(std::move(options)) {
+  DOLBIE_REQUIRE(n_workers >= 1, "ABS needs at least one worker");
+  DOLBIE_REQUIRE(options_.window >= 1,
+                 "ABS window must be >= 1, got " << options_.window);
+  if (options_.initial_partition.empty()) {
+    options_.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
+                 "initial partition must lie on the simplex");
+  reset();
+}
+
+void abs_policy::reset() {
+  x_ = options_.initial_partition;
+  history_.clear();
+}
+
+void abs_policy::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.local_costs.size() == x_.size(),
+                 "feedback size mismatch");
+  if (x_.size() == 1) return;
+  history_.emplace_back(feedback.local_costs.begin(),
+                        feedback.local_costs.end());
+  if (history_.size() < options_.window) return;
+
+  // Re-partition inversely proportional to the mean local cost over the
+  // window ([3]'s rule as described in Sec. II-B / VI-B of the paper).
+  std::vector<double> weight(x_.size(), 0.0);
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double mean_cost = 0.0;
+    for (const auto& locals : history_) mean_cost += locals[i];
+    mean_cost /= static_cast<double>(history_.size());
+    // Epsilon floor guards against a zero-cost (fully idle) round.
+    weight[i] = 1.0 / std::max(mean_cost, 1e-12);
+  }
+  const double total = sum(weight);
+  for (std::size_t i = 0; i < x_.size(); ++i) x_[i] = weight[i] / total;
+  history_.clear();
+}
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,44 @@
+// ABS — Adaptive Batch Size (the paper's benchmark [3], Su et al., adaptive
+// load balancing for parallel GNN training): every P rounds the allocation
+// is re-partitioned *inversely proportional to the historical local cost*
+// (the per-round training time), exactly as the paper describes it:
+//
+//     weight_i = 1 / mean over the window of l_{i,tau},
+//     x_{i,t+1} = weight_i / sum_j weight_j.
+//
+// This is the rule the paper critiques: its fixed point equalizes
+// x_i * l_i(x_i) rather than the costs l_i themselves, so it is not robust
+// to non-linear costs or workload-independent components (communication),
+// and the window-lagged inversion overshoots under fluctuating speeds —
+// the "radical fluctuation" of Figs. 3-10.
+#pragma once
+
+#include <deque>
+
+#include "core/policy.h"
+
+namespace dolbie::baselines {
+
+struct abs_options {
+  std::size_t window = 5;  ///< tuning period P (paper's experiments: 5)
+  core::allocation initial_partition;  ///< empty -> uniform
+};
+
+class abs_policy final : public core::online_policy {
+ public:
+  abs_policy(std::size_t n_workers, abs_options options = {});
+
+  std::string_view name() const override { return "ABS"; }
+  std::size_t workers() const override { return x_.size(); }
+  const core::allocation& current() const override { return x_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override;
+
+ private:
+  core::allocation x_;
+  abs_options options_;
+  // Local costs observed since the last re-partition.
+  std::deque<std::vector<double>> history_;
+};
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,17 @@
+#include "baselines/equal.h"
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::baselines {
+
+equal_policy::equal_policy(std::size_t n_workers)
+    : x_(uniform_point(n_workers)) {}
+
+void equal_policy::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.local_costs.size() == x_.size(),
+                 "feedback size mismatch");
+  // Static policy: nothing to learn.
+}
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,24 @@
+// EQU — equal assignment: every worker carries 1/N every round, the
+// allocation frequently assumed in analyses of synchronous distributed
+// training. The weakest baseline in all the paper's figures.
+#pragma once
+
+#include "core/policy.h"
+
+namespace dolbie::baselines {
+
+class equal_policy final : public core::online_policy {
+ public:
+  explicit equal_policy(std::size_t n_workers);
+
+  std::string_view name() const override { return "EQU"; }
+  std::size_t workers() const override { return x_.size(); }
+  const core::allocation& current() const override { return x_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override {}
+
+ private:
+  core::allocation x_;
+};
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,54 @@
+#include "baselines/lbbsp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::baselines {
+
+lbbsp_policy::lbbsp_policy(std::size_t n_workers, lbbsp_options options)
+    : options_(std::move(options)) {
+  DOLBIE_REQUIRE(n_workers >= 1, "LB-BSP needs at least one worker");
+  DOLBIE_REQUIRE(options_.delta_fraction > 0.0 &&
+                     options_.delta_fraction <= 1.0,
+                 "delta fraction must be in (0,1], got "
+                     << options_.delta_fraction);
+  DOLBIE_REQUIRE(options_.patience >= 1,
+                 "patience must be >= 1, got " << options_.patience);
+  if (options_.initial_partition.empty()) {
+    options_.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
+                 "initial partition must lie on the simplex");
+  reset();
+}
+
+void lbbsp_policy::reset() {
+  x_ = options_.initial_partition;
+  consecutive_ = 0;
+}
+
+void lbbsp_policy::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.local_costs.size() == x_.size(),
+                 "feedback size mismatch");
+  if (x_.size() == 1) return;
+  const std::size_t fastest = argmin(feedback.local_costs);
+  const std::size_t straggler = argmax(feedback.local_costs);
+  if (fastest == straggler ||
+      feedback.local_costs[fastest] >= feedback.local_costs[straggler]) {
+    consecutive_ = 0;  // no persistent speed gap
+    return;
+  }
+  if (++consecutive_ < options_.patience) return;
+  consecutive_ = 0;
+  // Shift the prescribed fixed increment from the straggler to the fastest
+  // worker, never driving the straggler negative.
+  const double shift = std::min(options_.delta_fraction, x_[straggler]);
+  x_[straggler] -= shift;
+  x_[fastest] += shift;
+}
+
+}  // namespace dolbie::baselines

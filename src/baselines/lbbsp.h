@@ -1,0 +1,37 @@
+// LB-BSP — Load-Balanced Bulk Synchronous Parallel (the paper's benchmark
+// [6], Chen et al.): when the fastest worker has preceded the straggler for
+// D consecutive rounds, a *prescribed fixed* workload increment Delta is
+// shifted from the straggler to the fastest worker. The fixed increment
+// ignores system heterogeneity and only two workers update per shift —
+// the two shortcomings DOLBIE's risk-averse all-worker update removes.
+#pragma once
+
+#include "core/policy.h"
+
+namespace dolbie::baselines {
+
+struct lbbsp_options {
+  /// Workload fraction shifted per adjustment. The paper uses Delta = 5
+  /// data samples with B = 256, i.e. 5.0 / 256.
+  double delta_fraction = 5.0 / 256.0;
+  std::size_t patience = 5;  ///< D consecutive rounds before each shift
+  core::allocation initial_partition;  ///< empty -> uniform
+};
+
+class lbbsp_policy final : public core::online_policy {
+ public:
+  lbbsp_policy(std::size_t n_workers, lbbsp_options options = {});
+
+  std::string_view name() const override { return "LB-BSP"; }
+  std::size_t workers() const override { return x_.size(); }
+  const core::allocation& current() const override { return x_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override;
+
+ private:
+  core::allocation x_;
+  lbbsp_options options_;
+  std::size_t consecutive_ = 0;  ///< rounds the ordering has persisted
+};
+
+}  // namespace dolbie::baselines

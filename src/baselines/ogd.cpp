@@ -1,0 +1,62 @@
+#include "baselines/ogd.h"
+
+#include <algorithm>
+
+#include "baselines/simplex_projection.h"
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::baselines {
+
+std::vector<double> max_subgradient(const cost::cost_view& costs,
+                                    const core::allocation& x,
+                                    double derivative_step) {
+  DOLBIE_REQUIRE(costs.size() == x.size(), "size mismatch");
+  const std::vector<double> locals = cost::evaluate(costs, x);
+  const std::size_t s = argmax(locals);
+  std::vector<double> g(x.size(), 0.0);
+  // Central difference, one-sided at the box boundary.
+  const double h = derivative_step;
+  const double lo = std::max(0.0, x[s] - h);
+  const double hi = std::min(1.0, x[s] + h);
+  if (hi > lo) {
+    g[s] = (costs[s]->value(hi) - costs[s]->value(lo)) / (hi - lo);
+  }
+  return g;
+}
+
+ogd_policy::ogd_policy(std::size_t n_workers, ogd_options options)
+    : options_(std::move(options)) {
+  DOLBIE_REQUIRE(n_workers >= 1, "OGD needs at least one worker");
+  DOLBIE_REQUIRE(options_.learning_rate > 0.0,
+                 "learning rate must be > 0, got " << options_.learning_rate);
+  DOLBIE_REQUIRE(options_.derivative_step > 0.0,
+                 "derivative step must be > 0, got "
+                     << options_.derivative_step);
+  if (options_.initial_partition.empty()) {
+    options_.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
+                 "initial partition must lie on the simplex");
+  reset();
+}
+
+void ogd_policy::reset() { x_ = options_.initial_partition; }
+
+void ogd_policy::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.costs != nullptr, "feedback carries no costs");
+  DOLBIE_REQUIRE(feedback.local_costs.size() == x_.size(),
+                 "feedback size mismatch");
+  if (x_.size() == 1) return;
+  const std::vector<double> g =
+      max_subgradient(*feedback.costs, x_, options_.derivative_step);
+  std::vector<double> y(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    y[i] = x_[i] - options_.learning_rate * g[i];
+  }
+  x_ = project_to_simplex(y);
+}
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,43 @@
+// OGD — projected online (sub)gradient descent on f_t(x) = max_i f_{i,t}(x_i)
+// (Zinkevich 2003, applied to the min-max objective as in the paper's
+// benchmark [38]):
+//
+//     x_{t+1} = pi_F( x_t - beta * g_t ),
+//
+// where g_t is a subgradient of the max: the straggler's local slope on its
+// own coordinate, zero elsewhere. The slope is taken by central finite
+// difference so the baseline works on the same black-box costs DOLBIE sees.
+#pragma once
+
+#include "core/policy.h"
+
+namespace dolbie::baselines {
+
+struct ogd_options {
+  double learning_rate = 0.001;      ///< beta (paper's experiments: 0.001)
+  double derivative_step = 1e-4;     ///< finite-difference half-width
+  core::allocation initial_partition;  ///< empty -> uniform
+};
+
+class ogd_policy final : public core::online_policy {
+ public:
+  ogd_policy(std::size_t n_workers, ogd_options options = {});
+
+  std::string_view name() const override { return "OGD"; }
+  std::size_t workers() const override { return x_.size(); }
+  const core::allocation& current() const override { return x_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override;
+
+ private:
+  core::allocation x_;
+  ogd_options options_;
+};
+
+/// Subgradient of max_i f_i(x_i) at x: straggler coordinate carries the
+/// local finite-difference slope, all others zero. Exposed for tests.
+std::vector<double> max_subgradient(const cost::cost_view& costs,
+                                    const core::allocation& x,
+                                    double derivative_step);
+
+}  // namespace dolbie::baselines

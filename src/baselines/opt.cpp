@@ -1,0 +1,80 @@
+#include "baselines/opt.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::baselines {
+
+instantaneous_solution solve_instantaneous(const cost::cost_view& costs,
+                                           double tolerance) {
+  DOLBIE_REQUIRE(!costs.empty(), "no cost functions to optimize");
+  const std::size_t n = costs.size();
+  const auto coverage = [&](double l) {
+    double total = 0.0;
+    for (const cost::cost_function* f : costs) total += f->inverse_max(l);
+    return total;
+  };
+
+  // Bracket the optimal level: at l_hi = max_i f_i(1) every worker can carry
+  // the whole load, so coverage = n >= 1; l_lo = min_i f_i(0) has coverage
+  // possibly zero.
+  double lo = costs[0]->value(0.0);
+  double hi = costs[0]->value(1.0);
+  for (const cost::cost_function* f : costs) {
+    lo = std::min(lo, f->value(0.0));
+    hi = std::max(hi, f->value(1.0));
+  }
+  instantaneous_solution out;
+  if (coverage(lo) >= 1.0) {
+    out.level = lo;
+  } else {
+    // Invariant: coverage(lo) < 1 <= coverage(hi); return hi at tolerance so
+    // the produced level is always achievable.
+    for (int it = 0; it < 200 && hi - lo > tolerance; ++it) {
+      const double mid = lo + (hi - lo) / 2.0;
+      if (coverage(mid) >= 1.0) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    out.level = hi;
+  }
+
+  // Allocate each worker its affordable maximum, then shrink proportionally
+  // to hit the simplex exactly (shrinking never raises a cost above l*).
+  out.x.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = costs[i]->inverse_max(out.level);
+    total += out.x[i];
+  }
+  DOLBIE_REQUIRE(total > 0.0, "water-level solver produced empty coverage");
+  for (double& v : out.x) v /= total;
+  const std::vector<double> locals = cost::evaluate(costs, out.x);
+  out.value = locals[argmax(locals)];
+  // A priced-out worker (f_i(0) above the water level) pays its intercept
+  // even at zero allocation; lift the reported level so value <= level.
+  out.level = std::max(out.level, out.value);
+  return out;
+}
+
+opt_policy::opt_policy(std::size_t n_workers)
+    : x_(uniform_point(n_workers)) {}
+
+void opt_policy::reset() { x_ = uniform_point(x_.size()); }
+
+void opt_policy::preview(const cost::cost_view& costs) {
+  DOLBIE_REQUIRE(costs.size() == x_.size(), "preview size mismatch");
+  x_ = solve_instantaneous(costs).x;
+}
+
+void opt_policy::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.local_costs.size() == x_.size(),
+                 "feedback size mismatch");
+  // Clairvoyant: everything happened in preview().
+}
+
+}  // namespace dolbie::baselines

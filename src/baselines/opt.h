@@ -1,0 +1,48 @@
+// OPT — the dynamic optimum: the instantaneous minimizer of
+// max_i f_{i,t}(x_i) over the simplex, computed with full a-priori knowledge
+// of the round's cost functions. This is the comparator x_t^* in the
+// dynamic-regret definition; it "cannot be implemented in reality due to the
+// lack of future information" but anchors every figure.
+//
+// Solver: water-filling on the cost level. g(l) = sum_i inverse_max_i(l) is
+// non-decreasing in l; the optimal level l* is the smallest l with
+// g(l) >= 1. We bisect for l*, take x_i = inverse_max_i(l*) and rescale to
+// sum exactly 1 (rescaling only ever shrinks coordinates, so no cost rises
+// above l*).
+#pragma once
+
+#include "core/policy.h"
+
+namespace dolbie::baselines {
+
+/// Result of solving one instantaneous min-max problem.
+struct instantaneous_solution {
+  core::allocation x;   ///< a minimizer on the simplex
+  double level = 0.0;   ///< the water level l* (upper bound on the value)
+  double value = 0.0;   ///< realized max_i f_i(x_i) at x
+};
+
+/// Solve min_x max_i f_i(x_i) s.t. x on the simplex. `tolerance` bounds the
+/// bisection error on the level.
+instantaneous_solution solve_instantaneous(const cost::cost_view& costs,
+                                           double tolerance = 1e-10);
+
+/// The clairvoyant OPT policy: previews the round's costs and plays the
+/// instantaneous minimizer.
+class opt_policy final : public core::online_policy {
+ public:
+  explicit opt_policy(std::size_t n_workers);
+
+  std::string_view name() const override { return "OPT"; }
+  std::size_t workers() const override { return x_.size(); }
+  const core::allocation& current() const override { return x_; }
+  void observe(const core::round_feedback& feedback) override;
+  bool clairvoyant() const override { return true; }
+  void preview(const cost::cost_view& costs) override;
+  void reset() override;
+
+ private:
+  core::allocation x_;
+};
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,36 @@
+#include "baselines/simplex_projection.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dolbie::baselines {
+
+std::vector<double> project_to_simplex(std::span<const double> v) {
+  DOLBIE_REQUIRE(!v.empty(), "cannot project an empty vector");
+  // Sort descending, then find the pivot rho = max{ k : u_k - tau_k > 0 }
+  // with tau_k = (sum_{j<=k} u_j - 1) / k; the projection is
+  // x_i = max(v_i - tau_rho, 0).
+  std::vector<double> u(v.begin(), v.end());
+  std::sort(u.begin(), u.end(), std::greater<>());
+  double running = 0.0;
+  double tau = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    running += u[k];
+    const double candidate =
+        (running - 1.0) / static_cast<double>(k + 1);
+    if (u[k] - candidate > 0.0) {
+      tau = candidate;
+      rho = k + 1;
+    }
+  }
+  DOLBIE_REQUIRE(rho > 0, "projection pivot not found (non-finite input?)");
+  std::vector<double> x(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    x[i] = std::max(v[i] - tau, 0.0);
+  }
+  return x;
+}
+
+}  // namespace dolbie::baselines

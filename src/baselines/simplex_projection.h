@@ -1,0 +1,16 @@
+// Exact Euclidean projection onto the probability simplex in O(N log N)
+// (sort-based algorithm of Held/Wolfe/Crowder, as used by Duchi et al. 2008
+// and Blondel et al. 2014 — the paper's reference [39]). This is the
+// projection step pi_F(.) that OGD needs every round and DOLBIE avoids by
+// construction; the micro-overhead bench measures exactly this gap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dolbie::baselines {
+
+/// Euclidean projection of v onto { x : sum x_i = 1, x >= 0 }.
+std::vector<double> project_to_simplex(std::span<const double> v);
+
+}  // namespace dolbie::baselines

@@ -1,0 +1,32 @@
+// Monotone bisection search, the numeric workhorse behind Eq. (4) (maximum
+// acceptable workload) and the OPT water-level solver.
+#pragma once
+
+#include <functional>
+
+namespace dolbie {
+
+/// Options controlling bisection termination.
+struct bisect_options {
+  double tolerance = 1e-12;  ///< absolute interval width at which to stop
+  int max_iterations = 200;  ///< hard cap on halving steps
+};
+
+/// Largest x in [lo, hi] with pred(x) true, assuming pred is "true then
+/// false" on [lo, hi] (i.e. {x : pred(x)} is a prefix interval).
+///
+/// Preconditions: lo <= hi and pred(lo) is true. Returns a point within
+/// `options.tolerance` of the true boundary (from below, so the returned
+/// point itself satisfies pred up to floating-point evaluation of pred).
+double bisect_max_true(double lo, double hi,
+                       const std::function<bool(double)>& pred,
+                       const bisect_options& options = {});
+
+/// Root of an increasing function g on [lo, hi]: the x with g(x) ~= 0.
+/// Preconditions: g(lo) <= 0 <= g(hi). Returns a point within tolerance of
+/// the true root.
+double bisect_root_increasing(double lo, double hi,
+                              const std::function<double(double)>& g,
+                              const bisect_options& options = {});
+
+}  // namespace dolbie

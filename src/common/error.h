@@ -1,0 +1,43 @@
+// Error-handling primitives shared by every dolbie subsystem.
+//
+// Construction-time misuse (empty worker sets, non-increasing cost functions,
+// fractions outside [0, 1]) throws `invariant_error`; per-round hot-path
+// updates are plain arithmetic and do not throw.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dolbie {
+
+/// Thrown when a documented API precondition or internal invariant is broken.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement `" << expr << "` violated";
+  if (!msg.empty()) os << ": " << msg;
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace dolbie
+
+/// Validate a documented precondition; throws dolbie::invariant_error with
+/// location and message on failure. Use at API boundaries, not on hot paths.
+#define DOLBIE_REQUIRE(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream dolbie_require_os_;                                \
+      dolbie_require_os_ << msg;                                            \
+      ::dolbie::detail::throw_invariant(#expr, __FILE__, __LINE__,          \
+                                        dolbie_require_os_.str());          \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,46 @@
+#include "common/series.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dolbie {
+
+double series::front() const {
+  DOLBIE_REQUIRE(!values_.empty(), "front() of empty series '" << name_ << "'");
+  return values_.front();
+}
+
+double series::back() const {
+  DOLBIE_REQUIRE(!values_.empty(), "back() of empty series '" << name_ << "'");
+  return values_.back();
+}
+
+double series::total() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+std::vector<double> series::cumulative() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += v;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double series::min() const {
+  DOLBIE_REQUIRE(!values_.empty(), "min() of empty series '" << name_ << "'");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double series::max() const {
+  DOLBIE_REQUIRE(!values_.empty(), "max() of empty series '" << name_ << "'");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace dolbie

@@ -1,0 +1,49 @@
+// A per-round trace: a named sequence of scalar observations indexed by
+// round. Used by the experiment harness to record latencies, batch sizes,
+// step sizes, regret terms, etc., and by the reporters to print them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dolbie {
+
+/// Named per-round scalar trace.
+class series {
+ public:
+  series() = default;
+  explicit series(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void push(double value) { values_.push_back(value); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double operator[](std::size_t i) const { return values_[i]; }
+  std::span<const double> values() const { return values_; }
+
+  double front() const;
+  double back() const;
+
+  /// Sum of all recorded values.
+  double total() const;
+
+  /// Running (prefix) sums: out[i] = sum of values [0..i].
+  std::vector<double> cumulative() const;
+
+  /// Element-wise minimum over the recorded values. Throws when empty.
+  double min() const;
+  /// Element-wise maximum over the recorded values. Throws when empty.
+  double max() const;
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+};
+
+}  // namespace dolbie

@@ -1,0 +1,73 @@
+#include "common/simplex.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dolbie {
+
+bool on_simplex(std::span<const double> x, double tolerance) {
+  if (x.empty()) return false;
+  double total = 0.0;
+  for (double v : x) {
+    if (v < -tolerance || !std::isfinite(v)) return false;
+    total += v;
+  }
+  return std::abs(total - 1.0) <= tolerance;
+}
+
+std::vector<double> uniform_point(std::size_t n) {
+  DOLBIE_REQUIRE(n > 0, "uniform_point needs at least one coordinate");
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+std::vector<double> normalized(std::span<const double> x, double tolerance) {
+  DOLBIE_REQUIRE(!x.empty(), "cannot normalize an empty vector");
+  std::vector<double> out(x.begin(), x.end());
+  double total = 0.0;
+  for (double& v : out) {
+    DOLBIE_REQUIRE(v >= -tolerance, "negative coordinate " << v);
+    if (v < 0.0) v = 0.0;
+    total += v;
+  }
+  DOLBIE_REQUIRE(total > 0.0, "vector sums to zero; nothing to normalize");
+  for (double& v : out) v /= total;
+  return out;
+}
+
+double l2_distance(std::span<const double> a, std::span<const double> b) {
+  DOLBIE_REQUIRE(a.size() == b.size(), "size mismatch " << a.size() << " vs "
+                                                        << b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double sum(std::span<const double> x) {
+  double total = 0.0;
+  for (double v : x) total += v;
+  return total;
+}
+
+std::size_t argmax(std::span<const double> x) {
+  DOLBIE_REQUIRE(!x.empty(), "argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t argmin(std::span<const double> x) {
+  DOLBIE_REQUIRE(!x.empty(), "argmin of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] < x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace dolbie

@@ -1,0 +1,38 @@
+// Helpers for points on the probability simplex { x : sum x_i = 1, x >= 0 },
+// the feasible set of the online min-max load-balancing problem (Eq. 2-3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dolbie {
+
+/// True when x lies on the probability simplex within `tolerance` (sum within
+/// tolerance of 1 and each coordinate >= -tolerance).
+bool on_simplex(std::span<const double> x, double tolerance = 1e-9);
+
+/// The uniform simplex point (1/n, ..., 1/n). Throws on n == 0.
+std::vector<double> uniform_point(std::size_t n);
+
+/// Rescale a non-negative vector to sum exactly to 1. Throws when the sum is
+/// not positive or any coordinate is negative beyond tolerance. Coordinates
+/// within tolerance below zero are clamped to 0 before rescaling.
+std::vector<double> normalized(std::span<const double> x,
+                               double tolerance = 1e-9);
+
+/// Euclidean (L2) distance between two equal-length vectors.
+double l2_distance(std::span<const double> a, std::span<const double> b);
+
+/// Sum of coordinates.
+double sum(std::span<const double> x);
+
+/// Index of the maximum element; ties broken towards the smallest index
+/// (the paper's "worker that ranks higher in the worker list"). Throws on
+/// empty input.
+std::size_t argmax(std::span<const double> x);
+
+/// Index of the minimum element; ties broken towards the smallest index.
+std::size_t argmin(std::span<const double> x);
+
+}  // namespace dolbie

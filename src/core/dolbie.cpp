@@ -1,0 +1,127 @@
+#include "core/dolbie.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/max_acceptable.h"
+#include "core/step_size.h"
+
+namespace dolbie::core {
+
+dolbie_policy::dolbie_policy(std::size_t n_workers, dolbie_options options)
+    : options_(std::move(options)) {
+  DOLBIE_REQUIRE(n_workers >= 1, "DOLBIE needs at least one worker");
+  if (options_.initial_partition.empty()) {
+    options_.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
+                 "initial partition has " << options_.initial_partition.size()
+                                          << " entries for " << n_workers
+                                          << " workers");
+  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
+                 "initial partition must lie on the simplex");
+  DOLBIE_REQUIRE(options_.initial_step <= 1.0,
+                 "initial step must be <= 1, got " << options_.initial_step);
+  reset();
+}
+
+void dolbie_policy::restore(const state& saved) {
+  DOLBIE_REQUIRE(saved.x.size() == x_.size(),
+                 "checkpoint has " << saved.x.size() << " workers, policy "
+                                   << x_.size());
+  DOLBIE_REQUIRE(on_simplex(saved.x),
+                 "checkpoint allocation is not on the simplex");
+  DOLBIE_REQUIRE(saved.alpha >= 0.0 && saved.alpha <= 1.0,
+                 "checkpoint alpha " << saved.alpha << " outside [0, 1]");
+  x_ = saved.x;
+  alpha_ = saved.alpha;
+  last_xp_.clear();
+}
+
+worker_id dolbie_policy::admit_worker(double initial_share) {
+  DOLBIE_REQUIRE(initial_share >= 0.0 && initial_share < 1.0,
+                 "initial share must be in [0, 1), got " << initial_share);
+  for (double& v : x_) v *= (1.0 - initial_share);
+  x_.push_back(initial_share);
+  // Keep the next update feasible for the enlarged worker set: re-cap with
+  // the new worst case over the current minimum share.
+  const double min_share = x_[argmin(x_)];
+  alpha_ = std::min(alpha_, feasible_step_cap(x_.size(), min_share));
+  last_xp_.clear();
+  return x_.size() - 1;
+}
+
+void dolbie_policy::remove_worker(worker_id id) {
+  DOLBIE_REQUIRE(id < x_.size(), "worker " << id << " out of range");
+  DOLBIE_REQUIRE(x_.size() >= 2, "cannot remove the last worker");
+  const double freed = x_[id];
+  x_.erase(x_.begin() + static_cast<std::ptrdiff_t>(id));
+  const double remaining = sum(x_);
+  if (remaining > 0.0) {
+    for (double& v : x_) v *= (freed + remaining) / remaining;
+  } else {
+    x_ = uniform_point(x_.size());
+  }
+  // Numerical hygiene: land exactly on the simplex.
+  x_ = normalized(x_);
+  const double min_share = x_[argmin(x_)];
+  alpha_ = std::min(alpha_, feasible_step_cap(x_.size(), min_share));
+  last_xp_.clear();
+}
+
+void dolbie_policy::reset() {
+  x_ = options_.initial_partition;
+  alpha_ = options_.initial_step >= 0.0 ? options_.initial_step
+                                        : initial_step_size(x_);
+  last_xp_.clear();
+}
+
+void dolbie_policy::observe(const round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.costs != nullptr, "feedback carries no costs");
+  DOLBIE_REQUIRE(feedback.local_costs.size() == x_.size(),
+                 "feedback has " << feedback.local_costs.size()
+                                 << " local costs for " << x_.size()
+                                 << " workers");
+  const std::size_t n = x_.size();
+  if (n == 1) return;  // single worker always carries everything
+
+  // Identify the straggler and the global cost (lines 9-11 of Algorithm 1).
+  const worker_id s = argmax(feedback.local_costs);
+  const double l_t = feedback.local_costs[s];
+
+  // Risk-averse assistance: move every non-straggler towards x' (Eq. 5).
+  last_xp_ = max_acceptable_vector(*feedback.costs, x_, l_t, s);
+
+  double applied = alpha_;
+  if (options_.rule == step_rule::exact_feasibility) {
+    // Clamp to the exact per-round feasibility bound derived in Sec. IV-B:
+    // alpha <= x_{s,t} / sum_{i != s}(x'_i - x_i) keeps the straggler's
+    // remainder non-negative without shrinking the nominal step.
+    double total_gap = 0.0;
+    for (worker_id i = 0; i < n; ++i) {
+      if (i != s) total_gap += last_xp_[i] - x_[i];
+    }
+    if (total_gap > 0.0) {
+      applied = std::min(applied, x_[s] / total_gap);
+    }
+  }
+
+  double claimed = 0.0;
+  for (worker_id i = 0; i < n; ++i) {
+    if (i == s) continue;
+    x_[i] = x_[i] + applied * (last_xp_[i] - x_[i]);
+    claimed += x_[i];
+  }
+
+  // The straggler absorbs the remainder (Eq. 6). The step-size rule makes
+  // this non-negative; the clamp only absorbs floating-point dust.
+  x_[s] = std::max(0.0, 1.0 - claimed);
+
+  if (options_.rule == step_rule::worst_case) {
+    // Retain feasibility for the next round (Eq. 7).
+    alpha_ = next_step_size(alpha_, n, x_[s]);
+  }
+}
+
+}  // namespace dolbie::core

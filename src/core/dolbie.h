@@ -1,0 +1,111 @@
+// DOLBIE — Distributed Online Load Balancing with rIsk-averse assistancE
+// (Algorithm 1/2 of the paper, expressed as a sequential policy).
+//
+// This class is the algorithmic core: the two protocol realizations in
+// src/dist/ (master-worker message passing, fully-distributed min-consensus)
+// compute exactly the same iterates; tests assert bit-equality.
+//
+// Per round, after costs are revealed:
+//   l_t   = max_i l_{i,t};    s_t = argmax_i l_{i,t} (lowest-index ties)
+//   x'_i  = min{1, max{x : f_{i,t}(x) <= l_t}}  for i != s_t  (Eq. 4)
+//   x_{i,t+1} = x_{i,t} + alpha_t (x'_i - x_{i,t})            (Eq. 5)
+//   x_{s,t+1} = 1 - sum_{i != s} x_{i,t+1}                    (Eq. 6)
+//   alpha_{t+1} = min{alpha_t, x_{s,t+1}/(N-2+x_{s,t+1})}     (Eq. 7)
+//
+// No gradients, no projections: the update is O(N) arithmetic plus one
+// inverse_max per worker (analytic for the built-in cost families).
+#pragma once
+
+#include <optional>
+
+#include "core/policy.h"
+
+namespace dolbie::core {
+
+/// How the step size is kept feasible round over round.
+enum class step_rule {
+  /// Eq. (7) taken literally: alpha_{t+1} = min{alpha_t,
+  /// x_{s,t+1}/(N-2+x_{s,t+1})}. Monotone non-increasing — the schedule the
+  /// Theorem-1 regret analysis assumes. The cap is the *worst-case*
+  /// feasibility bound (every non-straggler jumping to x' = 1), so on
+  /// strongly heterogeneous clusters it pins alpha near
+  /// (min straggler share)/N and slows late-stage adaptation.
+  worst_case,
+  /// The exact feasibility bound the paper's own algebra derives
+  /// (Sec. IV-B): each round the applied step is clamped to
+  /// alpha_eff = min{alpha_1, x_{s,t} / sum_{i != s}(x'_{i,t} - x_{i,t})},
+  /// computed from *current-round* quantities, so x_{s,t+1} >= 0 holds
+  /// exactly while the nominal step stays at alpha_1. Not monotone, hence
+  /// outside the Theorem-1 schedule, but it preserves responsiveness under
+  /// system dynamics; the ablation bench quantifies the trade-off.
+  exact_feasibility,
+};
+
+/// Configuration of the DOLBIE policy.
+struct dolbie_options {
+  /// Initial partition x_1; empty means the uniform point (1/N, ..., 1/N).
+  allocation initial_partition;
+  /// Initial step size alpha_1. A negative value (the default) selects the
+  /// paper's safe initialization m/(N-2+m), m = min_i x_{i,1}. The ML
+  /// experiments instead pin alpha_1 = 0.001 to mirror the paper's setup.
+  double initial_step = -1.0;
+  /// Step-size feasibility rule (see step_rule).
+  step_rule rule = step_rule::worst_case;
+};
+
+/// Sequential DOLBIE (reference implementation of Algorithms 1 and 2).
+class dolbie_policy final : public online_policy {
+ public:
+  dolbie_policy(std::size_t n_workers, dolbie_options options = {});
+
+  std::string_view name() const override { return "DOLBIE"; }
+  std::size_t workers() const override { return x_.size(); }
+  const allocation& current() const override { return x_; }
+  void observe(const round_feedback& feedback) override;
+  void reset() override;
+
+  /// Step size alpha_t that will be applied to the *next* observed round.
+  double step_size() const { return alpha_; }
+
+  /// The last round's maximum-acceptable-workload vector x' (empty before
+  /// the first observe). Exposed for tests and the ablation benches.
+  const std::vector<double>& last_max_acceptable() const { return last_xp_; }
+
+  /// Checkpointable policy state: everything the online iteration carries
+  /// between rounds. Allows pausing/migrating a long-running balancer (a
+  /// worker restart must not reset the learned partition).
+  struct state {
+    allocation x;
+    double alpha = 0.0;
+  };
+
+  /// Snapshot the current iteration state.
+  state snapshot() const { return {x_, alpha_}; }
+
+  /// Restore a previously snapshotted state. Validates simplex membership,
+  /// worker count and alpha in [0, 1].
+  void restore(const state& saved);
+
+  /// Worker churn (membership changes between rounds, an extension beyond
+  /// the paper's fixed worker set — its Sec. VII "dynamic load balancing in
+  /// a multi-worker system" setting with elastic membership):
+  ///
+  /// Admit a new worker at the end of the worker list with `initial_share`
+  /// of the workload (taken proportionally from everyone else). The step
+  /// size is re-capped for the new N so the next update stays feasible.
+  /// Returns the new worker's index.
+  worker_id admit_worker(double initial_share);
+
+  /// Remove worker `id`; its workload is redistributed proportionally to
+  /// the survivors (uniformly when the survivors hold no workload). The
+  /// step size is re-capped for the new N. At least one worker must remain.
+  void remove_worker(worker_id id);
+
+ private:
+  allocation x_;
+  double alpha_ = 0.0;
+  std::vector<double> last_xp_;
+  dolbie_options options_;
+};
+
+}  // namespace dolbie::core

@@ -1,0 +1,33 @@
+#include "core/max_acceptable.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dolbie::core {
+
+double max_acceptable_workload(const cost::cost_function& f, double x_i,
+                               double global_cost) {
+  const double tilde = f.inverse_max(global_cost);  // already capped at 1
+  return std::clamp(tilde, x_i, 1.0);
+}
+
+std::vector<double> max_acceptable_vector(const cost::cost_view& costs,
+                                          const allocation& x,
+                                          double global_cost,
+                                          worker_id straggler) {
+  DOLBIE_REQUIRE(costs.size() == x.size(),
+                 "cost/allocation size mismatch: " << costs.size() << " vs "
+                                                   << x.size());
+  DOLBIE_REQUIRE(straggler < x.size(),
+                 "straggler index " << straggler << " out of range");
+  std::vector<double> out(x.size());
+  for (worker_id i = 0; i < x.size(); ++i) {
+    out[i] = (i == straggler)
+                 ? x[i]
+                 : max_acceptable_workload(*costs[i], x[i], global_cost);
+  }
+  return out;
+}
+
+}  // namespace dolbie::core

@@ -1,0 +1,32 @@
+// The maximum acceptable workload x'_{i,t} of Eq. (4): the largest workload
+// worker i could have carried this round without exceeding the round's
+// global cost, truncated to the total workload:
+//
+//     x'_{i,t} = min{ 1, max{ x : f_{i,t}(x) <= l_t } },
+//
+// with the straggler pinned at its own decision (x'_{s,t} = x_{s,t}).
+// The non-negative gap (x' - x) is the risk-averse assistance budget.
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_function.h"
+#include "core/types.h"
+
+namespace dolbie::core {
+
+/// x' for a single non-straggling worker. `x_i` is the worker's played
+/// workload this round; the result is clamped to be >= x_i (guaranteed in
+/// exact arithmetic since f(x_i) <= l_t; the clamp absorbs bisection error).
+double max_acceptable_workload(const cost::cost_function& f, double x_i,
+                               double global_cost);
+
+/// x' for every worker: non-stragglers via Eq. (4), the straggler pinned at
+/// its own decision. Sizes of `costs` and `x` must match; `straggler` must
+/// index a worker.
+std::vector<double> max_acceptable_vector(const cost::cost_view& costs,
+                                          const allocation& x,
+                                          double global_cost,
+                                          worker_id straggler);
+
+}  // namespace dolbie::core

@@ -1,0 +1,22 @@
+#include "core/policy.h"
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::core {
+
+round_outcome evaluate_round(const cost::cost_view& costs,
+                             const allocation& x) {
+  DOLBIE_REQUIRE(costs.size() == x.size(),
+                 "evaluate_round: " << costs.size() << " costs vs " << x.size()
+                                    << " coordinates");
+  DOLBIE_REQUIRE(!x.empty(), "evaluate_round: empty allocation");
+  round_outcome out;
+  out.decision = x;
+  out.local_costs = cost::evaluate(costs, x);
+  out.straggler = argmax(out.local_costs);
+  out.global_cost = out.local_costs[out.straggler];
+  return out;
+}
+
+}  // namespace dolbie::core

@@ -1,0 +1,66 @@
+// The single interface every online load-balancing algorithm implements —
+// DOLBIE, the four baselines (EQU, OGD, ABS, LB-BSP) and the clairvoyant
+// OPT comparator. The experiment harness, the distributed-ML trainer and
+// the edge-offloading scenario are all written against it.
+//
+// Protocol per round t:
+//   1.  (clairvoyant policies only) preview(costs) — OPT sees f_{i,t} before
+//       deciding; online policies ignore it.
+//   2.  allocation() — the harness reads x_t and plays it.
+//   3.  observe(feedback) — the revealed costs l_{i,t} and the full cost
+//       functions f_{i,t}(.) are handed back; the policy prepares x_{t+1}.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "cost/cost_function.h"
+#include "core/types.h"
+
+namespace dolbie::core {
+
+/// Feedback revealed to the policy at the end of a round.
+struct round_feedback {
+  /// The round's cost functions, one per worker (non-owning; valid only for
+  /// the duration of the observe() call).
+  const cost::cost_view* costs = nullptr;
+  /// Realized local costs l_{i,t} = f_{i,t}(x_{i,t}).
+  std::span<const double> local_costs;
+};
+
+/// An online algorithm producing a simplex allocation each round.
+class online_policy {
+ public:
+  virtual ~online_policy() = default;
+
+  /// Short identifier used in traces and reports ("DOLBIE", "OGD", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Number of workers this policy was configured for.
+  virtual std::size_t workers() const = 0;
+
+  /// The allocation x_t to play this round. Always on the simplex.
+  virtual const allocation& current() const = 0;
+
+  /// Reveal the round's costs; the policy computes x_{t+1}.
+  virtual void observe(const round_feedback& feedback) = 0;
+
+  /// True when the policy requires the round's cost functions *before*
+  /// deciding (only the OPT comparator). Default: honest online policy.
+  virtual bool clairvoyant() const { return false; }
+
+  /// Clairvoyant hook, invoked before current() each round when
+  /// clairvoyant() is true. Default: no-op.
+  virtual void preview(const cost::cost_view& costs) { (void)costs; }
+
+  /// Reset to the initial state so the same object can run a fresh
+  /// realization.
+  virtual void reset() = 0;
+};
+
+/// Compute the round outcome (local costs, global cost, straggler with
+/// lowest-index tie-breaking) for a played allocation.
+round_outcome evaluate_round(const cost::cost_view& costs,
+                             const allocation& x);
+
+}  // namespace dolbie::core

@@ -1,0 +1,59 @@
+#include "core/regret.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/policy.h"
+
+namespace dolbie::core {
+
+void regret_tracker::record(double algorithm_cost, double optimal_cost,
+                            const allocation& optimal_point) {
+  DOLBIE_REQUIRE(!optimal_point.empty(), "optimal point is empty");
+  ++rounds_;
+  algorithm_total_ += algorithm_cost;
+  optimal_total_ += optimal_cost;
+  per_round_gap_.push_back(algorithm_cost - optimal_cost);
+  if (!previous_optimal_.empty()) {
+    path_length_ += l2_distance(previous_optimal_, optimal_point);
+  }
+  previous_optimal_ = optimal_point;
+}
+
+double theorem1_bound(double lipschitz, std::size_t n_workers,
+                      std::span<const double> step_sizes, double path_length) {
+  DOLBIE_REQUIRE(lipschitz >= 0.0, "Lipschitz constant must be >= 0");
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  DOLBIE_REQUIRE(!step_sizes.empty(), "need at least one step size");
+  const double T = static_cast<double>(step_sizes.size());
+  const double N = static_cast<double>(n_workers);
+  const double alpha_T = step_sizes.back();
+  DOLBIE_REQUIRE(alpha_T > 0.0,
+                 "Theorem 1 bound needs alpha_T > 0, got " << alpha_T);
+  double alpha_sum_term = 0.0;
+  for (double a : step_sizes) {
+    alpha_sum_term += ((N - 1.0) / 2.0 + N * a) / 2.0;
+  }
+  const double inner =
+      1.0 / alpha_T + path_length / alpha_T + alpha_sum_term;
+  return std::sqrt(T * lipschitz * lipschitz * inner);
+}
+
+double estimate_lipschitz(const cost::cost_view& costs, int samples) {
+  DOLBIE_REQUIRE(samples >= 2, "need >= 2 samples, got " << samples);
+  double worst = 0.0;
+  for (const cost::cost_function* f : costs) {
+    double prev = f->value(0.0);
+    for (int k = 1; k <= samples; ++k) {
+      const double x = static_cast<double>(k) / samples;
+      const double v = f->value(x);
+      worst = std::max(worst, std::abs(v - prev) * samples);
+      prev = v;
+    }
+  }
+  return worst;
+}
+
+}  // namespace dolbie::core

@@ -1,0 +1,66 @@
+// Dynamic-regret accounting (Section V):
+//
+//   Reg_T^d = sum_t f_t(x_t) - sum_t f_t(x_t^*),
+//   P_T     = sum_{t>=2} || x_{t-1}^* - x_t^* ||_2   (path length),
+//
+// plus an evaluator for the Theorem-1 upper bound
+//
+//   Reg_T^d <= sqrt( T L^2 ( 1/alpha_T + P_T/alpha_T
+//                            + sum_t ((N-1)/2 + N alpha_t)/2 ) ).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cost/cost_function.h"
+#include "core/types.h"
+
+namespace dolbie::core {
+
+/// Accumulates per-round algorithm cost vs the instantaneous optimum.
+class regret_tracker {
+ public:
+  /// Record one round: the algorithm's global cost, the instantaneous
+  /// optimal global cost, and the minimizer achieving it.
+  void record(double algorithm_cost, double optimal_cost,
+              const allocation& optimal_point);
+
+  std::size_t rounds() const { return rounds_; }
+
+  /// Dynamic regret accumulated so far.
+  double regret() const { return algorithm_total_ - optimal_total_; }
+
+  /// Total cost of the algorithm's decisions.
+  double algorithm_total() const { return algorithm_total_; }
+
+  /// Total cost of the per-round minimizers.
+  double optimal_total() const { return optimal_total_; }
+
+  /// Path length P_T of the minimizer sequence.
+  double path_length() const { return path_length_; }
+
+  /// Per-round regret increments (for regret-vs-T curves).
+  const std::vector<double>& per_round_gap() const { return per_round_gap_; }
+
+ private:
+  std::size_t rounds_ = 0;
+  double algorithm_total_ = 0.0;
+  double optimal_total_ = 0.0;
+  double path_length_ = 0.0;
+  allocation previous_optimal_;
+  std::vector<double> per_round_gap_;
+};
+
+/// The Theorem-1 upper bound given the realized step sizes alpha_1..alpha_T,
+/// the Lipschitz constant L, the worker count N and the path length P_T.
+double theorem1_bound(double lipschitz, std::size_t n_workers,
+                      std::span<const double> step_sizes, double path_length);
+
+/// A Lipschitz constant for a round's cost view: the largest finite-
+/// difference slope of any f_i over a uniform grid (a sound estimate for
+/// the built-in families, whose slopes are monotone). Used by the regret
+/// bench to feed Theorem 1 with an honest L.
+double estimate_lipschitz(const cost::cost_view& costs, int samples = 64);
+
+}  // namespace dolbie::core

@@ -1,0 +1,35 @@
+#include "core/step_size.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::core {
+
+double feasible_step_cap(std::size_t n_workers, double straggler_next) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  DOLBIE_REQUIRE(straggler_next >= 0.0,
+                 "straggler workload must be >= 0, got " << straggler_next);
+  if (n_workers <= 2) return 1.0;
+  const double denom =
+      static_cast<double>(n_workers) - 2.0 + straggler_next;
+  if (denom <= 0.0) return 0.0;  // only reachable when s == 0 and N == 2
+  return std::min(1.0, straggler_next / denom);
+}
+
+double next_step_size(double alpha_t, std::size_t n_workers,
+                      double straggler_next) {
+  DOLBIE_REQUIRE(alpha_t >= 0.0 && alpha_t <= 1.0,
+                 "step size must lie in [0,1], got " << alpha_t);
+  return std::min(alpha_t, feasible_step_cap(n_workers, straggler_next));
+}
+
+double initial_step_size(std::span<const double> x1) {
+  DOLBIE_REQUIRE(!x1.empty(), "initial partition is empty");
+  const double m = x1[argmin(x1)];
+  DOLBIE_REQUIRE(m >= 0.0, "initial partition has negative entry " << m);
+  return feasible_step_cap(x1.size(), m);
+}
+
+}  // namespace dolbie::core

@@ -1,0 +1,30 @@
+// The step-size schedule of Eq. (7)/(8), the mechanism that keeps DOLBIE's
+// updates feasible (x >= 0) and risk-averse: after each round the step size
+// is capped by
+//
+//     alpha_{t+1} <= min{ alpha_t, s / (N - 2 + s) }
+//
+// where s = x_{s_t, t+1} is the straggler's *new* workload. The cap is
+// exactly tight enough that even if every non-straggler moved all the way to
+// x' = 1 next round, the straggler's remainder stays non-negative.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dolbie::core {
+
+/// The feasibility cap s / (N - 2 + s) from Eq. (7). For N <= 2 the
+/// denominator degenerates: N == 2 gives s/s = 1 (any step in [0,1] is
+/// safe); N == 1 has no non-stragglers, cap 1.
+double feasible_step_cap(std::size_t n_workers, double straggler_next);
+
+/// alpha_{t+1} = min{ alpha_t, feasible_step_cap(N, straggler_next) }.
+double next_step_size(double alpha_t, std::size_t n_workers,
+                      double straggler_next);
+
+/// The paper's initialization: alpha_1 = m / (N - 2 + m) with
+/// m = min_i x_{i,1}, safe for an arbitrary initial partition.
+double initial_step_size(std::span<const double> x1);
+
+}  // namespace dolbie::core

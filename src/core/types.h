@@ -1,0 +1,23 @@
+// Shared vocabulary types for the online load-balancing core.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dolbie::core {
+
+/// Index of a worker in the round's worker list.
+using worker_id = std::size_t;
+
+/// A workload allocation x_t on the probability simplex.
+using allocation = std::vector<double>;
+
+/// Everything revealed about one completed round.
+struct round_outcome {
+  allocation decision;              ///< x_t the policy played
+  std::vector<double> local_costs;  ///< l_{i,t} = f_{i,t}(x_{i,t})
+  double global_cost = 0.0;         ///< l_t = max_i l_{i,t}
+  worker_id straggler = 0;          ///< s_t (ties to the lowest index)
+};
+
+}  // namespace dolbie::core

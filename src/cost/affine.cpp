@@ -1,0 +1,31 @@
+#include "cost/affine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+affine_cost::affine_cost(double slope, double intercept)
+    : slope_(slope), intercept_(intercept) {
+  DOLBIE_REQUIRE(slope >= 0.0, "affine cost needs slope >= 0, got " << slope);
+  DOLBIE_REQUIRE(intercept >= 0.0,
+                 "affine cost needs intercept >= 0, got " << intercept);
+}
+
+double affine_cost::value(double x) const { return slope_ * x + intercept_; }
+
+double affine_cost::inverse_max(double l) const {
+  if (intercept_ > l) return 0.0;
+  if (slope_ == 0.0) return 1.0;  // constant cost <= l everywhere
+  return std::clamp((l - intercept_) / slope_, 0.0, 1.0);
+}
+
+std::string affine_cost::describe() const {
+  std::ostringstream os;
+  os << "affine(slope=" << slope_ << ", intercept=" << intercept_ << ")";
+  return os.str();
+}
+
+}  // namespace dolbie::cost

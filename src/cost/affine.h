@@ -1,0 +1,27 @@
+// Affine cost f(x) = slope * x + intercept — the paper's distributed-ML
+// latency model: slope = B / gamma (processing) and intercept = d / phi
+// (communication), Sec. III-A.
+#pragma once
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+/// f(x) = slope * x + intercept with slope >= 0, intercept >= 0.
+class affine_cost final : public cost_function {
+ public:
+  affine_cost(double slope, double intercept);
+
+  double value(double x) const override;
+  double inverse_max(double l) const override;  // analytic
+  std::string describe() const override;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double slope_;
+  double intercept_;
+};
+
+}  // namespace dolbie::cost

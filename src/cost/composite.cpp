@@ -1,0 +1,36 @@
+#include "cost/composite.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+composite_cost::composite_cost(std::vector<term> terms)
+    : terms_(std::move(terms)) {
+  DOLBIE_REQUIRE(!terms_.empty(), "composite cost needs at least one term");
+  for (const term& t : terms_) {
+    DOLBIE_REQUIRE(t.weight >= 0.0,
+                   "composite weight must be >= 0, got " << t.weight);
+    DOLBIE_REQUIRE(t.f != nullptr, "composite term function is null");
+  }
+}
+
+double composite_cost::value(double x) const {
+  double total = 0.0;
+  for (const term& t : terms_) total += t.weight * t.f->value(x);
+  return total;
+}
+
+std::string composite_cost::describe() const {
+  std::ostringstream os;
+  os << "composite(";
+  for (std::size_t k = 0; k < terms_.size(); ++k) {
+    if (k > 0) os << " + ";
+    os << terms_[k].weight << "*" << terms_[k].f->describe();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace dolbie::cost

@@ -1,0 +1,35 @@
+// Composite cost: a non-negative weighted sum of increasing cost functions.
+// Sums of increasing functions are increasing, so the composite is a valid
+// local cost; its inverse falls back to the base-class bisection. This is
+// the family behind "transmission + execution" style costs (the edge
+// substrate builds its own specialized version with an analytic structure;
+// this generic one serves user compositions and tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+/// weight_k * f_k(x) summed over k; weights >= 0, at least one term.
+class composite_cost final : public cost_function {
+ public:
+  struct term {
+    double weight = 1.0;
+    std::unique_ptr<const cost_function> f;
+  };
+
+  explicit composite_cost(std::vector<term> terms);
+
+  double value(double x) const override;
+  std::string describe() const override;
+
+  std::size_t terms() const { return terms_.size(); }
+
+ private:
+  std::vector<term> terms_;
+};
+
+}  // namespace dolbie::cost

@@ -1,0 +1,53 @@
+// The local cost function abstraction f_{i,t}(x): increasing (not
+// necessarily strictly) in the workload fraction x on [0, 1], revealed to
+// worker i only after the round-t decision.
+//
+// Every cost function also exposes `inverse_max(l)` = max{x in [0,1] :
+// f(x) <= l} (and 0 when even f(0) > l), the quantity Eq. (4) and the OPT
+// water-level solver are built on. Analytic forms override it; the default
+// falls back to monotone bisection, the paper's own suggestion (Sec. IV-A).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dolbie::cost {
+
+/// An increasing scalar cost of workload fraction x in [0, 1].
+class cost_function {
+ public:
+  virtual ~cost_function() = default;
+
+  /// Cost of carrying workload fraction x. Must be non-decreasing in x.
+  virtual double value(double x) const = 0;
+
+  /// max{x in [0, 1] : value(x) <= l}; returns 0 when value(0) > l and 1
+  /// when value(1) <= l. Default implementation bisects `value`.
+  virtual double inverse_max(double l) const;
+
+  /// Human-readable description, for traces and error messages.
+  virtual std::string describe() const = 0;
+};
+
+/// Owning list of per-worker cost functions for one round.
+using cost_vector = std::vector<std::unique_ptr<const cost_function>>;
+
+/// Non-owning per-round view handed to online policies.
+using cost_view = std::vector<const cost_function*>;
+
+/// Borrow a view over an owning cost vector.
+cost_view view_of(const cost_vector& costs);
+
+/// Evaluate every cost at its coordinate: out[i] = costs[i]->value(x[i]).
+/// Throws when sizes mismatch.
+std::vector<double> evaluate(const cost_view& costs,
+                             const std::vector<double>& x);
+
+/// Validate (by sampling) that a cost function is non-decreasing on [0, 1];
+/// used by tests and debug assertions. Returns false on a detected decrease
+/// larger than `tolerance`.
+bool appears_increasing(const cost_function& f, int samples = 64,
+                        double tolerance = 1e-9);
+
+}  // namespace dolbie::cost

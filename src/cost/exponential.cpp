@@ -1,0 +1,38 @@
+#include "cost/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+exponential_cost::exponential_cost(double scale, double rate, double intercept)
+    : scale_(scale), rate_(rate), intercept_(intercept) {
+  DOLBIE_REQUIRE(scale >= 0.0,
+                 "exponential cost needs scale >= 0, got " << scale);
+  DOLBIE_REQUIRE(rate > 0.0, "exponential cost needs rate > 0, got " << rate);
+  DOLBIE_REQUIRE(intercept >= 0.0,
+                 "exponential cost needs intercept >= 0, got " << intercept);
+}
+
+double exponential_cost::value(double x) const {
+  return intercept_ + scale_ * std::expm1(rate_ * x);
+}
+
+double exponential_cost::inverse_max(double l) const {
+  if (intercept_ > l) return 0.0;
+  if (scale_ == 0.0) return 1.0;
+  const double y = (l - intercept_) / scale_;
+  return std::clamp(std::log1p(y) / rate_, 0.0, 1.0);
+}
+
+std::string exponential_cost::describe() const {
+  std::ostringstream os;
+  os << "exponential(scale=" << scale_ << ", rate=" << rate_
+     << ", intercept=" << intercept_ << ")";
+  return os.str();
+}
+
+}  // namespace dolbie::cost

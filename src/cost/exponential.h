@@ -1,0 +1,29 @@
+// Exponential cost f(x) = intercept + scale * (exp(rate * x) - 1): strongly
+// non-linear growth modelling congestion collapse (e.g. queueing delay as a
+// worker nears saturation).
+#pragma once
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+/// f(x) = intercept + scale * (exp(rate * x) - 1), scale >= 0, rate > 0.
+class exponential_cost final : public cost_function {
+ public:
+  exponential_cost(double scale, double rate, double intercept);
+
+  double value(double x) const override;
+  double inverse_max(double l) const override;  // analytic
+  std::string describe() const override;
+
+  double scale() const { return scale_; }
+  double rate() const { return rate_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double scale_;
+  double rate_;
+  double intercept_;
+};
+
+}  // namespace dolbie::cost

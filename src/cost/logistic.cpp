@@ -1,0 +1,39 @@
+#include "cost/logistic.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+saturating_cost::saturating_cost(double scale, double knee, double intercept)
+    : scale_(scale), knee_(knee), intercept_(intercept) {
+  DOLBIE_REQUIRE(scale >= 0.0,
+                 "saturating cost needs scale >= 0, got " << scale);
+  DOLBIE_REQUIRE(knee > 0.0, "saturating cost needs knee > 0, got " << knee);
+  DOLBIE_REQUIRE(intercept >= 0.0,
+                 "saturating cost needs intercept >= 0, got " << intercept);
+}
+
+double saturating_cost::value(double x) const {
+  return intercept_ + scale_ * x / (x + knee_);
+}
+
+double saturating_cost::inverse_max(double l) const {
+  if (intercept_ > l) return 0.0;
+  if (scale_ == 0.0) return 1.0;
+  const double y = (l - intercept_) / scale_;  // want x/(x+knee) <= y
+  if (y >= 1.0) return 1.0;                    // saturation level never reached
+  // x/(x+k) = y  =>  x = y*k / (1-y)
+  return std::clamp(y * knee_ / (1.0 - y), 0.0, 1.0);
+}
+
+std::string saturating_cost::describe() const {
+  std::ostringstream os;
+  os << "saturating(scale=" << scale_ << ", knee=" << knee_
+     << ", intercept=" << intercept_ << ")";
+  return os.str();
+}
+
+}  // namespace dolbie::cost

@@ -1,0 +1,30 @@
+// Saturating cost f(x) = intercept + scale * x / (x + knee): increasing and
+// strictly concave — the case where a max of such functions is genuinely
+// non-convex, outside the assumptions of the convex online min-max methods
+// the paper's related-work section rules out.
+#pragma once
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+/// f(x) = intercept + scale * x / (x + knee), scale >= 0, knee > 0.
+class saturating_cost final : public cost_function {
+ public:
+  saturating_cost(double scale, double knee, double intercept);
+
+  double value(double x) const override;
+  double inverse_max(double l) const override;  // analytic
+  std::string describe() const override;
+
+  double scale() const { return scale_; }
+  double knee() const { return knee_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double scale_;
+  double knee_;
+  double intercept_;
+};
+
+}  // namespace dolbie::cost

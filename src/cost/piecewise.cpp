@@ -1,0 +1,64 @@
+#include "cost/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+piecewise_linear_cost::piecewise_linear_cost(std::vector<knot> knots)
+    : knots_(std::move(knots)) {
+  DOLBIE_REQUIRE(knots_.size() >= 2, "piecewise cost needs >= 2 knots, got "
+                                         << knots_.size());
+  DOLBIE_REQUIRE(knots_.front().x == 0.0,
+                 "first knot must sit at x = 0, got " << knots_.front().x);
+  DOLBIE_REQUIRE(knots_.back().x == 1.0,
+                 "last knot must sit at x = 1, got " << knots_.back().x);
+  for (std::size_t k = 1; k < knots_.size(); ++k) {
+    DOLBIE_REQUIRE(knots_[k].x > knots_[k - 1].x,
+                   "knot x-coordinates must be strictly increasing");
+    DOLBIE_REQUIRE(knots_[k].y >= knots_[k - 1].y,
+                   "knot y-coordinates must be non-decreasing");
+  }
+  DOLBIE_REQUIRE(knots_.front().y >= 0.0, "costs must be non-negative");
+}
+
+double piecewise_linear_cost::value(double x) const {
+  x = std::clamp(x, 0.0, 1.0);
+  // Find the segment [knots_[k-1].x, knots_[k].x] containing x.
+  const auto it =
+      std::lower_bound(knots_.begin(), knots_.end(), x,
+                       [](const knot& k, double v) { return k.x < v; });
+  if (it == knots_.begin()) return knots_.front().y;
+  const knot& hi = *it;
+  const knot& lo = *(it - 1);
+  const double frac = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + frac * (hi.y - lo.y);
+}
+
+double piecewise_linear_cost::inverse_max(double l) const {
+  if (knots_.front().y > l) return 0.0;
+  if (knots_.back().y <= l) return 1.0;
+  // Walk to the last segment whose start is still affordable; invert there.
+  for (std::size_t k = 1; k < knots_.size(); ++k) {
+    if (knots_[k].y > l) {
+      const knot& lo = knots_[k - 1];
+      const knot& hi = knots_[k];
+      if (hi.y == lo.y) return hi.x;  // flat segment cannot exceed l
+      const double frac = (l - lo.y) / (hi.y - lo.y);
+      return lo.x + frac * (hi.x - lo.x);
+    }
+  }
+  return 1.0;  // unreachable given the early returns above
+}
+
+std::string piecewise_linear_cost::describe() const {
+  std::ostringstream os;
+  os << "piecewise_linear(" << knots_.size() << " knots, y in ["
+     << knots_.front().y << ", " << knots_.back().y << "])";
+  return os.str();
+}
+
+}  // namespace dolbie::cost

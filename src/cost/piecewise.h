@@ -1,0 +1,36 @@
+// Piecewise-linear increasing cost, defined by knots (x_k, y_k). Models
+// regime changes such as a worker spilling from cache to memory, or a tiered
+// pricing curve. Exercises the non-differentiable case DOLBIE is designed
+// for (no gradient needed).
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+/// A knot of the piecewise curve.
+struct knot {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Increasing piecewise-linear interpolation through the given knots.
+/// Requires at least two knots, x strictly increasing spanning [0, 1]
+/// (first knot at x = 0, last at x = 1), and y non-decreasing.
+class piecewise_linear_cost final : public cost_function {
+ public:
+  explicit piecewise_linear_cost(std::vector<knot> knots);
+
+  double value(double x) const override;
+  double inverse_max(double l) const override;  // segment scan, analytic
+  std::string describe() const override;
+
+  const std::vector<knot>& knots() const { return knots_; }
+
+ private:
+  std::vector<knot> knots_;
+};
+
+}  // namespace dolbie::cost

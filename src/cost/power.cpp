@@ -1,0 +1,38 @@
+#include "cost/power.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+power_cost::power_cost(double scale, double exponent, double intercept)
+    : scale_(scale), exponent_(exponent), intercept_(intercept) {
+  DOLBIE_REQUIRE(scale >= 0.0, "power cost needs scale >= 0, got " << scale);
+  DOLBIE_REQUIRE(exponent > 0.0,
+                 "power cost needs exponent > 0, got " << exponent);
+  DOLBIE_REQUIRE(intercept >= 0.0,
+                 "power cost needs intercept >= 0, got " << intercept);
+}
+
+double power_cost::value(double x) const {
+  return intercept_ + scale_ * std::pow(x, exponent_);
+}
+
+double power_cost::inverse_max(double l) const {
+  if (intercept_ > l) return 0.0;
+  if (scale_ == 0.0) return 1.0;
+  const double y = (l - intercept_) / scale_;
+  return std::clamp(std::pow(y, 1.0 / exponent_), 0.0, 1.0);
+}
+
+std::string power_cost::describe() const {
+  std::ostringstream os;
+  os << "power(scale=" << scale_ << ", exponent=" << exponent_
+     << ", intercept=" << intercept_ << ")";
+  return os.str();
+}
+
+}  // namespace dolbie::cost

@@ -1,0 +1,30 @@
+// Power-law cost f(x) = intercept + scale * x^exponent. Exponent > 1 gives
+// the convex super-linear costs where ABS's proportional rule breaks down;
+// 0 < exponent < 1 gives concave (still increasing, non-convex as part of a
+// max) costs exercising DOLBIE's convexity-free analysis.
+#pragma once
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+/// f(x) = intercept + scale * x^exponent with scale >= 0, exponent > 0.
+class power_cost final : public cost_function {
+ public:
+  power_cost(double scale, double exponent, double intercept);
+
+  double value(double x) const override;
+  double inverse_max(double l) const override;  // analytic
+  std::string describe() const override;
+
+  double scale() const { return scale_; }
+  double exponent() const { return exponent_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double scale_;
+  double exponent_;
+  double intercept_;
+};
+
+}  // namespace dolbie::cost

@@ -1,0 +1,125 @@
+#include "cost/process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+
+constant_process::constant_process(double value) : value_(value) {
+  DOLBIE_REQUIRE(std::isfinite(value), "constant process value must be finite");
+}
+
+ar1_process::ar1_process(double mean, double rho, double sigma, double floor,
+                         double ceil)
+    : mean_(mean),
+      rho_(rho),
+      sigma_(sigma),
+      floor_(floor),
+      ceil_(ceil),
+      value_(mean) {
+  DOLBIE_REQUIRE(rho >= 0.0 && rho < 1.0, "AR(1) rho must be in [0,1), got "
+                                              << rho);
+  DOLBIE_REQUIRE(sigma >= 0.0, "AR(1) sigma must be >= 0, got " << sigma);
+  DOLBIE_REQUIRE(floor <= ceil, "AR(1) floor " << floor << " above ceil "
+                                               << ceil);
+  DOLBIE_REQUIRE(mean >= floor && mean <= ceil,
+                 "AR(1) mean " << mean << " outside [" << floor << ", " << ceil
+                               << "]");
+}
+
+double ar1_process::step(rng& gen) {
+  value_ = mean_ + rho_ * (value_ - mean_) + gen.gaussian(0.0, sigma_);
+  value_ = std::clamp(value_, floor_, ceil_);
+  return value_;
+}
+
+bounded_walk_process::bounded_walk_process(double start, double sigma,
+                                           double floor, double ceil)
+    : sigma_(sigma), floor_(floor), ceil_(ceil), value_(start) {
+  DOLBIE_REQUIRE(sigma >= 0.0, "walk sigma must be >= 0, got " << sigma);
+  DOLBIE_REQUIRE(floor > 0.0, "multiplicative walk needs floor > 0, got "
+                                  << floor);
+  DOLBIE_REQUIRE(floor <= ceil, "walk floor " << floor << " above ceil "
+                                              << ceil);
+  DOLBIE_REQUIRE(start >= floor && start <= ceil,
+                 "walk start " << start << " outside [" << floor << ", "
+                               << ceil << "]");
+}
+
+double bounded_walk_process::step(rng& gen) {
+  value_ *= std::exp(gen.gaussian(0.0, sigma_));
+  value_ = std::clamp(value_, floor_, ceil_);
+  return value_;
+}
+
+markov_contention_process::markov_contention_process(double base,
+                                                     double contended_factor,
+                                                     double p_enter,
+                                                     double p_exit)
+    : base_(base),
+      contended_factor_(contended_factor),
+      p_enter_(p_enter),
+      p_exit_(p_exit) {
+  DOLBIE_REQUIRE(base > 0.0, "contention base must be > 0, got " << base);
+  DOLBIE_REQUIRE(contended_factor > 0.0,
+                 "contention factor must be > 0, got " << contended_factor);
+  DOLBIE_REQUIRE(p_enter >= 0.0 && p_enter <= 1.0,
+                 "p_enter must be a probability, got " << p_enter);
+  DOLBIE_REQUIRE(p_exit >= 0.0 && p_exit <= 1.0,
+                 "p_exit must be a probability, got " << p_exit);
+}
+
+double markov_contention_process::current() const {
+  return contended_ ? base_ * contended_factor_ : base_;
+}
+
+double markov_contention_process::step(rng& gen) {
+  if (contended_) {
+    if (gen.bernoulli(p_exit_)) contended_ = false;
+  } else {
+    if (gen.bernoulli(p_enter_)) contended_ = true;
+  }
+  return current();
+}
+
+periodic_process::periodic_process(double mean, double amplitude,
+                                   double period, double phase)
+    : mean_(mean), amplitude_(amplitude), period_(period), phase_(phase) {
+  DOLBIE_REQUIRE(mean > 0.0, "periodic mean must be > 0, got " << mean);
+  DOLBIE_REQUIRE(amplitude >= 0.0 && amplitude < 1.0,
+                 "periodic amplitude must be in [0,1) to keep the value "
+                 "positive, got "
+                     << amplitude);
+  DOLBIE_REQUIRE(period > 0.0, "periodic period must be > 0, got " << period);
+}
+
+double periodic_process::current() const {
+  constexpr double kTwoPi = 6.283185307179586;
+  const double t = static_cast<double>(tick_);
+  return mean_ *
+         (1.0 + amplitude_ * std::sin(kTwoPi * (t / period_ + phase_)));
+}
+
+double periodic_process::step(rng&) {
+  ++tick_;
+  return current();
+}
+
+product_process::product_process(std::unique_ptr<process> a,
+                                 std::unique_ptr<process> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  DOLBIE_REQUIRE(a_ != nullptr && b_ != nullptr,
+                 "product process factors must be non-null");
+}
+
+double product_process::current() const {
+  return a_->current() * b_->current();
+}
+
+double product_process::step(rng& gen) {
+  return a_->step(gen) * b_->step(gen);
+}
+
+}  // namespace dolbie::cost

@@ -1,0 +1,122 @@
+// Stochastic processes driving the time variation of cost-function
+// parameters (processing speed gamma_{i,t}, data rate phi_{i,t}, ...).
+// They model the "unpredictable fluctuations" the online formulation
+// targets: smooth drift (AR(1)), slow wander (bounded random walk) and
+// abrupt contention episodes (2-state Markov multiplier).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace dolbie::cost {
+
+/// A scalar stochastic process stepped once per online round.
+class process {
+ public:
+  virtual ~process() = default;
+
+  /// Current value (the value for the round most recently stepped into).
+  virtual double current() const = 0;
+
+  /// Advance one round and return the new value.
+  virtual double step(rng& gen) = 0;
+};
+
+/// Constant process: no time variation (useful as a control in ablations).
+class constant_process final : public process {
+ public:
+  explicit constant_process(double value);
+  double current() const override { return value_; }
+  double step(rng&) override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Mean-reverting AR(1): y' = mean + rho * (y - mean) + sigma * N(0,1),
+/// clamped to [floor, ceil]. rho in [0, 1).
+class ar1_process final : public process {
+ public:
+  ar1_process(double mean, double rho, double sigma, double floor,
+              double ceil);
+  double current() const override { return value_; }
+  double step(rng& gen) override;
+
+ private:
+  double mean_;
+  double rho_;
+  double sigma_;
+  double floor_;
+  double ceil_;
+  double value_;
+};
+
+/// Bounded multiplicative random walk: y' = clamp(y * exp(sigma * N(0,1))).
+/// Models data-rate wander over orders of magnitude without going negative.
+class bounded_walk_process final : public process {
+ public:
+  bounded_walk_process(double start, double sigma, double floor, double ceil);
+  double current() const override { return value_; }
+  double step(rng& gen) override;
+
+ private:
+  double sigma_;
+  double floor_;
+  double ceil_;
+  double value_;
+};
+
+/// Two-state Markov-modulated multiplier: in the "normal" state the value is
+/// `base`; in the "contended" state it is `base * contended_factor`
+/// (factor < 1 models a slowdown). Per-round transition probabilities give
+/// bursty contention episodes like a co-located job stealing cycles.
+class markov_contention_process final : public process {
+ public:
+  markov_contention_process(double base, double contended_factor,
+                            double p_enter, double p_exit);
+  double current() const override;
+  double step(rng& gen) override;
+  bool contended() const { return contended_; }
+
+ private:
+  double base_;
+  double contended_factor_;
+  double p_enter_;
+  double p_exit_;
+  bool contended_ = false;
+};
+
+/// Deterministic seasonal variation:
+/// value_t = mean * (1 + amplitude * sin(2*pi*(t/period + phase))).
+/// Produces a periodic adversary whose instantaneous minimizers trace a
+/// closed loop — path length P_T grows linearly in T, the worst-case
+/// regime of the dynamic-regret analysis.
+class periodic_process final : public process {
+ public:
+  periodic_process(double mean, double amplitude, double period,
+                   double phase = 0.0);
+  double current() const override;
+  double step(rng& gen) override;
+
+ private:
+  double mean_;
+  double amplitude_;
+  double period_;
+  double phase_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Product of two processes (e.g. AR(1) drift times Markov contention).
+class product_process final : public process {
+ public:
+  product_process(std::unique_ptr<process> a, std::unique_ptr<process> b);
+  double current() const override;
+  double step(rng& gen) override;
+
+ private:
+  std::unique_ptr<process> a_;
+  std::unique_ptr<process> b_;
+};
+
+}  // namespace dolbie::cost

@@ -1,0 +1,65 @@
+#include "cost/time_varying.h"
+
+#include "common/error.h"
+#include "cost/affine.h"
+#include "cost/logistic.h"
+#include "cost/power.h"
+
+namespace dolbie::cost {
+
+affine_sequence::affine_sequence(std::unique_ptr<process> slope,
+                                 std::unique_ptr<process> intercept)
+    : slope_(std::move(slope)), intercept_(std::move(intercept)) {
+  DOLBIE_REQUIRE(slope_ != nullptr && intercept_ != nullptr,
+                 "affine sequence needs non-null processes");
+}
+
+std::unique_ptr<const cost_function> affine_sequence::next(rng& gen) {
+  const double slope = slope_->step(gen);
+  const double intercept = intercept_->step(gen);
+  return std::make_unique<affine_cost>(slope, intercept);
+}
+
+power_sequence::power_sequence(std::unique_ptr<process> scale, double exponent,
+                               double intercept)
+    : scale_(std::move(scale)), exponent_(exponent), intercept_(intercept) {
+  DOLBIE_REQUIRE(scale_ != nullptr, "power sequence needs a non-null process");
+  DOLBIE_REQUIRE(exponent > 0.0, "power exponent must be > 0, got "
+                                     << exponent);
+  DOLBIE_REQUIRE(intercept >= 0.0, "power intercept must be >= 0, got "
+                                       << intercept);
+}
+
+std::unique_ptr<const cost_function> power_sequence::next(rng& gen) {
+  return std::make_unique<power_cost>(scale_->step(gen), exponent_,
+                                      intercept_);
+}
+
+saturating_sequence::saturating_sequence(std::unique_ptr<process> scale,
+                                         double knee, double intercept)
+    : scale_(std::move(scale)), knee_(knee), intercept_(intercept) {
+  DOLBIE_REQUIRE(scale_ != nullptr,
+                 "saturating sequence needs a non-null process");
+  DOLBIE_REQUIRE(knee > 0.0, "saturating knee must be > 0, got " << knee);
+  DOLBIE_REQUIRE(intercept >= 0.0,
+                 "saturating intercept must be >= 0, got " << intercept);
+}
+
+std::unique_ptr<const cost_function> saturating_sequence::next(rng& gen) {
+  return std::make_unique<saturating_cost>(scale_->step(gen), knee_,
+                                           intercept_);
+}
+
+scripted_sequence::scripted_sequence(
+    std::vector<std::unique_ptr<const cost_function> (*)()> script)
+    : script_(std::move(script)) {
+  DOLBIE_REQUIRE(!script_.empty(), "scripted sequence needs >= 1 factory");
+}
+
+std::unique_ptr<const cost_function> scripted_sequence::next(rng&) {
+  auto out = script_[at_]();
+  at_ = (at_ + 1) % script_.size();
+  return out;
+}
+
+}  // namespace dolbie::cost

@@ -1,0 +1,82 @@
+// Per-worker sequences of time-varying cost functions: the adversary of the
+// online problem. A `cost_sequence` yields one freshly parameterized cost
+// function per round, driven by the stochastic processes in process.h.
+// Sequences are exogenous — they never see the decisions — which matches
+// the paper's oblivious time-varying environment.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "cost/cost_function.h"
+#include "cost/process.h"
+
+namespace dolbie::cost {
+
+/// Produces the cost function a worker experiences in successive rounds.
+class cost_sequence {
+ public:
+  virtual ~cost_sequence() = default;
+
+  /// Advance one round and return the round's cost function.
+  virtual std::unique_ptr<const cost_function> next(rng& gen) = 0;
+};
+
+/// Affine costs with process-driven slope and intercept:
+/// f_t(x) = slope_t * x + intercept_t — the distributed-ML latency family
+/// with fluctuating processing speed and data rate.
+class affine_sequence final : public cost_sequence {
+ public:
+  affine_sequence(std::unique_ptr<process> slope,
+                  std::unique_ptr<process> intercept);
+  std::unique_ptr<const cost_function> next(rng& gen) override;
+
+ private:
+  std::unique_ptr<process> slope_;
+  std::unique_ptr<process> intercept_;
+};
+
+/// Power costs with process-driven scale: f_t(x) = c + scale_t * x^p.
+class power_sequence final : public cost_sequence {
+ public:
+  power_sequence(std::unique_ptr<process> scale, double exponent,
+                 double intercept);
+  std::unique_ptr<const cost_function> next(rng& gen) override;
+
+ private:
+  std::unique_ptr<process> scale_;
+  double exponent_;
+  double intercept_;
+};
+
+/// Saturating costs with process-driven scale:
+/// f_t(x) = c + scale_t * x / (x + knee).
+class saturating_sequence final : public cost_sequence {
+ public:
+  saturating_sequence(std::unique_ptr<process> scale, double knee,
+                      double intercept);
+  std::unique_ptr<const cost_function> next(rng& gen) override;
+
+ private:
+  std::unique_ptr<process> scale_;
+  double knee_;
+  double intercept_;
+};
+
+/// Replays a fixed, pre-built schedule of cost functions (for tests and for
+/// constructing adversarial instances by hand). Wraps around when exhausted.
+class scripted_sequence final : public cost_sequence {
+ public:
+  /// Each entry is a factory invoked to produce the round's cost function.
+  using factory = std::unique_ptr<const cost_function> (*)();
+
+  explicit scripted_sequence(
+      std::vector<std::unique_ptr<const cost_function> (*)()> script);
+  std::unique_ptr<const cost_function> next(rng& gen) override;
+
+ private:
+  std::vector<factory> script_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace dolbie::cost

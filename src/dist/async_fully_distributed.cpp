@@ -1,0 +1,129 @@
+#include "dist/async_fully_distributed.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/max_acceptable.h"
+#include "core/step_size.h"
+#include "sim/event_queue.h"
+
+namespace dolbie::dist {
+
+async_fully_distributed::async_fully_distributed(std::size_t n_workers,
+                                                 async_options options)
+    : options_(std::move(options)) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  DOLBIE_REQUIRE(options_.compute_delay >= 0.0,
+                 "compute delay must be >= 0");
+  if (options_.protocol.initial_partition.empty()) {
+    options_.protocol.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.protocol.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options_.protocol.initial_partition),
+                 "initial partition must lie on the simplex");
+  x_ = options_.protocol.initial_partition;
+  reset();
+}
+
+void async_fully_distributed::reset() {
+  x_ = options_.protocol.initial_partition;
+  const double alpha1 = options_.protocol.initial_step >= 0.0
+                            ? options_.protocol.initial_step
+                            : core::initial_step_size(x_);
+  alpha_bar_.assign(x_.size(), alpha1);
+}
+
+async_round_result async_fully_distributed::run_round(
+    const cost::cost_view& costs) {
+  const std::size_t n = x_.size();
+  DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
+
+  async_round_result result;
+  const std::vector<double> locals = cost::evaluate(costs, x_);
+  for (double l : locals) {
+    result.compute_duration = std::max(result.compute_duration, l);
+  }
+  if (n == 1) {
+    result.next_allocation = x_;
+    result.round_duration = result.compute_duration;
+    return result;
+  }
+
+  sim::event_queue queue;
+  const double msg_time = options_.link.message_time(options_.payload_bytes);
+  const double serialize = static_cast<double>(options_.payload_bytes) /
+                           options_.link.bytes_per_second;
+
+  // Everyone identifies the same straggler from the same data; we can
+  // precompute it (lowest-index tie-break) to keep the handlers simple —
+  // each worker would reach the identical conclusion from its inbox.
+  const core::worker_id straggler = argmax(locals);
+  const double l_t = locals[straggler];
+  const double alpha_t = alpha_bar_[argmin(alpha_bar_)];
+
+  std::vector<double> next_x = x_;
+  std::vector<double> ready_at(n, 0.0);
+  std::vector<std::size_t> inbox(n, 0);  // broadcasts received per worker
+  std::size_t decisions = 0;
+  double claimed = 0.0;
+  std::size_t messages = 0;
+
+  std::function<void(core::worker_id)> on_inbox_complete;
+  std::function<void(core::worker_id)> on_decision_arrival;
+
+  on_inbox_complete = [&](core::worker_id i) {
+    if (i == straggler) return;  // the straggler waits for decisions
+    queue.schedule_in(options_.compute_delay, [&, i] {
+      const double xp =
+          core::max_acceptable_workload(*costs[i], x_[i], l_t);
+      next_x[i] = x_[i] + alpha_t * (xp - x_[i]);
+      ready_at[i] = queue.now();
+      ++messages;
+      queue.schedule_in(msg_time, [&, i] { on_decision_arrival(i); });
+    });
+  };
+
+  on_decision_arrival = [&](core::worker_id) {
+    if (++decisions < n - 1) return;
+    // All decisions are in: sum in worker-list order (not arrival order)
+    // so the remainder is bit-identical to the synchronous realizations
+    // regardless of message interleaving.
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (i != straggler) claimed += next_x[i];
+    }
+    // Straggler absorbs the remainder and tightens its local step size.
+    next_x[straggler] = std::max(0.0, 1.0 - claimed);
+    alpha_bar_[straggler] = core::next_step_size(
+        alpha_bar_[straggler], n, next_x[straggler]);
+    ready_at[straggler] = queue.now();
+  };
+
+  // Kick off: worker j finishes at l_j and serializes its N-1 broadcasts;
+  // the k-th departs k*serialize later and arrives after msg_time.
+  for (core::worker_id j = 0; j < n; ++j) {
+    std::size_t k = 0;
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (i == j) continue;
+      ++messages;
+      const double arrival =
+          locals[j] + static_cast<double>(k++) * serialize + msg_time;
+      queue.schedule(arrival, [&, i] {
+        if (++inbox[i] == n - 1) on_inbox_complete(i);
+      });
+    }
+  }
+  result.events = queue.run_to_completion();
+
+  x_ = std::move(next_x);
+  result.next_allocation = x_;
+  result.messages = messages;
+  for (double t : ready_at) {
+    result.round_duration = std::max(result.round_duration, t);
+  }
+  result.protocol_duration = result.round_duration - result.compute_duration;
+  return result;
+}
+
+}  // namespace dolbie::dist

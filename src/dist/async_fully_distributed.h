@@ -1,0 +1,42 @@
+// Event-driven (asynchronous) execution of Algorithm 2.
+//
+// Counterpart of async_master_worker for the fully-distributed protocol:
+// every worker finishes its round-t computation at its own local-cost
+// time, broadcasts (l_i, alpha-bar_i) to all peers (its NIC serializes the
+// N-1 sends), updates as soon as its *own* inbox is complete, and sends
+// its decision to the straggler; the round ends when the straggler has
+// absorbed the remainder and every worker holds its next share.
+//
+// Two phases instead of four: less latency exposure, more total bytes —
+// the same trade-off round_timing.h models analytically, now measured on
+// an actual event schedule. The produced iterates are bit-identical to
+// the sequential reference.
+#pragma once
+
+#include "core/policy.h"
+#include "dist/async_master_worker.h"  // async_options, async_round_result
+
+namespace dolbie::dist {
+
+/// Asynchronous Algorithm-2 engine. Stateful across rounds (x_t,
+/// alpha-bar_t), mirroring fully_distributed_policy.
+class async_fully_distributed {
+ public:
+  async_fully_distributed(std::size_t n_workers, async_options options = {});
+
+  std::size_t workers() const { return x_.size(); }
+  const core::allocation& allocation() const { return x_; }
+  const std::vector<double>& local_step_sizes() const { return alpha_bar_; }
+
+  /// Simulate one full round under the given revealed cost functions.
+  async_round_result run_round(const cost::cost_view& costs);
+
+  void reset();
+
+ private:
+  async_options options_;
+  core::allocation x_;
+  std::vector<double> alpha_bar_;
+};
+
+}  // namespace dolbie::dist

@@ -1,0 +1,142 @@
+#include "dist/async_master_worker.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/max_acceptable.h"
+#include "core/step_size.h"
+#include "sim/event_queue.h"
+
+namespace dolbie::dist {
+
+async_master_worker::async_master_worker(std::size_t n_workers,
+                                         async_options options)
+    : options_(std::move(options)) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  DOLBIE_REQUIRE(options_.compute_delay >= 0.0,
+                 "compute delay must be >= 0");
+  if (options_.protocol.initial_partition.empty()) {
+    options_.protocol.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.protocol.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options_.protocol.initial_partition),
+                 "initial partition must lie on the simplex");
+  x_ = options_.protocol.initial_partition;
+  reset();
+}
+
+void async_master_worker::reset() {
+  x_ = options_.protocol.initial_partition;
+  alpha_ = options_.protocol.initial_step >= 0.0
+               ? options_.protocol.initial_step
+               : core::initial_step_size(x_);
+}
+
+async_round_result async_master_worker::run_round(
+    const cost::cost_view& costs) {
+  const std::size_t n = x_.size();
+  DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
+
+  async_round_result result;
+  const std::vector<double> locals = cost::evaluate(costs, x_);
+  for (double l : locals) {
+    result.compute_duration = std::max(result.compute_duration, l);
+  }
+  if (n == 1) {
+    result.next_allocation = x_;
+    result.round_duration = result.compute_duration;
+    return result;
+  }
+
+  sim::event_queue queue;
+  const double msg_time = options_.link.message_time(options_.payload_bytes);
+  const double serialize =
+      static_cast<double>(options_.payload_bytes) /
+      options_.link.bytes_per_second;
+
+  // --- shared simulation state (single-threaded; events mutate it in
+  //     deterministic order) ---
+  struct master_state {
+    std::size_t costs_received = 0;
+    std::vector<double> l;
+    std::size_t decisions_received = 0;
+    double claimed = 0.0;
+    core::worker_id straggler = 0;
+    double l_t = 0.0;
+  } master;
+  master.l.assign(n, 0.0);
+
+  std::vector<double> next_x = x_;
+  std::vector<double> ready_at(n, 0.0);
+  std::size_t messages = 0;
+
+  // Forward declarations of the event handlers as std::functions so they
+  // can schedule each other.
+  std::function<void(core::worker_id)> on_cost_arrival;
+  std::function<void(core::worker_id)> on_round_info;
+  std::function<void(core::worker_id)> on_decision_arrival;
+  std::function<void()> on_assignment_arrival;
+
+  on_cost_arrival = [&](core::worker_id i) {
+    master.l[i] = locals[i];
+    if (++master.costs_received < n) return;
+    // Last upload in: identify the straggler, broadcast round info. The
+    // master's NIC serializes the N downloads back-to-back.
+    master.straggler = argmax(master.l);
+    master.l_t = master.l[master.straggler];
+    for (core::worker_id j = 0; j < n; ++j) {
+      ++messages;
+      queue.schedule_in(static_cast<double>(j) * serialize + msg_time,
+                        [&, j] { on_round_info(j); });
+    }
+  };
+
+  on_round_info = [&](core::worker_id i) {
+    if (i == master.straggler) return;  // straggler waits for assignment
+    // Local decision computation, then upload.
+    queue.schedule_in(options_.compute_delay, [&, i] {
+      const double xp = core::max_acceptable_workload(*costs[i], x_[i],
+                                                      master.l_t);
+      next_x[i] = x_[i] + alpha_ * (xp - x_[i]);
+      ready_at[i] = queue.now();  // holds its next-round share now
+      ++messages;
+      queue.schedule_in(msg_time, [&, i] { on_decision_arrival(i); });
+    });
+  };
+
+  on_decision_arrival = [&](core::worker_id i) {
+    master.claimed += next_x[i];
+    if (++master.decisions_received < n - 1) return;
+    ++messages;
+    queue.schedule_in(msg_time, [&] { on_assignment_arrival(); });
+  };
+
+  on_assignment_arrival = [&] {
+    next_x[master.straggler] = std::max(0.0, 1.0 - master.claimed);
+    ready_at[master.straggler] = queue.now();
+  };
+
+  // Kick off: worker i finishes its round-t compute at time l_i and
+  // uploads its local cost.
+  for (core::worker_id i = 0; i < n; ++i) {
+    ++messages;
+    queue.schedule(locals[i] + msg_time, [&, i] { on_cost_arrival(i); });
+  }
+  result.events = queue.run_to_completion();
+
+  // Commit the round exactly as the synchronous realizations do.
+  alpha_ = core::next_step_size(alpha_, n, next_x[master.straggler]);
+  x_ = std::move(next_x);
+
+  result.next_allocation = x_;
+  result.messages = messages;
+  for (double t : ready_at) {
+    result.round_duration = std::max(result.round_duration, t);
+  }
+  result.protocol_duration = result.round_duration - result.compute_duration;
+  return result;
+}
+
+}  // namespace dolbie::dist

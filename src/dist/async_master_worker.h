@@ -1,0 +1,71 @@
+// Event-driven (asynchronous) execution of Algorithm 1.
+//
+// The phase-synchronous realization in master_worker.h verifies *what* is
+// exchanged; this one verifies *when*: each worker finishes its round-t
+// computation at its own local-cost time, messages travel with link
+// delays, the master reacts to arrivals (not phases), and the round ends
+// when the last worker holds its round-(t+1) workload. The produced
+// allocation is bit-identical to the sequential reference — asynchrony
+// changes timing, never the iterate — and the reported durations decompose
+// the round into compute (the straggler barrier) and protocol overhead.
+//
+// Timeline of one round:
+//
+//   t = 0                each worker starts computing its share
+//   t = l_i              worker i finishes, uploads local_cost(l_i)
+//   master: on the last upload, serializes N round_info downloads
+//   worker i: on round_info, computes x'_i and x_{i,t+1} (taking
+//             compute_delay seconds), then uploads decision (non-straggler)
+//             or waits for its assignment (straggler)
+//   master: on the last decision, sends the straggler its assignment and
+//           tightens alpha by Eq. (7)
+//   round ends at max_i (time worker i holds x_{i,t+1})
+#pragma once
+
+#include "core/policy.h"
+#include "dist/protocol.h"
+#include "net/delay_model.h"
+
+namespace dolbie::dist {
+
+struct async_options {
+  protocol_options protocol;
+  net::link_delay_model link;
+  /// Local decision-computation time per worker (Eq. 4 inverse + update).
+  double compute_delay = 2e-6;
+  /// Encoded bytes per protocol message (net/codec: 12 + 8 * scalars).
+  std::size_t payload_bytes = 28;
+};
+
+/// Result of one asynchronously simulated round.
+struct async_round_result {
+  core::allocation next_allocation;  ///< x_{t+1}, all workers
+  double round_duration = 0.0;       ///< start -> last worker ready
+  double compute_duration = 0.0;     ///< the straggler barrier max_i l_i
+  double protocol_duration = 0.0;    ///< round_duration - compute_duration
+  std::size_t events = 0;            ///< events executed by the simulator
+  std::size_t messages = 0;          ///< protocol messages exchanged
+};
+
+/// Asynchronous Algorithm-1 engine. Stateful across rounds (x_t, alpha_t),
+/// mirroring core::dolbie_policy with the worst-case Eq. (7) schedule.
+class async_master_worker {
+ public:
+  async_master_worker(std::size_t n_workers, async_options options = {});
+
+  std::size_t workers() const { return x_.size(); }
+  const core::allocation& allocation() const { return x_; }
+  double step_size() const { return alpha_; }
+
+  /// Simulate one full round under the given revealed cost functions.
+  async_round_result run_round(const cost::cost_view& costs);
+
+  void reset();
+
+ private:
+  async_options options_;
+  core::allocation x_;
+  double alpha_ = 0.0;
+};
+
+}  // namespace dolbie::dist

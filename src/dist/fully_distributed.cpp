@@ -1,0 +1,112 @@
+#include "dist/fully_distributed.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/max_acceptable.h"
+#include "core/step_size.h"
+
+namespace dolbie::dist {
+
+fully_distributed_policy::fully_distributed_policy(std::size_t n_workers,
+                                                   protocol_options options)
+    : n_(n_workers), options_(std::move(options)), net_(n_workers) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  if (options_.initial_partition.empty()) {
+    options_.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
+                 "initial partition must lie on the simplex");
+  reset();
+}
+
+void fully_distributed_policy::reset() {
+  worker_x_ = options_.initial_partition;
+  assembled_ = options_.initial_partition;
+  const double alpha1 =
+      options_.initial_step >= 0.0
+          ? options_.initial_step
+          : core::initial_step_size(options_.initial_partition);
+  alpha_bar_.assign(n_, alpha1);
+  net_.reset_traffic();
+  last_traffic_.reset();
+}
+
+void fully_distributed_policy::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.costs != nullptr, "feedback carries no costs");
+  DOLBIE_REQUIRE(feedback.local_costs.size() == n_, "feedback size mismatch");
+  if (n_ == 1) return;
+  net_.reset_traffic();
+  const cost::cost_view& costs = *feedback.costs;
+
+  // --- Phase 1: all-to-all broadcast of (l_i, alpha-bar_i) (line 4). ---
+  for (net::node_id i = 0; i < n_; ++i) {
+    for (net::node_id j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      net_.send({i, j, net::message_kind::cost_and_step,
+                 {feedback.local_costs[i], alpha_bar_[i]}});
+    }
+  }
+
+  // --- Phases 2-3: every worker independently reconstructs the global
+  //     picture from its inbox and updates (lines 5-10). We simulate each
+  //     worker's computation with strictly worker-local inputs. ---
+  std::vector<double> next_x = worker_x_;
+  core::worker_id straggler = 0;     // as computed by worker 0; all agree
+  double consensus_alpha = 0.0;      // likewise
+  for (net::node_id i = 0; i < n_; ++i) {
+    // Reassemble this worker's view: its own scalars plus the broadcasts.
+    std::vector<double> l(n_, 0.0);
+    std::vector<double> a(n_, 0.0);
+    l[i] = feedback.local_costs[i];
+    a[i] = alpha_bar_[i];
+    for (net::node_id j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      auto m = net_.receive(i, j);
+      DOLBIE_REQUIRE(m.has_value(),
+                     "worker " << i << " missed broadcast from " << j);
+      l[j] = m->payload[0];
+      a[j] = m->payload[1];
+    }
+    const core::worker_id s = argmax(l);           // line 7
+    const double l_t = l[s];
+    const double alpha_t = a[argmin(a)];           // line 6 (min consensus)
+    if (i == 0) {
+      straggler = s;
+      consensus_alpha = alpha_t;
+    } else {
+      DOLBIE_REQUIRE(s == straggler,
+                     "straggler consensus diverged at worker " << i);
+    }
+    if (i == s) continue;  // the straggler acts in phase 4
+    const double xp =
+        core::max_acceptable_workload(*costs[i], worker_x_[i], l_t);
+    next_x[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
+    net_.send({i, s, net::message_kind::decision, {next_x[i]}});  // line 9
+    // line 10: alpha-bar_i unchanged.
+  }
+  (void)consensus_alpha;
+
+  // --- Phase 4: the straggler absorbs the remainder and tightens its
+  //     local step size (lines 11-13). ---
+  double claimed = 0.0;
+  for (net::node_id j = 0; j < n_; ++j) {
+    if (j == straggler) continue;
+    auto m = net_.receive(straggler, j);
+    DOLBIE_REQUIRE(m.has_value(),
+                   "straggler missed decision from worker " << j);
+    claimed += m->payload[0];
+  }
+  next_x[straggler] = std::max(0.0, 1.0 - claimed);
+  alpha_bar_[straggler] = core::next_step_size(alpha_bar_[straggler], n_,
+                                               next_x[straggler]);
+
+  worker_x_ = std::move(next_x);
+  assembled_ = worker_x_;
+  last_traffic_ = net_.total_traffic();
+}
+
+}  // namespace dolbie::dist

@@ -1,0 +1,62 @@
+// DOLBIE, fully-distributed realization (Algorithm 2) as peer state
+// machines over the simulated network — no master, no single point of
+// failure, decisions shared only with the straggler.
+//
+// Per round:
+//   phase 1  every worker broadcasts cost_and_step(l_i, alpha-bar_i)
+//            to every other worker                         N(N-1) msgs
+//   phase 2  every worker independently computes l_t, the consensus step
+//            alpha_t = min_j alpha-bar_j and the straggler s_t (worker-list
+//            tie-breaking), all from the same broadcast data
+//   phase 3  non-stragglers update x_i locally and send decision(x_i) to
+//            the straggler only; alpha-bar_i is kept          N-1 msgs
+//   phase 4  the straggler absorbs the remainder and tightens its local
+//            step size by Eq. (8)
+//
+// Total N^2 - 1 messages per round — the O(N^2) of Section IV-C. A
+// non-straggler never learns the other workers' decisions, matching the
+// paper's privacy argument.
+//
+// The produced iterates are bit-identical to core::dolbie_policy (asserted
+// by tests/dist_equivalence_test).
+#pragma once
+
+#include "core/policy.h"
+#include "dist/protocol.h"
+#include "net/network.h"
+
+namespace dolbie::dist {
+
+class fully_distributed_policy final : public core::online_policy {
+ public:
+  fully_distributed_policy(std::size_t n_workers,
+                           protocol_options options = {});
+
+  std::string_view name() const override { return "DOLBIE-FD"; }
+  std::size_t workers() const override { return n_; }
+  const core::allocation& current() const override { return assembled_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override;
+
+  /// Local step sizes alpha-bar_{i,t+1} (for tests of the consensus rule).
+  const std::vector<double>& local_step_sizes() const { return alpha_bar_; }
+
+  /// Traffic of the most recent round (for the comm-complexity bench).
+  const net::traffic_metrics& last_round_traffic() const {
+    return last_traffic_;
+  }
+
+ private:
+  std::size_t n_;
+  protocol_options options_;
+  net::network net_;
+
+  // Worker-local state.
+  std::vector<double> worker_x_;
+  std::vector<double> alpha_bar_;
+
+  core::allocation assembled_;
+  net::traffic_metrics last_traffic_;
+};
+
+}  // namespace dolbie::dist

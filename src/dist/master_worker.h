@@ -1,0 +1,64 @@
+// DOLBIE, master-worker realization (Algorithm 1) as communicating state
+// machines over the simulated network.
+//
+// The master occupies node id N; workers are nodes 0..N-1. Per round:
+//
+//   phase 1  workers send local_cost(l_i) to the master           N msgs
+//   phase 2  master computes l_t, s_t; sends round_info to all    N msgs
+//   phase 3  non-stragglers compute x' and x_{t+1} locally and
+//            send decision(x_{i,t+1}) to the master             N-1 msgs
+//   phase 4  master sets x_s = 1 - sum, sends assignment to s_t;  1 msg
+//            updates alpha_{t+1} by Eq. (7)
+//
+// Total 3N messages per round — the O(N) of Section IV-C. Worker i's logic
+// touches only its own cost function, its own x_i and its inbox; the
+// allocation visible through current() is assembled by the harness, which
+// plays the role of the physical work dispatcher.
+//
+// The produced iterates are bit-identical to core::dolbie_policy (asserted
+// by tests/dist_equivalence_test).
+#pragma once
+
+#include "core/policy.h"
+#include "dist/protocol.h"
+#include "net/network.h"
+
+namespace dolbie::dist {
+
+class master_worker_policy final : public core::online_policy {
+ public:
+  master_worker_policy(std::size_t n_workers, protocol_options options = {});
+
+  std::string_view name() const override { return "DOLBIE-MW"; }
+  std::size_t workers() const override { return n_; }
+  const core::allocation& current() const override { return assembled_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override;
+
+  /// Step size the master will apply to the next round.
+  double master_step_size() const { return alpha_; }
+
+  /// Traffic of the most recent round (for the comm-complexity bench).
+  const net::traffic_metrics& last_round_traffic() const {
+    return last_traffic_;
+  }
+
+ private:
+  net::node_id master_id() const { return n_; }
+
+  std::size_t n_;
+  protocol_options options_;
+  net::network net_;
+
+  // Worker-local state: each worker only ever reads/writes its own entry.
+  std::vector<double> worker_x_;
+
+  // Master-local state.
+  double alpha_ = 0.0;
+
+  // Harness-side assembled view of the allocation.
+  core::allocation assembled_;
+  net::traffic_metrics last_traffic_;
+};
+
+}  // namespace dolbie::dist

@@ -1,0 +1,26 @@
+// Shared options and payload conventions for the two DOLBIE protocol
+// realizations.
+//
+// Payload layouts (scalars, in order):
+//   local_cost    : { l_{i,t} }
+//   round_info    : { l_t, alpha_t, 1{i != s_t} }
+//   decision      : { x_{i,t+1} }
+//   assignment    : { x_{s_t,t+1} }
+//   cost_and_step : { l_{i,t}, alpha-bar_{i,t} }
+#pragma once
+
+#include "core/types.h"
+
+namespace dolbie::dist {
+
+/// Common configuration of both protocol realizations; mirrors
+/// core::dolbie_options so the three implementations start identically.
+struct protocol_options {
+  /// Initial partition x_1; empty means uniform.
+  core::allocation initial_partition;
+  /// Initial step size alpha_1; negative selects the paper's safe
+  /// initialization m/(N-2+m).
+  double initial_step = -1.0;
+};
+
+}  // namespace dolbie::dist

@@ -1,0 +1,40 @@
+// Wall-clock estimate of one protocol round under each DOLBIE realization,
+// combining the Section IV-C message counts with a link delay model.
+//
+// Master-worker (Algorithm 1) — four sequential phases through the master:
+//   1. N local-cost uploads         (incast at the master)
+//   2. N round-info downloads       (outcast from the master)
+//   3. N-1 decision uploads         (incast at the master)
+//   4. 1 assignment download
+//
+// Fully-distributed (Algorithm 2) — two phases, no hub:
+//   1. all-to-all broadcast: every NIC pushes and pulls N-1 messages
+//   2. N-1 decision uploads         (incast at the straggler)
+//
+// So MW pays more phases (latency-bound regime) while FD pays O(N^2) total
+// bytes (bandwidth-bound regime at large N) — the bench/protocol_timing
+// binary sweeps the crossover.
+#pragma once
+
+#include <cstddef>
+
+#include "net/delay_model.h"
+
+namespace dolbie::dist {
+
+struct round_timing {
+  double master_worker_seconds = 0.0;
+  double fully_distributed_seconds = 0.0;
+  std::size_t master_worker_messages = 0;
+  std::size_t fully_distributed_messages = 0;
+};
+
+/// Estimate one round's communication wall-clock for both realizations.
+/// `payload_bytes` is the encoded size of one scalar-carrying message
+/// (net/codec: 12-byte header + 8 per scalar; protocol messages carry at
+/// most 3 scalars — we use the 2-scalar average of 28 bytes by default).
+round_timing estimate_round_timing(std::size_t n_workers,
+                                   const net::link_delay_model& link,
+                                   std::size_t payload_bytes = 28);
+
+}  // namespace dolbie::dist

@@ -1,0 +1,66 @@
+#include "dist/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/dolbie.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
+
+namespace dolbie::dist {
+namespace {
+
+double max_abs_gap(const core::allocation& a, const core::allocation& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+equivalence_report run_equivalence(std::size_t n_workers, std::size_t rounds,
+                                   const round_generator& generate,
+                                   protocol_options options) {
+  DOLBIE_REQUIRE(rounds >= 1, "need at least one round");
+  core::dolbie_options seq_options;
+  seq_options.initial_partition = options.initial_partition;
+  seq_options.initial_step = options.initial_step;
+  core::dolbie_policy sequential(n_workers, seq_options);
+  master_worker_policy master_worker(n_workers, options);
+  fully_distributed_policy fully_distributed(n_workers, options);
+
+  equivalence_report report;
+  report.rounds = rounds;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const cost::cost_vector costs = generate();
+    DOLBIE_REQUIRE(costs.size() == n_workers,
+                   "generator produced " << costs.size() << " costs for "
+                                         << n_workers << " workers");
+    const cost::cost_view view = cost::view_of(costs);
+    for (core::online_policy* policy :
+         {static_cast<core::online_policy*>(&sequential),
+          static_cast<core::online_policy*>(&master_worker),
+          static_cast<core::online_policy*>(&fully_distributed)}) {
+      const std::vector<double> locals =
+          cost::evaluate(view, policy->current());
+      core::round_feedback feedback;
+      feedback.costs = &view;
+      feedback.local_costs = locals;
+      policy->observe(feedback);
+    }
+    report.max_divergence_master_worker =
+        std::max(report.max_divergence_master_worker,
+                 max_abs_gap(master_worker.current(), sequential.current()));
+    report.max_divergence_fully_distributed = std::max(
+        report.max_divergence_fully_distributed,
+        max_abs_gap(fully_distributed.current(), sequential.current()));
+  }
+  report.master_worker_traffic = master_worker.last_round_traffic();
+  report.fully_distributed_traffic = fully_distributed.last_round_traffic();
+  return report;
+}
+
+}  // namespace dolbie::dist

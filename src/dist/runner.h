@@ -1,0 +1,34 @@
+// Side-by-side runner for the three DOLBIE realizations (sequential
+// reference, master-worker protocol, fully-distributed protocol). Drives
+// all three with the same cost stream and reports the maximum allocation
+// divergence plus each protocol's per-round traffic — the evidence behind
+// the Section IV-C complexity table and the equivalence tests.
+#pragma once
+
+#include <functional>
+
+#include "cost/cost_function.h"
+#include "dist/protocol.h"
+#include "net/metrics.h"
+
+namespace dolbie::dist {
+
+/// Produces the cost functions of the next round (one per worker).
+using round_generator = std::function<cost::cost_vector()>;
+
+struct equivalence_report {
+  /// max over rounds and workers of |x_mw - x_seq| and |x_fd - x_seq|.
+  double max_divergence_master_worker = 0.0;
+  double max_divergence_fully_distributed = 0.0;
+  /// Traffic of the final round of each protocol.
+  net::traffic_metrics master_worker_traffic;
+  net::traffic_metrics fully_distributed_traffic;
+  std::size_t rounds = 0;
+};
+
+/// Run all three realizations for `rounds` rounds on the same cost stream.
+equivalence_report run_equivalence(std::size_t n_workers, std::size_t rounds,
+                                   const round_generator& generate,
+                                   protocol_options options = {});
+
+}  // namespace dolbie::dist

@@ -1,0 +1,56 @@
+#include "edge/scenario.h"
+
+#include "common/error.h"
+
+namespace dolbie::edge {
+
+offloading_environment::offloading_environment(offloading_options options,
+                                               std::uint64_t seed)
+    : options_(options) {
+  DOLBIE_REQUIRE(options.n_servers >= 1, "need at least one edge server");
+  DOLBIE_REQUIRE(options.workload > 0.0, "workload must be > 0");
+  DOLBIE_REQUIRE(options.device_service_rate > 0.0,
+                 "device service rate must be > 0");
+  DOLBIE_REQUIRE(options.server_rate_min <= options.server_rate_max &&
+                     options.server_rate_min > 0.0,
+                 "invalid server rate range");
+  rng setup(seed);
+  sites_.reserve(options.n_servers + 1);
+  // Worker 0: the end device (no uplink, linear execution).
+  sites_.emplace_back(
+      site_profile{.service_rate = options.device_service_rate,
+                   .link_rate = 0.0,
+                   .congestion_exponent = 1.0,
+                   .setup_time = 0.0},
+      setup.fork(0).engine()());
+  for (std::size_t s = 0; s < options.n_servers; ++s) {
+    sites_.emplace_back(
+        site_profile{
+            .service_rate = setup.uniform(options.server_rate_min,
+                                          options.server_rate_max),
+            .link_rate =
+                setup.uniform(options.link_rate_min, options.link_rate_max),
+            .congestion_exponent = setup.uniform(
+                options.congestion_exponent_min,
+                options.congestion_exponent_max),
+            .setup_time = setup.uniform(options.setup_min, options.setup_max)},
+        setup.fork(s + 1).engine()());
+  }
+}
+
+const site& offloading_environment::at(std::size_t worker) const {
+  DOLBIE_REQUIRE(worker < sites_.size(), "site index out of range");
+  return sites_[worker];
+}
+
+cost::cost_vector offloading_environment::next_round() {
+  cost::cost_vector out;
+  out.reserve(sites_.size());
+  for (site& s : sites_) {
+    s.advance_round();
+    out.push_back(s.round_cost(options_.workload));
+  }
+  return out;
+}
+
+}  // namespace dolbie::edge

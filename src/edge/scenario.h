@@ -1,0 +1,45 @@
+// The task-offloading scenario of Sec. III-B: one end device plus N
+// heterogeneous edge servers, jointly carrying a stream of task bundles.
+// Decision variable lambda_t partitions each round's tasks between local
+// computation (worker 0) and the servers; the round cost is the maximum
+// completion time across sites.
+#pragma once
+
+#include <cstdint>
+
+#include "edge/server.h"
+#include "exp/scenario.h"
+
+namespace dolbie::edge {
+
+struct offloading_options {
+  std::size_t n_servers = 9;      ///< edge servers; total workers = 1 + this
+  double workload = 100.0;        ///< task units arriving per round
+  double device_service_rate = 80.0;
+  // Server heterogeneity ranges (sampled uniformly per server).
+  double server_rate_min = 200.0;
+  double server_rate_max = 1200.0;
+  double link_rate_min = 500.0;
+  double link_rate_max = 4000.0;
+  double congestion_exponent_min = 1.0;
+  double congestion_exponent_max = 1.6;
+  double setup_min = 0.001;
+  double setup_max = 0.008;
+};
+
+/// An exp::environment over the offloading sites (worker 0 = local device).
+class offloading_environment final : public exp::environment {
+ public:
+  offloading_environment(offloading_options options, std::uint64_t seed);
+
+  std::size_t workers() const override { return sites_.size(); }
+  cost::cost_vector next_round() override;
+
+  const site& at(std::size_t worker) const;
+
+ private:
+  offloading_options options_;
+  std::vector<site> sites_;
+};
+
+}  // namespace dolbie::edge

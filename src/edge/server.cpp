@@ -1,0 +1,85 @@
+#include "edge/server.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::edge {
+namespace {
+
+/// f(x) = setup + x * W / link + x^e * W / service  (link term optional).
+/// Increasing in x; the inherited bisection supplies inverse_max.
+class offload_cost final : public cost::cost_function {
+ public:
+  offload_cost(double setup, double transmit_scale, double execute_scale,
+               double exponent)
+      : setup_(setup),
+        transmit_scale_(transmit_scale),
+        execute_scale_(execute_scale),
+        exponent_(exponent) {}
+
+  double value(double x) const override {
+    return setup_ + transmit_scale_ * x +
+           execute_scale_ * std::pow(x, exponent_);
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "offload(setup=" << setup_ << ", tx=" << transmit_scale_
+       << ", exec=" << execute_scale_ << ", e=" << exponent_ << ")";
+    return os.str();
+  }
+
+ private:
+  double setup_;
+  double transmit_scale_;
+  double execute_scale_;
+  double exponent_;
+};
+
+}  // namespace
+
+site::site(site_profile profile, std::uint64_t seed)
+    : profile_(profile), gen_(seed) {
+  DOLBIE_REQUIRE(profile.service_rate > 0.0,
+                 "service rate must be > 0, got " << profile.service_rate);
+  DOLBIE_REQUIRE(profile.link_rate >= 0.0,
+                 "link rate must be >= 0, got " << profile.link_rate);
+  DOLBIE_REQUIRE(profile.congestion_exponent >= 1.0,
+                 "congestion exponent must be >= 1, got "
+                     << profile.congestion_exponent);
+  DOLBIE_REQUIRE(profile.setup_time >= 0.0, "setup time must be >= 0");
+  auto drift = std::make_unique<cost::ar1_process>(1.0, 0.85, 0.06, 0.5, 1.5);
+  auto contention =
+      std::make_unique<cost::markov_contention_process>(1.0, 0.4, 0.04, 0.25);
+  service_factor_ = std::make_unique<cost::product_process>(
+      std::move(drift), std::move(contention));
+  link_factor_ = std::make_unique<cost::ar1_process>(1.0, 0.8, 0.1, 0.3, 1.7);
+}
+
+void site::advance_round() {
+  service_factor_->step(gen_);
+  link_factor_->step(gen_);
+}
+
+double site::current_service_rate() const {
+  return profile_.service_rate * service_factor_->current();
+}
+
+double site::current_link_rate() const {
+  return profile_.link_rate * link_factor_->current();
+}
+
+std::unique_ptr<const cost::cost_function> site::round_cost(
+    double workload) const {
+  DOLBIE_REQUIRE(workload > 0.0, "workload must be > 0, got " << workload);
+  const double transmit_scale =
+      profile_.link_rate > 0.0 ? workload / current_link_rate() : 0.0;
+  const double execute_scale = workload / current_service_rate();
+  return std::make_unique<offload_cost>(profile_.setup_time, transmit_scale,
+                                        execute_scale,
+                                        profile_.congestion_exponent);
+}
+
+}  // namespace dolbie::edge

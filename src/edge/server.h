@@ -1,0 +1,53 @@
+// Heterogeneous edge servers for the task-offloading use case (Sec. III-B).
+// Worker 0 is the end device computing locally; workers 1..N are edge
+// servers whose cost combines transmission and execution. Server execution
+// grows super-linearly in the offloaded fraction (queueing at the shared
+// server), giving the non-linear increasing costs the formulation allows.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "cost/cost_function.h"
+#include "cost/process.h"
+
+namespace dolbie::edge {
+
+/// Static description of one compute site.
+struct site_profile {
+  double service_rate = 1.0;   ///< task units per second at nominal load
+  double link_rate = 0.0;      ///< task units per second over the uplink;
+                               ///< 0 for the local device (no transmission)
+  double congestion_exponent = 1.0;  ///< execution ~ fraction^exponent
+  double setup_time = 0.0;     ///< fixed per-round overhead (RTT, dispatch)
+};
+
+/// One site with time-varying service and link rates.
+class site {
+ public:
+  site(site_profile profile, std::uint64_t seed);
+
+  const site_profile& profile() const { return profile_; }
+
+  /// Advance the round: rates drift by AR(1), contention episodes hit the
+  /// service rate.
+  void advance_round();
+
+  /// The current round's cost function of the offloaded fraction:
+  ///   f(x) = setup + x * W / link + (x^e) * W / service
+  /// for total work `workload` task units (link term skipped for the local
+  /// device).
+  std::unique_ptr<const cost::cost_function> round_cost(
+      double workload) const;
+
+  double current_service_rate() const;
+  double current_link_rate() const;
+
+ private:
+  site_profile profile_;
+  std::unique_ptr<cost::process> service_factor_;
+  std::unique_ptr<cost::process> link_factor_;
+  rng gen_;
+};
+
+}  // namespace dolbie::edge

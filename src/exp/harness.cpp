@@ -1,0 +1,80 @@
+#include "exp/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "baselines/opt.h"
+#include "common/error.h"
+#include "core/dolbie.h"
+
+namespace dolbie::exp {
+
+run_trace run(core::online_policy& policy, environment& env,
+              const harness_options& options) {
+  DOLBIE_REQUIRE(policy.workers() == env.workers(),
+                 "policy configured for " << policy.workers()
+                                          << " workers, environment has "
+                                          << env.workers());
+  DOLBIE_REQUIRE(options.rounds >= 1, "need at least one round");
+  using clock = std::chrono::steady_clock;
+
+  policy.reset();
+  run_trace trace;
+  trace.global_cost.set_name(std::string(policy.name()));
+  trace.global_cost.reserve(options.rounds);
+  auto* as_dolbie = dynamic_cast<core::dolbie_policy*>(&policy);
+
+  // Ring of (costs, outcome) pairs awaiting delayed delivery. The harness
+  // owns the cost vectors, so stale feedback can outlive its round.
+  std::deque<std::pair<cost::cost_vector, core::round_outcome>> in_flight;
+
+  for (std::size_t t = 0; t < options.rounds; ++t) {
+    cost::cost_vector costs = env.next_round();
+    const cost::cost_view view = cost::view_of(costs);
+
+    if (policy.clairvoyant()) {
+      const auto begin = clock::now();
+      policy.preview(view);
+      trace.decision_seconds +=
+          std::chrono::duration<double>(clock::now() - begin).count();
+    }
+
+    core::round_outcome outcome =
+        core::evaluate_round(view, policy.current());
+    trace.global_cost.push(outcome.global_cost);
+    if (options.record_allocations) {
+      trace.allocations.push_back(outcome.decision);
+    }
+    if (options.record_step_sizes && as_dolbie != nullptr) {
+      trace.step_sizes.push_back(as_dolbie->step_size());
+    }
+    if (options.track_regret) {
+      const baselines::instantaneous_solution opt =
+          baselines::solve_instantaneous(view);
+      trace.optimal_cost.push(opt.value);
+      trace.regret.record(outcome.global_cost, opt.value, opt.x);
+      trace.lipschitz_estimate = std::max(
+          trace.lipschitz_estimate, core::estimate_lipschitz(view));
+    }
+
+    in_flight.emplace_back(std::move(costs), std::move(outcome));
+    if (in_flight.size() <= options.feedback_delay) continue;  // stale yet
+
+    const auto& [stale_costs, stale_outcome] = in_flight.front();
+    const cost::cost_view stale_view = cost::view_of(stale_costs);
+    core::round_feedback feedback;
+    feedback.costs = &stale_view;
+    feedback.local_costs = stale_outcome.local_costs;
+    const auto begin = clock::now();
+    policy.observe(feedback);
+    trace.decision_seconds +=
+        std::chrono::duration<double>(clock::now() - begin).count();
+    in_flight.pop_front();
+  }
+  return trace;
+}
+
+}  // namespace dolbie::exp

@@ -1,0 +1,47 @@
+// The generic policy-vs-environment runner: plays an online policy against
+// an environment for T rounds, recording the global-cost trace, optional
+// per-round regret against the instantaneous optimum, allocation snapshots
+// and decision-making wall time.
+#pragma once
+
+#include <vector>
+
+#include "common/series.h"
+#include "core/policy.h"
+#include "core/regret.h"
+#include "exp/scenario.h"
+
+namespace dolbie::exp {
+
+struct harness_options {
+  std::size_t rounds = 100;
+  /// Solve the instantaneous optimum each round and track dynamic regret
+  /// (costs an extra water-level solve per round).
+  bool track_regret = false;
+  /// Record the full allocation every round (memory: rounds * N doubles).
+  bool record_allocations = false;
+  /// Record DOLBIE's step size each round when the policy is DOLBIE.
+  bool record_step_sizes = false;
+  /// Feedback staleness in rounds: at round t the policy observes the
+  /// costs (and its own decision) of round t - delay; the first `delay`
+  /// rounds deliver no feedback at all. Models the delayed-feedback
+  /// setting the paper's introduction motivates ("delayed feedback" in
+  /// real systems); 0 = the paper's standard one-round protocol.
+  std::size_t feedback_delay = 0;
+};
+
+struct run_trace {
+  series global_cost;          ///< f_t(x_t) per round
+  series optimal_cost;         ///< f_t(x_t^*) per round (when track_regret)
+  core::regret_tracker regret; ///< populated when track_regret
+  std::vector<core::allocation> allocations;  ///< when record_allocations
+  std::vector<double> step_sizes;             ///< when record_step_sizes
+  double decision_seconds = 0.0;
+  double lipschitz_estimate = 0.0;  ///< max over rounds (when track_regret)
+};
+
+/// Run `policy` (reset first) against `env` for `options.rounds` rounds.
+run_trace run(core::online_policy& policy, environment& env,
+              const harness_options& options = {});
+
+}  // namespace dolbie::exp

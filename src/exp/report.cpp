@@ -1,0 +1,193 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dolbie::exp {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DOLBIE_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  DOLBIE_REQUIRE(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells for "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void table::add_row(const std::string& label,
+                    const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void table::write_csv(std::ostream& os) const {
+  const auto csv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::size_t> subsample_rounds(std::size_t rounds,
+                                          std::size_t max_rows) {
+  std::vector<std::size_t> picks;
+  if (rounds <= max_rows) {
+    for (std::size_t r = 0; r < rounds; ++r) picks.push_back(r);
+    return picks;
+  }
+  if (max_rows <= 1) {
+    picks.push_back(rounds - 1);  // show at least the final round
+    return picks;
+  }
+  for (std::size_t k = 0; k < max_rows; ++k) {
+    picks.push_back(k * (rounds - 1) / (max_rows - 1));
+  }
+  picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+  return picks;
+}
+
+}  // namespace
+
+void print_series(std::ostream& os, const std::vector<series>& columns,
+                  std::size_t max_rows) {
+  DOLBIE_REQUIRE(!columns.empty(), "no series to print");
+  const std::size_t rounds = columns.front().size();
+  for (const series& s : columns) {
+    DOLBIE_REQUIRE(s.size() == rounds, "series lengths differ");
+  }
+  std::vector<std::string> headers{"round"};
+  for (const series& s : columns) headers.push_back(s.name());
+  table t(std::move(headers));
+  for (std::size_t r : subsample_rounds(rounds, max_rows)) {
+    std::vector<double> values;
+    values.reserve(columns.size());
+    for (const series& s : columns) values.push_back(s[r]);
+    t.add_row(std::to_string(r + 1), values);
+  }
+  t.print(os);
+}
+
+void print_aggregated(std::ostream& os,
+                      const std::vector<stats::aggregated_series>& columns,
+                      std::size_t max_rows) {
+  DOLBIE_REQUIRE(!columns.empty(), "no series to print");
+  const std::size_t rounds = columns.front().mean.size();
+  for (const auto& s : columns) {
+    DOLBIE_REQUIRE(s.mean.size() == rounds, "series lengths differ");
+  }
+  std::vector<std::string> headers{"round"};
+  for (const auto& s : columns) {
+    headers.push_back(s.name + " (mean +/- 95% CI)");
+  }
+  table t(std::move(headers));
+  for (std::size_t r : subsample_rounds(rounds, max_rows)) {
+    std::vector<std::string> cells{std::to_string(r + 1)};
+    for (const auto& s : columns) {
+      cells.push_back(format_double(s.mean[r]) + " +/- " +
+                      format_double(s.half_width[r], 2));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(os);
+}
+
+void write_series_csv(std::ostream& os, const std::vector<series>& columns) {
+  DOLBIE_REQUIRE(!columns.empty(), "no series to write");
+  const std::size_t rounds = columns.front().size();
+  os << "round";
+  for (const series& s : columns) os << ',' << s.name();
+  os << '\n';
+  for (std::size_t r = 0; r < rounds; ++r) {
+    os << (r + 1);
+    for (const series& s : columns) os << ',' << s[r];
+    os << '\n';
+  }
+}
+
+cli_args::cli_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DOLBIE_REQUIRE(arg.rfind("--", 0) == 0,
+                   "unexpected argument '" << arg << "' (use --key=value)");
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+bool cli_args::has(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string cli_args::get_string(const std::string& key,
+                                 const std::string& fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::uint64_t cli_args::get_u64(const std::string& key,
+                                std::uint64_t fallback) const {
+  const std::string v = get_string(key, "");
+  if (v.empty()) return fallback;
+  return std::stoull(v);
+}
+
+double cli_args::get_double(const std::string& key, double fallback) const {
+  const std::string v = get_string(key, "");
+  if (v.empty()) return fallback;
+  return std::stod(v);
+}
+
+}  // namespace dolbie::exp

@@ -1,0 +1,67 @@
+// Text and CSV reporters. Every bench binary prints the same rows/series
+// the corresponding paper figure plots; --csv additionally dumps
+// machine-readable files for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/series.h"
+#include "stats/aggregate.h"
+
+namespace dolbie::exp {
+
+/// A simple fixed-width text table.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with `precision` significant digits.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` significant digits.
+std::string format_double(double v, int precision = 4);
+
+/// Print aligned per-round series side by side, subsampled to at most
+/// `max_rows` printed rounds (first/last always included).
+void print_series(std::ostream& os, const std::vector<series>& columns,
+                  std::size_t max_rows = 25);
+
+/// Print aggregated (mean +/- CI) series side by side, same subsampling.
+void print_aggregated(std::ostream& os,
+                      const std::vector<stats::aggregated_series>& columns,
+                      std::size_t max_rows = 25);
+
+/// Write per-round series as CSV (round, <name>...).
+void write_series_csv(std::ostream& os, const std::vector<series>& columns);
+
+/// Parse a --flag=value style command line. Recognized keys are read with
+/// the getters; unknown flags throw. Used by every bench binary.
+class cli_args {
+ public:
+  cli_args(int argc, char** argv);
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace dolbie::exp

@@ -1,0 +1,72 @@
+#include "exp/scenario.h"
+
+#include "common/error.h"
+
+namespace dolbie::exp {
+
+sequence_environment::sequence_environment(
+    std::vector<std::unique_ptr<cost::cost_sequence>> sequences,
+    std::uint64_t seed)
+    : sequences_(std::move(sequences)), gen_(seed) {
+  DOLBIE_REQUIRE(!sequences_.empty(), "environment needs >= 1 sequence");
+  for (const auto& s : sequences_) {
+    DOLBIE_REQUIRE(s != nullptr, "environment sequence is null");
+  }
+}
+
+cost::cost_vector sequence_environment::next_round() {
+  cost::cost_vector out;
+  out.reserve(sequences_.size());
+  for (auto& s : sequences_) out.push_back(s->next(gen_));
+  return out;
+}
+
+std::unique_ptr<environment> make_synthetic_environment(
+    std::size_t n_workers, synthetic_family family, std::uint64_t seed,
+    double volatility) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  DOLBIE_REQUIRE(volatility >= 0.0, "volatility must be >= 0");
+  rng setup(seed ^ 0xD01B1Eull);
+  std::vector<std::unique_ptr<cost::cost_sequence>> sequences;
+  sequences.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    // Heterogeneous base scale per worker, spread over ~20x.
+    const double base = setup.uniform(1.0, 20.0);
+    const double sigma = 0.05 * volatility * base;
+    auto scale = std::make_unique<cost::ar1_process>(
+        base, 0.8, sigma, 0.25 * base, 4.0 * base);
+    synthetic_family pick = family;
+    if (family == synthetic_family::mixed) {
+      constexpr synthetic_family cycle[3] = {synthetic_family::affine,
+                                             synthetic_family::power,
+                                             synthetic_family::saturating};
+      pick = cycle[i % 3];
+    }
+    switch (pick) {
+      case synthetic_family::affine: {
+        const double intercept_base = setup.uniform(0.0, 0.5);
+        auto intercept = std::make_unique<cost::ar1_process>(
+            intercept_base, 0.8, 0.02 * volatility, 0.0,
+            intercept_base + 0.5);
+        sequences.push_back(std::make_unique<cost::affine_sequence>(
+            std::move(scale), std::move(intercept)));
+        break;
+      }
+      case synthetic_family::power:
+        sequences.push_back(std::make_unique<cost::power_sequence>(
+            std::move(scale), setup.uniform(1.5, 2.5),
+            setup.uniform(0.0, 0.3)));
+        break;
+      case synthetic_family::saturating:
+        sequences.push_back(std::make_unique<cost::saturating_sequence>(
+            std::move(scale), setup.uniform(0.1, 0.5),
+            setup.uniform(0.0, 0.3)));
+        break;
+      case synthetic_family::mixed:
+        DOLBIE_REQUIRE(false, "mixed resolved above");
+    }
+  }
+  return std::make_unique<sequence_environment>(std::move(sequences), seed);
+}
+
+}  // namespace dolbie::exp

@@ -1,0 +1,55 @@
+// Environments: the adversary side of the online game. An environment
+// produces the (hidden) cost functions of each round; the harness plays a
+// policy against it. Environments are exogenous — they never see decisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_function.h"
+#include "cost/time_varying.h"
+
+namespace dolbie::exp {
+
+/// A source of per-round cost functions for N workers.
+class environment {
+ public:
+  virtual ~environment() = default;
+  virtual std::size_t workers() const = 0;
+  /// Generate the next round's cost functions (one per worker).
+  virtual cost::cost_vector next_round() = 0;
+};
+
+/// Environment assembled from independent per-worker cost sequences.
+class sequence_environment final : public environment {
+ public:
+  sequence_environment(
+      std::vector<std::unique_ptr<cost::cost_sequence>> sequences,
+      std::uint64_t seed);
+
+  std::size_t workers() const override { return sequences_.size(); }
+  cost::cost_vector next_round() override;
+
+ private:
+  std::vector<std::unique_ptr<cost::cost_sequence>> sequences_;
+  rng gen_;
+};
+
+/// Families of synthetic environments used by the regret and ablation
+/// benches and the property tests.
+enum class synthetic_family {
+  affine,      ///< heterogeneous affine costs (the ML latency family)
+  power,       ///< convex power costs (exponent ~2)
+  saturating,  ///< concave saturating costs (non-convex max)
+  mixed,       ///< one of each family round-robin across workers
+};
+
+/// Build a synthetic N-worker environment with process-driven variation.
+/// `volatility` scales how fast the costs drift (0 = static environment).
+std::unique_ptr<environment> make_synthetic_environment(
+    std::size_t n_workers, synthetic_family family, std::uint64_t seed,
+    double volatility = 1.0);
+
+}  // namespace dolbie::exp

@@ -1,0 +1,83 @@
+#include "exp/sweep.h"
+
+#include "baselines/abs.h"
+#include "baselines/equal.h"
+#include "baselines/lbbsp.h"
+#include "baselines/ogd.h"
+#include "baselines/opt.h"
+#include "common/error.h"
+#include "core/dolbie.h"
+
+namespace dolbie::exp {
+
+std::vector<std::pair<std::string, policy_factory>> paper_policy_suite(
+    double global_batch) {
+  std::vector<std::pair<std::string, policy_factory>> suite;
+  suite.emplace_back("EQU", [](std::size_t n) {
+    return std::make_unique<baselines::equal_policy>(n);
+  });
+  suite.emplace_back("OGD", [](std::size_t n) {
+    baselines::ogd_options o;
+    o.learning_rate = 0.001;  // the paper's beta
+    return std::make_unique<baselines::ogd_policy>(n, o);
+  });
+  suite.emplace_back("ABS", [](std::size_t n) {
+    baselines::abs_options o;
+    o.window = 5;  // the paper's P
+    return std::make_unique<baselines::abs_policy>(n, o);
+  });
+  suite.emplace_back("LB-BSP", [global_batch](std::size_t n) {
+    baselines::lbbsp_options o;
+    o.delta_fraction = 5.0 / global_batch;  // the paper's Delta = 5 samples
+    o.patience = 5;                         // the paper's D
+    return std::make_unique<baselines::lbbsp_policy>(n, o);
+  });
+  suite.emplace_back("DOLBIE", [](std::size_t n) {
+    core::dolbie_options o;
+    o.initial_step = 0.001;  // the paper's alpha_1
+    // The experiments use the exact-feasibility clamp (Sec. IV-B's own
+    // bound); Eq. (7)'s worst-case schedule is kept for the Theorem-1
+    // benches and compared in bench/ablation_stepsize. See DESIGN.md.
+    o.rule = core::step_rule::exact_feasibility;
+    return std::make_unique<core::dolbie_policy>(n, o);
+  });
+  suite.emplace_back("OPT", [](std::size_t n) {
+    return std::make_unique<baselines::opt_policy>(n);
+  });
+  return suite;
+}
+
+ml_sweep_result sweep_training(const std::string& name,
+                               const policy_factory& factory,
+                               const ml::trainer_options& base_options,
+                               std::size_t realizations,
+                               std::uint64_t base_seed,
+                               double accuracy_target) {
+  DOLBIE_REQUIRE(realizations >= 1, "need at least one realization");
+  ml_sweep_result out;
+  out.policy = name;
+  for (std::size_t r = 0; r < realizations; ++r) {
+    ml::trainer_options options = base_options;
+    options.seed = base_seed + r;
+    options.record_per_worker = false;
+    auto policy = factory(options.n_workers);
+    ml::trainer_result result = ml::train(*policy, options);
+    if (accuracy_target > 0.0) {
+      out.time_to_target.push_back(
+          result.time_to_accuracy(options.model, accuracy_target));
+    }
+    series cumulative(name);
+    for (double v : result.round_latency.cumulative()) cumulative.push(v);
+    result.round_latency.set_name(name);
+    out.round_latency.push_back(std::move(result.round_latency));
+    out.cumulative_time.push_back(std::move(cumulative));
+    out.total_time.push_back(result.total_time);
+    out.total_wait.push_back(result.total_wait);
+    out.total_compute.push_back(result.total_compute);
+    out.total_comm.push_back(result.total_comm);
+    out.decision_seconds.push_back(result.decision_seconds);
+  }
+  return out;
+}
+
+}  // namespace dolbie::exp

@@ -1,0 +1,50 @@
+// Multi-realization sweeps: run a policy factory across many seeds and
+// collect per-round traces — the machinery behind every "over 100
+// realizations of processor sampling" figure.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/series.h"
+#include "core/policy.h"
+#include "ml/trainer.h"
+
+namespace dolbie::exp {
+
+/// Builds a fresh policy for a given worker count.
+using policy_factory =
+    std::function<std::unique_ptr<core::online_policy>(std::size_t)>;
+
+/// The named factories of the paper's six algorithms with the paper's
+/// hyper-parameters (alpha_1 = beta = 0.001, Delta = 5/B, P = D = 5).
+/// Order matches the figures: EQU, OGD, ABS, LB-BSP, DOLBIE, OPT.
+std::vector<std::pair<std::string, policy_factory>> paper_policy_suite(
+    double global_batch = 256.0);
+
+/// Result of sweeping one policy over many training realizations.
+struct ml_sweep_result {
+  std::string policy;
+  std::vector<series> round_latency;     ///< one per realization
+  std::vector<series> cumulative_time;   ///< prefix sums, one per realization
+  std::vector<double> total_time;
+  std::vector<double> total_wait;
+  std::vector<double> total_compute;
+  std::vector<double> total_comm;
+  std::vector<double> decision_seconds;
+  std::vector<double> time_to_target;    ///< -1 when target never reached
+};
+
+/// Run `realizations` training simulations of one policy, seeds
+/// base_seed..base_seed+realizations-1. `accuracy_target` feeds
+/// time_to_target (ignored when <= 0).
+ml_sweep_result sweep_training(const std::string& name,
+                               const policy_factory& factory,
+                               const ml::trainer_options& base_options,
+                               std::size_t realizations,
+                               std::uint64_t base_seed,
+                               double accuracy_target = -1.0);
+
+}  // namespace dolbie::exp

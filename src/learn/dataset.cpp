@@ -1,0 +1,93 @@
+#include "learn/dataset.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::learn {
+
+dataset::dataset(std::vector<example> examples, std::size_t dims,
+                 int classes)
+    : examples_(std::move(examples)), dims_(dims), classes_(classes) {
+  DOLBIE_REQUIRE(!examples_.empty(), "dataset needs at least one example");
+  DOLBIE_REQUIRE(dims_ >= 1, "dataset needs at least one feature");
+  DOLBIE_REQUIRE(classes_ >= 2, "dataset needs at least two classes");
+  for (const example& e : examples_) {
+    DOLBIE_REQUIRE(e.features.size() == dims_,
+                   "example has " << e.features.size() << " features, expected "
+                                  << dims_);
+    DOLBIE_REQUIRE(e.label >= 0 && e.label < classes_,
+                   "label " << e.label << " outside [0, " << classes_ << ")");
+  }
+}
+
+const example& dataset::at(std::size_t i) const {
+  DOLBIE_REQUIRE(i < examples_.size(), "example index out of range");
+  return examples_[i];
+}
+
+dataset dataset::subset(std::size_t begin, std::size_t count) const {
+  DOLBIE_REQUIRE(count >= 1, "subset needs at least one example");
+  DOLBIE_REQUIRE(begin + count <= examples_.size(),
+                 "subset [" << begin << ", " << begin + count
+                            << ") exceeds dataset of " << examples_.size());
+  std::vector<example> out(examples_.begin() +
+                               static_cast<std::ptrdiff_t>(begin),
+                           examples_.begin() +
+                               static_cast<std::ptrdiff_t>(begin + count));
+  return dataset(std::move(out), dims_, classes_);
+}
+
+dataset dataset::gaussian_blobs(std::size_t n_samples, std::size_t dims,
+                                int classes, double spread,
+                                std::uint64_t seed) {
+  DOLBIE_REQUIRE(n_samples >= 1 && dims >= 1 && classes >= 2,
+                 "bad blob parameters");
+  DOLBIE_REQUIRE(spread > 0.0, "spread must be > 0, got " << spread);
+  rng gen(seed);
+  // Class centres: deterministic pseudo-corners with unit-ish separation.
+  std::vector<std::vector<double>> centres(static_cast<std::size_t>(classes));
+  rng centre_gen(seed ^ 0xB10B5ull);
+  for (auto& c : centres) {
+    c.resize(dims);
+    for (double& v : c) v = centre_gen.uniform(-2.0, 2.0);
+  }
+  std::vector<example> out;
+  out.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(gen.uniform_int(0, classes - 1));
+    example e;
+    e.label = label;
+    e.features.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      e.features[d] = centres[static_cast<std::size_t>(label)][d] +
+                      gen.gaussian(0.0, spread);
+    }
+    out.push_back(std::move(e));
+  }
+  return dataset(std::move(out), dims, classes);
+}
+
+dataset dataset::concentric_rings(std::size_t n_samples, int classes,
+                                  double noise, std::uint64_t seed) {
+  DOLBIE_REQUIRE(n_samples >= 1 && classes >= 2, "bad ring parameters");
+  DOLBIE_REQUIRE(noise >= 0.0, "noise must be >= 0, got " << noise);
+  rng gen(seed);
+  std::vector<example> out;
+  out.reserve(n_samples);
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(gen.uniform_int(0, classes - 1));
+    const double radius = 1.0 + static_cast<double>(label) +
+                          gen.gaussian(0.0, noise);
+    const double angle = gen.uniform(0.0, kTwoPi);
+    example e;
+    e.label = label;
+    e.features = {radius * std::cos(angle), radius * std::sin(angle)};
+    out.push_back(std::move(e));
+  }
+  return dataset(std::move(out), 2, classes);
+}
+
+}  // namespace dolbie::learn

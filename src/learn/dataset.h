@@ -1,0 +1,51 @@
+// Synthetic classification datasets for the learning substrate — the
+// stand-in for CIFAR-10 (see DESIGN.md §3): deterministic by seed,
+// separable-but-not-trivially so training accuracy climbs over many SGD
+// steps the way the paper's curves do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dolbie::learn {
+
+/// A labelled feature vector.
+struct example {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// An in-memory dataset with fixed dimensionality and class count.
+class dataset {
+ public:
+  dataset(std::vector<example> examples, std::size_t dims, int classes);
+
+  /// Gaussian blobs: `classes` cluster centres on a scaled hypercube's
+  /// corners-ish layout, isotropic noise `spread` around each. Larger
+  /// spread -> harder problem, slower accuracy climb.
+  static dataset gaussian_blobs(std::size_t n_samples, std::size_t dims,
+                                int classes, double spread,
+                                std::uint64_t seed);
+
+  /// Concentric rings (2-D, binary-ish generalization to `classes` rings):
+  /// not linearly separable — the workload that needs the MLP.
+  static dataset concentric_rings(std::size_t n_samples, int classes,
+                                  double noise, std::uint64_t seed);
+
+  std::size_t size() const { return examples_.size(); }
+  std::size_t dims() const { return dims_; }
+  int classes() const { return classes_; }
+  const example& at(std::size_t i) const;
+
+  /// Copy of examples [begin, begin + count): the train/test splitter
+  /// (generation order is already i.i.d., so a contiguous split is a
+  /// valid holdout).
+  dataset subset(std::size_t begin, std::size_t count) const;
+
+ private:
+  std::vector<example> examples_;
+  std::size_t dims_;
+  int classes_;
+};
+
+}  // namespace dolbie::learn

@@ -1,0 +1,158 @@
+#include "learn/distributed_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "learn/parameter_server.h"
+
+namespace dolbie::learn {
+
+double real_training_result::time_to_test_accuracy(double target) const {
+  DOLBIE_REQUIRE(eval_rounds.size() == test_accuracy.size(),
+                 "evaluation bookkeeping out of sync");
+  const auto cumulative = round_latency.cumulative();
+  for (std::size_t k = 0; k < test_accuracy.size(); ++k) {
+    if (test_accuracy[k] >= target) {
+      return cumulative[eval_rounds[k] - 1];
+    }
+  }
+  return -1.0;
+}
+
+std::vector<std::size_t> partition_batch(const core::allocation& fractions,
+                                         std::size_t total) {
+  DOLBIE_REQUIRE(!fractions.empty(), "no workers to partition over");
+  const std::size_t n = fractions.size();
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;  // (-rem, index)
+  remainders.reserve(n);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DOLBIE_REQUIRE(fractions[i] >= -1e-12,
+                   "negative fraction " << fractions[i]);
+    const double exact = std::max(0.0, fractions[i]) *
+                         static_cast<double>(total);
+    counts[i] = static_cast<std::size_t>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(-(exact - static_cast<double>(counts[i])), i);
+  }
+  DOLBIE_REQUIRE(assigned <= total, "fractions exceed the simplex");
+  // Hand the leftover items to the largest remainders, lowest index first
+  // on ties (the pair sorts by -remainder, then by index).
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t k = 0; k < total - assigned; ++k) {
+    counts[remainders[k % n].second] += 1;
+  }
+  return counts;
+}
+
+real_training_result train_distributed(core::online_policy& policy,
+                                       classifier& model,
+                                       const dataset& train,
+                                       const dataset& test,
+                                       const real_training_options& options) {
+  DOLBIE_REQUIRE(policy.workers() == options.n_workers,
+                 "policy configured for " << policy.workers()
+                                          << " workers, trainer for "
+                                          << options.n_workers);
+  DOLBIE_REQUIRE(options.rounds >= 1, "need at least one round");
+  DOLBIE_REQUIRE(options.global_batch >= 1, "need at least one sample");
+  DOLBIE_REQUIRE(options.eval_every >= 1, "eval cadence must be >= 1");
+  DOLBIE_REQUIRE(train.dims() == test.dims() &&
+                     train.classes() == test.classes(),
+                 "train/test shape mismatch");
+
+  policy.reset();
+  ml::cluster cluster(options.n_workers, options.latency_profile,
+                      options.seed, options.cluster);
+  // The transferred bytes are the *real* parameter vector (f64 on the
+  // wire), not a catalogue constant.
+  const double model_bytes =
+      static_cast<double>(model.parameter_count()) * 8.0;
+  rng sampler(options.seed ^ 0x5EEDull);
+  sgd optimizer(options.optimizer);
+  parameter_server server(model.parameter_count());
+
+  real_training_result result;
+  result.round_latency.set_name("round_latency");
+  result.train_loss.set_name("train_loss");
+  result.test_accuracy.set_name("test_accuracy");
+
+  std::vector<std::size_t> batch(options.global_batch);
+  std::vector<double> params(model.parameters().begin(),
+                             model.parameters().end());
+  std::vector<double> shard_gradient;
+
+  for (std::size_t t = 0; t < options.rounds; ++t) {
+    cluster.advance_round();
+    const cost::cost_vector costs =
+        [&] {
+          cost::cost_vector out;
+          out.reserve(options.n_workers);
+          for (std::size_t i = 0; i < options.n_workers; ++i) {
+            out.push_back(ml::round_cost(
+                static_cast<double>(options.global_batch), model_bytes,
+                cluster.conditions(i)));
+          }
+          return out;
+        }();
+    const cost::cost_view view = cost::view_of(costs);
+
+    if (policy.clairvoyant()) policy.preview(view);
+    const core::allocation& b = policy.current();
+
+    // Sample the round's global batch and shard it per the fractions.
+    for (std::size_t& idx : batch) {
+      idx = static_cast<std::size_t>(
+          sampler.uniform_int(0, static_cast<std::int64_t>(train.size()) - 1));
+    }
+    const std::vector<std::size_t> counts =
+        partition_batch(b, options.global_batch);
+
+    // Each worker computes the true mean gradient over its shard.
+    server.begin_round();
+    double batch_loss = 0.0;
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < options.n_workers; ++i) {
+      if (counts[i] == 0) continue;
+      const std::span<const std::size_t> shard(&batch[offset], counts[i]);
+      offset += counts[i];
+      const double loss =
+          model.loss_and_gradient(train, shard, shard_gradient);
+      batch_loss += loss * static_cast<double>(counts[i]);
+      server.submit(shard_gradient, counts[i]);
+    }
+    batch_loss /= static_cast<double>(options.global_batch);
+
+    // Aggregate (= full-batch mean) and step the model.
+    params.assign(model.parameters().begin(), model.parameters().end());
+    optimizer.apply(params, server.aggregate());
+    model.set_parameters(params);
+
+    // Latency: the straggler barrier under the heterogeneous cluster.
+    const auto locals = cost::evaluate(view, b);
+    const double round_latency = *std::max_element(locals.begin(),
+                                                   locals.end());
+    result.round_latency.push(round_latency);
+    result.total_time += round_latency;
+    result.train_loss.push(batch_loss);
+    if ((t + 1) % options.eval_every == 0 || t + 1 == options.rounds) {
+      if (result.eval_rounds.empty() || result.eval_rounds.back() != t + 1) {
+        result.eval_rounds.push_back(t + 1);
+        result.test_accuracy.push(model.accuracy(test));
+      }
+    }
+
+    core::round_feedback feedback;
+    feedback.costs = &view;
+    feedback.local_costs = locals;
+    policy.observe(feedback);
+  }
+  result.final_train_accuracy = model.accuracy(train);
+  result.final_test_accuracy = model.accuracy(test);
+  return result;
+}
+
+}  // namespace dolbie::learn

@@ -1,0 +1,70 @@
+// Real synchronous distributed SGD with online batch-size tuning: the
+// end-to-end integration of Fig. 2 with an *actual* model instead of the
+// learning-curve abstraction in src/ml. Each round:
+//
+//   1. the policy's batch fractions b_t partition the round's B sampled
+//      examples into per-worker shards (largest-remainder rounding),
+//   2. every worker computes the true mean gradient over its shard,
+//   3. the parameter server aggregates (weighted by shard size — exactly
+//      the full-batch mean) and the optimizer updates the model,
+//   4. per-worker latency comes from the heterogeneous-cluster model
+//      (compute time ~ share * B / gamma_i + transfer of the real
+//      parameter vector), and the round latency is the straggler's,
+//   5. revealed costs feed the policy for round t+1.
+//
+// Because the aggregate is the full-batch mean regardless of partitioning,
+// every policy trains the same model trajectory (up to floating-point
+// reassociation across shard boundaries) and differs only in wall-clock —
+// the paper's experimental premise, now demonstrated on real gradients.
+#pragma once
+
+#include "common/series.h"
+#include "core/policy.h"
+#include "learn/model.h"
+#include "learn/sgd.h"
+#include "ml/cluster.h"
+
+namespace dolbie::learn {
+
+struct real_training_options {
+  std::size_t rounds = 200;
+  std::size_t n_workers = 10;
+  std::size_t global_batch = 64;  ///< examples per round
+  /// Which catalogue row drives the cluster's compute heterogeneity (the
+  /// model trained here is small; the latency profile stands in for the
+  /// heavy model the cluster would really be training).
+  ml::model_kind latency_profile = ml::model_kind::resnet18;
+  ml::cluster_options cluster;
+  sgd_options optimizer;
+  std::uint64_t seed = 1;
+  std::size_t eval_every = 20;  ///< test-accuracy cadence (rounds)
+};
+
+struct real_training_result {
+  series round_latency;   ///< straggler latency per round [s]
+  series train_loss;      ///< mini-batch loss per round
+  series test_accuracy;   ///< sampled every eval_every rounds
+  std::vector<std::size_t> eval_rounds;  ///< rounds of each test_accuracy
+  double total_time = 0.0;
+  double final_train_accuracy = 0.0;
+  double final_test_accuracy = 0.0;
+
+  /// Wall-clock at which sampled test accuracy first reached `target`;
+  /// negative when never.
+  double time_to_test_accuracy(double target) const;
+};
+
+/// Split `total` items proportionally to simplex `fractions` using
+/// largest-remainder rounding (ties to the lowest index). The counts sum
+/// exactly to `total`. Exposed for tests.
+std::vector<std::size_t> partition_batch(const core::allocation& fractions,
+                                         std::size_t total);
+
+/// Run the full distributed training. The policy and optimizer are reset
+/// first; the model trains in place.
+real_training_result train_distributed(core::online_policy& policy,
+                                       classifier& model, const dataset& train,
+                                       const dataset& test,
+                                       const real_training_options& options);
+
+}  // namespace dolbie::learn

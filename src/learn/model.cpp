@@ -1,0 +1,199 @@
+#include "learn/model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "learn/vec.h"
+
+namespace dolbie::learn {
+
+double classifier::accuracy(const dataset& data) const {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.at(i).features) == data.at(i).label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double classifier::mean_loss(const dataset& data) const {
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<double> scratch;
+  return loss_and_gradient(data, all, scratch);
+}
+
+// ------------------------------------------------------------- softmax --
+
+softmax_regression::softmax_regression(std::size_t dims, int classes,
+                                       std::uint64_t seed)
+    : dims_(dims), classes_(classes) {
+  DOLBIE_REQUIRE(dims >= 1, "need at least one feature");
+  DOLBIE_REQUIRE(classes >= 2, "need at least two classes");
+  const std::size_t c = static_cast<std::size_t>(classes);
+  params_.resize(c * dims_ + c);
+  rng gen(seed);
+  const double init = 0.1 / std::sqrt(static_cast<double>(dims_));
+  for (std::size_t k = 0; k < c * dims_; ++k) {
+    params_[k] = gen.gaussian(0.0, init);
+  }
+  // Biases start at zero.
+}
+
+void softmax_regression::set_parameters(std::span<const double> params) {
+  DOLBIE_REQUIRE(params.size() == params_.size(),
+                 "parameter size mismatch: " << params.size() << " vs "
+                                             << params_.size());
+  params_.assign(params.begin(), params.end());
+}
+
+void softmax_regression::logits(std::span<const double> features,
+                                std::span<double> out) const {
+  const std::size_t c = static_cast<std::size_t>(classes_);
+  for (std::size_t k = 0; k < c; ++k) {
+    const std::span<const double> row(&params_[k * dims_], dims_);
+    out[k] = dot(row, features) + params_[c * dims_ + k];
+  }
+}
+
+double softmax_regression::loss_and_gradient(
+    const dataset& data, std::span<const std::size_t> batch,
+    std::vector<double>& gradient) const {
+  DOLBIE_REQUIRE(!batch.empty(), "empty batch");
+  DOLBIE_REQUIRE(data.dims() == dims_ && data.classes() == classes_,
+                 "dataset shape mismatch");
+  const std::size_t c = static_cast<std::size_t>(classes_);
+  gradient.assign(params_.size(), 0.0);
+  std::vector<double> probs(c);
+  double loss = 0.0;
+  for (std::size_t idx : batch) {
+    const example& e = data.at(idx);
+    logits(e.features, probs);
+    softmax_inplace(probs);
+    loss += -std::log(std::max(probs[static_cast<std::size_t>(e.label)],
+                               1e-300));
+    for (std::size_t k = 0; k < c; ++k) {
+      const double delta =
+          probs[k] - (static_cast<int>(k) == e.label ? 1.0 : 0.0);
+      axpy(delta, e.features,
+           std::span<double>(&gradient[k * dims_], dims_));
+      gradient[c * dims_ + k] += delta;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  scale(inv, gradient);
+  return loss * inv;
+}
+
+int softmax_regression::predict(std::span<const double> features) const {
+  std::vector<double> z(static_cast<std::size_t>(classes_));
+  logits(features, z);
+  return static_cast<int>(argmax_index(z));
+}
+
+// ----------------------------------------------------------------- MLP --
+
+mlp_classifier::mlp_classifier(std::size_t dims, std::size_t hidden,
+                               int classes, std::uint64_t seed)
+    : dims_(dims), hidden_(hidden), classes_(classes) {
+  DOLBIE_REQUIRE(dims >= 1, "need at least one feature");
+  DOLBIE_REQUIRE(hidden >= 1, "need at least one hidden unit");
+  DOLBIE_REQUIRE(classes >= 2, "need at least two classes");
+  const std::size_t c = static_cast<std::size_t>(classes);
+  params_.resize(hidden_ * dims_ + hidden_ + c * hidden_ + c);
+  rng gen(seed);
+  const double init1 = 1.0 / std::sqrt(static_cast<double>(dims_));
+  const double init2 = 1.0 / std::sqrt(static_cast<double>(hidden_));
+  for (std::size_t k = 0; k < hidden_ * dims_; ++k) {
+    params_[k] = gen.gaussian(0.0, init1);
+  }
+  for (std::size_t k = 0; k < c * hidden_; ++k) {
+    params_[w2_at(0, 0) + k] = gen.gaussian(0.0, init2);
+  }
+}
+
+std::size_t mlp_classifier::w1_at(std::size_t h, std::size_t d) const {
+  return h * dims_ + d;
+}
+std::size_t mlp_classifier::b1_at(std::size_t h) const {
+  return hidden_ * dims_ + h;
+}
+std::size_t mlp_classifier::w2_at(std::size_t c, std::size_t h) const {
+  return hidden_ * dims_ + hidden_ + c * hidden_ + h;
+}
+std::size_t mlp_classifier::b2_at(std::size_t c) const {
+  return hidden_ * dims_ + hidden_ +
+         static_cast<std::size_t>(classes_) * hidden_ + c;
+}
+
+void mlp_classifier::set_parameters(std::span<const double> params) {
+  DOLBIE_REQUIRE(params.size() == params_.size(),
+                 "parameter size mismatch: " << params.size() << " vs "
+                                             << params_.size());
+  params_.assign(params.begin(), params.end());
+}
+
+void mlp_classifier::forward(std::span<const double> features,
+                             std::span<double> hidden,
+                             std::span<double> logits) const {
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    const std::span<const double> row(&params_[w1_at(h, 0)], dims_);
+    hidden[h] = std::tanh(dot(row, features) + params_[b1_at(h)]);
+  }
+  const std::size_t c = static_cast<std::size_t>(classes_);
+  for (std::size_t k = 0; k < c; ++k) {
+    const std::span<const double> row(&params_[w2_at(k, 0)], hidden_);
+    logits[k] = dot(row, hidden) + params_[b2_at(k)];
+  }
+}
+
+double mlp_classifier::loss_and_gradient(
+    const dataset& data, std::span<const std::size_t> batch,
+    std::vector<double>& gradient) const {
+  DOLBIE_REQUIRE(!batch.empty(), "empty batch");
+  DOLBIE_REQUIRE(data.dims() == dims_ && data.classes() == classes_,
+                 "dataset shape mismatch");
+  const std::size_t c = static_cast<std::size_t>(classes_);
+  gradient.assign(params_.size(), 0.0);
+  std::vector<double> hidden(hidden_);
+  std::vector<double> probs(c);
+  std::vector<double> dhidden(hidden_);
+  double loss = 0.0;
+  for (std::size_t idx : batch) {
+    const example& e = data.at(idx);
+    forward(e.features, hidden, probs);
+    softmax_inplace(probs);
+    loss += -std::log(std::max(probs[static_cast<std::size_t>(e.label)],
+                               1e-300));
+    // Output layer: dL/dlogit_k = p_k - 1{k == label}.
+    std::fill(dhidden.begin(), dhidden.end(), 0.0);
+    for (std::size_t k = 0; k < c; ++k) {
+      const double delta =
+          probs[k] - (static_cast<int>(k) == e.label ? 1.0 : 0.0);
+      axpy(delta, hidden,
+           std::span<double>(&gradient[w2_at(k, 0)], hidden_));
+      gradient[b2_at(k)] += delta;
+      axpy(delta, std::span<const double>(&params_[w2_at(k, 0)], hidden_),
+           dhidden);
+    }
+    // Hidden layer: tanh' = 1 - h^2.
+    for (std::size_t h = 0; h < hidden_; ++h) {
+      const double dpre = dhidden[h] * (1.0 - hidden[h] * hidden[h]);
+      axpy(dpre, e.features,
+           std::span<double>(&gradient[w1_at(h, 0)], dims_));
+      gradient[b1_at(h)] += dpre;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  scale(inv, gradient);
+  return loss * inv;
+}
+
+int mlp_classifier::predict(std::span<const double> features) const {
+  std::vector<double> hidden(hidden_);
+  std::vector<double> z(static_cast<std::size_t>(classes_));
+  forward(features, hidden, z);
+  return static_cast<int>(argmax_index(z));
+}
+
+}  // namespace dolbie::learn

@@ -1,0 +1,96 @@
+// Differentiable classifiers for the learning substrate. Parameters live
+// in one flat vector so the optimizer and parameter server can treat every
+// model uniformly (exactly how real parameter-server systems flatten
+// tensors for transport).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "learn/dataset.h"
+
+namespace dolbie::learn {
+
+/// A classifier with a flat parameter vector and cross-entropy loss.
+class classifier {
+ public:
+  virtual ~classifier() = default;
+
+  virtual std::size_t parameter_count() const = 0;
+  virtual std::span<const double> parameters() const = 0;
+  virtual void set_parameters(std::span<const double> params) = 0;
+
+  /// Mean cross-entropy loss over the batch (indices into `data`), with
+  /// the mean gradient accumulated into `gradient` (resized and zeroed by
+  /// the callee). Returns the loss.
+  virtual double loss_and_gradient(const dataset& data,
+                                   std::span<const std::size_t> batch,
+                                   std::vector<double>& gradient) const = 0;
+
+  /// Predicted class for one feature vector.
+  virtual int predict(std::span<const double> features) const = 0;
+
+  /// Fraction of `data` classified correctly.
+  double accuracy(const dataset& data) const;
+
+  /// Mean loss over the whole dataset (no gradient).
+  double mean_loss(const dataset& data) const;
+};
+
+/// Multiclass logistic (softmax) regression: W in R^{C x D}, b in R^C.
+/// Convex; the sanity model of the substrate.
+class softmax_regression final : public classifier {
+ public:
+  softmax_regression(std::size_t dims, int classes, std::uint64_t seed);
+
+  std::size_t parameter_count() const override { return params_.size(); }
+  std::span<const double> parameters() const override { return params_; }
+  void set_parameters(std::span<const double> params) override;
+  double loss_and_gradient(const dataset& data,
+                           std::span<const std::size_t> batch,
+                           std::vector<double>& gradient) const override;
+  int predict(std::span<const double> features) const override;
+
+ private:
+  void logits(std::span<const double> features, std::span<double> out) const;
+
+  std::size_t dims_;
+  int classes_;
+  std::vector<double> params_;  // [W row-major (C x D) | b (C)]
+};
+
+/// One-hidden-layer MLP with tanh activation: the non-convex workload
+/// (needed for e.g. the concentric-rings dataset).
+class mlp_classifier final : public classifier {
+ public:
+  mlp_classifier(std::size_t dims, std::size_t hidden, int classes,
+                 std::uint64_t seed);
+
+  std::size_t parameter_count() const override { return params_.size(); }
+  std::span<const double> parameters() const override { return params_; }
+  void set_parameters(std::span<const double> params) override;
+  double loss_and_gradient(const dataset& data,
+                           std::span<const std::size_t> batch,
+                           std::vector<double>& gradient) const override;
+  int predict(std::span<const double> features) const override;
+
+  std::size_t hidden_units() const { return hidden_; }
+
+ private:
+  // Layout: [W1 (H x D) | b1 (H) | W2 (C x H) | b2 (C)]
+  std::size_t w1_at(std::size_t h, std::size_t d) const;
+  std::size_t b1_at(std::size_t h) const;
+  std::size_t w2_at(std::size_t c, std::size_t h) const;
+  std::size_t b2_at(std::size_t c) const;
+
+  void forward(std::span<const double> features, std::span<double> hidden,
+               std::span<double> logits) const;
+
+  std::size_t dims_;
+  std::size_t hidden_;
+  int classes_;
+  std::vector<double> params_;
+};
+
+}  // namespace dolbie::learn

@@ -1,0 +1,40 @@
+#include "learn/parameter_server.h"
+
+#include "common/error.h"
+#include "learn/vec.h"
+
+namespace dolbie::learn {
+
+parameter_server::parameter_server(std::size_t parameter_count)
+    : parameter_count_(parameter_count) {
+  DOLBIE_REQUIRE(parameter_count >= 1, "need at least one parameter");
+  begin_round();
+}
+
+void parameter_server::begin_round() {
+  sum_.assign(parameter_count_, 0.0);
+  examples_ = 0;
+  aggregated_ = false;
+}
+
+void parameter_server::submit(const std::vector<double>& mean_gradient,
+                              std::size_t shard_size) {
+  DOLBIE_REQUIRE(!aggregated_,
+                 "cannot submit after aggregate(); call begin_round()");
+  if (shard_size == 0) return;
+  DOLBIE_REQUIRE(mean_gradient.size() == parameter_count_,
+                 "gradient has " << mean_gradient.size()
+                                 << " entries, expected " << parameter_count_);
+  axpy(static_cast<double>(shard_size), mean_gradient, sum_);
+  examples_ += shard_size;
+}
+
+const std::vector<double>& parameter_server::aggregate() {
+  DOLBIE_REQUIRE(examples_ > 0, "no gradients submitted this round");
+  mean_ = sum_;
+  scale(1.0 / static_cast<double>(examples_), mean_);
+  aggregated_ = true;
+  return mean_;
+}
+
+}  // namespace dolbie::learn

@@ -1,0 +1,42 @@
+// Parameter-server gradient aggregation for synchronous distributed SGD:
+// each worker reports the mean gradient over its shard together with its
+// shard size; the server combines them weighted by shard size, which
+// reconstructs the exact full-batch mean gradient regardless of how the
+// batch was partitioned — the key property that lets batch-size tuning
+// change *speed* without changing *what is learned* (Sec. III-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dolbie::learn {
+
+/// Accumulates per-worker (shard mean gradient, shard size) contributions.
+class parameter_server {
+ public:
+  explicit parameter_server(std::size_t parameter_count);
+
+  /// Start a fresh aggregation round.
+  void begin_round();
+
+  /// Add one worker's contribution: the *mean* gradient over its shard of
+  /// `shard_size` examples. Zero-sized shards are ignored.
+  void submit(const std::vector<double>& mean_gradient,
+              std::size_t shard_size);
+
+  /// Number of examples aggregated so far this round.
+  std::size_t examples() const { return examples_; }
+
+  /// The global mean gradient over all submitted examples. Requires at
+  /// least one non-empty submission this round.
+  const std::vector<double>& aggregate();
+
+ private:
+  std::size_t parameter_count_;
+  std::vector<double> sum_;  // running sum of shard_size * mean_gradient
+  std::vector<double> mean_;
+  std::size_t examples_ = 0;
+  bool aggregated_ = false;
+};
+
+}  // namespace dolbie::learn

@@ -1,0 +1,32 @@
+#include "learn/sgd.h"
+
+#include "common/error.h"
+
+namespace dolbie::learn {
+
+sgd::sgd(sgd_options options) : options_(options) {
+  DOLBIE_REQUIRE(options.learning_rate > 0.0,
+                 "learning rate must be > 0, got " << options.learning_rate);
+  DOLBIE_REQUIRE(options.momentum >= 0.0 && options.momentum < 1.0,
+                 "momentum must be in [0, 1), got " << options.momentum);
+}
+
+void sgd::apply(std::vector<double>& parameters,
+                const std::vector<double>& gradient) {
+  DOLBIE_REQUIRE(parameters.size() == gradient.size(),
+                 "parameter/gradient size mismatch: " << parameters.size()
+                                                      << " vs "
+                                                      << gradient.size());
+  if (velocity_.empty()) {
+    velocity_.assign(parameters.size(), 0.0);
+  }
+  DOLBIE_REQUIRE(velocity_.size() == parameters.size(),
+                 "parameter count changed mid-training");
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    velocity_[i] = options_.momentum * velocity_[i] -
+                   options_.learning_rate * gradient[i];
+    parameters[i] += velocity_[i];
+  }
+}
+
+}  // namespace dolbie::learn

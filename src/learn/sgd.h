@@ -1,0 +1,32 @@
+// Stochastic gradient descent with classical momentum — the optimizer of
+// the paper's experiments (SGD, lr 0.1 on CIFAR-10).
+#pragma once
+
+#include <vector>
+
+namespace dolbie::learn {
+
+struct sgd_options {
+  double learning_rate = 0.1;  ///< the paper's value
+  double momentum = 0.0;       ///< 0 = plain SGD
+};
+
+/// Applies v <- mu*v - lr*g; params <- params + v.
+class sgd {
+ public:
+  explicit sgd(sgd_options options = {});
+
+  /// One update step; the velocity buffer is sized lazily to the first
+  /// gradient and must keep that size afterwards.
+  void apply(std::vector<double>& parameters,
+             const std::vector<double>& gradient);
+
+  const sgd_options& options() const { return options_; }
+  void reset() { velocity_.clear(); }
+
+ private:
+  sgd_options options_;
+  std::vector<double> velocity_;
+};
+
+}  // namespace dolbie::learn

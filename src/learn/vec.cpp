@@ -1,0 +1,56 @@
+#include "learn/vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dolbie::learn {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  DOLBIE_REQUIRE(a.size() == b.size(), "dot: size mismatch " << a.size()
+                                                             << " vs "
+                                                             << b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  DOLBIE_REQUIRE(x.size() == y.size(), "axpy: size mismatch " << x.size()
+                                                              << " vs "
+                                                              << y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void softmax_inplace(std::span<double> z) {
+  DOLBIE_REQUIRE(!z.empty(), "softmax of empty span");
+  const double m = *std::max_element(z.begin(), z.end());
+  double total = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - m);
+    total += v;
+  }
+  for (double& v : z) v /= total;
+}
+
+std::size_t argmax_index(std::span<const double> z) {
+  DOLBIE_REQUIRE(!z.empty(), "argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    if (z[i] > z[best]) best = i;
+  }
+  return best;
+}
+
+double l2_norm(std::span<const double> x) {
+  double total = 0.0;
+  for (double v : x) total += v * v;
+  return std::sqrt(total);
+}
+
+}  // namespace dolbie::learn

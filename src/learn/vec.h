@@ -1,0 +1,30 @@
+// Minimal dense linear-algebra helpers for the learning substrate. The
+// models in src/learn are small (the decision-making, not the model, is
+// under study), so plain contiguous vectors and hand-rolled kernels are
+// the right tool — no BLAS dependency.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dolbie::learn {
+
+/// Inner product of two equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x, in place.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Scale x by alpha, in place.
+void scale(double alpha, std::span<double> x);
+
+/// Numerically stable in-place softmax: z_i <- exp(z_i - max) / sum.
+void softmax_inplace(std::span<double> z);
+
+/// Index of the maximum element (ties to the lowest index).
+std::size_t argmax_index(std::span<const double> z);
+
+/// Euclidean norm.
+double l2_norm(std::span<const double> x);
+
+}  // namespace dolbie::learn

@@ -1,0 +1,29 @@
+#include "ml/accuracy.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace dolbie::ml {
+
+double accuracy_after(model_kind model, std::size_t steps) {
+  const model_profile& p = profile(model);
+  const double k = static_cast<double>(steps);
+  return p.acc_max -
+         (p.acc_max - p.acc_initial) * std::pow(1.0 + k / p.kappa, -p.beta);
+}
+
+std::size_t steps_to_accuracy(model_kind model, double target) {
+  const model_profile& p = profile(model);
+  DOLBIE_REQUIRE(target > 0.0 && target < 1.0,
+                 "target accuracy must be in (0,1), got " << target);
+  if (target <= p.acc_initial) return 0;
+  if (target >= p.acc_max) return std::numeric_limits<std::size_t>::max();
+  // Invert: (acc_max - target)/(acc_max - acc_0) = (1 + k/kappa)^(-beta).
+  const double ratio = (p.acc_max - target) / (p.acc_max - p.acc_initial);
+  const double k = p.kappa * (std::pow(ratio, -1.0 / p.beta) - 1.0);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+}  // namespace dolbie::ml

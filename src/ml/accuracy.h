@@ -1,0 +1,22 @@
+// The saturating learning-curve model: training accuracy as a function of
+// completed SGD steps. With a fixed global batch size every policy performs
+// the same number of steps per round, so accuracy-vs-round is identical
+// across policies and accuracy-vs-wall-clock differences come purely from
+// the per-round latency each policy achieves — the structure of Figs. 6-8.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/model.h"
+
+namespace dolbie::ml {
+
+/// Training accuracy after `steps` SGD steps of `model`:
+/// acc_max - (acc_max - acc_0) * (1 + steps/kappa)^(-beta).
+double accuracy_after(model_kind model, std::size_t steps);
+
+/// Smallest step count reaching `target` accuracy, or SIZE_MAX when the
+/// curve never reaches it (target >= acc_max). Closed-form inversion.
+std::size_t steps_to_accuracy(model_kind model, double target);
+
+}  // namespace dolbie::ml

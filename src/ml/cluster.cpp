@@ -1,0 +1,68 @@
+#include "ml/cluster.h"
+
+#include "common/error.h"
+
+namespace dolbie::ml {
+
+cluster::cluster(std::size_t n_workers, model_kind model, std::uint64_t seed,
+                 cluster_options options)
+    : model_(model), model_bytes_(profile(model).model_bytes) {
+  DOLBIE_REQUIRE(n_workers >= 1, "cluster needs at least one worker");
+  DOLBIE_REQUIRE(options.contention_factor > 0.0 &&
+                     options.contention_factor <= 1.0,
+                 "contention factor must be in (0,1], got "
+                     << options.contention_factor);
+  rng root(seed);
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    worker w{.kind = all_processors[static_cast<std::size_t>(root.uniform_int(
+                 0, static_cast<std::int64_t>(all_processors.size()) - 1))],
+             .base_gamma = 0.0,
+             .speed_factor = nullptr,
+             .rate = nullptr,
+             .gen = root.fork(i)};
+    w.base_gamma = options.speed_scale * base_throughput(w.kind, model);
+    auto drift = std::make_unique<cost::ar1_process>(
+        1.0, options.speed_ar1_rho, options.speed_ar1_sigma,
+        options.speed_floor_factor, options.speed_ceil_factor);
+    auto contention = std::make_unique<cost::markov_contention_process>(
+        1.0, options.contention_factor, options.contention_p_enter,
+        options.contention_p_exit);
+    w.speed_factor = std::make_unique<cost::product_process>(
+        std::move(drift), std::move(contention));
+    w.rate = std::make_unique<cost::bounded_walk_process>(
+        options.rate_start, options.rate_sigma, options.rate_floor,
+        options.rate_ceil);
+    workers_.push_back(std::move(w));
+  }
+}
+
+processor_kind cluster::kind(std::size_t worker) const {
+  DOLBIE_REQUIRE(worker < workers_.size(), "worker index out of range");
+  return workers_[worker].kind;
+}
+
+void cluster::advance_round() {
+  for (worker& w : workers_) {
+    w.speed_factor->step(w.gen);
+    w.rate->step(w.gen);
+  }
+}
+
+worker_conditions cluster::conditions(std::size_t worker) const {
+  DOLBIE_REQUIRE(worker < workers_.size(), "worker index out of range");
+  const auto& w = workers_[worker];
+  return {.gamma = w.base_gamma * w.speed_factor->current(),
+          .phi = w.rate->current()};
+}
+
+cost::cost_vector cluster::round_costs(double global_batch) const {
+  cost::cost_vector out;
+  out.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    out.push_back(round_cost(global_batch, model_bytes_, conditions(i)));
+  }
+  return out;
+}
+
+}  // namespace dolbie::ml

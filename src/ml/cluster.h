@@ -1,0 +1,82 @@
+// A simulated heterogeneous training cluster: N workers, each equipped with
+// a processor sampled uniformly at random from the catalogue (as in the
+// paper's experiments) plus stochastic processes for its per-round
+// processing speed gamma_{i,t} (AR(1) drift times Markov contention) and
+// data rate phi_{i,t} (bounded multiplicative walk).
+//
+// The environment is exogenous: the realized (gamma, phi) sequence depends
+// only on the seed, never on the policy's decisions, so every policy run
+// with the same seed faces an identical cost stream — the premise of the
+// paper's policy comparisons.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_function.h"
+#include "cost/process.h"
+#include "ml/latency.h"
+#include "ml/processor.h"
+
+namespace dolbie::ml {
+
+/// Knobs controlling cluster dynamics.
+struct cluster_options {
+  /// Calibration multiplier on every processor's nominal throughput (and
+  /// hence 1/latency scale). Used by ablation benches to study how the
+  /// *absolute* cost scale affects scale-sensitive policies (OGD's
+  /// beta * gradient step); the scale-free policies are invariant to it.
+  double speed_scale = 1.0;
+  // gamma drift: multiplicative AR(1) factor around 1.
+  double speed_ar1_rho = 0.8;
+  double speed_ar1_sigma = 0.05;
+  double speed_floor_factor = 0.6;
+  double speed_ceil_factor = 1.4;
+  // gamma contention: Markov-modulated slowdown episodes.
+  double contention_factor = 0.5;
+  double contention_p_enter = 0.05;
+  double contention_p_exit = 0.30;
+  // phi: data rate walk, bytes/second.
+  double rate_start = 1.2e10;  ///< ~96 Gbit/s effective fabric
+  double rate_sigma = 0.10;
+  double rate_floor = 0.6e10;
+  double rate_ceil = 2.4e10;
+};
+
+class cluster {
+ public:
+  /// Build an N-worker cluster for `model`, sampling processors with `seed`.
+  cluster(std::size_t n_workers, model_kind model, std::uint64_t seed,
+          cluster_options options = {});
+
+  std::size_t size() const { return workers_.size(); }
+  model_kind model() const { return model_; }
+
+  processor_kind kind(std::size_t worker) const;
+
+  /// Advance every worker's processes one round.
+  void advance_round();
+
+  /// Realized conditions of `worker` for the current round.
+  worker_conditions conditions(std::size_t worker) const;
+
+  /// The current round's cost functions f_{i,t}(b) = bB/gamma + d/phi.
+  cost::cost_vector round_costs(double global_batch) const;
+
+ private:
+  struct worker {
+    processor_kind kind;
+    double base_gamma = 0.0;
+    std::unique_ptr<cost::process> speed_factor;  ///< multiplies base_gamma
+    std::unique_ptr<cost::process> rate;          ///< phi, bytes/s
+    rng gen;
+  };
+
+  model_kind model_;
+  double model_bytes_;
+  std::vector<worker> workers_;
+};
+
+}  // namespace dolbie::ml

@@ -1,0 +1,31 @@
+#include "ml/latency.h"
+
+#include "common/error.h"
+
+namespace dolbie::ml {
+
+worker_round_time round_time(double fraction, double global_batch,
+                             double model_bytes,
+                             const worker_conditions& conditions) {
+  DOLBIE_REQUIRE(fraction >= 0.0 && fraction <= 1.0 + 1e-9,
+                 "batch fraction " << fraction << " outside [0,1]");
+  DOLBIE_REQUIRE(global_batch > 0.0, "global batch must be > 0");
+  DOLBIE_REQUIRE(conditions.gamma > 0.0, "processing speed must be > 0");
+  DOLBIE_REQUIRE(conditions.phi > 0.0, "data rate must be > 0");
+  worker_round_time out;
+  out.compute = fraction * global_batch / conditions.gamma;
+  out.comm = model_bytes / conditions.phi;
+  return out;
+}
+
+std::unique_ptr<const cost::affine_cost> round_cost(
+    double global_batch, double model_bytes,
+    const worker_conditions& conditions) {
+  DOLBIE_REQUIRE(global_batch > 0.0, "global batch must be > 0");
+  DOLBIE_REQUIRE(conditions.gamma > 0.0, "processing speed must be > 0");
+  DOLBIE_REQUIRE(conditions.phi > 0.0, "data rate must be > 0");
+  return std::make_unique<cost::affine_cost>(global_batch / conditions.gamma,
+                                             model_bytes / conditions.phi);
+}
+
+}  // namespace dolbie::ml

@@ -1,0 +1,42 @@
+// The per-round latency model of Sec. III-A:
+//
+//   f_{i,t}(b) = b * B / gamma_{i,t}  +  d_i / phi_{i,t}
+//                \__ processing __/     \__ communication __/
+//
+// with b the batch fraction, B the global batch size, gamma the realized
+// processing speed (samples/s), d the transmitted model bytes and phi the
+// realized data rate (bytes/s).
+#pragma once
+
+#include <memory>
+
+#include "cost/affine.h"
+
+namespace dolbie::ml {
+
+/// Realized per-round conditions of one worker.
+struct worker_conditions {
+  double gamma = 1.0;  ///< processing speed, samples/second
+  double phi = 1.0;    ///< data rate, bytes/second
+};
+
+/// Decomposition of one worker's round latency.
+struct worker_round_time {
+  double compute = 0.0;  ///< b * B / gamma
+  double comm = 0.0;     ///< d / phi
+  double total() const { return compute + comm; }
+};
+
+/// Latency decomposition for batch fraction `fraction` of global batch
+/// `global_batch` under `conditions`, for a model of `model_bytes`.
+worker_round_time round_time(double fraction, double global_batch,
+                             double model_bytes,
+                             const worker_conditions& conditions);
+
+/// The round's cost function for these conditions: an affine cost with
+/// slope B/gamma and intercept d/phi (exact analytic inverse).
+std::unique_ptr<const cost::affine_cost> round_cost(
+    double global_batch, double model_bytes,
+    const worker_conditions& conditions);
+
+}  // namespace dolbie::ml

@@ -1,0 +1,40 @@
+#include "ml/model.h"
+
+#include "common/error.h"
+
+namespace dolbie::ml {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+// Parameter counts are the standard CIFAR-10 variants; transmitted bytes
+// assume float32 parameters. Learning-curve constants are fitted so that
+// (with B = 256, ~195 rounds/epoch) LeNet5 plateaus earliest and VGG16
+// needs the most steps, mirroring typical CIFAR-10 training-accuracy runs.
+constexpr model_profile kLeNet5 = {
+    "LeNet5", 62'006.0, 62'006.0 * 4.0, 0.10, 0.990, 60.0, 0.80};
+constexpr model_profile kResNet18 = {
+    "ResNet18", 11'173'962.0, 11'173'962.0 * 4.0, 0.10, 0.995, 100.0, 0.70};
+constexpr model_profile kVgg16 = {
+    "VGG16", 138'357'544.0, 138'357'544.0 * 4.0, 0.10, 0.993, 120.0, 0.65};
+
+}  // namespace
+
+const model_profile& profile(model_kind kind) {
+  switch (kind) {
+    case model_kind::lenet5:
+      return kLeNet5;
+    case model_kind::resnet18:
+      return kResNet18;
+    case model_kind::vgg16:
+      return kVgg16;
+  }
+  DOLBIE_REQUIRE(false, "unknown model kind");
+}
+
+std::string_view model_name(model_kind kind) { return profile(kind).name; }
+
+// Silence "kMiB unused" if byte maths changes; keep for future profiles.
+static_assert(kMiB > 0.0);
+
+}  // namespace dolbie::ml

@@ -1,0 +1,46 @@
+// The ML model catalogue: LeNet5, ResNet18 and VGG16 on CIFAR-10, the three
+// workloads of the paper's Figs. 6-8. Each profile carries the transmitted
+// model size (the d_{i,t} of the communication term) and the parameters of
+// a saturating learning curve
+//
+//   acc(k) = acc_max - (acc_max - acc_0) * (1 + k/kappa)^(-beta)
+//
+// mapping SGD steps to training accuracy. The curve depends only on the
+// step count: with a fixed global batch B every policy follows the same
+// accuracy-vs-round trajectory, and policies differ purely through
+// wall-clock time per round — exactly the structure of the paper's
+// experiment.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace dolbie::ml {
+
+enum class model_kind {
+  lenet5,
+  resnet18,
+  vgg16,
+};
+
+inline constexpr std::array<model_kind, 3> all_models = {
+    model_kind::lenet5, model_kind::resnet18, model_kind::vgg16};
+
+struct model_profile {
+  std::string_view name;
+  double parameter_count = 0.0;  ///< trainable parameters
+  double model_bytes = 0.0;      ///< transmitted size d (float32 params)
+  // Learning-curve parameters.
+  double acc_initial = 0.0;
+  double acc_max = 0.0;
+  double kappa = 0.0;
+  double beta = 0.0;
+};
+
+/// Profile of a model kind.
+const model_profile& profile(model_kind kind);
+
+/// Human-readable model name.
+std::string_view model_name(model_kind kind);
+
+}  // namespace dolbie::ml

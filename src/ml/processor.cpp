@@ -1,0 +1,100 @@
+#include "ml/processor.h"
+
+#include "common/error.h"
+
+namespace dolbie::ml {
+
+std::string_view processor_name(processor_kind kind) {
+  switch (kind) {
+    case processor_kind::tesla_v100:
+      return "Tesla V100";
+    case processor_kind::tesla_p100:
+      return "Tesla P100";
+    case processor_kind::t4:
+      return "T4";
+    case processor_kind::cascade_lake:
+      return "Xeon Gold 6238 (Cascade Lake)";
+    case processor_kind::broadwell:
+      return "E5-2683 v4 (Broadwell)";
+  }
+  DOLBIE_REQUIRE(false, "unknown processor kind");
+}
+
+bool is_gpu(processor_kind kind) {
+  switch (kind) {
+    case processor_kind::tesla_v100:
+    case processor_kind::tesla_p100:
+    case processor_kind::t4:
+      return true;
+    case processor_kind::cascade_lake:
+    case processor_kind::broadwell:
+      return false;
+  }
+  DOLBIE_REQUIRE(false, "unknown processor kind");
+}
+
+double base_throughput(processor_kind kind, model_kind model) {
+  // samples/second; columns: LeNet5, ResNet18, VGG16. The GPU/CPU gap
+  // widens with model size (5x -> 29x -> 109x V100-vs-Broadwell: tiny
+  // models leave GPUs underutilized, heavy models crush CPUs), which is
+  // what amplifies DOLBIE's advantage from Fig. 6 to Fig. 8. Absolute
+  // values are representative CIFAR-10 training throughputs; note that the
+  // scale-free policies (DOLBIE, ABS, LB-BSP, EQU, OPT) are invariant to a
+  // uniform rescaling of this table, while OGD's beta*gradient step is not
+  // — the ablation bench sweeps cluster_options::speed_scale to show it.
+  switch (kind) {
+    case processor_kind::tesla_v100:
+      switch (model) {
+        case model_kind::lenet5:
+          return 60'000.0;
+        case model_kind::resnet18:
+          return 4'800.0;
+        case model_kind::vgg16:
+          return 240.0;
+      }
+      break;
+    case processor_kind::tesla_p100:
+      switch (model) {
+        case model_kind::lenet5:
+          return 50'000.0;
+        case model_kind::resnet18:
+          return 3'000.0;
+        case model_kind::vgg16:
+          return 140.0;
+      }
+      break;
+    case processor_kind::t4:
+      switch (model) {
+        case model_kind::lenet5:
+          return 40'000.0;
+        case model_kind::resnet18:
+          return 1'800.0;
+        case model_kind::vgg16:
+          return 80.0;
+      }
+      break;
+    case processor_kind::cascade_lake:
+      switch (model) {
+        case model_kind::lenet5:
+          return 18'000.0;
+        case model_kind::resnet18:
+          return 270.0;
+        case model_kind::vgg16:
+          return 4.5;
+      }
+      break;
+    case processor_kind::broadwell:
+      switch (model) {
+        case model_kind::lenet5:
+          return 12'000.0;
+        case model_kind::resnet18:
+          return 165.0;
+        case model_kind::vgg16:
+          return 2.2;
+      }
+      break;
+  }
+  DOLBIE_REQUIRE(false, "unknown processor/model combination");
+}
+
+}  // namespace dolbie::ml

@@ -1,0 +1,40 @@
+// The heterogeneous processor catalogue of the paper's testbed: five
+// processor types sampled uniformly at random per worker (Sec. VI-B).
+// Throughputs are representative samples-per-second figures for CIFAR-10
+// training of each model — stand-ins for the paper's "actual measured
+// computation time", chosen to preserve the GPU/CPU heterogeneity ratios
+// (and their growth from LeNet5 to VGG16) that drive the evaluation.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "ml/model.h"
+
+namespace dolbie::ml {
+
+enum class processor_kind {
+  tesla_v100,    ///< NVIDIA Tesla V100
+  tesla_p100,    ///< NVIDIA Tesla P100
+  t4,            ///< NVIDIA T4
+  cascade_lake,  ///< Intel Xeon Gold 6238 @ 2.10GHz
+  broadwell,     ///< Intel E5-2683 v4 @ 2.1GHz
+};
+
+inline constexpr std::array<processor_kind, 5> all_processors = {
+    processor_kind::tesla_v100, processor_kind::tesla_p100,
+    processor_kind::t4, processor_kind::cascade_lake,
+    processor_kind::broadwell};
+
+/// Human-readable processor name.
+std::string_view processor_name(processor_kind kind);
+
+/// True for the GPU types (used by the per-worker figure colour grouping).
+bool is_gpu(processor_kind kind);
+
+/// Nominal training throughput in samples/second of `kind` on `model`
+/// (CIFAR-10, SGD, cross-entropy). The per-round realized speed fluctuates
+/// around this via the cluster's stochastic processes.
+double base_throughput(processor_kind kind, model_kind model);
+
+}  // namespace dolbie::ml

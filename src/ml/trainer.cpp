@@ -1,0 +1,113 @@
+#include "ml/trainer.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "ml/accuracy.h"
+
+namespace dolbie::ml {
+
+double trainer_result::mean_utilization() const {
+  const double busy = total_compute + total_comm;
+  const double available = busy + total_wait;
+  return available > 0.0 ? busy / available : 0.0;
+}
+
+double trainer_result::time_to_accuracy(model_kind model,
+                                        double target) const {
+  const std::size_t steps = steps_to_accuracy(model, target);
+  if (steps == 0) return 0.0;
+  if (steps > round_latency.size()) return -1.0;
+  double t = 0.0;
+  for (std::size_t r = 0; r < steps; ++r) t += round_latency[r];
+  return t;
+}
+
+trainer_result train(core::online_policy& policy,
+                     const trainer_options& options) {
+  DOLBIE_REQUIRE(policy.workers() == options.n_workers,
+                 "policy configured for " << policy.workers()
+                                          << " workers, trainer for "
+                                          << options.n_workers);
+  DOLBIE_REQUIRE(options.rounds >= 1, "need at least one round");
+  using clock = std::chrono::steady_clock;
+
+  policy.reset();
+  cluster workers(options.n_workers, options.model, options.seed,
+                  options.cluster);
+  const double model_bytes = profile(options.model).model_bytes;
+
+  trainer_result result;
+  result.round_latency.set_name("round_latency");
+  result.accuracy.set_name("accuracy");
+  result.round_latency.reserve(options.rounds);
+  result.accuracy.reserve(options.rounds);
+  if (options.record_per_worker) {
+    result.worker_latency.resize(options.n_workers);
+    result.worker_batch.resize(options.n_workers);
+    for (std::size_t i = 0; i < options.n_workers; ++i) {
+      result.worker_latency[i].set_name(
+          std::string(processor_name(workers.kind(i))));
+      result.worker_batch[i].set_name(
+          std::string(processor_name(workers.kind(i))));
+    }
+  }
+
+  for (std::size_t t = 0; t < options.rounds; ++t) {
+    workers.advance_round();
+    const cost::cost_vector costs = workers.round_costs(options.global_batch);
+    const cost::cost_view view = cost::view_of(costs);
+
+    // Clairvoyant preview (OPT only), timed as decision overhead.
+    if (policy.clairvoyant()) {
+      const auto begin = clock::now();
+      policy.preview(view);
+      result.decision_seconds +=
+          std::chrono::duration<double>(clock::now() - begin).count();
+    }
+
+    // Play b_t: the round runs to the synchronization barrier.
+    const core::allocation& b = policy.current();
+    double round_latency = 0.0;
+    std::vector<double> totals(options.n_workers, 0.0);
+    double round_compute = 0.0;
+    double round_comm = 0.0;
+    for (std::size_t i = 0; i < options.n_workers; ++i) {
+      const worker_round_time wt = round_time(
+          b[i], options.global_batch, model_bytes, workers.conditions(i));
+      totals[i] = wt.total();
+      round_compute += wt.compute;
+      round_comm += wt.comm;
+      if (totals[i] > round_latency) round_latency = totals[i];
+    }
+    result.total_compute += round_compute;
+    result.total_comm += round_comm;
+    for (double wtotal : totals) {
+      result.total_wait += round_latency - wtotal;
+    }
+    result.round_latency.push(round_latency);
+    result.total_time += round_latency;
+    if (options.record_per_worker) {
+      for (std::size_t i = 0; i < options.n_workers; ++i) {
+        result.worker_latency[i].push(totals[i]);
+        result.worker_batch[i].push(b[i] * options.global_batch);
+      }
+    }
+
+    // One SGD step completed: accuracy advances on the shared curve.
+    result.accuracy.push(accuracy_after(options.model, t + 1));
+
+    // Reveal the costs; the policy prepares b_{t+1} (timed).
+    core::round_feedback feedback;
+    feedback.costs = &view;
+    feedback.local_costs = totals;
+    const auto begin = clock::now();
+    policy.observe(feedback);
+    result.decision_seconds +=
+        std::chrono::duration<double>(clock::now() - begin).count();
+  }
+  return result;
+}
+
+}  // namespace dolbie::ml

@@ -1,0 +1,67 @@
+// The synchronous distributed-SGD round simulator (Fig. 2's integration of
+// DOLBIE and distributed ML). Each training round:
+//
+//   1. the cluster's conditions advance (exogenous),
+//   2. a clairvoyant policy may preview the round's cost functions (OPT),
+//   3. the policy's batch fractions b_t are played; per-worker compute /
+//      communication / waiting times are recorded; the round latency is
+//      the straggler's total (the synchronization barrier),
+//   4. the revealed costs are fed back so the policy prepares b_{t+1},
+//   5. accuracy advances along the model's learning curve (one SGD step).
+//
+// Decision-making wall time (preview + observe) is measured with
+// steady_clock — the "overhead introduced by the load balancing
+// algorithms" of Fig. 11's lower panel.
+#pragma once
+
+#include <cstdint>
+
+#include "common/series.h"
+#include "core/policy.h"
+#include "ml/cluster.h"
+
+namespace dolbie::ml {
+
+struct trainer_options {
+  std::size_t rounds = 100;
+  std::size_t n_workers = 30;
+  double global_batch = 256.0;
+  model_kind model = model_kind::resnet18;
+  std::uint64_t seed = 1;
+  cluster_options cluster = {};
+  /// Record per-worker traces (Figs. 9-10). Off for the 100-realization
+  /// sweeps where only aggregates are needed.
+  bool record_per_worker = true;
+};
+
+struct trainer_result {
+  /// Per-round global latency l_t (Fig. 3) and its prefix sums (Fig. 5).
+  series round_latency;
+  /// Training accuracy after each round (Figs. 6-8, x-axis = cumulative
+  /// latency).
+  series accuracy;
+  /// Per-worker per-round latency (Fig. 9) and batch size in samples
+  /// (Fig. 10); empty when record_per_worker is false.
+  std::vector<series> worker_latency;
+  std::vector<series> worker_batch;
+  /// Utilization totals in worker-seconds over the whole run (Fig. 11 top).
+  double total_compute = 0.0;
+  double total_comm = 0.0;
+  double total_wait = 0.0;
+  /// Wall time spent inside the policy's decision code (Fig. 11 bottom).
+  double decision_seconds = 0.0;
+  /// Sum of round latencies = total training wall-clock.
+  double total_time = 0.0;
+
+  /// Mean fraction of the round a worker spent busy (compute + comm).
+  double mean_utilization() const;
+  /// Wall-clock time at which `target` training accuracy was first reached,
+  /// or a negative value when it never was.
+  double time_to_accuracy(model_kind model, double target) const;
+};
+
+/// Run `policy` (reset first) through a full training simulation.
+trainer_result train(core::online_policy& policy,
+                     const trainer_options& options);
+
+}  // namespace dolbie::ml

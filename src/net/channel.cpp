@@ -1,0 +1,23 @@
+#include "net/channel.h"
+
+namespace dolbie::net {
+
+void channel::push(message m) {
+  metrics_.messages_sent += 1;
+  metrics_.bytes_sent += m.wire_size_bytes();
+  queue_.push_back(std::move(m));
+}
+
+void channel::account_dropped(const message& m) {
+  metrics_.messages_sent += 1;
+  metrics_.bytes_sent += m.wire_size_bytes();
+}
+
+std::optional<message> channel::pop() {
+  if (queue_.empty()) return std::nullopt;
+  message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+}  // namespace dolbie::net

@@ -1,0 +1,101 @@
+#include "net/codec.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+
+namespace dolbie::net {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 1 + 1 + 2 + 4 + 4;
+
+constexpr std::uint8_t kMaxKind =
+    static_cast<std::uint8_t>(message_kind::cost_and_step);
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::size_t encoded_size(const message& m) {
+  return kHeaderBytes + 8 * m.payload.size();
+}
+
+std::vector<std::uint8_t> encode(const message& m) {
+  DOLBIE_REQUIRE(m.payload.size() <= std::numeric_limits<std::uint16_t>::max(),
+                 "payload too large for wire format: " << m.payload.size());
+  DOLBIE_REQUIRE(m.from <= std::numeric_limits<std::uint32_t>::max() &&
+                     m.to <= std::numeric_limits<std::uint32_t>::max(),
+                 "node id exceeds 32-bit wire format");
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(m));
+  out.push_back(static_cast<std::uint8_t>(m.kind));
+  out.push_back(0);  // reserved
+  put_u16(out, static_cast<std::uint16_t>(m.payload.size()));
+  put_u32(out, static_cast<std::uint32_t>(m.from));
+  put_u32(out, static_cast<std::uint32_t>(m.to));
+  for (double v : m.payload) put_f64(out, v);
+  return out;
+}
+
+std::optional<message> decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t kind = bytes[0];
+  if (kind > kMaxKind) return std::nullopt;
+  if (bytes[1] != 0) return std::nullopt;  // reserved must be zero
+  const std::uint16_t count = get_u16(&bytes[2]);
+  if (bytes.size() != kHeaderBytes + 8 * static_cast<std::size_t>(count)) {
+    return std::nullopt;
+  }
+  message m;
+  m.kind = static_cast<message_kind>(kind);
+  m.from = get_u32(&bytes[4]);
+  m.to = get_u32(&bytes[8]);
+  m.payload.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    m.payload.push_back(get_f64(&bytes[kHeaderBytes + 8 * i]));
+  }
+  return m;
+}
+
+}  // namespace dolbie::net

@@ -1,0 +1,41 @@
+// Byte-level wire format for protocol messages.
+//
+// The simulated network moves `message` structs directly; this codec pins
+// down what those messages would look like on a real wire, so the byte
+// accounting in metrics.h is backed by an actual serialization and a
+// deployment could swap the in-memory transport for sockets without
+// touching the protocol state machines.
+//
+// Layout (little-endian):
+//   u8   kind
+//   u8   reserved (0)
+//   u16  payload count
+//   u32  from            (node id, truncated - networks are small)
+//   u32  to
+//   f64  payload[count]
+//
+// The 8-byte `wire_size_bytes` header estimate in message.h corresponds to
+// kind+count+addressing; `encoded_size` reports the exact figure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace dolbie::net {
+
+/// Exact encoded size of a message in bytes.
+std::size_t encoded_size(const message& m);
+
+/// Serialize a message to bytes. Throws when the payload exceeds the
+/// format's 16-bit count or node ids exceed 32 bits.
+std::vector<std::uint8_t> encode(const message& m);
+
+/// Deserialize; returns nullopt on malformed input (short buffer, trailing
+/// bytes, unknown kind). Never throws on bad input — a real receiver must
+/// treat the wire as untrusted.
+std::optional<message> decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dolbie::net

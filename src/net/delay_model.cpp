@@ -1,0 +1,22 @@
+#include "net/delay_model.h"
+
+#include "common/error.h"
+
+namespace dolbie::net {
+
+double link_delay_model::message_time(std::size_t bytes) const {
+  DOLBIE_REQUIRE(base_latency >= 0.0, "latency must be >= 0");
+  DOLBIE_REQUIRE(bytes_per_second > 0.0, "bandwidth must be > 0");
+  return base_latency + static_cast<double>(bytes) / bytes_per_second;
+}
+
+double link_delay_model::serialized_time(std::size_t count,
+                                         std::size_t bytes) const {
+  DOLBIE_REQUIRE(base_latency >= 0.0, "latency must be >= 0");
+  DOLBIE_REQUIRE(bytes_per_second > 0.0, "bandwidth must be > 0");
+  if (count == 0) return 0.0;
+  return base_latency + static_cast<double>(count) *
+                            (static_cast<double>(bytes) / bytes_per_second);
+}
+
+}  // namespace dolbie::net

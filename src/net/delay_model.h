@@ -1,0 +1,27 @@
+// Link timing model: how long a protocol message takes on a real network,
+// as a function of per-message latency and link bandwidth. Used by
+// dist/round_timing to estimate the wall-clock cost of one DOLBIE round
+// under each protocol realization — the dimension Section IV-C's message
+// counts alone do not capture (the master-worker protocol has four
+// sequential communication phases, the fully-distributed one two).
+#pragma once
+
+#include <cstddef>
+
+namespace dolbie::net {
+
+/// Per-link delay parameters.
+struct link_delay_model {
+  double base_latency = 50e-6;       ///< propagation + stack latency [s]
+  double bytes_per_second = 1.25e9;  ///< ~10 Gbit/s
+
+  /// Wire time of one message of `bytes` bytes: latency + serialization.
+  double message_time(std::size_t bytes) const;
+
+  /// Time for one NIC to serially push/pull `count` messages of `bytes`
+  /// each (the incast/outcast bottleneck at a hub node): one latency plus
+  /// back-to-back transfers.
+  double serialized_time(std::size_t count, std::size_t bytes) const;
+};
+
+}  // namespace dolbie::net

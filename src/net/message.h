@@ -1,0 +1,41 @@
+// Wire-level message schema for the simulated network. Payloads are small
+// vectors of scalars — exactly the quantities the paper's protocols
+// exchange (local costs, step sizes, decisions, indicator flags) — so the
+// byte accounting in `wire_size_bytes` reflects the claimed communication
+// complexity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dolbie::net {
+
+/// Identifier of a node in the simulated network.
+using node_id = std::size_t;
+
+/// Protocol message kinds (union of both DOLBIE protocol realizations).
+enum class message_kind : std::uint8_t {
+  local_cost,      ///< worker -> master: l_{i,t}                (Alg. 1 l.4)
+  round_info,      ///< master -> worker: l_t, alpha_t, 1{i!=s}  (Alg. 1 l.12)
+  decision,        ///< non-straggler -> master/straggler: x_{i,t+1}
+  assignment,      ///< master -> straggler: x_{s,t+1}           (Alg. 1 l.15)
+  cost_and_step,   ///< peer broadcast: l_{i,t}, alpha-bar_{i,t} (Alg. 2 l.4)
+};
+
+/// One in-flight message.
+struct message {
+  node_id from = 0;
+  node_id to = 0;
+  message_kind kind = message_kind::local_cost;
+  std::vector<double> payload;
+
+  /// Serialized size under the wire format of net/codec.h: a 12-byte
+  /// header (kind, count, addressing) plus 8 bytes per scalar, matching
+  /// the paper's "each of which is a scalar value".
+  std::size_t wire_size_bytes() const {
+    return 12 + 8 * payload.size();
+  }
+};
+
+}  // namespace dolbie::net

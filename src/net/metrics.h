@@ -1,0 +1,17 @@
+// Traffic accounting for the simulated network, used to verify the
+// Section IV-C complexity claims: O(N) messages per round for the
+// master-worker protocol, O(N^2) for the fully-distributed one.
+#pragma once
+
+#include <cstddef>
+
+namespace dolbie::net {
+
+struct traffic_metrics {
+  std::size_t messages_sent = 0;
+  std::size_t bytes_sent = 0;
+
+  void reset() { *this = {}; }
+};
+
+}  // namespace dolbie::net

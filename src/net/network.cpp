@@ -1,0 +1,78 @@
+#include "net/network.h"
+
+#include "common/error.h"
+
+namespace dolbie::net {
+
+network::network(std::size_t n_nodes)
+    : n_(n_nodes),
+      links_(n_nodes * n_nodes),
+      pending_drops_(n_nodes * n_nodes, 0) {
+  DOLBIE_REQUIRE(n_nodes >= 1, "network needs at least one node");
+}
+
+channel& network::link(node_id from, node_id to) {
+  return links_[from * n_ + to];
+}
+
+const channel& network::link(node_id from, node_id to) const {
+  return links_[from * n_ + to];
+}
+
+void network::send(message m) {
+  DOLBIE_REQUIRE(m.from < n_ && m.to < n_,
+                 "message endpoints (" << m.from << " -> " << m.to
+                                       << ") out of range for " << n_
+                                       << " nodes");
+  DOLBIE_REQUIRE(m.from != m.to, "node " << m.from << " sent to itself");
+  std::size_t& drops = pending_drops_[m.from * n_ + m.to];
+  if (drops > 0) {
+    // The sender still paid for the message; it just never arrives.
+    --drops;
+    ++dropped_;
+    link(m.from, m.to).account_dropped(m);
+    return;
+  }
+  link(m.from, m.to).push(std::move(m));
+}
+
+void network::inject_drop(node_id from, node_id to, std::size_t count) {
+  DOLBIE_REQUIRE(from < n_ && to < n_, "drop endpoints out of range");
+  pending_drops_[from * n_ + to] += count;
+}
+
+std::optional<message> network::receive(node_id to, node_id from) {
+  DOLBIE_REQUIRE(from < n_ && to < n_, "receive endpoints out of range");
+  return link(from, to).pop();
+}
+
+std::optional<message> network::receive_any(node_id to) {
+  DOLBIE_REQUIRE(to < n_, "receive endpoint out of range");
+  for (node_id from = 0; from < n_; ++from) {
+    if (auto m = link(from, to).pop()) return m;
+  }
+  return std::nullopt;
+}
+
+std::size_t network::pending_for(node_id to) const {
+  std::size_t total = 0;
+  for (node_id from = 0; from < n_; ++from) {
+    total += link(from, to).pending();
+  }
+  return total;
+}
+
+traffic_metrics network::total_traffic() const {
+  traffic_metrics total;
+  for (const channel& c : links_) {
+    total.messages_sent += c.metrics().messages_sent;
+    total.bytes_sent += c.metrics().bytes_sent;
+  }
+  return total;
+}
+
+void network::reset_traffic() {
+  for (channel& c : links_) c.reset_metrics();
+}
+
+}  // namespace dolbie::net

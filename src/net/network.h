@@ -1,0 +1,56 @@
+// The simulated network: a dense matrix of point-to-point channels with
+// aggregate traffic metrics. Deterministic and single-threaded by design —
+// protocol progress is driven explicitly in phases by src/dist/runner, which
+// makes every interleaving reproducible (and the tests meaningful).
+#pragma once
+
+#include <vector>
+
+#include "net/channel.h"
+
+namespace dolbie::net {
+
+class network {
+ public:
+  explicit network(std::size_t n_nodes);
+
+  std::size_t nodes() const { return n_; }
+
+  /// Send a message; `m.from`/`m.to` must be valid node ids and distinct.
+  void send(message m);
+
+  /// Receive the oldest pending message from `from` to `to`.
+  std::optional<message> receive(node_id to, node_id from);
+
+  /// Receive the oldest pending message addressed to `to` from any sender
+  /// (scanning senders in id order for determinism).
+  std::optional<message> receive_any(node_id to);
+
+  /// Count of messages currently pending for `to`.
+  std::size_t pending_for(node_id to) const;
+
+  /// Aggregate traffic since construction or the last reset.
+  traffic_metrics total_traffic() const;
+  void reset_traffic();
+
+  /// Fault injection: silently drop the next `count` messages sent on the
+  /// (from, to) link. Dropped messages still count as sent in the traffic
+  /// metrics (the sender paid for them). Used by the fault-injection tests
+  /// to verify that both protocol realizations *detect* message loss (they
+  /// fail fast with a diagnostic) instead of computing with stale state.
+  void inject_drop(node_id from, node_id to, std::size_t count = 1);
+
+  /// Messages dropped so far by fault injection.
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  channel& link(node_id from, node_id to);
+  const channel& link(node_id from, node_id to) const;
+
+  std::size_t n_;
+  std::vector<channel> links_;  // dense n*n matrix, row = from, col = to
+  std::vector<std::size_t> pending_drops_;  // same indexing as links_
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dolbie::net

@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace dolbie::sim {
+
+void event_queue::schedule(sim_time at, std::function<void()> action) {
+  DOLBIE_REQUIRE(at >= now_, "cannot schedule into the past: " << at
+                                                               << " < "
+                                                               << now_);
+  DOLBIE_REQUIRE(action != nullptr, "null event action");
+  heap_.push({at, next_sequence_++, std::move(action)});
+}
+
+void event_queue::schedule_in(sim_time delay, std::function<void()> action) {
+  DOLBIE_REQUIRE(delay >= 0.0, "negative delay " << delay);
+  schedule(now_ + delay, std::move(action));
+}
+
+bool event_queue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast-free copy of the
+  // handle then pop. The action is copied once; events are small.
+  event e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.action();
+  return true;
+}
+
+std::size_t event_queue::run_to_completion(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (step()) {
+    DOLBIE_REQUIRE(++executed <= max_events,
+                   "event budget exceeded: " << max_events
+                                             << " events executed");
+  }
+  return executed;
+}
+
+}  // namespace dolbie::sim

@@ -1,0 +1,58 @@
+// A deterministic discrete-event scheduler: the spine of the asynchronous
+// protocol simulation (src/dist/async_master_worker). Events fire in
+// simulated-time order; ties break by insertion order, so runs are
+// bit-reproducible regardless of how the schedule was built.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dolbie::sim {
+
+/// Simulated time in seconds.
+using sim_time = double;
+
+class event_queue {
+ public:
+  /// Schedule `action` to fire at absolute time `at`. `at` must not lie in
+  /// the past (i.e. must be >= now()).
+  void schedule(sim_time at, std::function<void()> action);
+
+  /// Convenience: schedule `action` `delay` seconds from now.
+  void schedule_in(sim_time delay, std::function<void()> action);
+
+  /// Current simulated time (the firing time of the last executed event).
+  sim_time now() const { return now_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Pop and execute the earliest event. Returns false when idle.
+  bool step();
+
+  /// Run until no events remain. `max_events` guards against runaway
+  /// self-scheduling loops; throws when exceeded. Returns the number of
+  /// events executed.
+  std::size_t run_to_completion(std::size_t max_events = 1'000'000);
+
+ private:
+  struct event {
+    sim_time at;
+    std::uint64_t sequence;  // FIFO tie-breaker
+    std::function<void()> action;
+  };
+  struct later {
+    bool operator()(const event& a, const event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<event, std::vector<event>, later> heap_;
+  sim_time now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace dolbie::sim

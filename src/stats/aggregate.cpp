@@ -1,0 +1,34 @@
+#include "stats/aggregate.h"
+
+#include "common/error.h"
+
+namespace dolbie::stats {
+
+aggregated_series aggregate(const std::vector<series>& realizations,
+                            double confidence) {
+  DOLBIE_REQUIRE(realizations.size() >= 2,
+                 "aggregation needs at least two realizations, got "
+                     << realizations.size());
+  const std::size_t rounds = realizations.front().size();
+  DOLBIE_REQUIRE(rounds > 0, "realizations are empty");
+  for (const series& s : realizations) {
+    DOLBIE_REQUIRE(s.size() == rounds,
+                   "realization '" << s.name() << "' has " << s.size()
+                                   << " rounds, expected " << rounds);
+  }
+  aggregated_series out;
+  out.name = realizations.front().name();
+  out.realizations = realizations.size();
+  out.mean.reserve(rounds);
+  out.half_width.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    summary s;
+    for (const series& real : realizations) s.add(real[r]);
+    const confidence_interval ci = mean_confidence_interval(s, confidence);
+    out.mean.push_back(ci.mean);
+    out.half_width.push_back(ci.half_width);
+  }
+  return out;
+}
+
+}  // namespace dolbie::stats

@@ -1,0 +1,27 @@
+// Aggregation of per-round traces across independent realizations: the tool
+// behind every "95% CI over 100 realizations" series in the evaluation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/series.h"
+#include "stats/ci.h"
+
+namespace dolbie::stats {
+
+/// Per-round mean and confidence half-width across realizations.
+struct aggregated_series {
+  std::string name;
+  std::vector<double> mean;        ///< mean[r] over realizations at round r
+  std::vector<double> half_width;  ///< CI half-width at round r
+  std::size_t realizations = 0;
+};
+
+/// Aggregate equal-length realizations of the same trace into a per-round
+/// mean with `confidence`-level Student-t intervals. Throws when the traces
+/// are empty or have mismatched lengths.
+aggregated_series aggregate(const std::vector<series>& realizations,
+                            double confidence = 0.95);
+
+}  // namespace dolbie::stats

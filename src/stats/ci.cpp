@@ -1,0 +1,93 @@
+#include "stats/ci.h"
+
+#include <cmath>
+
+#include "common/bisect.h"
+#include "common/error.h"
+
+namespace dolbie::stats {
+namespace {
+
+// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+// expansion (Lentz's method), the standard numerically stable evaluation.
+double incomplete_beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-15;
+  constexpr double kTiny = 1e-30;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * incomplete_beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * incomplete_beta_cf(b, a, 1.0 - x) / b;
+}
+
+// CDF of Student's t with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * regularized_incomplete_beta(dof / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double student_t_critical(std::size_t dof, double confidence) {
+  DOLBIE_REQUIRE(dof >= 1, "Student-t needs dof >= 1");
+  DOLBIE_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0, 1), got " << confidence);
+  const double target = 1.0 - (1.0 - confidence) / 2.0;  // upper tail point
+  const double d = static_cast<double>(dof);
+  // The critical value is the root of CDF(t) - target, increasing in t.
+  // 1e6 comfortably brackets any confidence below 1 - 1e-9 at dof >= 1.
+  bisect_options opts;
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 300;
+  return bisect_root_increasing(
+      0.0, 1e6, [&](double t) { return student_t_cdf(t, d) - target; }, opts);
+}
+
+confidence_interval mean_confidence_interval(const summary& s,
+                                             double confidence) {
+  DOLBIE_REQUIRE(s.count() >= 2,
+                 "confidence interval needs at least two observations");
+  const double tcrit = student_t_critical(s.count() - 1, confidence);
+  const double sem = s.stddev() / std::sqrt(static_cast<double>(s.count()));
+  return {s.mean(), tcrit * sem};
+}
+
+}  // namespace dolbie::stats

@@ -1,0 +1,28 @@
+// Student-t confidence intervals for the mean, as used by the paper's
+// "95% CI over 100 realizations" figures (Figs. 4 and 5).
+#pragma once
+
+#include <cstddef>
+
+#include "stats/summary.h"
+
+namespace dolbie::stats {
+
+/// A symmetric confidence interval around a sample mean.
+struct confidence_interval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< margin of error; interval is mean +/- this
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+/// Two-sided Student-t critical value t_{dof, 1 - alpha/2}. `confidence` is
+/// the coverage (e.g. 0.95). Computed by bisection on the incomplete-beta
+/// CDF, exact to ~1e-10; valid for dof >= 1.
+double student_t_critical(std::size_t dof, double confidence);
+
+/// Confidence interval for the mean from a summary. Requires count >= 2.
+confidence_interval mean_confidence_interval(const summary& s,
+                                             double confidence = 0.95);
+
+}  // namespace dolbie::stats

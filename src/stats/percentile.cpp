@@ -1,0 +1,33 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dolbie::stats {
+
+double percentile(std::span<const double> values, double p) {
+  DOLBIE_REQUIRE(!values.empty(), "percentile of empty range");
+  DOLBIE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile " << p << " out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+five_number_summary box_stats(std::span<const double> values) {
+  five_number_summary s;
+  s.min = percentile(values, 0.0);
+  s.q1 = percentile(values, 25.0);
+  s.median = percentile(values, 50.0);
+  s.q3 = percentile(values, 75.0);
+  s.max = percentile(values, 100.0);
+  return s;
+}
+
+}  // namespace dolbie::stats

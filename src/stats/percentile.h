@@ -1,0 +1,27 @@
+// Percentile estimation (linear interpolation between order statistics),
+// used by the Fig. 11 overhead box-plot style statistics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dolbie::stats {
+
+/// p-th percentile (p in [0, 100]) of `values` with linear interpolation
+/// between closest ranks (the "linear" / type-7 method). Throws on empty
+/// input or p outside [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// The five-number summary used for box plots.
+struct five_number_summary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Five-number summary of `values`. Throws on empty input.
+five_number_summary box_stats(std::span<const double> values);
+
+}  // namespace dolbie::stats

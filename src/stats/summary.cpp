@@ -1,0 +1,73 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dolbie::stats {
+
+void summary::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void summary::merge(const summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge formulas.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double summary::mean() const {
+  DOLBIE_REQUIRE(count_ > 0, "mean of empty summary");
+  return mean_;
+}
+
+double summary::variance() const {
+  DOLBIE_REQUIRE(count_ >= 2, "variance needs at least two observations");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double summary::stddev() const { return std::sqrt(variance()); }
+
+double summary::min() const {
+  DOLBIE_REQUIRE(count_ > 0, "min of empty summary");
+  return min_;
+}
+
+double summary::max() const {
+  DOLBIE_REQUIRE(count_ > 0, "max of empty summary");
+  return max_;
+}
+
+double summary::total() const {
+  return mean_ * static_cast<double>(count_);
+}
+
+summary summarize(std::span<const double> values) {
+  summary s;
+  for (double v : values) s.add(v);
+  return s;
+}
+
+}  // namespace dolbie::stats

@@ -1,0 +1,43 @@
+// Single-pass running summary statistics (Welford's algorithm): count, mean,
+// (sample) variance, min, max. Used wherever a figure reports an average.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dolbie::stats {
+
+/// Accumulates scalar observations and exposes their summary statistics.
+class summary {
+ public:
+  void add(double value);
+  void merge(const summary& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Mean of the observations. Throws when empty.
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). Throws when count < 2.
+  double variance() const;
+  /// Square root of variance(). Throws when count < 2.
+  double stddev() const;
+  /// Smallest observation. Throws when empty.
+  double min() const;
+  /// Largest observation. Throws when empty.
+  double max() const;
+  /// Sum of all observations (count * mean, zero when empty).
+  double total() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary over an existing range of values.
+summary summarize(std::span<const double> values);
+
+}  // namespace dolbie::stats

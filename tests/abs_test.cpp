@@ -1,0 +1,149 @@
+#include "baselines/abs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "cost/affine.h"
+
+namespace dolbie::baselines {
+namespace {
+
+core::round_feedback feed(const cost::cost_view& view,
+                          const std::vector<double>& locals) {
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  return fb;
+}
+
+void observe(abs_policy& p, const cost::cost_vector& costs) {
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, p.current());
+  p.observe(feed(view, locals));
+}
+
+cost::cost_vector slopes(std::vector<double> s) {
+  cost::cost_vector out;
+  for (double v : s) out.push_back(std::make_unique<cost::affine_cost>(v, 0.0));
+  return out;
+}
+
+TEST(AbsPolicy, Construction) {
+  abs_policy p(3);
+  EXPECT_EQ(p.name(), "ABS");
+  EXPECT_TRUE(on_simplex(p.current()));
+  EXPECT_THROW(abs_policy(0), invariant_error);
+  abs_options bad;
+  bad.window = 0;
+  EXPECT_THROW(abs_policy(2, bad), invariant_error);
+}
+
+TEST(AbsPolicy, HoldsStillInsideWindow) {
+  abs_options o;
+  o.window = 5;
+  abs_policy p(2, o);
+  const auto costs = slopes({1.0, 4.0});
+  for (int t = 0; t < 4; ++t) {
+    observe(p, costs);
+    for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.5);
+  }
+}
+
+TEST(AbsPolicy, RepartitionsInverselyToCostAfterWindow) {
+  abs_options o;
+  o.window = 1;  // re-partition every round
+  abs_policy p(2, o);
+  // Costs at the uniform point: l = (0.5, 2.0); weights 1/l = (2, 0.5).
+  const auto costs = slopes({1.0, 4.0});
+  observe(p, costs);
+  EXPECT_NEAR(p.current()[0], 0.8, 1e-12);
+  EXPECT_NEAR(p.current()[1], 0.2, 1e-12);
+}
+
+TEST(AbsPolicy, OscillatesOnStaticCosts) {
+  // The paper's "radical fluctuation": the inverse-cost map is (close to) a
+  // reflection in log space, so on static costs it cycles with period two
+  // instead of settling. Slopes (1, 4) from uniform: (0.5, 0.5) ->
+  // (0.8, 0.2) -> equal costs -> (0.5, 0.5) -> ... forever.
+  abs_options o;
+  o.window = 1;
+  abs_policy p(2, o);
+  const auto costs = slopes({1.0, 4.0});
+  for (int t = 0; t < 20; ++t) {
+    observe(p, costs);
+    const double expected = (t % 2 == 0) ? 0.8 : 0.5;
+    ASSERT_NEAR(p.current()[0], expected, 1e-9) << "round " << t;
+  }
+}
+
+TEST(AbsPolicy, WindowAveragesAcrossRounds) {
+  abs_options o;
+  o.window = 2;
+  abs_policy p(2, o);
+  const auto costs = slopes({1.0, 1.0});
+  observe(p, costs);  // window not full yet
+  observe(p, costs);  // triggers re-partition; equal speeds -> uniform
+  for (double v : p.current()) EXPECT_NEAR(v, 0.5, 1e-12);
+}
+
+TEST(AbsPolicy, OverweightsWorkloadIndependentCosts) {
+  // The documented ABS brittleness (paper Sec. VI): a pure-communication
+  // (constant) cost component distorts the proportional rule. Worker 1 has
+  // the same slope but a large constant term; ABS under-allocates to it
+  // even though shifting work would not change its constant cost.
+  abs_options o;
+  o.window = 1;
+  abs_policy p(2, o);
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 10.0));
+  observe(p, costs);
+  EXPECT_LT(p.current()[1], 0.1);  // starved despite equal marginal speed
+}
+
+TEST(AbsPolicy, StaysOnSimplexUnderManyRounds) {
+  abs_options o;
+  o.window = 3;
+  abs_policy p(4, o);
+  const auto costs = slopes({1.0, 2.0, 3.0, 4.0});
+  for (int t = 0; t < 100; ++t) {
+    observe(p, costs);
+    ASSERT_TRUE(on_simplex(p.current(), 1e-7)) << "round " << t;
+  }
+}
+
+TEST(AbsPolicy, SurvivesZeroWorkloadWorkers) {
+  // Once a worker's allocation hits ~0 its measured speed is ~0; the
+  // epsilon floor must keep the re-partition well defined.
+  abs_options o;
+  o.window = 1;
+  abs_policy p(3, o);
+  const auto costs = slopes({1.0, 1.0, 1000.0});
+  for (int t = 0; t < 20; ++t) {
+    observe(p, costs);
+    ASSERT_TRUE(on_simplex(p.current(), 1e-7));
+  }
+}
+
+TEST(AbsPolicy, ResetClearsHistory) {
+  abs_options o;
+  o.window = 2;
+  abs_policy p(2, o);
+  const auto costs = slopes({1.0, 4.0});
+  observe(p, costs);
+  p.reset();
+  // One more observation must NOT trigger a re-partition (history empty).
+  observe(p, costs);
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(AbsPolicy, SingleWorkerNoOp) {
+  abs_policy p(1);
+  const auto costs = slopes({3.0});
+  observe(p, costs);
+  EXPECT_DOUBLE_EQ(p.current()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace dolbie::baselines

@@ -1,0 +1,75 @@
+#include "stats/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::stats {
+namespace {
+
+series make_series(const std::string& name, std::vector<double> values) {
+  series s(name);
+  for (double v : values) s.push(v);
+  return s;
+}
+
+TEST(Aggregate, MeanPerRound) {
+  std::vector<series> runs;
+  runs.push_back(make_series("r", {1.0, 10.0}));
+  runs.push_back(make_series("r", {3.0, 20.0}));
+  runs.push_back(make_series("r", {5.0, 30.0}));
+  const aggregated_series agg = aggregate(runs);
+  ASSERT_EQ(agg.mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(agg.mean[1], 20.0);
+  EXPECT_EQ(agg.realizations, 3u);
+  EXPECT_EQ(agg.name, "r");
+}
+
+TEST(Aggregate, ZeroVarianceGivesZeroHalfWidth) {
+  std::vector<series> runs;
+  runs.push_back(make_series("c", {2.0, 2.0, 2.0}));
+  runs.push_back(make_series("c", {2.0, 2.0, 2.0}));
+  const aggregated_series agg = aggregate(runs);
+  for (double hw : agg.half_width) EXPECT_DOUBLE_EQ(hw, 0.0);
+}
+
+TEST(Aggregate, HalfWidthMatchesDirectCI) {
+  rng g(5);
+  std::vector<series> runs;
+  for (int r = 0; r < 30; ++r) {
+    series s("x");
+    for (int t = 0; t < 4; ++t) s.push(g.gaussian(1.0, 0.5));
+    runs.push_back(std::move(s));
+  }
+  const aggregated_series agg = aggregate(runs, 0.95);
+  for (std::size_t t = 0; t < 4; ++t) {
+    summary s;
+    for (const series& run : runs) s.add(run[t]);
+    const confidence_interval ci = mean_confidence_interval(s, 0.95);
+    EXPECT_NEAR(agg.mean[t], ci.mean, 1e-12);
+    EXPECT_NEAR(agg.half_width[t], ci.half_width, 1e-12);
+  }
+}
+
+TEST(Aggregate, RejectsMismatchedLengths) {
+  std::vector<series> runs;
+  runs.push_back(make_series("a", {1.0, 2.0}));
+  runs.push_back(make_series("a", {1.0}));
+  EXPECT_THROW(aggregate(runs), invariant_error);
+}
+
+TEST(Aggregate, RejectsTooFewRealizations) {
+  std::vector<series> runs;
+  runs.push_back(make_series("a", {1.0}));
+  EXPECT_THROW(aggregate(runs), invariant_error);
+}
+
+TEST(Aggregate, RejectsEmptyTraces) {
+  std::vector<series> runs{series("a"), series("a")};
+  EXPECT_THROW(aggregate(runs), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::stats

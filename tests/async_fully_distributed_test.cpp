@@ -1,0 +1,113 @@
+#include "dist/async_fully_distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "cost/affine.h"
+#include "dist/async_master_worker.h"
+#include "exp/scenario.h"
+
+namespace dolbie::dist {
+namespace {
+
+TEST(AsyncFullyDistributed, IteratesBitIdenticallyToSequentialReference) {
+  constexpr std::size_t kWorkers = 9;
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 17);
+  async_fully_distributed engine(kWorkers);
+  core::dolbie_policy sequential(kWorkers);
+  for (int t = 0; t < 50; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const auto locals = cost::evaluate(view, sequential.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    sequential.observe(fb);
+    const async_round_result r = engine.run_round(view);
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      ASSERT_EQ(r.next_allocation[i], sequential.current()[i])
+          << "round " << t << " worker " << i;
+    }
+  }
+}
+
+TEST(AsyncFullyDistributed, MessageCountIsNSquaredMinusOne) {
+  async_fully_distributed engine(7);
+  auto env = exp::make_synthetic_environment(
+      7, exp::synthetic_family::affine, 2);
+  const cost::cost_vector costs = env->next_round();
+  const async_round_result r = engine.run_round(cost::view_of(costs));
+  EXPECT_EQ(r.messages, 7u * 7u - 1u);
+}
+
+TEST(AsyncFullyDistributed, FewerLatencyLegsThanMasterWorker) {
+  // Latency-dominated link: FD needs 2 message legs to MW's 4, so its
+  // protocol overhead should be roughly half.
+  async_options o;
+  o.link.base_latency = 10e-3;
+  o.link.bytes_per_second = 1e12;
+  async_master_worker mw(8, o);
+  async_fully_distributed fd(8, o);
+  auto env = exp::make_synthetic_environment(
+      8, exp::synthetic_family::affine, 5);
+  const cost::cost_vector costs = env->next_round();
+  const cost::cost_view view = cost::view_of(costs);
+  const double mw_overhead = mw.run_round(view).protocol_duration;
+  const double fd_overhead = fd.run_round(view).protocol_duration;
+  EXPECT_LT(fd_overhead, 0.6 * mw_overhead);
+}
+
+TEST(AsyncFullyDistributed, OnlyStragglerStepSizeTightens) {
+  async_fully_distributed engine(4);
+  const double alpha1 = engine.local_step_sizes()[0];
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(30.0, 0.0));
+  engine.run_round(cost::view_of(costs));
+  EXPECT_DOUBLE_EQ(engine.local_step_sizes()[0], alpha1);
+  EXPECT_DOUBLE_EQ(engine.local_step_sizes()[1], alpha1);
+  EXPECT_DOUBLE_EQ(engine.local_step_sizes()[2], alpha1);
+  EXPECT_LE(engine.local_step_sizes()[3], alpha1);
+}
+
+TEST(AsyncFullyDistributed, AllocationStaysOnSimplex) {
+  async_fully_distributed engine(12);
+  auto env = exp::make_synthetic_environment(
+      12, exp::synthetic_family::saturating, 8);
+  for (int t = 0; t < 40; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    engine.run_round(cost::view_of(costs));
+    ASSERT_TRUE(on_simplex(engine.allocation())) << "round " << t;
+  }
+}
+
+TEST(AsyncFullyDistributed, SingleWorkerAndValidation) {
+  async_fully_distributed solo(1);
+  cost::cost_vector one;
+  one.push_back(std::make_unique<cost::affine_cost>(3.0, 0.0));
+  const async_round_result r = solo.run_round(cost::view_of(one));
+  EXPECT_DOUBLE_EQ(r.next_allocation[0], 1.0);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_THROW(async_fully_distributed(0), invariant_error);
+}
+
+TEST(AsyncFullyDistributed, ResetRestoresState) {
+  async_options o;
+  o.protocol.initial_step = 0.02;
+  async_fully_distributed engine(3, o);
+  auto env = exp::make_synthetic_environment(
+      3, exp::synthetic_family::affine, 1);
+  const cost::cost_vector costs = env->next_round();
+  engine.run_round(cost::view_of(costs));
+  engine.reset();
+  for (double v : engine.allocation()) EXPECT_DOUBLE_EQ(v, 1.0 / 3);
+  for (double a : engine.local_step_sizes()) EXPECT_DOUBLE_EQ(a, 0.02);
+}
+
+}  // namespace
+}  // namespace dolbie::dist

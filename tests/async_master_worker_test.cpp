@@ -1,0 +1,121 @@
+#include "dist/async_master_worker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "cost/affine.h"
+#include "exp/scenario.h"
+
+namespace dolbie::dist {
+namespace {
+
+TEST(AsyncMasterWorker, SingleWorkerComputesOnly) {
+  async_master_worker engine(1);
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(2.0, 0.5));
+  const async_round_result r = engine.run_round(cost::view_of(costs));
+  EXPECT_DOUBLE_EQ(r.next_allocation[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.round_duration, 2.5);
+  EXPECT_DOUBLE_EQ(r.protocol_duration, 0.0);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(AsyncMasterWorker, IteratesBitIdenticallyToSequentialReference) {
+  constexpr std::size_t kWorkers = 9;
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 13);
+  async_master_worker engine(kWorkers);
+  core::dolbie_policy sequential(kWorkers);  // same Eq. (7) schedule
+  for (int t = 0; t < 50; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const auto locals = cost::evaluate(view, sequential.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    sequential.observe(fb);
+    const async_round_result r = engine.run_round(view);
+    ASSERT_EQ(r.next_allocation.size(), kWorkers);
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      ASSERT_EQ(r.next_allocation[i], sequential.current()[i])
+          << "round " << t << " worker " << i;
+    }
+    ASSERT_DOUBLE_EQ(engine.step_size(), sequential.step_size())
+        << "round " << t;
+  }
+}
+
+TEST(AsyncMasterWorker, RoundDurationDecomposes) {
+  async_master_worker engine(6);
+  auto env = exp::make_synthetic_environment(
+      6, exp::synthetic_family::affine, 3);
+  const cost::cost_vector costs = env->next_round();
+  const cost::cost_view view = cost::view_of(costs);
+  const async_round_result r = engine.run_round(view);
+  // Compute barrier = the straggler's local cost.
+  const auto locals = cost::evaluate(view, engine.allocation());
+  EXPECT_GT(r.compute_duration, 0.0);
+  EXPECT_GT(r.protocol_duration, 0.0);
+  EXPECT_NEAR(r.round_duration,
+              r.compute_duration + r.protocol_duration, 1e-12);
+  EXPECT_EQ(r.messages, 3u * 6u);
+  (void)locals;
+}
+
+TEST(AsyncMasterWorker, ProtocolOverheadScalesWithLinkDelay) {
+  auto run_with_latency = [](double latency) {
+    async_options o;
+    o.link.base_latency = latency;
+    async_master_worker engine(8, o);
+    auto env = exp::make_synthetic_environment(
+        8, exp::synthetic_family::affine, 4);
+    const cost::cost_vector costs = env->next_round();
+    return engine.run_round(cost::view_of(costs)).protocol_duration;
+  };
+  // The protocol needs 4 sequential message legs; overhead grows ~4x the
+  // added latency.
+  const double fast = run_with_latency(50e-6);
+  const double slow = run_with_latency(10e-3);
+  EXPECT_GT(slow, fast + 4 * (10e-3 - 50e-6) * 0.9);
+}
+
+TEST(AsyncMasterWorker, AllocationStaysOnSimplex) {
+  async_master_worker engine(10);
+  auto env = exp::make_synthetic_environment(
+      10, exp::synthetic_family::power, 8);
+  for (int t = 0; t < 40; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    engine.run_round(cost::view_of(costs));
+    ASSERT_TRUE(on_simplex(engine.allocation())) << "round " << t;
+  }
+}
+
+TEST(AsyncMasterWorker, ResetRestoresInitialState) {
+  async_options o;
+  o.protocol.initial_step = 0.01;
+  async_master_worker engine(4, o);
+  auto env = exp::make_synthetic_environment(
+      4, exp::synthetic_family::affine, 2);
+  const cost::cost_vector costs = env->next_round();
+  engine.run_round(cost::view_of(costs));
+  engine.reset();
+  for (double v : engine.allocation()) EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_DOUBLE_EQ(engine.step_size(), 0.01);
+}
+
+TEST(AsyncMasterWorker, RejectsBadInputs) {
+  EXPECT_THROW(async_master_worker(0), invariant_error);
+  async_options bad;
+  bad.compute_delay = -1.0;
+  EXPECT_THROW(async_master_worker(2, bad), invariant_error);
+  async_master_worker engine(3);
+  cost::cost_vector two;
+  two.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  two.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  EXPECT_THROW(engine.run_round(cost::view_of(two)), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::dist

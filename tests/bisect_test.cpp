@@ -1,0 +1,109 @@
+#include "common/bisect.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie {
+namespace {
+
+TEST(BisectMaxTrue, WholeIntervalTrueReturnsHi) {
+  EXPECT_DOUBLE_EQ(bisect_max_true(0.0, 1.0, [](double) { return true; }),
+                   1.0);
+}
+
+TEST(BisectMaxTrue, FindsBoundaryOfStepPredicate) {
+  const double boundary = 0.37;
+  const double found =
+      bisect_max_true(0.0, 1.0, [&](double x) { return x <= boundary; });
+  EXPECT_NEAR(found, boundary, 1e-10);
+  EXPECT_LE(found, boundary);  // returned point satisfies the predicate
+}
+
+TEST(BisectMaxTrue, BoundaryAtLowerEndpoint) {
+  const double found =
+      bisect_max_true(0.0, 1.0, [](double x) { return x <= 0.0; });
+  EXPECT_NEAR(found, 0.0, 1e-10);
+}
+
+TEST(BisectMaxTrue, RespectsCustomTolerance) {
+  bisect_options opts;
+  opts.tolerance = 1e-3;
+  const double found =
+      bisect_max_true(0.0, 1.0, [](double x) { return x <= 0.5; }, opts);
+  EXPECT_NEAR(found, 0.5, 1e-3);
+}
+
+TEST(BisectMaxTrue, WideIntervals) {
+  const double found =
+      bisect_max_true(0.0, 1e9, [](double x) { return x * x <= 2.0; });
+  EXPECT_NEAR(found, std::sqrt(2.0), 1e-6);
+}
+
+TEST(BisectMaxTrue, ThrowsOnInvertedInterval) {
+  EXPECT_THROW(bisect_max_true(1.0, 0.0, [](double) { return true; }),
+               invariant_error);
+}
+
+TEST(BisectMaxTrue, ThrowsWhenPredFailsAtLo) {
+  EXPECT_THROW(bisect_max_true(0.0, 1.0, [](double) { return false; }),
+               invariant_error);
+}
+
+TEST(BisectRootIncreasing, FindsLinearRoot) {
+  const double root =
+      bisect_root_increasing(-10.0, 10.0, [](double x) { return 2.0 * x - 3.0; });
+  EXPECT_NEAR(root, 1.5, 1e-9);
+}
+
+TEST(BisectRootIncreasing, FindsCubeRoot) {
+  const double root = bisect_root_increasing(
+      0.0, 10.0, [](double x) { return x * x * x - 27.0; });
+  EXPECT_NEAR(root, 3.0, 1e-9);
+}
+
+TEST(BisectRootIncreasing, RootAtEndpointLo) {
+  EXPECT_DOUBLE_EQ(
+      bisect_root_increasing(2.0, 5.0, [](double x) { return x - 2.0; }), 2.0);
+}
+
+TEST(BisectRootIncreasing, RootAtEndpointHi) {
+  EXPECT_DOUBLE_EQ(
+      bisect_root_increasing(0.0, 2.0, [](double x) { return x - 2.0; }), 2.0);
+}
+
+TEST(BisectRootIncreasing, ThrowsWhenNotBracketed) {
+  EXPECT_THROW(
+      bisect_root_increasing(0.0, 1.0, [](double x) { return x + 1.0; }),
+      invariant_error);
+}
+
+TEST(BisectRootIncreasing, HandlesFlatRegions) {
+  // g is 0 on [0.4, 0.6]; any point in the flat region is a valid root.
+  const auto g = [](double x) {
+    if (x < 0.4) return x - 0.4;
+    if (x > 0.6) return x - 0.6;
+    return 0.0;
+  };
+  const double root = bisect_root_increasing(0.0, 1.0, g);
+  EXPECT_NEAR(g(root), 0.0, 1e-9);
+}
+
+// Property sweep: the boundary is recovered for many positions.
+class BisectBoundarySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BisectBoundarySweep, RecoversBoundary) {
+  const double boundary = GetParam();
+  const double found =
+      bisect_max_true(0.0, 1.0, [&](double x) { return x <= boundary; });
+  EXPECT_NEAR(found, boundary, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, BisectBoundarySweep,
+                         ::testing::Values(0.0, 1e-6, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0 - 1e-6));
+
+}  // namespace
+}  // namespace dolbie

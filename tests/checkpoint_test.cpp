@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "exp/harness.h"
+#include "exp/scenario.h"
+
+namespace dolbie::core {
+namespace {
+
+TEST(Checkpoint, SnapshotCapturesIterationState) {
+  dolbie_policy p(4);
+  const dolbie_policy::state s = p.snapshot();
+  EXPECT_EQ(s.x, p.current());
+  EXPECT_DOUBLE_EQ(s.alpha, p.step_size());
+}
+
+TEST(Checkpoint, RestoreResumesExactly) {
+  // Run 30 rounds, snapshot, run 30 more; then restore the snapshot into a
+  // fresh policy and replay the same 30 rounds — traces must be identical.
+  auto env1 = exp::make_synthetic_environment(
+      5, exp::synthetic_family::affine, 99);
+  dolbie_policy original(5);
+  exp::harness_options o;
+  o.rounds = 30;
+  exp::run(original, *env1, o);  // note: run() resets, then plays 30 rounds
+  const dolbie_policy::state mid = original.snapshot();
+
+  // Continue the original for 30 more rounds on the same environment.
+  series continued("a");
+  for (int t = 0; t < 30; ++t) {
+    const cost::cost_vector costs = env1->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const round_outcome outcome = evaluate_round(view, original.current());
+    continued.push(outcome.global_cost);
+    round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = outcome.local_costs;
+    original.observe(fb);
+  }
+
+  // Rebuild the environment to the same mid-point, restore, replay.
+  auto env2 = exp::make_synthetic_environment(
+      5, exp::synthetic_family::affine, 99);
+  for (int t = 0; t < 30; ++t) env2->next_round();
+  dolbie_policy resumed(5);
+  resumed.restore(mid);
+  series replayed("b");
+  for (int t = 0; t < 30; ++t) {
+    const cost::cost_vector costs = env2->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const round_outcome outcome = evaluate_round(view, resumed.current());
+    replayed.push(outcome.global_cost);
+    round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = outcome.local_costs;
+    resumed.observe(fb);
+  }
+  ASSERT_EQ(continued.size(), replayed.size());
+  for (std::size_t t = 0; t < continued.size(); ++t) {
+    EXPECT_DOUBLE_EQ(continued[t], replayed[t]) << "round " << t;
+  }
+}
+
+TEST(Checkpoint, RestoreValidates) {
+  dolbie_policy p(3);
+  dolbie_policy::state bad_size{{0.5, 0.5}, 0.1};
+  EXPECT_THROW(p.restore(bad_size), invariant_error);
+  dolbie_policy::state off_simplex{{0.5, 0.2, 0.2}, 0.1};
+  EXPECT_THROW(p.restore(off_simplex), invariant_error);
+  dolbie_policy::state bad_alpha{{0.4, 0.3, 0.3}, 1.5};
+  EXPECT_THROW(p.restore(bad_alpha), invariant_error);
+  dolbie_policy::state negative_alpha{{0.4, 0.3, 0.3}, -0.1};
+  EXPECT_THROW(p.restore(negative_alpha), invariant_error);
+}
+
+TEST(Checkpoint, RestoreClearsDerivedState) {
+  auto env = exp::make_synthetic_environment(
+      3, exp::synthetic_family::affine, 1);
+  dolbie_policy p(3);
+  exp::harness_options o;
+  o.rounds = 5;
+  exp::run(p, *env, o);
+  EXPECT_FALSE(p.last_max_acceptable().empty());
+  p.restore({uniform_point(3), 0.2});
+  EXPECT_TRUE(p.last_max_acceptable().empty());
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.2);
+}
+
+}  // namespace
+}  // namespace dolbie::core

@@ -1,0 +1,118 @@
+// Worker churn: membership changes between rounds (extension beyond the
+// paper's fixed worker set). Invariants: the allocation stays on the
+// simplex through any admit/remove sequence, the step size stays feasible
+// for the new N, and the online iteration keeps running soundly afterwards.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "core/policy.h"
+#include "exp/scenario.h"
+
+namespace dolbie::core {
+namespace {
+
+TEST(Churn, AdmitTakesShareProportionally) {
+  dolbie_options o;
+  o.initial_partition = {0.6, 0.4};
+  dolbie_policy p(2, o);
+  const worker_id id = p.admit_worker(0.2);
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(p.workers(), 3u);
+  EXPECT_DOUBLE_EQ(p.current()[0], 0.6 * 0.8);
+  EXPECT_DOUBLE_EQ(p.current()[1], 0.4 * 0.8);
+  EXPECT_DOUBLE_EQ(p.current()[2], 0.2);
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(Churn, AdmitWithZeroShareJoinsIdle) {
+  dolbie_policy p(3);
+  p.admit_worker(0.0);
+  EXPECT_EQ(p.workers(), 4u);
+  EXPECT_DOUBLE_EQ(p.current()[3], 0.0);
+  EXPECT_TRUE(on_simplex(p.current()));
+  // A zero-share member pins the worst-case cap at zero until it earns
+  // workload — the documented conservative behaviour.
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.0);
+}
+
+TEST(Churn, RemoveRedistributesProportionally) {
+  dolbie_options o;
+  o.initial_partition = {0.5, 0.3, 0.2};
+  dolbie_policy p(3, o);
+  p.remove_worker(0);
+  EXPECT_EQ(p.workers(), 2u);
+  // 0.3 and 0.2 scale up by 1/0.5.
+  EXPECT_NEAR(p.current()[0], 0.6, 1e-12);
+  EXPECT_NEAR(p.current()[1], 0.4, 1e-12);
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(Churn, RemoveSoleLoadedWorkerFallsBackToUniform) {
+  dolbie_options o;
+  o.initial_partition = {1.0, 0.0, 0.0};
+  dolbie_policy p(3, o);
+  p.remove_worker(0);
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(Churn, Validation) {
+  dolbie_policy p(2);
+  EXPECT_THROW(p.admit_worker(-0.1), invariant_error);
+  EXPECT_THROW(p.admit_worker(1.0), invariant_error);
+  EXPECT_THROW(p.remove_worker(5), invariant_error);
+  dolbie_options o;
+  o.initial_partition = {1.0};
+  dolbie_policy solo(1, o);
+  EXPECT_THROW(solo.remove_worker(0), invariant_error);
+}
+
+TEST(Churn, IterationStaysSoundThroughChurnSequence) {
+  rng gen(31);
+  dolbie_policy p(4);
+  std::size_t n = 4;
+  for (int phase = 0; phase < 12; ++phase) {
+    // Random membership event.
+    if (n <= 2 || (n < 12 && gen.bernoulli(0.5))) {
+      p.admit_worker(gen.uniform(0.0, 0.3));
+      ++n;
+    } else {
+      p.remove_worker(
+          static_cast<worker_id>(gen.uniform_int(0, static_cast<int>(n) - 1)));
+      --n;
+    }
+    ASSERT_EQ(p.workers(), n);
+    ASSERT_TRUE(on_simplex(p.current())) << "phase " << phase;
+    ASSERT_GE(p.step_size(), 0.0);
+    ASSERT_LE(p.step_size(), 1.0);
+    // Run a few online rounds at the new membership.
+    auto env = exp::make_synthetic_environment(
+        n, exp::synthetic_family::mixed, gen.engine()());
+    for (int t = 0; t < 5; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      const cost::cost_view view = cost::view_of(costs);
+      const round_outcome outcome = evaluate_round(view, p.current());
+      round_feedback fb;
+      fb.costs = &view;
+      fb.local_costs = outcome.local_costs;
+      p.observe(fb);
+      ASSERT_TRUE(on_simplex(p.current()))
+          << "phase " << phase << " round " << t;
+    }
+  }
+}
+
+TEST(Churn, ResetRestoresConstructionSizeAfterChurn) {
+  dolbie_policy p(3);
+  p.admit_worker(0.1);
+  p.admit_worker(0.1);
+  EXPECT_EQ(p.workers(), 5u);
+  p.reset();
+  EXPECT_EQ(p.workers(), 3u);
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 1.0 / 3);
+}
+
+}  // namespace
+}  // namespace dolbie::core

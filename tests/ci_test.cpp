@@ -1,0 +1,95 @@
+#include "stats/ci.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::stats {
+namespace {
+
+// Reference values from standard t-tables.
+TEST(StudentT, MatchesTables95) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-2);
+  EXPECT_NEAR(student_t_critical(2, 0.95), 4.303, 1e-3);
+  EXPECT_NEAR(student_t_critical(5, 0.95), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_critical(99, 0.95), 1.984, 1e-3);
+}
+
+TEST(StudentT, MatchesTables99) {
+  EXPECT_NEAR(student_t_critical(5, 0.99), 4.032, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.99), 2.750, 1e-3);
+}
+
+TEST(StudentT, MatchesTables90) {
+  EXPECT_NEAR(student_t_critical(10, 0.90), 1.812, 1e-3);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_critical(100000, 0.95), 1.960, 2e-3);
+}
+
+TEST(StudentT, MonotoneInConfidence) {
+  EXPECT_LT(student_t_critical(10, 0.90), student_t_critical(10, 0.95));
+  EXPECT_LT(student_t_critical(10, 0.95), student_t_critical(10, 0.99));
+}
+
+TEST(StudentT, MonotoneDecreasingInDof) {
+  EXPECT_GT(student_t_critical(2, 0.95), student_t_critical(5, 0.95));
+  EXPECT_GT(student_t_critical(5, 0.95), student_t_critical(50, 0.95));
+}
+
+TEST(StudentT, RejectsBadArguments) {
+  EXPECT_THROW(student_t_critical(0, 0.95), invariant_error);
+  EXPECT_THROW(student_t_critical(5, 0.0), invariant_error);
+  EXPECT_THROW(student_t_critical(5, 1.0), invariant_error);
+}
+
+TEST(ConfidenceInterval, KnownSmallSample) {
+  // Data {1,2,3,4,5}: mean 3, sd sqrt(2.5), n=5, t_4 = 2.776.
+  const summary s = summarize(std::vector<double>{1, 2, 3, 4, 5});
+  const confidence_interval ci = mean_confidence_interval(s, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(2.5 / 5.0), 1e-3);
+  EXPECT_NEAR(ci.lower(), ci.mean - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.upper(), ci.mean + ci.half_width, 1e-12);
+}
+
+TEST(ConfidenceInterval, RequiresTwoObservations) {
+  summary s;
+  s.add(1.0);
+  EXPECT_THROW(mean_confidence_interval(s), invariant_error);
+}
+
+TEST(ConfidenceInterval, CoverageIsRoughlyNominal) {
+  // Monte-Carlo: the 95% CI should contain the true mean ~95% of the time.
+  rng g(2026);
+  constexpr int kTrials = 2000;
+  constexpr int kSample = 20;
+  int covered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    summary s;
+    for (int i = 0; i < kSample; ++i) s.add(g.gaussian(10.0, 4.0));
+    const confidence_interval ci = mean_confidence_interval(s, 0.95);
+    if (ci.lower() <= 10.0 && 10.0 <= ci.upper()) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_NEAR(coverage, 0.95, 0.02);
+}
+
+TEST(ConfidenceInterval, ShrinksWithSampleSize) {
+  rng g(7);
+  summary small;
+  summary large;
+  for (int i = 0; i < 10; ++i) small.add(g.gaussian(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(g.gaussian(0.0, 1.0));
+  EXPECT_GT(mean_confidence_interval(small).half_width,
+            mean_confidence_interval(large).half_width);
+}
+
+}  // namespace
+}  // namespace dolbie::stats

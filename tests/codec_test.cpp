@@ -1,0 +1,143 @@
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::net {
+namespace {
+
+TEST(Codec, RoundTripsAllKinds) {
+  for (message_kind kind :
+       {message_kind::local_cost, message_kind::round_info,
+        message_kind::decision, message_kind::assignment,
+        message_kind::cost_and_step}) {
+    message m{3, 7, kind, {1.5, -2.25, 1e-300}};
+    const auto bytes = encode(m);
+    const auto back = decode(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->from, m.from);
+    EXPECT_EQ(back->to, m.to);
+    EXPECT_EQ(back->kind, m.kind);
+    ASSERT_EQ(back->payload.size(), m.payload.size());
+    for (std::size_t i = 0; i < m.payload.size(); ++i) {
+      EXPECT_DOUBLE_EQ(back->payload[i], m.payload[i]);
+    }
+  }
+}
+
+TEST(Codec, EmptyPayload) {
+  message m{0, 1, message_kind::assignment, {}};
+  const auto bytes = encode(m);
+  EXPECT_EQ(bytes.size(), encoded_size(m));
+  EXPECT_EQ(bytes.size(), 12u);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(Codec, EncodedSizeMatches) {
+  message m{1, 2, message_kind::round_info, {1.0, 2.0, 3.0}};
+  EXPECT_EQ(encode(m).size(), encoded_size(m));
+  EXPECT_EQ(encoded_size(m), 12u + 24u);
+}
+
+TEST(Codec, EncodedSizeAgreesWithTrafficAccounting) {
+  // The network's byte metrics (message::wire_size_bytes) must equal the
+  // actual wire format's size — the accounting is backed by real bytes.
+  for (std::size_t scalars : {0u, 1u, 2u, 3u, 10u}) {
+    message m{0, 1, message_kind::decision,
+              std::vector<double>(scalars, 1.0)};
+    EXPECT_EQ(m.wire_size_bytes(), encoded_size(m)) << scalars;
+  }
+}
+
+TEST(Codec, PreservesSpecialDoubles) {
+  message m{0, 1, message_kind::local_cost,
+            {0.0, -0.0, std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::denorm_min(),
+             std::numeric_limits<double>::max()}};
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload[0], 0.0);
+  EXPECT_TRUE(std::signbit(back->payload[1]));
+  EXPECT_TRUE(std::isinf(back->payload[2]));
+  EXPECT_EQ(back->payload[3], std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(back->payload[4], std::numeric_limits<double>::max());
+}
+
+TEST(Codec, RejectsShortBuffer) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  auto bytes = encode(m);
+  bytes.pop_back();
+  EXPECT_FALSE(decode(bytes).has_value());
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(Codec, RejectsTrailingBytes) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  auto bytes = encode(m);
+  bytes.push_back(0);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsUnknownKind) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  auto bytes = encode(m);
+  bytes[0] = 200;  // not a valid message_kind
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsNonZeroReserved) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  auto bytes = encode(m);
+  bytes[1] = 1;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsCorruptCount) {
+  message m{0, 1, message_kind::local_cost, {1.0, 2.0}};
+  auto bytes = encode(m);
+  bytes[2] = 5;  // claims 5 payload doubles, buffer carries 2
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, FuzzDecodeNeverCrashes) {
+  rng gen(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> noise(
+        static_cast<std::size_t>(gen.uniform_int(0, 64)));
+    for (auto& b : noise) {
+      b = static_cast<std::uint8_t>(gen.uniform_int(0, 255));
+    }
+    // Must return either nullopt or a well-formed message; never throw.
+    const auto result = decode(noise);
+    if (result.has_value()) {
+      EXPECT_EQ(noise.size(), encoded_size(*result));
+    }
+  }
+}
+
+TEST(Codec, FuzzRoundTripRandomMessages) {
+  rng gen(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    message m;
+    m.from = static_cast<node_id>(gen.uniform_int(0, 1000));
+    m.to = static_cast<node_id>(gen.uniform_int(0, 1000));
+    m.kind = static_cast<message_kind>(gen.uniform_int(0, 4));
+    const auto count = gen.uniform_int(0, 16);
+    for (int i = 0; i < count; ++i) {
+      m.payload.push_back(gen.uniform(-1e6, 1e6));
+    }
+    const auto back = decode(encode(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->from, m.from);
+    EXPECT_EQ(back->to, m.to);
+    EXPECT_EQ(back->kind, m.kind);
+    EXPECT_EQ(back->payload, m.payload);
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::net

@@ -1,0 +1,70 @@
+#include "cost/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cost/affine.h"
+#include "cost/power.h"
+
+namespace dolbie::cost {
+namespace {
+
+composite_cost make_two_term() {
+  std::vector<composite_cost::term> terms;
+  terms.push_back({2.0, std::make_unique<affine_cost>(1.0, 0.5)});
+  terms.push_back({1.0, std::make_unique<power_cost>(3.0, 2.0, 0.0)});
+  return composite_cost(std::move(terms));
+}
+
+TEST(CompositeCost, SumsWeightedTerms) {
+  const composite_cost f = make_two_term();
+  // 2*(x + 0.5) + 3x^2 at x = 0.5: 2*1.0 + 0.75 = 2.75.
+  EXPECT_DOUBLE_EQ(f.value(0.5), 2.75);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 1.0);
+  EXPECT_EQ(f.terms(), 2u);
+}
+
+TEST(CompositeCost, RemainsIncreasing) {
+  const composite_cost f = make_two_term();
+  EXPECT_TRUE(appears_increasing(f));
+}
+
+TEST(CompositeCost, BisectionInverseIsConsistent) {
+  const composite_cost f = make_two_term();
+  for (double x : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const double l = f.value(x);
+    const double xp = f.inverse_max(l);
+    EXPECT_NEAR(xp, x, 1e-9) << "level " << l;
+    EXPECT_LE(f.value(xp), l + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(f.inverse_max(0.5), 0.0);   // below f(0)
+  EXPECT_DOUBLE_EQ(f.inverse_max(100.0), 1.0);  // above f(1)
+}
+
+TEST(CompositeCost, ZeroWeightTermIsInert) {
+  std::vector<composite_cost::term> terms;
+  terms.push_back({1.0, std::make_unique<affine_cost>(2.0, 0.0)});
+  terms.push_back({0.0, std::make_unique<power_cost>(100.0, 2.0, 50.0)});
+  const composite_cost f(std::move(terms));
+  EXPECT_DOUBLE_EQ(f.value(0.5), 1.0);
+}
+
+TEST(CompositeCost, DescribeMentionsAllTerms) {
+  const composite_cost f = make_two_term();
+  const std::string d = f.describe();
+  EXPECT_NE(d.find("affine"), std::string::npos);
+  EXPECT_NE(d.find("power"), std::string::npos);
+}
+
+TEST(CompositeCost, RejectsBadConstruction) {
+  EXPECT_THROW(composite_cost({}), invariant_error);
+  std::vector<composite_cost::term> negative;
+  negative.push_back({-1.0, std::make_unique<affine_cost>(1.0, 0.0)});
+  EXPECT_THROW(composite_cost(std::move(negative)), invariant_error);
+  std::vector<composite_cost::term> null_fn;
+  null_fn.push_back({1.0, nullptr});
+  EXPECT_THROW(composite_cost(std::move(null_fn)), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::cost

@@ -1,0 +1,117 @@
+// Whole-pipeline determinism: every experiment surface must be a pure
+// function of its seed. These tests run each pipeline twice and demand
+// bit-identical traces — the property that makes every figure in
+// EXPERIMENTS.md reproducible with --seed.
+#include <gtest/gtest.h>
+
+#include "core/dolbie.h"
+#include "edge/scenario.h"
+#include "exp/harness.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
+#include "learn/distributed_trainer.h"
+#include "ml/trainer.h"
+
+namespace dolbie {
+namespace {
+
+TEST(Determinism, HarnessOnSyntheticEnvironment) {
+  const auto run_once = [] {
+    auto env = exp::make_synthetic_environment(
+        7, exp::synthetic_family::mixed, 777);
+    core::dolbie_policy policy(7);
+    exp::harness_options o;
+    o.rounds = 60;
+    o.track_regret = true;
+    return exp::run(policy, *env, o);
+  };
+  const exp::run_trace a = run_once();
+  const exp::run_trace b = run_once();
+  for (std::size_t t = 0; t < 60; ++t) {
+    ASSERT_EQ(a.global_cost[t], b.global_cost[t]) << "round " << t;
+    ASSERT_EQ(a.optimal_cost[t], b.optimal_cost[t]) << "round " << t;
+  }
+  ASSERT_EQ(a.regret.regret(), b.regret.regret());
+  ASSERT_EQ(a.regret.path_length(), b.regret.path_length());
+}
+
+TEST(Determinism, MlTrainerFullPipeline) {
+  const auto run_once = [] {
+    ml::trainer_options o;
+    o.rounds = 50;
+    o.n_workers = 12;
+    o.seed = 2026;
+    core::dolbie_policy policy(12);
+    return ml::train(policy, o);
+  };
+  const ml::trainer_result a = run_once();
+  const ml::trainer_result b = run_once();
+  for (std::size_t t = 0; t < 50; ++t) {
+    ASSERT_EQ(a.round_latency[t], b.round_latency[t]) << "round " << t;
+  }
+  ASSERT_EQ(a.total_wait, b.total_wait);
+  ASSERT_EQ(a.total_compute, b.total_compute);
+  for (std::size_t i = 0; i < a.worker_batch.size(); ++i) {
+    for (std::size_t t = 0; t < 50; ++t) {
+      ASSERT_EQ(a.worker_batch[i][t], b.worker_batch[i][t]);
+    }
+  }
+}
+
+TEST(Determinism, EdgeScenario) {
+  const auto run_once = [] {
+    edge::offloading_environment env({}, 31);
+    core::dolbie_policy policy(env.workers());
+    exp::harness_options o;
+    o.rounds = 40;
+    return exp::run(policy, env, o);
+  };
+  const exp::run_trace a = run_once();
+  const exp::run_trace b = run_once();
+  for (std::size_t t = 0; t < 40; ++t) {
+    ASSERT_EQ(a.global_cost[t], b.global_cost[t]) << "round " << t;
+  }
+}
+
+TEST(Determinism, RealDistributedTraining) {
+  const auto run_once = [] {
+    const learn::dataset all =
+        learn::dataset::gaussian_blobs(600, 2, 3, 0.5, 17);
+    const learn::dataset train = all.subset(0, 500);
+    const learn::dataset test = all.subset(500, 100);
+    core::dolbie_policy policy(5);
+    learn::softmax_regression model(2, 3, 4);
+    learn::real_training_options o;
+    o.rounds = 60;
+    o.n_workers = 5;
+    o.global_batch = 32;
+    o.seed = 55;
+    return learn::train_distributed(policy, model, train, test, o);
+  };
+  const learn::real_training_result a = run_once();
+  const learn::real_training_result b = run_once();
+  for (std::size_t t = 0; t < 60; ++t) {
+    ASSERT_EQ(a.train_loss[t], b.train_loss[t]) << "round " << t;
+    ASSERT_EQ(a.round_latency[t], b.round_latency[t]) << "round " << t;
+  }
+  ASSERT_EQ(a.final_test_accuracy, b.final_test_accuracy);
+}
+
+TEST(Determinism, PolicySuiteSweep) {
+  ml::trainer_options o;
+  o.rounds = 20;
+  o.n_workers = 8;
+  const auto suite = exp::paper_policy_suite();
+  for (const auto& [name, factory] : suite) {
+    const exp::ml_sweep_result a =
+        exp::sweep_training(name, factory, o, 3, 9);
+    const exp::ml_sweep_result b =
+        exp::sweep_training(name, factory, o, 3, 9);
+    for (std::size_t r = 0; r < 3; ++r) {
+      ASSERT_EQ(a.total_time[r], b.total_time[r]) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dolbie

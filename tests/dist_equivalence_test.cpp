@@ -1,0 +1,138 @@
+// The two protocol realizations must (a) produce bit-identical iterates to
+// the sequential reference and (b) exchange exactly the message counts
+// Section IV-C claims: 3N per round (master-worker, O(N)) and N^2 - 1 per
+// round (fully-distributed, O(N^2)).
+#include "dist/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/simplex.h"
+#include "cost/affine.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
+#include "exp/scenario.h"
+
+namespace dolbie::dist {
+namespace {
+
+using param = std::tuple<std::size_t, exp::synthetic_family, std::uint64_t>;
+
+std::string param_name(const ::testing::TestParamInfo<param>& info) {
+  const std::size_t n = std::get<0>(info.param);
+  const exp::synthetic_family family = std::get<1>(info.param);
+  const std::uint64_t seed = std::get<2>(info.param);
+  return "N" + std::to_string(n) + "_" +
+         (family == exp::synthetic_family::affine ? "affine" : "mixed") +
+         "_seed" + std::to_string(seed);
+}
+
+class ProtocolEquivalence : public ::testing::TestWithParam<param> {};
+
+TEST_P(ProtocolEquivalence, BitIdenticalToSequentialReference) {
+  const auto [n, family, seed] = GetParam();
+  auto env = exp::make_synthetic_environment(n, family, seed);
+  const equivalence_report report =
+      run_equivalence(n, 60, [&] { return env->next_round(); });
+  EXPECT_EQ(report.max_divergence_master_worker, 0.0);
+  EXPECT_EQ(report.max_divergence_fully_distributed, 0.0);
+}
+
+TEST_P(ProtocolEquivalence, MessageCountsMatchSectionIVC) {
+  const auto [n, family, seed] = GetParam();
+  if (n < 2) GTEST_SKIP() << "single worker exchanges no messages";
+  auto env = exp::make_synthetic_environment(n, family, seed);
+  const equivalence_report report =
+      run_equivalence(n, 10, [&] { return env->next_round(); });
+  // Master-worker: N local costs + N infos + (N-1) decisions + 1 assignment.
+  EXPECT_EQ(report.master_worker_traffic.messages_sent, 3 * n);
+  // Fully-distributed: N(N-1) broadcasts + (N-1) decisions to the straggler.
+  EXPECT_EQ(report.fully_distributed_traffic.messages_sent, n * n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolEquivalence,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 7, 16, 30),
+                       ::testing::Values(exp::synthetic_family::affine,
+                                         exp::synthetic_family::mixed),
+                       ::testing::Values<std::uint64_t>(1, 99)),
+    param_name);
+
+TEST(MasterWorkerPolicy, CustomInitialConditionsPropagate) {
+  protocol_options o;
+  o.initial_partition = {0.6, 0.3, 0.1};
+  o.initial_step = 0.01;
+  master_worker_policy p(3, o);
+  EXPECT_DOUBLE_EQ(p.current()[0], 0.6);
+  EXPECT_DOUBLE_EQ(p.master_step_size(), 0.01);
+}
+
+TEST(MasterWorkerPolicy, SingleWorkerNoMessages) {
+  master_worker_policy p(1);
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(2.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  core::round_feedback fb;
+  fb.costs = &view;
+  const std::vector<double> locals{2.0};
+  fb.local_costs = locals;
+  p.observe(fb);
+  EXPECT_DOUBLE_EQ(p.current()[0], 1.0);
+  EXPECT_EQ(p.last_round_traffic().messages_sent, 0u);
+}
+
+TEST(FullyDistributedPolicy, LocalStepSizesOnlyTightenAtStragglers) {
+  fully_distributed_policy p(3);
+  const double alpha1 = p.local_step_sizes()[0];
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(2.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(9.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, p.current());
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  p.observe(fb);
+  // Straggler is worker 2; only its local step size may have changed.
+  EXPECT_DOUBLE_EQ(p.local_step_sizes()[0], alpha1);
+  EXPECT_DOUBLE_EQ(p.local_step_sizes()[1], alpha1);
+  EXPECT_LE(p.local_step_sizes()[2], alpha1);
+}
+
+TEST(FullyDistributedPolicy, ResetRestoresState) {
+  fully_distributed_policy p(4);
+  auto env = exp::make_synthetic_environment(
+      4, exp::synthetic_family::affine, 5);
+  for (int t = 0; t < 5; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const auto locals = cost::evaluate(view, p.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    p.observe(fb);
+  }
+  p.reset();
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.25);
+  for (double a : p.local_step_sizes()) {
+    EXPECT_DOUBLE_EQ(a, p.local_step_sizes()[0]);
+  }
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(ProtocolTraffic, BytesScaleWithMessages) {
+  auto env = exp::make_synthetic_environment(
+      8, exp::synthetic_family::affine, 2);
+  const equivalence_report report =
+      run_equivalence(8, 5, [&] { return env->next_round(); });
+  // Every message carries 1-3 scalars: bytes within [20, 36] each.
+  const auto& mw = report.master_worker_traffic;
+  EXPECT_GE(mw.bytes_sent, mw.messages_sent * 20);
+  EXPECT_LE(mw.bytes_sent, mw.messages_sent * 36);
+  const auto& fd = report.fully_distributed_traffic;
+  EXPECT_GE(fd.bytes_sent, fd.messages_sent * 20);
+  EXPECT_LE(fd.bytes_sent, fd.messages_sent * 36);
+}
+
+}  // namespace
+}  // namespace dolbie::dist

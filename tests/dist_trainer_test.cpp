@@ -1,0 +1,67 @@
+// Cross-substrate integration: the protocol realizations implement
+// core::online_policy, so they drop straight into the distributed-ML
+// trainer. Both must produce the exact same training trace as the
+// sequential DOLBIE reference on the same cluster seed — the end-to-end
+// version of the per-round equivalence tests.
+#include <gtest/gtest.h>
+
+#include "baselines/equal.h"
+#include "core/dolbie.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
+#include "ml/trainer.h"
+
+namespace dolbie {
+namespace {
+
+ml::trainer_options options(std::uint64_t seed) {
+  ml::trainer_options o;
+  o.rounds = 60;
+  o.n_workers = 12;
+  o.model = ml::model_kind::resnet18;
+  o.seed = seed;
+  o.record_per_worker = false;
+  return o;
+}
+
+TEST(DistTrainer, MasterWorkerMatchesSequentialOnFullTraining) {
+  core::dolbie_policy sequential(12);  // Eq. (7) schedule, like protocols
+  dist::master_worker_policy protocol(12);
+  const ml::trainer_result a = ml::train(sequential, options(5));
+  const ml::trainer_result b = ml::train(protocol, options(5));
+  ASSERT_EQ(a.round_latency.size(), b.round_latency.size());
+  for (std::size_t t = 0; t < a.round_latency.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.round_latency[t], b.round_latency[t]) << "round " << t;
+  }
+  EXPECT_DOUBLE_EQ(a.total_wait, b.total_wait);
+}
+
+TEST(DistTrainer, FullyDistributedMatchesSequentialOnFullTraining) {
+  core::dolbie_policy sequential(12);
+  dist::fully_distributed_policy protocol(12);
+  const ml::trainer_result a = ml::train(sequential, options(7));
+  const ml::trainer_result b = ml::train(protocol, options(7));
+  for (std::size_t t = 0; t < a.round_latency.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.round_latency[t], b.round_latency[t]) << "round " << t;
+  }
+}
+
+TEST(DistTrainer, ProtocolTrafficAccumulatesAcrossTraining) {
+  dist::master_worker_policy protocol(12);
+  ml::train(protocol, options(9));
+  // After a full run the last round's traffic is still the per-round 3N.
+  EXPECT_EQ(protocol.last_round_traffic().messages_sent, 36u);
+}
+
+TEST(DistTrainer, ProtocolsBeatEqualAssignmentEndToEnd) {
+  // Sanity that the protocol plumbing doesn't merely not-crash but keeps
+  // DOLBIE's load-balancing benefit intact.
+  dist::fully_distributed_policy protocol(12);
+  const ml::trainer_result dolbie = ml::train(protocol, options(11));
+  baselines::equal_policy equ(12);
+  const ml::trainer_result equal = ml::train(equ, options(11));
+  EXPECT_LT(dolbie.total_time, equal.total_time);
+}
+
+}  // namespace
+}  // namespace dolbie

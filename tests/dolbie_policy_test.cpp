@@ -1,0 +1,196 @@
+#include "core/dolbie.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "cost/affine.h"
+#include "core/step_size.h"
+
+namespace dolbie::core {
+namespace {
+
+cost::cost_vector affine_costs(std::vector<std::pair<double, double>> params) {
+  cost::cost_vector out;
+  for (auto [slope, intercept] : params) {
+    out.push_back(std::make_unique<cost::affine_cost>(slope, intercept));
+  }
+  return out;
+}
+
+round_feedback feed(const cost::cost_view& view,
+                    const std::vector<double>& locals) {
+  round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  return fb;
+}
+
+void observe_costs(dolbie_policy& policy, const cost::cost_vector& costs) {
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, policy.current());
+  policy.observe(feed(view, locals));
+}
+
+TEST(DolbiePolicy, StartsUniformWithSafeStep) {
+  dolbie_policy p(4);
+  EXPECT_EQ(p.workers(), 4u);
+  EXPECT_EQ(p.name(), "DOLBIE");
+  EXPECT_FALSE(p.clairvoyant());
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_NEAR(p.step_size(), initial_step_size(p.current()), 1e-15);
+}
+
+TEST(DolbiePolicy, HonoursCustomInitialPartitionAndStep) {
+  dolbie_options o;
+  o.initial_partition = {0.7, 0.2, 0.1};
+  o.initial_step = 0.001;
+  dolbie_policy p(3, o);
+  EXPECT_DOUBLE_EQ(p.current()[0], 0.7);
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.001);
+}
+
+TEST(DolbiePolicy, RejectsBadConstruction) {
+  EXPECT_THROW(dolbie_policy(0), invariant_error);
+  dolbie_options bad_partition;
+  bad_partition.initial_partition = {0.5, 0.6};
+  EXPECT_THROW(dolbie_policy(2, bad_partition), invariant_error);
+  dolbie_options wrong_size;
+  wrong_size.initial_partition = {1.0};
+  EXPECT_THROW(dolbie_policy(2, wrong_size), invariant_error);
+  dolbie_options big_step;
+  big_step.initial_step = 1.5;
+  EXPECT_THROW(dolbie_policy(2, big_step), invariant_error);
+}
+
+TEST(DolbiePolicy, SingleWorkerIsFixedPoint) {
+  dolbie_policy p(1);
+  const auto costs = affine_costs({{3.0, 1.0}});
+  observe_costs(p, costs);
+  EXPECT_DOUBLE_EQ(p.current()[0], 1.0);
+}
+
+TEST(DolbiePolicy, HandComputedUpdateTwoWorkers) {
+  // Worker 0: f(x) = x; worker 1: f(x) = 4x. Uniform start (0.5, 0.5),
+  // alpha fixed at 0.5.
+  dolbie_options o;
+  o.initial_step = 0.5;
+  dolbie_policy p(2, o);
+  const auto costs = affine_costs({{1.0, 0.0}, {4.0, 0.0}});
+  observe_costs(p, costs);
+  // l = max(0.5, 2.0) = 2.0, straggler = 1.
+  // x'_0 = min(1, 2.0/1.0) = 1; x_0 <- 0.5 + 0.5*(1-0.5) = 0.75.
+  // x_1 <- 1 - 0.75 = 0.25.
+  EXPECT_DOUBLE_EQ(p.current()[0], 0.75);
+  EXPECT_DOUBLE_EQ(p.current()[1], 0.25);
+  // alpha' = min(0.5, 0.25/(0 + 0.25)) = 0.5 (N = 2 cap is 1).
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.5);
+}
+
+TEST(DolbiePolicy, HandComputedUpdateThreeWorkers) {
+  dolbie_options o;
+  o.initial_step = 0.3;
+  o.initial_partition = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  dolbie_policy p(3, o);
+  // Slopes 1, 2, 6: straggler = worker 2 with l = 2.
+  const auto costs = affine_costs({{1.0, 0.0}, {2.0, 0.0}, {6.0, 0.0}});
+  observe_costs(p, costs);
+  // x'_0 = min(1, 2/1) = 1 -> x_0 = 1/3 + 0.3*(2/3) = 0.5333...
+  // x'_1 = min(1, 2/2) = 1 -> x_1 = same = 0.5333...
+  // x_2 = 1 - 2*0.53333 = -0.0667 -> clamped? No: step cap keeps it
+  // feasible only if alpha small enough; with alpha = 0.3 the remainder is
+  // negative and the clamp engages at 0.
+  const auto& x = p.current();
+  EXPECT_NEAR(x[0], 1.0 / 3 + 0.3 * (1.0 - 1.0 / 3), 1e-12);
+  EXPECT_NEAR(x[1], x[0], 1e-12);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+  // Step size then freezes: cap = 0/(1+0) = 0.
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.0);
+}
+
+TEST(DolbiePolicy, SafeInitialStepPreventsInfeasibility) {
+  // Same adversarial instance, but with the paper's initialization the
+  // straggler's remainder stays strictly positive.
+  dolbie_policy p(3);  // alpha_1 = (1/3)/(1+1/3) = 0.25
+  const auto costs = affine_costs({{1.0, 0.0}, {2.0, 0.0}, {6.0, 0.0}});
+  observe_costs(p, costs);
+  // The cap is exactly tight here: both assistants reach x' = 1 and the
+  // straggler lands on 0 — feasible, never negative.
+  EXPECT_GE(p.current()[2], 0.0);
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(DolbiePolicy, StragglerSheddingReducesGlobalCost) {
+  dolbie_policy p(3);
+  cost::cost_vector costs = affine_costs({{1.0, 0.1}, {2.0, 0.1}, {8.0, 0.1}});
+  const cost::cost_view view = cost::view_of(costs);
+  double prev = cost::evaluate(view, p.current())[2];
+  for (int t = 0; t < 50; ++t) observe_costs(p, costs);
+  const auto locals = cost::evaluate(view, p.current());
+  const double now = *std::max_element(locals.begin(), locals.end());
+  EXPECT_LT(now, prev);
+}
+
+TEST(DolbiePolicy, StepSizeMonotoneOverRounds) {
+  dolbie_policy p(5);
+  const auto costs =
+      affine_costs({{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}});
+  double prev = p.step_size();
+  for (int t = 0; t < 30; ++t) {
+    observe_costs(p, costs);
+    EXPECT_LE(p.step_size(), prev + 1e-15);
+    prev = p.step_size();
+  }
+}
+
+TEST(DolbiePolicy, MaxAcceptableExposedAfterObserve) {
+  dolbie_policy p(2);
+  EXPECT_TRUE(p.last_max_acceptable().empty());
+  const auto costs = affine_costs({{1.0, 0.0}, {4.0, 0.0}});
+  observe_costs(p, costs);
+  ASSERT_EQ(p.last_max_acceptable().size(), 2u);
+  EXPECT_DOUBLE_EQ(p.last_max_acceptable()[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.last_max_acceptable()[1], 0.5);  // straggler pinned
+}
+
+TEST(DolbiePolicy, ResetRestoresInitialState) {
+  dolbie_options o;
+  o.initial_step = 0.2;
+  dolbie_policy p(3, o);
+  const auto costs = affine_costs({{1, 0}, {2, 0}, {3, 0}});
+  for (int t = 0; t < 10; ++t) observe_costs(p, costs);
+  p.reset();
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 1.0 / 3);
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.2);
+  EXPECT_TRUE(p.last_max_acceptable().empty());
+}
+
+TEST(DolbiePolicy, ObserveRejectsBadFeedback) {
+  dolbie_policy p(2);
+  round_feedback fb;  // null costs
+  std::vector<double> locals{1.0, 2.0};
+  fb.local_costs = locals;
+  EXPECT_THROW(p.observe(fb), invariant_error);
+  const auto costs = affine_costs({{1, 0}, {2, 0}});
+  const cost::cost_view view = cost::view_of(costs);
+  fb.costs = &view;
+  std::vector<double> wrong{1.0};
+  fb.local_costs = wrong;
+  EXPECT_THROW(p.observe(fb), invariant_error);
+}
+
+TEST(DolbiePolicy, TieBreakingPicksLowestIndexStraggler) {
+  // Identical workers: every round the straggler is worker 0 (ties break
+  // to the lowest index) and its x' pin keeps the update a no-op.
+  dolbie_policy p(3);
+  const auto costs = affine_costs({{2, 0}, {2, 0}, {2, 0}});
+  observe_costs(p, costs);
+  // With identical costs, x' = min(1, l/2) where l = 2/3; x' = 1/3 = x, so
+  // nothing moves.
+  for (double v : p.current()) EXPECT_NEAR(v, 1.0 / 3, 1e-12);
+}
+
+}  // namespace
+}  // namespace dolbie::core

@@ -1,0 +1,124 @@
+// Property-based sweeps of DOLBIE's core invariants across worker counts,
+// cost families and environment volatilities:
+//
+//   I1  x_t stays on the probability simplex for every t      (Eqs. 2-3)
+//   I2  non-stragglers never lose workload in an update       (Sec. IV-A)
+//   I3  the step size is non-increasing and within [0, 1]     (Eq. 7)
+//   I4  the straggler's next workload is never negative       (Eq. 6)
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "core/policy.h"
+#include "exp/scenario.h"
+
+namespace dolbie::core {
+namespace {
+
+using param = std::tuple<std::size_t, exp::synthetic_family, std::uint64_t>;
+
+std::string param_name(const ::testing::TestParamInfo<param>& info) {
+  const std::size_t n = std::get<0>(info.param);
+  const exp::synthetic_family family = std::get<1>(info.param);
+  const std::uint64_t seed = std::get<2>(info.param);
+  const char* fam = "";
+  switch (family) {
+    case exp::synthetic_family::affine:
+      fam = "affine";
+      break;
+    case exp::synthetic_family::power:
+      fam = "power";
+      break;
+    case exp::synthetic_family::saturating:
+      fam = "saturating";
+      break;
+    case exp::synthetic_family::mixed:
+      fam = "mixed";
+      break;
+  }
+  return "N" + std::to_string(n) + "_" + fam + "_seed" + std::to_string(seed);
+}
+
+class DolbieInvariants : public ::testing::TestWithParam<param> {};
+
+TEST_P(DolbieInvariants, HoldOverHundredRounds) {
+  const auto [n, family, seed] = GetParam();
+  auto env = exp::make_synthetic_environment(n, family, seed);
+  dolbie_policy policy(n);
+  double prev_alpha = policy.step_size();
+  for (int t = 0; t < 100; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const allocation before = policy.current();
+    ASSERT_TRUE(on_simplex(before)) << "round " << t;  // I1 (pre)
+
+    const round_outcome outcome = evaluate_round(view, before);
+    round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = outcome.local_costs;
+    policy.observe(fb);
+
+    const allocation& after = policy.current();
+    ASSERT_TRUE(on_simplex(after)) << "round " << t;  // I1 (post)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != outcome.straggler) {
+        ASSERT_GE(after[i], before[i] - 1e-12)
+            << "round " << t << " worker " << i;  // I2
+      }
+    }
+    ASSERT_GE(after[outcome.straggler], 0.0) << "round " << t;  // I4
+    ASSERT_LE(policy.step_size(), prev_alpha + 1e-15)
+        << "round " << t;  // I3
+    ASSERT_GE(policy.step_size(), 0.0);
+    ASSERT_LE(policy.step_size(), 1.0);
+    prev_alpha = policy.step_size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DolbieInvariants,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 2, 3, 5, 10, 30),
+        ::testing::Values(exp::synthetic_family::affine,
+                          exp::synthetic_family::power,
+                          exp::synthetic_family::saturating,
+                          exp::synthetic_family::mixed),
+        ::testing::Values<std::uint64_t>(1, 17, 4242)),
+    param_name);
+
+// On a *static* environment DOLBIE's global cost is non-increasing round
+// over round: the assisted straggler can only improve when nothing else
+// moves underneath it.
+class DolbieStaticConvergence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(DolbieStaticConvergence, GlobalCostMonotoneOnStaticCosts) {
+  const auto [n, seed] = GetParam();
+  auto env = exp::make_synthetic_environment(
+      n, exp::synthetic_family::affine, seed, /*volatility=*/0.0);
+  const cost::cost_vector costs = env->next_round();  // frozen thereafter
+  const cost::cost_view view = cost::view_of(costs);
+  dolbie_policy policy(n);
+  double prev = evaluate_round(view, policy.current()).global_cost;
+  for (int t = 0; t < 200; ++t) {
+    const round_outcome outcome = evaluate_round(view, policy.current());
+    ASSERT_LE(outcome.global_cost, prev + 1e-9) << "round " << t;
+    prev = outcome.global_cost;
+    round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = outcome.local_costs;
+    policy.observe(fb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DolbieStaticConvergence,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 8, 16, 30),
+                       ::testing::Values<std::uint64_t>(5, 23)));
+
+}  // namespace
+}  // namespace dolbie::core

@@ -1,0 +1,136 @@
+#include "edge/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/dolbie.h"
+#include "core/policy.h"
+#include "exp/harness.h"
+
+namespace dolbie::edge {
+namespace {
+
+TEST(Site, LocalDeviceHasNoTransmissionTerm) {
+  site s({.service_rate = 10.0,
+          .link_rate = 0.0,
+          .congestion_exponent = 1.0,
+          .setup_time = 0.0},
+         1);
+  const auto f = s.round_cost(50.0);
+  EXPECT_DOUBLE_EQ(f->value(0.0), 0.0);
+  // Pure execution: linear in the fraction.
+  EXPECT_NEAR(f->value(1.0), 50.0 / s.current_service_rate(), 1e-9);
+}
+
+TEST(Site, ServerCostCombinesSetupTransmissionExecution) {
+  site s({.service_rate = 20.0,
+          .link_rate = 100.0,
+          .congestion_exponent = 1.0,
+          .setup_time = 0.05},
+         2);
+  const auto f = s.round_cost(40.0);
+  EXPECT_DOUBLE_EQ(f->value(0.0), 0.05);  // setup only
+  const double expected = 0.05 + 0.5 * 40.0 / s.current_link_rate() +
+                          0.5 * 40.0 / s.current_service_rate();
+  EXPECT_NEAR(f->value(0.5), expected, 1e-9);
+}
+
+TEST(Site, SuperLinearCongestion) {
+  site s({.service_rate = 10.0,
+          .link_rate = 0.0,
+          .congestion_exponent = 1.5,
+          .setup_time = 0.0},
+         3);
+  const auto f = s.round_cost(10.0);
+  // Doubling the fraction more than doubles the execution time.
+  EXPECT_GT(f->value(1.0), 2.0 * f->value(0.5));
+  EXPECT_TRUE(cost::appears_increasing(*f));
+}
+
+TEST(Site, CostsVaryOverRounds) {
+  site s({.service_rate = 10.0,
+          .link_rate = 50.0,
+          .congestion_exponent = 1.2,
+          .setup_time = 0.01},
+         4);
+  const double before = s.round_cost(10.0)->value(0.5);
+  bool moved = false;
+  for (int t = 0; t < 20 && !moved; ++t) {
+    s.advance_round();
+    moved = std::abs(s.round_cost(10.0)->value(0.5) - before) > 1e-12;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Site, RejectsBadProfiles) {
+  EXPECT_THROW(site({.service_rate = 0.0}, 1), invariant_error);
+  EXPECT_THROW(site({.service_rate = 1.0, .link_rate = -1.0}, 1),
+               invariant_error);
+  EXPECT_THROW(site({.service_rate = 1.0,
+                     .link_rate = 0.0,
+                     .congestion_exponent = 0.5},
+                    1),
+               invariant_error);
+  site ok({.service_rate = 1.0}, 1);
+  EXPECT_THROW(ok.round_cost(0.0), invariant_error);
+}
+
+TEST(OffloadingEnvironment, WorkerZeroIsTheDevice) {
+  offloading_options o;
+  o.n_servers = 4;
+  offloading_environment env(o, 7);
+  EXPECT_EQ(env.workers(), 5u);
+  EXPECT_DOUBLE_EQ(env.at(0).profile().link_rate, 0.0);
+  for (std::size_t s = 1; s < env.workers(); ++s) {
+    EXPECT_GT(env.at(s).profile().link_rate, 0.0);
+  }
+}
+
+TEST(OffloadingEnvironment, ProducesIncreasingCostsEveryRound) {
+  offloading_environment env({}, 11);
+  for (int t = 0; t < 10; ++t) {
+    const cost::cost_vector costs = env.next_round();
+    ASSERT_EQ(costs.size(), env.workers());
+    for (const auto& f : costs) {
+      EXPECT_TRUE(cost::appears_increasing(*f)) << f->describe();
+      EXPECT_GE(f->value(0.0), 0.0);
+    }
+  }
+}
+
+TEST(OffloadingEnvironment, ServersAreHeterogeneous) {
+  offloading_environment env({}, 13);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (std::size_t s = 1; s < env.workers(); ++s) {
+    lo = std::min(lo, env.at(s).profile().service_rate);
+    hi = std::max(hi, env.at(s).profile().service_rate);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(OffloadingEnvironment, DolbieRunsFeasiblyOnIt) {
+  offloading_environment env({}, 17);
+  core::dolbie_policy policy(env.workers());
+  exp::harness_options options;
+  options.rounds = 80;
+  const exp::run_trace trace = exp::run(policy, env, options);
+  EXPECT_EQ(trace.global_cost.size(), 80u);
+  // Completion time improves from the uniform start.
+  EXPECT_LT(trace.global_cost.back(), trace.global_cost.front());
+}
+
+TEST(OffloadingEnvironment, RejectsBadOptions) {
+  offloading_options bad;
+  bad.n_servers = 0;
+  EXPECT_THROW(offloading_environment(bad, 1), invariant_error);
+  offloading_options bad_rate;
+  bad_rate.server_rate_min = 0.0;
+  EXPECT_THROW(offloading_environment(bad_rate, 1), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::edge

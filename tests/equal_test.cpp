@@ -1,0 +1,49 @@
+#include "baselines/equal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "cost/affine.h"
+
+namespace dolbie::baselines {
+namespace {
+
+TEST(EqualPolicy, UniformForever) {
+  equal_policy p(4);
+  EXPECT_EQ(p.name(), "EQU");
+  EXPECT_EQ(p.workers(), 4u);
+  cost::cost_vector costs;
+  for (int i = 0; i < 4; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(1.0 + i, 0.0));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  for (int t = 0; t < 10; ++t) {
+    const auto locals = cost::evaluate(view, p.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    p.observe(fb);
+    for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.25);
+  }
+}
+
+TEST(EqualPolicy, RejectsZeroWorkers) {
+  EXPECT_THROW(equal_policy(0), invariant_error);
+}
+
+TEST(EqualPolicy, RejectsMismatchedFeedback) {
+  equal_policy p(2);
+  core::round_feedback fb;
+  const std::vector<double> locals{1.0};
+  fb.local_costs = locals;
+  EXPECT_THROW(p.observe(fb), invariant_error);
+}
+
+TEST(EqualPolicy, NotClairvoyant) {
+  equal_policy p(2);
+  EXPECT_FALSE(p.clairvoyant());
+}
+
+}  // namespace
+}  // namespace dolbie::baselines

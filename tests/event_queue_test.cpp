@@ -1,0 +1,87 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::sim {
+namespace {
+
+TEST(EventQueue, StartsIdleAtTimeZero) {
+  event_queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  event_queue q;
+  std::vector<int> order;
+  for (int k = 0; k < 5; ++k) {
+    q.schedule(1.0, [&order, k] { order.push_back(k); });
+  }
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  event_queue q;
+  std::vector<double> fire_times;
+  std::function<void(int)> chain = [&](int remaining) {
+    fire_times.push_back(q.now());
+    if (remaining > 0) {
+      q.schedule_in(0.5, [&, remaining] { chain(remaining - 1); });
+    }
+  };
+  q.schedule(1.0, [&] { chain(3); });
+  q.run_to_completion();
+  ASSERT_EQ(fire_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(fire_times[3], 2.5);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+  event_queue q;
+  double fired_at = -1.0;
+  q.schedule(2.0, [&] {
+    q.schedule_in(3.0, [&] { fired_at = q.now(); });
+  });
+  q.run_to_completion();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  event_queue q;
+  q.schedule(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(4.0, [] {}), invariant_error);
+  EXPECT_THROW(q.schedule(6.0, nullptr), invariant_error);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), invariant_error);
+}
+
+TEST(EventQueue, RunToCompletionCountsAndGuards) {
+  event_queue q;
+  for (int k = 0; k < 10; ++k) q.schedule(k, [] {});
+  EXPECT_EQ(q.run_to_completion(), 10u);
+  // Runaway self-scheduling trips the budget.
+  event_queue runaway;
+  std::function<void()> forever = [&] { runaway.schedule_in(1.0, forever); };
+  runaway.schedule(0.0, forever);
+  EXPECT_THROW(runaway.run_to_completion(100), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::sim

@@ -1,0 +1,147 @@
+// End-to-end checks of the paper's qualitative claims — the "shape" results
+// that every figure rests on:
+//
+//   S1  OPT lower-bounds every policy's total cost (it is the comparator).
+//   S2  DOLBIE beats EQU, and beats or ties OGD / LB-BSP / ABS, on the
+//       ML batch-size-tuning workload.
+//   S3  DOLBIE's per-round latency approaches OPT's (within a small factor)
+//       by the end of a 100-round run.
+//   S4  DOLBIE's idle (waiting) time is far below EQU's.
+//   S5  DOLBIE's decision overhead is below OGD's and OPT's.
+//   S6  the advantage of DOLBIE over LB-BSP grows with model size
+//       (Fig. 6 -> Fig. 8 trend).
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.h"
+#include "ml/trainer.h"
+
+namespace dolbie {
+namespace {
+
+std::map<std::string, ml::trainer_result> run_all(
+    const ml::trainer_options& options) {
+  std::map<std::string, ml::trainer_result> results;
+  for (const auto& [name, factory] :
+       exp::paper_policy_suite(options.global_batch)) {
+    auto policy = factory(options.n_workers);
+    results.emplace(name, ml::train(*policy, options));
+  }
+  return results;
+}
+
+ml::trainer_options paper_options(ml::model_kind model, std::uint64_t seed,
+                                  std::size_t rounds = 100) {
+  ml::trainer_options o;
+  o.model = model;
+  o.n_workers = 30;
+  o.rounds = rounds;
+  o.global_batch = 256.0;
+  o.seed = seed;
+  o.record_per_worker = false;
+  return o;
+}
+
+TEST(PaperShape, OptLowerBoundsEveryPolicy) {
+  const auto results = run_all(paper_options(ml::model_kind::resnet18, 1));
+  const double opt = results.at("OPT").total_time;
+  for (const auto& [name, r] : results) {
+    EXPECT_GE(r.total_time, opt - 1e-6) << name;
+  }
+}
+
+TEST(PaperShape, DolbieBeatsAllOnlineBaselinesOnResNet18) {
+  // Averaged over several seeds to avoid anointing a lucky draw.
+  double dolbie = 0.0;
+  std::map<std::string, double> totals;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto results =
+        run_all(paper_options(ml::model_kind::resnet18, seed));
+    for (const auto& [name, r] : results) totals[name] += r.total_time;
+    dolbie = totals.at("DOLBIE");
+  }
+  EXPECT_LT(dolbie, totals.at("EQU"));
+  EXPECT_LT(dolbie, totals.at("OGD"));
+  EXPECT_LT(dolbie, totals.at("LB-BSP"));
+  EXPECT_LT(dolbie, totals.at("ABS"));
+}
+
+TEST(PaperShape, DolbieFinalLatencyNearOpt) {
+  const auto results =
+      run_all(paper_options(ml::model_kind::resnet18, 3));
+  // Mean of the last 10 rounds: DOLBIE within 2x of OPT, EQU much worse.
+  const auto tail_mean = [](const series& s) {
+    double total = 0.0;
+    for (std::size_t t = s.size() - 10; t < s.size(); ++t) total += s[t];
+    return total / 10.0;
+  };
+  const double opt = tail_mean(results.at("OPT").round_latency);
+  const double dolbie = tail_mean(results.at("DOLBIE").round_latency);
+  const double equ = tail_mean(results.at("EQU").round_latency);
+  EXPECT_LT(dolbie, 2.0 * opt);
+  EXPECT_GT(equ, 2.0 * dolbie);
+}
+
+TEST(PaperShape, DolbieCutsIdleTimeVersusEqu) {
+  const auto results =
+      run_all(paper_options(ml::model_kind::resnet18, 4));
+  EXPECT_LT(results.at("DOLBIE").total_wait,
+            0.5 * results.at("EQU").total_wait);
+  EXPECT_GT(results.at("DOLBIE").mean_utilization(),
+            results.at("EQU").mean_utilization());
+}
+
+TEST(PaperShape, DolbieDecisionOverheadBelowOgdAndOpt) {
+  // Accumulate over several runs so the timings are meaningfully above the
+  // clock resolution.
+  double dolbie = 0.0;
+  double ogd = 0.0;
+  double opt = 0.0;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const auto results =
+        run_all(paper_options(ml::model_kind::resnet18, seed));
+    dolbie += results.at("DOLBIE").decision_seconds;
+    ogd += results.at("OGD").decision_seconds;
+    opt += results.at("OPT").decision_seconds;
+  }
+  EXPECT_LT(dolbie, ogd);
+  EXPECT_LT(dolbie, opt);
+}
+
+TEST(PaperShape, AdvantageOverLbBspGrowsWithModelSize) {
+  // Fig. 6 -> Fig. 8: the DOLBIE/LB-BSP total-time ratio improves from
+  // LeNet5 to VGG16 (averaged over seeds).
+  const auto ratio = [&](ml::model_kind model) {
+    double dolbie = 0.0;
+    double lbbsp = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto results = run_all(paper_options(model, seed));
+      dolbie += results.at("DOLBIE").total_time;
+      lbbsp += results.at("LB-BSP").total_time;
+    }
+    return lbbsp / dolbie;  // > 1 means DOLBIE wins
+  };
+  const double lenet = ratio(ml::model_kind::lenet5);
+  const double vgg = ratio(ml::model_kind::vgg16);
+  EXPECT_GT(vgg, lenet);
+  EXPECT_GT(vgg, 1.0);
+}
+
+TEST(PaperShape, EdgeCaseTinyClusterStillSound) {
+  // N = 2 exercises the degenerate step-size cap.
+  const auto results = run_all(paper_options(ml::model_kind::resnet18, 6));
+  ml::trainer_options tiny = paper_options(ml::model_kind::resnet18, 6);
+  tiny.n_workers = 2;
+  for (const auto& [name, factory] : exp::paper_policy_suite()) {
+    auto policy = factory(2);
+    const ml::trainer_result r = ml::train(*policy, tiny);
+    EXPECT_EQ(r.round_latency.size(), tiny.rounds) << name;
+    EXPECT_GT(r.total_time, 0.0) << name;
+  }
+  (void)results;
+}
+
+}  // namespace
+}  // namespace dolbie

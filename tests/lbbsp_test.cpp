@@ -1,0 +1,135 @@
+#include "baselines/lbbsp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "cost/affine.h"
+
+namespace dolbie::baselines {
+namespace {
+
+core::round_feedback feed(const cost::cost_view& view,
+                          const std::vector<double>& locals) {
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  return fb;
+}
+
+void observe(lbbsp_policy& p, const cost::cost_vector& costs) {
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, p.current());
+  p.observe(feed(view, locals));
+}
+
+cost::cost_vector slopes(std::vector<double> s) {
+  cost::cost_vector out;
+  for (double v : s) out.push_back(std::make_unique<cost::affine_cost>(v, 0.0));
+  return out;
+}
+
+TEST(LbbspPolicy, Construction) {
+  lbbsp_policy p(3);
+  EXPECT_EQ(p.name(), "LB-BSP");
+  EXPECT_TRUE(on_simplex(p.current()));
+  lbbsp_options bad_delta;
+  bad_delta.delta_fraction = 0.0;
+  EXPECT_THROW(lbbsp_policy(2, bad_delta), invariant_error);
+  lbbsp_options bad_patience;
+  bad_patience.patience = 0;
+  EXPECT_THROW(lbbsp_policy(2, bad_patience), invariant_error);
+}
+
+TEST(LbbspPolicy, ShiftsFixedDeltaAfterPatienceRounds) {
+  lbbsp_options o;
+  o.delta_fraction = 0.1;
+  o.patience = 3;
+  lbbsp_policy p(3, o);
+  const auto costs = slopes({1.0, 2.0, 4.0});
+  // Two rounds: ordering persists but patience not reached -> no move.
+  observe(p, costs);
+  observe(p, costs);
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 1.0 / 3);
+  // Third round triggers the shift: straggler (2) -> fastest (0).
+  observe(p, costs);
+  EXPECT_NEAR(p.current()[0], 1.0 / 3 + 0.1, 1e-12);
+  EXPECT_NEAR(p.current()[1], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(p.current()[2], 1.0 / 3 - 0.1, 1e-12);
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(LbbspPolicy, CounterResetsAfterShift) {
+  lbbsp_options o;
+  o.delta_fraction = 0.05;
+  o.patience = 2;
+  lbbsp_policy p(2, o);
+  const auto costs = slopes({1.0, 3.0});
+  observe(p, costs);  // counter 1
+  observe(p, costs);  // shift, counter 0
+  const double after_first = p.current()[0];
+  observe(p, costs);  // counter 1 again -> no shift yet
+  EXPECT_DOUBLE_EQ(p.current()[0], after_first);
+  observe(p, costs);  // second shift
+  EXPECT_NEAR(p.current()[0], after_first + 0.05, 1e-12);
+}
+
+TEST(LbbspPolicy, NeverDrivesStragglerNegative) {
+  lbbsp_options o;
+  o.delta_fraction = 0.4;  // aggressive
+  o.patience = 1;
+  lbbsp_policy p(2, o);
+  const auto costs = slopes({1.0, 100.0});
+  for (int t = 0; t < 10; ++t) {
+    observe(p, costs);
+    ASSERT_GE(p.current()[1], 0.0) << "round " << t;
+    ASSERT_TRUE(on_simplex(p.current())) << "round " << t;
+  }
+}
+
+TEST(LbbspPolicy, NoShiftWhenAllCostsEqual) {
+  lbbsp_options o;
+  o.patience = 1;
+  lbbsp_policy p(3, o);
+  const auto costs = slopes({2.0, 2.0, 2.0});
+  for (int t = 0; t < 5; ++t) {
+    observe(p, costs);
+    for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 1.0 / 3);
+  }
+}
+
+TEST(LbbspPolicy, OnlyTwoWorkersChangePerShift) {
+  lbbsp_options o;
+  o.delta_fraction = 0.02;
+  o.patience = 1;
+  lbbsp_policy p(5, o);
+  const auto costs = slopes({1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto before = p.current();
+  observe(p, costs);
+  const auto& after = p.current();
+  int changed = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (after[i] != before[i]) ++changed;
+  }
+  EXPECT_EQ(changed, 2);  // the paper's critique: everyone else is passive
+}
+
+TEST(LbbspPolicy, ResetRestoresUniform) {
+  lbbsp_options o;
+  o.patience = 1;
+  lbbsp_policy p(2, o);
+  const auto costs = slopes({1.0, 5.0});
+  observe(p, costs);
+  p.reset();
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(LbbspPolicy, SingleWorkerNoOp) {
+  lbbsp_policy p(1);
+  const auto costs = slopes({1.0});
+  observe(p, costs);
+  EXPECT_DOUBLE_EQ(p.current()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace dolbie::baselines

@@ -1,0 +1,98 @@
+#include "learn/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::learn {
+namespace {
+
+TEST(Dataset, ValidatesConstruction) {
+  EXPECT_THROW(dataset({}, 2, 2), invariant_error);
+  std::vector<example> wrong_dims{{{1.0}, 0}};
+  EXPECT_THROW(dataset(std::move(wrong_dims), 2, 2), invariant_error);
+  std::vector<example> bad_label{{{1.0, 2.0}, 5}};
+  EXPECT_THROW(dataset(std::move(bad_label), 2, 2), invariant_error);
+}
+
+TEST(GaussianBlobs, ShapeAndDeterminism) {
+  const dataset a = dataset::gaussian_blobs(500, 4, 3, 0.5, 42);
+  EXPECT_EQ(a.size(), 500u);
+  EXPECT_EQ(a.dims(), 4u);
+  EXPECT_EQ(a.classes(), 3);
+  const dataset b = dataset::gaussian_blobs(500, 4, 3, 0.5, 42);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.at(i).label, b.at(i).label);
+    EXPECT_EQ(a.at(i).features, b.at(i).features);
+  }
+  const dataset c = dataset::gaussian_blobs(500, 4, 3, 0.5, 43);
+  bool differs = false;
+  for (std::size_t i = 0; i < 10 && !differs; ++i) {
+    differs = a.at(i).features != c.at(i).features;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GaussianBlobs, AllClassesPresent) {
+  const dataset d = dataset::gaussian_blobs(600, 3, 4, 0.4, 7);
+  std::vector<int> seen(4, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) ++seen[d.at(i).label];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(GaussianBlobs, TightBlobsAreNearestCentreSeparable) {
+  // With tiny spread, same-class points are far closer to each other than
+  // to other classes; verify via class centroids.
+  const dataset d = dataset::gaussian_blobs(900, 3, 3, 0.05, 5);
+  std::vector<std::vector<double>> centroid(3, std::vector<double>(3, 0.0));
+  std::vector<int> count(3, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto& e = d.at(i);
+    for (std::size_t k = 0; k < 3; ++k) centroid[e.label][k] += e.features[k];
+    ++count[e.label];
+  }
+  for (int c = 0; c < 3; ++c) {
+    for (auto& v : centroid[c]) v /= count[c];
+  }
+  int misassigned = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto& e = d.at(i);
+    double best = 1e18;
+    int best_class = -1;
+    for (int c = 0; c < 3; ++c) {
+      double dist = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        const double diff = e.features[k] - centroid[c][k];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    if (best_class != e.label) ++misassigned;
+  }
+  // A couple of unlucky centre draws can overlap; demand near-separability.
+  EXPECT_LT(misassigned, 90);
+}
+
+TEST(ConcentricRings, RadiiTrackLabels) {
+  const dataset d = dataset::concentric_rings(400, 3, 0.05, 11);
+  EXPECT_EQ(d.dims(), 2u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto& e = d.at(i);
+    const double r = std::sqrt(e.features[0] * e.features[0] +
+                               e.features[1] * e.features[1]);
+    EXPECT_NEAR(r, 1.0 + e.label, 0.4) << "example " << i;
+  }
+}
+
+TEST(Dataset, AtValidatesIndex) {
+  const dataset d = dataset::gaussian_blobs(10, 2, 2, 0.3, 1);
+  EXPECT_THROW(d.at(10), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::learn

@@ -1,0 +1,181 @@
+#include "learn/model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "learn/sgd.h"
+
+namespace dolbie::learn {
+namespace {
+
+// Finite-difference gradient check: the analytic gradient of the mean
+// batch loss must match (L(p + h e_k) - L(p - h e_k)) / 2h at every
+// coordinate. This is the test that catches backprop sign/indexing bugs.
+void check_gradient(classifier& model, const dataset& data,
+                    double tolerance) {
+  std::vector<std::size_t> batch;
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, data.size()); ++i) {
+    batch.push_back(i);
+  }
+  std::vector<double> analytic;
+  model.loss_and_gradient(data, batch, analytic);
+  std::vector<double> params(model.parameters().begin(),
+                             model.parameters().end());
+  const double h = 1e-6;
+  std::vector<double> scratch;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const double saved = params[k];
+    params[k] = saved + h;
+    model.set_parameters(params);
+    const double up = model.loss_and_gradient(data, batch, scratch);
+    params[k] = saved - h;
+    model.set_parameters(params);
+    const double down = model.loss_and_gradient(data, batch, scratch);
+    params[k] = saved;
+    const double numeric = (up - down) / (2.0 * h);
+    ASSERT_NEAR(analytic[k], numeric, tolerance) << "parameter " << k;
+  }
+  model.set_parameters(params);
+}
+
+TEST(SoftmaxRegression, GradientMatchesFiniteDifferences) {
+  const dataset data = dataset::gaussian_blobs(32, 3, 3, 0.8, 2);
+  softmax_regression model(3, 3, 1);
+  check_gradient(model, data, 1e-5);
+}
+
+TEST(MlpClassifier, GradientMatchesFiniteDifferences) {
+  const dataset data = dataset::gaussian_blobs(32, 2, 3, 0.8, 3);
+  mlp_classifier model(2, 5, 3, 1);
+  check_gradient(model, data, 1e-5);
+}
+
+TEST(SoftmaxRegression, ParameterRoundTrip) {
+  softmax_regression model(4, 3, 1);
+  EXPECT_EQ(model.parameter_count(), 4u * 3u + 3u);
+  std::vector<double> p(model.parameter_count(), 0.5);
+  model.set_parameters(p);
+  for (double v : model.parameters()) EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_THROW(model.set_parameters(std::vector<double>{1.0}),
+               invariant_error);
+}
+
+TEST(MlpClassifier, ParameterCountMatchesLayout) {
+  mlp_classifier model(3, 7, 4, 1);
+  EXPECT_EQ(model.parameter_count(), 7u * 3u + 7u + 4u * 7u + 4u);
+}
+
+TEST(SoftmaxRegression, LearnsLinearlySeparableBlobs) {
+  const dataset all = dataset::gaussian_blobs(800, 2, 3, 0.35, 5);
+  const dataset train = all.subset(0, 600);
+  const dataset test = all.subset(600, 200);
+  softmax_regression model(2, 3, 1);
+  sgd optimizer({.learning_rate = 0.5, .momentum = 0.0});
+  std::vector<std::size_t> indices(train.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::vector<double> gradient;
+  std::vector<double> params;
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    last_loss = model.loss_and_gradient(train, indices, gradient);
+    if (epoch == 0) first_loss = last_loss;
+    params.assign(model.parameters().begin(), model.parameters().end());
+    optimizer.apply(params, gradient);
+    model.set_parameters(params);
+  }
+  EXPECT_LT(last_loss, 0.5 * first_loss);
+  EXPECT_GT(model.accuracy(train), 0.9);
+  EXPECT_GT(model.accuracy(test), 0.85);
+}
+
+TEST(MlpClassifier, LearnsNonLinearRings) {
+  // Linear models cannot beat ~1/classes on concentric rings; the MLP can.
+  const dataset all = dataset::concentric_rings(1000, 2, 0.08, 5);
+  const dataset train = all.subset(0, 800);
+  const dataset test = all.subset(800, 200);
+  mlp_classifier model(2, 16, 2, 1);
+  sgd optimizer({.learning_rate = 0.3, .momentum = 0.9});
+  std::vector<std::size_t> indices(train.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::vector<double> gradient;
+  std::vector<double> params;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    model.loss_and_gradient(train, indices, gradient);
+    params.assign(model.parameters().begin(), model.parameters().end());
+    optimizer.apply(params, gradient);
+    model.set_parameters(params);
+  }
+  EXPECT_GT(model.accuracy(train), 0.9);
+  EXPECT_GT(model.accuracy(test), 0.85);
+
+  // Control: softmax regression is stuck near chance on the same data.
+  softmax_regression linear(2, 2, 1);
+  sgd lin_opt({.learning_rate = 0.3, .momentum = 0.0});
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    linear.loss_and_gradient(train, indices, gradient);
+    params.assign(linear.parameters().begin(), linear.parameters().end());
+    lin_opt.apply(params, gradient);
+    linear.set_parameters(params);
+  }
+  EXPECT_LT(linear.accuracy(train), 0.75);
+}
+
+TEST(Classifier, MeanLossAndAccuracyAgreeOnPerfectModel) {
+  // A well-trained model has low loss and high accuracy on its own data.
+  const dataset data = dataset::gaussian_blobs(200, 2, 2, 0.2, 9);
+  softmax_regression model(2, 2, 1);
+  sgd optimizer({.learning_rate = 1.0, .momentum = 0.0});
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<double> gradient;
+  std::vector<double> params;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    model.loss_and_gradient(data, all, gradient);
+    params.assign(model.parameters().begin(), model.parameters().end());
+    optimizer.apply(params, gradient);
+    model.set_parameters(params);
+  }
+  EXPECT_GT(model.accuracy(data), 0.95);
+  EXPECT_LT(model.mean_loss(data), 0.3);
+}
+
+TEST(Models, RejectBadBatches) {
+  const dataset data = dataset::gaussian_blobs(10, 2, 2, 0.3, 1);
+  softmax_regression model(2, 2, 1);
+  std::vector<double> gradient;
+  EXPECT_THROW(model.loss_and_gradient(data, {}, gradient), invariant_error);
+  const dataset other = dataset::gaussian_blobs(10, 3, 2, 0.3, 1);
+  const std::vector<std::size_t> batch{0};
+  EXPECT_THROW(model.loss_and_gradient(other, batch, gradient),
+               invariant_error);
+}
+
+TEST(Sgd, MomentumAcceleratesAlongConsistentGradient) {
+  sgd plain({.learning_rate = 0.1, .momentum = 0.0});
+  sgd heavy({.learning_rate = 0.1, .momentum = 0.9});
+  std::vector<double> a{0.0};
+  std::vector<double> b{0.0};
+  const std::vector<double> g{1.0};
+  for (int k = 0; k < 10; ++k) {
+    plain.apply(a, g);
+    heavy.apply(b, g);
+  }
+  EXPECT_LT(b[0], a[0]);  // momentum moved further downhill (negative)
+  EXPECT_DOUBLE_EQ(a[0], -1.0);
+}
+
+TEST(Sgd, Validation) {
+  EXPECT_THROW(sgd({.learning_rate = 0.0}), invariant_error);
+  EXPECT_THROW(sgd({.learning_rate = 0.1, .momentum = 1.0}),
+               invariant_error);
+  sgd optimizer;
+  std::vector<double> p{1.0, 2.0};
+  EXPECT_THROW(optimizer.apply(p, std::vector<double>{1.0}),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::learn

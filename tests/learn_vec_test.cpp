@@ -1,0 +1,65 @@
+#include "learn/vec.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::learn {
+namespace {
+
+TEST(Vec, Dot) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_THROW(dot(a, std::vector<double>{1.0}), invariant_error);
+}
+
+TEST(Vec, Axpy) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+  EXPECT_THROW(axpy(1.0, x, std::span<double>(y.data(), 1)),
+               invariant_error);
+}
+
+TEST(Vec, Scale) {
+  std::vector<double> x{2.0, -4.0};
+  scale(0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(Vec, SoftmaxSumsToOneAndOrdersCorrectly) {
+  std::vector<double> z{1.0, 2.0, 3.0};
+  softmax_inplace(z);
+  EXPECT_NEAR(z[0] + z[1] + z[2], 1.0, 1e-12);
+  EXPECT_LT(z[0], z[1]);
+  EXPECT_LT(z[1], z[2]);
+}
+
+TEST(Vec, SoftmaxIsShiftInvariantAndStable) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1001.0, 1002.0};  // would overflow naive exp
+  softmax_inplace(a);
+  softmax_inplace(b);
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+  EXPECT_NEAR(a[1], b[1], 1e-12);
+  std::vector<double> huge{-1e9, 0.0, 1e9};
+  softmax_inplace(huge);
+  EXPECT_NEAR(huge[2], 1.0, 1e-12);
+}
+
+TEST(Vec, ArgmaxAndNorm) {
+  const std::vector<double> z{0.1, 0.7, 0.7, 0.2};
+  EXPECT_EQ(argmax_index(z), 1u);  // lowest-index tie
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<double>{3.0, 4.0}), 5.0);
+  EXPECT_THROW(argmax_index(std::vector<double>{}), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::learn

@@ -1,0 +1,146 @@
+// Property tests of the paper's analysis building blocks (Section V),
+// checked numerically on random instances:
+//
+//   Lemma 1: for any feasible x with straggler s and instantaneous
+//            minimizer x*,
+//     (i)   x_s >= x*_s
+//     (ii)  x'_i >= x_i for all i
+//     (iii) x'_i >= x*_i for all i
+//     (iv)  sum_{i != s} (x_i - x'_i)(x_i - x*_i) >= -(N-1)/4
+//
+//   Lemma 2: [ (f(x) - f(x*)) / L ]^2 <= (N-1)/4 + G^T (x - x*),
+//            where G is DOLBIE's assistance direction.
+//
+// The instantaneous minimizer comes from the water-level solver; L from
+// the finite-difference Lipschitz estimator. Small numerical slack covers
+// the bisection tolerances.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/opt.h"
+#include "common/rng.h"
+#include "core/max_acceptable.h"
+#include "core/policy.h"
+#include "core/regret.h"
+#include "exp/scenario.h"
+
+namespace dolbie::core {
+namespace {
+
+struct instance {
+  cost::cost_vector costs;
+  allocation x;        // a random feasible point
+  round_outcome outcome;
+  allocation x_star;   // instantaneous minimizer
+  double f_star = 0.0;
+};
+
+instance random_instance(rng& gen, std::size_t n,
+                         exp::synthetic_family family) {
+  instance out;
+  auto env = exp::make_synthetic_environment(n, family, gen.engine()());
+  out.costs = env->next_round();
+  const cost::cost_view view = cost::view_of(out.costs);
+  // Random simplex point.
+  out.x.resize(n);
+  double total = 0.0;
+  for (double& v : out.x) {
+    v = -std::log(gen.uniform(1e-9, 1.0));
+    total += v;
+  }
+  for (double& v : out.x) v /= total;
+  out.outcome = evaluate_round(view, out.x);
+  const baselines::instantaneous_solution sol =
+      baselines::solve_instantaneous(view);
+  out.x_star = sol.x;
+  out.f_star = sol.value;
+  return out;
+}
+
+class LemmaProperties
+    : public ::testing::TestWithParam<exp::synthetic_family> {};
+
+TEST_P(LemmaProperties, Lemma1HoldsOnRandomInstances) {
+  rng gen(20230701);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(gen.uniform_int(2, 12));
+    const instance inst = random_instance(gen, n, GetParam());
+    const cost::cost_view view = cost::view_of(inst.costs);
+    const worker_id s = inst.outcome.straggler;
+    const auto xp =
+        max_acceptable_vector(view, inst.x, inst.outcome.global_cost, s);
+
+    // (i) the straggler under x carries at least its share under x*.
+    EXPECT_GE(inst.x[s], inst.x_star[s] - 1e-6) << "trial " << trial;
+    double lhs_iv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // (ii)
+      EXPECT_GE(xp[i], inst.x[i] - 1e-9) << "trial " << trial;
+      // (iii)
+      EXPECT_GE(xp[i], inst.x_star[i] - 1e-6)
+          << "trial " << trial << " worker " << i;
+      if (i != s) {
+        lhs_iv += (inst.x[i] - xp[i]) * (inst.x[i] - inst.x_star[i]);
+      }
+    }
+    // (iv)
+    EXPECT_GE(lhs_iv, -(static_cast<double>(n) - 1.0) / 4.0 - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(LemmaProperties, Lemma2HoldsOnRandomInstances) {
+  rng gen(424242);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(gen.uniform_int(2, 12));
+    const instance inst = random_instance(gen, n, GetParam());
+    const cost::cost_view view = cost::view_of(inst.costs);
+    const worker_id s = inst.outcome.straggler;
+    const auto xp =
+        max_acceptable_vector(view, inst.x, inst.outcome.global_cost, s);
+
+    // DOLBIE's assistance direction G (proof of Theorem 1).
+    std::vector<double> g(n, 0.0);
+    double straggler_component = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == s) continue;
+      g[i] = inst.x[i] - xp[i];
+      straggler_component -= g[i];
+    }
+    g[s] = straggler_component;
+
+    double inner = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      inner += g[i] * (inst.x[i] - inst.x_star[i]);
+    }
+    const double lipschitz = estimate_lipschitz(view, 256);
+    ASSERT_GT(lipschitz, 0.0);
+    const double gap =
+        (inst.outcome.global_cost - inst.f_star) / lipschitz;
+    EXPECT_LE(gap * gap,
+              (static_cast<double>(n) - 1.0) / 4.0 + inner + 1e-6)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LemmaProperties,
+                         ::testing::Values(exp::synthetic_family::affine,
+                                           exp::synthetic_family::power,
+                                           exp::synthetic_family::saturating,
+                                           exp::synthetic_family::mixed),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case exp::synthetic_family::affine:
+                               return "affine";
+                             case exp::synthetic_family::power:
+                               return "power";
+                             case exp::synthetic_family::saturating:
+                               return "saturating";
+                             default:
+                               return "mixed";
+                           }
+                         });
+
+}  // namespace
+}  // namespace dolbie::core

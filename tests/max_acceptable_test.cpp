@@ -1,0 +1,119 @@
+#include "core/max_acceptable.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "cost/affine.h"
+#include "cost/power.h"
+#include "cost/time_varying.h"
+
+namespace dolbie::core {
+namespace {
+
+TEST(MaxAcceptableWorkload, AffineAnalytic) {
+  // f(x) = 2x + 0.5; at global cost 1.5 the largest affordable x is 0.5.
+  const cost::affine_cost f(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(max_acceptable_workload(f, 0.1, 1.5), 0.5);
+}
+
+TEST(MaxAcceptableWorkload, TruncatedAtTotalWorkload) {
+  // Eq. (4): x' = min{x-tilde, 1}.
+  const cost::affine_cost f(0.1, 0.0);
+  EXPECT_DOUBLE_EQ(max_acceptable_workload(f, 0.2, 5.0), 1.0);
+}
+
+TEST(MaxAcceptableWorkload, NeverBelowCurrentWorkload) {
+  // f(x_i) <= l_t guarantees x' >= x_i; the clamp also covers numeric dust.
+  const cost::power_cost f(3.0, 2.0, 0.0);
+  const double x_i = 0.4;
+  const double l_t = f.value(x_i);  // exactly this worker's cost
+  EXPECT_GE(max_acceptable_workload(f, x_i, l_t), x_i);
+}
+
+TEST(MaxAcceptableVector, StragglerPinnedAtOwnDecision) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(4.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const allocation x{0.5, 0.5};
+  // Worker 1 is the straggler (cost 2.0 > 0.5).
+  const auto xp = max_acceptable_vector(view, x, 2.0, 1);
+  EXPECT_DOUBLE_EQ(xp[1], 0.5);           // pinned
+  EXPECT_DOUBLE_EQ(xp[0], 1.0);           // could afford 2.0/1.0 = 2 -> cap 1
+}
+
+TEST(MaxAcceptableVector, NonStragglersAtMostOne) {
+  cost::cost_vector costs;
+  for (int i = 0; i < 4; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(0.5 + i, 0.1));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  const allocation x{0.25, 0.25, 0.25, 0.25};
+  const auto xp = max_acceptable_vector(view, x, 10.0, 3);
+  for (double v : xp) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MaxAcceptableVector, Throws) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  EXPECT_THROW(max_acceptable_vector(view, {0.5, 0.5}, 1.0, 0),
+               invariant_error);  // size mismatch
+  EXPECT_THROW(max_acceptable_vector(view, {1.0}, 1.0, 5),
+               invariant_error);  // straggler out of range
+}
+
+// Property: across random cost families and random feasible allocations,
+// the x' vector satisfies Lemma 1 (ii): x' >= x for every worker, and
+// f_i(x'_i) <= l_t whenever x'_i < 1.
+TEST(MaxAcceptableVector, Lemma1PropertyOnRandomInstances) {
+  rng g(314);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(g.uniform_int(2, 8));
+    cost::cost_vector costs;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (g.bernoulli(0.5)) {
+        costs.push_back(std::make_unique<cost::affine_cost>(
+            g.uniform(0.1, 5.0), g.uniform(0.0, 1.0)));
+      } else {
+        costs.push_back(std::make_unique<cost::power_cost>(
+            g.uniform(0.1, 5.0), g.uniform(0.5, 2.5), g.uniform(0.0, 1.0)));
+      }
+    }
+    const cost::cost_view view = cost::view_of(costs);
+    // Random simplex point via normalized exponentials.
+    allocation x(n);
+    double total = 0.0;
+    for (double& v : x) {
+      v = -std::log(g.uniform(1e-9, 1.0));
+      total += v;
+    }
+    for (double& v : x) v /= total;
+    const auto locals = cost::evaluate(view, x);
+    double l_t = locals[0];
+    std::size_t s = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (locals[i] > l_t) {
+        l_t = locals[i];
+        s = i;
+      }
+    }
+    const auto xp = max_acceptable_vector(view, x, l_t, s);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(xp[i], x[i] - 1e-12) << "worker " << i;
+      EXPECT_LE(xp[i], 1.0);
+      if (i != s && xp[i] < 1.0 - 1e-9) {
+        EXPECT_LE(view[i]->value(xp[i]), l_t + 1e-7) << "worker " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::core

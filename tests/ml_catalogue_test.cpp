@@ -1,0 +1,151 @@
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "ml/accuracy.h"
+#include "ml/latency.h"
+#include "ml/model.h"
+#include "ml/processor.h"
+
+namespace dolbie::ml {
+namespace {
+
+TEST(ModelCatalogue, ProfilesAreDistinctAndSane) {
+  for (model_kind m : all_models) {
+    const model_profile& p = profile(m);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.parameter_count, 0.0);
+    EXPECT_DOUBLE_EQ(p.model_bytes, p.parameter_count * 4.0);  // float32
+    EXPECT_GT(p.acc_max, p.acc_initial);
+    EXPECT_LT(p.acc_max, 1.0);
+    EXPECT_GT(p.kappa, 0.0);
+    EXPECT_GT(p.beta, 0.0);
+  }
+  // Size ordering LeNet5 < ResNet18 < VGG16 drives the Fig. 6-8 trend.
+  EXPECT_LT(profile(model_kind::lenet5).model_bytes,
+            profile(model_kind::resnet18).model_bytes);
+  EXPECT_LT(profile(model_kind::resnet18).model_bytes,
+            profile(model_kind::vgg16).model_bytes);
+}
+
+TEST(ProcessorCatalogue, NamesAndGpuFlags) {
+  EXPECT_TRUE(is_gpu(processor_kind::tesla_v100));
+  EXPECT_TRUE(is_gpu(processor_kind::tesla_p100));
+  EXPECT_TRUE(is_gpu(processor_kind::t4));
+  EXPECT_FALSE(is_gpu(processor_kind::cascade_lake));
+  EXPECT_FALSE(is_gpu(processor_kind::broadwell));
+  for (processor_kind k : all_processors) {
+    EXPECT_FALSE(processor_name(k).empty());
+  }
+}
+
+TEST(ProcessorCatalogue, ThroughputOrderingHolds) {
+  for (model_kind m : all_models) {
+    // V100 > P100 > T4 > Cascade Lake > Broadwell on every model.
+    double prev = std::numeric_limits<double>::infinity();
+    for (processor_kind k : all_processors) {
+      const double thr = base_throughput(k, m);
+      EXPECT_GT(thr, 0.0);
+      EXPECT_LT(thr, prev) << processor_name(k);
+      prev = thr;
+    }
+  }
+}
+
+TEST(ProcessorCatalogue, HeterogeneityGapWidensWithModelSize) {
+  const auto gap = [](model_kind m) {
+    return base_throughput(processor_kind::tesla_v100, m) /
+           base_throughput(processor_kind::broadwell, m);
+  };
+  EXPECT_LT(gap(model_kind::lenet5), gap(model_kind::resnet18));
+  EXPECT_LT(gap(model_kind::resnet18), gap(model_kind::vgg16));
+}
+
+TEST(AccuracyCurve, StartsAtInitialAndSaturatesBelowMax) {
+  for (model_kind m : all_models) {
+    const model_profile& p = profile(m);
+    EXPECT_DOUBLE_EQ(accuracy_after(m, 0), p.acc_initial);
+    EXPECT_LT(accuracy_after(m, 1'000'000), p.acc_max);
+    EXPECT_GT(accuracy_after(m, 1'000'000), 0.98 * p.acc_max);
+  }
+}
+
+TEST(AccuracyCurve, StrictlyIncreasingInSteps) {
+  for (model_kind m : all_models) {
+    double prev = accuracy_after(m, 0);
+    for (std::size_t k = 1; k <= 10'000; k *= 10) {
+      const double cur = accuracy_after(m, k);
+      EXPECT_GT(cur, prev);
+      prev = cur;
+    }
+  }
+}
+
+TEST(AccuracyCurve, StepsToAccuracyInvertsTheCurve) {
+  for (model_kind m : all_models) {
+    for (double target : {0.5, 0.8, 0.9, 0.95}) {
+      const std::size_t k = steps_to_accuracy(m, target);
+      ASSERT_NE(k, std::numeric_limits<std::size_t>::max());
+      EXPECT_GE(accuracy_after(m, k), target);
+      if (k > 0) {
+        EXPECT_LT(accuracy_after(m, k - 1), target);
+      }
+    }
+  }
+}
+
+TEST(AccuracyCurve, UnreachableTargetsSignalled) {
+  EXPECT_EQ(steps_to_accuracy(model_kind::lenet5, 0.9999),
+            std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(steps_to_accuracy(model_kind::lenet5, 0.05), 0u);
+}
+
+TEST(AccuracyCurve, Reaches95PercentWithinHundredEpochs) {
+  // The Fig. 7 headline metric must be measurable inside the experiment
+  // horizon: ~195 rounds/epoch * 100 epochs.
+  constexpr std::size_t kHorizon = 19'500;
+  EXPECT_LE(steps_to_accuracy(model_kind::resnet18, 0.95), kHorizon);
+  EXPECT_LE(steps_to_accuracy(model_kind::lenet5, 0.95), kHorizon);
+  EXPECT_LE(steps_to_accuracy(model_kind::vgg16, 0.95), kHorizon);
+}
+
+TEST(Latency, DecompositionMatchesFormula) {
+  const worker_conditions c{.gamma = 100.0, .phi = 1e6};
+  const worker_round_time t = round_time(0.5, 256.0, 2e6, c);
+  EXPECT_DOUBLE_EQ(t.compute, 0.5 * 256.0 / 100.0);
+  EXPECT_DOUBLE_EQ(t.comm, 2.0);
+  EXPECT_DOUBLE_EQ(t.total(), t.compute + t.comm);
+}
+
+TEST(Latency, ZeroFractionStillPaysCommunication) {
+  const worker_conditions c{.gamma = 100.0, .phi = 1e6};
+  const worker_round_time t = round_time(0.0, 256.0, 2e6, c);
+  EXPECT_DOUBLE_EQ(t.compute, 0.0);
+  EXPECT_DOUBLE_EQ(t.comm, 2.0);
+}
+
+TEST(Latency, RoundCostIsMatchingAffine) {
+  const worker_conditions c{.gamma = 128.0, .phi = 1e6};
+  const auto f = round_cost(256.0, 3e6, c);
+  EXPECT_DOUBLE_EQ(f->slope(), 2.0);
+  EXPECT_DOUBLE_EQ(f->intercept(), 3.0);
+  // Cost function and decomposition agree at every fraction.
+  for (double b : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_DOUBLE_EQ(f->value(b), round_time(b, 256.0, 3e6, c).total());
+  }
+}
+
+TEST(Latency, RejectsBadInputs) {
+  const worker_conditions c{.gamma = 1.0, .phi = 1.0};
+  EXPECT_THROW(round_time(-0.1, 256.0, 1.0, c), invariant_error);
+  EXPECT_THROW(round_time(0.5, 0.0, 1.0, c), invariant_error);
+  EXPECT_THROW(round_time(0.5, 256.0, 1.0, {.gamma = 0.0, .phi = 1.0}),
+               invariant_error);
+  EXPECT_THROW(round_cost(256.0, 1.0, {.gamma = 1.0, .phi = 0.0}),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::ml

@@ -1,0 +1,117 @@
+#include "ml/cluster.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cost/affine.h"
+
+namespace dolbie::ml {
+namespace {
+
+TEST(Cluster, SamplesProcessorsFromCatalogue) {
+  cluster c(50, model_kind::resnet18, 1);
+  EXPECT_EQ(c.size(), 50u);
+  bool saw_gpu = false;
+  bool saw_cpu = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    saw_gpu = saw_gpu || is_gpu(c.kind(i));
+    saw_cpu = saw_cpu || !is_gpu(c.kind(i));
+  }
+  // 50 uniform draws over 5 types: both classes present w.p. ~1.
+  EXPECT_TRUE(saw_gpu);
+  EXPECT_TRUE(saw_cpu);
+}
+
+TEST(Cluster, SameSeedSameSamplingAndDynamics) {
+  cluster a(10, model_kind::resnet18, 42);
+  cluster b(10, model_kind::resnet18, 42);
+  for (int t = 0; t < 20; ++t) {
+    a.advance_round();
+    b.advance_round();
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(a.kind(i), b.kind(i));
+      EXPECT_DOUBLE_EQ(a.conditions(i).gamma, b.conditions(i).gamma);
+      EXPECT_DOUBLE_EQ(a.conditions(i).phi, b.conditions(i).phi);
+    }
+  }
+}
+
+TEST(Cluster, DifferentSeedsProduceDifferentClusters) {
+  cluster a(30, model_kind::resnet18, 1);
+  cluster b(30, model_kind::resnet18, 2);
+  int same = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (a.kind(i) == b.kind(i)) ++same;
+  }
+  EXPECT_LT(same, 30);
+}
+
+TEST(Cluster, ConditionsStayWithinModelBounds) {
+  cluster_options o;
+  cluster c(20, model_kind::vgg16, 7, o);
+  for (int t = 0; t < 200; ++t) {
+    c.advance_round();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const worker_conditions w = c.conditions(i);
+      const double base = base_throughput(c.kind(i), model_kind::vgg16);
+      // Speed factor bounded by AR(1) clamp times worst contention.
+      EXPECT_GE(w.gamma,
+                base * o.speed_floor_factor * o.contention_factor - 1e-9);
+      EXPECT_LE(w.gamma, base * o.speed_ceil_factor + 1e-9);
+      EXPECT_GE(w.phi, o.rate_floor - 1e-9);
+      EXPECT_LE(w.phi, o.rate_ceil + 1e-9);
+    }
+  }
+}
+
+TEST(Cluster, RoundCostsAreAffineLatencyFunctions) {
+  cluster c(5, model_kind::resnet18, 3);
+  c.advance_round();
+  const cost::cost_vector costs = c.round_costs(256.0);
+  ASSERT_EQ(costs.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto* affine =
+        dynamic_cast<const cost::affine_cost*>(costs[i].get());
+    ASSERT_NE(affine, nullptr);
+    const worker_conditions w = c.conditions(i);
+    EXPECT_DOUBLE_EQ(affine->slope(), 256.0 / w.gamma);
+    EXPECT_DOUBLE_EQ(affine->intercept(),
+                     profile(model_kind::resnet18).model_bytes / w.phi);
+  }
+}
+
+TEST(Cluster, GpusFasterThanCpusInRealizedConditions) {
+  cluster c(40, model_kind::resnet18, 9);
+  c.advance_round();
+  double slowest_gpu = 1e18;
+  double fastest_cpu = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double g = c.conditions(i).gamma;
+    if (is_gpu(c.kind(i))) {
+      slowest_gpu = std::min(slowest_gpu, g);
+    } else {
+      fastest_cpu = std::max(fastest_cpu, g);
+    }
+  }
+  // Worst-case GPU (T4 at 0.6*0.5 = 180) still beats best-case CPU
+  // (Cascade Lake at 1.4 -> 126) for ResNet18.
+  EXPECT_GT(slowest_gpu, fastest_cpu);
+}
+
+TEST(Cluster, RejectsBadConstruction) {
+  EXPECT_THROW(cluster(0, model_kind::lenet5, 1), invariant_error);
+  cluster_options bad;
+  bad.contention_factor = 0.0;
+  EXPECT_THROW(cluster(2, model_kind::lenet5, 1, bad), invariant_error);
+}
+
+TEST(Cluster, WorkerIndexValidated) {
+  cluster c(3, model_kind::lenet5, 1);
+  EXPECT_THROW(c.kind(3), invariant_error);
+  EXPECT_THROW(c.conditions(9), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::ml

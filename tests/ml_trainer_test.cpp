@@ -1,0 +1,134 @@
+#include "ml/trainer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/equal.h"
+#include "baselines/opt.h"
+#include "common/error.h"
+#include "core/dolbie.h"
+#include "ml/accuracy.h"
+
+namespace dolbie::ml {
+namespace {
+
+trainer_options small_options(std::uint64_t seed = 5) {
+  trainer_options o;
+  o.rounds = 40;
+  o.n_workers = 8;
+  o.model = model_kind::resnet18;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Trainer, ProducesFullTraces) {
+  baselines::equal_policy policy(8);
+  const trainer_result r = train(policy, small_options());
+  EXPECT_EQ(r.round_latency.size(), 40u);
+  EXPECT_EQ(r.accuracy.size(), 40u);
+  ASSERT_EQ(r.worker_latency.size(), 8u);
+  ASSERT_EQ(r.worker_batch.size(), 8u);
+  for (const auto& s : r.worker_latency) EXPECT_EQ(s.size(), 40u);
+  EXPECT_GT(r.total_time, 0.0);
+  EXPECT_NEAR(r.total_time, r.round_latency.total(), 1e-9);
+}
+
+TEST(Trainer, PerWorkerTracesOptional) {
+  baselines::equal_policy policy(8);
+  trainer_options o = small_options();
+  o.record_per_worker = false;
+  const trainer_result r = train(policy, o);
+  EXPECT_TRUE(r.worker_latency.empty());
+  EXPECT_TRUE(r.worker_batch.empty());
+}
+
+TEST(Trainer, RoundLatencyIsMaxOfWorkerLatencies) {
+  baselines::equal_policy policy(8);
+  const trainer_result r = train(policy, small_options());
+  for (std::size_t t = 0; t < 40; ++t) {
+    double worst = 0.0;
+    for (const auto& w : r.worker_latency) {
+      worst = std::max(worst, w[t]);
+    }
+    EXPECT_NEAR(r.round_latency[t], worst, 1e-12) << "round " << t;
+  }
+}
+
+TEST(Trainer, BatchesSumToGlobalBatchEveryRound) {
+  core::dolbie_policy policy(8);
+  const trainer_result r = train(policy, small_options());
+  for (std::size_t t = 0; t < 40; ++t) {
+    double total = 0.0;
+    for (const auto& w : r.worker_batch) total += w[t];
+    EXPECT_NEAR(total, 256.0, 1e-6) << "round " << t;
+  }
+}
+
+TEST(Trainer, UtilizationAccountingIsConsistent) {
+  baselines::equal_policy policy(8);
+  const trainer_result r = train(policy, small_options());
+  // busy + wait = workers * total round time.
+  EXPECT_NEAR(r.total_compute + r.total_comm + r.total_wait,
+              8.0 * r.total_time, 1e-6);
+  EXPECT_GT(r.mean_utilization(), 0.0);
+  EXPECT_LE(r.mean_utilization(), 1.0);
+}
+
+TEST(Trainer, AccuracyFollowsSharedCurve) {
+  baselines::equal_policy equal(8);
+  core::dolbie_policy dolbie(8);
+  const trainer_result a = train(equal, small_options());
+  const trainer_result b = train(dolbie, small_options());
+  for (std::size_t t = 0; t < 40; ++t) {
+    EXPECT_DOUBLE_EQ(a.accuracy[t], b.accuracy[t]);
+    EXPECT_DOUBLE_EQ(a.accuracy[t],
+                     accuracy_after(model_kind::resnet18, t + 1));
+  }
+}
+
+TEST(Trainer, SameSeedSameEnvironmentAcrossPolicies) {
+  // The EQU policy plays a constant allocation, so its latency trace is a
+  // pure function of the environment; two runs must agree exactly.
+  baselines::equal_policy p1(8);
+  baselines::equal_policy p2(8);
+  const trainer_result a = train(p1, small_options(7));
+  const trainer_result b = train(p2, small_options(7));
+  for (std::size_t t = 0; t < 40; ++t) {
+    EXPECT_DOUBLE_EQ(a.round_latency[t], b.round_latency[t]);
+  }
+}
+
+TEST(Trainer, TimeToAccuracyInterpolatesCumulativeTime) {
+  baselines::equal_policy policy(8);
+  trainer_options o = small_options();
+  o.rounds = 3000;  // enough steps to cross 90%
+  o.record_per_worker = false;
+  const trainer_result r = train(policy, o);
+  const double t90 = r.time_to_accuracy(model_kind::resnet18, 0.90);
+  ASSERT_GT(t90, 0.0);
+  EXPECT_LT(t90, r.total_time);
+  // Unreachable within horizon -> negative sentinel.
+  trainer_options tiny = small_options();
+  tiny.rounds = 2;
+  baselines::equal_policy p2(8);
+  const trainer_result short_run = train(p2, tiny);
+  EXPECT_LT(short_run.time_to_accuracy(model_kind::resnet18, 0.95), 0.0);
+}
+
+TEST(Trainer, OptPolicyGetsPreviewAndBeatsEqual) {
+  baselines::equal_policy equ(8);
+  baselines::opt_policy opt(8);
+  const trainer_result a = train(equ, small_options());
+  const trainer_result b = train(opt, small_options());
+  EXPECT_LT(b.total_time, a.total_time);
+  EXPECT_GT(b.decision_seconds, 0.0);
+}
+
+TEST(Trainer, RejectsMismatchedPolicy) {
+  baselines::equal_policy policy(5);
+  EXPECT_THROW(train(policy, small_options()), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::ml

@@ -1,0 +1,93 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::net {
+namespace {
+
+TEST(Message, WireSizeCountsHeaderPlusScalars) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  EXPECT_EQ(m.wire_size_bytes(), 12u + 8u);
+  message m3{0, 1, message_kind::round_info, {1.0, 2.0, 3.0}};
+  EXPECT_EQ(m3.wire_size_bytes(), 12u + 24u);
+}
+
+TEST(Channel, FifoOrder) {
+  channel c;
+  EXPECT_TRUE(c.empty());
+  c.push({0, 1, message_kind::local_cost, {1.0}});
+  c.push({0, 1, message_kind::local_cost, {2.0}});
+  EXPECT_EQ(c.pending(), 2u);
+  EXPECT_DOUBLE_EQ(c.pop()->payload[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.pop()->payload[0], 2.0);
+  EXPECT_FALSE(c.pop().has_value());
+}
+
+TEST(Channel, MetricsAccumulateAndReset) {
+  channel c;
+  c.push({0, 1, message_kind::local_cost, {1.0}});
+  c.push({0, 1, message_kind::decision, {1.0, 2.0}});
+  EXPECT_EQ(c.metrics().messages_sent, 2u);
+  EXPECT_EQ(c.metrics().bytes_sent, 20u + 28u);
+  c.reset_metrics();
+  EXPECT_EQ(c.metrics().messages_sent, 0u);
+  EXPECT_EQ(c.metrics().bytes_sent, 0u);
+}
+
+TEST(Network, PointToPointDelivery) {
+  network net(3);
+  net.send({0, 2, message_kind::local_cost, {7.0}});
+  EXPECT_EQ(net.pending_for(2), 1u);
+  EXPECT_EQ(net.pending_for(1), 0u);
+  const auto m = net.receive(2, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, 0u);
+  EXPECT_DOUBLE_EQ(m->payload[0], 7.0);
+  EXPECT_EQ(net.pending_for(2), 0u);
+}
+
+TEST(Network, ChannelsAreIsolated) {
+  network net(3);
+  net.send({0, 1, message_kind::local_cost, {1.0}});
+  net.send({2, 1, message_kind::local_cost, {2.0}});
+  // Receiving from 0 must not consume 2's message.
+  EXPECT_DOUBLE_EQ(net.receive(1, 0)->payload[0], 1.0);
+  EXPECT_DOUBLE_EQ(net.receive(1, 2)->payload[0], 2.0);
+}
+
+TEST(Network, ReceiveAnyScansSendersInOrder) {
+  network net(4);
+  net.send({2, 0, message_kind::local_cost, {2.0}});
+  net.send({1, 0, message_kind::local_cost, {1.0}});
+  // Deterministic: lowest sender id first.
+  EXPECT_DOUBLE_EQ(net.receive_any(0)->payload[0], 1.0);
+  EXPECT_DOUBLE_EQ(net.receive_any(0)->payload[0], 2.0);
+  EXPECT_FALSE(net.receive_any(0).has_value());
+}
+
+TEST(Network, TotalTrafficAggregatesAllLinks) {
+  network net(3);
+  net.send({0, 1, message_kind::local_cost, {1.0}});
+  net.send({1, 2, message_kind::local_cost, {1.0, 2.0}});
+  const traffic_metrics total = net.total_traffic();
+  EXPECT_EQ(total.messages_sent, 2u);
+  EXPECT_EQ(total.bytes_sent, 20u + 28u);
+  net.reset_traffic();
+  EXPECT_EQ(net.total_traffic().messages_sent, 0u);
+}
+
+TEST(Network, RejectsBadEndpoints) {
+  network net(2);
+  EXPECT_THROW(net.send({0, 5, message_kind::local_cost, {}}),
+               invariant_error);
+  EXPECT_THROW(net.send({1, 1, message_kind::local_cost, {}}),
+               invariant_error);  // self-send
+  EXPECT_THROW(net.receive(5, 0), invariant_error);
+  EXPECT_THROW(net.receive_any(7), invariant_error);
+  EXPECT_THROW(network(0), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::net

@@ -1,0 +1,141 @@
+#include "baselines/ogd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "cost/affine.h"
+#include "cost/power.h"
+
+namespace dolbie::baselines {
+namespace {
+
+core::round_feedback feed(const cost::cost_view& view,
+                          const std::vector<double>& locals) {
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  return fb;
+}
+
+TEST(MaxSubgradient, OnlyStragglerCoordinateNonZero) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(5.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const auto g = max_subgradient(view, {0.5, 0.5}, 1e-4);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_NEAR(g[1], 5.0, 1e-6);  // the straggler's slope
+}
+
+TEST(MaxSubgradient, FiniteDifferenceOnNonlinearCost) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::power_cost>(2.0, 2.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const auto g = max_subgradient(view, {0.5}, 1e-5);
+  EXPECT_NEAR(g[0], 2.0 * 2.0 * 0.5, 1e-4);  // d/dx 2x^2 = 4x
+}
+
+TEST(MaxSubgradient, OneSidedAtBoundary) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(3.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  EXPECT_NEAR(max_subgradient(view, {0.0}, 1e-4)[0], 3.0, 1e-6);
+  EXPECT_NEAR(max_subgradient(view, {1.0}, 1e-4)[0], 3.0, 1e-6);
+}
+
+TEST(OgdPolicy, ConstructionAndDefaults) {
+  ogd_policy p(4);
+  EXPECT_EQ(p.name(), "OGD");
+  EXPECT_EQ(p.workers(), 4u);
+  EXPECT_FALSE(p.clairvoyant());
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(OgdPolicy, RejectsBadOptions) {
+  ogd_options bad_lr;
+  bad_lr.learning_rate = 0.0;
+  EXPECT_THROW(ogd_policy(2, bad_lr), invariant_error);
+  ogd_options bad_h;
+  bad_h.derivative_step = -1.0;
+  EXPECT_THROW(ogd_policy(2, bad_h), invariant_error);
+  ogd_options bad_init;
+  bad_init.initial_partition = {0.9, 0.9};
+  EXPECT_THROW(ogd_policy(2, bad_init), invariant_error);
+}
+
+TEST(OgdPolicy, MovesMassAwayFromStraggler) {
+  ogd_options o;
+  o.learning_rate = 0.05;
+  ogd_policy p(2, o);
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(5.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, p.current());
+  p.observe(feed(view, locals));
+  EXPECT_LT(p.current()[1], 0.5);  // straggler sheds
+  EXPECT_GT(p.current()[0], 0.5);
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+TEST(OgdPolicy, StaysFeasibleOverManyRounds) {
+  ogd_options o;
+  o.learning_rate = 0.1;
+  ogd_policy p(5, o);
+  cost::cost_vector costs;
+  for (int i = 0; i < 5; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(1.0 + i, 0.1));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  for (int t = 0; t < 200; ++t) {
+    const auto locals = cost::evaluate(view, p.current());
+    p.observe(feed(view, locals));
+    ASSERT_TRUE(on_simplex(p.current())) << "round " << t;
+  }
+}
+
+TEST(OgdPolicy, ConvergesOnStaticTwoWorkerInstance) {
+  // Static slopes 1 and 3: the balanced point is x = (0.75, 0.25).
+  ogd_options o;
+  o.learning_rate = 0.02;
+  ogd_policy p(2, o);
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(3.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  for (int t = 0; t < 500; ++t) {
+    const auto locals = cost::evaluate(view, p.current());
+    p.observe(feed(view, locals));
+  }
+  EXPECT_NEAR(p.current()[0], 0.75, 0.03);
+  EXPECT_NEAR(p.current()[1], 0.25, 0.03);
+}
+
+TEST(OgdPolicy, SingleWorkerNoOp) {
+  ogd_policy p(1);
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(2.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, p.current());
+  p.observe(feed(view, locals));
+  EXPECT_DOUBLE_EQ(p.current()[0], 1.0);
+}
+
+TEST(OgdPolicy, ResetRestoresInitialPartition) {
+  ogd_options o;
+  o.learning_rate = 0.1;
+  ogd_policy p(3, o);
+  cost::cost_vector costs;
+  for (int i = 0; i < 3; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(1.0 + 2 * i, 0.0));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  const auto locals = cost::evaluate(view, p.current());
+  p.observe(feed(view, locals));
+  p.reset();
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 1.0 / 3);
+}
+
+}  // namespace
+}  // namespace dolbie::baselines

@@ -1,0 +1,138 @@
+#include "baselines/opt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/simplex.h"
+#include "cost/affine.h"
+#include "cost/power.h"
+#include "cost/logistic.h"
+#include "exp/scenario.h"
+
+namespace dolbie::baselines {
+namespace {
+
+TEST(SolveInstantaneous, TwoAffineWorkersClosedForm) {
+  // f0 = x, f1 = 3x: level l with l + l/3 = 1 -> l = 0.75, x = (0.75, 0.25).
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(3.0, 0.0));
+  const auto sol = solve_instantaneous(cost::view_of(costs));
+  EXPECT_NEAR(sol.x[0], 0.75, 1e-7);
+  EXPECT_NEAR(sol.x[1], 0.25, 1e-7);
+  EXPECT_NEAR(sol.value, 0.75, 1e-7);
+  EXPECT_TRUE(on_simplex(sol.x, 1e-9));
+}
+
+TEST(SolveInstantaneous, InterceptsShiftTheBalance) {
+  // f0 = x, f1 = x + 0.5: l - 0 + l - 0.5 = 1 -> l = 0.75, x = (0.75, 0.25).
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.5));
+  const auto sol = solve_instantaneous(cost::view_of(costs));
+  EXPECT_NEAR(sol.x[0], 0.75, 1e-7);
+  EXPECT_NEAR(sol.x[1], 0.25, 1e-7);
+}
+
+TEST(SolveInstantaneous, WorkerPricedOutGetsZero) {
+  // Worker 1's fixed cost dominates everything: it gets zero load, but the
+  // min-max value is still its unavoidable intercept f_1(0) = 10.
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 10.0));
+  const auto sol = solve_instantaneous(cost::view_of(costs));
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-7);
+  EXPECT_NEAR(sol.value, 10.0, 1e-6);
+  EXPECT_GE(sol.level, sol.value - 1e-9);
+}
+
+TEST(SolveInstantaneous, SingleWorker) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::power_cost>(2.0, 2.0, 0.3));
+  const auto sol = solve_instantaneous(cost::view_of(costs));
+  ASSERT_EQ(sol.x.size(), 1u);
+  EXPECT_DOUBLE_EQ(sol.x[0], 1.0);
+  EXPECT_NEAR(sol.value, 2.3, 1e-9);
+}
+
+TEST(SolveInstantaneous, NonlinearMixture) {
+  // Quadratic vs saturating: verify the value equals the level and all
+  // workers at positive allocation sit at (or below) the water level.
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::power_cost>(4.0, 2.0, 0.0));
+  costs.push_back(std::make_unique<cost::saturating_cost>(2.0, 0.3, 0.1));
+  const auto sol = solve_instantaneous(cost::view_of(costs));
+  EXPECT_TRUE(on_simplex(sol.x, 1e-9));
+  for (std::size_t i = 0; i < sol.x.size(); ++i) {
+    EXPECT_LE(costs[i]->value(sol.x[i]), sol.level + 1e-7);
+  }
+  EXPECT_LE(sol.value, sol.level + 1e-7);
+}
+
+TEST(SolveInstantaneous, ThrowsOnEmpty) {
+  EXPECT_THROW(solve_instantaneous(cost::cost_view{}), invariant_error);
+}
+
+// Property: no random feasible point beats the solver's value (it really is
+// the instantaneous minimizer, up to bisection tolerance).
+TEST(SolveInstantaneous, BeatsRandomFeasiblePoints) {
+  rng g(555);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(g.uniform_int(2, 8));
+    auto env = exp::make_synthetic_environment(
+        n, exp::synthetic_family::mixed, g.engine()());
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const auto sol = solve_instantaneous(view);
+    for (int probe = 0; probe < 30; ++probe) {
+      std::vector<double> q(n);
+      double total = 0.0;
+      for (double& c : q) {
+        c = -std::log(g.uniform(1e-9, 1.0));
+        total += c;
+      }
+      for (double& c : q) c /= total;
+      const auto locals = cost::evaluate(view, q);
+      const double value = *std::max_element(locals.begin(), locals.end());
+      EXPECT_GE(value, sol.value - 1e-6);
+    }
+  }
+}
+
+TEST(OptPolicy, IsClairvoyantAndPlaysTheMinimizer) {
+  opt_policy p(2);
+  EXPECT_TRUE(p.clairvoyant());
+  EXPECT_EQ(p.name(), "OPT");
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(3.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  p.preview(view);
+  EXPECT_NEAR(p.current()[0], 0.75, 1e-7);
+  // observe() is a no-op for the clairvoyant policy.
+  core::round_feedback fb;
+  fb.costs = &view;
+  const std::vector<double> locals = cost::evaluate(view, p.current());
+  fb.local_costs = locals;
+  p.observe(fb);
+  EXPECT_NEAR(p.current()[0], 0.75, 1e-7);
+}
+
+TEST(OptPolicy, ResetReturnsToUniform) {
+  opt_policy p(4);
+  cost::cost_vector costs;
+  for (int i = 0; i < 4; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(1.0 + i, 0.0));
+  }
+  p.preview(cost::view_of(costs));
+  p.reset();
+  for (double v : p.current()) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+}  // namespace
+}  // namespace dolbie::baselines

@@ -1,0 +1,70 @@
+#include "stats/percentile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::stats {
+namespace {
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 42.0);
+}
+
+TEST(Percentile, EndpointsAreMinMax) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.5, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{1, 2, 3, 4, 5}, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{1, 2, 3, 4}, 50.0), 2.5);
+}
+
+TEST(Percentile, LinearInterpolationBetweenRanks) {
+  // Sorted {10, 20, 30, 40}: 25th percentile at rank 0.75 -> 17.5.
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{40, 10, 30, 20}, 25.0),
+                   17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, MonotoneInP) {
+  const std::vector<double> v{2.0, 7.0, 1.0, 9.0, 5.0, 3.0};
+  double prev = percentile(v, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Percentile, Throws) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), invariant_error);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, -1.0), invariant_error);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0), invariant_error);
+}
+
+TEST(BoxStats, FiveNumbersOrdered) {
+  const std::vector<double> v{9.0, 2.0, 7.0, 4.0, 1.0, 6.0, 3.0, 8.0, 5.0};
+  const five_number_summary s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.max);
+}
+
+}  // namespace
+}  // namespace dolbie::stats

@@ -1,0 +1,188 @@
+#include "cost/process.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::cost {
+namespace {
+
+TEST(ConstantProcess, NeverMoves) {
+  constant_process p(3.5);
+  rng g(1);
+  EXPECT_DOUBLE_EQ(p.current(), 3.5);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(p.step(g), 3.5);
+}
+
+TEST(Ar1Process, StartsAtMeanAndStaysBounded) {
+  ar1_process p(10.0, 0.9, 1.0, 5.0, 15.0);
+  rng g(2);
+  EXPECT_DOUBLE_EQ(p.current(), 10.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = p.step(g);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 15.0);
+    EXPECT_DOUBLE_EQ(p.current(), v);
+  }
+}
+
+TEST(Ar1Process, ZeroSigmaIsDeterministicMeanReversion) {
+  ar1_process p(1.0, 0.5, 0.0, 0.0, 2.0);
+  rng g(3);
+  // Starts at the mean and stays there without noise.
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(p.step(g), 1.0);
+}
+
+TEST(Ar1Process, MeanRevertsStatistically) {
+  ar1_process p(2.0, 0.8, 0.1, 0.5, 3.5);
+  rng g(4);
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += p.step(g);
+  EXPECT_NEAR(total / kN, 2.0, 0.05);
+}
+
+TEST(Ar1Process, RejectsBadParameters) {
+  EXPECT_THROW(ar1_process(1.0, 1.0, 0.1, 0.0, 2.0), invariant_error);
+  EXPECT_THROW(ar1_process(1.0, -0.1, 0.1, 0.0, 2.0), invariant_error);
+  EXPECT_THROW(ar1_process(1.0, 0.5, -0.1, 0.0, 2.0), invariant_error);
+  EXPECT_THROW(ar1_process(1.0, 0.5, 0.1, 2.0, 0.0), invariant_error);
+  EXPECT_THROW(ar1_process(5.0, 0.5, 0.1, 0.0, 2.0), invariant_error);
+}
+
+TEST(BoundedWalk, StaysWithinBounds) {
+  bounded_walk_process p(1.0, 0.5, 0.1, 10.0);
+  rng g(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = p.step(g);
+    EXPECT_GE(v, 0.1);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(BoundedWalk, ZeroSigmaFrozen) {
+  bounded_walk_process p(2.0, 0.0, 1.0, 3.0);
+  rng g(6);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(p.step(g), 2.0);
+}
+
+TEST(BoundedWalk, RejectsBadParameters) {
+  EXPECT_THROW(bounded_walk_process(1.0, -0.1, 0.1, 10.0), invariant_error);
+  EXPECT_THROW(bounded_walk_process(1.0, 0.1, 0.0, 10.0), invariant_error);
+  EXPECT_THROW(bounded_walk_process(1.0, 0.1, 5.0, 2.0), invariant_error);
+  EXPECT_THROW(bounded_walk_process(0.5, 0.1, 1.0, 2.0), invariant_error);
+}
+
+TEST(MarkovContention, TogglesBetweenTwoLevels) {
+  markov_contention_process p(10.0, 0.5, 0.5, 0.5);
+  rng g(7);
+  bool saw_normal = false;
+  bool saw_contended = false;
+  for (int i = 0; i < 500; ++i) {
+    const double v = p.step(g);
+    ASSERT_TRUE(v == 10.0 || v == 5.0) << v;
+    saw_normal = saw_normal || v == 10.0;
+    saw_contended = saw_contended || v == 5.0;
+  }
+  EXPECT_TRUE(saw_normal);
+  EXPECT_TRUE(saw_contended);
+}
+
+TEST(MarkovContention, NeverEntersWithZeroProbability) {
+  markov_contention_process p(1.0, 0.5, 0.0, 0.5);
+  rng g(8);
+  for (int i = 0; i < 200; ++i) EXPECT_DOUBLE_EQ(p.step(g), 1.0);
+  EXPECT_FALSE(p.contended());
+}
+
+TEST(MarkovContention, StationaryFractionRoughlyMatches) {
+  // p_enter = p_exit = 0.5 -> stationary contended fraction 0.5.
+  markov_contention_process p(1.0, 0.25, 0.5, 0.5);
+  rng g(9);
+  int contended = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    p.step(g);
+    if (p.contended()) ++contended;
+  }
+  EXPECT_NEAR(static_cast<double>(contended) / kN, 0.5, 0.03);
+}
+
+TEST(MarkovContention, RejectsBadParameters) {
+  EXPECT_THROW(markov_contention_process(0.0, 0.5, 0.1, 0.1),
+               invariant_error);
+  EXPECT_THROW(markov_contention_process(1.0, 0.0, 0.1, 0.1),
+               invariant_error);
+  EXPECT_THROW(markov_contention_process(1.0, 0.5, 1.5, 0.1),
+               invariant_error);
+  EXPECT_THROW(markov_contention_process(1.0, 0.5, 0.1, -0.1),
+               invariant_error);
+}
+
+TEST(PeriodicProcess, TracesTheSine) {
+  periodic_process p(10.0, 0.5, 4.0);  // period 4 ticks
+  rng g(1);
+  EXPECT_DOUBLE_EQ(p.current(), 10.0);           // t=0: sin(0)=0
+  EXPECT_NEAR(p.step(g), 15.0, 1e-9);            // t=1: sin(pi/2)=1
+  EXPECT_NEAR(p.step(g), 10.0, 1e-9);            // t=2
+  EXPECT_NEAR(p.step(g), 5.0, 1e-9);             // t=3
+  EXPECT_NEAR(p.step(g), 10.0, 1e-9);            // t=4: full period
+}
+
+TEST(PeriodicProcess, PhaseShiftsTheStart) {
+  periodic_process p(10.0, 0.5, 4.0, 0.25);  // starts at the crest
+  EXPECT_NEAR(p.current(), 15.0, 1e-9);
+}
+
+TEST(PeriodicProcess, StaysPositive) {
+  periodic_process p(2.0, 0.99, 7.0);
+  rng g(2);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_GT(p.step(g), 0.0);
+  }
+}
+
+TEST(PeriodicProcess, IsDeterministic) {
+  periodic_process a(3.0, 0.4, 11.0);
+  periodic_process b(3.0, 0.4, 11.0);
+  rng g1(1);
+  rng g2(999);  // the generator is unused; values must still agree
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(a.step(g1), b.step(g2));
+  }
+}
+
+TEST(PeriodicProcess, RejectsBadParameters) {
+  EXPECT_THROW(periodic_process(0.0, 0.5, 4.0), invariant_error);
+  EXPECT_THROW(periodic_process(1.0, 1.0, 4.0), invariant_error);
+  EXPECT_THROW(periodic_process(1.0, -0.1, 4.0), invariant_error);
+  EXPECT_THROW(periodic_process(1.0, 0.5, 0.0), invariant_error);
+}
+
+TEST(ProductProcess, MultipliesFactors) {
+  auto a = std::make_unique<constant_process>(3.0);
+  auto b = std::make_unique<constant_process>(4.0);
+  product_process p(std::move(a), std::move(b));
+  rng g(10);
+  EXPECT_DOUBLE_EQ(p.current(), 12.0);
+  EXPECT_DOUBLE_EQ(p.step(g), 12.0);
+}
+
+TEST(ProductProcess, RejectsNullFactors) {
+  EXPECT_THROW(
+      product_process(nullptr, std::make_unique<constant_process>(1.0)),
+      invariant_error);
+}
+
+TEST(Processes, DeterministicUnderSameSeed) {
+  ar1_process p1(1.0, 0.7, 0.2, 0.1, 2.0);
+  ar1_process p2(1.0, 0.7, 0.2, 0.1, 2.0);
+  rng g1(77);
+  rng g2(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(p1.step(g1), p2.step(g2));
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::cost

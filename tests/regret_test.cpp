@@ -1,0 +1,148 @@
+#include "core/regret.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/dolbie.h"
+#include "cost/affine.h"
+#include "cost/time_varying.h"
+#include "exp/harness.h"
+#include "exp/scenario.h"
+
+namespace dolbie::core {
+namespace {
+
+TEST(RegretTracker, AccumulatesGapAndTotals) {
+  regret_tracker r;
+  r.record(5.0, 3.0, {1.0, 0.0});
+  r.record(4.0, 3.5, {0.5, 0.5});
+  EXPECT_EQ(r.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(r.algorithm_total(), 9.0);
+  EXPECT_DOUBLE_EQ(r.optimal_total(), 6.5);
+  EXPECT_DOUBLE_EQ(r.regret(), 2.5);
+  ASSERT_EQ(r.per_round_gap().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.per_round_gap()[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.per_round_gap()[1], 0.5);
+}
+
+TEST(RegretTracker, PathLengthIsL2BetweenConsecutiveMinimizers) {
+  regret_tracker r;
+  r.record(1.0, 1.0, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.path_length(), 0.0);  // needs two points
+  r.record(1.0, 1.0, {0.0, 1.0});
+  EXPECT_NEAR(r.path_length(), std::sqrt(2.0), 1e-12);
+  r.record(1.0, 1.0, {0.0, 1.0});
+  EXPECT_NEAR(r.path_length(), std::sqrt(2.0), 1e-12);  // no movement
+}
+
+TEST(RegretTracker, RejectsEmptyOptimalPoint) {
+  regret_tracker r;
+  EXPECT_THROW(r.record(1.0, 1.0, {}), invariant_error);
+}
+
+TEST(Theorem1Bound, MatchesHandComputedValue) {
+  // T = 2, N = 3, L = 2, alphas = {0.5, 0.25}, P_T = 1.
+  // inner = 1/0.25 + 1/0.25 + [ (1 + 3*0.5)/2 + (1 + 3*0.25)/2 ]
+  //       = 4 + 4 + (2.5/2 + 1.75/2) = 8 + 2.125 = 10.125
+  // bound = sqrt(2 * 4 * 10.125) = sqrt(81) = 9.
+  const std::vector<double> alphas{0.5, 0.25};
+  EXPECT_NEAR(theorem1_bound(2.0, 3, alphas, 1.0), 9.0, 1e-12);
+}
+
+TEST(Theorem1Bound, GrowsWithPathLength) {
+  const std::vector<double> alphas{0.1, 0.1, 0.1};
+  EXPECT_LT(theorem1_bound(1.0, 4, alphas, 0.0),
+            theorem1_bound(1.0, 4, alphas, 5.0));
+}
+
+TEST(Theorem1Bound, Throws) {
+  const std::vector<double> alphas{0.1};
+  EXPECT_THROW(theorem1_bound(-1.0, 3, alphas, 0.0), invariant_error);
+  EXPECT_THROW(theorem1_bound(1.0, 0, alphas, 0.0), invariant_error);
+  EXPECT_THROW(theorem1_bound(1.0, 3, std::vector<double>{}, 0.0),
+               invariant_error);
+  const std::vector<double> zero_alpha{0.0};
+  EXPECT_THROW(theorem1_bound(1.0, 3, zero_alpha, 0.0), invariant_error);
+}
+
+TEST(EstimateLipschitz, ExactOnAffine) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(3.0, 1.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(7.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  EXPECT_NEAR(estimate_lipschitz(view), 7.0, 1e-9);
+}
+
+TEST(EstimateLipschitz, Throws) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  EXPECT_THROW(estimate_lipschitz(view, 1), invariant_error);
+}
+
+// The headline check: DOLBIE's realized dynamic regret never exceeds the
+// Theorem-1 bound, across worker counts and families. (The bound needs
+// alpha_T > 0, which holds on these instances.)
+class Theorem1Holds
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, exp::synthetic_family, std::uint64_t>> {};
+
+TEST_P(Theorem1Holds, EmpiricalRegretBelowBound) {
+  const auto [n, family, seed] = GetParam();
+  auto env = exp::make_synthetic_environment(n, family, seed);
+  dolbie_policy policy(n);
+  exp::harness_options options;
+  options.rounds = 150;
+  options.track_regret = true;
+  options.record_step_sizes = true;
+  const exp::run_trace trace = exp::run(policy, *env, options);
+  ASSERT_EQ(trace.step_sizes.size(), options.rounds);
+  ASSERT_GT(trace.step_sizes.back(), 0.0);
+  const double bound =
+      theorem1_bound(trace.lipschitz_estimate, n, trace.step_sizes,
+                     trace.regret.path_length());
+  EXPECT_LE(trace.regret.regret(), bound)
+      << "regret " << trace.regret.regret() << " vs bound " << bound;
+  EXPECT_GE(trace.regret.regret(), -1e-6)
+      << "regret cannot be negative vs per-round minimizers";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem1Holds,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 10, 20),
+                       ::testing::Values(exp::synthetic_family::affine,
+                                         exp::synthetic_family::power,
+                                         exp::synthetic_family::saturating),
+                       ::testing::Values<std::uint64_t>(3, 1337)));
+
+// Adversarial periodic environment: slopes oscillate out of phase across
+// workers, so the instantaneous minimizer travels a closed loop and P_T
+// grows linearly in T — the worst-case regime. The bound must still hold.
+TEST(Theorem1Holds, PeriodicAdversary) {
+  constexpr std::size_t kWorkers = 6;
+  std::vector<std::unique_ptr<cost::cost_sequence>> sequences;
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    auto slope = std::make_unique<cost::periodic_process>(
+        5.0, 0.8, 20.0, static_cast<double>(i) / kWorkers);
+    sequences.push_back(std::make_unique<cost::affine_sequence>(
+        std::move(slope), std::make_unique<cost::constant_process>(0.1)));
+  }
+  exp::sequence_environment env(std::move(sequences), 1);
+  core::dolbie_policy policy(kWorkers);
+  exp::harness_options options;
+  options.rounds = 200;
+  options.track_regret = true;
+  options.record_step_sizes = true;
+  const exp::run_trace trace = exp::run(policy, env, options);
+  // Path length is genuinely linear-ish: at least T/20 loops' worth.
+  EXPECT_GT(trace.regret.path_length(), 1.0);
+  const double bound =
+      core::theorem1_bound(trace.lipschitz_estimate, kWorkers,
+                           trace.step_sizes, trace.regret.path_length());
+  EXPECT_LE(trace.regret.regret(), bound);
+}
+
+}  // namespace
+}  // namespace dolbie::core

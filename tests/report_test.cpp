@@ -1,0 +1,130 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::exp {
+namespace {
+
+TEST(Table, PrintsHeadersRuleAndRows) {
+  table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row("beta", {2.5}, 3);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  table t({"a", "b"});
+  t.add_row({"x", "1"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), invariant_error);
+  EXPECT_THROW(table({}), invariant_error);
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(format_double(1000.0, 4), "1000");
+}
+
+series make_series(const std::string& name, std::vector<double> v) {
+  series s(name);
+  for (double x : v) s.push(x);
+  return s;
+}
+
+TEST(PrintSeries, ShowsAllRoundsWhenShort) {
+  std::ostringstream os;
+  print_series(os, {make_series("lat", {1.0, 2.0, 3.0})}, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("round"), std::string::npos);
+  EXPECT_NE(out.find("lat"), std::string::npos);
+  // All three rounds present.
+  EXPECT_NE(out.find("\n1 "), std::string::npos);
+  EXPECT_NE(out.find("\n3 "), std::string::npos);
+}
+
+TEST(PrintSeries, SubsamplesLongTracesKeepingEndpoints) {
+  series s("x");
+  for (int i = 0; i < 100; ++i) s.push(i);
+  std::ostringstream os;
+  print_series(os, {s}, 5);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\n1 "), std::string::npos);    // first round
+  EXPECT_NE(out.find("\n100 "), std::string::npos);  // last round
+  // Far fewer than 100 data lines.
+  EXPECT_LT(std::count(out.begin(), out.end(), '\n'), 12);
+}
+
+TEST(PrintSeries, MaxRowsOneShowsTheFinalRound) {
+  series s("x");
+  for (int i = 0; i < 50; ++i) s.push(i);
+  std::ostringstream os;
+  print_series(os, {s}, 1);  // must not divide by zero
+  EXPECT_NE(os.str().find("\n50 "), std::string::npos);
+}
+
+TEST(PrintSeries, RejectsMismatchedLengths) {
+  std::ostringstream os;
+  EXPECT_THROW(print_series(os,
+                            {make_series("a", {1.0}),
+                             make_series("b", {1.0, 2.0})}),
+               invariant_error);
+  EXPECT_THROW(print_series(os, {}), invariant_error);
+}
+
+TEST(WriteSeriesCsv, OneColumnPerSeries) {
+  std::ostringstream os;
+  write_series_csv(os, {make_series("a", {1.0, 2.0}),
+                        make_series("b", {3.0, 4.0})});
+  EXPECT_EQ(os.str(), "round,a,b\n1,1,3\n2,2,4\n");
+}
+
+TEST(PrintAggregated, ShowsMeanAndHalfWidth) {
+  stats::aggregated_series agg;
+  agg.name = "lat";
+  agg.mean = {1.0, 2.0};
+  agg.half_width = {0.1, 0.2};
+  agg.realizations = 10;
+  std::ostringstream os;
+  print_aggregated(os, {agg});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("+/-"), std::string::npos);
+  EXPECT_NE(out.find("lat"), std::string::npos);
+}
+
+TEST(CliArgs, ParsesKeyValueFlags) {
+  const char* argv[] = {"prog", "--seed=42", "--rounds=100", "--csv",
+                        "--name=abc"};
+  cli_args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_u64("seed", 0), 42u);
+  EXPECT_EQ(args.get_u64("rounds", 0), 100u);
+  EXPECT_EQ(args.get_u64("missing", 7), 7u);
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("absent"));
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+  EXPECT_DOUBLE_EQ(args.get_double("seed", 0.0), 42.0);
+}
+
+TEST(CliArgs, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(cli_args(2, const_cast<char**>(argv)), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::exp

@@ -1,0 +1,96 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dolbie {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  rng a(12345);
+  rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  rng g(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  rng g(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = g.uniform_int(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianRoughMoments) {
+  rng g(99);
+  double total = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = g.gaussian(5.0, 2.0);
+    total += v;
+    sq += (v - 5.0) * (v - 5.0);
+  }
+  EXPECT_NEAR(total / kN, 5.0, 0.1);
+  EXPECT_NEAR(sq / kN, 4.0, 0.2);
+}
+
+TEST(Rng, BernoulliRoughFrequency) {
+  rng g(5);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (g.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelatedAndDeterministic) {
+  rng parent_a(42);
+  rng parent_b(42);
+  rng child_a0 = parent_a.fork(0);
+  rng child_b0 = parent_b.fork(0);
+  // Same parent state + stream index -> identical children.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(child_a0.uniform(0.0, 1.0), child_b0.uniform(0.0, 1.0));
+  }
+  // Different stream indices -> different children.
+  rng parent_c(42);
+  rng parent_d(42);
+  rng c0 = parent_c.fork(0);
+  rng d1 = parent_d.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c0.uniform(0.0, 1.0) == d1.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace dolbie

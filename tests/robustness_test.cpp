@@ -1,0 +1,139 @@
+// Robustness under extreme inputs: astronomically large / tiny costs,
+// degenerate partitions and hostile scripted environments must never
+// produce NaNs, negative workloads or off-simplex allocations in any
+// policy.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/abs.h"
+#include "baselines/equal.h"
+#include "baselines/lbbsp.h"
+#include "baselines/ogd.h"
+#include "baselines/opt.h"
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "cost/affine.h"
+#include "cost/exponential.h"
+
+namespace dolbie {
+namespace {
+
+using policy_list = std::vector<std::unique_ptr<core::online_policy>>;
+
+policy_list all_policies(std::size_t n) {
+  policy_list out;
+  out.push_back(std::make_unique<baselines::equal_policy>(n));
+  out.push_back(std::make_unique<baselines::ogd_policy>(n));
+  out.push_back(std::make_unique<baselines::abs_policy>(n));
+  out.push_back(std::make_unique<baselines::lbbsp_policy>(n));
+  out.push_back(std::make_unique<core::dolbie_policy>(n));
+  {
+    core::dolbie_options o;
+    o.rule = core::step_rule::exact_feasibility;
+    out.push_back(std::make_unique<core::dolbie_policy>(n, o));
+  }
+  out.push_back(std::make_unique<baselines::opt_policy>(n));
+  return out;
+}
+
+void drive(core::online_policy& policy, const cost::cost_vector& costs,
+           int rounds) {
+  const cost::cost_view view = cost::view_of(costs);
+  for (int t = 0; t < rounds; ++t) {
+    if (policy.clairvoyant()) policy.preview(view);
+    const auto locals = cost::evaluate(view, policy.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    policy.observe(fb);
+    ASSERT_TRUE(on_simplex(policy.current(), 1e-7))
+        << policy.name() << " round " << t;
+    for (double v : policy.current()) {
+      ASSERT_TRUE(std::isfinite(v)) << policy.name();
+    }
+  }
+}
+
+TEST(Robustness, AstronomicalCostScale) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1e120, 1e100));
+  costs.push_back(std::make_unique<cost::affine_cost>(3e120, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(7e119, 5e99));
+  for (auto& policy : all_policies(3)) {
+    drive(*policy, costs, 30);
+  }
+}
+
+TEST(Robustness, MicroscopicCostScale) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1e-120, 1e-140));
+  costs.push_back(std::make_unique<cost::affine_cost>(4e-120, 0.0));
+  for (auto& policy : all_policies(2)) {
+    drive(*policy, costs, 30);
+  }
+}
+
+TEST(Robustness, WildlyMixedScales) {
+  // One worker's costs dwarf another's by ~200 orders of magnitude.
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1e-100, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1e100, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(1.0, 0.5));
+  for (auto& policy : all_policies(3)) {
+    drive(*policy, costs, 30);
+  }
+}
+
+TEST(Robustness, SteepExponentialCosts) {
+  // exp(60 x) spans 26 orders of magnitude across [0, 1].
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::exponential_cost>(1.0, 60.0, 0.0));
+  costs.push_back(std::make_unique<cost::exponential_cost>(0.5, 50.0, 0.1));
+  costs.push_back(std::make_unique<cost::affine_cost>(2.0, 0.0));
+  for (auto& policy : all_policies(3)) {
+    drive(*policy, costs, 40);
+  }
+}
+
+TEST(Robustness, DegenerateInitialPartition) {
+  // All workload on one worker, everyone else at exactly zero.
+  core::dolbie_options o;
+  o.initial_partition = {1.0, 0.0, 0.0, 0.0};
+  core::dolbie_policy policy(4, o);
+  // Paper initialization: alpha_1 = 0/(N-2+0) = 0 — frozen but feasible.
+  EXPECT_DOUBLE_EQ(policy.step_size(), 0.0);
+  cost::cost_vector costs;
+  for (int i = 0; i < 4; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(1.0 + i, 0.1));
+  }
+  drive(policy, costs, 10);
+  // Frozen alpha means the (feasible) partition never moves.
+  EXPECT_DOUBLE_EQ(policy.current()[0], 1.0);
+}
+
+TEST(Robustness, ZeroCostWorkers) {
+  // A worker whose cost is identically zero (f = 0): always fastest,
+  // never the straggler, x' capped at 1.
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(0.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(2.0, 0.1));
+  costs.push_back(std::make_unique<cost::affine_cost>(3.0, 0.2));
+  for (auto& policy : all_policies(3)) {
+    drive(*policy, costs, 30);
+  }
+}
+
+TEST(Robustness, OptSolverOnExtremeMixtures) {
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(1e-30, 1e-35));
+  costs.push_back(std::make_unique<cost::exponential_cost>(1e10, 30.0, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(5.0, 1e5));
+  const auto sol = baselines::solve_instantaneous(cost::view_of(costs));
+  EXPECT_TRUE(on_simplex(sol.x, 1e-7));
+  EXPECT_TRUE(std::isfinite(sol.value));
+  EXPECT_GE(sol.level, sol.value - 1e-6);
+}
+
+}  // namespace
+}  // namespace dolbie

@@ -1,0 +1,90 @@
+#include "dist/round_timing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/delay_model.h"
+
+namespace dolbie::dist {
+namespace {
+
+TEST(LinkDelayModel, MessageTimeIsLatencyPlusTransfer) {
+  net::link_delay_model link{.base_latency = 1e-3,
+                             .bytes_per_second = 1e6};
+  EXPECT_DOUBLE_EQ(link.message_time(1000), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(link.message_time(0), 1e-3);
+}
+
+TEST(LinkDelayModel, SerializedTimeScalesWithCount) {
+  net::link_delay_model link{.base_latency = 1e-3,
+                             .bytes_per_second = 1e6};
+  EXPECT_DOUBLE_EQ(link.serialized_time(0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(link.serialized_time(1, 1000), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(link.serialized_time(10, 1000), 1e-3 + 10e-3);
+}
+
+TEST(LinkDelayModel, RejectsBadParameters) {
+  net::link_delay_model bad{.base_latency = -1.0, .bytes_per_second = 1.0};
+  EXPECT_THROW(bad.message_time(1), invariant_error);
+  net::link_delay_model zero_bw{.base_latency = 0.0,
+                                .bytes_per_second = 0.0};
+  EXPECT_THROW(zero_bw.serialized_time(1, 1), invariant_error);
+}
+
+TEST(RoundTiming, SingleWorkerIsFree) {
+  const round_timing t = estimate_round_timing(1, {});
+  EXPECT_DOUBLE_EQ(t.master_worker_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t.fully_distributed_seconds, 0.0);
+  EXPECT_EQ(t.master_worker_messages, 0u);
+}
+
+TEST(RoundTiming, MessageCountsMatchSectionIVC) {
+  const round_timing t = estimate_round_timing(30, {});
+  EXPECT_EQ(t.master_worker_messages, 90u);
+  EXPECT_EQ(t.fully_distributed_messages, 899u);
+}
+
+TEST(RoundTiming, LatencyBoundRegimeFavoursFullyDistributed) {
+  // High latency, huge bandwidth: phases dominate. MW has 4 phases (~4
+  // latencies), FD has 2.
+  net::link_delay_model link{.base_latency = 1.0,
+                             .bytes_per_second = 1e15};
+  const round_timing t = estimate_round_timing(30, link);
+  EXPECT_NEAR(t.master_worker_seconds, 4.0, 1e-6);
+  EXPECT_NEAR(t.fully_distributed_seconds, 2.0, 1e-6);
+}
+
+TEST(RoundTiming, BandwidthBoundRegimeFavoursMasterWorker) {
+  // Zero latency, slow links: total serialized bytes dominate. MW moves
+  // ~3N messages through the hub; FD every NIC pushes and the straggler
+  // pulls N-1 each -> ~2(N-1) per bottleneck NIC, but with per-NIC
+  // parallelism both are O(N); the FD *total* bytes are O(N^2) yet its
+  // bottleneck NIC time matches MW's within a constant. Check the
+  // constants: MW = 3N transfers at the hub vs FD = 2(N-1).
+  net::link_delay_model link{.base_latency = 0.0,
+                             .bytes_per_second = 28.0};  // 1 msg/s
+  const std::size_t n = 30;
+  const round_timing t = estimate_round_timing(n, link);
+  EXPECT_NEAR(t.master_worker_seconds, 3.0 * n, 1e-9);
+  EXPECT_NEAR(t.fully_distributed_seconds, 2.0 * (n - 1.0), 1e-9);
+}
+
+TEST(RoundTiming, GrowsWithWorkerCount) {
+  net::link_delay_model link;
+  double prev_mw = 0.0;
+  double prev_fd = 0.0;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const round_timing t = estimate_round_timing(n, link);
+    EXPECT_GT(t.master_worker_seconds, prev_mw);
+    EXPECT_GT(t.fully_distributed_seconds, prev_fd);
+    prev_mw = t.master_worker_seconds;
+    prev_fd = t.fully_distributed_seconds;
+  }
+}
+
+TEST(RoundTiming, Throws) {
+  EXPECT_THROW(estimate_round_timing(0, {}), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::dist

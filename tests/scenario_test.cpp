@@ -1,0 +1,105 @@
+#include "exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cost/affine.h"
+
+namespace dolbie::exp {
+namespace {
+
+TEST(SequenceEnvironment, YieldsOneCostPerWorkerPerRound) {
+  std::vector<std::unique_ptr<cost::cost_sequence>> seqs;
+  for (int i = 0; i < 3; ++i) {
+    seqs.push_back(std::make_unique<cost::affine_sequence>(
+        std::make_unique<cost::constant_process>(1.0 + i),
+        std::make_unique<cost::constant_process>(0.1)));
+  }
+  sequence_environment env(std::move(seqs), 1);
+  EXPECT_EQ(env.workers(), 3u);
+  const cost::cost_vector costs = env.next_round();
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_DOUBLE_EQ(costs[0]->value(1.0), 1.1);
+  EXPECT_DOUBLE_EQ(costs[2]->value(1.0), 3.1);
+}
+
+TEST(SequenceEnvironment, RejectsEmptyOrNullSequences) {
+  EXPECT_THROW(sequence_environment({}, 1), invariant_error);
+  std::vector<std::unique_ptr<cost::cost_sequence>> seqs;
+  seqs.push_back(nullptr);
+  EXPECT_THROW(sequence_environment(std::move(seqs), 1), invariant_error);
+}
+
+TEST(SyntheticEnvironment, AllFamiliesProduceIncreasingCosts) {
+  for (synthetic_family family :
+       {synthetic_family::affine, synthetic_family::power,
+        synthetic_family::saturating, synthetic_family::mixed}) {
+    auto env = make_synthetic_environment(6, family, 3);
+    EXPECT_EQ(env->workers(), 6u);
+    for (int t = 0; t < 5; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      for (const auto& f : costs) {
+        EXPECT_TRUE(cost::appears_increasing(*f)) << f->describe();
+      }
+    }
+  }
+}
+
+TEST(SyntheticEnvironment, DeterministicUnderSeed) {
+  auto a = make_synthetic_environment(4, synthetic_family::mixed, 77);
+  auto b = make_synthetic_environment(4, synthetic_family::mixed, 77);
+  for (int t = 0; t < 10; ++t) {
+    const cost::cost_vector ca = a->next_round();
+    const cost::cost_vector cb = b->next_round();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(ca[i]->value(0.4), cb[i]->value(0.4));
+    }
+  }
+}
+
+TEST(SyntheticEnvironment, SeedsChangeTheInstance) {
+  auto a = make_synthetic_environment(4, synthetic_family::affine, 1);
+  auto b = make_synthetic_environment(4, synthetic_family::affine, 2);
+  const cost::cost_vector ca = a->next_round();
+  const cost::cost_vector cb = b->next_round();
+  bool differs = false;
+  for (std::size_t i = 0; i < 4 && !differs; ++i) {
+    differs = ca[i]->value(0.5) != cb[i]->value(0.5);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticEnvironment, ZeroVolatilityIsStatic) {
+  auto env = make_synthetic_environment(3, synthetic_family::affine, 5, 0.0);
+  const cost::cost_vector first = env->next_round();
+  for (int t = 0; t < 5; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(costs[i]->value(0.7), first[i]->value(0.7));
+    }
+  }
+}
+
+TEST(SyntheticEnvironment, WorkersAreHeterogeneous) {
+  auto env = make_synthetic_environment(8, synthetic_family::affine, 21);
+  const cost::cost_vector costs = env->next_round();
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const auto& f : costs) {
+    const double v = f->value(1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi, 2.0 * lo);  // ~20x spread in base scales
+}
+
+TEST(SyntheticEnvironment, RejectsBadArguments) {
+  EXPECT_THROW(make_synthetic_environment(0, synthetic_family::affine, 1),
+               invariant_error);
+  EXPECT_THROW(
+      make_synthetic_environment(2, synthetic_family::affine, 1, -1.0),
+      invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::exp

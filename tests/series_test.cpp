@@ -1,0 +1,81 @@
+#include "common/series.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie {
+namespace {
+
+TEST(Series, StartsEmpty) {
+  series s("trace");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.name(), "trace");
+}
+
+TEST(Series, PushAndIndex) {
+  series s;
+  s.push(1.0);
+  s.push(2.5);
+  s.push(-0.5);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.5);
+  EXPECT_DOUBLE_EQ(s[2], -0.5);
+  EXPECT_DOUBLE_EQ(s.front(), 1.0);
+  EXPECT_DOUBLE_EQ(s.back(), -0.5);
+}
+
+TEST(Series, TotalAndCumulative) {
+  series s;
+  s.push(1.0);
+  s.push(2.0);
+  s.push(3.0);
+  EXPECT_DOUBLE_EQ(s.total(), 6.0);
+  const auto cum = s.cumulative();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_DOUBLE_EQ(cum[0], 1.0);
+  EXPECT_DOUBLE_EQ(cum[1], 3.0);
+  EXPECT_DOUBLE_EQ(cum[2], 6.0);
+}
+
+TEST(Series, EmptyTotalIsZero) {
+  series s;
+  EXPECT_DOUBLE_EQ(s.total(), 0.0);
+  EXPECT_TRUE(s.cumulative().empty());
+}
+
+TEST(Series, MinMax) {
+  series s;
+  s.push(4.0);
+  s.push(-1.0);
+  s.push(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Series, AccessorsThrowOnEmpty) {
+  series s("empty");
+  EXPECT_THROW(s.front(), invariant_error);
+  EXPECT_THROW(s.back(), invariant_error);
+  EXPECT_THROW(s.min(), invariant_error);
+  EXPECT_THROW(s.max(), invariant_error);
+}
+
+TEST(Series, RenameWorks) {
+  series s("before");
+  s.set_name("after");
+  EXPECT_EQ(s.name(), "after");
+}
+
+TEST(Series, ValuesSpanViewsAllData) {
+  series s;
+  for (int i = 0; i < 10; ++i) s.push(i);
+  const auto view = s.values();
+  ASSERT_EQ(view.size(), 10u);
+  EXPECT_DOUBLE_EQ(view[7], 7.0);
+}
+
+}  // namespace
+}  // namespace dolbie

@@ -1,0 +1,99 @@
+#include "baselines/simplex_projection.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/simplex.h"
+
+namespace dolbie::baselines {
+namespace {
+
+TEST(SimplexProjection, FixedPointOnSimplex) {
+  const std::vector<double> x{0.2, 0.3, 0.5};
+  const auto p = project_to_simplex(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(p[i], x[i], 1e-12);
+  }
+}
+
+TEST(SimplexProjection, KnownCaseAllMassOnOneCoordinate) {
+  // Projecting (2, 0): tau = 1, result (1, 0).
+  const auto p = project_to_simplex(std::vector<double>{2.0, 0.0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(SimplexProjection, KnownCaseSymmetricShift) {
+  // (0.6, 0.6): tau = 0.1, result (0.5, 0.5).
+  const auto p = project_to_simplex(std::vector<double>{0.6, 0.6});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(SimplexProjection, NegativeCoordinatesZeroedOut) {
+  const auto p = project_to_simplex(std::vector<double>{1.5, -2.0, 0.1});
+  EXPECT_TRUE(on_simplex(p, 1e-9));
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(SimplexProjection, SingleCoordinate) {
+  const auto p = project_to_simplex(std::vector<double>{-3.7});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(SimplexProjection, ThrowsOnEmpty) {
+  EXPECT_THROW(project_to_simplex(std::vector<double>{}), invariant_error);
+}
+
+// Property: the result is on the simplex and is the *closest* simplex point
+// — no random simplex point is nearer to the input.
+TEST(SimplexProjection, IsNearestSimplexPoint) {
+  rng g(321);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(g.uniform_int(1, 12));
+    std::vector<double> v(n);
+    for (double& c : v) c = g.uniform(-3.0, 3.0);
+    const auto p = project_to_simplex(v);
+    ASSERT_TRUE(on_simplex(p, 1e-8));
+    const double d_proj = l2_distance(v, p);
+    for (int probe = 0; probe < 20; ++probe) {
+      std::vector<double> q(n);
+      double total = 0.0;
+      for (double& c : q) {
+        c = -std::log(g.uniform(1e-9, 1.0));
+        total += c;
+      }
+      for (double& c : q) c /= total;
+      EXPECT_LE(d_proj, l2_distance(v, q) + 1e-9);
+    }
+  }
+}
+
+// Property: projection satisfies the variational inequality
+// <v - p, q - p> <= 0 for all simplex q (optimality of Euclidean projection).
+TEST(SimplexProjection, VariationalInequalityAtVertices) {
+  rng g(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(g.uniform_int(2, 8));
+    std::vector<double> v(n);
+    for (double& c : v) c = g.uniform(-2.0, 2.0);
+    const auto p = project_to_simplex(v);
+    // Check against every vertex e_i (extreme points suffice by linearity).
+    for (std::size_t i = 0; i < n; ++i) {
+      double inner = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double q = (j == i) ? 1.0 : 0.0;
+        inner += (v[j] - p[j]) * (q - p[j]);
+      }
+      EXPECT_LE(inner, 1e-8) << "vertex " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::baselines

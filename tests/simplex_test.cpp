@@ -1,0 +1,123 @@
+#include "common/simplex.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie {
+namespace {
+
+TEST(OnSimplex, AcceptsValidPoints) {
+  EXPECT_TRUE(on_simplex(std::vector<double>{1.0}));
+  EXPECT_TRUE(on_simplex(std::vector<double>{0.5, 0.5}));
+  EXPECT_TRUE(on_simplex(std::vector<double>{0.2, 0.3, 0.5}));
+  EXPECT_TRUE(on_simplex(std::vector<double>{0.0, 0.0, 1.0}));
+}
+
+TEST(OnSimplex, RejectsBadSum) {
+  EXPECT_FALSE(on_simplex(std::vector<double>{0.5, 0.6}));
+  EXPECT_FALSE(on_simplex(std::vector<double>{0.2, 0.2}));
+}
+
+TEST(OnSimplex, RejectsNegativeCoordinates) {
+  EXPECT_FALSE(on_simplex(std::vector<double>{1.2, -0.2}));
+}
+
+TEST(OnSimplex, RejectsEmptyAndNonFinite) {
+  EXPECT_FALSE(on_simplex(std::vector<double>{}));
+  EXPECT_FALSE(on_simplex(
+      std::vector<double>{std::numeric_limits<double>::quiet_NaN()}));
+  EXPECT_FALSE(on_simplex(
+      std::vector<double>{std::numeric_limits<double>::infinity()}));
+}
+
+TEST(OnSimplex, ToleranceIsRespected) {
+  EXPECT_TRUE(on_simplex(std::vector<double>{0.5, 0.5 + 1e-10}));
+  EXPECT_FALSE(on_simplex(std::vector<double>{0.5, 0.5 + 1e-6}));
+  EXPECT_TRUE(on_simplex(std::vector<double>{0.5, 0.5 + 1e-6}, 1e-5));
+}
+
+TEST(UniformPoint, ProducesEqualCoordinates) {
+  const auto x = uniform_point(5);
+  ASSERT_EQ(x.size(), 5u);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.2);
+  EXPECT_TRUE(on_simplex(x));
+}
+
+TEST(UniformPoint, SingleWorker) {
+  EXPECT_EQ(uniform_point(1), std::vector<double>{1.0});
+}
+
+TEST(UniformPoint, ThrowsOnZero) {
+  EXPECT_THROW(uniform_point(0), invariant_error);
+}
+
+TEST(Normalized, RescalesToSimplex) {
+  const auto x = normalized(std::vector<double>{2.0, 3.0, 5.0});
+  EXPECT_TRUE(on_simplex(x));
+  EXPECT_DOUBLE_EQ(x[0], 0.2);
+  EXPECT_DOUBLE_EQ(x[1], 0.3);
+  EXPECT_DOUBLE_EQ(x[2], 0.5);
+}
+
+TEST(Normalized, ClampsTinyNegatives) {
+  const auto x = normalized(std::vector<double>{1.0, -1e-12});
+  EXPECT_TRUE(on_simplex(x));
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(Normalized, ThrowsOnLargeNegative) {
+  EXPECT_THROW(normalized(std::vector<double>{1.0, -0.5}), invariant_error);
+}
+
+TEST(Normalized, ThrowsOnZeroSum) {
+  EXPECT_THROW(normalized(std::vector<double>{0.0, 0.0}), invariant_error);
+}
+
+TEST(L2Distance, BasicCases) {
+  EXPECT_DOUBLE_EQ(
+      l2_distance(std::vector<double>{0.0, 0.0}, std::vector<double>{3.0, 4.0}),
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      l2_distance(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 2.0}),
+      0.0);
+}
+
+TEST(L2Distance, ThrowsOnSizeMismatch) {
+  EXPECT_THROW(
+      l2_distance(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+      invariant_error);
+}
+
+TEST(Sum, AddsCoordinates) {
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{0.25, 0.25, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{}), 0.0);
+}
+
+TEST(Argmax, PicksLargest) {
+  EXPECT_EQ(argmax(std::vector<double>{1.0, 3.0, 2.0}), 1u);
+}
+
+TEST(Argmax, BreaksTiesTowardsLowestIndex) {
+  // The paper: "select the worker that ranks higher in the worker list".
+  EXPECT_EQ(argmax(std::vector<double>{2.0, 5.0, 5.0, 1.0}), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{7.0, 7.0, 7.0}), 0u);
+}
+
+TEST(Argmax, ThrowsOnEmpty) {
+  EXPECT_THROW(argmax(std::vector<double>{}), invariant_error);
+}
+
+TEST(Argmin, PicksSmallestWithLowIndexTies) {
+  EXPECT_EQ(argmin(std::vector<double>{3.0, 1.0, 2.0}), 1u);
+  EXPECT_EQ(argmin(std::vector<double>{1.0, 1.0, 2.0}), 0u);
+}
+
+TEST(Argmin, ThrowsOnEmpty) {
+  EXPECT_THROW(argmin(std::vector<double>{}), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie

@@ -1,0 +1,111 @@
+#include "core/step_size.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dolbie::core {
+namespace {
+
+TEST(FeasibleStepCap, MatchesFormulaForLargeN) {
+  // s / (N - 2 + s) with N = 5, s = 0.3 -> 0.3 / 3.3.
+  EXPECT_NEAR(feasible_step_cap(5, 0.3), 0.3 / 3.3, 1e-12);
+}
+
+TEST(FeasibleStepCap, ZeroStragglerWorkloadFreezes) {
+  EXPECT_DOUBLE_EQ(feasible_step_cap(5, 0.0), 0.0);
+}
+
+TEST(FeasibleStepCap, FullStragglerWorkload) {
+  EXPECT_NEAR(feasible_step_cap(4, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FeasibleStepCap, DegenerateSmallN) {
+  // N = 2: denominator is s, cap 1 (any step keeps the other worker's
+  // remainder non-negative). N = 1: no non-stragglers at all.
+  EXPECT_DOUBLE_EQ(feasible_step_cap(2, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(feasible_step_cap(1, 1.0), 1.0);
+}
+
+TEST(FeasibleStepCap, AlwaysInUnitInterval) {
+  for (std::size_t n : {1u, 2u, 3u, 10u, 100u}) {
+    for (double s : {0.0, 1e-6, 0.1, 0.5, 0.999, 1.0}) {
+      const double cap = feasible_step_cap(n, s);
+      EXPECT_GE(cap, 0.0);
+      EXPECT_LE(cap, 1.0);
+    }
+  }
+}
+
+TEST(FeasibleStepCap, IncreasingInStragglerWorkload) {
+  double prev = feasible_step_cap(6, 0.0);
+  for (double s = 0.05; s <= 1.0; s += 0.05) {
+    const double cur = feasible_step_cap(6, s);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FeasibleStepCap, Throws) {
+  EXPECT_THROW(feasible_step_cap(0, 0.5), invariant_error);
+  EXPECT_THROW(feasible_step_cap(3, -0.1), invariant_error);
+}
+
+TEST(NextStepSize, NeverIncreases) {
+  // Eq. (7) enforces alpha_{t+1} <= alpha_t.
+  EXPECT_DOUBLE_EQ(next_step_size(0.001, 30, 0.9), 0.001);
+  EXPECT_LT(next_step_size(0.5, 30, 0.1), 0.5);
+}
+
+TEST(NextStepSize, TakesCapWhenSmaller) {
+  const double cap = feasible_step_cap(10, 0.2);
+  EXPECT_DOUBLE_EQ(next_step_size(0.9, 10, 0.2), cap);
+}
+
+TEST(NextStepSize, Throws) {
+  EXPECT_THROW(next_step_size(-0.1, 5, 0.5), invariant_error);
+  EXPECT_THROW(next_step_size(1.1, 5, 0.5), invariant_error);
+}
+
+TEST(InitialStepSize, UsesMinimumCoordinate) {
+  // alpha_1 = m / (N - 2 + m), m = min_i x_{i,1}.
+  const std::vector<double> x{0.5, 0.3, 0.2};
+  EXPECT_NEAR(initial_step_size(x), 0.2 / (1.0 + 0.2), 1e-12);
+}
+
+TEST(InitialStepSize, UniformPartition) {
+  const std::vector<double> x{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(initial_step_size(x), 0.25 / 2.25, 1e-12);
+}
+
+TEST(InitialStepSize, ZeroMinimumGivesZero) {
+  const std::vector<double> x{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(initial_step_size(x), 0.0);
+}
+
+TEST(InitialStepSize, Throws) {
+  EXPECT_THROW(initial_step_size(std::vector<double>{}), invariant_error);
+  EXPECT_THROW(initial_step_size(std::vector<double>{0.5, -0.5}),
+               invariant_error);
+}
+
+// The paper's feasibility argument: with alpha <= s/(N-2+s), even if every
+// non-straggler jumps all the way to x' = 1, the straggler's remainder
+// stays non-negative. Verify the algebra numerically.
+TEST(FeasibleStepCap, GuaranteesNonNegativeRemainder) {
+  for (std::size_t n : {3u, 5u, 10u, 30u}) {
+    for (double s : {0.01, 0.1, 0.5, 0.9}) {
+      const double alpha = feasible_step_cap(n, s);
+      // Worst case: all non-stragglers at x = (1-s)/(n-1), x' = 1.
+      const double x_non = (1.0 - s) / static_cast<double>(n - 1);
+      const double claimed = static_cast<double>(n - 1) *
+                             (x_non + alpha * (1.0 - x_non));
+      EXPECT_LE(claimed, 1.0 + 1e-12) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::core

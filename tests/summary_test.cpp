@@ -1,0 +1,102 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::stats {
+namespace {
+
+TEST(Summary, EmptyBehaviour) {
+  summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.total(), 0.0);
+  EXPECT_THROW(s.mean(), invariant_error);
+  EXPECT_THROW(s.min(), invariant_error);
+  EXPECT_THROW(s.max(), invariant_error);
+}
+
+TEST(Summary, SingleObservation) {
+  summary s;
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_THROW(s.variance(), invariant_error);
+}
+
+TEST(Summary, KnownMoments) {
+  summary s = summarize(std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                            7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sum of squared deviations = 32; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Summary, WelfordMatchesNaiveOnRandomData) {
+  rng g(3);
+  std::vector<double> data;
+  for (int i = 0; i < 500; ++i) data.push_back(g.uniform(-10.0, 10.0));
+  const summary s = summarize(data);
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= data.size();
+  double var = 0.0;
+  for (double v : data) var += (v - mean) * (v - mean);
+  var /= (data.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), var, 1e-10);
+}
+
+TEST(Summary, NumericallyStableOnLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, tiny variance.
+  summary s;
+  const double base = 1e9;
+  s.add(base + 1.0);
+  s.add(base + 2.0);
+  s.add(base + 3.0);
+  EXPECT_NEAR(s.mean(), base + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  rng g(9);
+  summary whole;
+  summary left;
+  summary right;
+  for (int i = 0; i < 300; ++i) {
+    const double v = g.gaussian(0.0, 3.0);
+    whole.add(v);
+    (i < 120 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  summary a = summarize(std::vector<double>{1.0, 2.0});
+  summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+}  // namespace
+}  // namespace dolbie::stats

@@ -1,0 +1,103 @@
+#include "exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/dolbie.h"
+#include "stats/aggregate.h"
+
+namespace dolbie::exp {
+namespace {
+
+TEST(PaperPolicySuite, ContainsTheSixAlgorithmsInFigureOrder) {
+  const auto suite = paper_policy_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].first, "EQU");
+  EXPECT_EQ(suite[1].first, "OGD");
+  EXPECT_EQ(suite[2].first, "ABS");
+  EXPECT_EQ(suite[3].first, "LB-BSP");
+  EXPECT_EQ(suite[4].first, "DOLBIE");
+  EXPECT_EQ(suite[5].first, "OPT");
+}
+
+TEST(PaperPolicySuite, FactoriesBuildPoliciesOfRequestedSize) {
+  for (const auto& [name, factory] : paper_policy_suite()) {
+    auto policy = factory(7);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->workers(), 7u) << name;
+    EXPECT_EQ(policy->name(), name == "DOLBIE" ? "DOLBIE" : name);
+  }
+}
+
+TEST(PaperPolicySuite, DolbieUsesThePaperInitialStep) {
+  const auto suite = paper_policy_suite();
+  auto policy = suite[4].second(10);
+  auto* dolbie = dynamic_cast<core::dolbie_policy*>(policy.get());
+  ASSERT_NE(dolbie, nullptr);
+  EXPECT_DOUBLE_EQ(dolbie->step_size(), 0.001);
+}
+
+TEST(SweepTraining, CollectsOneTracePerRealization) {
+  ml::trainer_options o;
+  o.rounds = 20;
+  o.n_workers = 6;
+  o.model = ml::model_kind::resnet18;
+  const auto suite = paper_policy_suite();
+  const ml_sweep_result result =
+      sweep_training("DOLBIE", suite[4].second, o, 5, 100);
+  EXPECT_EQ(result.policy, "DOLBIE");
+  ASSERT_EQ(result.round_latency.size(), 5u);
+  ASSERT_EQ(result.cumulative_time.size(), 5u);
+  ASSERT_EQ(result.total_time.size(), 5u);
+  for (const auto& s : result.round_latency) EXPECT_EQ(s.size(), 20u);
+  // Cumulative trace ends at the total.
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(result.cumulative_time[r].back(), result.total_time[r], 1e-9);
+  }
+  EXPECT_TRUE(result.time_to_target.empty());  // no target requested
+}
+
+TEST(SweepTraining, SeedsMakeRealizationsDistinct) {
+  ml::trainer_options o;
+  o.rounds = 10;
+  o.n_workers = 6;
+  const auto suite = paper_policy_suite();
+  const ml_sweep_result result =
+      sweep_training("EQU", suite[0].second, o, 3, 1);
+  EXPECT_NE(result.total_time[0], result.total_time[1]);
+  EXPECT_NE(result.total_time[1], result.total_time[2]);
+}
+
+TEST(SweepTraining, TracksTimeToTargetWhenRequested) {
+  ml::trainer_options o;
+  o.rounds = 4000;
+  o.n_workers = 6;
+  const auto suite = paper_policy_suite();
+  const ml_sweep_result result =
+      sweep_training("DOLBIE", suite[4].second, o, 2, 7, 0.90);
+  ASSERT_EQ(result.time_to_target.size(), 2u);
+  for (double t : result.time_to_target) EXPECT_GT(t, 0.0);
+}
+
+TEST(SweepTraining, TracesAggregateCleanly) {
+  ml::trainer_options o;
+  o.rounds = 15;
+  o.n_workers = 5;
+  const auto suite = paper_policy_suite();
+  const ml_sweep_result result =
+      sweep_training("EQU", suite[0].second, o, 4, 11);
+  const stats::aggregated_series agg =
+      stats::aggregate(result.round_latency);
+  EXPECT_EQ(agg.mean.size(), 15u);
+  EXPECT_EQ(agg.realizations, 4u);
+}
+
+TEST(SweepTraining, RejectsZeroRealizations) {
+  ml::trainer_options o;
+  const auto suite = paper_policy_suite();
+  EXPECT_THROW(sweep_training("EQU", suite[0].second, o, 0, 1),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::exp

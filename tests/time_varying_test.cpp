@@ -1,0 +1,109 @@
+#include "cost/time_varying.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cost/affine.h"
+#include "cost/power.h"
+
+namespace dolbie::cost {
+namespace {
+
+TEST(AffineSequence, ProducesIncreasingAffineCosts) {
+  affine_sequence seq(std::make_unique<ar1_process>(2.0, 0.8, 0.2, 0.5, 4.0),
+                      std::make_unique<constant_process>(0.3));
+  rng g(1);
+  for (int t = 0; t < 20; ++t) {
+    const auto f = seq.next(g);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(appears_increasing(*f));
+    EXPECT_DOUBLE_EQ(f->value(0.0), 0.3);  // intercept held constant
+  }
+}
+
+TEST(AffineSequence, SlopeFollowsProcess) {
+  // With zero-noise processes the sequence is fully deterministic.
+  affine_sequence seq(std::make_unique<constant_process>(5.0),
+                      std::make_unique<constant_process>(1.0));
+  rng g(2);
+  const auto f = seq.next(g);
+  EXPECT_DOUBLE_EQ(f->value(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(f->value(0.5), 3.5);
+}
+
+TEST(AffineSequence, RejectsNullProcesses) {
+  EXPECT_THROW(
+      affine_sequence(nullptr, std::make_unique<constant_process>(1.0)),
+      invariant_error);
+}
+
+TEST(PowerSequence, ProducesPowerCosts) {
+  power_sequence seq(std::make_unique<constant_process>(2.0), 2.0, 0.1);
+  rng g(3);
+  const auto f = seq.next(g);
+  EXPECT_DOUBLE_EQ(f->value(0.5), 0.1 + 2.0 * 0.25);
+}
+
+TEST(PowerSequence, RejectsBadParameters) {
+  EXPECT_THROW(power_sequence(nullptr, 2.0, 0.0), invariant_error);
+  EXPECT_THROW(
+      power_sequence(std::make_unique<constant_process>(1.0), 0.0, 0.0),
+      invariant_error);
+  EXPECT_THROW(
+      power_sequence(std::make_unique<constant_process>(1.0), 2.0, -1.0),
+      invariant_error);
+}
+
+TEST(SaturatingSequence, ProducesSaturatingCosts) {
+  saturating_sequence seq(std::make_unique<constant_process>(1.0), 0.5, 0.0);
+  rng g(4);
+  const auto f = seq.next(g);
+  EXPECT_DOUBLE_EQ(f->value(0.5), 0.5);
+  EXPECT_TRUE(appears_increasing(*f));
+}
+
+TEST(SaturatingSequence, RejectsBadParameters) {
+  EXPECT_THROW(saturating_sequence(nullptr, 0.5, 0.0), invariant_error);
+  EXPECT_THROW(
+      saturating_sequence(std::make_unique<constant_process>(1.0), 0.0, 0.0),
+      invariant_error);
+}
+
+TEST(ScriptedSequence, ReplaysAndWrapsAround) {
+  std::vector<std::unique_ptr<const cost_function> (*)()> script;
+  script.push_back(+[]() -> std::unique_ptr<const cost_function> {
+    return std::make_unique<affine_cost>(1.0, 0.0);
+  });
+  script.push_back(+[]() -> std::unique_ptr<const cost_function> {
+    return std::make_unique<affine_cost>(2.0, 0.0);
+  });
+  scripted_sequence seq(std::move(script));
+  rng g(5);
+  EXPECT_DOUBLE_EQ(seq.next(g)->value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(seq.next(g)->value(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(seq.next(g)->value(1.0), 1.0);  // wrapped
+}
+
+TEST(ScriptedSequence, RejectsEmptyScript) {
+  EXPECT_THROW(scripted_sequence({}), invariant_error);
+}
+
+TEST(Sequences, DeterministicUnderSameSeed) {
+  const auto make = [] {
+    return affine_sequence(
+        std::make_unique<ar1_process>(2.0, 0.8, 0.3, 0.5, 4.0),
+        std::make_unique<ar1_process>(0.5, 0.8, 0.1, 0.0, 1.0));
+  };
+  auto a = make();
+  auto b = make();
+  rng ga(42);
+  rng gb(42);
+  for (int t = 0; t < 50; ++t) {
+    const auto fa = a.next(ga);
+    const auto fb = b.next(gb);
+    EXPECT_DOUBLE_EQ(fa->value(0.37), fb->value(0.37));
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::cost
