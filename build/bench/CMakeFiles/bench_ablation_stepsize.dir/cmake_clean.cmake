@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stepsize.dir/ablation_stepsize.cpp.o"
+  "CMakeFiles/bench_ablation_stepsize.dir/ablation_stepsize.cpp.o.d"
+  "ablation_stepsize"
+  "ablation_stepsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stepsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

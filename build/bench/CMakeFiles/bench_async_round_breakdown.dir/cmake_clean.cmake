@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_round_breakdown.dir/async_round_breakdown.cpp.o"
+  "CMakeFiles/bench_async_round_breakdown.dir/async_round_breakdown.cpp.o.d"
+  "async_round_breakdown"
+  "async_round_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_round_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

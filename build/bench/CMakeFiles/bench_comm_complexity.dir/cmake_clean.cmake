@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_complexity.dir/comm_complexity.cpp.o"
+  "CMakeFiles/bench_comm_complexity.dir/comm_complexity.cpp.o.d"
+  "comm_complexity"
+  "comm_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

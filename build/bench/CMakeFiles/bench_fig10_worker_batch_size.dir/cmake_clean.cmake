@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_worker_batch_size.dir/fig10_worker_batch_size.cpp.o"
+  "CMakeFiles/bench_fig10_worker_batch_size.dir/fig10_worker_batch_size.cpp.o.d"
+  "fig10_worker_batch_size"
+  "fig10_worker_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_worker_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_per_round_latency.dir/fig3_per_round_latency.cpp.o"
+  "CMakeFiles/bench_fig3_per_round_latency.dir/fig3_per_round_latency.cpp.o.d"
+  "fig3_per_round_latency"
+  "fig3_per_round_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_per_round_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

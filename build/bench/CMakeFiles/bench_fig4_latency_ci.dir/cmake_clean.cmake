@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_latency_ci.dir/fig4_latency_ci.cpp.o"
+  "CMakeFiles/bench_fig4_latency_ci.dir/fig4_latency_ci.cpp.o.d"
+  "fig4_latency_ci"
+  "fig4_latency_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_latency_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cumulative_time_ci.dir/fig5_cumulative_time_ci.cpp.o"
+  "CMakeFiles/bench_fig5_cumulative_time_ci.dir/fig5_cumulative_time_ci.cpp.o.d"
+  "fig5_cumulative_time_ci"
+  "fig5_cumulative_time_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cumulative_time_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6to8_accuracy_vs_time.
+# This may be replaced when dependencies are built.

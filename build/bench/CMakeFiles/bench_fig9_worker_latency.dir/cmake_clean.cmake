@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_worker_latency.dir/fig9_worker_latency.cpp.o"
+  "CMakeFiles/bench_fig9_worker_latency.dir/fig9_worker_latency.cpp.o.d"
+  "fig9_worker_latency"
+  "fig9_worker_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_worker_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

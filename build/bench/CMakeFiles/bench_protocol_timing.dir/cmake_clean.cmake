@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_timing.dir/protocol_timing.cpp.o"
+  "CMakeFiles/bench_protocol_timing.dir/protocol_timing.cpp.o.d"
+  "protocol_timing"
+  "protocol_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

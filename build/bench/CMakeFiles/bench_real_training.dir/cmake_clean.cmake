@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_training.dir/real_training.cpp.o"
+  "CMakeFiles/bench_real_training.dir/real_training.cpp.o.d"
+  "real_training"
+  "real_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regret_bound.dir/regret_bound.cpp.o"
+  "CMakeFiles/bench_regret_bound.dir/regret_bound.cpp.o.d"
+  "regret_bound"
+  "regret_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regret_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_batch_size_tuning.dir/batch_size_tuning.cpp.o"
+  "CMakeFiles/example_batch_size_tuning.dir/batch_size_tuning.cpp.o.d"
+  "batch_size_tuning"
+  "batch_size_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_batch_size_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

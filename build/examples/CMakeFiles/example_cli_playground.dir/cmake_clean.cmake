@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cli_playground.dir/cli_playground.cpp.o"
+  "CMakeFiles/example_cli_playground.dir/cli_playground.cpp.o.d"
+  "cli_playground"
+  "cli_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cli_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

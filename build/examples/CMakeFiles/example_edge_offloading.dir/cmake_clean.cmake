@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_offloading.dir/edge_offloading.cpp.o"
+  "CMakeFiles/example_edge_offloading.dir/edge_offloading.cpp.o.d"
+  "edge_offloading"
+  "edge_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

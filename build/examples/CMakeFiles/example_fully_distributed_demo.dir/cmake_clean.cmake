@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fully_distributed_demo.dir/fully_distributed_demo.cpp.o"
+  "CMakeFiles/example_fully_distributed_demo.dir/fully_distributed_demo.cpp.o.d"
+  "fully_distributed_demo"
+  "fully_distributed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fully_distributed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_real_distributed_training.dir/real_distributed_training.cpp.o"
+  "CMakeFiles/example_real_distributed_training.dir/real_distributed_training.cpp.o.d"
+  "real_distributed_training"
+  "real_distributed_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_real_distributed_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/abs.cpp" "src/CMakeFiles/dolbie.dir/baselines/abs.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/baselines/abs.cpp.o.d"
+  "/root/repo/src/baselines/equal.cpp" "src/CMakeFiles/dolbie.dir/baselines/equal.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/baselines/equal.cpp.o.d"
+  "/root/repo/src/baselines/lbbsp.cpp" "src/CMakeFiles/dolbie.dir/baselines/lbbsp.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/baselines/lbbsp.cpp.o.d"
+  "/root/repo/src/baselines/ogd.cpp" "src/CMakeFiles/dolbie.dir/baselines/ogd.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/baselines/ogd.cpp.o.d"
+  "/root/repo/src/baselines/opt.cpp" "src/CMakeFiles/dolbie.dir/baselines/opt.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/baselines/opt.cpp.o.d"
+  "/root/repo/src/baselines/simplex_projection.cpp" "src/CMakeFiles/dolbie.dir/baselines/simplex_projection.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/baselines/simplex_projection.cpp.o.d"
+  "/root/repo/src/common/bisect.cpp" "src/CMakeFiles/dolbie.dir/common/bisect.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/common/bisect.cpp.o.d"
+  "/root/repo/src/common/series.cpp" "src/CMakeFiles/dolbie.dir/common/series.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/common/series.cpp.o.d"
+  "/root/repo/src/common/simplex.cpp" "src/CMakeFiles/dolbie.dir/common/simplex.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/common/simplex.cpp.o.d"
+  "/root/repo/src/core/dolbie.cpp" "src/CMakeFiles/dolbie.dir/core/dolbie.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/core/dolbie.cpp.o.d"
+  "/root/repo/src/core/max_acceptable.cpp" "src/CMakeFiles/dolbie.dir/core/max_acceptable.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/core/max_acceptable.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/dolbie.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/regret.cpp" "src/CMakeFiles/dolbie.dir/core/regret.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/core/regret.cpp.o.d"
+  "/root/repo/src/core/step_size.cpp" "src/CMakeFiles/dolbie.dir/core/step_size.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/core/step_size.cpp.o.d"
+  "/root/repo/src/cost/affine.cpp" "src/CMakeFiles/dolbie.dir/cost/affine.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/affine.cpp.o.d"
+  "/root/repo/src/cost/composite.cpp" "src/CMakeFiles/dolbie.dir/cost/composite.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/composite.cpp.o.d"
+  "/root/repo/src/cost/cost_function.cpp" "src/CMakeFiles/dolbie.dir/cost/cost_function.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/cost_function.cpp.o.d"
+  "/root/repo/src/cost/exponential.cpp" "src/CMakeFiles/dolbie.dir/cost/exponential.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/exponential.cpp.o.d"
+  "/root/repo/src/cost/logistic.cpp" "src/CMakeFiles/dolbie.dir/cost/logistic.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/logistic.cpp.o.d"
+  "/root/repo/src/cost/piecewise.cpp" "src/CMakeFiles/dolbie.dir/cost/piecewise.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/piecewise.cpp.o.d"
+  "/root/repo/src/cost/power.cpp" "src/CMakeFiles/dolbie.dir/cost/power.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/power.cpp.o.d"
+  "/root/repo/src/cost/process.cpp" "src/CMakeFiles/dolbie.dir/cost/process.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/process.cpp.o.d"
+  "/root/repo/src/cost/time_varying.cpp" "src/CMakeFiles/dolbie.dir/cost/time_varying.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/cost/time_varying.cpp.o.d"
+  "/root/repo/src/dist/async_fully_distributed.cpp" "src/CMakeFiles/dolbie.dir/dist/async_fully_distributed.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/dist/async_fully_distributed.cpp.o.d"
+  "/root/repo/src/dist/async_master_worker.cpp" "src/CMakeFiles/dolbie.dir/dist/async_master_worker.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/dist/async_master_worker.cpp.o.d"
+  "/root/repo/src/dist/fully_distributed.cpp" "src/CMakeFiles/dolbie.dir/dist/fully_distributed.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/dist/fully_distributed.cpp.o.d"
+  "/root/repo/src/dist/master_worker.cpp" "src/CMakeFiles/dolbie.dir/dist/master_worker.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/dist/master_worker.cpp.o.d"
+  "/root/repo/src/dist/round_timing.cpp" "src/CMakeFiles/dolbie.dir/dist/round_timing.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/dist/round_timing.cpp.o.d"
+  "/root/repo/src/dist/runner.cpp" "src/CMakeFiles/dolbie.dir/dist/runner.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/dist/runner.cpp.o.d"
+  "/root/repo/src/edge/scenario.cpp" "src/CMakeFiles/dolbie.dir/edge/scenario.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/edge/scenario.cpp.o.d"
+  "/root/repo/src/edge/server.cpp" "src/CMakeFiles/dolbie.dir/edge/server.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/edge/server.cpp.o.d"
+  "/root/repo/src/exp/harness.cpp" "src/CMakeFiles/dolbie.dir/exp/harness.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/exp/harness.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/dolbie.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/CMakeFiles/dolbie.dir/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/exp/scenario.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/dolbie.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/exp/sweep.cpp.o.d"
+  "/root/repo/src/learn/dataset.cpp" "src/CMakeFiles/dolbie.dir/learn/dataset.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/learn/dataset.cpp.o.d"
+  "/root/repo/src/learn/distributed_trainer.cpp" "src/CMakeFiles/dolbie.dir/learn/distributed_trainer.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/learn/distributed_trainer.cpp.o.d"
+  "/root/repo/src/learn/model.cpp" "src/CMakeFiles/dolbie.dir/learn/model.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/learn/model.cpp.o.d"
+  "/root/repo/src/learn/parameter_server.cpp" "src/CMakeFiles/dolbie.dir/learn/parameter_server.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/learn/parameter_server.cpp.o.d"
+  "/root/repo/src/learn/sgd.cpp" "src/CMakeFiles/dolbie.dir/learn/sgd.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/learn/sgd.cpp.o.d"
+  "/root/repo/src/learn/vec.cpp" "src/CMakeFiles/dolbie.dir/learn/vec.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/learn/vec.cpp.o.d"
+  "/root/repo/src/ml/accuracy.cpp" "src/CMakeFiles/dolbie.dir/ml/accuracy.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/ml/accuracy.cpp.o.d"
+  "/root/repo/src/ml/cluster.cpp" "src/CMakeFiles/dolbie.dir/ml/cluster.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/ml/cluster.cpp.o.d"
+  "/root/repo/src/ml/latency.cpp" "src/CMakeFiles/dolbie.dir/ml/latency.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/ml/latency.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/CMakeFiles/dolbie.dir/ml/model.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/ml/model.cpp.o.d"
+  "/root/repo/src/ml/processor.cpp" "src/CMakeFiles/dolbie.dir/ml/processor.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/ml/processor.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/CMakeFiles/dolbie.dir/ml/trainer.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/ml/trainer.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/dolbie.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/dolbie.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/delay_model.cpp" "src/CMakeFiles/dolbie.dir/net/delay_model.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/net/delay_model.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/dolbie.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/net/network.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dolbie.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/stats/aggregate.cpp" "src/CMakeFiles/dolbie.dir/stats/aggregate.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/stats/aggregate.cpp.o.d"
+  "/root/repo/src/stats/ci.cpp" "src/CMakeFiles/dolbie.dir/stats/ci.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/stats/ci.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/CMakeFiles/dolbie.dir/stats/percentile.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/stats/percentile.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/dolbie.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/dolbie.dir/stats/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

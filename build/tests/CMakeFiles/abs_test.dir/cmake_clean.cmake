@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abs_test.dir/abs_test.cpp.o"
+  "CMakeFiles/abs_test.dir/abs_test.cpp.o.d"
+  "abs_test"
+  "abs_test.pdb"
+  "abs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

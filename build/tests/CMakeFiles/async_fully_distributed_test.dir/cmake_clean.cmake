@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_fully_distributed_test.dir/async_fully_distributed_test.cpp.o"
+  "CMakeFiles/async_fully_distributed_test.dir/async_fully_distributed_test.cpp.o.d"
+  "async_fully_distributed_test"
+  "async_fully_distributed_test.pdb"
+  "async_fully_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_fully_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

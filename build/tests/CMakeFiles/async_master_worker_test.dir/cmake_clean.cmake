@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_master_worker_test.dir/async_master_worker_test.cpp.o"
+  "CMakeFiles/async_master_worker_test.dir/async_master_worker_test.cpp.o.d"
+  "async_master_worker_test"
+  "async_master_worker_test.pdb"
+  "async_master_worker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_master_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

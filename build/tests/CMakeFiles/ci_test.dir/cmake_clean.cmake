@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_test.dir/ci_test.cpp.o"
+  "CMakeFiles/ci_test.dir/ci_test.cpp.o.d"
+  "ci_test"
+  "ci_test.pdb"
+  "ci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

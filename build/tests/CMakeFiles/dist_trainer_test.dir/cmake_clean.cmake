@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_trainer_test.dir/dist_trainer_test.cpp.o"
+  "CMakeFiles/dist_trainer_test.dir/dist_trainer_test.cpp.o.d"
+  "dist_trainer_test"
+  "dist_trainer_test.pdb"
+  "dist_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolbie_exact_rule_test.dir/dolbie_exact_rule_test.cpp.o"
+  "CMakeFiles/dolbie_exact_rule_test.dir/dolbie_exact_rule_test.cpp.o.d"
+  "dolbie_exact_rule_test"
+  "dolbie_exact_rule_test.pdb"
+  "dolbie_exact_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolbie_exact_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dolbie_exact_rule_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolbie_policy_test.dir/dolbie_policy_test.cpp.o"
+  "CMakeFiles/dolbie_policy_test.dir/dolbie_policy_test.cpp.o.d"
+  "dolbie_policy_test"
+  "dolbie_policy_test.pdb"
+  "dolbie_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolbie_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolbie_property_test.dir/dolbie_property_test.cpp.o"
+  "CMakeFiles/dolbie_property_test.dir/dolbie_property_test.cpp.o.d"
+  "dolbie_property_test"
+  "dolbie_property_test.pdb"
+  "dolbie_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolbie_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equal_test.dir/equal_test.cpp.o"
+  "CMakeFiles/equal_test.dir/equal_test.cpp.o.d"
+  "equal_test"
+  "equal_test.pdb"
+  "equal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbbsp_test.dir/lbbsp_test.cpp.o"
+  "CMakeFiles/lbbsp_test.dir/lbbsp_test.cpp.o.d"
+  "lbbsp_test"
+  "lbbsp_test.pdb"
+  "lbbsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbbsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_distributed_test.dir/learn_distributed_test.cpp.o"
+  "CMakeFiles/learn_distributed_test.dir/learn_distributed_test.cpp.o.d"
+  "learn_distributed_test"
+  "learn_distributed_test.pdb"
+  "learn_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_vec_test.dir/learn_vec_test.cpp.o"
+  "CMakeFiles/learn_vec_test.dir/learn_vec_test.cpp.o.d"
+  "learn_vec_test"
+  "learn_vec_test.pdb"
+  "learn_vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

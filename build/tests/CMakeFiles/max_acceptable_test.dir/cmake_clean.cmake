@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_acceptable_test.dir/max_acceptable_test.cpp.o"
+  "CMakeFiles/max_acceptable_test.dir/max_acceptable_test.cpp.o.d"
+  "max_acceptable_test"
+  "max_acceptable_test.pdb"
+  "max_acceptable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_acceptable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

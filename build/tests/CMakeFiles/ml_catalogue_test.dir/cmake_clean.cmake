@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_catalogue_test.dir/ml_catalogue_test.cpp.o"
+  "CMakeFiles/ml_catalogue_test.dir/ml_catalogue_test.cpp.o.d"
+  "ml_catalogue_test"
+  "ml_catalogue_test.pdb"
+  "ml_catalogue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_catalogue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

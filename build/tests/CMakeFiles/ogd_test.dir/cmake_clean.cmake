@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogd_test.dir/ogd_test.cpp.o"
+  "CMakeFiles/ogd_test.dir/ogd_test.cpp.o.d"
+  "ogd_test"
+  "ogd_test.pdb"
+  "ogd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regret_test.dir/regret_test.cpp.o"
+  "CMakeFiles/regret_test.dir/regret_test.cpp.o.d"
+  "regret_test"
+  "regret_test.pdb"
+  "regret_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regret_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

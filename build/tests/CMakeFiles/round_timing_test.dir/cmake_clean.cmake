@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_timing_test.dir/round_timing_test.cpp.o"
+  "CMakeFiles/round_timing_test.dir/round_timing_test.cpp.o.d"
+  "round_timing_test"
+  "round_timing_test.pdb"
+  "round_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

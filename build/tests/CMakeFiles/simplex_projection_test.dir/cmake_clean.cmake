@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_projection_test.dir/simplex_projection_test.cpp.o"
+  "CMakeFiles/simplex_projection_test.dir/simplex_projection_test.cpp.o.d"
+  "simplex_projection_test"
+  "simplex_projection_test.pdb"
+  "simplex_projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

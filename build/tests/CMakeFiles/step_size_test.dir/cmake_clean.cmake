@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_size_test.dir/step_size_test.cpp.o"
+  "CMakeFiles/step_size_test.dir/step_size_test.cpp.o.d"
+  "step_size_test"
+  "step_size_test.pdb"
+  "step_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
