@@ -6,9 +6,16 @@
 // changes. This is the calibration sensitivity behind the paper's choice
 // of a single beta = 0.001 across models (see DESIGN.md / EXPERIMENTS.md).
 //
-//   $ ./ablation_scale [--seed=N] [--rounds=N]
+// The 5 x 6 (scale, policy) grid fans out over exp::parallel_map — every
+// cell is an independent training run keyed by its grid index, so the
+// table is bit-identical at any thread count.
+//
+//   $ ./ablation_scale [--seed=N] [--rounds=N] [--threads=N] [--timing]
+#include <chrono>
 #include <iostream>
+#include <vector>
 
+#include "exp/parallel_sweep.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "ml/trainer.h"
@@ -29,31 +36,59 @@ int main(int argc, char** argv) {
             << "Entries are total time normalized by the scale factor, so\n"
                "a scale-free policy prints the same number in every row.\n\n";
 
+  const std::vector<double> scales{0.1, 0.3, 1.0, 3.0, 10.0};
+  const auto suite = exp::paper_policy_suite(base.global_batch);
+
+  stats::timing_registry timings;
+  exp::parallel_options parallel;
+  parallel.threads = args.get_u64("threads", 0);
+  parallel.timings = &timings;
+
+  // Grid cell k = (scale row, policy column); each cell derives everything
+  // from its own indices, nothing is shared across cells.
+  const std::size_t cells = scales.size() * suite.size();
+  const auto begin = std::chrono::steady_clock::now();
+  const std::vector<double> normalized_times = exp::parallel_map<double>(
+      cells,
+      [&](std::size_t k) {
+        const double scale = scales[k / suite.size()];
+        const auto& [name, factory] = suite[k % suite.size()];
+        ml::trainer_options options = base;
+        options.cluster.speed_scale = scale;
+        // Scale the network the same way so *all* latency components shrink
+        // by 1/scale; otherwise the fixed communication term would break
+        // the uniform-rescale premise.
+        options.cluster.rate_start *= scale;
+        options.cluster.rate_floor *= scale;
+        options.cluster.rate_ceil *= scale;
+        auto policy = factory(options.n_workers);
+        const ml::trainer_result result = ml::train(*policy, options);
+        // Latency ~ 1/scale, so multiply back to compare trajectories.
+        return result.total_time * scale;
+      },
+      parallel);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
   exp::table t({"speed_scale", "EQU", "OGD", "ABS", "LB-BSP", "DOLBIE",
                 "OPT"});
-  for (double scale : {0.1, 0.3, 1.0, 3.0, 10.0}) {
-    ml::trainer_options options = base;
-    options.cluster.speed_scale = scale;
-    // Scale the network the same way so *all* latency components shrink by
-    // 1/scale; otherwise the fixed communication term would break the
-    // uniform-rescale premise.
-    options.cluster.rate_start *= scale;
-    options.cluster.rate_floor *= scale;
-    options.cluster.rate_ceil *= scale;
-    std::vector<double> row;
-    for (const auto& [name, factory] :
-         exp::paper_policy_suite(options.global_batch)) {
-      auto policy = factory(options.n_workers);
-      const ml::trainer_result result = ml::train(*policy, options);
-      // Latency ~ 1/scale, so multiply back to compare trajectories.
-      row.push_back(result.total_time * scale);
-    }
-    t.add_row(exp::format_double(scale, 3), row);
+  for (std::size_t row = 0; row < scales.size(); ++row) {
+    std::vector<double> cells_of_row(
+        normalized_times.begin() +
+            static_cast<std::ptrdiff_t>(row * suite.size()),
+        normalized_times.begin() +
+            static_cast<std::ptrdiff_t>((row + 1) * suite.size()));
+    t.add_row(exp::format_double(scales[row], 3), cells_of_row);
   }
   t.print(std::cout);
   std::cout << "\nReading: every column except OGD is constant (scale-free\n"
                "updates); OGD's column swings because beta = 0.001 is tuned\n"
                "to one scale only — gradient methods need per-deployment\n"
                "tuning that DOLBIE avoids by construction.\n";
+  if (args.has("timing")) {
+    std::cout << "\n--- timing (" << cells << " runs) ---\n";
+    exp::print_timings(std::cout, timings, elapsed);
+  }
   return 0;
 }

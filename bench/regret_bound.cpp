@@ -9,28 +9,54 @@
 // the one the theorem assumes. Also reports the sublinear-in-N growth of
 // the bound that the paper highlights.
 //
-//   $ ./regret_bound [--seed=N]
+// Each sweep row is an independent harness run; rows fan out over
+// exp::run_many (deterministic slot-indexed parallelism), so every table
+// is bit-identical at any thread count.
+//
+//   $ ./regret_bound [--seed=N] [--threads=N] [--timing]
+#include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "core/dolbie.h"
 #include "core/regret.h"
 #include "exp/harness.h"
+#include "exp/parallel_sweep.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
 
 namespace {
 
-dolbie::exp::run_trace run_dolbie(std::size_t n, std::size_t rounds,
-                                  std::uint64_t seed,
-                                  dolbie::exp::synthetic_family family) {
+struct sweep_spec {
+  std::size_t n = 0;
+  std::size_t rounds = 0;
+  dolbie::exp::synthetic_family family =
+      dolbie::exp::synthetic_family::affine;
+};
+
+// Fan the specs out across the pool; trace i belongs to spec i.
+std::vector<dolbie::exp::run_trace> run_specs(
+    const std::vector<sweep_spec>& specs, std::uint64_t seed,
+    const dolbie::exp::parallel_options& parallel) {
   using namespace dolbie;
-  auto env = exp::make_synthetic_environment(n, family, seed);
-  core::dolbie_policy policy(n);  // worst-case schedule (Theorem 1)
-  exp::harness_options options;
-  options.rounds = rounds;
-  options.track_regret = true;
-  options.record_step_sizes = true;
-  return exp::run(policy, *env, options);
+  return exp::run_many(
+      specs.size(),
+      [&](std::size_t i) {
+        // Worst-case (Eq. 7) step schedule — the one Theorem 1 assumes.
+        return std::make_unique<core::dolbie_policy>(specs[i].n);
+      },
+      [&](std::size_t i) {
+        return exp::make_synthetic_environment(specs[i].n, specs[i].family,
+                                               seed);
+      },
+      [&](std::size_t i) {
+        exp::harness_options options;
+        options.rounds = specs[i].rounds;
+        options.track_regret = true;
+        options.record_step_sizes = true;
+        return options;
+      },
+      parallel);
 }
 
 }  // namespace
@@ -40,13 +66,45 @@ int main(int argc, char** argv) {
   const exp::cli_args args(argc, argv);
   const std::uint64_t seed = args.get_u64("seed", 7);
 
+  stats::timing_registry timings;
+  exp::parallel_options parallel;
+  parallel.threads = args.get_u64("threads", 0);
+  parallel.timings = &timings;
+
   std::cout << "=== Theorem 1: dynamic regret vs upper bound ===\n\n";
+
+  // One flat spec list covering all three tables, fanned out together so
+  // the pool stays busy across table boundaries.
+  const std::vector<std::size_t> horizons{25, 50, 100, 200, 400};
+  const std::vector<std::size_t> worker_counts{2, 5, 10, 20, 40, 80, 160};
+  const std::pair<const char*, exp::synthetic_family> families[] = {
+      {"affine", exp::synthetic_family::affine},
+      {"power (convex)", exp::synthetic_family::power},
+      {"saturating (concave)", exp::synthetic_family::saturating},
+      {"mixed", exp::synthetic_family::mixed}};
+
+  std::vector<sweep_spec> specs;
+  for (std::size_t T : horizons) {
+    specs.push_back({10, T, exp::synthetic_family::affine});
+  }
+  for (std::size_t N : worker_counts) {
+    specs.push_back({N, 100, exp::synthetic_family::affine});
+  }
+  for (const auto& [label, family] : families) {
+    specs.push_back({10, 100, family});
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  const std::vector<exp::run_trace> traces = run_specs(specs, seed, parallel);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  std::size_t next = 0;
 
   // Sweep T at fixed N.
   exp::table by_T({"T", "Reg_T^d", "bound", "ratio", "P_T", "alpha_T"});
-  for (std::size_t T : {25u, 50u, 100u, 200u, 400u}) {
-    const exp::run_trace trace =
-        run_dolbie(10, T, seed, exp::synthetic_family::affine);
+  for (std::size_t T : horizons) {
+    const exp::run_trace& trace = traces[next++];
     const double bound =
         core::theorem1_bound(trace.lipschitz_estimate, 10, trace.step_sizes,
                              trace.regret.path_length());
@@ -65,9 +123,8 @@ int main(int argc, char** argv) {
   exp::table by_N({"N", "Reg_T^d", "bound", "norm. bound (L=1)",
                    "norm. bound / N"});
   const std::vector<double> fixed_alphas(100, 0.01);
-  for (std::size_t N : {2u, 5u, 10u, 20u, 40u, 80u, 160u}) {
-    const exp::run_trace trace =
-        run_dolbie(N, 100, seed, exp::synthetic_family::affine);
+  for (std::size_t N : worker_counts) {
+    const exp::run_trace& trace = traces[next++];
     const double bound =
         core::theorem1_bound(trace.lipschitz_estimate, N, trace.step_sizes,
                              trace.regret.path_length());
@@ -83,13 +140,8 @@ int main(int argc, char** argv) {
 
   // Per-family check: the theorem needs no convexity.
   exp::table by_family({"cost family", "Reg_T^d", "bound", "holds"});
-  const std::pair<const char*, exp::synthetic_family> families[] = {
-      {"affine", exp::synthetic_family::affine},
-      {"power (convex)", exp::synthetic_family::power},
-      {"saturating (concave)", exp::synthetic_family::saturating},
-      {"mixed", exp::synthetic_family::mixed}};
   for (const auto& [label, family] : families) {
-    const exp::run_trace trace = run_dolbie(10, 100, seed, family);
+    const exp::run_trace& trace = traces[next++];
     const double bound =
         core::theorem1_bound(trace.lipschitz_estimate, 10, trace.step_sizes,
                              trace.regret.path_length());
@@ -99,5 +151,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nRegret vs cost family (no convexity assumed):\n";
   by_family.print(std::cout);
+
+  if (args.has("timing")) {
+    std::cout << "\n--- timing (" << specs.size() << " runs) ---\n";
+    exp::print_timings(std::cout, timings, elapsed);
+  }
   return 0;
 }

@@ -49,7 +49,10 @@ double bisect_root_increasing(double lo, double hi,
       above = mid;
     }
   }
-  return below + (above - below) / 2.0;
+  // Return the conservative endpoint, not the bracket midpoint: g(below) <= 0
+  // by invariant, while g(midpoint) may be positive — for the Eq. 4
+  // max-acceptable-workload search that would admit an x with f(x) > l_t.
+  return below;
 }
 
 }  // namespace dolbie

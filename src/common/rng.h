@@ -40,15 +40,30 @@ class rng {
   /// forked from the same parent distinct.
   rng fork(std::uint64_t stream) {
     // SplitMix64-style mix of a fresh draw with the stream index.
-    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL * (stream + 1);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return rng(z ^ (z >> 31));
+    return rng(mix(engine_(), stream));
+  }
+
+  /// Counter-based stream derivation: the same SplitMix64 mix fork() uses,
+  /// but as a pure function of (seed, stream) with no generator state. This
+  /// is what the parallel experiment surfaces use to hand run #i its own
+  /// decorrelated seed — run i's stream depends only on (base seed, i), so
+  /// results are bit-identical whether runs execute serially or across any
+  /// number of threads, and 2-D fan-outs (grid point g, realization r) can
+  /// nest it without additive-seed collisions.
+  static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+    return mix(seed, stream);
   }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  static std::uint64_t mix(std::uint64_t base, std::uint64_t stream) {
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   std::mt19937_64 engine_;
 };
 

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dolbie {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DOLBIE_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+struct thread_pool::impl {
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers wait here for a batch
+  std::condition_variable cv_done;  // parallel_for waits here for drain
+
+  // The current batch. `job` is non-null only while a batch is active.
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::size_t next = 0;    // first unclaimed index
+  std::size_t total = 0;   // one past the last index
+  std::size_t active = 0;  // indices claimed but not yet finished
+  std::exception_ptr error;
+  bool stop = false;
+
+  std::vector<std::thread> workers;
+
+  // Claim and run indices until the batch is exhausted. Expects `lk` held.
+  void drain(std::unique_lock<std::mutex>& lk) {
+    while (job != nullptr && next < total) {
+      const std::size_t i = next++;
+      ++active;
+      const auto* batch = job;
+      lk.unlock();
+      try {
+        (*batch)(i);
+        lk.lock();
+      } catch (...) {
+        lk.lock();
+        if (!error) error = std::current_exception();
+        next = total;  // abandon unclaimed indices
+      }
+      --active;
+    }
+    if (next >= total && active == 0) cv_done.notify_all();
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv_work.wait(lk,
+                   [&] { return stop || (job != nullptr && next < total); });
+      if (stop) return;
+      drain(lk);
+    }
+  }
+};
+
+thread_pool::thread_pool(std::size_t threads) : impl_(new impl) {
+  if (threads == 0) threads = default_thread_count();
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+std::size_t thread_pool::size() const { return impl_->workers.size() + 1; }
+
+void thread_pool::parallel_for(std::size_t n,
+                               const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+  if (impl_->workers.empty()) {
+    // Serial fast path: no synchronization at all.
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  DOLBIE_REQUIRE(impl_->job == nullptr,
+                 "thread_pool::parallel_for is not reentrant");
+  impl_->job = &job;
+  impl_->next = 0;
+  impl_->total = n;
+  impl_->error = nullptr;
+  impl_->cv_work.notify_all();
+  impl_->drain(lk);  // the calling thread works too
+  impl_->cv_done.wait(
+      lk, [&] { return impl_->next >= impl_->total && impl_->active == 0; });
+  impl_->job = nullptr;
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+}  // namespace dolbie

@@ -1,0 +1,55 @@
+// A small blocking thread-pool executor: the substrate behind every
+// parallel experiment surface (exp::parallel_map, the sweep fan-outs and
+// the ported bench targets).
+//
+// Design constraints, in order:
+//   1. Determinism — the pool never touches the work itself; callers index
+//      every job by an integer slot and derive all randomness from that
+//      index, so results are bit-identical at any thread count.
+//   2. Heavyweight jobs — each job is a whole training run or harness
+//      trace (milliseconds to seconds), so a mutex-guarded index counter
+//      is plenty; no lock-free machinery.
+//   3. The calling thread participates, so a pool of size 1 runs the plain
+//      serial loop with zero synchronization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace dolbie {
+
+/// Number of threads parallel surfaces use by default: the DOLBIE_THREADS
+/// environment variable when set to a positive integer (the CI knob for
+/// running the determinism suite at 1, 2 and 8 threads), otherwise
+/// std::thread::hardware_concurrency(), never less than 1.
+std::size_t default_thread_count();
+
+/// Fixed-size pool of worker threads executing indexed parallel loops.
+class thread_pool {
+ public:
+  /// `threads` = total concurrency including the calling thread; 0 selects
+  /// default_thread_count(). A pool of size n spawns n-1 workers.
+  explicit thread_pool(std::size_t threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  std::size_t size() const;
+
+  /// Run job(i) once for every i in [0, n), distributed over the pool, and
+  /// block until all complete. The calling thread executes jobs too. The
+  /// first exception thrown by any job is rethrown here after the batch
+  /// drains (remaining unclaimed indices are abandoned). Not reentrant:
+  /// a job must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& job);
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace dolbie

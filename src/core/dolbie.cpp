@@ -35,7 +35,15 @@ void dolbie_policy::restore(const state& saved) {
   DOLBIE_REQUIRE(saved.alpha >= 0.0 && saved.alpha <= 1.0,
                  "checkpoint alpha " << saved.alpha << " outside [0, 1]");
   x_ = saved.x;
-  alpha_ = saved.alpha;
+  // Re-cap against the restored partition the way admit_worker and
+  // remove_worker do: a checkpoint written by a different configuration (or
+  // by hand) can carry an alpha that is valid in [0, 1] yet exceeds the
+  // worst-case feasibility bound for this x — the very next update could
+  // then drive the straggler's remainder negative. Snapshots taken from a
+  // running worst_case policy already satisfy alpha <= cap (the schedule
+  // maintains it), so round-tripping through snapshot/restore stays exact.
+  const double min_share = x_[argmin(x_)];
+  alpha_ = std::min(saved.alpha, feasible_step_cap(x_.size(), min_share));
   last_xp_.clear();
 }
 
@@ -115,8 +123,21 @@ void dolbie_policy::observe(const round_feedback& feedback) {
   }
 
   // The straggler absorbs the remainder (Eq. 6). The step-size rule makes
-  // this non-negative; the clamp only absorbs floating-point dust.
-  x_[s] = std::max(0.0, 1.0 - claimed);
+  // this non-negative in exact arithmetic; floating-point drift can still
+  // push `claimed` past 1. Clamping the remainder at 0 would leave the
+  // allocation summing to `claimed` (off the simplex) — renormalize the
+  // non-stragglers instead so on_simplex(x_) holds after every round. The
+  // division shrinks each by a factor of 1/claimed ~ 1 - eps, within the
+  // monotonicity tolerance of invariant I2.
+  const double remainder = 1.0 - claimed;
+  if (remainder >= 0.0) {
+    x_[s] = remainder;
+  } else {
+    x_[s] = 0.0;
+    for (worker_id i = 0; i < n; ++i) {
+      if (i != s) x_[i] /= claimed;
+    }
+  }
 
   if (options_.rule == step_rule::worst_case) {
     // Retain feasibility for the next round (Eq. 7).

@@ -21,6 +21,7 @@ run_trace run(core::online_policy& policy, environment& env,
   DOLBIE_REQUIRE(options.rounds >= 1, "need at least one round");
   using clock = std::chrono::steady_clock;
 
+  const auto run_begin = clock::now();
   policy.reset();
   run_trace trace;
   trace.global_cost.set_name(std::string(policy.name()));
@@ -32,7 +33,10 @@ run_trace run(core::online_policy& policy, environment& env,
   std::deque<std::pair<cost::cost_vector, core::round_outcome>> in_flight;
 
   for (std::size_t t = 0; t < options.rounds; ++t) {
+    const auto env_begin = clock::now();
     cost::cost_vector costs = env.next_round();
+    trace.environment_seconds +=
+        std::chrono::duration<double>(clock::now() - env_begin).count();
     const cost::cost_view view = cost::view_of(costs);
 
     if (policy.clairvoyant()) {
@@ -74,6 +78,8 @@ run_trace run(core::online_policy& policy, environment& env,
         std::chrono::duration<double>(clock::now() - begin).count();
     in_flight.pop_front();
   }
+  trace.wall_seconds =
+      std::chrono::duration<double>(clock::now() - run_begin).count();
   return trace;
 }
 

@@ -37,6 +37,12 @@ struct run_trace {
   std::vector<core::allocation> allocations;  ///< when record_allocations
   std::vector<double> step_sizes;             ///< when record_step_sizes
   double decision_seconds = 0.0;
+  /// Wall time spent generating the environment's cost functions — together
+  /// with decision_seconds this is the per-stage breakdown the parallel
+  /// sweep's timing registry reports (the rest is evaluation + bookkeeping).
+  double environment_seconds = 0.0;
+  /// Whole-run wall time (on the thread that played the run).
+  double wall_seconds = 0.0;
   double lipschitz_estimate = 0.0;  ///< max over rounds (when track_regret)
 };
 

@@ -1,0 +1,118 @@
+// Parallel, deterministic experiment fan-out.
+//
+// Every surface here follows one contract: work is indexed by an integer
+// slot, each slot derives all of its randomness from its own index (seed =
+// base + i, or rng::stream_seed for 2-D grids), and results land in a
+// pre-sized vector addressed by that index. The thread pool only changes
+// *when* a slot runs, never *what* it computes — so output is bit-identical
+// to the serial loop at any thread count (tests/parallel_sweep_test.cpp
+// asserts this at 1, 2 and 8 threads; the DOLBIE_THREADS environment
+// variable is the CI knob selecting the default).
+//
+// An optional stats::timing_registry captures per-run wall time, rounds/sec
+// and a per-stage breakdown; exp::print_timings renders it and the ported
+// bench targets (--timing) report the realized parallel speedup.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exp/harness.h"
+#include "exp/sweep.h"
+#include "stats/timing.h"
+
+namespace dolbie::exp {
+
+/// Options shared by every parallel experiment surface.
+struct parallel_options {
+  /// Total concurrency; 0 selects default_thread_count() (which honors the
+  /// DOLBIE_THREADS environment variable), 1 runs the plain serial loop.
+  std::size_t threads = 0;
+  /// When set, per-run wall-clock metrics are recorded here, slot i for run
+  /// i (records are deterministic in layout; the measured times of course
+  /// vary run to run).
+  stats::timing_registry* timings = nullptr;
+};
+
+/// Deterministic parallel map: returns {job(0), ..., job(n-1)}, computed
+/// across `options.threads` threads, in index order. When a timing registry
+/// is attached, slot i records job i's wall time under label "run i" —
+/// jobs wanting richer records (label, rounds, stages) should record into
+/// their own registry instead of passing one here.
+template <typename T>
+std::vector<T> parallel_map(std::size_t n,
+                            const std::function<T(std::size_t)>& job,
+                            const parallel_options& options = {}) {
+  std::vector<std::optional<T>> slots(n);
+  if (options.timings != nullptr) options.timings->reserve_slots(n);
+  thread_pool pool(options.threads);
+  pool.parallel_for(n, [&](std::size_t i) {
+    const auto begin = std::chrono::steady_clock::now();
+    slots[i] = job(i);
+    if (options.timings != nullptr) {
+      stats::run_timing t;
+      t.label = "run " + std::to_string(i);
+      t.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count();
+      options.timings->record(i, std::move(t));
+    }
+  });
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// Factory for the environment a given run plays against.
+using environment_factory =
+    std::function<std::unique_ptr<environment>(std::size_t run)>;
+
+/// Factory building the policy for a given run (run index passed so grids
+/// can vary the policy per slot; worker count must match the environment).
+using run_policy_factory =
+    std::function<std::unique_ptr<core::online_policy>(std::size_t run)>;
+
+/// Harness options for a given run, letting grid fan-outs vary rounds,
+/// feedback delay or tracking per slot.
+using harness_options_factory = std::function<harness_options(std::size_t run)>;
+
+/// Deterministic parallel fan-out of independent harness runs: trace i is
+/// make_policy(i) played against make_env(i) under make_options(i) — bit-
+/// identical to calling exp::run in a serial loop, at any thread count.
+/// Per-run timings (wall, rounds/sec, environment vs decision breakdown)
+/// land in parallel.timings when attached.
+std::vector<run_trace> run_many(std::size_t runs,
+                                const run_policy_factory& make_policy,
+                                const environment_factory& make_env,
+                                const harness_options_factory& make_options,
+                                const parallel_options& parallel = {});
+
+/// Convenience overload: every run plays the same harness options.
+std::vector<run_trace> run_many(std::size_t runs,
+                                const run_policy_factory& make_policy,
+                                const environment_factory& make_env,
+                                const harness_options& options = {},
+                                const parallel_options& parallel = {});
+
+/// Parallel port of sweep_training (same seed schedule: realization r uses
+/// base_seed + r, exactly what the serial loop did), so the result is
+/// bit-identical to exp::sweep_training at any thread count. Realizations
+/// fan out across parallel.threads; per-realization timings (wall,
+/// rounds/sec, compute/comm/wait/decision stages) land in parallel.timings.
+ml_sweep_result parallel_sweep_training(const std::string& name,
+                                        const policy_factory& factory,
+                                        const ml::trainer_options& base_options,
+                                        std::size_t realizations,
+                                        std::uint64_t base_seed,
+                                        double accuracy_target = -1.0,
+                                        const parallel_options& parallel = {});
+
+}  // namespace dolbie::exp

@@ -147,6 +147,49 @@ void write_series_csv(std::ostream& os, const std::vector<series>& columns) {
   }
 }
 
+void print_timings(std::ostream& os, const stats::timing_registry& timings,
+                   double elapsed_seconds, std::size_t max_rows) {
+  const std::vector<stats::run_timing>& runs = timings.runs();
+  if (runs.empty()) return;
+  table t({"run", "wall [s]", "rounds/s", "stages"});
+  for (std::size_t i : subsample_rounds(runs.size(), max_rows)) {
+    const stats::run_timing& r = runs[i];
+    std::string stages;
+    for (const stats::stage_timing& s : r.stages) {
+      if (!stages.empty()) stages += "  ";
+      stages += s.name + " " + format_double(s.seconds, 3);
+    }
+    t.add_row({r.label.empty() ? "run " + std::to_string(i) : r.label,
+               format_double(r.wall_seconds, 4),
+               r.rounds > 0 ? format_double(r.rounds_per_second(), 4) : "-",
+               stages.empty() ? "-" : stages});
+  }
+  t.print(os);
+  const double total = timings.total_wall_seconds();
+  os << "runs: " << runs.size() << "  summed run wall: "
+     << format_double(total, 4) << " s  slowest run: "
+     << format_double(timings.max_wall_seconds(), 4) << " s";
+  if (timings.total_rounds() > 0 && total > 0.0) {
+    os << "  aggregate rounds/s: "
+       << format_double(static_cast<double>(timings.total_rounds()) / total,
+                        4);
+  }
+  os << '\n';
+  if (elapsed_seconds > 0.0) {
+    os << "elapsed: " << format_double(elapsed_seconds, 4)
+       << " s  parallel speedup: " << format_double(total / elapsed_seconds, 3)
+       << "x\n";
+  }
+  const std::vector<stats::stage_timing> totals = timings.stage_totals();
+  if (!totals.empty()) {
+    os << "stage totals:";
+    for (const stats::stage_timing& s : totals) {
+      os << "  " << s.name << " " << format_double(s.seconds, 4) << " s";
+    }
+    os << '\n';
+  }
+}
+
 cli_args::cli_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

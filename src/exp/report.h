@@ -11,6 +11,7 @@
 
 #include "common/series.h"
 #include "stats/aggregate.h"
+#include "stats/timing.h"
 
 namespace dolbie::exp {
 
@@ -47,6 +48,14 @@ void print_aggregated(std::ostream& os,
 
 /// Write per-round series as CSV (round, <name>...).
 void write_series_csv(std::ostream& os, const std::vector<series>& columns);
+
+/// Render a timing registry collected by a parallel fan-out: up to
+/// `max_rows` per-run rows (wall time, rounds/s, per-stage breakdown) plus
+/// aggregate lines. `elapsed_seconds` is the observed wall time of the
+/// whole fan-out; summed per-run wall time divided by it is the realized
+/// parallel speedup, which is printed alongside.
+void print_timings(std::ostream& os, const stats::timing_registry& timings,
+                   double elapsed_seconds, std::size_t max_rows = 12);
 
 /// Parse a --flag=value style command line. Recognized keys are read with
 /// the getters; unknown flags throw. Used by every bench binary.

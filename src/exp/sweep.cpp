@@ -7,6 +7,7 @@
 #include "baselines/opt.h"
 #include "common/error.h"
 #include "core/dolbie.h"
+#include "exp/parallel_sweep.h"
 
 namespace dolbie::exp {
 
@@ -53,31 +54,12 @@ ml_sweep_result sweep_training(const std::string& name,
                                std::size_t realizations,
                                std::uint64_t base_seed,
                                double accuracy_target) {
-  DOLBIE_REQUIRE(realizations >= 1, "need at least one realization");
-  ml_sweep_result out;
-  out.policy = name;
-  for (std::size_t r = 0; r < realizations; ++r) {
-    ml::trainer_options options = base_options;
-    options.seed = base_seed + r;
-    options.record_per_worker = false;
-    auto policy = factory(options.n_workers);
-    ml::trainer_result result = ml::train(*policy, options);
-    if (accuracy_target > 0.0) {
-      out.time_to_target.push_back(
-          result.time_to_accuracy(options.model, accuracy_target));
-    }
-    series cumulative(name);
-    for (double v : result.round_latency.cumulative()) cumulative.push(v);
-    result.round_latency.set_name(name);
-    out.round_latency.push_back(std::move(result.round_latency));
-    out.cumulative_time.push_back(std::move(cumulative));
-    out.total_time.push_back(result.total_time);
-    out.total_wait.push_back(result.total_wait);
-    out.total_compute.push_back(result.total_compute);
-    out.total_comm.push_back(result.total_comm);
-    out.decision_seconds.push_back(result.decision_seconds);
-  }
-  return out;
+  // Realizations fan out across the default thread pool (DOLBIE_THREADS
+  // env override). Each realization derives everything from its own seed
+  // (base + r), so the result is bit-identical to the old serial loop —
+  // tests/parallel_sweep_test.cpp holds this path to that contract.
+  return parallel_sweep_training(name, factory, base_options, realizations,
+                                 base_seed, accuracy_target, {});
 }
 
 }  // namespace dolbie::exp

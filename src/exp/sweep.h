@@ -39,7 +39,11 @@ struct ml_sweep_result {
 
 /// Run `realizations` training simulations of one policy, seeds
 /// base_seed..base_seed+realizations-1. `accuracy_target` feeds
-/// time_to_target (ignored when <= 0).
+/// time_to_target (ignored when <= 0). Realizations run in parallel on the
+/// default thread pool (DOLBIE_THREADS env override); results are
+/// bit-identical at any thread count because realization r depends only on
+/// seed base_seed + r. Use exp::parallel_sweep_training directly to pick a
+/// thread count or collect per-run timings.
 ml_sweep_result sweep_training(const std::string& name,
                                const policy_factory& factory,
                                const ml::trainer_options& base_options,

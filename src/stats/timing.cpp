@@ -1,0 +1,58 @@
+#include "stats/timing.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dolbie::stats {
+
+void timing_registry::reserve_slots(std::size_t runs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (runs > runs_.size()) runs_.resize(runs);
+}
+
+void timing_registry::record(std::size_t slot, run_timing timing) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DOLBIE_REQUIRE(slot < runs_.size(),
+                 "timing slot " << slot << " out of range (have "
+                                << runs_.size() << ")");
+  runs_[slot] = std::move(timing);
+}
+
+double timing_registry::total_wall_seconds() const {
+  double total = 0.0;
+  for (const run_timing& r : runs_) total += r.wall_seconds;
+  return total;
+}
+
+double timing_registry::max_wall_seconds() const {
+  double worst = 0.0;
+  for (const run_timing& r : runs_) worst = std::max(worst, r.wall_seconds);
+  return worst;
+}
+
+std::size_t timing_registry::total_rounds() const {
+  std::size_t total = 0;
+  for (const run_timing& r : runs_) total += r.rounds;
+  return total;
+}
+
+std::vector<stage_timing> timing_registry::stage_totals() const {
+  std::vector<stage_timing> totals;
+  for (const run_timing& r : runs_) {
+    for (const stage_timing& s : r.stages) {
+      auto it = std::find_if(totals.begin(), totals.end(),
+                             [&](const stage_timing& t) {
+                               return t.name == s.name;
+                             });
+      if (it == totals.end()) {
+        totals.push_back(s);
+      } else {
+        it->seconds += s.seconds;
+      }
+    }
+  }
+  return totals;
+}
+
+}  // namespace dolbie::stats

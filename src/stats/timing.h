@@ -1,0 +1,72 @@
+// Per-run wall-clock metrics for the parallel experiment surfaces: every
+// fan-out (realization, grid point, harness run) records where its time
+// went, into a slot addressed by its deterministic run index, so the
+// resulting table is identical at any thread count even though completion
+// order is not. exp::print_timings renders the registry; the ported bench
+// targets print it under --timing.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dolbie::stats {
+
+/// One named stage of a run's wall time (e.g. "decision", "environment").
+struct stage_timing {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// Wall-clock record of one experiment run (one realization / grid point).
+struct run_timing {
+  std::string label;          ///< e.g. "DOLBIE r3" or "N=40"
+  double wall_seconds = 0.0;  ///< whole-run wall time on its thread
+  std::size_t rounds = 0;     ///< online rounds played (0 when not roundful)
+  std::vector<stage_timing> stages;  ///< optional breakdown, sums <= wall
+
+  double rounds_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(rounds) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Thread-safe, slot-addressed collector of run_timing records. Slots are
+/// fixed up front (one per run index) so concurrent recording needs no
+/// ordering and the final table is deterministic.
+class timing_registry {
+ public:
+  timing_registry() = default;
+  explicit timing_registry(std::size_t runs) : runs_(runs) {}
+
+  /// Grow to at least `runs` slots (never shrinks; existing records kept).
+  void reserve_slots(std::size_t runs);
+
+  /// Store `timing` into `slot`. Thread-safe; last write wins.
+  void record(std::size_t slot, run_timing timing);
+
+  /// All slots in index order. Not synchronized: call after the fan-out
+  /// producing the records has joined.
+  const std::vector<run_timing>& runs() const { return runs_; }
+
+  /// Sum of per-run wall times — the serial critical path. Divided by the
+  /// observed elapsed time this yields the realized parallel speedup.
+  double total_wall_seconds() const;
+
+  /// The slowest single run — the lower bound on parallel elapsed time.
+  double max_wall_seconds() const;
+
+  /// Total rounds across runs.
+  std::size_t total_rounds() const;
+
+  /// Per-stage totals summed across runs, in first-seen stage order.
+  std::vector<stage_timing> stage_totals() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<run_timing> runs_;
+};
+
+}  // namespace dolbie::stats

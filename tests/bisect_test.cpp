@@ -91,6 +91,29 @@ TEST(BisectRootIncreasing, HandlesFlatRegions) {
   EXPECT_NEAR(g(root), 0.0, 1e-9);
 }
 
+// Regression: bisect_root_increasing used to return the bracket *midpoint*,
+// where g may already be positive. Callers like the Eq. 4 search treat the
+// returned point as feasible (g <= 0), so the root must be approached from
+// below: g(returned) <= 0 always, up to g's own evaluation error at a point
+// we actually bisected on.
+TEST(BisectRootIncreasing, ReturnedPointIsConservative) {
+  // Steep slope amplifies any overshoot: at slope 1e6 a midpoint return
+  // sits ~tolerance/2 * 1e6 above zero, which this assert catches.
+  const auto steep = [](double x) { return 1e6 * (x - 0.123456789); };
+  EXPECT_LE(steep(bisect_root_increasing(0.0, 1.0, steep)), 0.0);
+
+  const auto cubic = [](double x) { return x * x * x - 27.0; };
+  EXPECT_LE(cubic(bisect_root_increasing(0.0, 10.0, cubic)), 0.0);
+
+  // Sweep root positions; the conservative side must hold at every one.
+  for (double root = 0.05; root < 1.0; root += 0.06) {
+    const auto g = [root](double x) { return 1e4 * (x - root); };
+    const double found = bisect_root_increasing(0.0, 1.0, g);
+    EXPECT_LE(g(found), 0.0) << "root " << root;
+    EXPECT_NEAR(found, root, 1e-9) << "root " << root;
+  }
+}
+
 // Property sweep: the boundary is recovered for many positions.
 class BisectBoundarySweep : public ::testing::TestWithParam<double> {};
 

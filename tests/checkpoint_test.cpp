@@ -3,6 +3,8 @@
 #include "common/error.h"
 #include "common/simplex.h"
 #include "core/dolbie.h"
+#include "core/step_size.h"
+#include "cost/affine.h"
 #include "exp/harness.h"
 #include "exp/scenario.h"
 
@@ -73,6 +75,41 @@ TEST(Checkpoint, RestoreValidates) {
   EXPECT_THROW(p.restore(bad_alpha), invariant_error);
   dolbie_policy::state negative_alpha{{0.4, 0.3, 0.3}, -0.1};
   EXPECT_THROW(p.restore(negative_alpha), invariant_error);
+}
+
+// Regression: restore() used to accept any alpha in [0, 1] verbatim. A
+// checkpoint written by a different configuration (or by hand) can carry an
+// alpha above the worst-case feasibility bound for its own partition; the
+// next update could then drive the straggler's remainder negative. restore()
+// must re-cap with feasible_step_cap the way admit_worker/remove_worker do.
+TEST(Checkpoint, RestoreRecapsInfeasibleAlpha) {
+  dolbie_policy p(3);
+  // Skewed partition: cap = 0.05 / (3 - 2 + 0.05), far below the saved 0.9.
+  p.restore({{0.9, 0.05, 0.05}, 0.9});
+  EXPECT_DOUBLE_EQ(p.step_size(), feasible_step_cap(3, 0.05));
+
+  // The restored policy must survive an adversarial round: even when every
+  // non-straggler can afford the full workload (x' = 1), the straggler's
+  // remainder stays non-negative and the allocation on the simplex.
+  cost::cost_vector costs;
+  costs.push_back(std::make_unique<cost::affine_cost>(0.1, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(0.1, 0.0));
+  costs.push_back(std::make_unique<cost::affine_cost>(50.0, 0.0));
+  const cost::cost_view view = cost::view_of(costs);
+  const round_outcome outcome = evaluate_round(view, p.current());
+  round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = outcome.local_costs;
+  p.observe(fb);
+  EXPECT_TRUE(on_simplex(p.current()));
+  for (double v : p.current()) EXPECT_GE(v, 0.0);
+}
+
+TEST(Checkpoint, RestoreKeepsFeasibleAlphaVerbatim) {
+  dolbie_policy p(3);
+  // cap(3, 1/3) = (1/3)/(4/3) = 0.25 >= 0.1: no re-capping.
+  p.restore({uniform_point(3), 0.1});
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.1);
 }
 
 TEST(Checkpoint, RestoreClearsDerivedState) {

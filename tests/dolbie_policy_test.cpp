@@ -99,13 +99,15 @@ TEST(DolbiePolicy, HandComputedUpdateThreeWorkers) {
   observe_costs(p, costs);
   // x'_0 = min(1, 2/1) = 1 -> x_0 = 1/3 + 0.3*(2/3) = 0.5333...
   // x'_1 = min(1, 2/2) = 1 -> x_1 = same = 0.5333...
-  // x_2 = 1 - 2*0.53333 = -0.0667 -> clamped? No: step cap keeps it
-  // feasible only if alpha small enough; with alpha = 0.3 the remainder is
-  // negative and the clamp engages at 0.
+  // The assistants claim 2 * 0.5333 = 1.0667 > 1: the hand-set alpha = 0.3
+  // exceeds the safe cap (0.25), so Eq. 6 would go negative. The straggler
+  // lands on 0 and the assistants renormalize by 1/1.0667 so the
+  // allocation stays on the simplex: x_0 = x_1 = 0.5 exactly.
   const auto& x = p.current();
-  EXPECT_NEAR(x[0], 1.0 / 3 + 0.3 * (1.0 - 1.0 / 3), 1e-12);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
   EXPECT_NEAR(x[1], x[0], 1e-12);
   EXPECT_DOUBLE_EQ(x[2], 0.0);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0, 1e-15);
   // Step size then freezes: cap = 0/(1+0) = 0.
   EXPECT_DOUBLE_EQ(p.step_size(), 0.0);
 }

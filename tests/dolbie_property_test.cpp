@@ -89,6 +89,51 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values<std::uint64_t>(1, 17, 4242)),
     param_name);
 
+// Regression for the Eq. 6 remainder step: when floating-point drift pushes
+// the non-stragglers' claimed total past 1, observe() used to clamp the
+// straggler at 0 and leave the allocation summing to `claimed` — off the
+// simplex, compounding round over round. The aggressive configuration below
+// (alpha_1 = 1 with the exact-feasibility clamp) drives `claimed` to 1 in
+// exact arithmetic every round, so drift lands on either side of 1 and the
+// renormalization branch is exercised; the sum must still be exactly 1 up to
+// a tight tolerance after every round.
+class DolbieRenormalization : public ::testing::TestWithParam<param> {};
+
+TEST_P(DolbieRenormalization, AggressiveStepsStayOnSimplex) {
+  const auto [n, family, seed] = GetParam();
+  auto env = exp::make_synthetic_environment(n, family, seed);
+  dolbie_options options;
+  options.initial_step = 1.0;
+  options.rule = step_rule::exact_feasibility;
+  dolbie_policy policy(n, options);
+  for (int t = 0; t < 200; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const round_outcome outcome = evaluate_round(view, policy.current());
+    round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = outcome.local_costs;
+    policy.observe(fb);
+    const allocation& x = policy.current();
+    double total = 0.0;
+    for (double v : x) {
+      ASSERT_GE(v, 0.0) << "round " << t;
+      total += v;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-12) << "round " << t;
+    ASSERT_TRUE(on_simplex(x, 1e-12)) << "round " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DolbieRenormalization,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(2, 3, 5, 10, 30),
+        ::testing::Values(exp::synthetic_family::affine,
+                          exp::synthetic_family::mixed),
+        ::testing::Values<std::uint64_t>(1, 4242)),
+    param_name);
+
 // On a *static* environment DOLBIE's global cost is non-increasing round
 // over round: the assisted straggler can only improve when nothing else
 // moves underneath it.

@@ -1,5 +1,6 @@
 #include "core/max_acceptable.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -67,6 +68,38 @@ TEST(MaxAcceptableVector, Throws) {
                invariant_error);  // size mismatch
   EXPECT_THROW(max_acceptable_vector(view, {1.0}, 1.0, 5),
                invariant_error);  // straggler out of range
+}
+
+// A cost with no analytic inverse, forcing inverse_max through the default
+// monotone-bisection fallback (the paper's Sec. IV-A suggestion).
+class exponential_cost final : public cost::cost_function {
+ public:
+  explicit exponential_cost(double rate) : rate_(rate) {}
+  double value(double x) const override { return std::exp(rate_ * x) - 1.0; }
+  std::string describe() const override { return "exp"; }
+
+ private:
+  double rate_;
+};
+
+// Regression (bisection-backed Eq. 4): the search must approach the
+// boundary from below, so the returned workload never costs more than the
+// global cost l_t. A midpoint-returning bisection violates this — with a
+// steep cost the overshoot is far larger than evaluation noise.
+TEST(MaxAcceptableWorkload, BisectionBackedCostNeverExceedsGlobalCost) {
+  for (double rate : {1.0, 5.0, 20.0}) {
+    const exponential_cost f(rate);
+    for (double l_t : {0.5, 1.0, 3.0, 10.0}) {
+      const double xp = max_acceptable_workload(f, 0.0, l_t);
+      ASSERT_LE(xp, 1.0);
+      if (xp < 1.0) {
+        EXPECT_LE(f.value(xp), l_t) << "rate " << rate << " l_t " << l_t;
+        // And it is the *maximum* such workload up to the search tolerance.
+        EXPECT_GT(f.value(std::min(1.0, xp + 1e-9)), l_t)
+            << "rate " << rate << " l_t " << l_t;
+      }
+    }
+  }
 }
 
 // Property: across random cost families and random feasible allocations,

@@ -1,0 +1,349 @@
+// The parallel experiment harness and its headline contract: fan-outs are
+// bit-identical to the serial path at any thread count, because every run
+// derives all randomness from its own slot index. CI reruns this binary
+// with DOLBIE_THREADS=1/2/8 (see tests/CMakeLists.txt) to exercise the
+// default-thread-count paths at each width; the determinism cases below
+// additionally pin explicit widths so a single invocation covers them all.
+#include "exp/parallel_sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dolbie.h"
+#include "exp/scenario.h"
+#include "ml/trainer.h"
+#include "stats/timing.h"
+
+namespace dolbie::exp {
+namespace {
+
+// --- thread_pool -----------------------------------------------------------
+
+TEST(DefaultThreadCount, HonorsDolbieThreadsEnv) {
+  // CI runs this binary with DOLBIE_THREADS pinned (1/2/8); preserve the
+  // inherited value so the later determinism tests still see it.
+  const char* inherited = std::getenv("DOLBIE_THREADS");
+  const std::string saved = inherited != nullptr ? inherited : "";
+
+  ASSERT_EQ(setenv("DOLBIE_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ASSERT_EQ(setenv("DOLBIE_THREADS", "garbage", 1), 0);
+  EXPECT_GE(default_thread_count(), 1u);  // unparsable -> hardware default
+  ASSERT_EQ(setenv("DOLBIE_THREADS", "0", 1), 0);
+  EXPECT_GE(default_thread_count(), 1u);  // non-positive -> hardware default
+  ASSERT_EQ(unsetenv("DOLBIE_THREADS"), 0);
+  EXPECT_GE(default_thread_count(), 1u);
+
+  if (inherited != nullptr) {
+    ASSERT_EQ(setenv("DOLBIE_THREADS", saved.c_str(), 1), 0);
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    thread_pool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(997);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroJobsIsANoop) {
+  thread_pool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "job ran for n = 0"; });
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches) {
+  thread_pool pool(4);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, OverlapsIndependentBlockingJobs) {
+  // The wall-clock contract: 8 independent 60 ms jobs take ~480 ms serially
+  // and ~120 ms on 4 threads. Blocking sleeps (not CPU spins) so the
+  // overlap is measurable even on a single-core CI runner; the 2x threshold
+  // leaves a 2x margin over the ideal 4x for scheduler noise.
+  using clock = std::chrono::steady_clock;
+  const auto job = [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  };
+  thread_pool serial(1);
+  const auto serial_begin = clock::now();
+  serial.parallel_for(8, job);
+  const double serial_seconds =
+      std::chrono::duration<double>(clock::now() - serial_begin).count();
+
+  thread_pool pool(4);
+  const auto parallel_begin = clock::now();
+  pool.parallel_for(8, job);
+  const double parallel_seconds =
+      std::chrono::duration<double>(clock::now() - parallel_begin).count();
+
+  EXPECT_GE(serial_seconds, 8 * 0.060);
+  EXPECT_LT(parallel_seconds, serial_seconds / 2.0)
+      << "serial " << serial_seconds << "s vs parallel " << parallel_seconds
+      << "s";
+}
+
+TEST(ThreadPool, PropagatesTheFirstJobException) {
+  for (std::size_t threads : {1u, 4u}) {
+    thread_pool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [](std::size_t i) {
+                            DOLBIE_REQUIRE(i != 17, "job 17 exploded");
+                          }),
+        invariant_error);
+    // The pool survives a throwing batch.
+    std::atomic<int> total{0};
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 8);
+  }
+}
+
+// --- rng::stream_seed ------------------------------------------------------
+
+TEST(StreamSeed, IsAPureFunctionWithDistinctStreams) {
+  const std::uint64_t a = rng::stream_seed(42, 0);
+  EXPECT_EQ(a, rng::stream_seed(42, 0));  // pure: no hidden state
+  EXPECT_NE(a, rng::stream_seed(42, 1));
+  EXPECT_NE(a, rng::stream_seed(43, 0));
+  // Derived generators are decorrelated enough to differ immediately.
+  rng g0(rng::stream_seed(7, 0));
+  rng g1(rng::stream_seed(7, 1));
+  EXPECT_NE(g0.uniform(0.0, 1.0), g1.uniform(0.0, 1.0));
+}
+
+// --- parallel_map ----------------------------------------------------------
+
+TEST(ParallelMap, ReturnsResultsInSlotOrder) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    parallel_options options;
+    options.threads = threads;
+    const std::vector<std::size_t> out = parallel_map<std::size_t>(
+        200, [](std::size_t i) { return i * i; }, options);
+    ASSERT_EQ(out.size(), 200u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * i) << "slot " << i;
+    }
+  }
+}
+
+TEST(ParallelMap, RecordsPerRunTimings) {
+  stats::timing_registry timings;
+  parallel_options options;
+  options.threads = 4;
+  options.timings = &timings;
+  parallel_map<int>(
+      10,
+      [](std::size_t i) {
+        // Do a sliver of real work so wall times are nonzero.
+        volatile double sink = 0.0;
+        for (int k = 0; k < 10000; ++k) sink = sink + static_cast<double>(i);
+        return static_cast<int>(i);
+      },
+      options);
+  ASSERT_EQ(timings.runs().size(), 10u);
+  for (const stats::run_timing& r : timings.runs()) {
+    EXPECT_GE(r.wall_seconds, 0.0);
+    EXPECT_FALSE(r.label.empty());
+  }
+  EXPECT_GT(timings.total_wall_seconds(), 0.0);
+  EXPECT_GE(timings.total_wall_seconds(), timings.max_wall_seconds());
+}
+
+// --- timing_registry -------------------------------------------------------
+
+TEST(TimingRegistry, AggregatesRunsAndStages) {
+  stats::timing_registry reg(2);
+  reg.record(0, {"a", 1.0, 100, {{"env", 0.25}, {"decision", 0.5}}});
+  reg.record(1, {"b", 3.0, 300, {{"decision", 1.0}}});
+  EXPECT_DOUBLE_EQ(reg.total_wall_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(reg.max_wall_seconds(), 3.0);
+  EXPECT_EQ(reg.total_rounds(), 400u);
+  EXPECT_DOUBLE_EQ(reg.runs()[0].rounds_per_second(), 100.0);
+  const auto stages = reg.stage_totals();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "env");
+  EXPECT_DOUBLE_EQ(stages[0].seconds, 0.25);
+  EXPECT_EQ(stages[1].name, "decision");
+  EXPECT_DOUBLE_EQ(stages[1].seconds, 1.5);
+  EXPECT_THROW(reg.record(7, {}), invariant_error);
+}
+
+// --- determinism: serial == parallel ---------------------------------------
+
+// Simulated quantities must be bit-identical across thread counts; the
+// measured wall-clock fields (decision_seconds and the timing registry) are
+// the only ones allowed to differ.
+void expect_same_sweep(const ml_sweep_result& a, const ml_sweep_result& b) {
+  ASSERT_EQ(a.round_latency.size(), b.round_latency.size());
+  for (std::size_t r = 0; r < a.round_latency.size(); ++r) {
+    ASSERT_EQ(a.round_latency[r].size(), b.round_latency[r].size());
+    for (std::size_t t = 0; t < a.round_latency[r].size(); ++t) {
+      ASSERT_EQ(a.round_latency[r][t], b.round_latency[r][t])
+          << "realization " << r << " round " << t;
+      ASSERT_EQ(a.cumulative_time[r][t], b.cumulative_time[r][t])
+          << "realization " << r << " round " << t;
+    }
+    ASSERT_EQ(a.total_time[r], b.total_time[r]) << "realization " << r;
+    ASSERT_EQ(a.total_wait[r], b.total_wait[r]) << "realization " << r;
+    ASSERT_EQ(a.total_compute[r], b.total_compute[r]) << "realization " << r;
+    ASSERT_EQ(a.total_comm[r], b.total_comm[r]) << "realization " << r;
+  }
+  ASSERT_EQ(a.time_to_target, b.time_to_target);
+}
+
+TEST(ParallelSweepDeterminism, BitIdenticalToHandWrittenSerialLoop) {
+  ml::trainer_options base;
+  base.rounds = 15;
+  base.n_workers = 6;
+  const auto suite = paper_policy_suite();
+  const auto& factory = suite[4].second;  // DOLBIE
+
+  // The reference: the serial loop sweep_training ran before the port.
+  ml_sweep_result serial;
+  serial.policy = "DOLBIE";
+  for (std::size_t r = 0; r < 6; ++r) {
+    ml::trainer_options options = base;
+    options.seed = 1000 + r;
+    options.record_per_worker = false;
+    auto policy = factory(options.n_workers);
+    ml::trainer_result result = ml::train(*policy, options);
+    series cumulative("DOLBIE");
+    for (double v : result.round_latency.cumulative()) cumulative.push(v);
+    serial.round_latency.push_back(result.round_latency);
+    serial.cumulative_time.push_back(cumulative);
+    serial.total_time.push_back(result.total_time);
+    serial.total_wait.push_back(result.total_wait);
+    serial.total_compute.push_back(result.total_compute);
+    serial.total_comm.push_back(result.total_comm);
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    parallel_options options;
+    options.threads = threads;
+    const ml_sweep_result parallel =
+        parallel_sweep_training("DOLBIE", factory, base, 6, 1000, -1.0,
+                                options);
+    expect_same_sweep(serial, parallel);
+  }
+}
+
+TEST(ParallelSweepDeterminism, SweepTrainingDefaultPathMatchesOneThread) {
+  // sweep_training now fans out on the default pool (DOLBIE_THREADS knob);
+  // its output must equal the explicit one-thread run regardless of what
+  // that default resolves to.
+  ml::trainer_options base;
+  base.rounds = 12;
+  base.n_workers = 5;
+  const auto suite = paper_policy_suite();
+  for (const auto& [name, factory] : suite) {
+    parallel_options one_thread;
+    one_thread.threads = 1;
+    const ml_sweep_result serial =
+        parallel_sweep_training(name, factory, base, 4, 77, 0.85, one_thread);
+    const ml_sweep_result pooled =
+        sweep_training(name, factory, base, 4, 77, 0.85);
+    expect_same_sweep(serial, pooled);
+  }
+}
+
+TEST(ParallelSweepDeterminism, RunManyMatchesSerialHarnessLoop) {
+  const auto make_policy = [](std::size_t i) {
+    return std::make_unique<core::dolbie_policy>(4 + i % 3);
+  };
+  const auto make_env = [](std::size_t i) {
+    // Per-run counter-based stream: run i's seed depends only on i.
+    return make_synthetic_environment(4 + i % 3, synthetic_family::mixed,
+                                      rng::stream_seed(2026, i));
+  };
+  harness_options options;
+  options.rounds = 30;
+  options.track_regret = true;
+  options.record_step_sizes = true;
+
+  // Serial reference via exp::run directly.
+  std::vector<run_trace> serial;
+  for (std::size_t i = 0; i < 9; ++i) {
+    auto policy = make_policy(i);
+    auto env = make_env(i);
+    serial.push_back(run(*policy, *env, options));
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    parallel_options parallel;
+    parallel.threads = threads;
+    stats::timing_registry timings;
+    parallel.timings = &timings;
+    const std::vector<run_trace> traces =
+        run_many(9, make_policy, make_env, options, parallel);
+    ASSERT_EQ(traces.size(), serial.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      for (std::size_t t = 0; t < options.rounds; ++t) {
+        ASSERT_EQ(traces[i].global_cost[t], serial[i].global_cost[t])
+            << "run " << i << " round " << t << " threads " << threads;
+        ASSERT_EQ(traces[i].optimal_cost[t], serial[i].optimal_cost[t]);
+        ASSERT_EQ(traces[i].step_sizes[t], serial[i].step_sizes[t]);
+      }
+      ASSERT_EQ(traces[i].regret.regret(), serial[i].regret.regret());
+      ASSERT_EQ(traces[i].regret.path_length(),
+                serial[i].regret.path_length());
+    }
+    // The registry carries one record per run with the harness breakdown.
+    ASSERT_EQ(timings.runs().size(), 9u);
+    for (const stats::run_timing& r : timings.runs()) {
+      EXPECT_EQ(r.rounds, options.rounds);
+      ASSERT_EQ(r.stages.size(), 3u);
+      EXPECT_EQ(r.stages[0].name, "environment");
+      EXPECT_EQ(r.stages[1].name, "decision");
+      EXPECT_EQ(r.stages[2].name, "evaluate");
+    }
+    EXPECT_EQ(timings.total_rounds(), 9u * options.rounds);
+  }
+}
+
+TEST(ParallelSweepDeterminism, GridFanOutIsThreadCountInvariant) {
+  // A 2-D (grid point, realization) fan-out keyed by stream_seed — the
+  // shape the ported ablation benches use.
+  const auto cell_value = [](std::size_t k) {
+    auto env = make_synthetic_environment(
+        5, synthetic_family::affine, rng::stream_seed(99, k));
+    core::dolbie_policy policy(5);
+    harness_options o;
+    o.rounds = 20;
+    return run(policy, *env, o).global_cost.total();
+  };
+  parallel_options one;
+  one.threads = 1;
+  const std::vector<double> serial =
+      parallel_map<double>(12, cell_value, one);
+  for (std::size_t threads : {2u, 8u}) {
+    parallel_options many;
+    many.threads = threads;
+    const std::vector<double> parallel =
+        parallel_map<double>(12, cell_value, many);
+    ASSERT_EQ(serial, parallel) << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::exp

@@ -1,10 +1,14 @@
 #include "core/step_size.h"
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/simplex.h"
+#include "core/dolbie.h"
+#include "cost/affine.h"
 
 namespace dolbie::core {
 namespace {
@@ -27,6 +31,15 @@ TEST(FeasibleStepCap, DegenerateSmallN) {
   // remainder non-negative). N = 1: no non-stragglers at all.
   EXPECT_DOUBLE_EQ(feasible_step_cap(2, 0.5), 1.0);
   EXPECT_DOUBLE_EQ(feasible_step_cap(1, 1.0), 1.0);
+}
+
+TEST(FeasibleStepCap, TwoWorkersWithZeroStragglerShare) {
+  // The 0/0 corner of s/(N-2+s): at N = 2 the one non-straggler moving to
+  // x' <= 1 always leaves the straggler's remainder 1 - x' >= 0, so the cap
+  // is 1 even when the straggler holds nothing — not the 0 that naive
+  // evaluation of the formula (or the N >= 3 freeze) would give.
+  EXPECT_DOUBLE_EQ(feasible_step_cap(2, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(feasible_step_cap(1, 0.0), 1.0);
 }
 
 TEST(FeasibleStepCap, AlwaysInUnitInterval) {
@@ -89,6 +102,52 @@ TEST(InitialStepSize, Throws) {
   EXPECT_THROW(initial_step_size(std::vector<double>{}), invariant_error);
   EXPECT_THROW(initial_step_size(std::vector<double>{0.5, -0.5}),
                invariant_error);
+}
+
+// Worker churn at the boundary: admitting a worker with zero initial share
+// is legal (share in [0, 1)) and must leave the allocation on the simplex
+// with the step size re-capped to feasible_step_cap(N+1, 0) = 0 — the new
+// worker holds nothing, so any positive step could go infeasible if it
+// became the straggler. A subsequent observe must still hold the simplex.
+TEST(WorkerChurn, AdmitWithZeroShare) {
+  dolbie_policy p(3);
+  EXPECT_GT(p.step_size(), 0.0);
+  const worker_id added = p.admit_worker(0.0);
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(p.workers(), 4u);
+  EXPECT_TRUE(on_simplex(p.current()));
+  EXPECT_DOUBLE_EQ(p.current()[added], 0.0);
+  // Existing shares are untouched by a zero-share admit.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(p.current()[i], 1.0 / 3.0);
+  }
+  EXPECT_DOUBLE_EQ(p.step_size(), feasible_step_cap(4, 0.0));
+  EXPECT_DOUBLE_EQ(p.step_size(), 0.0);
+
+  // With alpha frozen at 0 the next round must be a no-op on the simplex.
+  cost::cost_vector costs;
+  for (int i = 0; i < 4; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(1.0 + i, 0.1));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  const round_outcome outcome = evaluate_round(view, p.current());
+  round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = outcome.local_costs;
+  p.observe(fb);
+  EXPECT_TRUE(on_simplex(p.current()));
+}
+
+// At N = 2 a zero-share admit does *not* freeze: the enlarged set has
+// N = 3, cap(3, 0) = 0, but admitting into a singleton (N = 1 -> 2) keeps
+// cap 1 — the degenerate small-N rows above, exercised through churn.
+TEST(WorkerChurn, AdmitIntoSingletonKeepsFullStep) {
+  dolbie_policy p(1);
+  p.admit_worker(0.0);
+  EXPECT_EQ(p.workers(), 2u);
+  EXPECT_TRUE(on_simplex(p.current()));
+  EXPECT_DOUBLE_EQ(p.step_size(), feasible_step_cap(2, 0.0));
+  EXPECT_DOUBLE_EQ(p.step_size(), 1.0);
 }
 
 // The paper's feasibility argument: with alpha <= s/(N-2+s), even if every
