@@ -6,17 +6,27 @@
 // prints the full latency series plus the same round-40 reduction table.
 //
 //   $ ./fig3_per_round_latency [--seed=N] [--rounds=N] [--workers=N] [--csv]
+//                              [--trace=out.json] [--metrics]
+//
+// With --trace the run additionally records one lane of "train_round"
+// spans per policy plus a short traced pass of both protocol realizations
+// (per-phase MW/FD spans); open the file in chrome://tracing. See
+// exp/observe.h for the full flag family.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 
+#include "dist/runner.h"
+#include "exp/observe.h"
 #include "exp/report.h"
+#include "exp/scenario.h"
 #include "exp/sweep.h"
 #include "ml/trainer.h"
 
 int main(int argc, char** argv) {
   using namespace dolbie;
   const exp::cli_args args(argc, argv);
+  exp::observability obs(args);
 
   ml::trainer_options options;
   options.model = ml::model_kind::resnet18;
@@ -25,6 +35,8 @@ int main(int argc, char** argv) {
   options.global_batch = 256.0;
   options.seed = args.get_u64("seed", 42);
   options.record_per_worker = false;
+  options.tracer = obs.tracer();
+  options.metrics = obs.metrics();
 
   std::cout << "=== Fig. 3: per-round latency, one realization ===\n"
             << "model=" << ml::model_name(options.model)
@@ -32,9 +44,11 @@ int main(int argc, char** argv) {
             << " T=" << options.rounds << " seed=" << options.seed << "\n\n";
 
   std::vector<series> columns;
+  std::uint32_t lane = 0;
   for (const auto& [name, factory] :
        exp::paper_policy_suite(options.global_batch)) {
     auto policy = factory(options.n_workers);
+    options.trace_lane = lane++;  // one trainer lane per policy
     ml::trainer_result result = ml::train(*policy, options);
     result.round_latency.set_name(name);
     columns.push_back(std::move(result.round_latency));
@@ -78,5 +92,21 @@ int main(int argc, char** argv) {
     exp::write_series_csv(csv, columns);
     std::cout << "\nwrote fig3.csv\n";
   }
+
+  if (obs.tracing()) {
+    // Also capture the protocol realizations' per-phase spans (the trainer
+    // above drives sequential policies only): a short traced equivalence
+    // run on three fresh lanes — seq / MW / FD.
+    auto env = exp::make_synthetic_environment(
+        options.n_workers, exp::synthetic_family::affine, options.seed);
+    dist::protocol_options popts;
+    popts.tracer = obs.tracer();
+    popts.metrics = obs.metrics();
+    popts.trace_lane = lane;
+    dist::run_equivalence(options.n_workers,
+                          std::min<std::size_t>(options.rounds, 25),
+                          [&] { return env->next_round(); }, popts);
+  }
+  obs.finish(std::cout);
   return 0;
 }

@@ -7,6 +7,11 @@
 //   OPT solve           bisection water-filling (the instantaneous problem)
 //   simplex projection  the projection step alone
 //
+// Plus the observability overhead pair: BM_DolbieUpdate runs with tracing
+// *disabled* (the null-tracer default — its cost must stay within 2% of an
+// uninstrumented build) and BM_DolbieUpdateTraced with a live tracer and
+// metrics registry; BM_SpanDisabled / BM_CounterAdd price the primitives.
+//
 // google-benchmark binary; run with --benchmark_filter=... as usual.
 #include <algorithm>
 #include <cstdint>
@@ -20,6 +25,8 @@
 #include "core/dolbie.h"
 #include "core/max_acceptable.h"
 #include "exp/scenario.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -47,6 +54,63 @@ void BM_DolbieUpdate(benchmark::State& state) {
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_DolbieUpdate)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_DolbieUpdateTraced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cost::cost_vector costs = make_costs(n, 1);
+  const cost::cost_view view = cost::view_of(costs);
+  obs::tracer tracer({.clock = obs::clock_kind::logical,
+                      .max_records_per_lane = 1 << 16});
+  obs::metrics_registry metrics;
+  core::dolbie_options options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  core::dolbie_policy policy(n, options);
+  const std::vector<double> locals = cost::evaluate(view, policy.current());
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  for (auto _ : state) {
+    policy.observe(fb);
+    benchmark::DoNotOptimize(policy.current().data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DolbieUpdateTraced)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity();
+
+void BM_SpanDisabled(benchmark::State& state) {
+  // The null-tracer path every instrumentation site pays when tracing is
+  // off: one branch, no clock read, no allocation.
+  for (auto _ : state) {
+    obs::span sp(nullptr, 0, 0, "round", "bench");
+    benchmark::DoNotOptimize(static_cast<bool>(sp));
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::tracer tracer({.clock = obs::clock_kind::logical,
+                      .max_records_per_lane = 1 << 12});
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    obs::span sp(&tracer, 0, round++, "round", "bench");
+    benchmark::DoNotOptimize(static_cast<bool>(sp));
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::metrics_registry metrics;
+  obs::counter& c = metrics.counter_named("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+BENCHMARK(BM_CounterAdd);
 
 void BM_OgdUpdate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -6,8 +6,10 @@
 // aggregation = full-batch mean); only the wall-clock differs.
 //
 //   $ ./real_training [--seed=N] [--rounds=N] [--workers=N]
+//                     [--trace=out.json] [--metrics]
 #include <iostream>
 
+#include "exp/observe.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "learn/distributed_trainer.h"
@@ -18,8 +20,10 @@ using namespace dolbie;
 
 void run_workload(const char* label, learn::classifier& prototype,
                   const learn::dataset& train, const learn::dataset& test,
-                  const learn::real_training_options& options,
-                  double target) {
+                  learn::real_training_options options, double target,
+                  exp::observability& obs, std::uint32_t& lane) {
+  options.tracer = obs.tracer();
+  options.metrics = obs.metrics();
   std::cout << "=== " << label << " (N=" << options.n_workers
             << ", B=" << options.global_batch << ", T=" << options.rounds
             << ") ===\n";
@@ -34,6 +38,7 @@ void run_workload(const char* label, learn::classifier& prototype,
            static_cast<double>(options.global_batch))) {
     prototype.set_parameters(initial);  // same starting point for everyone
     auto policy = factory(options.n_workers);
+    options.trace_lane = lane++;  // one trainer lane per policy
     const learn::real_training_result r = learn::train_distributed(
         *policy, prototype, train, test, options);
     const double to_target = r.time_to_test_accuracy(target);
@@ -56,6 +61,8 @@ void run_workload(const char* label, learn::classifier& prototype,
 int main(int argc, char** argv) {
   using namespace dolbie;
   const exp::cli_args args(argc, argv);
+  exp::observability obs(args);
+  std::uint32_t lane = 0;
   const std::uint64_t seed = args.get_u64("seed", 42);
 
   learn::real_training_options options;
@@ -73,7 +80,7 @@ int main(int argc, char** argv) {
     learn::softmax_regression model(4, 3, seed);
     options.optimizer = {.learning_rate = 0.1, .momentum = 0.0};
     run_workload("softmax regression / Gaussian blobs", model, train, test,
-                 options, 0.85);
+                 options, 0.85, obs, lane);
   }
   {
     const learn::dataset all =
@@ -83,11 +90,12 @@ int main(int argc, char** argv) {
     learn::mlp_classifier model(2, 16, 2, seed);
     options.optimizer = {.learning_rate = 0.15, .momentum = 0.9};
     run_workload("MLP(16) / concentric rings (non-convex)", model, train,
-                 test, options, 0.9);
+                 test, options, 0.9, obs, lane);
   }
   std::cout << "Reading: with real gradients the policies' accuracy curves\n"
                "coincide round-for-round; the wall-clock separation (DOLBIE\n"
                "fastest among online policies) is pure load balancing —\n"
                "the paper's Figs. 6-8 mechanism, demonstrated end to end.\n";
+  obs.finish(std::cout);
   return 0;
 }

@@ -6,6 +6,8 @@
 #include "common/simplex.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dolbie::core {
 
@@ -23,7 +25,23 @@ dolbie_policy::dolbie_policy(std::size_t n_workers, dolbie_options options)
                  "initial partition must lie on the simplex");
   DOLBIE_REQUIRE(options_.initial_step <= 1.0,
                  "initial step must be <= 1, got " << options_.initial_step);
+  if (options_.metrics != nullptr) {
+    rounds_counter_ = &options_.metrics->counter_named("seq.rounds");
+    alpha_gauge_ = &options_.metrics->gauge_named("seq.alpha");
+    straggler_gauge_ = &options_.metrics->gauge_named("seq.straggler");
+  }
   reset();
+}
+
+void dolbie_policy::emit_alpha_recapped(const char* why) {
+  if (options_.tracer != nullptr) {
+    options_.tracer->instant(options_.trace_lane, round_, "alpha_recapped",
+                             "seq",
+                             {obs::arg_str("why", why),
+                              obs::arg_num("alpha", alpha_),
+                              obs::arg_int("workers", x_.size())});
+  }
+  if (alpha_gauge_ != nullptr) alpha_gauge_->set(alpha_);
 }
 
 void dolbie_policy::restore(const state& saved) {
@@ -45,6 +63,7 @@ void dolbie_policy::restore(const state& saved) {
   const double min_share = x_[argmin(x_)];
   alpha_ = std::min(saved.alpha, feasible_step_cap(x_.size(), min_share));
   last_xp_.clear();
+  if (alpha_ < saved.alpha) emit_alpha_recapped("restore");
 }
 
 worker_id dolbie_policy::admit_worker(double initial_share) {
@@ -55,8 +74,10 @@ worker_id dolbie_policy::admit_worker(double initial_share) {
   // Keep the next update feasible for the enlarged worker set: re-cap with
   // the new worst case over the current minimum share.
   const double min_share = x_[argmin(x_)];
+  const double before = alpha_;
   alpha_ = std::min(alpha_, feasible_step_cap(x_.size(), min_share));
   last_xp_.clear();
+  if (alpha_ < before) emit_alpha_recapped("admit_worker");
   return x_.size() - 1;
 }
 
@@ -74,8 +95,10 @@ void dolbie_policy::remove_worker(worker_id id) {
   // Numerical hygiene: land exactly on the simplex.
   x_ = normalized(x_);
   const double min_share = x_[argmin(x_)];
+  const double before = alpha_;
   alpha_ = std::min(alpha_, feasible_step_cap(x_.size(), min_share));
   last_xp_.clear();
+  if (alpha_ < before) emit_alpha_recapped("remove_worker");
 }
 
 void dolbie_policy::reset() {
@@ -83,6 +106,7 @@ void dolbie_policy::reset() {
   alpha_ = options_.initial_step >= 0.0 ? options_.initial_step
                                         : initial_step_size(x_);
   last_xp_.clear();
+  round_ = 0;
 }
 
 void dolbie_policy::observe(const round_feedback& feedback) {
@@ -92,11 +116,18 @@ void dolbie_policy::observe(const round_feedback& feedback) {
                                  << " local costs for " << x_.size()
                                  << " workers");
   const std::size_t n = x_.size();
+  const std::uint64_t round = round_++;
   if (n == 1) return;  // single worker always carries everything
+  obs::tracer* tr = options_.tracer;
+  obs::span round_span(tr, options_.trace_lane, round, "round", "seq");
 
   // Identify the straggler and the global cost (lines 9-11 of Algorithm 1).
   const worker_id s = argmax(feedback.local_costs);
   const double l_t = feedback.local_costs[s];
+  if (tr != nullptr) {
+    tr->instant(options_.trace_lane, round, "straggler_elected", "seq",
+                {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});
+  }
 
   // Risk-averse assistance: move every non-straggler towards x' (Eq. 5).
   last_xp_ = max_acceptable_vector(*feedback.costs, x_, l_t, s);
@@ -137,11 +168,24 @@ void dolbie_policy::observe(const round_feedback& feedback) {
     for (worker_id i = 0; i < n; ++i) {
       if (i != s) x_[i] /= claimed;
     }
+    if (tr != nullptr) {
+      tr->instant(options_.trace_lane, round, "renormalized", "seq",
+                  {obs::arg_num("claimed", claimed)});
+    }
   }
 
   if (options_.rule == step_rule::worst_case) {
     // Retain feasibility for the next round (Eq. 7).
     alpha_ = next_step_size(alpha_, n, x_[s]);
+  }
+
+  round_span.arg("straggler", static_cast<std::uint64_t>(s));
+  round_span.arg("alpha_applied", applied);
+  round_span.arg("alpha_next", alpha_);
+  if (rounds_counter_ != nullptr) {
+    rounds_counter_->add(1);
+    alpha_gauge_->set(alpha_);
+    straggler_gauge_->set(static_cast<double>(s));
   }
 }
 

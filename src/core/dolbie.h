@@ -16,9 +16,17 @@
 // inverse_max per worker (analytic for the built-in cost families).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "core/policy.h"
+
+namespace dolbie::obs {
+class metrics_registry;
+class tracer;
+class counter;
+class gauge;
+}  // namespace dolbie::obs
 
 namespace dolbie::core {
 
@@ -51,6 +59,14 @@ struct dolbie_options {
   double initial_step = -1.0;
   /// Step-size feasibility rule (see step_rule).
   step_rule rule = step_rule::worst_case;
+
+  /// Observability (all optional; null keeps the policy on the zero-cost
+  /// disabled path). The tracer records one "round" span per observe() on
+  /// `trace_lane` plus instants for straggler election, renormalization and
+  /// alpha re-caps; the registry carries the alpha/straggler trajectory.
+  obs::tracer* tracer = nullptr;
+  obs::metrics_registry* metrics = nullptr;
+  std::uint32_t trace_lane = 0;
 };
 
 /// Sequential DOLBIE (reference implementation of Algorithms 1 and 2).
@@ -102,10 +118,18 @@ class dolbie_policy final : public online_policy {
   void remove_worker(worker_id id);
 
  private:
+  void emit_alpha_recapped(const char* why);
+
   allocation x_;
   double alpha_ = 0.0;
   std::vector<double> last_xp_;
   dolbie_options options_;
+
+  // Observability (null when options_.metrics is unset).
+  std::uint64_t round_ = 0;
+  obs::counter* rounds_counter_ = nullptr;
+  obs::gauge* alpha_gauge_ = nullptr;
+  obs::gauge* straggler_gauge_ = nullptr;
 };
 
 }  // namespace dolbie::core

@@ -6,6 +6,7 @@
 #include "common/simplex.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "obs/trace.h"
 
 namespace dolbie::dist {
 
@@ -20,6 +21,12 @@ fully_distributed_policy::fully_distributed_policy(std::size_t n_workers,
                  "initial partition size mismatch");
   DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
                  "initial partition must lie on the simplex");
+  net_.attach_tracer(options_.tracer, options_.trace_lane);
+  if (options_.metrics != nullptr) {
+    rounds_counter_ = &options_.metrics->counter_named("fd.rounds");
+    alpha_gauge_ = &options_.metrics->gauge_named("fd.alpha_consensus");
+    straggler_gauge_ = &options_.metrics->gauge_named("fd.straggler");
+  }
   reset();
 }
 
@@ -32,66 +39,84 @@ void fully_distributed_policy::reset() {
           : core::initial_step_size(options_.initial_partition);
   alpha_bar_.assign(n_, alpha1);
   net_.reset_traffic();
-  last_traffic_.reset();
+  last_traffic_ = {};
+  round_ = 0;
 }
 
 void fully_distributed_policy::observe(const core::round_feedback& feedback) {
   DOLBIE_REQUIRE(feedback.costs != nullptr, "feedback carries no costs");
   DOLBIE_REQUIRE(feedback.local_costs.size() == n_, "feedback size mismatch");
+  const std::uint64_t round = round_++;
   if (n_ == 1) return;
   net_.reset_traffic();
+  net_.set_round(round);
   const cost::cost_view& costs = *feedback.costs;
+  obs::tracer* tr = options_.tracer;
+  const std::uint32_t lane = options_.trace_lane;
+  obs::span round_span(tr, lane, round, "round", "fd");
 
-  // --- Phase 1: all-to-all broadcast of (l_i, alpha-bar_i) (line 4). ---
-  for (net::node_id i = 0; i < n_; ++i) {
-    for (net::node_id j = 0; j < n_; ++j) {
-      if (j == i) continue;
-      net_.send({i, j, net::message_kind::cost_and_step,
-                 {feedback.local_costs[i], alpha_bar_[i]}});
+  // --- Phase 1 (wire): all-to-all broadcast of (l_i, alpha-bar_i)
+  //     (line 4). ---
+  {
+    obs::span sp(tr, lane, round, "phase1.broadcast", "fd");
+    for (net::node_id i = 0; i < n_; ++i) {
+      for (net::node_id j = 0; j < n_; ++j) {
+        if (j == i) continue;
+        net_.send({i, j, net::message_kind::cost_and_step,
+                   {feedback.local_costs[i], alpha_bar_[i]}});
+      }
     }
   }
 
-  // --- Phases 2-3: every worker independently reconstructs the global
-  //     picture from its inbox and updates (lines 5-10). We simulate each
-  //     worker's computation with strictly worker-local inputs. ---
+  // --- Phase 2 (wire): every worker independently reconstructs the global
+  //     picture from its inbox, updates, and non-stragglers upload their
+  //     decisions to the straggler (lines 5-10). We simulate each worker's
+  //     computation with strictly worker-local inputs. ---
   std::vector<double> next_x = worker_x_;
   core::worker_id straggler = 0;     // as computed by worker 0; all agree
   double consensus_alpha = 0.0;      // likewise
-  for (net::node_id i = 0; i < n_; ++i) {
-    // Reassemble this worker's view: its own scalars plus the broadcasts.
-    std::vector<double> l(n_, 0.0);
-    std::vector<double> a(n_, 0.0);
-    l[i] = feedback.local_costs[i];
-    a[i] = alpha_bar_[i];
-    for (net::node_id j = 0; j < n_; ++j) {
-      if (j == i) continue;
-      auto m = net_.receive(i, j);
-      DOLBIE_REQUIRE(m.has_value(),
-                     "worker " << i << " missed broadcast from " << j);
-      l[j] = m->payload[0];
-      a[j] = m->payload[1];
+  {
+    obs::span sp(tr, lane, round, "phase2.decision_uploads", "fd");
+    for (net::node_id i = 0; i < n_; ++i) {
+      // Reassemble this worker's view: its own scalars plus the broadcasts.
+      std::vector<double> l(n_, 0.0);
+      std::vector<double> a(n_, 0.0);
+      l[i] = feedback.local_costs[i];
+      a[i] = alpha_bar_[i];
+      for (net::node_id j = 0; j < n_; ++j) {
+        if (j == i) continue;
+        auto m = net_.receive(i, j);
+        DOLBIE_REQUIRE(m.has_value(),
+                       "worker " << i << " missed broadcast from " << j);
+        l[j] = m->payload[0];
+        a[j] = m->payload[1];
+      }
+      const core::worker_id s = argmax(l);           // line 7
+      const double l_t = l[s];
+      const double alpha_t = a[argmin(a)];           // line 6 (min consensus)
+      if (i == 0) {
+        straggler = s;
+        consensus_alpha = alpha_t;
+        if (tr != nullptr) {
+          tr->instant(lane, round, "straggler_elected", "fd",
+                      {obs::arg_int("worker", s), obs::arg_num("cost", l_t),
+                       obs::arg_num("alpha_consensus", alpha_t)});
+        }
+      } else {
+        DOLBIE_REQUIRE(s == straggler,
+                       "straggler consensus diverged at worker " << i);
+      }
+      if (i == s) continue;  // the straggler acts below
+      const double xp =
+          core::max_acceptable_workload(*costs[i], worker_x_[i], l_t);
+      next_x[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
+      net_.send({i, s, net::message_kind::decision, {next_x[i]}});  // line 9
+      // line 10: alpha-bar_i unchanged.
     }
-    const core::worker_id s = argmax(l);           // line 7
-    const double l_t = l[s];
-    const double alpha_t = a[argmin(a)];           // line 6 (min consensus)
-    if (i == 0) {
-      straggler = s;
-      consensus_alpha = alpha_t;
-    } else {
-      DOLBIE_REQUIRE(s == straggler,
-                     "straggler consensus diverged at worker " << i);
-    }
-    if (i == s) continue;  // the straggler acts in phase 4
-    const double xp =
-        core::max_acceptable_workload(*costs[i], worker_x_[i], l_t);
-    next_x[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
-    net_.send({i, s, net::message_kind::decision, {next_x[i]}});  // line 9
-    // line 10: alpha-bar_i unchanged.
   }
-  (void)consensus_alpha;
 
-  // --- Phase 4: the straggler absorbs the remainder and tightens its
-  //     local step size (lines 11-13). ---
+  // --- Post-phase: the straggler absorbs the remainder and tightens its
+  //     local step size (lines 11-13); no further messages. ---
   double claimed = 0.0;
   for (net::node_id j = 0; j < n_; ++j) {
     if (j == straggler) continue;
@@ -101,12 +126,27 @@ void fully_distributed_policy::observe(const core::round_feedback& feedback) {
     claimed += m->payload[0];
   }
   next_x[straggler] = std::max(0.0, 1.0 - claimed);
+  const double alpha_before = alpha_bar_[straggler];
   alpha_bar_[straggler] = core::next_step_size(alpha_bar_[straggler], n_,
                                                next_x[straggler]);
+  if (tr != nullptr && alpha_bar_[straggler] != alpha_before) {
+    tr->instant(lane, round, "alpha_tightened", "fd",
+                {obs::arg_int("worker", straggler),
+                 obs::arg_num("alpha_bar", alpha_bar_[straggler])});
+  }
 
   worker_x_ = std::move(next_x);
   assembled_ = worker_x_;
   last_traffic_ = net_.total_traffic();
+  round_span.arg("straggler", static_cast<std::uint64_t>(straggler));
+  round_span.arg("alpha_consensus", consensus_alpha);
+  round_span.arg("messages",
+                 static_cast<std::uint64_t>(last_traffic_.messages_sent));
+  if (rounds_counter_ != nullptr) {
+    rounds_counter_->add(1);
+    alpha_gauge_->set(consensus_alpha);
+    straggler_gauge_->set(static_cast<double>(straggler));
+  }
 }
 
 }  // namespace dolbie::dist

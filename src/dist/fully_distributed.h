@@ -2,16 +2,16 @@
 // machines over the simulated network — no master, no single point of
 // failure, decisions shared only with the straggler.
 //
-// Per round:
+// Per round — two wire phases (round_timing.h), then local absorption:
 //   phase 1  every worker broadcasts cost_and_step(l_i, alpha-bar_i)
 //            to every other worker                         N(N-1) msgs
 //   phase 2  every worker independently computes l_t, the consensus step
 //            alpha_t = min_j alpha-bar_j and the straggler s_t (worker-list
-//            tie-breaking), all from the same broadcast data
-//   phase 3  non-stragglers update x_i locally and send decision(x_i) to
-//            the straggler only; alpha-bar_i is kept          N-1 msgs
-//   phase 4  the straggler absorbs the remainder and tightens its local
-//            step size by Eq. (8)
+//            tie-breaking) from the broadcast data; non-stragglers update
+//            x_i locally and send decision(x_i) to the straggler only,
+//            keeping alpha-bar_i                              N-1 msgs
+//   (local)  the straggler absorbs the remainder and tightens its local
+//            step size by Eq. (8) — no messages
 //
 // Total N^2 - 1 messages per round — the O(N^2) of Section IV-C. A
 // non-straggler never learns the other workers' decisions, matching the
@@ -42,7 +42,7 @@ class fully_distributed_policy final : public core::online_policy {
   const std::vector<double>& local_step_sizes() const { return alpha_bar_; }
 
   /// Traffic of the most recent round (for the comm-complexity bench).
-  const net::traffic_metrics& last_round_traffic() const {
+  const net::traffic_totals& last_round_traffic() const {
     return last_traffic_;
   }
 
@@ -56,7 +56,13 @@ class fully_distributed_policy final : public core::online_policy {
   std::vector<double> alpha_bar_;
 
   core::allocation assembled_;
-  net::traffic_metrics last_traffic_;
+  net::traffic_totals last_traffic_;
+
+  // Observability (null when options_.metrics is unset).
+  std::uint64_t round_ = 0;
+  obs::counter* rounds_counter_ = nullptr;
+  obs::gauge* alpha_gauge_ = nullptr;
+  obs::gauge* straggler_gauge_ = nullptr;
 };
 
 }  // namespace dolbie::dist

@@ -6,6 +6,7 @@
 #include "common/simplex.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "obs/trace.h"
 
 namespace dolbie::dist {
 
@@ -20,6 +21,12 @@ master_worker_policy::master_worker_policy(std::size_t n_workers,
                  "initial partition size mismatch");
   DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
                  "initial partition must lie on the simplex");
+  net_.attach_tracer(options_.tracer, options_.trace_lane);
+  if (options_.metrics != nullptr) {
+    rounds_counter_ = &options_.metrics->counter_named("mw.rounds");
+    alpha_gauge_ = &options_.metrics->gauge_named("mw.alpha");
+    straggler_gauge_ = &options_.metrics->gauge_named("mw.straggler");
+  }
   reset();
 }
 
@@ -30,72 +37,106 @@ void master_worker_policy::reset() {
                ? options_.initial_step
                : core::initial_step_size(options_.initial_partition);
   net_.reset_traffic();
-  last_traffic_.reset();
+  last_traffic_ = {};
+  round_ = 0;
 }
 
 void master_worker_policy::observe(const core::round_feedback& feedback) {
   DOLBIE_REQUIRE(feedback.costs != nullptr, "feedback carries no costs");
   DOLBIE_REQUIRE(feedback.local_costs.size() == n_, "feedback size mismatch");
+  const std::uint64_t round = round_++;
   if (n_ == 1) return;
   net_.reset_traffic();
+  net_.set_round(round);
   const cost::cost_view& costs = *feedback.costs;
+  obs::tracer* tr = options_.tracer;
+  const std::uint32_t lane = options_.trace_lane;
+  obs::span round_span(tr, lane, round, "round", "mw");
 
-  // --- Phase 1: each worker sends its local cost to the master (l.4). ---
-  for (net::node_id i = 0; i < n_; ++i) {
-    net_.send({i, master_id(), net::message_kind::local_cost,
-               {feedback.local_costs[i]}});
+  // --- Phase 1: each worker sends its local cost to the master (l.4);
+  //     the master drains the incast. ---
+  std::vector<double> master_l(n_, 0.0);
+  {
+    obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
+    for (net::node_id i = 0; i < n_; ++i) {
+      net_.send({i, master_id(), net::message_kind::local_cost,
+                 {feedback.local_costs[i]}});
+    }
+    for (net::node_id i = 0; i < n_; ++i) {
+      auto m = net_.receive(master_id(), i);
+      DOLBIE_REQUIRE(m.has_value(), "master missed cost from worker " << i);
+      master_l[i] = m->payload[0];
+    }
   }
 
   // --- Phase 2: the master aggregates, identifies the straggler and
   //     broadcasts round info (lines 9-12). ---
-  std::vector<double> master_l(n_, 0.0);
-  for (net::node_id i = 0; i < n_; ++i) {
-    auto m = net_.receive(master_id(), i);
-    DOLBIE_REQUIRE(m.has_value(), "master missed cost from worker " << i);
-    master_l[i] = m->payload[0];
-  }
   const core::worker_id s = argmax(master_l);
   const double l_t = master_l[s];
-  for (net::node_id i = 0; i < n_; ++i) {
-    net_.send({master_id(), i, net::message_kind::round_info,
-               {l_t, alpha_, i == s ? 0.0 : 1.0}});
+  if (tr != nullptr) {
+    tr->instant(lane, round, "straggler_elected", "mw",
+                {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});
+  }
+  {
+    obs::span sp(tr, lane, round, "phase2.round_info_downloads", "mw");
+    for (net::node_id i = 0; i < n_; ++i) {
+      net_.send({master_id(), i, net::message_kind::round_info,
+                 {l_t, alpha_, i == s ? 0.0 : 1.0}});
+    }
   }
 
   // --- Phase 3: non-stragglers update locally and upload decisions
   //     (lines 5-7). Each worker touches only its own cost function. ---
-  for (net::node_id i = 0; i < n_; ++i) {
-    auto m = net_.receive(i, master_id());
-    DOLBIE_REQUIRE(m.has_value(), "worker " << i << " missed round info");
-    const double global_cost = m->payload[0];
-    const double alpha = m->payload[1];
-    const bool non_straggler = m->payload[2] != 0.0;
-    if (!non_straggler) continue;  // straggler waits for its assignment
-    const double xp = core::max_acceptable_workload(*costs[i], worker_x_[i],
-                                                    global_cost);
-    worker_x_[i] = worker_x_[i] + alpha * (xp - worker_x_[i]);
-    net_.send({i, master_id(), net::message_kind::decision, {worker_x_[i]}});
+  {
+    obs::span sp(tr, lane, round, "phase3.decision_uploads", "mw");
+    for (net::node_id i = 0; i < n_; ++i) {
+      auto m = net_.receive(i, master_id());
+      DOLBIE_REQUIRE(m.has_value(), "worker " << i << " missed round info");
+      const double global_cost = m->payload[0];
+      const double alpha = m->payload[1];
+      const bool non_straggler = m->payload[2] != 0.0;
+      if (!non_straggler) continue;  // straggler waits for its assignment
+      const double xp = core::max_acceptable_workload(*costs[i], worker_x_[i],
+                                                      global_cost);
+      worker_x_[i] = worker_x_[i] + alpha * (xp - worker_x_[i]);
+      net_.send({i, master_id(), net::message_kind::decision, {worker_x_[i]}});
+    }
   }
 
   // --- Phase 4: the master computes the straggler's remainder, informs it,
-  //     and tightens the step size (lines 13-16). ---
-  double claimed = 0.0;
-  for (net::node_id i = 0; i < n_; ++i) {
-    if (i == s) continue;
-    auto m = net_.receive(master_id(), i);
-    DOLBIE_REQUIRE(m.has_value(), "master missed decision from worker " << i);
-    claimed += m->payload[0];
-  }
-  const double straggler_next = std::max(0.0, 1.0 - claimed);
-  net_.send({master_id(), s, net::message_kind::assignment, {straggler_next}});
-  alpha_ = core::next_step_size(alpha_, n_, straggler_next);
+  //     tightens the step size (lines 13-16), and the straggler adopts its
+  //     assignment (line 8). ---
+  {
+    obs::span sp(tr, lane, round, "phase4.assignment_download", "mw");
+    double claimed = 0.0;
+    for (net::node_id i = 0; i < n_; ++i) {
+      if (i == s) continue;
+      auto m = net_.receive(master_id(), i);
+      DOLBIE_REQUIRE(m.has_value(),
+                     "master missed decision from worker " << i);
+      claimed += m->payload[0];
+    }
+    const double straggler_next = std::max(0.0, 1.0 - claimed);
+    net_.send(
+        {master_id(), s, net::message_kind::assignment, {straggler_next}});
+    alpha_ = core::next_step_size(alpha_, n_, straggler_next);
 
-  // --- Phase 5: the straggler adopts its assignment (line 8). ---
-  auto m = net_.receive(s, master_id());
-  DOLBIE_REQUIRE(m.has_value(), "straggler missed its assignment");
-  worker_x_[s] = m->payload[0];
+    auto m = net_.receive(s, master_id());
+    DOLBIE_REQUIRE(m.has_value(), "straggler missed its assignment");
+    worker_x_[s] = m->payload[0];
+  }
 
   assembled_ = worker_x_;
   last_traffic_ = net_.total_traffic();
+  round_span.arg("straggler", static_cast<std::uint64_t>(s));
+  round_span.arg("alpha_next", alpha_);
+  round_span.arg("messages",
+                 static_cast<std::uint64_t>(last_traffic_.messages_sent));
+  if (rounds_counter_ != nullptr) {
+    rounds_counter_->add(1);
+    alpha_gauge_->set(alpha_);
+    straggler_gauge_->set(static_cast<double>(s));
+  }
 }
 
 }  // namespace dolbie::dist

@@ -39,7 +39,7 @@ class master_worker_policy final : public core::online_policy {
   double master_step_size() const { return alpha_; }
 
   /// Traffic of the most recent round (for the comm-complexity bench).
-  const net::traffic_metrics& last_round_traffic() const {
+  const net::traffic_totals& last_round_traffic() const {
     return last_traffic_;
   }
 
@@ -58,7 +58,13 @@ class master_worker_policy final : public core::online_policy {
 
   // Harness-side assembled view of the allocation.
   core::allocation assembled_;
-  net::traffic_metrics last_traffic_;
+  net::traffic_totals last_traffic_;
+
+  // Observability (null when options_.metrics is unset).
+  std::uint64_t round_ = 0;
+  obs::counter* rounds_counter_ = nullptr;
+  obs::gauge* alpha_gauge_ = nullptr;
+  obs::gauge* straggler_gauge_ = nullptr;
 };
 
 }  // namespace dolbie::dist

@@ -9,7 +9,14 @@
 //   cost_and_step : { l_{i,t}, alpha-bar_{i,t} }
 #pragma once
 
+#include <cstdint>
+
 #include "core/types.h"
+
+namespace dolbie::obs {
+class metrics_registry;
+class tracer;
+}  // namespace dolbie::obs
 
 namespace dolbie::dist {
 
@@ -21,6 +28,14 @@ struct protocol_options {
   /// Initial step size alpha_1; negative selects the paper's safe
   /// initialization m/(N-2+m).
   double initial_step = -1.0;
+
+  /// Observability (all optional; null leaves the realization on the
+  /// zero-cost disabled path). When tracing, a realization records its
+  /// per-phase spans and events on `trace_lane` — one lane per policy
+  /// instance; a lane must only ever be driven by one thread at a time.
+  obs::tracer* tracer = nullptr;
+  obs::metrics_registry* metrics = nullptr;
+  std::uint32_t trace_lane = 0;
 };
 
 }  // namespace dolbie::dist

@@ -28,9 +28,16 @@ equivalence_report run_equivalence(std::size_t n_workers, std::size_t rounds,
   core::dolbie_options seq_options;
   seq_options.initial_partition = options.initial_partition;
   seq_options.initial_step = options.initial_step;
+  seq_options.tracer = options.tracer;
+  seq_options.metrics = options.metrics;
+  seq_options.trace_lane = options.trace_lane;
   core::dolbie_policy sequential(n_workers, seq_options);
-  master_worker_policy master_worker(n_workers, options);
-  fully_distributed_policy fully_distributed(n_workers, options);
+  protocol_options mw_options = options;
+  mw_options.trace_lane = options.trace_lane + 1;
+  master_worker_policy master_worker(n_workers, mw_options);
+  protocol_options fd_options = options;
+  fd_options.trace_lane = options.trace_lane + 2;
+  fully_distributed_policy fully_distributed(n_workers, fd_options);
 
   equivalence_report report;
   report.rounds = rounds;

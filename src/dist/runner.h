@@ -9,7 +9,7 @@
 
 #include "cost/cost_function.h"
 #include "dist/protocol.h"
-#include "net/metrics.h"
+#include "net/network.h"
 
 namespace dolbie::dist {
 
@@ -21,12 +21,16 @@ struct equivalence_report {
   double max_divergence_master_worker = 0.0;
   double max_divergence_fully_distributed = 0.0;
   /// Traffic of the final round of each protocol.
-  net::traffic_metrics master_worker_traffic;
-  net::traffic_metrics fully_distributed_traffic;
+  net::traffic_totals master_worker_traffic;
+  net::traffic_totals fully_distributed_traffic;
   std::size_t rounds = 0;
 };
 
 /// Run all three realizations for `rounds` rounds on the same cost stream.
+///
+/// When `options.tracer` is set, the three realizations trace on three
+/// consecutive lanes: sequential on `options.trace_lane`, master-worker on
+/// `trace_lane + 1`, fully-distributed on `trace_lane + 2`.
 equivalence_report run_equivalence(std::size_t n_workers, std::size_t rounds,
                                    const round_generator& generate,
                                    protocol_options options = {});

@@ -1,0 +1,82 @@
+#include "exp/observe.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "obs/export.h"
+
+namespace dolbie::exp {
+namespace {
+
+obs::tracer_options tracer_options_from(const cli_args& args) {
+  obs::tracer_options options;
+  const std::string clock = args.get_string("trace-clock", "logical");
+  if (clock == "wall") {
+    options.clock = obs::clock_kind::wall;
+  } else {
+    DOLBIE_REQUIRE(clock == "logical",
+                   "--trace-clock must be 'logical' or 'wall', got '"
+                       << clock << "'");
+  }
+  options.max_records_per_lane =
+      static_cast<std::size_t>(args.get_u64("trace-cap", 0));
+  return options;
+}
+
+}  // namespace
+
+table metrics_table(const obs::metrics_registry& registry) {
+  table t({"metric", "type", "value"});
+  for (const obs::metric_row& row : registry.snapshot()) {
+    t.add_row({row.name, row.type, row.value});
+  }
+  return t;
+}
+
+observability::observability(const cli_args& args)
+    : trace_path_(args.get_string("trace", "")),
+      jsonl_path_(args.get_string("trace-jsonl", "")),
+      metrics_csv_path_(args.get_string("metrics-csv", "")),
+      tracer_(tracer_options_from(args)) {
+  tracing_ = !trace_path_.empty() || !jsonl_path_.empty();
+  want_metrics_ = args.has("metrics") || !metrics_csv_path_.empty();
+}
+
+void observability::finish(std::ostream& os) {
+  if (finished_) return;
+  finished_ = true;
+  if (tracing_) {
+    const std::vector<obs::trace_record> records = tracer_.merged();
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      DOLBIE_REQUIRE(out.good(), "cannot open trace file " << trace_path_);
+      obs::export_chrome_trace(out, records);
+      os << "wrote " << records.size() << " trace records to " << trace_path_
+         << " (chrome://tracing)\n";
+    }
+    if (!jsonl_path_.empty()) {
+      std::ofstream out(jsonl_path_);
+      DOLBIE_REQUIRE(out.good(), "cannot open trace file " << jsonl_path_);
+      obs::export_jsonl(out, records);
+      os << "wrote " << records.size() << " trace records to " << jsonl_path_
+         << "\n";
+    }
+    if (tracer_.dropped() > 0) {
+      os << "trace cap dropped " << tracer_.dropped() << " records\n";
+    }
+  }
+  if (!want_metrics_) return;
+  if (!metrics_csv_path_.empty()) {
+    std::ofstream out(metrics_csv_path_);
+    DOLBIE_REQUIRE(out.good(),
+                   "cannot open metrics file " << metrics_csv_path_);
+    metrics_table(registry_).write_csv(out);
+    os << "wrote metrics to " << metrics_csv_path_ << "\n";
+  } else {
+    os << "\n== metrics ==\n";
+    metrics_table(registry_).print(os);
+  }
+}
+
+}  // namespace dolbie::exp

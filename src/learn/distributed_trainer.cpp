@@ -6,6 +6,8 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "learn/parameter_server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dolbie::learn {
 
@@ -75,6 +77,24 @@ real_training_result train_distributed(core::online_policy& policy,
   sgd optimizer(options.optimizer);
   parameter_server server(model.parameter_count());
 
+  obs::tracer* tr = options.tracer;
+  const std::uint32_t lane = options.trace_lane;
+  obs::counter* rounds_counter = nullptr;
+  obs::counter* samples_counter = nullptr;
+  obs::gauge* loss_gauge = nullptr;
+  obs::gauge* latency_gauge = nullptr;
+  obs::gauge* accuracy_gauge = nullptr;
+  obs::histogram* latency_hist = nullptr;
+  if (options.metrics != nullptr) {
+    rounds_counter = &options.metrics->counter_named("learn.rounds");
+    samples_counter = &options.metrics->counter_named("learn.samples");
+    loss_gauge = &options.metrics->gauge_named("learn.train_loss");
+    latency_gauge = &options.metrics->gauge_named("learn.round_latency");
+    accuracy_gauge = &options.metrics->gauge_named("learn.test_accuracy");
+    latency_hist = &options.metrics->histogram_named(
+        "learn.round_latency_seconds", obs::latency_buckets());
+  }
+
   real_training_result result;
   result.round_latency.set_name("round_latency");
   result.train_loss.set_name("train_loss");
@@ -86,6 +106,7 @@ real_training_result train_distributed(core::online_policy& policy,
   std::vector<double> shard_gradient;
 
   for (std::size_t t = 0; t < options.rounds; ++t) {
+    obs::span round_span(tr, lane, t, "train_round", "learn");
     cluster.advance_round();
     const cost::cost_vector costs =
         [&] {
@@ -115,21 +136,27 @@ real_training_result train_distributed(core::online_policy& policy,
     server.begin_round();
     double batch_loss = 0.0;
     std::size_t offset = 0;
-    for (std::size_t i = 0; i < options.n_workers; ++i) {
-      if (counts[i] == 0) continue;
-      const std::span<const std::size_t> shard(&batch[offset], counts[i]);
-      offset += counts[i];
-      const double loss =
-          model.loss_and_gradient(train, shard, shard_gradient);
-      batch_loss += loss * static_cast<double>(counts[i]);
-      server.submit(shard_gradient, counts[i]);
+    {
+      obs::span sp(tr, lane, t, "shard_gradients", "learn");
+      for (std::size_t i = 0; i < options.n_workers; ++i) {
+        if (counts[i] == 0) continue;
+        const std::span<const std::size_t> shard(&batch[offset], counts[i]);
+        offset += counts[i];
+        const double loss =
+            model.loss_and_gradient(train, shard, shard_gradient);
+        batch_loss += loss * static_cast<double>(counts[i]);
+        server.submit(shard_gradient, counts[i]);
+      }
     }
     batch_loss /= static_cast<double>(options.global_batch);
 
     // Aggregate (= full-batch mean) and step the model.
-    params.assign(model.parameters().begin(), model.parameters().end());
-    optimizer.apply(params, server.aggregate());
-    model.set_parameters(params);
+    {
+      obs::span sp(tr, lane, t, "aggregate_and_step", "learn");
+      params.assign(model.parameters().begin(), model.parameters().end());
+      optimizer.apply(params, server.aggregate());
+      model.set_parameters(params);
+    }
 
     // Latency: the straggler barrier under the heterogeneous cluster.
     const auto locals = cost::evaluate(view, b);
@@ -140,8 +167,13 @@ real_training_result train_distributed(core::online_policy& policy,
     result.train_loss.push(batch_loss);
     if ((t + 1) % options.eval_every == 0 || t + 1 == options.rounds) {
       if (result.eval_rounds.empty() || result.eval_rounds.back() != t + 1) {
+        obs::span sp(tr, lane, t, "evaluate", "learn");
         result.eval_rounds.push_back(t + 1);
         result.test_accuracy.push(model.accuracy(test));
+        sp.arg("test_accuracy", result.test_accuracy.back());
+        if (accuracy_gauge != nullptr) {
+          accuracy_gauge->set(result.test_accuracy.back());
+        }
       }
     }
 
@@ -149,6 +181,16 @@ real_training_result train_distributed(core::online_policy& policy,
     feedback.costs = &view;
     feedback.local_costs = locals;
     policy.observe(feedback);
+
+    round_span.arg("loss", batch_loss);
+    round_span.arg("latency_seconds", round_latency);
+    if (rounds_counter != nullptr) {
+      rounds_counter->add(1);
+      samples_counter->add(options.global_batch);
+      loss_gauge->set(batch_loss);
+      latency_gauge->set(round_latency);
+      latency_hist->observe(round_latency);
+    }
   }
   result.final_train_accuracy = model.accuracy(train);
   result.final_test_accuracy = model.accuracy(test);

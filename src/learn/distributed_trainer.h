@@ -24,6 +24,11 @@
 #include "learn/sgd.h"
 #include "ml/cluster.h"
 
+namespace dolbie::obs {
+class metrics_registry;
+class tracer;
+}  // namespace dolbie::obs
+
 namespace dolbie::learn {
 
 struct real_training_options {
@@ -38,6 +43,15 @@ struct real_training_options {
   sgd_options optimizer;
   std::uint64_t seed = 1;
   std::size_t eval_every = 20;  ///< test-accuracy cadence (rounds)
+
+  /// Observability (all optional; null keeps the trainer on the zero-cost
+  /// disabled path). Per round the tracer records a "train_round" span on
+  /// `trace_lane` with nested "shard_gradients" / "aggregate_and_step"
+  /// spans and an "evaluate" span on evaluation rounds; the registry
+  /// carries learn.* counters and gauges (loss, latency, accuracy).
+  obs::tracer* tracer = nullptr;
+  obs::metrics_registry* metrics = nullptr;
+  std::uint32_t trace_lane = 0;
 };
 
 struct real_training_result {

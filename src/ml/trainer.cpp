@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "common/simplex.h"
 #include "ml/accuracy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dolbie::ml {
 
@@ -38,6 +40,19 @@ trainer_result train(core::online_policy& policy,
                   options.cluster);
   const double model_bytes = profile(options.model).model_bytes;
 
+  obs::tracer* tr = options.tracer;
+  obs::counter* rounds_counter = nullptr;
+  obs::gauge* latency_gauge = nullptr;
+  obs::gauge* accuracy_gauge = nullptr;
+  obs::histogram* latency_hist = nullptr;
+  if (options.metrics != nullptr) {
+    rounds_counter = &options.metrics->counter_named("ml.rounds");
+    latency_gauge = &options.metrics->gauge_named("ml.round_latency");
+    accuracy_gauge = &options.metrics->gauge_named("ml.accuracy");
+    latency_hist = &options.metrics->histogram_named(
+        "ml.round_latency_seconds", obs::latency_buckets());
+  }
+
   trainer_result result;
   result.round_latency.set_name("round_latency");
   result.accuracy.set_name("accuracy");
@@ -55,6 +70,7 @@ trainer_result train(core::online_policy& policy,
   }
 
   for (std::size_t t = 0; t < options.rounds; ++t) {
+    obs::span round_span(tr, options.trace_lane, t, "train_round", "ml");
     workers.advance_round();
     const cost::cost_vector costs = workers.round_costs(options.global_batch);
     const cost::cost_view view = cost::view_of(costs);
@@ -106,6 +122,15 @@ trainer_result train(core::online_policy& policy,
     policy.observe(feedback);
     result.decision_seconds +=
         std::chrono::duration<double>(clock::now() - begin).count();
+
+    round_span.arg("latency_seconds", round_latency);
+    round_span.arg("accuracy", accuracy_after(options.model, t + 1));
+    if (rounds_counter != nullptr) {
+      rounds_counter->add(1);
+      latency_gauge->set(round_latency);
+      accuracy_gauge->set(accuracy_after(options.model, t + 1));
+      latency_hist->observe(round_latency);
+    }
   }
   return result;
 }

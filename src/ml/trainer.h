@@ -20,6 +20,11 @@
 #include "core/policy.h"
 #include "ml/cluster.h"
 
+namespace dolbie::obs {
+class metrics_registry;
+class tracer;
+}  // namespace dolbie::obs
+
 namespace dolbie::ml {
 
 struct trainer_options {
@@ -32,6 +37,15 @@ struct trainer_options {
   /// Record per-worker traces (Figs. 9-10). Off for the 100-realization
   /// sweeps where only aggregates are needed.
   bool record_per_worker = true;
+
+  /// Observability (all optional; null keeps the trainer on the zero-cost
+  /// disabled path). The trainer records one "train_round" span per round
+  /// on `trace_lane` with the round latency and straggler total, and
+  /// ml.* counters/gauges in the registry. The policy's own tracing is
+  /// configured separately through its options (use a different lane).
+  obs::tracer* tracer = nullptr;
+  obs::metrics_registry* metrics = nullptr;
+  std::uint32_t trace_lane = 0;
 };
 
 struct trainer_result {

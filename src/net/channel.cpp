@@ -2,16 +2,7 @@
 
 namespace dolbie::net {
 
-void channel::push(message m) {
-  metrics_.messages_sent += 1;
-  metrics_.bytes_sent += m.wire_size_bytes();
-  queue_.push_back(std::move(m));
-}
-
-void channel::account_dropped(const message& m) {
-  metrics_.messages_sent += 1;
-  metrics_.bytes_sent += m.wire_size_bytes();
-}
+void channel::push(message m) { queue_.push_back(std::move(m)); }
 
 std::optional<message> channel::pop() {
   if (queue_.empty()) return std::nullopt;

@@ -1,26 +1,21 @@
-// A point-to-point FIFO channel with traffic accounting. Channels are the
-// only way nodes exchange state in src/dist/, which keeps the protocol
-// implementations honest about what information each node actually has.
+// A point-to-point FIFO channel. Channels are the only way nodes exchange
+// state in src/dist/, which keeps the protocol implementations honest about
+// what information each node actually has. Traffic accounting lives in the
+// owning network's obs::metrics_registry (per-peer counters), not here.
 #pragma once
 
 #include <deque>
 #include <optional>
 
 #include "net/message.h"
-#include "net/metrics.h"
 
 namespace dolbie::net {
 
 /// FIFO message queue between one (sender, receiver) pair.
 class channel {
  public:
-  /// Enqueue a message; counts towards the owning network's metrics.
+  /// Enqueue a message.
   void push(message m);
-
-  /// Account a message in the traffic metrics without delivering it (the
-  /// network's fault-injection path: the sender paid, the receiver never
-  /// sees it).
-  void account_dropped(const message& m);
 
   /// Pop the oldest message, or nullopt when empty.
   std::optional<message> pop();
@@ -28,12 +23,8 @@ class channel {
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
-  const traffic_metrics& metrics() const { return metrics_; }
-  void reset_metrics() { metrics_.reset(); }
-
  private:
   std::deque<message> queue_;
-  traffic_metrics metrics_;
 };
 
 }  // namespace dolbie::net

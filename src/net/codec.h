@@ -2,9 +2,9 @@
 //
 // The simulated network moves `message` structs directly; this codec pins
 // down what those messages would look like on a real wire, so the byte
-// accounting in metrics.h is backed by an actual serialization and a
-// deployment could swap the in-memory transport for sockets without
-// touching the protocol state machines.
+// accounting in the network's metrics registry is backed by an actual
+// serialization and a deployment could swap the in-memory transport for
+// sockets without touching the protocol state machines.
 //
 // Layout (little-endian):
 //   u8   kind

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace dolbie::net {
 
@@ -9,6 +10,15 @@ network::network(std::size_t n_nodes)
       links_(n_nodes * n_nodes),
       pending_drops_(n_nodes * n_nodes, 0) {
   DOLBIE_REQUIRE(n_nodes >= 1, "network needs at least one node");
+  total_messages_ = &metrics_.counter_named("net.messages_sent");
+  total_bytes_ = &metrics_.counter_named("net.bytes_sent");
+  peer_messages_.reserve(n_);
+  peer_bytes_.reserve(n_);
+  for (node_id i = 0; i < n_; ++i) {
+    const std::string peer = "net.peer" + std::to_string(i);
+    peer_messages_.push_back(&metrics_.counter_named(peer + ".messages_sent"));
+    peer_bytes_.push_back(&metrics_.counter_named(peer + ".bytes_sent"));
+  }
 }
 
 channel& network::link(node_id from, node_id to) {
@@ -19,21 +29,38 @@ const channel& network::link(node_id from, node_id to) const {
   return links_[from * n_ + to];
 }
 
+void network::account_sent(const message& m) {
+  total_messages_->add(1);
+  total_bytes_->add(m.wire_size_bytes());
+  peer_messages_[m.from]->add(1);
+  peer_bytes_[m.from]->add(m.wire_size_bytes());
+}
+
 void network::send(message m) {
   DOLBIE_REQUIRE(m.from < n_ && m.to < n_,
                  "message endpoints (" << m.from << " -> " << m.to
                                        << ") out of range for " << n_
                                        << " nodes");
   DOLBIE_REQUIRE(m.from != m.to, "node " << m.from << " sent to itself");
+  account_sent(m);
   std::size_t& drops = pending_drops_[m.from * n_ + m.to];
   if (drops > 0) {
     // The sender still paid for the message; it just never arrives.
     --drops;
     ++dropped_;
-    link(m.from, m.to).account_dropped(m);
+    if (tracer_ != nullptr) {
+      tracer_->instant(trace_lane_, trace_round_, "message_dropped", "net",
+                       {obs::arg_int("from", m.from), obs::arg_int("to", m.to),
+                        obs::arg_int("bytes", m.wire_size_bytes())});
+    }
     return;
   }
   link(m.from, m.to).push(std::move(m));
+}
+
+void network::attach_tracer(obs::tracer* tracer, std::uint32_t lane) {
+  tracer_ = tracer;
+  trace_lane_ = lane;
 }
 
 void network::inject_drop(node_id from, node_id to, std::size_t count) {
@@ -62,17 +89,11 @@ std::size_t network::pending_for(node_id to) const {
   return total;
 }
 
-traffic_metrics network::total_traffic() const {
-  traffic_metrics total;
-  for (const channel& c : links_) {
-    total.messages_sent += c.metrics().messages_sent;
-    total.bytes_sent += c.metrics().bytes_sent;
-  }
-  return total;
+traffic_totals network::total_traffic() const {
+  return {static_cast<std::size_t>(total_messages_->value()),
+          static_cast<std::size_t>(total_bytes_->value())};
 }
 
-void network::reset_traffic() {
-  for (channel& c : links_) c.reset_metrics();
-}
+void network::reset_traffic() { metrics_.reset(); }
 
 }  // namespace dolbie::net

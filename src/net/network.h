@@ -1,14 +1,33 @@
 // The simulated network: a dense matrix of point-to-point channels with
-// aggregate traffic metrics. Deterministic and single-threaded by design —
-// protocol progress is driven explicitly in phases by src/dist/runner, which
-// makes every interleaving reproducible (and the tests meaningful).
+// registry-backed traffic accounting. Deterministic and single-threaded by
+// design — protocol progress is driven explicitly in phases by
+// src/dist/runner, which makes every interleaving reproducible (and the
+// tests meaningful).
+//
+// Observability: every send bumps total and per-sender ("per-peer")
+// message/byte counters in an obs::metrics_registry owned by the network
+// (names: net.messages_sent, net.bytes_sent, net.peer<i>.messages_sent,
+// net.peer<i>.bytes_sent). An optionally attached obs::tracer receives a
+// "message_dropped" instant event whenever fault injection swallows a
+// message.
 #pragma once
 
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
+
+namespace dolbie::obs {
+class tracer;
+}  // namespace dolbie::obs
 
 namespace dolbie::net {
+
+/// Aggregate traffic totals, read from the network's metrics registry.
+struct traffic_totals {
+  std::size_t messages_sent = 0;
+  std::size_t bytes_sent = 0;
+};
 
 class network {
  public:
@@ -30,8 +49,19 @@ class network {
   std::size_t pending_for(node_id to) const;
 
   /// Aggregate traffic since construction or the last reset.
-  traffic_metrics total_traffic() const;
+  traffic_totals total_traffic() const;
   void reset_traffic();
+
+  /// The backing registry (total + per-peer counters), for snapshots.
+  const obs::metrics_registry& metrics() const { return metrics_; }
+
+  /// Attach a tracer: drop events are recorded on `lane`, stamped with the
+  /// round set by set_round(). Pass nullptr to detach.
+  void attach_tracer(obs::tracer* tracer, std::uint32_t lane);
+
+  /// Round stamp applied to subsequent trace events (protocol realizations
+  /// call this at the start of each round).
+  void set_round(std::uint64_t round) { trace_round_ = round; }
 
   /// Fault injection: silently drop the next `count` messages sent on the
   /// (from, to) link. Dropped messages still count as sent in the traffic
@@ -46,11 +76,21 @@ class network {
  private:
   channel& link(node_id from, node_id to);
   const channel& link(node_id from, node_id to) const;
+  void account_sent(const message& m);
 
   std::size_t n_;
   std::vector<channel> links_;  // dense n*n matrix, row = from, col = to
   std::vector<std::size_t> pending_drops_;  // same indexing as links_
   std::size_t dropped_ = 0;
+
+  obs::metrics_registry metrics_;
+  obs::counter* total_messages_ = nullptr;
+  obs::counter* total_bytes_ = nullptr;
+  std::vector<obs::counter*> peer_messages_;  // indexed by sender id
+  std::vector<obs::counter*> peer_bytes_;
+  obs::tracer* tracer_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
+  std::uint64_t trace_round_ = 0;
 };
 
 }  // namespace dolbie::net

@@ -1,0 +1,95 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace dolbie::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", std::isfinite(v) ? v : 0.0);
+  return buf;
+}
+
+namespace {
+
+void write_args(std::ostream& os, const trace_record& r) {
+  os << "\"args\":{\"round\":" << r.round;
+  for (const trace_arg& a : r.args) {
+    os << ",\"" << json_escape(a.key) << "\":";
+    if (a.numeric) {
+      os << a.value;
+    } else {
+      os << '"' << json_escape(a.value) << '"';
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void export_chrome_trace(std::ostream& os,
+                         const std::vector<trace_record>& records) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const trace_record& r : records) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << json_escape(r.name) << "\",\"cat\":\""
+       << json_escape(r.category) << "\",\"ph\":\""
+       << (r.kind == record_kind::span ? 'X' : 'i') << "\",\"pid\":0,\"tid\":"
+       << r.lane << ",\"ts\":" << json_number(r.ts);
+    if (r.kind == record_kind::span) {
+      os << ",\"dur\":" << json_number(r.dur);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ',';
+    write_args(os, r);
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void export_jsonl(std::ostream& os, const std::vector<trace_record>& records) {
+  for (const trace_record& r : records) {
+    os << "{\"round\":" << r.round << ",\"lane\":" << r.lane
+       << ",\"seq\":" << r.seq << ",\"ts\":" << json_number(r.ts)
+       << ",\"dur\":" << json_number(r.dur) << ",\"kind\":\""
+       << (r.kind == record_kind::span ? "span" : "instant")
+       << "\",\"cat\":\"" << json_escape(r.category) << "\",\"name\":\""
+       << json_escape(r.name) << "\",";
+    write_args(os, r);
+    os << "}\n";
+  }
+}
+
+}  // namespace dolbie::obs

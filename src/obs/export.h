@@ -1,0 +1,32 @@
+// Trace exporters: Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file) and JSONL (one record per
+// line, for ad-hoc tooling). Both render a merged record list with
+// deterministic formatting, so exporting a logical-clock trace yields
+// byte-identical files for byte-identical traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dolbie::obs {
+
+/// Chrome trace-event format: spans become "X" (complete) events, instants
+/// "i"; the lane is the tid, the round is replicated into args.
+void export_chrome_trace(std::ostream& os,
+                         const std::vector<trace_record>& records);
+
+/// One JSON object per line with every trace_record field.
+void export_jsonl(std::ostream& os, const std::vector<trace_record>& records);
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Deterministic JSON number rendering: integral values print without a
+/// fraction ("17"), others with %.17g round-trip precision.
+std::string json_number(double v);
+
+}  // namespace dolbie::obs

@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dolbie::obs {
+namespace {
+
+std::string format_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+trace_arg arg_num(std::string_view key, double v) {
+  return {std::string(key), format_exact(v), /*numeric=*/true};
+}
+
+trace_arg arg_int(std::string_view key, std::uint64_t v) {
+  return {std::string(key), std::to_string(v), /*numeric=*/true};
+}
+
+trace_arg arg_str(std::string_view key, std::string_view v) {
+  return {std::string(key), std::string(v), /*numeric=*/false};
+}
+
+tracer::tracer(tracer_options options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+tracer::lane_state& tracer::lane(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (lanes_.size() <= id) lanes_.emplace_back();
+  return lanes_[id];
+}
+
+double tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void tracer::commit(lane_state& lane, trace_record record) {
+  if (options_.max_records_per_lane > 0 &&
+      lane.records.size() >= options_.max_records_per_lane) {
+    ++lane.dropped;
+    return;
+  }
+  lane.records.push_back(std::move(record));
+}
+
+void tracer::instant(std::uint32_t lane_id, std::uint64_t round,
+                     std::string_view name, std::string_view category,
+                     std::vector<trace_arg> args) {
+  lane_state& l = lane(lane_id);
+  const std::uint64_t tick = l.ticks++;
+  trace_record r;
+  r.round = round;
+  r.lane = lane_id;
+  r.seq = tick;
+  r.ts = options_.clock == clock_kind::logical ? static_cast<double>(tick)
+                                               : now_us();
+  r.kind = record_kind::instant;
+  r.name = std::string(name);
+  r.category = std::string(category);
+  r.args = std::move(args);
+  commit(l, std::move(r));
+}
+
+std::vector<trace_record> tracer::merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<trace_record> all;
+  std::size_t total = 0;
+  for (const lane_state& l : lanes_) total += l.records.size();
+  all.reserve(total);
+  for (const lane_state& l : lanes_) {
+    all.insert(all.end(), l.records.begin(), l.records.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const trace_record& a, const trace_record& b) {
+              if (a.round != b.round) return a.round < b.round;
+              if (a.lane != b.lane) return a.lane < b.lane;
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+std::size_t tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const lane_state& l : lanes_) total += l.dropped;
+  return total;
+}
+
+std::size_t tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const lane_state& l : lanes_) total += l.records.size();
+  return total;
+}
+
+void tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (lane_state& l : lanes_) {
+    l.ticks = 0;
+    l.dropped = 0;
+    l.records.clear();
+  }
+}
+
+span::span(tracer* t, std::uint32_t lane, std::uint64_t round,
+           std::string_view name, std::string_view category)
+    : tracer_(t) {
+  if (tracer_ == nullptr) return;
+  lane_ = &tracer_->lane(lane);
+  const std::uint64_t tick = lane_->ticks++;
+  record_.round = round;
+  record_.lane = lane;
+  record_.seq = tick;
+  record_.ts = tracer_->options_.clock == clock_kind::logical
+                   ? static_cast<double>(tick)
+                   : tracer_->now_us();
+  record_.kind = record_kind::span;
+  record_.name = std::string(name);
+  record_.category = std::string(category);
+}
+
+span::~span() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end_tick = lane_->ticks++;
+  record_.dur = tracer_->options_.clock == clock_kind::logical
+                    ? static_cast<double>(end_tick) - record_.ts
+                    : tracer_->now_us() - record_.ts;
+  tracer_->commit(*lane_, std::move(record_));
+}
+
+void span::arg(std::string_view key, double v) {
+  if (tracer_ == nullptr) return;
+  record_.args.push_back(arg_num(key, v));
+}
+
+void span::arg(std::string_view key, std::uint64_t v) {
+  if (tracer_ == nullptr) return;
+  record_.args.push_back(arg_int(key, v));
+}
+
+void span::arg(std::string_view key, std::string_view v) {
+  if (tracer_ == nullptr) return;
+  record_.args.push_back(arg_str(key, v));
+}
+
+}  // namespace dolbie::obs

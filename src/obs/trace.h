@@ -1,0 +1,148 @@
+// Structured round tracing: `span` (scoped RAII timer with category and
+// args) and instant events ("straggler elected", "alpha re-capped",
+// "message dropped"), recorded into per-lane buffers and merged
+// deterministically by (round, lane, seq).
+//
+// Determinism contract (extends PR 1's): a *lane* is the unit of ordering —
+// one logical track (a protocol instance, a parallel-sweep slot, a chrome
+// tid) driven by at most one thread at a time. Each lane carries its own
+// monotone tick counter; with the default `logical` clock every timestamp
+// is a tick, so the merged, exported trace is a pure function of the
+// computation — byte-identical at any DOLBIE_THREADS
+// (tests/determinism_test.cpp asserts this at 1, 2 and 8). The `wall`
+// clock swaps ticks for steady_clock microseconds when a human timeline is
+// wanted (chrome://tracing); merge order stays deterministic because it
+// never consults timestamps.
+//
+// Disabled path: every entry point takes `tracer*` and is a no-op on
+// nullptr — a single inlinable branch, no clock read, no allocation
+// (bench/micro_overhead: BM_SpanDisabled). Instrumented layers default
+// their tracer pointer to null, so untraced runs pay (nearly) nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dolbie::obs {
+
+/// Timestamp source: `logical` = per-lane tick counter (deterministic,
+/// the default), `wall` = steady_clock microseconds since tracer creation.
+enum class clock_kind : std::uint8_t { logical, wall };
+
+enum class record_kind : std::uint8_t { span, instant };
+
+/// One key/value pair attached to a span or event. `numeric` values are
+/// exported unquoted (chrome args render them as numbers).
+struct trace_arg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+trace_arg arg_num(std::string_view key, double v);
+trace_arg arg_int(std::string_view key, std::uint64_t v);
+trace_arg arg_str(std::string_view key, std::string_view v);
+
+/// One merged trace entry. `seq` is the lane-local tick at which the
+/// record began; (lane, seq) is unique and (round, lane, seq) is the merge
+/// order.
+struct trace_record {
+  std::uint64_t round = 0;
+  std::uint32_t lane = 0;
+  std::uint64_t seq = 0;
+  double ts = 0.0;   ///< ticks (logical) or microseconds (wall)
+  double dur = 0.0;  ///< spans only
+  record_kind kind = record_kind::instant;
+  std::string name;
+  std::string category;
+  std::vector<trace_arg> args;
+};
+
+struct tracer_options {
+  clock_kind clock = clock_kind::logical;
+  /// Per-lane record cap; 0 = unbounded. Records beyond the cap are
+  /// counted in dropped() and discarded (ticks still advance, so capped
+  /// traces stay deterministic).
+  std::size_t max_records_per_lane = 0;
+};
+
+class span;
+
+/// Collector of trace records. Lane creation locks a mutex (cold path);
+/// recording appends to the lane's buffer without synchronization, which is
+/// safe because a lane has a single owning thread at a time. merged() /
+/// clear() require all producing threads to have joined.
+class tracer {
+ public:
+  explicit tracer(tracer_options options = {});
+  tracer(const tracer&) = delete;
+  tracer& operator=(const tracer&) = delete;
+
+  const tracer_options& options() const { return options_; }
+
+  /// Record an instant event on `lane` at the current lane tick.
+  void instant(std::uint32_t lane, std::uint64_t round, std::string_view name,
+               std::string_view category, std::vector<trace_arg> args = {});
+
+  /// All records, sorted by (round, lane, seq). Call after producers join.
+  std::vector<trace_record> merged() const;
+
+  /// Records discarded by the per-lane cap.
+  std::size_t dropped() const;
+
+  /// Total records currently buffered.
+  std::size_t size() const;
+
+  /// Drop all records and reset every lane clock to tick 0.
+  void clear();
+
+ private:
+  friend class span;
+
+  struct lane_state {
+    std::uint64_t ticks = 0;
+    std::uint64_t dropped = 0;
+    std::vector<trace_record> records;
+  };
+
+  lane_state& lane(std::uint32_t id);
+  double now_us() const;
+  void commit(lane_state& lane, trace_record record);
+
+  tracer_options options_;
+  mutable std::mutex mu_;
+  std::deque<lane_state> lanes_;  // indexed by lane id; grown under mu_
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Scoped span: stamps its begin tick/time at construction and records one
+/// `record_kind::span` entry at destruction. A default-constructed or
+/// null-tracer span is inert. Attach args any time before destruction.
+class span {
+ public:
+  span() = default;
+  span(tracer* t, std::uint32_t lane, std::uint64_t round,
+       std::string_view name, std::string_view category);
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+  ~span();
+
+  /// True when the span is actually recording.
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+  void arg(std::string_view key, double v);
+  void arg(std::string_view key, std::uint64_t v);
+  void arg(std::string_view key, std::string_view v);
+
+ private:
+  tracer* tracer_ = nullptr;
+  tracer::lane_state* lane_ = nullptr;
+  trace_record record_;
+};
+
+}  // namespace dolbie::obs

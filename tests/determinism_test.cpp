@@ -2,15 +2,23 @@
 // function of its seed. These tests run each pipeline twice and demand
 // bit-identical traces — the property that makes every figure in
 // EXPERIMENTS.md reproducible with --seed.
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/dolbie.h"
+#include "dist/runner.h"
 #include "edge/scenario.h"
 #include "exp/harness.h"
+#include "exp/parallel_sweep.h"
 #include "exp/scenario.h"
 #include "exp/sweep.h"
 #include "learn/distributed_trainer.h"
 #include "ml/trainer.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace dolbie {
 namespace {
@@ -95,6 +103,44 @@ TEST(Determinism, RealDistributedTraining) {
     ASSERT_EQ(a.round_latency[t], b.round_latency[t]) << "round " << t;
   }
   ASSERT_EQ(a.final_test_accuracy, b.final_test_accuracy);
+}
+
+// The PR's trace contract: the merged, exported trace of a traced run is a
+// pure function of the computation — byte-identical at any DOLBIE_THREADS.
+// Two traced 2-worker equivalence runs fan out over the parallel harness
+// (each run owns its own lane block, so the pool only changes *when* a lane
+// is written, never its content) and the whole exported file must not move
+// by a byte between thread counts.
+TEST(Determinism, MergedTraceBitIdenticalAcrossThreadCounts) {
+  const auto traced_run = [](std::size_t threads) {
+    obs::tracer tracer;  // logical clock: timestamps are lane ticks
+    exp::parallel_options parallel;
+    parallel.threads = threads;
+    exp::parallel_map<int>(
+        2,
+        [&](std::size_t run) {
+          auto env = exp::make_synthetic_environment(
+              2, exp::synthetic_family::mixed, 900 + run);
+          dist::protocol_options options;
+          options.tracer = &tracer;
+          // Each run writes its own seq/MW/FD lane triple.
+          options.trace_lane = static_cast<std::uint32_t>(3 * run);
+          dist::run_equivalence(2, 30, [&] { return env->next_round(); },
+                                options);
+          return 0;
+        },
+        parallel);
+    std::ostringstream chrome;
+    obs::export_chrome_trace(chrome, tracer.merged());
+    return chrome.str();
+  };
+  const std::string at1 = traced_run(1);
+  const std::string at2 = traced_run(2);
+  const std::string at8 = traced_run(8);
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+  EXPECT_NE(at1.find("phase1.cost_uploads"), std::string::npos);
+  EXPECT_NE(at1.find("phase2.decision_uploads"), std::string::npos);
 }
 
 TEST(Determinism, PolicySuiteSweep) {

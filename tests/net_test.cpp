@@ -25,15 +25,25 @@ TEST(Channel, FifoOrder) {
   EXPECT_FALSE(c.pop().has_value());
 }
 
-TEST(Channel, MetricsAccumulateAndReset) {
-  channel c;
-  c.push({0, 1, message_kind::local_cost, {1.0}});
-  c.push({0, 1, message_kind::decision, {1.0, 2.0}});
-  EXPECT_EQ(c.metrics().messages_sent, 2u);
-  EXPECT_EQ(c.metrics().bytes_sent, 20u + 28u);
-  c.reset_metrics();
-  EXPECT_EQ(c.metrics().messages_sent, 0u);
-  EXPECT_EQ(c.metrics().bytes_sent, 0u);
+TEST(Network, PerPeerCountersAccumulateAndReset) {
+  network net(2);
+  net.send({0, 1, message_kind::local_cost, {1.0}});
+  net.send({0, 1, message_kind::decision, {1.0, 2.0}});
+  const obs::metrics_registry& m = net.metrics();
+  // The registry is const through this accessor; read via the snapshot.
+  bool saw_peer0 = false;
+  for (const obs::metric_row& row : m.snapshot()) {
+    if (row.name == "net.peer0.messages_sent") {
+      saw_peer0 = true;
+      EXPECT_EQ(row.value, "2");
+    }
+    if (row.name == "net.peer1.messages_sent") EXPECT_EQ(row.value, "0");
+    if (row.name == "net.bytes_sent") EXPECT_EQ(row.value, "48");
+  }
+  EXPECT_TRUE(saw_peer0);
+  net.reset_traffic();
+  EXPECT_EQ(net.total_traffic().messages_sent, 0u);
+  EXPECT_EQ(net.total_traffic().bytes_sent, 0u);
 }
 
 TEST(Network, PointToPointDelivery) {
@@ -71,7 +81,7 @@ TEST(Network, TotalTrafficAggregatesAllLinks) {
   network net(3);
   net.send({0, 1, message_kind::local_cost, {1.0}});
   net.send({1, 2, message_kind::local_cost, {1.0, 2.0}});
-  const traffic_metrics total = net.total_traffic();
+  const traffic_totals total = net.total_traffic();
   EXPECT_EQ(total.messages_sent, 2u);
   EXPECT_EQ(total.bytes_sent, 20u + 28u);
   net.reset_traffic();
