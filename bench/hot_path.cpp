@@ -1,0 +1,355 @@
+// Hot-path perf-regression harness: prices the per-round decision path and
+// enforces its two contracts — the batched Eq. (4) kernel beats the
+// scalar/virtual baseline, and dolbie_policy::observe() allocates nothing
+// in steady state.
+//
+//   $ ./hot_path [--workers=N] [--rounds=N] [--reps=N] [--smoke] [--json]
+//                [--out=BENCH_hot_path.json]
+//
+// Measured quantities (per cost family: affine = the paper's distributed-ML
+// latency model, mixed = one of each built-in family round-robin):
+//   scalar_ns_per_round   core::max_acceptable_vector (allocating return,
+//                         one virtual inverse_max per worker)
+//   batch_ns_per_round    cost::batch_evaluator::max_acceptable on a bound
+//                         evaluator (SoA per-family loops, out-buffer)
+//   rebind_ns_per_round   batch_evaluator::rebind alone (the per-round
+//                         classification cost a policy pays when the cost
+//                         vector changes every round)
+//   speedup               scalar / batch
+// Plus the end-to-end policy numbers: observe_ns_per_round and — via the
+// global counting allocator below — allocs_per_round after warm-up, which
+// must be 0 (also asserted by tests/batch_cost_test).
+//
+// --json writes the machine-readable BENCH_hot_path.json consumed by the CI
+// bench-smoke job; --smoke shrinks the workload for CI latency.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cost/affine.h"
+#include "cost/batch.h"
+#include "cost/composite.h"
+#include "cost/exponential.h"
+#include "cost/logistic.h"
+#include "cost/piecewise.h"
+#include "cost/power.h"
+#include "core/dolbie.h"
+#include "core/max_acceptable.h"
+#include "exp/report.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every global new/delete in this binary bumps a
+// counter, so allocs/round is an exact count, not a sampling estimate.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               ((size ? size : 1) +
+                                static_cast<std::size_t>(align) - 1) /
+                                   static_cast<std::size_t>(align) *
+                                   static_cast<std::size_t>(align));
+  if (p != nullptr) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+  }
+}
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+namespace {
+
+using namespace dolbie;
+using clock_type = std::chrono::steady_clock;
+
+std::uint64_t allocs_now() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+/// Deterministic cost set (no RNG: parameters vary smoothly with i).
+cost::cost_vector make_costs(std::size_t n, bool mixed) {
+  cost::cost_vector out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 1.0 + 0.37 * static_cast<double>(i % 7);
+    const double b = 0.1 + 0.05 * static_cast<double>(i % 5);
+    if (!mixed) {
+      out.push_back(std::make_unique<cost::affine_cost>(a, b));
+      continue;
+    }
+    switch (i % 6) {
+      case 0:
+        out.push_back(std::make_unique<cost::affine_cost>(a, b));
+        break;
+      case 1:
+        out.push_back(std::make_unique<cost::power_cost>(a, 1.7, b));
+        break;
+      case 2:
+        out.push_back(std::make_unique<cost::exponential_cost>(a, 1.3, b));
+        break;
+      case 3:
+        out.push_back(std::make_unique<cost::saturating_cost>(a, 0.4, b));
+        break;
+      case 4:
+        out.push_back(std::make_unique<cost::piecewise_linear_cost>(
+            std::vector<cost::knot>{{0.0, b},
+                                    {0.3, b + 0.4 * a},
+                                    {1.0, b + a}}));
+        break;
+      default: {
+        std::vector<cost::composite_cost::term> terms;
+        terms.push_back({1.0, std::make_unique<cost::affine_cost>(a, b)});
+        terms.push_back(
+            {0.5, std::make_unique<cost::power_cost>(a, 2.0, 0.0)});
+        out.push_back(
+            std::make_unique<cost::composite_cost>(std::move(terms)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+struct family_result {
+  double scalar_ns = 0.0;
+  double batch_ns = 0.0;
+  double rebind_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Best-of-`reps` ns/round for the three Eq. (4) variants over one family.
+family_result time_max_acceptable(std::size_t n, std::size_t rounds,
+                                  std::size_t reps, bool mixed) {
+  const cost::cost_vector costs = make_costs(n, mixed);
+  const cost::cost_view view = cost::view_of(costs);
+  const std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  double l = 0.0;
+  for (const auto& f : costs) l = std::max(l, f->value(1.0 / static_cast<double>(n)));
+
+  cost::batch_evaluator batch(view);
+  std::vector<double> out(n, 0.0);
+
+  // Correctness guard: the two paths must agree bit-for-bit before either
+  // timing loop means anything.
+  const std::vector<double> scalar_ref =
+      core::max_acceptable_vector(view, x, l, 0);
+  batch.max_acceptable(x, l, 0, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scalar_ref[i] != out[i]) {
+      std::cerr << "FATAL: scalar/batch divergence at worker " << i << ": "
+                << scalar_ref[i] << " vs " << out[i] << "\n";
+      std::exit(1);
+    }
+  }
+
+  family_result r;
+  double best_scalar = 1e300, best_batch = 1e300, best_rebind = 1e300;
+  double sink = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    auto t0 = clock_type::now();
+    for (std::size_t t = 0; t < rounds; ++t) {
+      const std::vector<double> xp = core::max_acceptable_vector(view, x, l, 0);
+      sink += xp[n - 1];
+    }
+    auto t1 = clock_type::now();
+    for (std::size_t t = 0; t < rounds; ++t) {
+      batch.max_acceptable(x, l, 0, out);
+      sink += out[n - 1];
+    }
+    auto t2 = clock_type::now();
+    for (std::size_t t = 0; t < rounds; ++t) {
+      batch.rebind(view);
+      sink += static_cast<double>(batch.devirtualized_count());
+    }
+    auto t3 = clock_type::now();
+
+    const double denom = static_cast<double>(rounds);
+    const auto ns = [](auto a, auto b) {
+      return std::chrono::duration<double, std::nano>(b - a).count();
+    };
+    best_scalar = std::min(best_scalar, ns(t0, t1) / denom);
+    best_batch = std::min(best_batch, ns(t1, t2) / denom);
+    best_rebind = std::min(best_rebind, ns(t2, t3) / denom);
+  }
+  if (sink == 12345.6789) std::cerr << "";  // defeat dead-code elimination
+  r.scalar_ns = best_scalar;
+  r.batch_ns = best_batch;
+  r.rebind_ns = best_rebind;
+  r.speedup = best_scalar / best_batch;
+  return r;
+}
+
+struct observe_result {
+  double ns_per_round = 0.0;
+  double allocs_per_round = 0.0;
+};
+
+/// End-to-end dolbie_policy::observe: ns/round and exact allocs/round after
+/// warm-up (the allocation contract: 0).
+observe_result time_observe(std::size_t n, std::size_t rounds,
+                            std::size_t reps, bool mixed) {
+  const cost::cost_vector costs = make_costs(n, mixed);
+  const cost::cost_view view = cost::view_of(costs);
+  core::dolbie_policy policy(n);
+  std::vector<double> locals;
+  cost::evaluate_into(view, policy.current(), locals);
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+
+  for (std::size_t t = 0; t < 16; ++t) policy.observe(fb);  // warm-up
+
+  observe_result r;
+  double best = 1e300;
+  std::uint64_t total_allocs = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const std::uint64_t a0 = allocs_now();
+    const auto t0 = clock_type::now();
+    for (std::size_t t = 0; t < rounds; ++t) policy.observe(fb);
+    const auto t1 = clock_type::now();
+    total_allocs += allocs_now() - a0;
+    best = std::min(
+        best, std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                  static_cast<double>(rounds));
+  }
+  r.ns_per_round = best;
+  r.allocs_per_round = static_cast<double>(total_allocs) /
+                       static_cast<double>(rounds * reps);
+  return r;
+}
+
+void print_family(const char* name, const family_result& r) {
+  std::printf(
+      "  %-7s scalar %8.1f ns/round   batch %8.1f ns/round   "
+      "rebind %8.1f ns/round   speedup %.2fx\n",
+      name, r.scalar_ns, r.batch_ns, r.rebind_ns, r.speedup);
+}
+
+std::string json_family(const family_result& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"scalar_ns_per_round\": %.2f, \"batch_ns_per_round\": "
+                "%.2f, \"rebind_ns_per_round\": %.2f, \"speedup\": %.3f}",
+                r.scalar_ns, r.batch_ns, r.rebind_ns, r.speedup);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::cli_args args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const std::size_t n = args.get_u64("workers", 30);
+  const std::size_t rounds = args.get_u64("rounds", smoke ? 2000 : 50000);
+  const std::size_t reps = args.get_u64("reps", smoke ? 3 : 5);
+
+  std::cout << "=== hot_path: per-round decision path, N=" << n
+            << ", rounds=" << rounds << ", reps=" << reps
+            << (smoke ? " (smoke)" : "") << " ===\n\n";
+
+  std::cout << "max_acceptable_vector (Eq. 4), scalar/virtual vs batched:\n";
+  const family_result affine = time_max_acceptable(n, rounds, reps, false);
+  print_family("affine", affine);
+  const family_result mixed = time_max_acceptable(n, rounds, reps, true);
+  print_family("mixed", mixed);
+
+  const observe_result obs_affine = time_observe(n, rounds, reps, false);
+  const observe_result obs_mixed = time_observe(n, rounds, reps, true);
+  std::printf(
+      "\ndolbie_policy::observe (end to end, steady state):\n"
+      "  affine  %8.1f ns/round   %.3f allocs/round\n"
+      "  mixed   %8.1f ns/round   %.3f allocs/round\n",
+      obs_affine.ns_per_round, obs_affine.allocs_per_round,
+      obs_mixed.ns_per_round, obs_mixed.allocs_per_round);
+
+  // Exit code contract (used by the CI smoke job): 0 = clean, 1 = hard
+  // failure (the allocation contract is timing-independent and must never
+  // regress), 2 = perf floor missed (tolerated on noisy shared runners).
+  bool slow = false;
+  bool allocating = false;
+  if (affine.speedup < 2.0) {
+    std::cout << "\nWARNING: affine batch speedup " << affine.speedup
+              << "x below the 2x regression floor\n";
+    slow = true;
+  }
+  if (obs_affine.allocs_per_round != 0.0 ||
+      obs_mixed.allocs_per_round != 0.0) {
+    std::cout << "\nFAILURE: observe() allocated on the steady-state path\n";
+    allocating = true;
+  }
+
+  if (args.has("json")) {
+    const std::string path = args.get_string("out", "BENCH_hot_path.json");
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"bench\": \"hot_path\",\n"
+       << "  \"workers\": " << n << ",\n"
+       << "  \"rounds\": " << rounds << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"max_acceptable\": {\n"
+       << "    \"affine\": " << json_family(affine) << ",\n"
+       << "    \"mixed\": " << json_family(mixed) << "\n"
+       << "  },\n"
+       << "  \"observe\": {\n"
+       << "    \"affine\": {\"ns_per_round\": " << obs_affine.ns_per_round
+       << ", \"allocs_per_round\": " << obs_affine.allocs_per_round << "},\n"
+       << "    \"mixed\": {\"ns_per_round\": " << obs_mixed.ns_per_round
+       << ", \"allocs_per_round\": " << obs_mixed.allocs_per_round << "}\n"
+       << "  },\n"
+       << "  \"speedup\": " << affine.speedup << ",\n"
+       << "  \"allocation_free\": "
+       << ((obs_affine.allocs_per_round == 0.0 &&
+            obs_mixed.allocs_per_round == 0.0)
+               ? "true"
+               : "false")
+       << "\n}\n";
+    std::cout << "\nwrote " << path << "\n";
+  }
+  if (allocating) return 1;
+  return slow ? 2 : 0;
+}

@@ -1,58 +1,23 @@
 #include "common/bisect.h"
 
-#include "common/error.h"
-
 namespace dolbie {
+
+// Type-erased wrappers around the header-inline templates, for callers that
+// already hold a std::function. The template overloads are preferred by
+// overload resolution whenever the callable is a lambda or function object.
 
 double bisect_max_true(double lo, double hi,
                        const std::function<bool(double)>& pred,
                        const bisect_options& options) {
-  DOLBIE_REQUIRE(lo <= hi, "bisect interval inverted: [" << lo << ", " << hi
-                                                         << "]");
-  DOLBIE_REQUIRE(pred(lo), "bisect_max_true requires pred(lo) to hold");
-  if (pred(hi)) return hi;
-  double good = lo;  // invariant: pred(good) holds
-  double bad = hi;   // invariant: pred(bad) fails
-  for (int it = 0; it < options.max_iterations && bad - good > options.tolerance;
-       ++it) {
-    const double mid = good + (bad - good) / 2.0;
-    if (pred(mid)) {
-      good = mid;
-    } else {
-      bad = mid;
-    }
-  }
-  return good;
+  return bisect_max_true<const std::function<bool(double)>&>(lo, hi, pred,
+                                                             options);
 }
 
 double bisect_root_increasing(double lo, double hi,
                               const std::function<double(double)>& g,
                               const bisect_options& options) {
-  DOLBIE_REQUIRE(lo <= hi, "bisect interval inverted: [" << lo << ", " << hi
-                                                         << "]");
-  const double glo = g(lo);
-  const double ghi = g(hi);
-  DOLBIE_REQUIRE(glo <= 0.0 && ghi >= 0.0,
-                 "root not bracketed: g(lo)=" << glo << ", g(hi)=" << ghi);
-  if (glo == 0.0) return lo;
-  if (ghi == 0.0) return hi;
-  double below = lo;  // invariant: g(below) <= 0
-  double above = hi;  // invariant: g(above) >= 0
-  for (int it = 0;
-       it < options.max_iterations && above - below > options.tolerance; ++it) {
-    const double mid = below + (above - below) / 2.0;
-    const double gm = g(mid);
-    if (gm == 0.0) return mid;
-    if (gm < 0.0) {
-      below = mid;
-    } else {
-      above = mid;
-    }
-  }
-  // Return the conservative endpoint, not the bracket midpoint: g(below) <= 0
-  // by invariant, while g(midpoint) may be positive — for the Eq. 4
-  // max-acceptable-workload search that would admit an x with f(x) > l_t.
-  return below;
+  return bisect_root_increasing<const std::function<double(double)>&>(
+      lo, hi, g, options);
 }
 
 }  // namespace dolbie

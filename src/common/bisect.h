@@ -1,8 +1,16 @@
 // Monotone bisection search, the numeric workhorse behind Eq. (4) (maximum
 // acceptable workload) and the OPT water-level solver.
+//
+// The search loops are header-inline function templates so the predicate is
+// a concrete callable the compiler can inline — no std::function type
+// erasure (and its potential heap allocation) on the per-round hot path.
+// The historical std::function-typed overloads remain as thin wrappers for
+// callers that already hold an erased callable.
 #pragma once
 
 #include <functional>
+
+#include "common/error.h"
 
 namespace dolbie {
 
@@ -18,15 +26,69 @@ struct bisect_options {
 /// Preconditions: lo <= hi and pred(lo) is true. Returns a point within
 /// `options.tolerance` of the true boundary (from below, so the returned
 /// point itself satisfies pred up to floating-point evaluation of pred).
-double bisect_max_true(double lo, double hi,
-                       const std::function<bool(double)>& pred,
-                       const bisect_options& options = {});
+template <class Pred>
+double bisect_max_true(double lo, double hi, Pred&& pred,
+                       const bisect_options& options = {}) {
+  DOLBIE_REQUIRE(lo <= hi, "bisect interval inverted: [" << lo << ", " << hi
+                                                         << "]");
+  DOLBIE_REQUIRE(pred(lo), "bisect_max_true requires pred(lo) to hold");
+  if (pred(hi)) return hi;
+  double good = lo;  // invariant: pred(good) holds
+  double bad = hi;   // invariant: pred(bad) fails
+  for (int it = 0; it < options.max_iterations && bad - good > options.tolerance;
+       ++it) {
+    const double mid = good + (bad - good) / 2.0;
+    if (pred(mid)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
 
 /// Root of an increasing function g on [lo, hi]: the x with g(x) ~= 0.
 /// Preconditions: g(lo) <= 0 <= g(hi). Returns a point within tolerance of
 /// the true root.
+template <class Fn>
+double bisect_root_increasing(double lo, double hi, Fn&& g,
+                              const bisect_options& options = {}) {
+  DOLBIE_REQUIRE(lo <= hi, "bisect interval inverted: [" << lo << ", " << hi
+                                                         << "]");
+  const double glo = g(lo);
+  const double ghi = g(hi);
+  DOLBIE_REQUIRE(glo <= 0.0 && ghi >= 0.0,
+                 "root not bracketed: g(lo)=" << glo << ", g(hi)=" << ghi);
+  if (glo == 0.0) return lo;
+  if (ghi == 0.0) return hi;
+  double below = lo;  // invariant: g(below) <= 0
+  double above = hi;  // invariant: g(above) >= 0
+  for (int it = 0;
+       it < options.max_iterations && above - below > options.tolerance; ++it) {
+    const double mid = below + (above - below) / 2.0;
+    const double gm = g(mid);
+    if (gm == 0.0) return mid;
+    if (gm < 0.0) {
+      below = mid;
+    } else {
+      above = mid;
+    }
+  }
+  // Return the conservative endpoint, not the bracket midpoint: g(below) <= 0
+  // by invariant, while g(midpoint) may be positive — for the Eq. 4
+  // max-acceptable-workload search that would admit an x with f(x) > l_t.
+  return below;
+}
+
+/// Type-erased wrappers (same algorithm; kept for callers that already hold
+/// a std::function). New hot-path code should pass the callable directly to
+/// the templates above.
+double bisect_max_true(double lo, double hi,
+                       const std::function<bool(double)>& pred,
+                       const bisect_options& options);
+
 double bisect_root_increasing(double lo, double hi,
                               const std::function<double(double)>& g,
-                              const bisect_options& options = {});
+                              const bisect_options& options);
 
 }  // namespace dolbie

@@ -130,7 +130,11 @@ void dolbie_policy::observe(const round_feedback& feedback) {
   }
 
   // Risk-averse assistance: move every non-straggler towards x' (Eq. 5).
-  last_xp_ = max_acceptable_vector(*feedback.costs, x_, l_t, s);
+  // The batch evaluator regroups the round's costs by concrete family and
+  // writes x' into last_xp_ in place — no virtual dispatch in the per-family
+  // loops and no heap allocation once the lane capacities are warm.
+  batch_.rebind(*feedback.costs);
+  max_acceptable_vector_into(batch_, x_, l_t, s, last_xp_);
 
   double applied = alpha_;
   if (options_.rule == step_rule::exact_feasibility) {

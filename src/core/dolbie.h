@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "cost/batch.h"
 #include "core/policy.h"
 
 namespace dolbie::obs {
@@ -122,7 +123,13 @@ class dolbie_policy final : public online_policy {
 
   allocation x_;
   double alpha_ = 0.0;
+  /// Doubles as the in-place output buffer of the Eq. (4) batch kernel:
+  /// observe() writes x' straight into it each round, so the steady-state
+  /// hot path allocates nothing.
   std::vector<double> last_xp_;
+  /// Devirtualized per-family evaluator, rebound to each round's cost view.
+  /// Lives on the policy so its lane storage is reused round over round.
+  cost::batch_evaluator batch_;
   dolbie_options options_;
 
   // Observability (null when options_.metrics is unset).

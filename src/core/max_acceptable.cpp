@@ -16,18 +16,37 @@ std::vector<double> max_acceptable_vector(const cost::cost_view& costs,
                                           const allocation& x,
                                           double global_cost,
                                           worker_id straggler) {
+  std::vector<double> out;
+  max_acceptable_vector_into(costs, x, global_cost, straggler, out);
+  return out;
+}
+
+void max_acceptable_vector_into(const cost::cost_view& costs,
+                                const allocation& x, double global_cost,
+                                worker_id straggler,
+                                std::vector<double>& out) {
   DOLBIE_REQUIRE(costs.size() == x.size(),
                  "cost/allocation size mismatch: " << costs.size() << " vs "
                                                    << x.size());
   DOLBIE_REQUIRE(straggler < x.size(),
                  "straggler index " << straggler << " out of range");
-  std::vector<double> out(x.size());
+  out.resize(x.size());
   for (worker_id i = 0; i < x.size(); ++i) {
     out[i] = (i == straggler)
                  ? x[i]
                  : max_acceptable_workload(*costs[i], x[i], global_cost);
   }
-  return out;
+}
+
+void max_acceptable_vector_into(const cost::batch_evaluator& batch,
+                                const allocation& x, double global_cost,
+                                worker_id straggler,
+                                std::vector<double>& out) {
+  DOLBIE_REQUIRE(batch.size() == x.size(),
+                 "cost/allocation size mismatch: " << batch.size() << " vs "
+                                                   << x.size());
+  out.resize(x.size());
+  batch.max_acceptable(x, global_cost, straggler, out);
 }
 
 }  // namespace dolbie::core

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "cost/batch.h"
 #include "cost/cost_function.h"
 #include "core/types.h"
 
@@ -28,5 +29,18 @@ std::vector<double> max_acceptable_vector(const cost::cost_view& costs,
                                           const allocation& x,
                                           double global_cost,
                                           worker_id straggler);
+
+/// Scratch-buffer variant of the above: resizes `out` (a no-op once its
+/// capacity is warm) and writes x' in place — no per-round allocation.
+void max_acceptable_vector_into(const cost::cost_view& costs,
+                                const allocation& x, double global_cost,
+                                worker_id straggler, std::vector<double>& out);
+
+/// Batched variant: evaluates through the devirtualized per-family lanes of
+/// a bound batch_evaluator. Bit-identical to the scalar path over the same
+/// view (asserted by tests/batch_cost_test).
+void max_acceptable_vector_into(const cost::batch_evaluator& batch,
+                                const allocation& x, double global_cost,
+                                worker_id straggler, std::vector<double>& out);
 
 }  // namespace dolbie::core

@@ -14,12 +14,12 @@ affine_cost::affine_cost(double slope, double intercept)
                  "affine cost needs intercept >= 0, got " << intercept);
 }
 
-double affine_cost::value(double x) const { return slope_ * x + intercept_; }
+double affine_cost::value(double x) const {
+  return value_kernel(slope_, intercept_, x);
+}
 
 double affine_cost::inverse_max(double l) const {
-  if (intercept_ > l) return 0.0;
-  if (slope_ == 0.0) return 1.0;  // constant cost <= l everywhere
-  return std::clamp((l - intercept_) / slope_, 0.0, 1.0);
+  return inverse_max_kernel(slope_, intercept_, l);
 }
 
 std::string affine_cost::describe() const {

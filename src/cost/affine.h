@@ -19,6 +19,25 @@ class affine_cost final : public cost_function {
   double slope() const { return slope_; }
   double intercept() const { return intercept_; }
 
+  /// Analytic kernels on raw parameters, shared by the member functions and
+  /// the SoA loops of cost::batch_evaluator — one definition, so the two
+  /// paths are bit-identical by construction.
+  static double value_kernel(double slope, double intercept, double x) {
+    return slope * x + intercept;
+  }
+  /// Branchless (pure selects) so the batch loop if-converts and the
+  /// divisions vectorize; IEEE division and selects are exact, so this is
+  /// bit-identical to the branchy case analysis it replaces: intercept > l
+  /// -> 0, else slope == 0 (constant cost <= l everywhere) -> 1, else the
+  /// crossing point clamped to [0, 1]. The slope == 0 division yields
+  /// inf/NaN, discarded by the select.
+  static double inverse_max_kernel(double slope, double intercept, double l) {
+    const double x = (l - intercept) / slope;
+    const double clamped = x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+    const double pos_slope = intercept > l ? 0.0 : clamped;
+    return slope == 0.0 ? (intercept > l ? 0.0 : 1.0) : pos_slope;
+  }
+
  private:
   double slope_;
   double intercept_;

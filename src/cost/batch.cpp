@@ -1,0 +1,243 @@
+#include "cost/batch.h"
+
+#include <typeinfo>
+
+#include "common/error.h"
+#include "cost/affine.h"
+#include "cost/composite.h"
+#include "cost/exponential.h"
+#include "cost/logistic.h"
+#include "cost/piecewise.h"
+#include "cost/power.h"
+
+namespace dolbie::cost {
+namespace {
+
+// Multi-versioned all-affine loops: GCC/Clang emit one clone per target
+// and pick the widest the CPU supports at load time (ifunc), so the
+// shipped binary stays baseline-portable. The loops are division-bound
+// and IEEE 754 division is correctly rounded at every vector width, so
+// the clones differ in speed only, never in bits.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DOLBIE_MULTIVERSIONED \
+  __attribute__((target_clones("default", "avx2")))
+#else
+#define DOLBIE_MULTIVERSIONED
+#endif
+
+DOLBIE_MULTIVERSIONED
+void affine_value_loop(const double* slope, const double* intercept,
+                       const double* x, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = affine_cost::value_kernel(slope[i], intercept[i], x[i]);
+  }
+}
+
+DOLBIE_MULTIVERSIONED
+void affine_inverse_max_loop(const double* slope, const double* intercept,
+                             std::size_t n, double l, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = affine_cost::inverse_max_kernel(slope[i], intercept[i], l);
+  }
+}
+
+// Eq. (4) with the clamp fused in (same arithmetic as
+// core::max_acceptable_workload; the caller pins the straggler).
+DOLBIE_MULTIVERSIONED
+void affine_max_acceptable_loop(const double* slope, const double* intercept,
+                                const double* x, std::size_t n, double l,
+                                double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tilde =
+        affine_cost::inverse_max_kernel(slope[i], intercept[i], l);
+    out[i] = tilde < x[i] ? x[i] : (tilde > 1.0 ? 1.0 : tilde);
+  }
+}
+
+}  // namespace
+
+void batch_evaluator::rebind(const cost_view& costs) {
+  n_ = costs.size();
+  affine_index_.clear();
+  affine_slope_.clear();
+  affine_intercept_.clear();
+  power_index_.clear();
+  power_scale_.clear();
+  power_exponent_.clear();
+  power_intercept_.clear();
+  exp_index_.clear();
+  exp_scale_.clear();
+  exp_rate_.clear();
+  exp_intercept_.clear();
+  sat_index_.clear();
+  sat_scale_.clear();
+  sat_knee_.clear();
+  sat_intercept_.clear();
+  piecewise_index_.clear();
+  piecewise_f_.clear();
+  composite_index_.clear();
+  composite_f_.clear();
+  generic_index_.clear();
+  generic_f_.clear();
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const cost_function* f = costs[i];
+    DOLBIE_REQUIRE(f != nullptr, "cost view entry " << i << " is null");
+    // Every built-in family is `final`, so exact-typeid matching is a
+    // complete (and cheap: one vtable load + pointer compare) classifier.
+    const std::type_info& ti = typeid(*f);
+    if (ti == typeid(affine_cost)) {
+      const auto* c = static_cast<const affine_cost*>(f);
+      affine_index_.push_back(i);
+      affine_slope_.push_back(c->slope());
+      affine_intercept_.push_back(c->intercept());
+    } else if (ti == typeid(power_cost)) {
+      const auto* c = static_cast<const power_cost*>(f);
+      power_index_.push_back(i);
+      power_scale_.push_back(c->scale());
+      power_exponent_.push_back(c->exponent());
+      power_intercept_.push_back(c->intercept());
+    } else if (ti == typeid(exponential_cost)) {
+      const auto* c = static_cast<const exponential_cost*>(f);
+      exp_index_.push_back(i);
+      exp_scale_.push_back(c->scale());
+      exp_rate_.push_back(c->rate());
+      exp_intercept_.push_back(c->intercept());
+    } else if (ti == typeid(saturating_cost)) {
+      const auto* c = static_cast<const saturating_cost*>(f);
+      sat_index_.push_back(i);
+      sat_scale_.push_back(c->scale());
+      sat_knee_.push_back(c->knee());
+      sat_intercept_.push_back(c->intercept());
+    } else if (ti == typeid(piecewise_linear_cost)) {
+      piecewise_index_.push_back(i);
+      piecewise_f_.push_back(static_cast<const piecewise_linear_cost*>(f));
+    } else if (ti == typeid(composite_cost)) {
+      composite_index_.push_back(i);
+      composite_f_.push_back(static_cast<const composite_cost*>(f));
+    } else {
+      generic_index_.push_back(i);
+      generic_f_.push_back(f);
+    }
+  }
+  // Costs were classified in index order, so a full affine lane is the
+  // identity permutation.
+  all_affine_ = affine_index_.size() == n_;
+}
+
+void batch_evaluator::values(std::span<const double> x,
+                             std::span<double> out) const {
+  DOLBIE_REQUIRE(x.size() == n_ && out.size() == n_,
+                 "batch values: expected " << n_ << " entries, got x="
+                                           << x.size() << " out="
+                                           << out.size());
+  if (all_affine_) {
+    affine_value_loop(affine_slope_.data(), affine_intercept_.data(),
+                      x.data(), n_, out.data());
+    return;
+  }
+  for (std::size_t k = 0; k < affine_index_.size(); ++k) {
+    const std::size_t i = affine_index_[k];
+    out[i] = affine_cost::value_kernel(affine_slope_[k], affine_intercept_[k],
+                                       x[i]);
+  }
+  for (std::size_t k = 0; k < power_index_.size(); ++k) {
+    const std::size_t i = power_index_[k];
+    out[i] = power_cost::value_kernel(power_scale_[k], power_exponent_[k],
+                                      power_intercept_[k], x[i]);
+  }
+  for (std::size_t k = 0; k < exp_index_.size(); ++k) {
+    const std::size_t i = exp_index_[k];
+    out[i] = exponential_cost::value_kernel(exp_scale_[k], exp_rate_[k],
+                                            exp_intercept_[k], x[i]);
+  }
+  for (std::size_t k = 0; k < sat_index_.size(); ++k) {
+    const std::size_t i = sat_index_[k];
+    out[i] = saturating_cost::value_kernel(sat_scale_[k], sat_knee_[k],
+                                           sat_intercept_[k], x[i]);
+  }
+  for (std::size_t k = 0; k < piecewise_index_.size(); ++k) {
+    const std::size_t i = piecewise_index_[k];
+    out[i] = piecewise_f_[k]->value(x[i]);  // final class: devirtualized
+  }
+  for (std::size_t k = 0; k < composite_index_.size(); ++k) {
+    const std::size_t i = composite_index_[k];
+    out[i] = composite_f_[k]->value(x[i]);  // final class: devirtualized
+  }
+  for (std::size_t k = 0; k < generic_index_.size(); ++k) {
+    const std::size_t i = generic_index_[k];
+    out[i] = generic_f_[k]->value(x[i]);  // unknown type: virtual fallback
+  }
+}
+
+template <class Emit>
+void batch_evaluator::inverse_max_each(double l, Emit&& emit) const {
+  for (std::size_t k = 0; k < affine_index_.size(); ++k) {
+    emit(affine_index_[k], affine_cost::inverse_max_kernel(
+                               affine_slope_[k], affine_intercept_[k], l));
+  }
+  for (std::size_t k = 0; k < power_index_.size(); ++k) {
+    emit(power_index_[k],
+         power_cost::inverse_max_kernel(power_scale_[k], power_exponent_[k],
+                                        power_intercept_[k], l));
+  }
+  for (std::size_t k = 0; k < exp_index_.size(); ++k) {
+    emit(exp_index_[k],
+         exponential_cost::inverse_max_kernel(exp_scale_[k], exp_rate_[k],
+                                              exp_intercept_[k], l));
+  }
+  for (std::size_t k = 0; k < sat_index_.size(); ++k) {
+    emit(sat_index_[k],
+         saturating_cost::inverse_max_kernel(sat_scale_[k], sat_knee_[k],
+                                             sat_intercept_[k], l));
+  }
+  for (std::size_t k = 0; k < piecewise_index_.size(); ++k) {
+    emit(piecewise_index_[k], piecewise_f_[k]->inverse_max(l));
+  }
+  for (std::size_t k = 0; k < composite_index_.size(); ++k) {
+    // composite_cost::inverse_max is the devirtualized bisection template;
+    // through a final-class pointer the whole probe loop inlines.
+    emit(composite_index_[k], composite_f_[k]->inverse_max(l));
+  }
+  for (std::size_t k = 0; k < generic_index_.size(); ++k) {
+    emit(generic_index_[k], generic_f_[k]->inverse_max(l));
+  }
+}
+
+void batch_evaluator::inverse_max(double l, std::span<double> out) const {
+  DOLBIE_REQUIRE(out.size() == n_, "batch inverse_max: expected "
+                                       << n_ << " entries, got "
+                                       << out.size());
+  if (all_affine_) {
+    affine_inverse_max_loop(affine_slope_.data(), affine_intercept_.data(),
+                            n_, l, out.data());
+    return;
+  }
+  inverse_max_each(l, [out](std::size_t i, double tilde) { out[i] = tilde; });
+}
+
+void batch_evaluator::max_acceptable(std::span<const double> x,
+                                     double global_cost,
+                                     std::size_t straggler,
+                                     std::span<double> out) const {
+  DOLBIE_REQUIRE(x.size() == n_ && out.size() == n_,
+                 "batch max_acceptable: expected " << n_ << " entries, got x="
+                                                   << x.size() << " out="
+                                                   << out.size());
+  DOLBIE_REQUIRE(straggler < n_,
+                 "straggler index " << straggler << " out of range");
+  // Same clamp as core::max_acceptable_workload, fused into the family
+  // loops (single pass over out): the result is >= x_i in exact arithmetic
+  // (f(x_i) <= l_t); the clamp absorbs bisection error.
+  if (all_affine_) {
+    affine_max_acceptable_loop(affine_slope_.data(), affine_intercept_.data(),
+                               x.data(), n_, global_cost, out.data());
+  } else {
+    inverse_max_each(global_cost, [out, x](std::size_t i, double tilde) {
+      out[i] = tilde < x[i] ? x[i] : (tilde > 1.0 ? 1.0 : tilde);
+    });
+  }
+  out[straggler] = x[straggler];
+}
+
+}  // namespace dolbie::cost

@@ -1,0 +1,98 @@
+// Structure-of-arrays batch evaluator over a cost_view — the devirtualized
+// round hot path. `rebind` classifies each entry once by concrete family
+// (affine / power / exponential / saturating / piecewise / composite, with a
+// virtual-dispatch lane for unknown user types) and copies the analytic
+// parameters into per-family arrays. `values` / `inverse_max` /
+// `max_acceptable` then run tight per-family loops over those arrays using
+// the families' shared kernels: no virtual call, no heap allocation, and
+// bit-identical results to the scalar per-object API (asserted by
+// tests/batch_cost_test).
+//
+// Intended use: keep one batch_evaluator alive per policy/run and rebind it
+// whenever the round's cost vector changes. Rebinding reuses the internal
+// storage, so after the first round with the steady-state family mix the
+// whole evaluate -> inverse_max path performs zero allocations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cost/cost_function.h"
+
+namespace dolbie::cost {
+
+class piecewise_linear_cost;
+class composite_cost;
+
+class batch_evaluator {
+ public:
+  batch_evaluator() = default;
+  explicit batch_evaluator(const cost_view& costs) { rebind(costs); }
+
+  /// Regroup over a (possibly different) cost view. The view's pointers are
+  /// borrowed: they must outlive every subsequent evaluation. Reuses the
+  /// internal lane storage — allocation-free once capacities are warm.
+  void rebind(const cost_view& costs);
+
+  /// Number of cost functions currently bound.
+  std::size_t size() const { return n_; }
+
+  /// out[i] = f_i(x[i]). Both spans must have size() entries.
+  void values(std::span<const double> x, std::span<double> out) const;
+
+  /// out[i] = inverse_max_i(l). `out` must have size() entries.
+  void inverse_max(double l, std::span<double> out) const;
+
+  /// The Eq. (4) vector: out[i] = clamp(inverse_max_i(l), x[i], 1) for
+  /// every non-straggler, out[straggler] = x[straggler]. Bit-identical to
+  /// core::max_acceptable_vector over the same view.
+  void max_acceptable(std::span<const double> x, double global_cost,
+                      std::size_t straggler, std::span<double> out) const;
+
+  /// Entries evaluated through typed per-family lanes (vs. the virtual
+  /// fallback lane). Exposed for tests and the hot-path bench.
+  std::size_t devirtualized_count() const { return n_ - generic_f_.size(); }
+  std::size_t generic_count() const { return generic_f_.size(); }
+
+ private:
+  // Calls emit(i, tilde_i) with tilde_i = inverse_max_i(l) for every bound
+  // cost, lane by lane. Lets max_acceptable fuse the Eq. (4) clamp into the
+  // family loops (one pass over out) while inverse_max shares the exact
+  // same per-element arithmetic. Instantiated in batch.cpp only.
+  template <class Emit>
+  void inverse_max_each(double l, Emit&& emit) const;
+
+  std::size_t n_ = 0;
+  // True when every bound cost is affine (the paper's distributed-ML
+  // latency model, and the common case). The affine lane is then the
+  // identity permutation, so evaluation runs a contiguous branch-free loop
+  // the compiler can vectorize instead of indexing through affine_index_.
+  bool all_affine_ = false;
+
+  // Fully-analytic families, parameters copied into SoA arrays.
+  std::vector<std::size_t> affine_index_;
+  std::vector<double> affine_slope_, affine_intercept_;
+
+  std::vector<std::size_t> power_index_;
+  std::vector<double> power_scale_, power_exponent_, power_intercept_;
+
+  std::vector<std::size_t> exp_index_;
+  std::vector<double> exp_scale_, exp_rate_, exp_intercept_;
+
+  std::vector<std::size_t> sat_index_;
+  std::vector<double> sat_scale_, sat_knee_, sat_intercept_;
+
+  // Families with internal structure: typed pointers so the (final-class)
+  // member calls devirtualize and inline.
+  std::vector<std::size_t> piecewise_index_;
+  std::vector<const piecewise_linear_cost*> piecewise_f_;
+
+  std::vector<std::size_t> composite_index_;
+  std::vector<const composite_cost*> composite_f_;
+
+  // Unknown concrete types: classic virtual dispatch.
+  std::vector<std::size_t> generic_index_;
+  std::vector<const cost_function*> generic_f_;
+};
+
+}  // namespace dolbie::cost

@@ -22,6 +22,10 @@ double composite_cost::value(double x) const {
   return total;
 }
 
+double composite_cost::inverse_max(double l) const {
+  return inverse_max_by_bisection(*this, l);
+}
+
 std::string composite_cost::describe() const {
   std::ostringstream os;
   os << "composite(";

@@ -24,6 +24,11 @@ class composite_cost final : public cost_function {
   explicit composite_cost(std::vector<term> terms);
 
   double value(double x) const override;
+  /// Same monotone bisection as the base-class fallback (bit-identical
+  /// results), but instantiated against the concrete class so the value
+  /// calls in the bisection loop devirtualize — no std::function, no
+  /// virtual dispatch per probe.
+  double inverse_max(double l) const override;
   std::string describe() const override;
 
   std::size_t terms() const { return terms_.size(); }

@@ -1,36 +1,42 @@
 #include "cost/cost_function.h"
 
-#include "common/bisect.h"
 #include "common/error.h"
 
 namespace dolbie::cost {
 
 double cost_function::inverse_max(double l) const {
-  if (value(0.0) > l) return 0.0;
-  if (value(1.0) <= l) return 1.0;
-  return bisect_max_true(0.0, 1.0,
-                         [this, l](double x) { return value(x) <= l; });
+  return inverse_max_by_bisection(*this, l);
 }
 
 cost_view view_of(const cost_vector& costs) {
   cost_view out;
+  view_into(costs, out);
+  return out;
+}
+
+void view_into(const cost_vector& costs, cost_view& out) {
+  out.clear();
   out.reserve(costs.size());
   for (const auto& c : costs) out.push_back(c.get());
-  return out;
 }
 
 std::vector<double> evaluate(const cost_view& costs,
                              const std::vector<double>& x) {
+  std::vector<double> out;
+  evaluate_into(costs, x, out);
+  return out;
+}
+
+void evaluate_into(const cost_view& costs, std::span<const double> x,
+                   std::vector<double>& out) {
   DOLBIE_REQUIRE(costs.size() == x.size(), "evaluate: " << costs.size()
                                                         << " costs vs "
                                                         << x.size()
                                                         << " coordinates");
-  std::vector<double> out;
-  out.reserve(costs.size());
+  out.resize(costs.size());
   for (std::size_t i = 0; i < costs.size(); ++i) {
-    out.push_back(costs[i]->value(x[i]));
+    out[i] = costs[i]->value(x[i]);
   }
-  return out;
 }
 
 bool appears_increasing(const cost_function& f, int samples,

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "common/bisect.h"
 
 namespace dolbie::cost {
 
@@ -30,6 +33,20 @@ class cost_function {
   virtual std::string describe() const = 0;
 };
 
+/// The generic inverse_max recipe as an inline template: endpoint checks,
+/// then monotone bisection of f.value. When F is a concrete `final` class
+/// the value calls devirtualize and inline; instantiated with the abstract
+/// base it reproduces cost_function::inverse_max exactly (same arithmetic,
+/// bit-identical results). Shared by the base-class fallback, the
+/// devirtualized composite override and the batch evaluator.
+template <class F>
+double inverse_max_by_bisection(const F& f, double l) {
+  if (f.value(0.0) > l) return 0.0;
+  if (f.value(1.0) <= l) return 1.0;
+  return bisect_max_true(0.0, 1.0,
+                         [&f, l](double x) { return f.value(x) <= l; });
+}
+
 /// Owning list of per-worker cost functions for one round.
 using cost_vector = std::vector<std::unique_ptr<const cost_function>>;
 
@@ -39,10 +56,20 @@ using cost_view = std::vector<const cost_function*>;
 /// Borrow a view over an owning cost vector.
 cost_view view_of(const cost_vector& costs);
 
+/// Refill `out` with a view over `costs`, reusing its storage. Round loops
+/// keep one view alive and refresh it when the cost vector changes, instead
+/// of allocating a fresh view every round.
+void view_into(const cost_vector& costs, cost_view& out);
+
 /// Evaluate every cost at its coordinate: out[i] = costs[i]->value(x[i]).
 /// Throws when sizes mismatch.
 std::vector<double> evaluate(const cost_view& costs,
                              const std::vector<double>& x);
+
+/// Allocation-free variant: resizes `out` to costs.size() (a no-op once its
+/// capacity is established) and writes costs[i]->value(x[i]) into it.
+void evaluate_into(const cost_view& costs, std::span<const double> x,
+                   std::vector<double>& out);
 
 /// Validate (by sampling) that a cost function is non-decreasing on [0, 1];
 /// used by tests and debug assertions. Returns false on a detected decrease

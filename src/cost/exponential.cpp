@@ -18,14 +18,11 @@ exponential_cost::exponential_cost(double scale, double rate, double intercept)
 }
 
 double exponential_cost::value(double x) const {
-  return intercept_ + scale_ * std::expm1(rate_ * x);
+  return value_kernel(scale_, rate_, intercept_, x);
 }
 
 double exponential_cost::inverse_max(double l) const {
-  if (intercept_ > l) return 0.0;
-  if (scale_ == 0.0) return 1.0;
-  const double y = (l - intercept_) / scale_;
-  return std::clamp(std::log1p(y) / rate_, 0.0, 1.0);
+  return inverse_max_kernel(scale_, rate_, intercept_, l);
 }
 
 std::string exponential_cost::describe() const {

@@ -3,6 +3,8 @@
 // worker nears saturation).
 #pragma once
 
+#include <cmath>
+
 #include "cost/cost_function.h"
 
 namespace dolbie::cost {
@@ -19,6 +21,21 @@ class exponential_cost final : public cost_function {
   double scale() const { return scale_; }
   double rate() const { return rate_; }
   double intercept() const { return intercept_; }
+
+  /// Analytic kernels shared with cost::batch_evaluator (bit-identical to
+  /// the member functions by construction).
+  static double value_kernel(double scale, double rate, double intercept,
+                             double x) {
+    return intercept + scale * std::expm1(rate * x);
+  }
+  static double inverse_max_kernel(double scale, double rate, double intercept,
+                                   double l) {
+    if (intercept > l) return 0.0;
+    if (scale == 0.0) return 1.0;
+    const double y = (l - intercept) / scale;
+    const double x = std::log1p(y) / rate;
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  }
 
  private:
   double scale_;

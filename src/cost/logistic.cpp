@@ -17,16 +17,11 @@ saturating_cost::saturating_cost(double scale, double knee, double intercept)
 }
 
 double saturating_cost::value(double x) const {
-  return intercept_ + scale_ * x / (x + knee_);
+  return value_kernel(scale_, knee_, intercept_, x);
 }
 
 double saturating_cost::inverse_max(double l) const {
-  if (intercept_ > l) return 0.0;
-  if (scale_ == 0.0) return 1.0;
-  const double y = (l - intercept_) / scale_;  // want x/(x+knee) <= y
-  if (y >= 1.0) return 1.0;                    // saturation level never reached
-  // x/(x+k) = y  =>  x = y*k / (1-y)
-  return std::clamp(y * knee_ / (1.0 - y), 0.0, 1.0);
+  return inverse_max_kernel(scale_, knee_, intercept_, l);
 }
 
 std::string saturating_cost::describe() const {

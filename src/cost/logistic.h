@@ -21,6 +21,23 @@ class saturating_cost final : public cost_function {
   double knee() const { return knee_; }
   double intercept() const { return intercept_; }
 
+  /// Analytic kernels shared with cost::batch_evaluator (bit-identical to
+  /// the member functions by construction).
+  static double value_kernel(double scale, double knee, double intercept,
+                             double x) {
+    return intercept + scale * x / (x + knee);
+  }
+  static double inverse_max_kernel(double scale, double knee, double intercept,
+                                   double l) {
+    if (intercept > l) return 0.0;
+    if (scale == 0.0) return 1.0;
+    const double y = (l - intercept) / scale;  // want x/(x+knee) <= y
+    if (y >= 1.0) return 1.0;                  // saturation never reached
+    // x/(x+k) = y  =>  x = y*k / (1-y)
+    const double x = y * knee / (1.0 - y);
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  }
+
  private:
   double scale_;
   double knee_;

@@ -18,14 +18,11 @@ power_cost::power_cost(double scale, double exponent, double intercept)
 }
 
 double power_cost::value(double x) const {
-  return intercept_ + scale_ * std::pow(x, exponent_);
+  return value_kernel(scale_, exponent_, intercept_, x);
 }
 
 double power_cost::inverse_max(double l) const {
-  if (intercept_ > l) return 0.0;
-  if (scale_ == 0.0) return 1.0;
-  const double y = (l - intercept_) / scale_;
-  return std::clamp(std::pow(y, 1.0 / exponent_), 0.0, 1.0);
+  return inverse_max_kernel(scale_, exponent_, intercept_, l);
 }
 
 std::string power_cost::describe() const {

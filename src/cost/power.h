@@ -4,6 +4,8 @@
 // max) costs exercising DOLBIE's convexity-free analysis.
 #pragma once
 
+#include <cmath>
+
 #include "cost/cost_function.h"
 
 namespace dolbie::cost {
@@ -20,6 +22,21 @@ class power_cost final : public cost_function {
   double scale() const { return scale_; }
   double exponent() const { return exponent_; }
   double intercept() const { return intercept_; }
+
+  /// Analytic kernels shared with cost::batch_evaluator (bit-identical to
+  /// the member functions by construction).
+  static double value_kernel(double scale, double exponent, double intercept,
+                             double x) {
+    return intercept + scale * std::pow(x, exponent);
+  }
+  static double inverse_max_kernel(double scale, double exponent,
+                                   double intercept, double l) {
+    if (intercept > l) return 0.0;
+    if (scale == 0.0) return 1.0;
+    const double y = (l - intercept) / scale;
+    const double x = std::pow(y, 1.0 / exponent);
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  }
 
  private:
   double scale_;

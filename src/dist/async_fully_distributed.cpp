@@ -41,8 +41,8 @@ async_round_result async_fully_distributed::run_round(
   DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
 
   async_round_result result;
-  const std::vector<double> locals = cost::evaluate(costs, x_);
-  for (double l : locals) {
+  cost::evaluate_into(costs, x_, locals_);
+  for (double l : locals_) {
     result.compute_duration = std::max(result.compute_duration, l);
   }
   if (n == 1) {
@@ -59,8 +59,8 @@ async_round_result async_fully_distributed::run_round(
   // Everyone identifies the same straggler from the same data; we can
   // precompute it (lowest-index tie-break) to keep the handlers simple —
   // each worker would reach the identical conclusion from its inbox.
-  const core::worker_id straggler = argmax(locals);
-  const double l_t = locals[straggler];
+  const core::worker_id straggler = argmax(locals_);
+  const double l_t = locals_[straggler];
   const double alpha_t = alpha_bar_[argmin(alpha_bar_)];
 
   std::vector<double> next_x = x_;
@@ -108,7 +108,7 @@ async_round_result async_fully_distributed::run_round(
       if (i == j) continue;
       ++messages;
       const double arrival =
-          locals[j] + static_cast<double>(k++) * serialize + msg_time;
+          locals_[j] + static_cast<double>(k++) * serialize + msg_time;
       queue.schedule(arrival, [&, i] {
         if (++inbox[i] == n - 1) on_inbox_complete(i);
       });

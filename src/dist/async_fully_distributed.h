@@ -37,6 +37,8 @@ class async_fully_distributed {
   async_options options_;
   core::allocation x_;
   std::vector<double> alpha_bar_;
+  // Round scratch (the phase-0 local costs), reused across run_round calls.
+  std::vector<double> locals_;
 };
 
 }  // namespace dolbie::dist

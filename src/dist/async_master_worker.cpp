@@ -40,8 +40,8 @@ async_round_result async_master_worker::run_round(
   DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
 
   async_round_result result;
-  const std::vector<double> locals = cost::evaluate(costs, x_);
-  for (double l : locals) {
+  cost::evaluate_into(costs, x_, locals_);
+  for (double l : locals_) {
     result.compute_duration = std::max(result.compute_duration, l);
   }
   if (n == 1) {
@@ -80,7 +80,7 @@ async_round_result async_master_worker::run_round(
   std::function<void()> on_assignment_arrival;
 
   on_cost_arrival = [&](core::worker_id i) {
-    master.l[i] = locals[i];
+    master.l[i] = locals_[i];
     if (++master.costs_received < n) return;
     // Last upload in: identify the straggler, broadcast round info. The
     // master's NIC serializes the N downloads back-to-back.
@@ -122,7 +122,7 @@ async_round_result async_master_worker::run_round(
   // uploads its local cost.
   for (core::worker_id i = 0; i < n; ++i) {
     ++messages;
-    queue.schedule(locals[i] + msg_time, [&, i] { on_cost_arrival(i); });
+    queue.schedule(locals_[i] + msg_time, [&, i] { on_cost_arrival(i); });
   }
   result.events = queue.run_to_completion();
 

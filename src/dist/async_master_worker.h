@@ -66,6 +66,8 @@ class async_master_worker {
   async_options options_;
   core::allocation x_;
   double alpha_ = 0.0;
+  // Round scratch (the phase-0 local costs), reused across run_round calls.
+  std::vector<double> locals_;
 };
 
 }  // namespace dolbie::dist

@@ -72,28 +72,29 @@ void fully_distributed_policy::observe(const core::round_feedback& feedback) {
   //     picture from its inbox, updates, and non-stragglers upload their
   //     decisions to the straggler (lines 5-10). We simulate each worker's
   //     computation with strictly worker-local inputs. ---
-  std::vector<double> next_x = worker_x_;
+  next_x_ = worker_x_;
   core::worker_id straggler = 0;     // as computed by worker 0; all agree
   double consensus_alpha = 0.0;      // likewise
   {
     obs::span sp(tr, lane, round, "phase2.decision_uploads", "fd");
     for (net::node_id i = 0; i < n_; ++i) {
       // Reassemble this worker's view: its own scalars plus the broadcasts.
-      std::vector<double> l(n_, 0.0);
-      std::vector<double> a(n_, 0.0);
-      l[i] = feedback.local_costs[i];
-      a[i] = alpha_bar_[i];
+      inbox_l_.assign(n_, 0.0);
+      inbox_a_.assign(n_, 0.0);
+      inbox_l_[i] = feedback.local_costs[i];
+      inbox_a_[i] = alpha_bar_[i];
       for (net::node_id j = 0; j < n_; ++j) {
         if (j == i) continue;
         auto m = net_.receive(i, j);
         DOLBIE_REQUIRE(m.has_value(),
                        "worker " << i << " missed broadcast from " << j);
-        l[j] = m->payload[0];
-        a[j] = m->payload[1];
+        inbox_l_[j] = m->payload[0];
+        inbox_a_[j] = m->payload[1];
       }
-      const core::worker_id s = argmax(l);           // line 7
-      const double l_t = l[s];
-      const double alpha_t = a[argmin(a)];           // line 6 (min consensus)
+      const core::worker_id s = argmax(inbox_l_);    // line 7
+      const double l_t = inbox_l_[s];
+      const double alpha_t = inbox_a_[argmin(inbox_a_)];  // line 6 (min
+                                                          // consensus)
       if (i == 0) {
         straggler = s;
         consensus_alpha = alpha_t;
@@ -109,8 +110,8 @@ void fully_distributed_policy::observe(const core::round_feedback& feedback) {
       if (i == s) continue;  // the straggler acts below
       const double xp =
           core::max_acceptable_workload(*costs[i], worker_x_[i], l_t);
-      next_x[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
-      net_.send({i, s, net::message_kind::decision, {next_x[i]}});  // line 9
+      next_x_[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
+      net_.send({i, s, net::message_kind::decision, {next_x_[i]}});  // line 9
       // line 10: alpha-bar_i unchanged.
     }
   }
@@ -125,17 +126,19 @@ void fully_distributed_policy::observe(const core::round_feedback& feedback) {
                    "straggler missed decision from worker " << j);
     claimed += m->payload[0];
   }
-  next_x[straggler] = std::max(0.0, 1.0 - claimed);
+  next_x_[straggler] = std::max(0.0, 1.0 - claimed);
   const double alpha_before = alpha_bar_[straggler];
   alpha_bar_[straggler] = core::next_step_size(alpha_bar_[straggler], n_,
-                                               next_x[straggler]);
+                                               next_x_[straggler]);
   if (tr != nullptr && alpha_bar_[straggler] != alpha_before) {
     tr->instant(lane, round, "alpha_tightened", "fd",
                 {obs::arg_int("worker", straggler),
                  obs::arg_num("alpha_bar", alpha_bar_[straggler])});
   }
 
-  worker_x_ = std::move(next_x);
+  // Swap (not move) so next round's `next_x_ = worker_x_` copy reuses the
+  // retired buffer instead of allocating a fresh one.
+  worker_x_.swap(next_x_);
   assembled_ = worker_x_;
   last_traffic_ = net_.total_traffic();
   round_span.arg("straggler", static_cast<std::uint64_t>(straggler));

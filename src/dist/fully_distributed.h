@@ -55,6 +55,14 @@ class fully_distributed_policy final : public core::online_policy {
   std::vector<double> worker_x_;
   std::vector<double> alpha_bar_;
 
+  // Round scratch, kept as members so the per-round (and, for the inbox
+  // pair, per-worker) loops reuse their storage instead of allocating:
+  // next_x_ is the round's x_{t+1} under construction; inbox_l_/inbox_a_
+  // are the (l_j, alpha-bar_j) view each worker reassembles from its inbox.
+  std::vector<double> next_x_;
+  std::vector<double> inbox_l_;
+  std::vector<double> inbox_a_;
+
   core::allocation assembled_;
   net::traffic_totals last_traffic_;
 

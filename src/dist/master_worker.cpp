@@ -55,7 +55,7 @@ void master_worker_policy::observe(const core::round_feedback& feedback) {
 
   // --- Phase 1: each worker sends its local cost to the master (l.4);
   //     the master drains the incast. ---
-  std::vector<double> master_l(n_, 0.0);
+  master_l_.assign(n_, 0.0);
   {
     obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
     for (net::node_id i = 0; i < n_; ++i) {
@@ -65,14 +65,14 @@ void master_worker_policy::observe(const core::round_feedback& feedback) {
     for (net::node_id i = 0; i < n_; ++i) {
       auto m = net_.receive(master_id(), i);
       DOLBIE_REQUIRE(m.has_value(), "master missed cost from worker " << i);
-      master_l[i] = m->payload[0];
+      master_l_[i] = m->payload[0];
     }
   }
 
   // --- Phase 2: the master aggregates, identifies the straggler and
   //     broadcasts round info (lines 9-12). ---
-  const core::worker_id s = argmax(master_l);
-  const double l_t = master_l[s];
+  const core::worker_id s = argmax(master_l_);
+  const double l_t = master_l_[s];
   if (tr != nullptr) {
     tr->instant(lane, round, "straggler_elected", "mw",
                 {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});

@@ -53,8 +53,10 @@ class master_worker_policy final : public core::online_policy {
   // Worker-local state: each worker only ever reads/writes its own entry.
   std::vector<double> worker_x_;
 
-  // Master-local state.
+  // Master-local state. `master_l_` is the master's phase-1 inbox, kept as
+  // a member so the round loop reuses its storage instead of allocating.
   double alpha_ = 0.0;
+  std::vector<double> master_l_;
 
   // Harness-side assembled view of the allocation.
   core::allocation assembled_;

@@ -41,18 +41,22 @@ equivalence_report run_equivalence(std::size_t n_workers, std::size_t rounds,
 
   equivalence_report report;
   report.rounds = rounds;
+  // Hoisted round scratch: the view and the local-cost buffer live across
+  // the loop and are refreshed in place when the cost vector changes, so
+  // the per-round body performs no view/locals allocation.
+  cost::cost_view view;
+  std::vector<double> locals;
   for (std::size_t t = 0; t < rounds; ++t) {
     const cost::cost_vector costs = generate();
     DOLBIE_REQUIRE(costs.size() == n_workers,
                    "generator produced " << costs.size() << " costs for "
                                          << n_workers << " workers");
-    const cost::cost_view view = cost::view_of(costs);
+    cost::view_into(costs, view);
     for (core::online_policy* policy :
          {static_cast<core::online_policy*>(&sequential),
           static_cast<core::online_policy*>(&master_worker),
           static_cast<core::online_policy*>(&fully_distributed)}) {
-      const std::vector<double> locals =
-          cost::evaluate(view, policy->current());
+      cost::evaluate_into(view, policy->current(), locals);
       core::round_feedback feedback;
       feedback.costs = &view;
       feedback.local_costs = locals;

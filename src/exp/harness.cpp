@@ -32,12 +32,17 @@ run_trace run(core::online_policy& policy, environment& env,
   // owns the cost vectors, so stale feedback can outlive its round.
   std::deque<std::pair<cost::cost_vector, core::round_outcome>> in_flight;
 
+  // Hoisted round scratch: the views are rebuilt in place each round the
+  // cost vector changes, reusing their storage across the loop.
+  cost::cost_view view;
+  cost::cost_view stale_view;
+
   for (std::size_t t = 0; t < options.rounds; ++t) {
     const auto env_begin = clock::now();
     cost::cost_vector costs = env.next_round();
     trace.environment_seconds +=
         std::chrono::duration<double>(clock::now() - env_begin).count();
-    const cost::cost_view view = cost::view_of(costs);
+    cost::view_into(costs, view);
 
     if (policy.clairvoyant()) {
       const auto begin = clock::now();
@@ -68,7 +73,7 @@ run_trace run(core::online_policy& policy, environment& env,
     if (in_flight.size() <= options.feedback_delay) continue;  // stale yet
 
     const auto& [stale_costs, stale_outcome] = in_flight.front();
-    const cost::cost_view stale_view = cost::view_of(stale_costs);
+    cost::view_into(stale_costs, stale_view);
     core::round_feedback feedback;
     feedback.costs = &stale_view;
     feedback.local_costs = stale_outcome.local_costs;

@@ -104,6 +104,10 @@ real_training_result train_distributed(core::online_policy& policy,
   std::vector<double> params(model.parameters().begin(),
                              model.parameters().end());
   std::vector<double> shard_gradient;
+  // Hoisted round scratch: view and local costs are refreshed in place each
+  // round (the cost vector itself is fresh per round), reusing storage.
+  cost::cost_view view;
+  std::vector<double> locals;
 
   for (std::size_t t = 0; t < options.rounds; ++t) {
     obs::span round_span(tr, lane, t, "train_round", "learn");
@@ -119,7 +123,7 @@ real_training_result train_distributed(core::online_policy& policy,
           }
           return out;
         }();
-    const cost::cost_view view = cost::view_of(costs);
+    cost::view_into(costs, view);
 
     if (policy.clairvoyant()) policy.preview(view);
     const core::allocation& b = policy.current();
@@ -159,7 +163,7 @@ real_training_result train_distributed(core::online_policy& policy,
     }
 
     // Latency: the straggler barrier under the heterogeneous cluster.
-    const auto locals = cost::evaluate(view, b);
+    cost::evaluate_into(view, b, locals);
     const double round_latency = *std::max_element(locals.begin(),
                                                    locals.end());
     result.round_latency.push(round_latency);

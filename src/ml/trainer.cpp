@@ -69,11 +69,15 @@ trainer_result train(core::online_policy& policy,
     }
   }
 
+  // Hoisted round scratch, refreshed in place as the cost vector changes.
+  cost::cost_view view;
+  std::vector<double> totals(options.n_workers, 0.0);
+
   for (std::size_t t = 0; t < options.rounds; ++t) {
     obs::span round_span(tr, options.trace_lane, t, "train_round", "ml");
     workers.advance_round();
     const cost::cost_vector costs = workers.round_costs(options.global_batch);
-    const cost::cost_view view = cost::view_of(costs);
+    cost::view_into(costs, view);
 
     // Clairvoyant preview (OPT only), timed as decision overhead.
     if (policy.clairvoyant()) {
@@ -86,7 +90,7 @@ trainer_result train(core::online_policy& policy,
     // Play b_t: the round runs to the synchronization barrier.
     const core::allocation& b = policy.current();
     double round_latency = 0.0;
-    std::vector<double> totals(options.n_workers, 0.0);
+    totals.assign(options.n_workers, 0.0);
     double round_compute = 0.0;
     double round_comm = 0.0;
     for (std::size_t i = 0; i < options.n_workers; ++i) {

@@ -1,0 +1,274 @@
+// cost::batch_evaluator contract tests.
+//
+// The batched SoA evaluator must be *bit-identical* to the scalar/virtual
+// path for every cost family — the dist protocols and the determinism
+// harness compare iterates with operator==, so "close" is not enough. All
+// comparisons below are EXPECT_EQ on doubles (exact).
+//
+// This file also owns the allocation contract: after warm-up,
+// dolbie_policy::observe() performs zero heap allocations. A global
+// counting operator new/delete (below) makes that an exact count.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dolbie.h"
+#include "core/max_acceptable.h"
+#include "cost/affine.h"
+#include "cost/batch.h"
+#include "cost/composite.h"
+#include "cost/exponential.h"
+#include "cost/logistic.h"
+#include "cost/piecewise.h"
+#include "cost/power.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, ((size ? size : 1) + a - 1) / a * a);
+  if (p != nullptr) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace dolbie;
+
+/// A cost family the batch evaluator has never heard of: classification
+/// must fall back to the generic (virtual) lane, and inverse_max must go
+/// through the base-class bisection — exactly like the scalar path.
+class quadratic_cost : public cost::cost_function {
+ public:
+  explicit quadratic_cost(double scale) : scale_(scale) {}
+  double value(double x) const override { return 0.1 + scale_ * x * x; }
+  std::string describe() const override { return "quadratic"; }
+
+ private:
+  double scale_;
+};
+
+cost::cost_vector make_mixed() {
+  cost::cost_vector out;
+  out.push_back(std::make_unique<cost::affine_cost>(2.0, 0.3));
+  out.push_back(std::make_unique<cost::power_cost>(1.5, 1.8, 0.2));
+  out.push_back(std::make_unique<cost::exponential_cost>(0.8, 1.4, 0.1));
+  out.push_back(std::make_unique<cost::saturating_cost>(2.5, 0.35, 0.25));
+  out.push_back(std::make_unique<cost::piecewise_linear_cost>(
+      std::vector<cost::knot>{{0.0, 0.1}, {0.4, 0.5}, {1.0, 2.0}}));
+  std::vector<cost::composite_cost::term> terms;
+  terms.push_back({1.0, std::make_unique<cost::affine_cost>(1.2, 0.1)});
+  terms.push_back({0.5, std::make_unique<cost::power_cost>(2.0, 2.0, 0.0)});
+  out.push_back(std::make_unique<cost::composite_cost>(std::move(terms)));
+  out.push_back(std::make_unique<quadratic_cost>(1.7));  // generic lane
+  out.push_back(std::make_unique<cost::affine_cost>(0.0, 0.15));  // slope 0
+  return out;
+}
+
+TEST(BatchCost, LaneClassification) {
+  const cost::cost_vector costs = make_mixed();
+  const cost::cost_view view = cost::view_of(costs);
+  cost::batch_evaluator batch(view);
+  EXPECT_EQ(batch.size(), costs.size());
+  EXPECT_EQ(batch.generic_count(), 1u);  // only quadratic_cost
+  EXPECT_EQ(batch.devirtualized_count(), costs.size() - 1);
+}
+
+TEST(BatchCost, ValuesBitIdenticalToScalar) {
+  const cost::cost_vector costs = make_mixed();
+  const cost::cost_view view = cost::view_of(costs);
+  cost::batch_evaluator batch(view);
+  const std::size_t n = view.size();
+  std::vector<double> x(n), got(n);
+  for (int step = 0; step <= 20; ++step) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<double>((step + static_cast<int>(i)) % 21) / 20.0;
+    }
+    batch.values(x, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], view[i]->value(x[i])) << "worker " << i;
+    }
+  }
+}
+
+TEST(BatchCost, InverseMaxBitIdenticalToScalar) {
+  const cost::cost_vector costs = make_mixed();
+  const cost::cost_view view = cost::view_of(costs);
+  cost::batch_evaluator batch(view);
+  const std::size_t n = view.size();
+  std::vector<double> got(n);
+  // Sweep l across every regime: below all intercepts, interior, above
+  // every f(1).
+  for (double l : {0.0, 0.05, 0.1, 0.2, 0.31, 0.5, 0.9, 1.3, 2.0, 5.0}) {
+    batch.inverse_max(l, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], view[i]->inverse_max(l)) << "worker " << i
+                                                 << " l=" << l;
+    }
+  }
+}
+
+TEST(BatchCost, MaxAcceptableBitIdenticalToScalar) {
+  const cost::cost_vector costs = make_mixed();
+  const cost::cost_view view = cost::view_of(costs);
+  cost::batch_evaluator batch(view);
+  const std::size_t n = view.size();
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  std::vector<double> got(n);
+  for (double l : {0.2, 0.6, 1.1, 3.0}) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::vector<double> want =
+          core::max_acceptable_vector(view, x, l, s);
+      batch.max_acceptable(x, l, s, got);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], want[i]) << "worker " << i << " straggler " << s
+                                   << " l=" << l;
+      }
+    }
+  }
+}
+
+// The all-affine binding takes a separate multi-versioned contiguous code
+// path (SIMD divisions); it must still match the scalar member calls bit
+// for bit, including the slope == 0 and l-below-intercept corners.
+TEST(BatchCost, AllAffineFastPathBitIdentical) {
+  cost::cost_vector costs;
+  for (int i = 0; i < 33; ++i) {  // odd size: exercises the SIMD tail
+    costs.push_back(std::make_unique<cost::affine_cost>(
+        i % 11 == 0 ? 0.0 : 0.1 * static_cast<double>(i),
+        0.02 * static_cast<double>(i % 13)));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  cost::batch_evaluator batch(view);
+  EXPECT_EQ(batch.devirtualized_count(), costs.size());
+  const std::size_t n = view.size();
+  std::vector<double> x(n), got(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i) / static_cast<double>(n);
+  }
+  for (double l : {0.0, 0.01, 0.1, 0.24, 0.5, 1.0, 4.0}) {
+    batch.values(x, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], view[i]->value(x[i]));
+    }
+    batch.inverse_max(l, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], view[i]->inverse_max(l)) << "worker " << i
+                                                 << " l=" << l;
+    }
+    const std::vector<double> want = core::max_acceptable_vector(view, x, l, 0);
+    batch.max_acceptable(x, l, 0, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], want[i]) << "worker " << i << " l=" << l;
+    }
+  }
+}
+
+TEST(BatchCost, RebindSwitchesViews) {
+  const cost::cost_vector mixed = make_mixed();
+  cost::cost_vector affine;
+  affine.push_back(std::make_unique<cost::affine_cost>(1.0, 0.0));
+  affine.push_back(std::make_unique<cost::affine_cost>(3.0, 0.5));
+
+  cost::batch_evaluator batch(cost::view_of(mixed));
+  EXPECT_EQ(batch.size(), mixed.size());
+
+  const cost::cost_view affine_view = cost::view_of(affine);
+  batch.rebind(affine_view);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.generic_count(), 0u);
+  std::vector<double> got(2);
+  batch.inverse_max(0.5, got);
+  EXPECT_EQ(got[0], affine_view[0]->inverse_max(0.5));
+  EXPECT_EQ(got[1], affine_view[1]->inverse_max(0.5));
+}
+
+// --- Allocation contract -------------------------------------------------
+
+std::uint64_t observe_allocations(const cost::cost_vector& costs,
+                                  std::size_t warmup, std::size_t rounds) {
+  const cost::cost_view view = cost::view_of(costs);
+  core::dolbie_policy policy(view.size());
+  std::vector<double> locals;
+  cost::evaluate_into(view, policy.current(), locals);
+  core::round_feedback fb;
+  fb.costs = &view;
+  fb.local_costs = locals;
+  for (std::size_t t = 0; t < warmup; ++t) policy.observe(fb);
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < rounds; ++t) policy.observe(fb);
+  return g_allocs.load(std::memory_order_relaxed) - before;
+}
+
+TEST(ObserveAllocation, SteadyStateIsAllocationFreeAffine) {
+  cost::cost_vector costs;
+  for (int i = 0; i < 30; ++i) {
+    costs.push_back(std::make_unique<cost::affine_cost>(
+        1.0 + 0.2 * static_cast<double>(i % 7),
+        0.1 + 0.03 * static_cast<double>(i % 5)));
+  }
+  EXPECT_EQ(observe_allocations(costs, 16, 200), 0u);
+}
+
+TEST(ObserveAllocation, SteadyStateIsAllocationFreeMixed) {
+  // Includes bisection-backed families (composite, generic) — the probe
+  // loops must not allocate either.
+  EXPECT_EQ(observe_allocations(make_mixed(), 16, 200), 0u);
+}
+
+TEST(ObserveAllocation, ScratchHelpersAreAllocationFreeWhenWarm) {
+  const cost::cost_vector costs = make_mixed();
+  const std::size_t n = costs.size();
+  cost::cost_view view;
+  cost::batch_evaluator batch;
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n, 0.0);
+  // Warm the capacities once.
+  cost::view_into(costs, view);
+  batch.rebind(view);
+  cost::evaluate_into(view, x, out);
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int t = 0; t < 50; ++t) {
+    cost::view_into(costs, view);
+    batch.rebind(view);
+    cost::evaluate_into(view, x, out);
+    core::max_acceptable_vector_into(batch, x, 2.0, 0, out);
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+}
+
+}  // namespace
