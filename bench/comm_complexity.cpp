@@ -7,9 +7,14 @@
 //
 //   $ ./comm_complexity [--seed=N] [--rounds=N] [--trace=out.json]
 //                       [--metrics]
+//                       [--chaos] [--fault-seed=N] [--drop-rate=D]
+//                       [--drop-rates=a,b,c] [--crash-schedule=i@r[-r2],...]
+//                       [--chaos-rounds=T] [--chaos-workers=N]
+//                       [--chaos-jsonl=out.jsonl]
 #include <iostream>
 
 #include "dist/runner.h"
+#include "exp/chaos.h"
 #include "exp/observe.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
   std::cout << "\nBoth realizations reproduce the sequential iterates "
                "exactly (divergence 0)\nwhile exchanging only scalar "
                "payloads per Sec. IV-C.\n";
+  if (exp::chaos_requested(args)) exp::run_chaos_from_args(std::cout, args);
   obs.finish(std::cout);
   return 0;
 }

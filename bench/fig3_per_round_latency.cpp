@@ -7,6 +7,11 @@
 //
 //   $ ./fig3_per_round_latency [--seed=N] [--rounds=N] [--workers=N] [--csv]
 //                              [--trace=out.json] [--metrics]
+//                              [--chaos] [--fault-seed=N] [--drop-rate=D]
+//                              [--drop-rates=a,b,c]
+//                              [--crash-schedule=i@r[-r2],...]
+//                              [--chaos-rounds=T] [--chaos-workers=N]
+//                              [--chaos-jsonl=out.jsonl]
 //
 // With --trace the run additionally records one lane of "train_round"
 // spans per policy plus a short traced pass of both protocol realizations
@@ -17,6 +22,7 @@
 #include <iostream>
 
 #include "dist/runner.h"
+#include "exp/chaos.h"
 #include "exp/observe.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
                           std::min<std::size_t>(options.rounds, 25),
                           [&] { return env->next_round(); }, popts);
   }
+  if (exp::chaos_requested(args)) exp::run_chaos_from_args(std::cout, args);
   obs.finish(std::cout);
   return 0;
 }

@@ -1,0 +1,63 @@
+#include "core/churn.h"
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/simplex.h"
+
+namespace dolbie::core {
+
+void redistribute_after_leave(std::vector<double>& x, worker_id id) {
+  DOLBIE_REQUIRE(id < x.size(), "worker " << id << " out of range");
+  DOLBIE_REQUIRE(x.size() >= 2, "cannot remove the last worker");
+  const double freed = x[id];
+  x.erase(x.begin() + static_cast<std::ptrdiff_t>(id));
+  const double remaining = sum(x);
+  if (remaining > 0.0) {
+    for (double& v : x) v *= (freed + remaining) / remaining;
+  } else {
+    x = uniform_point(x.size());
+  }
+  // Numerical hygiene: land exactly on the simplex.
+  x = normalized(x);
+}
+
+void release_share_in_place(std::vector<double>& x, worker_id id,
+                            const std::vector<std::uint8_t>& live) {
+  DOLBIE_REQUIRE(id < x.size(), "worker " << id << " out of range");
+  DOLBIE_REQUIRE(live.size() == x.size(), "live mask size mismatch");
+  const double freed = x[id];
+  x[id] = 0.0;
+  double remaining = 0.0;
+  std::size_t heirs = 0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (j == id || live[j] == 0) continue;
+    remaining += x[j];
+    ++heirs;
+  }
+  DOLBIE_REQUIRE(heirs > 0, "no live worker left to absorb the share of "
+                                << id);
+  if (remaining > 0.0) {
+    const double scale = (freed + remaining) / remaining;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if (j != id && live[j] != 0) x[j] *= scale;
+    }
+  } else {
+    const double share = 1.0 / static_cast<double>(heirs);
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if (j != id && live[j] != 0) x[j] = share;
+    }
+  }
+  // Renormalize over the heirs (the in-place analogue of normalized()).
+  double total = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (j != id && live[j] != 0) total += x[j];
+  }
+  if (total > 0.0) {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if (j != id && live[j] != 0) x[j] /= total;
+    }
+  }
+}
+
+}  // namespace dolbie::core

@@ -1,0 +1,31 @@
+// Shared redistribution math for worker-churn events.
+//
+// This is the single source of truth for "worker leaves, survivors absorb
+// its share proportionally": dolbie_policy::remove_worker uses the
+// erasing variant, and the protocol engines' crash-failover path uses the
+// in-place variant (fixed wiring — the dead worker keeps its node id and
+// a pinned zero share). Sharing the arithmetic keeps the policy-level and
+// protocol-level membership changes bit-consistent with each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace dolbie::core {
+
+/// Remove worker `id`'s entry and scale the survivors so they absorb its
+/// share proportionally (uniform fallback when nothing remains), landing
+/// exactly on the simplex. Exactly the math dolbie_policy::remove_worker
+/// has always applied. `x` shrinks by one entry.
+void redistribute_after_leave(std::vector<double>& x, worker_id id);
+
+/// In-place variant: worker `id` keeps its slot, pinned to zero; only
+/// workers with `live[j] != 0` (and `j != id`) absorb the freed share,
+/// again proportionally with a uniform fallback, renormalized over the
+/// heirs. Requires at least one live heir.
+void release_share_in_place(std::vector<double>& x, worker_id id,
+                            const std::vector<std::uint8_t>& live);
+
+}  // namespace dolbie::core

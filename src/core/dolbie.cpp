@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "core/churn.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
 #include "obs/metrics.h"
@@ -82,18 +83,9 @@ worker_id dolbie_policy::admit_worker(double initial_share) {
 }
 
 void dolbie_policy::remove_worker(worker_id id) {
-  DOLBIE_REQUIRE(id < x_.size(), "worker " << id << " out of range");
-  DOLBIE_REQUIRE(x_.size() >= 2, "cannot remove the last worker");
-  const double freed = x_[id];
-  x_.erase(x_.begin() + static_cast<std::ptrdiff_t>(id));
-  const double remaining = sum(x_);
-  if (remaining > 0.0) {
-    for (double& v : x_) v *= (freed + remaining) / remaining;
-  } else {
-    x_ = uniform_point(x_.size());
-  }
-  // Numerical hygiene: land exactly on the simplex.
-  x_ = normalized(x_);
+  // Redistribution math shared with the protocol engines' crash-failover
+  // path (core/churn.h).
+  redistribute_after_leave(x_, id);
   const double min_share = x_[argmin(x_)];
   const double before = alpha_;
   alpha_ = std::min(alpha_, feasible_step_cap(x_.size(), min_share));

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "core/churn.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
 #include "sim/event_queue.h"
@@ -24,6 +25,7 @@ async_fully_distributed::async_fully_distributed(std::size_t n_workers,
   DOLBIE_REQUIRE(on_simplex(options_.protocol.initial_partition),
                  "initial partition must lie on the simplex");
   x_ = options_.protocol.initial_partition;
+  faulty_ = options_.protocol.faults.enabled();
   reset();
 }
 
@@ -33,9 +35,33 @@ void async_fully_distributed::reset() {
                             ? options_.protocol.initial_step
                             : core::initial_step_size(x_);
   alpha_bar_.assign(x_.size(), alpha1);
+  round_ = 0;
+  if (faulty_) {
+    removed_.assign(x_.size(), 0);
+    attempts_.assign(x_.size() * x_.size(), 0);
+    report_ = {};
+  }
+}
+
+std::size_t async_fully_distributed::attempts_to_deliver(std::size_t from,
+                                                         std::size_t to) {
+  const net::fault_plan& plan = options_.protocol.faults;
+  const std::size_t idx = from * x_.size() + to;
+  for (std::size_t k = 1; k <= options_.protocol.retry_budget + 1; ++k) {
+    const std::uint64_t attempt = attempts_[idx]++;
+    if (!plan.roll_drop(from, to, attempt)) return k;
+  }
+  return 0;
 }
 
 async_round_result async_fully_distributed::run_round(
+    const cost::cost_view& costs) {
+  const std::uint64_t round = round_++;
+  if (!faulty_) return run_round_clean(costs);
+  return run_round_faulty(costs, round);
+}
+
+async_round_result async_fully_distributed::run_round_clean(
     const cost::cost_view& costs) {
   const std::size_t n = x_.size();
   DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
@@ -122,6 +148,233 @@ async_round_result async_fully_distributed::run_round(
   for (double t : ready_at) {
     result.round_duration = std::max(result.round_duration, t);
   }
+  result.protocol_duration = result.round_duration - result.compute_duration;
+  return result;
+}
+
+// Deadline-synchronized fault-tolerant round; Algorithm-2 semantics match
+// the synchronous engine's degraded mode (see fully_distributed.cpp).
+async_round_result async_fully_distributed::run_round_faulty(
+    const cost::cost_view& costs, std::uint64_t round) {
+  const std::size_t n = x_.size();
+  DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
+  const net::fault_plan& plan = options_.protocol.faults;
+  const std::size_t budget = options_.protocol.retry_budget;
+
+  async_round_result result;
+  std::size_t losses = 0;  // deliveries abandoned past the budget
+
+  // Permanent crashes retire before the round starts; every survivor
+  // re-caps its local step against the shrunk worker set.
+  for (core::worker_id i = 0; i < n; ++i) {
+    if (removed_[i] != 0 || !plan.permanently_down(i, round)) continue;
+    std::size_t heirs = 0;
+    for (core::worker_id j = 0; j < n; ++j) {
+      if (j != i && removed_[j] == 0) ++heirs;
+    }
+    if (heirs == 0) continue;
+    removed_[i] = 1;
+    std::vector<std::uint8_t> live_mask(n, 0);
+    for (core::worker_id j = 0; j < n; ++j) {
+      live_mask[j] = removed_[j] ? 0 : 1;
+    }
+    core::release_share_in_place(x_, i, live_mask);
+    double min_share = 1.0;
+    for (core::worker_id j = 0; j < n; ++j) {
+      if (removed_[j] == 0) min_share = std::min(min_share, x_[j]);
+    }
+    const double cap = core::feasible_step_cap(heirs, min_share);
+    for (core::worker_id j = 0; j < n; ++j) {
+      if (removed_[j] == 0) alpha_bar_[j] = std::min(alpha_bar_[j], cap);
+    }
+    ++report_.removed_workers;
+  }
+
+  cost::evaluate_into(costs, x_, locals_);
+  for (core::worker_id i = 0; i < n; ++i) {
+    if (removed_[i] == 0) {
+      result.compute_duration = std::max(result.compute_duration, locals_[i]);
+    }
+  }
+  if (n == 1) {
+    result.next_allocation = x_;
+    result.round_duration = result.compute_duration;
+    return result;
+  }
+
+  const double msg_time = options_.link.message_time(options_.payload_bytes);
+  const double serialize = static_cast<double>(options_.payload_bytes) /
+                           options_.link.bytes_per_second;
+  const double timeout = options_.retransmit_timeout < 0.0
+                             ? 4.0 * msg_time
+                             : options_.retransmit_timeout;
+  const double patience =
+      static_cast<double>(budget + 1) * timeout + msg_time;
+
+  std::vector<std::uint8_t> live(n, 0);
+  std::size_t holds = 0;
+  for (core::worker_id i = 0; i < n; ++i) {
+    live[i] = (removed_[i] == 0 && !plan.down(i, round)) ? 1 : 0;
+    if (live[i] == 0 && removed_[i] == 0) ++holds;
+  }
+  std::size_t failovers = 0;
+  bool aborted = false;
+  core::worker_id s_final = 0;
+  std::vector<double> next_x = x_;
+  double clock = 0.0;
+
+  // --- Phase 1: all-to-all broadcast among live workers; H_t = senders
+  //     that reached every polling receiver within the budget. ---
+  std::vector<std::uint8_t> delivered(n * n, 0);
+  double phase1_end = result.compute_duration;
+  for (net::node_id i = 0; i < n; ++i) {
+    if (live[i] == 0) continue;
+    std::size_t position = 0;
+    for (net::node_id j = 0; j < n; ++j) {
+      if (j == i || live[j] == 0) continue;
+      const double depart =
+          locals_[i] + static_cast<double>(position++) * serialize;
+      ++result.messages;
+      const std::size_t k = attempts_to_deliver(i, j);
+      const bool polling = !plan.crashed_during(j, round);
+      if (k > 0) {
+        result.retransmits += k - 1;
+        if (polling) {
+          delivered[j * n + i] = 1;
+          phase1_end = std::max(
+              phase1_end,
+              depart + static_cast<double>(k - 1) * timeout + msg_time);
+        }
+      } else {
+        result.retransmits += budget;
+        ++losses;
+        if (polling) phase1_end = std::max(phase1_end, depart + patience);
+      }
+    }
+  }
+  clock = phase1_end;
+
+  std::vector<std::uint8_t> in_h(n, 0);
+  std::size_t h_count = 0;
+  for (net::node_id i = 0; i < n; ++i) {
+    in_h[i] = live[i];
+    if (live[i] == 0) continue;
+    for (net::node_id j = 0; j < n; ++j) {
+      if (j == i || live[j] == 0 || plan.crashed_during(j, round)) continue;
+      if (delivered[j * n + i] == 0) {
+        in_h[i] = 0;
+        break;
+      }
+    }
+    if (in_h[i] != 0) ++h_count;
+  }
+  for (core::worker_id i = 0; i < n; ++i) {
+    if (live[i] == 0) continue;
+    if (plan.crashed_during(i, round)) {
+      ++holds;  // broadcast, then stopped computing
+    } else if (in_h[i] == 0) {
+      ++holds;  // excluded from the round: broadcast lost past budget
+    }
+  }
+
+  if (h_count == 0) {
+    aborted = true;
+  } else {
+    // --- Election and min consensus over H_t. ---
+    core::worker_id s = n;
+    double alpha_t = 1.0;
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (in_h[i] == 0) continue;
+      if (s == n || locals_[i] > locals_[s]) s = i;
+      alpha_t = std::min(alpha_t, alpha_bar_[i]);
+    }
+    s_final = s;
+
+    // A mid-crashed straggler cannot absorb: re-elect before the decision
+    // uploads (the re-send cost shows up as one extra deadline below).
+    if (plan.crashed_during(s, round)) {
+      core::worker_id s2 = n;
+      for (core::worker_id i = 0; i < n; ++i) {
+        if (in_h[i] == 0 || i == s || plan.crashed_during(i, round)) {
+          continue;
+        }
+        if (s2 == n || locals_[i] > locals_[s2]) s2 = i;
+      }
+      if (s2 == n) {
+        aborted = true;
+      } else {
+        ++failovers;
+        ++report_.straggler_failovers;
+        ++result.straggler_failovers;
+        clock += patience;  // movers time out on the dead straggler first
+        s_final = s2;
+      }
+    }
+
+    if (!aborted) {
+      // --- Phase 2: movers update and upload {x_new, x_old}; straggler
+      //     absorbs the delta sum. ---
+      double delta = 0.0;
+      double phase2_end = clock;
+      for (net::node_id i = 0; i < n; ++i) {
+        if (in_h[i] == 0 || i == s || i == s_final ||
+            plan.crashed_during(i, round)) {
+          continue;
+        }
+        const double xp =
+            core::max_acceptable_workload(*costs[i], x_[i], locals_[s]);
+        const double tentative = x_[i] + alpha_t * (xp - x_[i]);
+        ++result.messages;
+        const std::size_t k = attempts_to_deliver(i, s_final);
+        const double sent_at = clock + options_.compute_delay;
+        if (k > 0) {
+          result.retransmits += k - 1;
+          next_x[i] = tentative;
+          delta += tentative - x_[i];
+          phase2_end = std::max(
+              phase2_end,
+              sent_at + static_cast<double>(k - 1) * timeout + msg_time);
+        } else {
+          result.retransmits += budget;
+          ++losses;
+          ++holds;  // decision lost past budget: the mover rolls back
+          phase2_end = std::max(phase2_end, sent_at + patience);
+        }
+      }
+      clock = phase2_end;
+
+      const double raw = x_[s_final] - delta;
+      next_x[s_final] = std::max(0.0, raw);
+      if (raw < 0.0) {
+        double total = 0.0;
+        for (double v : next_x) total += v;
+        for (double& v : next_x) v /= total;
+      }
+      alpha_bar_[s_final] = core::next_step_size(alpha_bar_[s_final], n,
+                                                 next_x[s_final]);
+    }
+  }
+
+  if (aborted) {
+    next_x = x_;  // every worker holds
+    ++report_.aborted_rounds;
+  }
+  x_ = std::move(next_x);
+  DOLBIE_REQUIRE(on_simplex(x_),
+                 "degraded async-FD round " << round
+                                            << " left the allocation off "
+                                               "the simplex");
+
+  result.zero_step_holds = holds;
+  result.aborted = aborted;
+  result.degraded = holds > 0 || failovers > 0 || aborted;
+  if (result.degraded) ++report_.degraded_rounds;
+  report_.zero_step_holds += holds;
+  report_.retransmits += result.retransmits;
+  report_.timeouts += result.retransmits + losses;
+
+  result.next_allocation = x_;
+  result.round_duration = std::max(clock, result.compute_duration);
   result.protocol_duration = result.round_duration - result.compute_duration;
   return result;
 }

@@ -11,6 +11,14 @@
 // the same trade-off round_timing.h models analytically, now measured on
 // an actual event schedule. The produced iterates are bit-identical to
 // the sequential reference.
+//
+// Fault tolerance: with `protocol.faults` enabled the engine switches to
+// the deadline-synchronized arithmetic model of async_master_worker,
+// with Algorithm-2 semantics matching the synchronous engine's degraded
+// mode — participant set H_t (broadcast heard by every polling receiver),
+// election and min-consensus over H_t, delta-sum absorption, straggler
+// failover, churn-path retirement of permanent crashes. The clean path is
+// untouched (bit-identical timing and allocations).
 #pragma once
 
 #include "core/policy.h"
@@ -31,14 +39,30 @@ class async_fully_distributed {
   /// Simulate one full round under the given revealed cost functions.
   async_round_result run_round(const cost::cost_view& costs);
 
+  /// Cumulative fault/degradation accounting (all zero on the clean path).
+  const fault_report& faults() const { return report_; }
+
   void reset();
 
  private:
+  async_round_result run_round_clean(const cost::cost_view& costs);
+  async_round_result run_round_faulty(const cost::cost_view& costs,
+                                      std::uint64_t round);
+  std::size_t attempts_to_deliver(std::size_t from, std::size_t to);
+
   async_options options_;
   core::allocation x_;
   std::vector<double> alpha_bar_;
   // Round scratch (the phase-0 local costs), reused across run_round calls.
   std::vector<double> locals_;
+
+  // Fault-tolerant path (engaged only when options_.protocol.faults is
+  // enabled; the clean path never touches any of this).
+  bool faulty_ = false;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint8_t> removed_;
+  std::vector<std::uint64_t> attempts_;  // per-link fault-roll counters
+  fault_report report_;
 };
 
 }  // namespace dolbie::dist

@@ -20,6 +20,16 @@
 //   master: on the last decision, sends the straggler its assignment and
 //           tightens alpha by Eq. (7)
 //   round ends at max_i (time worker i holds x_{i,t+1})
+//
+// Fault tolerance: with `protocol.faults` enabled the engine switches to a
+// deadline-synchronized round computed by direct arithmetic over arrival
+// times (no event queue): each delivery rolls the fault plan up to
+// retry_budget + 1 times, a retransmission costs one timeout, and a
+// message lost past the budget degrades the round with the same semantics
+// as the synchronous engine — unheard workers hold x_{i,t}, the straggler
+// fails over deterministically, permanent crashes retire through
+// core/churn.h. The clean path is untouched (bit-identical timing and
+// allocations).
 #pragma once
 
 #include "core/policy.h"
@@ -33,8 +43,14 @@ struct async_options {
   net::link_delay_model link;
   /// Local decision-computation time per worker (Eq. 4 inverse + update).
   double compute_delay = 2e-6;
-  /// Encoded bytes per protocol message (net/codec: 12 + 8 * scalars).
-  std::size_t payload_bytes = 28;
+  /// Encoded bytes per protocol message (net/codec: 20 + 8 * scalars; the
+  /// widest protocol payload is 2 scalars once the reliability header is
+  /// included).
+  std::size_t payload_bytes = 36;
+  /// Retransmission timer for the fault-tolerant path (seconds). Negative
+  /// selects 4x the one-message link time. Unused when
+  /// protocol.faults is disabled.
+  double retransmit_timeout = -1.0;
 };
 
 /// Result of one asynchronously simulated round.
@@ -45,6 +61,12 @@ struct async_round_result {
   double protocol_duration = 0.0;    ///< round_duration - compute_duration
   std::size_t events = 0;            ///< events executed by the simulator
   std::size_t messages = 0;          ///< protocol messages exchanged
+  // Fault-path accounting (all zero on the clean path).
+  std::size_t retransmits = 0;       ///< retransmissions this round
+  std::size_t zero_step_holds = 0;   ///< workers that held x_{i,t}
+  std::size_t straggler_failovers = 0;
+  bool degraded = false;             ///< any hold, failover or abort
+  bool aborted = false;              ///< no progress was possible
 };
 
 /// Asynchronous Algorithm-1 engine. Stateful across rounds (x_t, alpha_t),
@@ -60,14 +82,33 @@ class async_master_worker {
   /// Simulate one full round under the given revealed cost functions.
   async_round_result run_round(const cost::cost_view& costs);
 
+  /// Cumulative fault/degradation accounting (all zero on the clean path).
+  const fault_report& faults() const { return report_; }
+
   void reset();
 
  private:
+  async_round_result run_round_clean(const cost::cost_view& costs);
+  async_round_result run_round_faulty(const cost::cost_view& costs,
+                                      std::uint64_t round);
+  // One reliable delivery on the (from, to) link: rolls the fault plan up
+  // to retry_budget + 1 times and returns the attempt that got through
+  // (1-based), or 0 when the message is lost past the budget.
+  std::size_t attempts_to_deliver(std::size_t from, std::size_t to);
+
   async_options options_;
   core::allocation x_;
   double alpha_ = 0.0;
   // Round scratch (the phase-0 local costs), reused across run_round calls.
   std::vector<double> locals_;
+
+  // Fault-tolerant path (engaged only when options_.protocol.faults is
+  // enabled; the clean path never touches any of this).
+  bool faulty_ = false;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint8_t> removed_;
+  std::vector<std::uint64_t> attempts_;  // per-link fault-roll counters
+  fault_report report_;
 };
 
 }  // namespace dolbie::dist

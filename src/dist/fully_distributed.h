@@ -19,11 +19,26 @@
 //
 // The produced iterates are bit-identical to core::dolbie_policy (asserted
 // by tests/dist_equivalence_test).
+//
+// Fault tolerance: with `protocol_options::faults` enabled the round runs
+// over net::reliable_link and completes in degraded mode when messages are
+// lost past the retry budget. The round's participant set H_t is the set
+// of workers whose broadcast reached every polling receiver — election and
+// the consensus step minimize over H_t only (min over a subset upper-bounds
+// the min over all, so Eq. 7 feasibility is preserved); workers outside
+// H_t hold x_{i,t}. On this path decisions carry {x_{i,t+1}, x_{i,t}} so
+// the straggler can absorb via the delta sum without learning the holders'
+// shares — a deliberate, documented relaxation of the clean path's
+// single-scalar privacy. A straggler that crashed mid-round is re-elected
+// deterministically and movers re-upload. See DESIGN.md §8.
 #pragma once
+
+#include <memory>
 
 #include "core/policy.h"
 #include "dist/protocol.h"
 #include "net/network.h"
+#include "net/reliable.h"
 
 namespace dolbie::dist {
 
@@ -46,7 +61,23 @@ class fully_distributed_policy final : public core::online_policy {
     return last_traffic_;
   }
 
+  /// Cumulative fault/degradation accounting (all zero on the clean path).
+  const fault_report& faults() const { return fault_report_; }
+
+  /// The underlying transport, exposed so fault-injection tests can
+  /// schedule deterministic drops (network::inject_drop) on specific
+  /// links. Production callers have no business poking it.
+  net::network& transport() { return net_; }
+
  private:
+  void observe_clean(const core::round_feedback& feedback,
+                     std::uint64_t round);
+  void observe_faulty(const core::round_feedback& feedback,
+                      std::uint64_t round);
+  void retire_worker(core::worker_id id, std::uint64_t round);
+  void finish_round(std::uint64_t round, std::size_t holds,
+                    std::size_t failovers, bool aborted);
+
   std::size_t n_;
   protocol_options options_;
   net::network net_;
@@ -66,11 +97,28 @@ class fully_distributed_policy final : public core::online_policy {
   core::allocation assembled_;
   net::traffic_totals last_traffic_;
 
+  // Fault-tolerant path (engaged only when options_.faults is enabled;
+  // the clean path never touches any of this).
+  bool faulty_ = false;
+  std::unique_ptr<net::reliable_link> rel_;
+  std::vector<std::uint8_t> removed_;    // permanent membership
+  std::vector<std::uint8_t> live_;       // per-round scratch
+  std::vector<std::uint8_t> in_h_;       // round participant set H_t
+  std::vector<std::uint8_t> delivered_;  // n*n broadcast delivery bitmap
+  std::vector<double> tentative_;        // movers' tentative decisions
+  net::traffic_totals round_traffic_start_;
+  fault_report fault_report_;
+
   // Observability (null when options_.metrics is unset).
   std::uint64_t round_ = 0;
   obs::counter* rounds_counter_ = nullptr;
   obs::gauge* alpha_gauge_ = nullptr;
   obs::gauge* straggler_gauge_ = nullptr;
+  obs::counter* degraded_counter_ = nullptr;
+  obs::counter* failover_counter_ = nullptr;
+  obs::counter* retransmit_counter_ = nullptr;
+  obs::counter* timeout_counter_ = nullptr;
+  net::reliable_stats mirrored_;  // last stats already mirrored to metrics
 };
 
 }  // namespace dolbie::dist

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "core/churn.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
 #include "obs/trace.h"
@@ -22,10 +23,30 @@ master_worker_policy::master_worker_policy(std::size_t n_workers,
   DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
                  "initial partition must lie on the simplex");
   net_.attach_tracer(options_.tracer, options_.trace_lane);
+  faulty_ = options_.faults.enabled();
+  if (faulty_) {
+    net_.attach_faults(options_.faults);
+    rel_ = std::make_unique<net::reliable_link>(
+        net_, net::reliable_options{options_.retry_budget});
+    rel_->attach_tracer(options_.tracer, options_.trace_lane);
+    removed_.assign(n_, 0);
+    live_.assign(n_, 0);
+    heard_.assign(n_, 0);
+    decided_.assign(n_, 0);
+    tentative_.assign(n_, 0.0);
+  }
   if (options_.metrics != nullptr) {
     rounds_counter_ = &options_.metrics->counter_named("mw.rounds");
     alpha_gauge_ = &options_.metrics->gauge_named("mw.alpha");
     straggler_gauge_ = &options_.metrics->gauge_named("mw.straggler");
+    if (faulty_) {
+      degraded_counter_ =
+          &options_.metrics->counter_named("dist.degraded_rounds");
+      failover_counter_ =
+          &options_.metrics->counter_named("dist.straggler_failovers");
+      retransmit_counter_ = &options_.metrics->counter_named("net.retransmits");
+      timeout_counter_ = &options_.metrics->counter_named("net.timeouts");
+    }
   }
   reset();
 }
@@ -39,6 +60,12 @@ void master_worker_policy::reset() {
   net_.reset_traffic();
   last_traffic_ = {};
   round_ = 0;
+  if (faulty_) {
+    rel_->reset();
+    std::fill(removed_.begin(), removed_.end(), 0);
+    fault_report_ = {};
+    mirrored_ = {};
+  }
 }
 
 void master_worker_policy::observe(const core::round_feedback& feedback) {
@@ -46,6 +73,18 @@ void master_worker_policy::observe(const core::round_feedback& feedback) {
   DOLBIE_REQUIRE(feedback.local_costs.size() == n_, "feedback size mismatch");
   const std::uint64_t round = round_++;
   if (n_ == 1) return;
+  if (!faulty_) {
+    observe_clean(feedback, round);
+  } else {
+    observe_faulty(feedback, round);
+  }
+}
+
+// The exact pre-fault round: best-effort sends, every message required.
+// Kept verbatim so zero-fault runs stay bit-identical (allocations and
+// traces) and free of any fault-path bookkeeping.
+void master_worker_policy::observe_clean(const core::round_feedback& feedback,
+                                         std::uint64_t round) {
   net_.reset_traffic();
   net_.set_round(round);
   const cost::cost_view& costs = *feedback.costs;
@@ -137,6 +176,300 @@ void master_worker_policy::observe(const core::round_feedback& feedback) {
     alpha_gauge_->set(alpha_);
     straggler_gauge_->set(static_cast<double>(s));
   }
+}
+
+void master_worker_policy::retire_worker(core::worker_id id,
+                                         std::uint64_t round) {
+  std::size_t heirs = 0;
+  for (core::worker_id j = 0; j < n_; ++j) {
+    if (j != id && removed_[j] == 0) ++heirs;
+  }
+  if (heirs == 0) return;  // the last worker keeps everything
+  removed_[id] = 1;
+  for (core::worker_id j = 0; j < n_; ++j) live_[j] = removed_[j] ? 0 : 1;
+  core::release_share_in_place(worker_x_, id, live_);
+  // Conservative re-cap over the surviving shares — the engine-side
+  // analogue of dolbie_policy::remove_worker's alpha re-cap.
+  double min_share = 1.0;
+  for (core::worker_id j = 0; j < n_; ++j) {
+    if (removed_[j] == 0) min_share = std::min(min_share, worker_x_[j]);
+  }
+  alpha_ = std::min(alpha_, core::feasible_step_cap(heirs, min_share));
+  ++fault_report_.removed_workers;
+  if (options_.tracer != nullptr) {
+    options_.tracer->instant(
+        options_.trace_lane, round, "worker_removed", "mw",
+        {obs::arg_int("worker", id), obs::arg_int("survivors", heirs),
+         obs::arg_num("alpha", alpha_)});
+  }
+}
+
+// The fault-tolerant round: reliable delivery with bounded retransmit,
+// round deadlines, degraded completion and straggler failover. Semantics:
+//
+//   * a worker the master does not hear from (down, crashed mid-round, or
+//     lost past the retry budget) takes a zero-length Eq. 5 step — it
+//     holds x_{i,t}, and the straggler's Eq. 6 remainder accounts for it
+//     at its current share, which the master legitimately tracks;
+//   * a worker's decision commits only when the master confirms receipt
+//     (the pull-model ack); unconfirmed decisions roll back to x_{i,t};
+//   * the round itself commits when the straggler adopts its assignment.
+//     If the elected straggler is unreachable, the master re-elects the
+//     next-highest heard cost deterministically; if no candidate is
+//     reachable the whole round aborts (every worker holds).
+void master_worker_policy::observe_faulty(const core::round_feedback& feedback,
+                                          std::uint64_t round) {
+  net_.set_round(round);
+  round_traffic_start_ = net_.total_traffic();
+  const cost::cost_view& costs = *feedback.costs;
+  const net::fault_plan& plan = options_.faults;
+  obs::tracer* tr = options_.tracer;
+  const std::uint32_t lane = options_.trace_lane;
+  obs::span round_span(tr, lane, round, "round", "mw");
+
+  // Membership: permanent crashes retire through the shared churn math
+  // before the round starts.
+  for (core::worker_id i = 0; i < n_; ++i) {
+    if (removed_[i] == 0 && plan.permanently_down(i, round)) {
+      retire_worker(i, round);
+    }
+  }
+
+  round_start_x_ = worker_x_;
+  std::size_t holds = 0;  // worker-rounds defaulting to x_{i,t}
+  for (core::worker_id i = 0; i < n_; ++i) {
+    live_[i] = (removed_[i] == 0 && !plan.down(i, round)) ? 1 : 0;
+    if (live_[i] == 0 && removed_[i] == 0) ++holds;  // temporarily down
+  }
+  std::size_t failovers = 0;
+  bool aborted = false;
+  core::worker_id s_final = 0;
+
+  rel_->begin_round(round);
+
+  // --- Phase 1: live workers (including mid-round crashers, whose
+  //     transport completes) upload their local costs. ---
+  master_l_.assign(n_, 0.0);
+  std::size_t heard_count = 0;
+  {
+    obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
+    for (net::node_id i = 0; i < n_; ++i) {
+      if (live_[i] == 0) continue;
+      rel_->send({i, master_id(), net::message_kind::local_cost,
+                  {feedback.local_costs[i]}});
+    }
+    std::fill(heard_.begin(), heard_.end(), 0);
+    for (net::node_id i = 0; i < n_; ++i) {
+      if (live_[i] == 0) continue;
+      auto m = rel_->receive(master_id(), i);
+      if (m.has_value()) {
+        heard_[i] = 1;
+        ++heard_count;
+        master_l_[i] = m->payload[0];
+      } else {
+        ++holds;  // unheard past budget: excluded from the round
+      }
+    }
+  }
+
+  if (heard_count == 0) {
+    // Nobody reached the master: the round aborts, every worker holds.
+    aborted = true;
+    worker_x_ = round_start_x_;
+  } else {
+    // --- Phase 2: elect over the heard set, broadcast round info. ---
+    core::worker_id s = n_;
+    for (core::worker_id i = 0; i < n_; ++i) {
+      if (heard_[i] != 0 && (s == n_ || master_l_[i] > master_l_[s])) s = i;
+    }
+    const double l_t = master_l_[s];
+    s_final = s;
+    if (tr != nullptr) {
+      tr->instant(lane, round, "straggler_elected", "mw",
+                  {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});
+    }
+    {
+      obs::span sp(tr, lane, round, "phase2.round_info_downloads", "mw");
+      for (net::node_id i = 0; i < n_; ++i) {
+        if (heard_[i] == 0) continue;
+        rel_->send({master_id(), i, net::message_kind::round_info,
+                    {l_t, alpha_, i == s ? 0.0 : 1.0}});
+      }
+    }
+
+    // --- Phase 3: reachable non-stragglers compute tentative decisions
+    //     and upload them. A worker that crashed mid-round or missed its
+    //     round info holds x_{i,t}. ---
+    {
+      obs::span sp(tr, lane, round, "phase3.decision_uploads", "mw");
+      std::fill(decided_.begin(), decided_.end(), 0);
+      for (net::node_id i = 0; i < n_; ++i) {
+        if (heard_[i] == 0) continue;
+        if (plan.crashed_during(i, round)) {
+          if (i != s) ++holds;  // died after its phase-1 upload
+          continue;
+        }
+        // Every reachable worker consumes its round info — the straggler
+        // included, or the stale message would alias the assignment it
+        // pulls from the same link in phase 4.
+        auto m = rel_->receive(i, master_id());
+        if (i == s) continue;  // the straggler waits for its assignment
+        if (!m.has_value()) {
+          ++holds;  // round info lost past budget: zero step
+          continue;
+        }
+        const double xp = core::max_acceptable_workload(
+            *costs[i], worker_x_[i], m->payload[0]);
+        tentative_[i] = worker_x_[i] + m->payload[1] * (xp - worker_x_[i]);
+        rel_->send(
+            {i, master_id(), net::message_kind::decision, {tentative_[i]}});
+        decided_[i] = 1;
+      }
+    }
+
+    // --- Phase 4: commit confirmed decisions, assign the remainder with
+    //     deterministic straggler failover. ---
+    {
+      obs::span sp(tr, lane, round, "phase4.assignment_download", "mw");
+      for (net::node_id i = 0; i < n_; ++i) {
+        if (decided_[i] == 0) continue;
+        auto m = rel_->receive(master_id(), i);
+        if (m.has_value()) {
+          worker_x_[i] = m->payload[0];
+        } else {
+          decided_[i] = 0;  // never acked: the worker rolls back
+          ++holds;
+        }
+      }
+
+      bool clamped = false;
+      const auto try_assign = [&](core::worker_id cand) -> bool {
+        // The straggler's share is derived, not decided: revert any move
+        // the candidate committed as a non-straggler before re-deriving.
+        const double saved = worker_x_[cand];
+        worker_x_[cand] = round_start_x_[cand];
+        double claimed = 0.0;
+        for (core::worker_id j = 0; j < n_; ++j) {
+          if (j != cand) claimed += worker_x_[j];
+        }
+        const double raw = 1.0 - claimed;
+        const double next = std::max(0.0, raw);
+        rel_->send(
+            {master_id(), cand, net::message_kind::assignment, {next}});
+        auto m = rel_->receive(cand, master_id());
+        if (!m.has_value()) {
+          worker_x_[cand] = saved;  // unreachable: keep its committed move
+          return false;
+        }
+        worker_x_[cand] = m->payload[0];
+        clamped = raw < 0.0;
+        return true;
+      };
+
+      bool assigned = false;
+      if (!plan.crashed_during(s, round)) assigned = try_assign(s);
+      if (!assigned) {
+        // Failover chain: next-highest heard cost among workers that are
+        // still running, lowest index on ties; reuse heard_ to mark
+        // exhausted candidates.
+        core::worker_id prev = s;
+        for (;;) {
+          core::worker_id cand = n_;
+          for (core::worker_id i = 0; i < n_; ++i) {
+            if (i == s || heard_[i] == 0 || plan.crashed_during(i, round)) {
+              continue;
+            }
+            if (cand == n_ || master_l_[i] > master_l_[cand]) cand = i;
+          }
+          if (cand == n_) break;
+          heard_[cand] = 0;  // consumed as a candidate
+          ++failovers;
+          ++fault_report_.straggler_failovers;
+          if (failover_counter_ != nullptr) failover_counter_->add(1);
+          if (tr != nullptr) {
+            tr->instant(lane, round, "straggler_failover", "mw",
+                        {obs::arg_int("from", prev), obs::arg_int("to", cand),
+                         obs::arg_num("cost", master_l_[cand])});
+          }
+          if (try_assign(cand)) {
+            assigned = true;
+            s_final = cand;
+            break;
+          }
+          prev = cand;
+        }
+      }
+      if (!assigned) {
+        aborted = true;
+        worker_x_ = round_start_x_;
+      } else {
+        if (clamped) {
+          // The remainder went negative: alpha ran ahead of the binding
+          // Eq. 7 cap (its source went unheard in a degraded round).
+          // Rescale onto the simplex like the sequential reference.
+          double total = 0.0;
+          for (double v : worker_x_) total += v;
+          for (double& v : worker_x_) v /= total;
+          if (tr != nullptr) {
+            tr->instant(lane, round, "renormalized", "mw",
+                        {obs::arg_num("total", total)});
+          }
+        }
+        // Conservative re-cap from the realized straggler share (Eq. 7
+        // with the full worker count — a superset bound stays safe).
+        alpha_ = core::next_step_size(alpha_, n_, worker_x_[s_final]);
+      }
+    }
+  }
+
+  finish_round(round, holds, failovers, aborted, s_final);
+  round_span.arg("straggler", static_cast<std::uint64_t>(s_final));
+  round_span.arg("alpha_next", alpha_);
+  round_span.arg("messages",
+                 static_cast<std::uint64_t>(last_traffic_.messages_sent));
+  if (rounds_counter_ != nullptr) {
+    rounds_counter_->add(1);
+    alpha_gauge_->set(alpha_);
+    straggler_gauge_->set(static_cast<double>(s_final));
+  }
+}
+
+void master_worker_policy::finish_round(std::uint64_t round, std::size_t holds,
+                                        std::size_t failovers, bool aborted,
+                                        core::worker_id straggler) {
+  (void)straggler;
+  const bool degraded = holds > 0 || failovers > 0 || aborted;
+  if (degraded) {
+    ++fault_report_.degraded_rounds;
+    if (aborted) ++fault_report_.aborted_rounds;
+    if (degraded_counter_ != nullptr) degraded_counter_->add(1);
+    if (options_.tracer != nullptr) {
+      options_.tracer->instant(options_.trace_lane, round, "degraded_round",
+                               "mw",
+                               {obs::arg_int("holds", holds),
+                                obs::arg_int("aborted", aborted ? 1 : 0)});
+    }
+  }
+  fault_report_.zero_step_holds += holds;
+  const net::reliable_stats& st = rel_->stats();
+  if (retransmit_counter_ != nullptr) {
+    retransmit_counter_->add(st.retransmits - mirrored_.retransmits);
+    timeout_counter_->add(st.timeouts - mirrored_.timeouts);
+  }
+  mirrored_ = st;
+  fault_report_.retransmits = st.retransmits;
+  fault_report_.timeouts = st.timeouts;
+  fault_report_.duplicates_discarded = st.duplicates_discarded;
+
+  DOLBIE_REQUIRE(on_simplex(worker_x_),
+                 "degraded MW round " << round
+                                      << " left the allocation off the "
+                                         "simplex");
+  assembled_ = worker_x_;
+  const net::traffic_totals totals = net_.total_traffic();
+  last_traffic_ = {
+      totals.messages_sent - round_traffic_start_.messages_sent,
+      totals.bytes_sent - round_traffic_start_.bytes_sent};
 }
 
 }  // namespace dolbie::dist

@@ -17,11 +17,24 @@
 //
 // The produced iterates are bit-identical to core::dolbie_policy (asserted
 // by tests/dist_equivalence_test).
+//
+// Fault tolerance: when `protocol_options::faults` is enabled the engine
+// runs every message through net::reliable_link and enforces round
+// deadlines — a phase message missing past the retry budget degrades the
+// round instead of failing it (the affected worker holds x_{i,t}; the
+// master, which legitimately tracks all assignments in Algorithm 1,
+// defaults the missing decision to the worker's current share). A crashed
+// or unreachable straggler is re-elected deterministically (next-highest
+// heard local cost); permanent crashes retire the worker through the
+// shared churn math of core/churn.h. See DESIGN.md §8.
 #pragma once
+
+#include <memory>
 
 #include "core/policy.h"
 #include "dist/protocol.h"
 #include "net/network.h"
+#include "net/reliable.h"
 
 namespace dolbie::dist {
 
@@ -43,8 +56,24 @@ class master_worker_policy final : public core::online_policy {
     return last_traffic_;
   }
 
+  /// Cumulative fault/degradation accounting (all zero on the clean path).
+  const fault_report& faults() const { return fault_report_; }
+
+  /// The underlying transport, exposed so fault-injection tests can
+  /// schedule deterministic drops (network::inject_drop) on specific
+  /// links. Production callers have no business poking it.
+  net::network& transport() { return net_; }
+
  private:
   net::node_id master_id() const { return n_; }
+  void observe_clean(const core::round_feedback& feedback,
+                     std::uint64_t round);
+  void observe_faulty(const core::round_feedback& feedback,
+                      std::uint64_t round);
+  void retire_worker(core::worker_id id, std::uint64_t round);
+  void finish_round(std::uint64_t round, std::size_t holds,
+                    std::size_t failovers, bool aborted,
+                    core::worker_id straggler);
 
   std::size_t n_;
   protocol_options options_;
@@ -62,11 +91,29 @@ class master_worker_policy final : public core::online_policy {
   core::allocation assembled_;
   net::traffic_totals last_traffic_;
 
+  // Fault-tolerant path (engaged only when options_.faults is enabled;
+  // the clean path never touches any of this).
+  bool faulty_ = false;
+  std::unique_ptr<net::reliable_link> rel_;
+  std::vector<std::uint8_t> removed_;    // permanent membership
+  std::vector<std::uint8_t> live_;       // per-round scratch
+  std::vector<std::uint8_t> heard_;      // phase-1 inbox bitmap
+  std::vector<std::uint8_t> decided_;    // decision committed this round
+  std::vector<double> round_start_x_;    // rollback / abort snapshot
+  std::vector<double> tentative_;        // phase-3 tentative decisions
+  net::traffic_totals round_traffic_start_;
+  fault_report fault_report_;
+
   // Observability (null when options_.metrics is unset).
   std::uint64_t round_ = 0;
   obs::counter* rounds_counter_ = nullptr;
   obs::gauge* alpha_gauge_ = nullptr;
   obs::gauge* straggler_gauge_ = nullptr;
+  obs::counter* degraded_counter_ = nullptr;
+  obs::counter* failover_counter_ = nullptr;
+  obs::counter* retransmit_counter_ = nullptr;
+  obs::counter* timeout_counter_ = nullptr;
+  net::reliable_stats mirrored_;  // last stats already mirrored to metrics
 };
 
 }  // namespace dolbie::dist

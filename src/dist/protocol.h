@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "net/fault_plan.h"
 
 namespace dolbie::obs {
 class metrics_registry;
@@ -36,6 +37,39 @@ struct protocol_options {
   obs::tracer* tracer = nullptr;
   obs::metrics_registry* metrics = nullptr;
   std::uint32_t trace_lane = 0;
+
+  /// Deterministic fault schedule (net/fault_plan.h). Default-constructed
+  /// (disabled) keeps the engine on the exact pre-fault wire path —
+  /// bit-identical allocations and traces, zero extra work per round.
+  /// With any fault configured, messages travel through the reliable
+  /// delivery layer and rounds may complete in degraded mode.
+  net::fault_plan faults;
+  /// Retransmissions allowed per message before the receiver declares it
+  /// lost and the round degrades (see net/reliable.h).
+  std::size_t retry_budget = 5;
+};
+
+/// Cumulative fault/degradation accounting exposed by both sync engines.
+/// Mirrored into `protocol_options::metrics` (when attached) as the
+/// counters dist.degraded_rounds, dist.straggler_failovers,
+/// net.retransmits and net.timeouts.
+struct fault_report {
+  /// Rounds that completed with at least one worker holding x_{i,t}
+  /// (zero step), a straggler failover, or a full abort.
+  std::size_t degraded_rounds = 0;
+  /// Deterministic re-elections after the elected straggler crashed or
+  /// missed its deadline.
+  std::size_t straggler_failovers = 0;
+  /// Workers retired permanently through the churn path (core/churn.h).
+  std::size_t removed_workers = 0;
+  /// Worker-rounds that defaulted to x_{i,t} (zero-length Eq. 5 step).
+  std::size_t zero_step_holds = 0;
+  /// Rounds where no progress was possible and every worker held.
+  std::size_t aborted_rounds = 0;
+  /// Transport totals, copied from the reliable layer.
+  std::size_t retransmits = 0;
+  std::size_t timeouts = 0;
+  std::size_t duplicates_discarded = 0;
 };
 
 }  // namespace dolbie::dist

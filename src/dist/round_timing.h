@@ -31,10 +31,10 @@ struct round_timing {
 
 /// Estimate one round's communication wall-clock for both realizations.
 /// `payload_bytes` is the encoded size of one scalar-carrying message
-/// (net/codec: 12-byte header + 8 per scalar; protocol messages carry at
-/// most 3 scalars — we use the 2-scalar average of 28 bytes by default).
+/// (net/codec: 20-byte header + 8 per scalar; protocol messages carry at
+/// most 3 scalars — we use the 2-scalar average of 36 bytes by default).
 round_timing estimate_round_timing(std::size_t n_workers,
                                    const net::link_delay_model& link,
-                                   std::size_t payload_bytes = 28);
+                                   std::size_t payload_bytes = 36);
 
 }  // namespace dolbie::dist

@@ -1,0 +1,182 @@
+#include "exp/chaos.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
+#include "exp/harness.h"
+#include "exp/parallel_sweep.h"
+
+namespace dolbie::exp {
+namespace {
+
+chaos_row run_cell(const chaos_options& options, std::size_t engine,
+                   double drop_rate) {
+  net::fault_plan plan;
+  plan.seed = options.fault_seed;
+  plan.drop_rate = drop_rate;
+  plan.crashes = options.crashes;
+
+  dist::protocol_options popts;
+  popts.faults = plan;
+  popts.retry_budget = options.retry_budget;
+
+  auto env = make_synthetic_environment(options.workers, options.family,
+                                        options.seed);
+  harness_options hopts;
+  hopts.rounds = options.rounds;
+
+  chaos_row row;
+  row.drop_rate = drop_rate;
+  if (engine == 0) {
+    row.engine = "MW";
+    dist::master_worker_policy policy(options.workers, popts);
+    const run_trace trace = run(policy, *env, hopts);
+    row.cumulative_cost = trace.global_cost.total();
+    row.report = policy.faults();
+    row.simplex_ok = on_simplex(policy.current());
+  } else {
+    row.engine = "FD";
+    dist::fully_distributed_policy policy(options.workers, popts);
+    const run_trace trace = run(policy, *env, hopts);
+    row.cumulative_cost = trace.global_cost.total();
+    row.report = policy.faults();
+    row.simplex_ok = on_simplex(policy.current());
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<chaos_row> run_chaos_grid(const chaos_options& options) {
+  std::vector<double> rates = options.drop_rates;
+  if (std::find(rates.begin(), rates.end(), 0.0) == rates.end()) {
+    rates.insert(rates.begin(), 0.0);
+  }
+  const std::size_t cells = 2 * rates.size();
+  std::vector<chaos_row> rows = parallel_map<chaos_row>(
+      cells, [&](std::size_t cell) {
+        return run_cell(options, cell / rates.size(),
+                        rates[cell % rates.size()]);
+      });
+  // Excess over each engine's own zero-drop baseline.
+  for (std::size_t e = 0; e < 2; ++e) {
+    double baseline = 0.0;
+    for (const chaos_row& row : rows) {
+      if (row.engine == (e == 0 ? "MW" : "FD") && row.drop_rate == 0.0) {
+        baseline = row.cumulative_cost;
+        break;
+      }
+    }
+    for (chaos_row& row : rows) {
+      if (row.engine == (e == 0 ? "MW" : "FD")) {
+        row.excess_vs_clean = row.cumulative_cost - baseline;
+      }
+    }
+  }
+  return rows;
+}
+
+void print_chaos_table(std::ostream& os, const std::vector<chaos_row>& rows) {
+  table t({"engine", "drop", "cum cost", "excess vs clean", "degraded",
+           "holds", "failovers", "removed", "retransmits", "simplex"});
+  for (const chaos_row& row : rows) {
+    t.add_row({row.engine, format_double(row.drop_rate, 2),
+               format_double(row.cumulative_cost, 4),
+               format_double(row.excess_vs_clean, 4),
+               std::to_string(row.report.degraded_rounds),
+               std::to_string(row.report.zero_step_holds),
+               std::to_string(row.report.straggler_failovers),
+               std::to_string(row.report.removed_workers),
+               std::to_string(row.report.retransmits),
+               row.simplex_ok ? "ok" : "VIOLATED"});
+  }
+  t.print(os);
+}
+
+void write_chaos_jsonl(std::ostream& os, const chaos_options& options,
+                       const std::vector<chaos_row>& rows) {
+  for (const chaos_row& row : rows) {
+    os << "{\"engine\":\"" << row.engine << "\""
+       << ",\"drop_rate\":" << row.drop_rate
+       << ",\"fault_seed\":" << options.fault_seed
+       << ",\"workers\":" << options.workers
+       << ",\"rounds\":" << options.rounds
+       << ",\"cumulative_cost\":" << row.cumulative_cost
+       << ",\"excess_vs_clean\":" << row.excess_vs_clean
+       << ",\"degraded_rounds\":" << row.report.degraded_rounds
+       << ",\"zero_step_holds\":" << row.report.zero_step_holds
+       << ",\"straggler_failovers\":" << row.report.straggler_failovers
+       << ",\"removed_workers\":" << row.report.removed_workers
+       << ",\"aborted_rounds\":" << row.report.aborted_rounds
+       << ",\"retransmits\":" << row.report.retransmits
+       << ",\"timeouts\":" << row.report.timeouts
+       << ",\"simplex_ok\":" << (row.simplex_ok ? "true" : "false")
+       << "}\n";
+  }
+}
+
+bool chaos_requested(const cli_args& args) {
+  return args.has("chaos") || args.has("fault-seed") ||
+         args.has("drop-rate") || args.has("drop-rates") ||
+         args.has("crash-schedule");
+}
+
+chaos_options chaos_options_from_args(const cli_args& args) {
+  chaos_options options;
+  options.workers = args.get_u64("chaos-workers", 30);
+  options.rounds = args.get_u64("chaos-rounds", 200);
+  options.seed = args.get_u64("seed", 42);
+  options.fault_seed = args.get_u64("fault-seed", 1);
+  options.retry_budget = args.get_u64("retry-budget", 5);
+  if (args.has("drop-rates")) {
+    options.drop_rates.clear();
+    std::stringstream ss(args.get_string("drop-rates", ""));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (token.empty()) continue;
+      const double rate = std::stod(token);
+      DOLBIE_REQUIRE(rate >= 0.0 && rate < 1.0,
+                     "drop rate " << rate << " outside [0, 1)");
+      options.drop_rates.push_back(rate);
+    }
+    DOLBIE_REQUIRE(!options.drop_rates.empty(),
+                   "--drop-rates carries no rates");
+  } else if (args.has("drop-rate")) {
+    options.drop_rates = {0.0, args.get_double("drop-rate", 0.2)};
+  }
+  const std::string schedule = args.get_string("crash-schedule", "");
+  if (!schedule.empty()) {
+    options.crashes = net::parse_crash_schedule(schedule);
+  }
+  return options;
+}
+
+void run_chaos_from_args(std::ostream& os, const cli_args& args) {
+  const chaos_options options = chaos_options_from_args(args);
+  os << "\n=== chaos: regret vs drop rate (fault seed "
+     << options.fault_seed << ", N=" << options.workers << ", T="
+     << options.rounds << ") ===\n\n";
+  const std::vector<chaos_row> rows = run_chaos_grid(options);
+  print_chaos_table(os, rows);
+  bool all_ok = true;
+  for (const chaos_row& row : rows) all_ok = all_ok && row.simplex_ok;
+  os << "\nDegraded rounds hold x_{i,t} for unheard workers; the excess "
+        "column is the regret price of those zero steps.\nSimplex "
+        "invariant: " << (all_ok ? "held in every cell." : "VIOLATED.")
+     << "\n";
+  const std::string jsonl = args.get_string("chaos-jsonl", "");
+  if (!jsonl.empty()) {
+    std::ofstream out(jsonl);
+    DOLBIE_REQUIRE(out.good(), "cannot open " << jsonl);
+    write_chaos_jsonl(out, options, rows);
+    os << "Wrote " << rows.size() << " rows to " << jsonl << "\n";
+  }
+}
+
+}  // namespace dolbie::exp

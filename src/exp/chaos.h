@@ -1,0 +1,74 @@
+// Chaos harness: regret under message loss and worker crashes.
+//
+// Plays both synchronous protocol realizations against a synthetic
+// environment across a grid of drop rates (and an optional crash
+// schedule), all under one deterministic fault seed, and reports the
+// cumulative-cost excess of each faulty run over its own clean (zero-drop)
+// baseline — the price of degraded rounds in regret terms. The zero-drop
+// cell runs the engines' exact clean path, so the grid doubles as a
+// zero-fault identity check.
+//
+// Wired into the fig3 and comm-complexity benches behind the flag family
+//   --chaos --fault-seed=N --drop-rate=D | --drop-rates=a,b,c
+//   --crash-schedule=node@round[-recover],...
+//   --chaos-rounds=T --chaos-workers=N --chaos-jsonl=out.jsonl
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+namespace dolbie::exp {
+
+struct chaos_options {
+  std::size_t workers = 30;
+  std::size_t rounds = 200;
+  /// Environment seed (cost-function processes).
+  std::uint64_t seed = 42;
+  /// Fault-plan seed (drop/crash rolls), independent of the environment.
+  std::uint64_t fault_seed = 1;
+  /// Drop-rate grid. A 0.0 entry is always included (the baseline).
+  std::vector<double> drop_rates = {0.0, 0.05, 0.2, 0.5};
+  /// Crash schedule applied to every faulty cell.
+  std::vector<net::crash_window> crashes;
+  std::size_t retry_budget = 5;
+  synthetic_family family = synthetic_family::affine;
+};
+
+/// One cell of the chaos grid: engine x drop rate.
+struct chaos_row {
+  std::string engine;  ///< "MW" or "FD"
+  double drop_rate = 0.0;
+  double cumulative_cost = 0.0;
+  /// cumulative_cost minus the same engine's zero-drop baseline.
+  double excess_vs_clean = 0.0;
+  dist::fault_report report;
+  bool simplex_ok = false;
+};
+
+/// Run the full grid (both engines x all drop rates), in parallel, each
+/// cell against a fresh identically-seeded environment. Deterministic at
+/// any thread count.
+std::vector<chaos_row> run_chaos_grid(const chaos_options& options);
+
+void print_chaos_table(std::ostream& os, const std::vector<chaos_row>& rows);
+
+/// One JSON object per row (regret-vs-drop-rate artifact for CI).
+void write_chaos_jsonl(std::ostream& os, const chaos_options& options,
+                       const std::vector<chaos_row>& rows);
+
+/// True when the command line asks for the chaos pass.
+bool chaos_requested(const cli_args& args);
+
+/// Build options from the flag family above (seed defaults to --seed).
+chaos_options chaos_options_from_args(const cli_args& args);
+
+/// Convenience: parse, run, print, and write the JSONL artifact if
+/// --chaos-jsonl is set.
+void run_chaos_from_args(std::ostream& os, const cli_args& args);
+
+}  // namespace dolbie::exp

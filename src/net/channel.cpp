@@ -4,6 +4,14 @@ namespace dolbie::net {
 
 void channel::push(message m) { queue_.push_back(std::move(m)); }
 
+void channel::push_before_tail(message m) {
+  if (queue_.empty()) {
+    queue_.push_back(std::move(m));
+    return;
+  }
+  queue_.insert(queue_.end() - 1, std::move(m));
+}
+
 std::optional<message> channel::pop() {
   if (queue_.empty()) return std::nullopt;
   message m = std::move(queue_.front());

@@ -17,6 +17,12 @@ class channel {
   /// Enqueue a message.
   void push(message m);
 
+  /// Enqueue a message *behind* the current tail (adjacent reorder): the
+  /// fault plan's reorder toggle delivers a late message that overtakes
+  /// nothing but is itself overtaken by the send right before it. Falls
+  /// back to a plain push on an empty queue.
+  void push_before_tail(message m);
+
   /// Pop the oldest message, or nullopt when empty.
   std::optional<message> pop();
 

@@ -1,5 +1,6 @@
 #include "net/codec.h"
 
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -8,7 +9,7 @@
 namespace dolbie::net {
 namespace {
 
-constexpr std::size_t kHeaderBytes = 1 + 1 + 2 + 4 + 4;
+constexpr std::size_t kHeaderBytes = 1 + 1 + 2 + 4 + 4 + 4 + 4;
 
 constexpr std::uint8_t kMaxKind =
     static_cast<std::uint8_t>(message_kind::cost_and_step);
@@ -62,38 +63,61 @@ std::size_t encoded_size(const message& m) {
 }
 
 std::vector<std::uint8_t> encode(const message& m) {
-  DOLBIE_REQUIRE(m.payload.size() <= std::numeric_limits<std::uint16_t>::max(),
+  DOLBIE_REQUIRE(m.payload.size() <= kMaxPayloadScalars,
                  "payload too large for wire format: " << m.payload.size());
   DOLBIE_REQUIRE(m.from <= std::numeric_limits<std::uint32_t>::max() &&
                      m.to <= std::numeric_limits<std::uint32_t>::max(),
                  "node id exceeds 32-bit wire format");
+  DOLBIE_REQUIRE((m.flags & ~message::kKnownFlags) == 0,
+                 "unknown flag bits set: " << static_cast<int>(m.flags));
+  for (double v : m.payload) {
+    DOLBIE_REQUIRE(std::isfinite(v),
+                   "non-finite scalar in outgoing payload: " << v);
+  }
   std::vector<std::uint8_t> out;
   out.reserve(encoded_size(m));
   out.push_back(static_cast<std::uint8_t>(m.kind));
-  out.push_back(0);  // reserved
+  out.push_back(m.flags);
   put_u16(out, static_cast<std::uint16_t>(m.payload.size()));
   put_u32(out, static_cast<std::uint32_t>(m.from));
   put_u32(out, static_cast<std::uint32_t>(m.to));
+  put_u32(out, m.seq);
+  put_u32(out, m.ack);
   for (double v : m.payload) put_f64(out, v);
   return out;
 }
 
-std::optional<message> decode(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < kHeaderBytes) return std::nullopt;
+message decode(const std::vector<std::uint8_t>& bytes) {
+  DOLBIE_REQUIRE(bytes.size() >= kHeaderBytes,
+                 "truncated message: " << bytes.size() << " bytes, header is "
+                                       << kHeaderBytes);
   const std::uint8_t kind = bytes[0];
-  if (kind > kMaxKind) return std::nullopt;
-  if (bytes[1] != 0) return std::nullopt;  // reserved must be zero
+  DOLBIE_REQUIRE(kind <= kMaxKind,
+                 "unknown message kind " << static_cast<int>(kind));
+  const std::uint8_t flags = bytes[1];
+  DOLBIE_REQUIRE((flags & ~message::kKnownFlags) == 0,
+                 "unknown flag bits set: " << static_cast<int>(flags));
   const std::uint16_t count = get_u16(&bytes[2]);
-  if (bytes.size() != kHeaderBytes + 8 * static_cast<std::size_t>(count)) {
-    return std::nullopt;
-  }
+  DOLBIE_REQUIRE(count <= kMaxPayloadScalars,
+                 "oversized payload count " << count << " (cap "
+                                            << kMaxPayloadScalars << ")");
+  DOLBIE_REQUIRE(
+      bytes.size() == kHeaderBytes + 8 * static_cast<std::size_t>(count),
+      "payload length mismatch: " << bytes.size() << " bytes for count "
+                                  << count);
   message m;
   m.kind = static_cast<message_kind>(kind);
+  m.flags = flags;
   m.from = get_u32(&bytes[4]);
   m.to = get_u32(&bytes[8]);
+  m.seq = get_u32(&bytes[12]);
+  m.ack = get_u32(&bytes[16]);
   m.payload.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
-    m.payload.push_back(get_f64(&bytes[kHeaderBytes + 8 * i]));
+    const double v = get_f64(&bytes[kHeaderBytes + 8 * i]);
+    DOLBIE_REQUIRE(std::isfinite(v),
+                   "non-finite scalar at payload index " << i);
+    m.payload.push_back(v);
   }
   return m;
 }

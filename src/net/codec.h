@@ -8,34 +8,48 @@
 //
 // Layout (little-endian):
 //   u8   kind
-//   u8   reserved (0)
+//   u8   flags           (message::kKnownFlags; others rejected)
 //   u16  payload count
 //   u32  from            (node id, truncated - networks are small)
 //   u32  to
+//   u32  seq             (reliable-delivery sequence number, 0 = none)
+//   u32  ack             (piggybacked cumulative ack, 0 = none)
 //   f64  payload[count]
 //
-// The 8-byte `wire_size_bytes` header estimate in message.h corresponds to
-// kind+count+addressing; `encoded_size` reports the exact figure.
+// The 20-byte `wire_size_bytes` header estimate in message.h corresponds
+// exactly to this header; `encoded_size` reports the exact total.
+//
+// decode() treats the wire as hostile: truncated or oversized buffers,
+// unknown kinds or flag bits, payload counts beyond kMaxPayloadScalars and
+// non-finite scalars all throw invariant_error instead of handing garbage
+// to a protocol state machine. The protocols only ever exchange finite
+// quantities (costs, step sizes, simplex coordinates), so a NaN or
+// infinity on the wire is unambiguously corruption.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "net/message.h"
 
 namespace dolbie::net {
 
+/// Largest payload the wire format accepts. Protocol messages carry at
+/// most 3 scalars; the cap leaves generous headroom while bounding what a
+/// corrupted count field can make a receiver allocate.
+constexpr std::size_t kMaxPayloadScalars = 1024;
+
 /// Exact encoded size of a message in bytes.
 std::size_t encoded_size(const message& m);
 
-/// Serialize a message to bytes. Throws when the payload exceeds the
-/// format's 16-bit count or node ids exceed 32 bits.
+/// Serialize a message to bytes. Throws invariant_error when the payload
+/// exceeds kMaxPayloadScalars or carries non-finite scalars, when node ids
+/// exceed 32 bits, or when unknown flag bits are set.
 std::vector<std::uint8_t> encode(const message& m);
 
-/// Deserialize; returns nullopt on malformed input (short buffer, trailing
-/// bytes, unknown kind). Never throws on bad input — a real receiver must
-/// treat the wire as untrusted.
-std::optional<message> decode(const std::vector<std::uint8_t>& bytes);
+/// Deserialize. Throws invariant_error on malformed input: short or
+/// trailing bytes, unknown kind or flag bits, oversized payload count,
+/// non-finite payload scalars.
+message decode(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace dolbie::net

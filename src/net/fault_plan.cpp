@@ -1,0 +1,112 @@
+#include "net/fault_plan.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::net {
+namespace {
+
+// Domain-separation salts so the drop/duplicate/reorder decisions of the
+// same attempt are independent draws.
+constexpr std::uint64_t kDropSalt = 0x6c6f7373ULL;       // "loss"
+constexpr std::uint64_t kDuplicateSalt = 0x64757065ULL;  // "dupe"
+constexpr std::uint64_t kReorderSalt = 0x73776170ULL;    // "swap"
+
+// Uniform [0, 1) as a pure function of (seed, salt, link, attempt) — the
+// same SplitMix64 mix rng::stream_seed uses, chained so each input
+// perturbs the whole word.
+double unit_roll(std::uint64_t seed, std::uint64_t salt, node_id from,
+                 node_id to, std::uint64_t attempt) {
+  std::uint64_t h = rng::stream_seed(seed, salt);
+  h = rng::stream_seed(h, (static_cast<std::uint64_t>(from) << 32) ^
+                              static_cast<std::uint64_t>(to));
+  h = rng::stream_seed(h, attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool fault_plan::crashed_during(node_id node, std::uint64_t round) const {
+  for (const crash_window& w : crashes) {
+    if (w.node == node && w.crash_round == round) return true;
+  }
+  return false;
+}
+
+bool fault_plan::down(node_id node, std::uint64_t round) const {
+  for (const crash_window& w : crashes) {
+    if (w.node == node && w.crash_round < round && round < w.recover_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fault_plan::permanently_down(node_id node, std::uint64_t round) const {
+  for (const crash_window& w : crashes) {
+    if (w.node == node && w.recover_round == crash_window::kNever &&
+        w.crash_round < round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fault_plan::roll_drop(node_id from, node_id to,
+                           std::uint64_t attempt) const {
+  return drop_rate > 0.0 &&
+         unit_roll(seed, kDropSalt, from, to, attempt) < drop_rate;
+}
+
+bool fault_plan::roll_duplicate(node_id from, node_id to,
+                                std::uint64_t attempt) const {
+  return duplicate_rate > 0.0 &&
+         unit_roll(seed, kDuplicateSalt, from, to, attempt) < duplicate_rate;
+}
+
+bool fault_plan::roll_reorder(node_id from, node_id to,
+                              std::uint64_t attempt) const {
+  return reorder_rate > 0.0 &&
+         unit_roll(seed, kReorderSalt, from, to, attempt) < reorder_rate;
+}
+
+std::vector<crash_window> parse_crash_schedule(const std::string& spec) {
+  std::vector<crash_window> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t at = token.find('@');
+    DOLBIE_REQUIRE(at != std::string::npos && at > 0 && at + 1 < token.size(),
+                   "malformed crash schedule entry '"
+                       << token << "' (expected node@round[-recover])");
+    crash_window w;
+    std::size_t parsed = 0;
+    try {
+      w.node = std::stoull(token.substr(0, at));
+      const std::string rounds = token.substr(at + 1);
+      w.crash_round = std::stoull(rounds, &parsed);
+      if (parsed < rounds.size()) {
+        DOLBIE_REQUIRE(rounds[parsed] == '-',
+                       "malformed crash schedule entry '" << token << "'");
+        w.recover_round = std::stoull(rounds.substr(parsed + 1));
+      }
+    } catch (const invariant_error&) {
+      throw;
+    } catch (const std::exception&) {
+      DOLBIE_REQUIRE(false, "malformed crash schedule entry '" << token
+                                                               << "'");
+    }
+    DOLBIE_REQUIRE(w.recover_round > w.crash_round,
+                   "crash window for worker "
+                       << w.node << " recovers at round " << w.recover_round
+                       << " but crashes at round " << w.crash_round);
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace dolbie::net

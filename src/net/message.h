@@ -25,16 +25,35 @@ enum class message_kind : std::uint8_t {
 
 /// One in-flight message.
 struct message {
+  /// Flag bit: this transmission is a retransmission by the reliable
+  /// delivery layer (net/reliable.h). The receiver treats it exactly like
+  /// the original; the bit exists so wire transcripts distinguish the two.
+  static constexpr std::uint8_t kFlagRetransmit = 0x01;
+  /// All flag bits the wire format knows; the codec rejects the rest.
+  static constexpr std::uint8_t kKnownFlags = kFlagRetransmit;
+
+  // `payload` stays the fourth member so aggregate initialization at the
+  // protocol call sites ({from, to, kind, {scalars...}}) is unaffected by
+  // the reliability fields below.
   node_id from = 0;
   node_id to = 0;
   message_kind kind = message_kind::local_cost;
   std::vector<double> payload;
+  /// Per-link sequence number stamped by the reliable delivery layer
+  /// (0 = unsequenced best-effort send, the zero-fault fast path).
+  std::uint32_t seq = 0;
+  /// Highest in-order sequence the sender has consumed from `to` on the
+  /// reverse link — the piggybacked acknowledgement that lets a real
+  /// deployment prune its retransmission buffer without dedicated ack
+  /// frames (the simulation's pull-driven receive makes acks implicit).
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
 
-  /// Serialized size under the wire format of net/codec.h: a 12-byte
-  /// header (kind, count, addressing) plus 8 bytes per scalar, matching
-  /// the paper's "each of which is a scalar value".
+  /// Serialized size under the wire format of net/codec.h: a 20-byte
+  /// header (kind, flags, count, addressing, seq, ack) plus 8 bytes per
+  /// scalar, matching the paper's "each of which is a scalar value".
   std::size_t wire_size_bytes() const {
-    return 12 + 8 * payload.size();
+    return 20 + 8 * payload.size();
   }
 };
 

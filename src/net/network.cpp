@@ -43,19 +43,52 @@ void network::send(message m) {
                                        << " nodes");
   DOLBIE_REQUIRE(m.from != m.to, "node " << m.from << " sent to itself");
   account_sent(m);
-  std::size_t& drops = pending_drops_[m.from * n_ + m.to];
+  const std::size_t idx = m.from * n_ + m.to;
+  std::size_t& drops = pending_drops_[idx];
   if (drops > 0) {
     // The sender still paid for the message; it just never arrives.
     --drops;
     ++dropped_;
-    if (tracer_ != nullptr) {
-      tracer_->instant(trace_lane_, trace_round_, "message_dropped", "net",
-                       {obs::arg_int("from", m.from), obs::arg_int("to", m.to),
-                        obs::arg_int("bytes", m.wire_size_bytes())});
+    trace_drop(m);
+    return;
+  }
+  if (faults_.enabled()) {
+    // One roll set per delivery attempt; the counter advances exactly once
+    // per send so the fault transcript is a pure function of the plan and
+    // the protocol's (deterministic) send sequence.
+    const std::uint64_t attempt = fault_attempts_[idx]++;
+    if (faults_.roll_drop(m.from, m.to, attempt)) {
+      ++dropped_;
+      trace_drop(m);
+      return;
+    }
+    const bool duplicate = faults_.roll_duplicate(m.from, m.to, attempt);
+    const bool reorder = faults_.roll_reorder(m.from, m.to, attempt);
+    if (duplicate) {
+      ++duplicated_;
+      link(m.from, m.to).push(m);  // the copy travels first
+    }
+    if (reorder) {
+      link(m.from, m.to).push_before_tail(std::move(m));
+    } else {
+      link(m.from, m.to).push(std::move(m));
     }
     return;
   }
   link(m.from, m.to).push(std::move(m));
+}
+
+void network::trace_drop(const message& m) {
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_lane_, trace_round_, "message_dropped", "net",
+                     {obs::arg_int("from", m.from), obs::arg_int("to", m.to),
+                      obs::arg_int("bytes", m.wire_size_bytes())});
+  }
+}
+
+void network::attach_faults(fault_plan plan) {
+  faults_ = std::move(plan);
+  fault_attempts_.assign(n_ * n_, 0);
 }
 
 void network::attach_tracer(obs::tracer* tracer, std::uint32_t lane) {
@@ -94,6 +127,14 @@ traffic_totals network::total_traffic() const {
           static_cast<std::size_t>(total_bytes_->value())};
 }
 
-void network::reset_traffic() { metrics_.reset(); }
+void network::reset_traffic() {
+  metrics_.reset();
+  // Keep the fault counters in lockstep with the totals they qualify: a
+  // stale `dropped_` against freshly zeroed send counters would claim more
+  // drops than messages. (Scheduled pending_drops_ and the fault plan are
+  // forward-looking configuration and deliberately survive the reset.)
+  dropped_ = 0;
+  duplicated_ = 0;
+}
 
 }  // namespace dolbie::net

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "net/fault_plan.h"
 #include "obs/metrics.h"
 
 namespace dolbie::obs {
@@ -50,6 +51,13 @@ class network {
 
   /// Aggregate traffic since construction or the last reset.
   traffic_totals total_traffic() const;
+
+  /// Zero every traffic-derived figure together: the metrics registry
+  /// (totals and per-peer counters) *and* the fault counters (`dropped_`,
+  /// `duplicated_`) they are read against — resetting one but not the
+  /// other leaves ratios like dropped/sent meaningless. Scheduled faults
+  /// (inject_drop budgets, the attached fault plan and its per-link
+  /// attempt counters) are configuration, not accounting, and survive.
   void reset_traffic();
 
   /// The backing registry (total + per-peer counters), for snapshots.
@@ -70,18 +78,33 @@ class network {
   /// fail fast with a diagnostic) instead of computing with stale state.
   void inject_drop(node_id from, node_id to, std::size_t count = 1);
 
-  /// Messages dropped so far by fault injection.
+  /// Messages dropped so far by fault injection (inject_drop or plan).
   std::size_t dropped() const { return dropped_; }
+
+  /// Messages duplicated so far by the attached fault plan.
+  std::size_t duplicated() const { return duplicated_; }
+
+  /// Attach a deterministic fault schedule: every subsequent send rolls
+  /// the plan's drop/duplicate/reorder probabilities with a per-link
+  /// attempt counter (reset here), generalizing inject_drop. Dropped
+  /// messages still count as sent, exactly like injected drops.
+  void attach_faults(fault_plan plan);
+  const fault_plan& faults() const { return faults_; }
 
  private:
   channel& link(node_id from, node_id to);
   const channel& link(node_id from, node_id to) const;
   void account_sent(const message& m);
+  void trace_drop(const message& m);
 
   std::size_t n_;
   std::vector<channel> links_;  // dense n*n matrix, row = from, col = to
   std::vector<std::size_t> pending_drops_;  // same indexing as links_
   std::size_t dropped_ = 0;
+  std::size_t duplicated_ = 0;
+
+  fault_plan faults_;
+  std::vector<std::uint64_t> fault_attempts_;  // same indexing as links_
 
   obs::metrics_registry metrics_;
   obs::counter* total_messages_ = nullptr;

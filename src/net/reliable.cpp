@@ -1,0 +1,142 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/trace.h"
+
+namespace dolbie::net {
+
+reliable_link::reliable_link(network& net, reliable_options options)
+    : net_(net), options_(options), links_(net.nodes() * net.nodes()) {
+  DOLBIE_REQUIRE(options_.retry_budget >= 1,
+                 "retry budget must be at least 1");
+}
+
+void reliable_link::attach_tracer(obs::tracer* tracer, std::uint32_t lane) {
+  tracer_ = tracer;
+  trace_lane_ = lane;
+}
+
+void reliable_link::begin_round(std::uint64_t round) {
+  round_ = round;
+  const std::size_t n = net_.nodes();
+  for (node_id from = 0; from < n; ++from) {
+    for (node_id to = 0; to < n; ++to) {
+      if (from == to) continue;
+      link_state& link = state(from, to);
+      // Sweep bytes still sitting in the channel: their round is over, so
+      // releasing them now would feed a stale phase value into the new
+      // round's state machine.
+      while (net_.receive(to, from).has_value()) ++stats_.stale_purged;
+      stats_.stale_purged += link.reorder.size();
+      link.reorder.clear();
+      link.outbox.clear();
+      // The receiver gives up on anything unconsumed and resynchronizes
+      // with the sender's counter.
+      link.next_expected = link.next_seq;
+    }
+  }
+}
+
+void reliable_link::send(message m) {
+  link_state& link = state(m.from, m.to);
+  m.seq = link.next_seq++;
+  link.outbox.push_back({m, 0});
+  net_.send(std::move(m));
+}
+
+void reliable_link::drain_transport(link_state& link, node_id to,
+                                    node_id from) {
+  while (auto m = net_.receive(to, from)) {
+    if (m->seq < link.next_expected) {
+      ++stats_.duplicates_discarded;
+      continue;
+    }
+    const bool seen =
+        std::any_of(link.reorder.begin(), link.reorder.end(),
+                    [&](const message& r) { return r.seq == m->seq; });
+    if (seen) {
+      ++stats_.duplicates_discarded;
+      continue;
+    }
+    link.reorder.push_back(std::move(*m));
+  }
+}
+
+void reliable_link::prune_outbox(link_state& link) {
+  while (!link.outbox.empty() &&
+         link.outbox.front().msg.seq < link.next_expected) {
+    link.outbox.pop_front();
+  }
+}
+
+std::optional<message> reliable_link::receive(node_id to, node_id from) {
+  link_state& link = state(from, to);
+  for (;;) {
+    drain_transport(link, to, from);
+    // Release the next in-order message if it has arrived.
+    for (auto it = link.reorder.begin(); it != link.reorder.end(); ++it) {
+      if (it->seq == link.next_expected) {
+        message out = std::move(*it);
+        link.reorder.erase(it);
+        ++link.next_expected;
+        prune_outbox(link);  // consumption is the implicit cumulative ack
+        return out;
+      }
+    }
+    // The expected sequence is missing. If the sender never produced it,
+    // this is application-level absence (nothing was sent), not loss.
+    pending* expected = nullptr;
+    for (pending& p : link.outbox) {
+      if (p.msg.seq == link.next_expected) {
+        expected = &p;
+        break;
+      }
+    }
+    if (expected == nullptr) return std::nullopt;
+    // Virtual timeout: the receiver polled and the message is not there.
+    ++stats_.timeouts;
+    if (expected->attempts >= options_.retry_budget) {
+      ++stats_.deadlines_expired;
+      if (tracer_ != nullptr) {
+        tracer_->instant(
+            trace_lane_, round_, "deadline_expired", "net",
+            {obs::arg_int("from", from), obs::arg_int("to", to),
+             obs::arg_int("seq", expected->msg.seq),
+             obs::arg_int("attempts", expected->attempts + 1)});
+      }
+      // Abandon the message so later traffic on the link still flows.
+      link.next_expected = expected->msg.seq + 1;
+      prune_outbox(link);
+      return std::nullopt;
+    }
+    ++expected->attempts;
+    ++stats_.retransmits;
+    if (tracer_ != nullptr) {
+      tracer_->instant(trace_lane_, round_, "retransmit", "net",
+                       {obs::arg_int("from", from), obs::arg_int("to", to),
+                        obs::arg_int("seq", expected->msg.seq),
+                        obs::arg_int("attempt", expected->attempts)});
+    }
+    message again = expected->msg;
+    again.flags |= message::kFlagRetransmit;
+    net_.send(std::move(again));
+  }
+}
+
+void reliable_link::reset() {
+  const std::size_t n = net_.nodes();
+  for (node_id from = 0; from < n; ++from) {
+    for (node_id to = 0; to < n; ++to) {
+      if (from == to) continue;
+      while (net_.receive(to, from).has_value()) {
+      }
+    }
+  }
+  links_.assign(links_.size(), {});
+  stats_ = {};
+  round_ = 0;
+}
+
+}  // namespace dolbie::net

@@ -1,0 +1,112 @@
+// Reliable delivery over the lossy simulated network.
+//
+// `reliable_link` wraps a `network` with per-link sequence numbers, a
+// retransmission buffer and bounded retransmit driven by deterministic
+// "virtual time" timeouts: the simulation is pull-based, so the moment a
+// receiver polls a link and finds the expected sequence missing *is* the
+// sender's retransmission timer firing — no wall clock is consulted, which
+// keeps fault runs bit-reproducible. Each poll-miss burns one unit of the
+// message's retry budget; once the budget is exhausted the receiver
+// declares the message lost (a `deadline_expired` trace instant) and the
+// caller degrades the round instead of blocking forever.
+//
+// Duplicates (fault-plan duplication, or a retransmission racing the
+// original) are discarded by sequence number; adjacent reordering is
+// absorbed by a small buffer that releases messages strictly in order.
+// Acknowledgements are implicit in the pull model — consuming seq k acks
+// everything <= k, and the sender-side buffer is pruned on consumption;
+// the wire format's `ack` field documents how a push-based deployment
+// would piggyback the same information.
+//
+// Rounds are delivery epochs: `begin_round` purges in-flight and buffered
+// state, because a phase message that missed its round is protocol-stale
+// even if the bytes would eventually arrive. This is what bounds the
+// buffer sizes and makes "recovered within budget / degraded past it" the
+// only two outcomes a protocol engine has to handle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace dolbie::obs {
+class tracer;
+}  // namespace dolbie::obs
+
+namespace dolbie::net {
+
+struct reliable_options {
+  /// Retransmissions allowed per message after the original send.
+  std::size_t retry_budget = 5;
+};
+
+/// Cumulative transport-level accounting (since construction or reset).
+struct reliable_stats {
+  std::size_t retransmits = 0;           ///< re-sends triggered by timeouts
+  std::size_t timeouts = 0;              ///< virtual timer expiries
+  std::size_t deadlines_expired = 0;     ///< messages abandoned past budget
+  std::size_t duplicates_discarded = 0;  ///< dropped by sequence check
+  std::size_t stale_purged = 0;          ///< swept by begin_round
+};
+
+class reliable_link {
+ public:
+  explicit reliable_link(network& net, reliable_options options = {});
+
+  /// Trace retransmit/deadline_expired instants on `lane` (see
+  /// network::attach_tracer). Pass nullptr to detach.
+  void attach_tracer(obs::tracer* tracer, std::uint32_t lane);
+
+  /// Start a new delivery epoch: purge undelivered state from the previous
+  /// round (channels, retransmission buffers, reorder buffers) and stamp
+  /// subsequent trace events with `round`.
+  void begin_round(std::uint64_t round);
+
+  /// Stamp the next per-link sequence number and send, keeping a copy for
+  /// retransmission until the receiver consumes (implicitly acks) it.
+  void send(message m);
+
+  /// Deliver the next in-order message from `from`, absorbing duplicates
+  /// and reordering, retransmitting on (virtual) timeouts. Returns nullopt
+  /// when nothing was sent on the link this round, or when the pending
+  /// message exhausted its retry budget — the latter also skips past the
+  /// abandoned sequence so later traffic on the link still flows.
+  std::optional<message> receive(node_id to, node_id from);
+
+  const reliable_stats& stats() const { return stats_; }
+
+  /// Forget everything (sequence numbers included); the underlying
+  /// network's channels are swept too.
+  void reset();
+
+ private:
+  struct pending {
+    message msg;
+    std::size_t attempts = 0;  // retransmissions so far
+  };
+  struct link_state {
+    std::uint32_t next_seq = 1;       // sender side: next seq to stamp
+    std::uint32_t next_expected = 1;  // receiver side: next seq to release
+    std::deque<pending> outbox;       // sent, not yet consumed
+    std::vector<message> reorder;     // arrived out of order
+  };
+
+  link_state& state(node_id from, node_id to) {
+    return links_[from * net_.nodes() + to];
+  }
+  void drain_transport(link_state& link, node_id to, node_id from);
+  void prune_outbox(link_state& link);
+
+  network& net_;
+  reliable_options options_;
+  std::vector<link_state> links_;
+  reliable_stats stats_;
+  obs::tracer* tracer_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace dolbie::net

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -15,32 +18,41 @@ TEST(Codec, RoundTripsAllKinds) {
         message_kind::cost_and_step}) {
     message m{3, 7, kind, {1.5, -2.25, 1e-300}};
     const auto bytes = encode(m);
-    const auto back = decode(bytes);
-    ASSERT_TRUE(back.has_value());
-    EXPECT_EQ(back->from, m.from);
-    EXPECT_EQ(back->to, m.to);
-    EXPECT_EQ(back->kind, m.kind);
-    ASSERT_EQ(back->payload.size(), m.payload.size());
+    const message back = decode(bytes);
+    EXPECT_EQ(back.from, m.from);
+    EXPECT_EQ(back.to, m.to);
+    EXPECT_EQ(back.kind, m.kind);
+    ASSERT_EQ(back.payload.size(), m.payload.size());
     for (std::size_t i = 0; i < m.payload.size(); ++i) {
-      EXPECT_DOUBLE_EQ(back->payload[i], m.payload[i]);
+      EXPECT_DOUBLE_EQ(back.payload[i], m.payload[i]);
     }
   }
+}
+
+TEST(Codec, RoundTripsReliabilityFields) {
+  message m{3, 7, message_kind::decision, {0.25}};
+  m.seq = 0xdeadbeef;
+  m.ack = 41;
+  m.flags = message::kFlagRetransmit;
+  const message back = decode(encode(m));
+  EXPECT_EQ(back.seq, m.seq);
+  EXPECT_EQ(back.ack, m.ack);
+  EXPECT_EQ(back.flags, m.flags);
 }
 
 TEST(Codec, EmptyPayload) {
   message m{0, 1, message_kind::assignment, {}};
   const auto bytes = encode(m);
   EXPECT_EQ(bytes.size(), encoded_size(m));
-  EXPECT_EQ(bytes.size(), 12u);
-  const auto back = decode(bytes);
-  ASSERT_TRUE(back.has_value());
-  EXPECT_TRUE(back->payload.empty());
+  EXPECT_EQ(bytes.size(), 20u);
+  const message back = decode(bytes);
+  EXPECT_TRUE(back.payload.empty());
 }
 
 TEST(Codec, EncodedSizeMatches) {
   message m{1, 2, message_kind::round_info, {1.0, 2.0, 3.0}};
   EXPECT_EQ(encode(m).size(), encoded_size(m));
-  EXPECT_EQ(encoded_size(m), 12u + 24u);
+  EXPECT_EQ(encoded_size(m), 20u + 24u);
 }
 
 TEST(Codec, EncodedSizeAgreesWithTrafficAccounting) {
@@ -53,54 +65,95 @@ TEST(Codec, EncodedSizeAgreesWithTrafficAccounting) {
   }
 }
 
-TEST(Codec, PreservesSpecialDoubles) {
+TEST(Codec, PreservesSpecialFiniteDoubles) {
   message m{0, 1, message_kind::local_cost,
-            {0.0, -0.0, std::numeric_limits<double>::infinity(),
-             std::numeric_limits<double>::denorm_min(),
+            {0.0, -0.0, std::numeric_limits<double>::denorm_min(),
              std::numeric_limits<double>::max()}};
-  const auto back = decode(encode(m));
-  ASSERT_TRUE(back.has_value());
-  EXPECT_EQ(back->payload[0], 0.0);
-  EXPECT_TRUE(std::signbit(back->payload[1]));
-  EXPECT_TRUE(std::isinf(back->payload[2]));
-  EXPECT_EQ(back->payload[3], std::numeric_limits<double>::denorm_min());
-  EXPECT_EQ(back->payload[4], std::numeric_limits<double>::max());
+  const message back = decode(encode(m));
+  EXPECT_EQ(back.payload[0], 0.0);
+  EXPECT_TRUE(std::signbit(back.payload[1]));
+  EXPECT_EQ(back.payload[2], std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(back.payload[3], std::numeric_limits<double>::max());
+}
+
+TEST(Codec, EncodeRejectsNonFiniteScalars) {
+  // The protocols only exchange finite quantities; a NaN or infinity in an
+  // outgoing payload is a bug upstream, not something to put on the wire.
+  message inf{0, 1, message_kind::local_cost,
+              {std::numeric_limits<double>::infinity()}};
+  EXPECT_THROW(encode(inf), invariant_error);
+  message nan{0, 1, message_kind::local_cost,
+              {std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_THROW(encode(nan), invariant_error);
+}
+
+TEST(Codec, EncodeRejectsOversizedPayload) {
+  message m{0, 1, message_kind::local_cost,
+            std::vector<double>(kMaxPayloadScalars + 1, 1.0)};
+  EXPECT_THROW(encode(m), invariant_error);
+}
+
+TEST(Codec, EncodeRejectsUnknownFlags) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  m.flags = 0x80;
+  EXPECT_THROW(encode(m), invariant_error);
 }
 
 TEST(Codec, RejectsShortBuffer) {
   message m{0, 1, message_kind::local_cost, {1.0}};
   auto bytes = encode(m);
   bytes.pop_back();
-  EXPECT_FALSE(decode(bytes).has_value());
-  EXPECT_FALSE(decode({}).has_value());
+  EXPECT_THROW(decode(bytes), invariant_error);
+  EXPECT_THROW(decode({}), invariant_error);
 }
 
 TEST(Codec, RejectsTrailingBytes) {
   message m{0, 1, message_kind::local_cost, {1.0}};
   auto bytes = encode(m);
   bytes.push_back(0);
-  EXPECT_FALSE(decode(bytes).has_value());
+  EXPECT_THROW(decode(bytes), invariant_error);
 }
 
 TEST(Codec, RejectsUnknownKind) {
   message m{0, 1, message_kind::local_cost, {1.0}};
   auto bytes = encode(m);
   bytes[0] = 200;  // not a valid message_kind
-  EXPECT_FALSE(decode(bytes).has_value());
+  EXPECT_THROW(decode(bytes), invariant_error);
 }
 
-TEST(Codec, RejectsNonZeroReserved) {
+TEST(Codec, RejectsUnknownFlagBits) {
   message m{0, 1, message_kind::local_cost, {1.0}};
   auto bytes = encode(m);
-  bytes[1] = 1;
-  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[1] = 0x80;  // flag bit the format does not define
+  EXPECT_THROW(decode(bytes), invariant_error);
 }
 
 TEST(Codec, RejectsCorruptCount) {
   message m{0, 1, message_kind::local_cost, {1.0, 2.0}};
   auto bytes = encode(m);
   bytes[2] = 5;  // claims 5 payload doubles, buffer carries 2
-  EXPECT_FALSE(decode(bytes).has_value());
+  EXPECT_THROW(decode(bytes), invariant_error);
+}
+
+TEST(Codec, RejectsOversizedCount) {
+  // A corrupted count past kMaxPayloadScalars must be rejected before any
+  // allocation sized by it.
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  auto bytes = encode(m);
+  bytes[2] = 0xff;
+  bytes[3] = 0xff;  // count = 65535
+  EXPECT_THROW(decode(bytes), invariant_error);
+}
+
+TEST(Codec, RejectsNonFinitePayloadScalar) {
+  message m{0, 1, message_kind::local_cost, {1.0}};
+  auto bytes = encode(m);
+  // Overwrite the payload scalar with the quiet-NaN bit pattern.
+  const std::uint64_t nan_bits = 0x7ff8000000000000ull;
+  for (int i = 0; i < 8; ++i) {
+    bytes[20 + i] = static_cast<std::uint8_t>(nan_bits >> (8 * i));
+  }
+  EXPECT_THROW(decode(bytes), invariant_error);
 }
 
 TEST(Codec, FuzzDecodeNeverCrashes) {
@@ -111,10 +164,14 @@ TEST(Codec, FuzzDecodeNeverCrashes) {
     for (auto& b : noise) {
       b = static_cast<std::uint8_t>(gen.uniform_int(0, 255));
     }
-    // Must return either nullopt or a well-formed message; never throw.
-    const auto result = decode(noise);
-    if (result.has_value()) {
-      EXPECT_EQ(noise.size(), encoded_size(*result));
+    // Must either produce a well-formed message or throw invariant_error;
+    // anything else (crash, garbage, other exception types) is a bug.
+    try {
+      const message result = decode(noise);
+      EXPECT_EQ(noise.size(), encoded_size(result));
+      for (double v : result.payload) EXPECT_TRUE(std::isfinite(v));
+    } catch (const invariant_error&) {
+      // rejected: fine
     }
   }
 }
@@ -126,16 +183,22 @@ TEST(Codec, FuzzRoundTripRandomMessages) {
     m.from = static_cast<node_id>(gen.uniform_int(0, 1000));
     m.to = static_cast<node_id>(gen.uniform_int(0, 1000));
     m.kind = static_cast<message_kind>(gen.uniform_int(0, 4));
+    m.seq = static_cast<std::uint32_t>(gen.uniform_int(0, 1 << 30));
+    m.ack = static_cast<std::uint32_t>(gen.uniform_int(0, 1 << 30));
+    m.flags = gen.uniform_int(0, 1) != 0 ? message::kFlagRetransmit
+                                         : std::uint8_t{0};
     const auto count = gen.uniform_int(0, 16);
     for (int i = 0; i < count; ++i) {
       m.payload.push_back(gen.uniform(-1e6, 1e6));
     }
-    const auto back = decode(encode(m));
-    ASSERT_TRUE(back.has_value());
-    EXPECT_EQ(back->from, m.from);
-    EXPECT_EQ(back->to, m.to);
-    EXPECT_EQ(back->kind, m.kind);
-    EXPECT_EQ(back->payload, m.payload);
+    const message back = decode(encode(m));
+    EXPECT_EQ(back.from, m.from);
+    EXPECT_EQ(back.to, m.to);
+    EXPECT_EQ(back.kind, m.kind);
+    EXPECT_EQ(back.seq, m.seq);
+    EXPECT_EQ(back.ack, m.ack);
+    EXPECT_EQ(back.flags, m.flags);
+    EXPECT_EQ(back.payload, m.payload);
   }
 }
 

@@ -3,12 +3,18 @@
 // bit-identical traces — the property that makes every figure in
 // EXPERIMENTS.md reproducible with --seed.
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "core/dolbie.h"
+#include "dist/async_fully_distributed.h"
+#include "dist/async_master_worker.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
 #include "dist/runner.h"
 #include "edge/scenario.h"
 #include "exp/harness.h"
@@ -141,6 +147,99 @@ TEST(Determinism, MergedTraceBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(at1, at8);
   EXPECT_NE(at1.find("phase1.cost_uploads"), std::string::npos);
   EXPECT_NE(at1.find("phase2.decision_uploads"), std::string::npos);
+}
+
+// The fault layer's zero-fault contract: attaching a default-constructed
+// (all-zero) fault_plan must leave every engine on the exact pre-fault
+// code path — bit-identical allocations, traffic and merged traces. This
+// pins the clean/faulty dispatch so the fault machinery can never tax (or
+// perturb) a run that configured no faults.
+TEST(Determinism, ZeroFaultPlanIsBitIdenticalToNoPlan) {
+  constexpr std::size_t kN = 6;
+  constexpr std::size_t kRounds = 40;
+
+  const auto run_sync = [&](auto make_policy, bool attach_plan) {
+    obs::tracer tracer;
+    dist::protocol_options options;
+    if (attach_plan) {
+      options.faults = net::fault_plan{};  // attached, nothing configured
+      options.retry_budget = 2;            // must be inert on the clean path
+    }
+    options.tracer = &tracer;
+    auto policy = make_policy(options);
+    auto env = exp::make_synthetic_environment(
+        kN, exp::synthetic_family::mixed, 321);
+    std::vector<double> iterates;
+    for (std::size_t t = 0; t < kRounds; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      const cost::cost_view view = cost::view_of(costs);
+      const auto locals = cost::evaluate(view, policy->current());
+      core::round_feedback fb;
+      fb.costs = &view;
+      fb.local_costs = locals;
+      policy->observe(fb);
+      for (const double x : policy->current()) iterates.push_back(x);
+    }
+    std::ostringstream chrome;
+    obs::export_chrome_trace(chrome, tracer.merged());
+    return std::make_tuple(iterates, chrome.str(),
+                           policy->last_round_traffic().messages_sent);
+  };
+
+  const auto mw = [&](const dist::protocol_options& o) {
+    return std::make_unique<dist::master_worker_policy>(kN, o);
+  };
+  const auto fd = [&](const dist::protocol_options& o) {
+    return std::make_unique<dist::fully_distributed_policy>(kN, o);
+  };
+  {
+    const auto without = run_sync(mw, false);
+    const auto with = run_sync(mw, true);
+    EXPECT_EQ(std::get<0>(without), std::get<0>(with));
+    EXPECT_EQ(std::get<1>(without), std::get<1>(with));
+    EXPECT_EQ(std::get<2>(without), std::get<2>(with));
+  }
+  {
+    const auto without = run_sync(fd, false);
+    const auto with = run_sync(fd, true);
+    EXPECT_EQ(std::get<0>(without), std::get<0>(with));
+    EXPECT_EQ(std::get<1>(without), std::get<1>(with));
+    EXPECT_EQ(std::get<2>(without), std::get<2>(with));
+  }
+
+  // Async engines: same contract over timing and iterates.
+  const auto run_async = [&](auto make_engine, bool attach_plan) {
+    dist::async_options options;
+    if (attach_plan) {
+      options.protocol.faults = net::fault_plan{};
+      options.protocol.retry_budget = 2;
+    }
+    auto engine = make_engine(options);
+    auto env = exp::make_synthetic_environment(
+        kN, exp::synthetic_family::mixed, 321);
+    std::vector<double> observed;
+    for (std::size_t t = 0; t < kRounds; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      const dist::async_round_result r =
+          engine->run_round(cost::view_of(costs));
+      for (const double x : r.next_allocation) observed.push_back(x);
+      observed.push_back(r.round_duration);
+      observed.push_back(static_cast<double>(r.messages));
+    }
+    return observed;
+  };
+  {
+    const auto make = [&](const dist::async_options& o) {
+      return std::make_unique<dist::async_master_worker>(kN, o);
+    };
+    EXPECT_EQ(run_async(make, false), run_async(make, true));
+  }
+  {
+    const auto make = [&](const dist::async_options& o) {
+      return std::make_unique<dist::async_fully_distributed>(kN, o);
+    };
+    EXPECT_EQ(run_async(make, false), run_async(make, true));
+  }
 }
 
 TEST(Determinism, PolicySuiteSweep) {

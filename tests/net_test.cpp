@@ -9,9 +9,9 @@ namespace {
 
 TEST(Message, WireSizeCountsHeaderPlusScalars) {
   message m{0, 1, message_kind::local_cost, {1.0}};
-  EXPECT_EQ(m.wire_size_bytes(), 12u + 8u);
+  EXPECT_EQ(m.wire_size_bytes(), 20u + 8u);
   message m3{0, 1, message_kind::round_info, {1.0, 2.0, 3.0}};
-  EXPECT_EQ(m3.wire_size_bytes(), 12u + 24u);
+  EXPECT_EQ(m3.wire_size_bytes(), 20u + 24u);
 }
 
 TEST(Channel, FifoOrder) {
@@ -38,7 +38,7 @@ TEST(Network, PerPeerCountersAccumulateAndReset) {
       EXPECT_EQ(row.value, "2");
     }
     if (row.name == "net.peer1.messages_sent") EXPECT_EQ(row.value, "0");
-    if (row.name == "net.bytes_sent") EXPECT_EQ(row.value, "48");
+    if (row.name == "net.bytes_sent") EXPECT_EQ(row.value, "64");
   }
   EXPECT_TRUE(saw_peer0);
   net.reset_traffic();
@@ -83,9 +83,54 @@ TEST(Network, TotalTrafficAggregatesAllLinks) {
   net.send({1, 2, message_kind::local_cost, {1.0, 2.0}});
   const traffic_totals total = net.total_traffic();
   EXPECT_EQ(total.messages_sent, 2u);
-  EXPECT_EQ(total.bytes_sent, 20u + 28u);
+  EXPECT_EQ(total.bytes_sent, 28u + 36u);
   net.reset_traffic();
   EXPECT_EQ(net.total_traffic().messages_sent, 0u);
+}
+
+TEST(Network, ResetTrafficAlsoZeroesFaultCounters) {
+  // Regression: reset_traffic() used to zero the metrics registry but leave
+  // dropped_ stale, so dropped/sent ratios computed after a reset mixed a
+  // fresh denominator with a cumulative numerator.
+  network net(2);
+  net.inject_drop(0, 1, 1);
+  net.send({0, 1, message_kind::local_cost, {1.0}});
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_EQ(net.total_traffic().messages_sent, 1u);  // sender paid for it
+  net.reset_traffic();
+  EXPECT_EQ(net.dropped(), 0u);
+  EXPECT_EQ(net.duplicated(), 0u);
+  EXPECT_EQ(net.total_traffic().messages_sent, 0u);
+  EXPECT_EQ(net.total_traffic().bytes_sent, 0u);
+}
+
+TEST(Network, AttachedPlanDropsDeterministically) {
+  fault_plan plan;
+  plan.seed = 99;
+  plan.drop_rate = 1.0;
+  network net(2);
+  net.attach_faults(plan);
+  net.send({0, 1, message_kind::local_cost, {1.0}});
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_FALSE(net.receive(1, 0).has_value());
+  // Identical configuration reproduces the identical outcome.
+  network net2(2);
+  net2.attach_faults(plan);
+  net2.send({0, 1, message_kind::local_cost, {1.0}});
+  EXPECT_EQ(net2.dropped(), 1u);
+}
+
+TEST(Network, AttachedPlanDuplicatesDeliverTwice) {
+  fault_plan plan;
+  plan.seed = 7;
+  plan.duplicate_rate = 1.0;
+  network net(2);
+  net.attach_faults(plan);
+  net.send({0, 1, message_kind::local_cost, {3.0}});
+  EXPECT_EQ(net.duplicated(), 1u);
+  EXPECT_EQ(net.pending_for(1), 2u);
+  EXPECT_DOUBLE_EQ(net.receive(1, 0)->payload[0], 3.0);
+  EXPECT_DOUBLE_EQ(net.receive(1, 0)->payload[0], 3.0);
 }
 
 TEST(Network, RejectsBadEndpoints) {

@@ -1,0 +1,301 @@
+// The fault plan and the reliable-delivery layer (net/fault_plan.h,
+// net/reliable.h): deterministic fault rolls, crash-window semantics,
+// crash-schedule parsing, and the pull-model retransmission protocol —
+// recovery within the retry budget, deadline expiry past it, duplicate
+// absorption and round-boundary staleness purging.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+#include "net/reliable.h"
+
+namespace dolbie::net {
+namespace {
+
+// ---------------------------------------------------------------- fault plan
+
+TEST(FaultPlan, DefaultConstructedIsDisabled) {
+  const fault_plan plan;
+  EXPECT_FALSE(plan.enabled());
+  // No rate, no crash, no force: every roll passes.
+  for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+    EXPECT_FALSE(plan.roll_drop(0, 1, attempt));
+    EXPECT_FALSE(plan.roll_duplicate(0, 1, attempt));
+    EXPECT_FALSE(plan.roll_reorder(0, 1, attempt));
+  }
+}
+
+TEST(FaultPlan, AnyConfiguredFaultEnablesThePlan) {
+  fault_plan plan;
+  plan.drop_rate = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.duplicate_rate = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.crashes.push_back({2, 10, crash_window::kNever});
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.force = true;
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, RollsArePureFunctionsOfSeedLinkAttempt) {
+  fault_plan a;
+  a.seed = 314;
+  a.drop_rate = 0.5;
+  fault_plan b = a;  // identical configuration, independent object
+  bool dropped_once = false;
+  bool passed_once = false;
+  for (std::uint64_t attempt = 0; attempt < 200; ++attempt) {
+    const bool d = a.roll_drop(1, 2, attempt);
+    EXPECT_EQ(d, b.roll_drop(1, 2, attempt)) << "attempt " << attempt;
+    // Re-asking the same question must not consume hidden state.
+    EXPECT_EQ(d, a.roll_drop(1, 2, attempt)) << "attempt " << attempt;
+    dropped_once = dropped_once || d;
+    passed_once = passed_once || !d;
+  }
+  // At rate 0.5 over 200 attempts both outcomes must occur.
+  EXPECT_TRUE(dropped_once);
+  EXPECT_TRUE(passed_once);
+}
+
+TEST(FaultPlan, RollsVaryAcrossSeedsLinksAndAttempts) {
+  fault_plan a;
+  a.seed = 1;
+  a.drop_rate = 0.5;
+  fault_plan b = a;
+  b.seed = 2;
+  bool seed_differs = false;
+  bool link_differs = false;
+  bool attempt_differs = false;
+  for (std::uint64_t attempt = 0; attempt < 200; ++attempt) {
+    seed_differs =
+        seed_differs ||
+        (a.roll_drop(0, 1, attempt) != b.roll_drop(0, 1, attempt));
+    link_differs =
+        link_differs ||
+        (a.roll_drop(0, 1, attempt) != a.roll_drop(1, 0, attempt));
+    attempt_differs =
+        attempt_differs ||
+        (a.roll_drop(0, 1, attempt) != a.roll_drop(0, 1, attempt + 1));
+  }
+  EXPECT_TRUE(seed_differs);
+  EXPECT_TRUE(link_differs);
+  EXPECT_TRUE(attempt_differs);
+}
+
+TEST(FaultPlan, CrashWindowSemantics) {
+  fault_plan plan;
+  plan.crashes.push_back({3, 50, 80});                   // temporary
+  plan.crashes.push_back({5, 100, crash_window::kNever});  // permanent
+  // Round 50: worker 3 dies mid-round — first wire phase only.
+  EXPECT_TRUE(plan.crashed_during(3, 50));
+  EXPECT_FALSE(plan.down(3, 50));
+  // Rounds 51..79: fully silent; back (state intact) at 80.
+  EXPECT_TRUE(plan.down(3, 51));
+  EXPECT_TRUE(plan.down(3, 79));
+  EXPECT_FALSE(plan.down(3, 80));
+  EXPECT_FALSE(plan.permanently_down(3, 60));  // it will recover
+  // Worker 5 never comes back.
+  EXPECT_TRUE(plan.crashed_during(5, 100));
+  EXPECT_TRUE(plan.down(5, 101));
+  EXPECT_TRUE(plan.permanently_down(5, 101));
+  EXPECT_FALSE(plan.permanently_down(5, 100));  // still mid-round at 100
+  // Other workers are untouched.
+  EXPECT_FALSE(plan.crashed_during(0, 50));
+  EXPECT_FALSE(plan.down(0, 60));
+}
+
+TEST(FaultPlan, ParsesCrashSchedules) {
+  const auto permanent = parse_crash_schedule("3@50");
+  ASSERT_EQ(permanent.size(), 1u);
+  EXPECT_EQ(permanent[0].node, 3u);
+  EXPECT_EQ(permanent[0].crash_round, 50u);
+  EXPECT_EQ(permanent[0].recover_round, crash_window::kNever);
+
+  const auto mixed = parse_crash_schedule("3@50-80,5@100");
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_EQ(mixed[0].node, 3u);
+  EXPECT_EQ(mixed[0].crash_round, 50u);
+  EXPECT_EQ(mixed[0].recover_round, 80u);
+  EXPECT_EQ(mixed[1].node, 5u);
+  EXPECT_EQ(mixed[1].recover_round, crash_window::kNever);
+
+  EXPECT_TRUE(parse_crash_schedule("").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedCrashSchedules) {
+  EXPECT_THROW(parse_crash_schedule("3"), invariant_error);
+  EXPECT_THROW(parse_crash_schedule("@5"), invariant_error);
+  EXPECT_THROW(parse_crash_schedule("3@"), invariant_error);
+  EXPECT_THROW(parse_crash_schedule("x@5"), invariant_error);
+  EXPECT_THROW(parse_crash_schedule("3@10-"), invariant_error);
+  // A window must recover strictly after it crashes.
+  EXPECT_THROW(parse_crash_schedule("3@10-10"), invariant_error);
+  EXPECT_THROW(parse_crash_schedule("3@10-5"), invariant_error);
+}
+
+// ------------------------------------------------------------ reliable link
+
+TEST(ReliableLink, CleanLinkDeliversInOrderWithoutRetransmission) {
+  network net(2);
+  reliable_link rel(net);
+  rel.begin_round(1);
+  rel.send({0, 1, message_kind::local_cost, {1.0}});
+  rel.send({0, 1, message_kind::local_cost, {2.0}});
+  const auto a = rel.receive(1, 0);
+  const auto b = rel.receive(1, 0);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(a->payload[0], 1.0);
+  EXPECT_DOUBLE_EQ(b->payload[0], 2.0);
+  // Nothing further was sent: application-level absence, not a timeout.
+  EXPECT_FALSE(rel.receive(1, 0).has_value());
+  EXPECT_EQ(rel.stats().retransmits, 0u);
+  EXPECT_EQ(rel.stats().timeouts, 0u);
+  EXPECT_EQ(rel.stats().deadlines_expired, 0u);
+}
+
+TEST(ReliableLink, RecoversWithinRetryBudget) {
+  network net(2);
+  reliable_link rel(net, {5});
+  rel.begin_round(1);
+  net.inject_drop(0, 1, 2);  // the original send and the first retransmit
+  rel.send({0, 1, message_kind::local_cost, {7.5}});
+  const auto m = rel.receive(1, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->payload[0], 7.5);
+  // One virtual timeout (and one retransmission) per poll-miss.
+  EXPECT_EQ(rel.stats().timeouts, 2u);
+  EXPECT_EQ(rel.stats().retransmits, 2u);
+  EXPECT_EQ(rel.stats().deadlines_expired, 0u);
+  // The successful copy carries the retransmit flag on the wire.
+  EXPECT_NE(m->flags & message::kFlagRetransmit, 0u);
+}
+
+TEST(ReliableLink, ExpiresDeadlinePastTheBudget) {
+  constexpr std::size_t kBudget = 3;
+  network net(2);
+  reliable_link rel(net, {kBudget});
+  rel.begin_round(1);
+  net.inject_drop(0, 1, kBudget + 1);  // original + every retransmission
+  rel.send({0, 1, message_kind::local_cost, {1.0}});
+  EXPECT_FALSE(rel.receive(1, 0).has_value());
+  EXPECT_EQ(rel.stats().retransmits, kBudget);
+  EXPECT_EQ(rel.stats().timeouts, kBudget + 1);
+  EXPECT_EQ(rel.stats().deadlines_expired, 1u);
+  // The abandoned sequence is skipped: later traffic still flows.
+  rel.send({0, 1, message_kind::local_cost, {2.0}});
+  const auto next = rel.receive(1, 0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(next->payload[0], 2.0);
+}
+
+TEST(ReliableLink, DiscardsPlanInducedDuplicates) {
+  network net(2);
+  fault_plan plan;
+  plan.seed = 9;
+  plan.duplicate_rate = 1.0;  // every delivery arrives twice
+  net.attach_faults(plan);
+  reliable_link rel(net);
+  rel.begin_round(1);
+  rel.send({0, 1, message_kind::local_cost, {4.0}});
+  rel.send({0, 1, message_kind::local_cost, {5.0}});
+  const auto a = rel.receive(1, 0);
+  const auto b = rel.receive(1, 0);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(a->payload[0], 4.0);
+  EXPECT_DOUBLE_EQ(b->payload[0], 5.0);
+  EXPECT_FALSE(rel.receive(1, 0).has_value());  // duplicates absorbed
+  EXPECT_EQ(net.duplicated(), 2u);
+  EXPECT_EQ(rel.stats().duplicates_discarded, 2u);
+  EXPECT_EQ(rel.stats().retransmits, 0u);
+}
+
+TEST(ReliableLink, BeginRoundPurgesStaleDeliveries) {
+  network net(2);
+  reliable_link rel(net);
+  rel.begin_round(1);
+  rel.send({0, 1, message_kind::local_cost, {1.0}});
+  rel.send({0, 1, message_kind::local_cost, {2.0}});
+  // The receiver never polls: both messages straddle the round boundary.
+  rel.begin_round(2);
+  EXPECT_EQ(rel.stats().stale_purged, 2u);
+  // The stale phase values must not leak into the new round...
+  EXPECT_FALSE(rel.receive(1, 0).has_value());
+  EXPECT_EQ(rel.stats().deadlines_expired, 0u);  // absence, not loss
+  // ...and the link keeps working.
+  rel.send({0, 1, message_kind::local_cost, {3.0}});
+  const auto m = rel.receive(1, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->payload[0], 3.0);
+}
+
+TEST(ReliableLink, IdenticalFaultScheduleReproducesIdenticalStats) {
+  const auto run_once = [] {
+    network net(3);
+    fault_plan plan;
+    plan.seed = 77;
+    plan.drop_rate = 0.4;
+    plan.duplicate_rate = 0.2;
+    net.attach_faults(plan);
+    reliable_link rel(net, {4});
+    std::vector<double> delivered;
+    for (std::uint64_t round = 1; round <= 20; ++round) {
+      rel.begin_round(round);
+      for (node_id from = 0; from < 3; ++from) {
+        for (node_id to = 0; to < 3; ++to) {
+          if (from == to) continue;
+          rel.send({from, to, message_kind::local_cost,
+                    {static_cast<double>(round * 10 + from)}});
+        }
+      }
+      for (node_id to = 0; to < 3; ++to) {
+        for (node_id from = 0; from < 3; ++from) {
+          if (from == to) continue;
+          if (const auto m = rel.receive(to, from)) {
+            delivered.push_back(m->payload[0]);
+          }
+        }
+      }
+    }
+    return std::make_tuple(delivered, rel.stats().retransmits,
+                           rel.stats().timeouts,
+                           rel.stats().deadlines_expired,
+                           rel.stats().duplicates_discarded);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+  EXPECT_EQ(std::get<4>(a), std::get<4>(b));
+  // The 0.4 drop rate must actually have exercised the retransmit path.
+  EXPECT_GT(std::get<1>(a), 0u);
+}
+
+TEST(ReliableLink, ResetForgetsSequencesAndStats) {
+  network net(2);
+  reliable_link rel(net, {2});
+  rel.begin_round(1);
+  net.inject_drop(0, 1, 1);
+  rel.send({0, 1, message_kind::local_cost, {1.0}});
+  ASSERT_TRUE(rel.receive(1, 0).has_value());
+  EXPECT_GT(rel.stats().retransmits, 0u);
+  rel.reset();
+  EXPECT_EQ(rel.stats().retransmits, 0u);
+  EXPECT_EQ(rel.stats().timeouts, 0u);
+  rel.begin_round(1);
+  rel.send({0, 1, message_kind::local_cost, {9.0}});
+  const auto m = rel.receive(1, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->payload[0], 9.0);
+  EXPECT_EQ(m->seq, 1u);  // sequence numbers restarted
+}
+
+}  // namespace
+}  // namespace dolbie::net

@@ -62,7 +62,7 @@ TEST(RoundTiming, BandwidthBoundRegimeFavoursMasterWorker) {
   // bottleneck NIC time matches MW's within a constant. Check the
   // constants: MW = 3N transfers at the hub vs FD = 2(N-1).
   net::link_delay_model link{.base_latency = 0.0,
-                             .bytes_per_second = 28.0};  // 1 msg/s
+                             .bytes_per_second = 36.0};  // 1 msg/s
   const std::size_t n = 30;
   const round_timing t = estimate_round_timing(n, link);
   EXPECT_NEAR(t.master_worker_seconds, 3.0 * n, 1e-9);
