@@ -10,6 +10,7 @@
 //                       [--chaos] [--fault-seed=N] [--drop-rate=D]
 //                       [--drop-rates=a,b,c] [--crash-schedule=i@r[-r2],...]
 //                       [--chaos-rounds=T] [--chaos-workers=N]
+//                       [--chaos-async]
 //                       [--chaos-jsonl=out.jsonl]
 #include <iostream>
 

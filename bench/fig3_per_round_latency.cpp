@@ -11,6 +11,7 @@
 //                              [--drop-rates=a,b,c]
 //                              [--crash-schedule=i@r[-r2],...]
 //                              [--chaos-rounds=T] [--chaos-workers=N]
+//                              [--chaos-async]
 //                              [--chaos-jsonl=out.jsonl]
 //
 // With --trace the run additionally records one lane of "train_round"

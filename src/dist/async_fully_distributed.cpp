@@ -1,31 +1,115 @@
 #include "dist/async_fully_distributed.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/error.h"
 #include "common/simplex.h"
-#include "core/churn.h"
-#include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "dist/fd_round.h"
+#include "net/transport.h"
 #include "sim/event_queue.h"
 
 namespace dolbie::dist {
+namespace {
+
+// Deadline-arithmetic timing model for the shared FD round state machine;
+// sibling of async_master_worker.cpp's mw_deadline_timing. The broadcast
+// barrier (every polling receiver's inbox deadline) closes phase 1, the
+// movers' decision uploads close phase 2, and a failover costs the movers
+// one full patience window on the dead straggler.
+struct fd_deadline_timing {
+  double msg_time = 0.0;
+  double serialize = 0.0;
+  double timeout = 0.0;
+  double patience = 0.0;
+  double compute_delay = 0.0;
+  std::span<const double> locals;
+  const std::vector<std::uint8_t>* removed = nullptr;
+
+  double compute_duration = 0.0;
+  double clock = 0.0;
+  double phase1_end = 0.0;
+  double phase2_end = 0.0;
+  std::vector<double> depart;          // n*n broadcast departure times
+  std::vector<double> sent_at;         // decision departure times
+  std::vector<std::size_t> position;   // per-sender NIC serialization slot
+  std::size_t messages = 0;
+
+  void round_begin() {
+    const std::size_t n = locals.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((*removed)[i] == 0) {
+        compute_duration = std::max(compute_duration, locals[i]);
+      }
+    }
+    phase1_end = compute_duration;
+    depart.assign(n * n, 0.0);
+    sent_at.assign(n, 0.0);
+    position.assign(n, 0);
+  }
+  void on_send() { ++messages; }
+  // Worker i's NIC serializes its broadcasts back-to-back from l_i.
+  void broadcast_sent(core::worker_id i, core::worker_id j) {
+    const std::size_t n = locals.size();
+    depart[i * n + j] =
+        locals[i] + static_cast<double>(position[i]++) * serialize;
+  }
+  void broadcast_delivered(core::worker_id j, core::worker_id i,
+                           std::size_t k) {
+    const std::size_t n = locals.size();
+    phase1_end = std::max(
+        phase1_end,
+        depart[i * n + j] + static_cast<double>(k - 1) * timeout + msg_time);
+  }
+  void broadcast_lost(core::worker_id j, core::worker_id i) {
+    const std::size_t n = locals.size();
+    phase1_end = std::max(phase1_end, depart[i * n + j] + patience);
+  }
+  void phase1_done() {
+    clock = phase1_end;
+    phase2_end = clock;
+  }
+  void decision_sent(core::worker_id i) {
+    sent_at[i] = clock + compute_delay;
+  }
+  // Movers time out on the dead straggler before re-uploading.
+  void failover() {
+    clock += patience;
+    phase2_end = clock;
+  }
+  void decision_delivered(core::worker_id i, std::size_t k) {
+    phase2_end = std::max(
+        phase2_end,
+        sent_at[i] + static_cast<double>(k - 1) * timeout + msg_time);
+  }
+  void decision_lost(core::worker_id i) {
+    phase2_end = std::max(phase2_end, sent_at[i] + patience);
+  }
+  void phase2_done() { clock = phase2_end; }
+};
+
+}  // namespace
 
 async_fully_distributed::async_fully_distributed(std::size_t n_workers,
                                                  async_options options)
     : options_(std::move(options)) {
-  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
   DOLBIE_REQUIRE(options_.compute_delay >= 0.0,
                  "compute delay must be >= 0");
-  if (options_.protocol.initial_partition.empty()) {
-    options_.protocol.initial_partition = uniform_point(n_workers);
-  }
-  DOLBIE_REQUIRE(options_.protocol.initial_partition.size() == n_workers,
-                 "initial partition size mismatch");
-  DOLBIE_REQUIRE(on_simplex(options_.protocol.initial_partition),
-                 "initial partition must lie on the simplex");
+  normalize_options(options_.protocol, n_workers);
   x_ = options_.protocol.initial_partition;
   faulty_ = options_.protocol.faults.enabled();
+  if (faulty_) {
+    net_ = std::make_unique<net::network>(n_workers);
+    net_->attach_faults(options_.protocol.faults);
+    net_->attach_tracer(options_.protocol.tracer, options_.protocol.trace_lane);
+    rel_ = std::make_unique<net::reliable_link>(
+        *net_, net::reliable_options{options_.protocol.retry_budget});
+    rel_->attach_tracer(options_.protocol.tracer, options_.protocol.trace_lane);
+    flags_.setup(n_workers, /*all_pairs=*/true);
+    scratch_.tentative.assign(n_workers, 0.0);
+  }
+  counters_.bind(options_.protocol.metrics, "", "", faulty_);
   reset();
 }
 
@@ -37,21 +121,11 @@ void async_fully_distributed::reset() {
   alpha_bar_.assign(x_.size(), alpha1);
   round_ = 0;
   if (faulty_) {
-    removed_.assign(x_.size(), 0);
-    attempts_.assign(x_.size() * x_.size(), 0);
+    rel_->reset();
+    std::fill(flags_.removed.begin(), flags_.removed.end(), 0);
     report_ = {};
+    mirrored_ = {};
   }
-}
-
-std::size_t async_fully_distributed::attempts_to_deliver(std::size_t from,
-                                                         std::size_t to) {
-  const net::fault_plan& plan = options_.protocol.faults;
-  const std::size_t idx = from * x_.size() + to;
-  for (std::size_t k = 1; k <= options_.protocol.retry_budget + 1; ++k) {
-    const std::uint64_t attempt = attempts_[idx]++;
-    if (!plan.roll_drop(from, to, attempt)) return k;
-  }
-  return 0;
 }
 
 async_round_result async_fully_distributed::run_round(
@@ -102,9 +176,7 @@ async_round_result async_fully_distributed::run_round_clean(
   on_inbox_complete = [&](core::worker_id i) {
     if (i == straggler) return;  // the straggler waits for decisions
     queue.schedule_in(options_.compute_delay, [&, i] {
-      const double xp =
-          core::max_acceptable_workload(*costs[i], x_[i], l_t);
-      next_x[i] = x_[i] + alpha_t * (xp - x_[i]);
+      next_x[i] = decide_next_share(*costs[i], x_[i], l_t, alpha_t);
       ready_at[i] = queue.now();
       ++messages;
       queue.schedule_in(msg_time, [&, i] { on_decision_arrival(i); });
@@ -152,230 +224,89 @@ async_round_result async_fully_distributed::run_round_clean(
   return result;
 }
 
-// Deadline-synchronized fault-tolerant round; Algorithm-2 semantics match
-// the synchronous engine's degraded mode (see fully_distributed.cpp).
+// Deadline-synchronized fault-tolerant round: the shared dist/fd_round.h
+// state machine over this engine's private reliable link, with the
+// deadline timing model pricing each delivery. Allocation semantics are
+// the synchronous engine's degraded mode by construction.
 async_round_result async_fully_distributed::run_round_faulty(
     const cost::cost_view& costs, std::uint64_t round) {
   const std::size_t n = x_.size();
   DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
-  const net::fault_plan& plan = options_.protocol.faults;
-  const std::size_t budget = options_.protocol.retry_budget;
 
   async_round_result result;
-  std::size_t losses = 0;  // deliveries abandoned past the budget
-
-  // Permanent crashes retire before the round starts; every survivor
-  // re-caps its local step against the shrunk worker set.
-  for (core::worker_id i = 0; i < n; ++i) {
-    if (removed_[i] != 0 || !plan.permanently_down(i, round)) continue;
-    std::size_t heirs = 0;
-    for (core::worker_id j = 0; j < n; ++j) {
-      if (j != i && removed_[j] == 0) ++heirs;
-    }
-    if (heirs == 0) continue;
-    removed_[i] = 1;
-    std::vector<std::uint8_t> live_mask(n, 0);
-    for (core::worker_id j = 0; j < n; ++j) {
-      live_mask[j] = removed_[j] ? 0 : 1;
-    }
-    core::release_share_in_place(x_, i, live_mask);
-    double min_share = 1.0;
-    for (core::worker_id j = 0; j < n; ++j) {
-      if (removed_[j] == 0) min_share = std::min(min_share, x_[j]);
-    }
-    const double cap = core::feasible_step_cap(heirs, min_share);
-    for (core::worker_id j = 0; j < n; ++j) {
-      if (removed_[j] == 0) alpha_bar_[j] = std::min(alpha_bar_[j], cap);
-    }
-    ++report_.removed_workers;
-  }
-
+  // Locals are evaluated at the pre-retirement allocation — the same
+  // feedback the synchronous harness computes at current() before
+  // observe() — so sync-vs-async bit-identity covers churn rounds too.
   cost::evaluate_into(costs, x_, locals_);
-  for (core::worker_id i = 0; i < n; ++i) {
-    if (removed_[i] == 0) {
-      result.compute_duration = std::max(result.compute_duration, locals_[i]);
-    }
-  }
   if (n == 1) {
+    result.compute_duration = locals_[0];
     result.next_allocation = x_;
     result.round_duration = result.compute_duration;
     return result;
   }
 
+  net_->set_round(round);
+  const net::reliable_stats before = rel_->stats();
+  obs::tracer* tr = options_.protocol.tracer;
+  const std::uint32_t lane = options_.protocol.trace_lane;
+  obs::span round_span(tr, lane, round, "round", "fd");
+
   const double msg_time = options_.link.message_time(options_.payload_bytes);
-  const double serialize = static_cast<double>(options_.payload_bytes) /
-                           options_.link.bytes_per_second;
   const double timeout = options_.retransmit_timeout < 0.0
                              ? 4.0 * msg_time
                              : options_.retransmit_timeout;
-  const double patience =
-      static_cast<double>(budget + 1) * timeout + msg_time;
+  fd_deadline_timing timing;
+  timing.msg_time = msg_time;
+  timing.serialize = static_cast<double>(options_.payload_bytes) /
+                     options_.link.bytes_per_second;
+  timing.timeout = timeout;
+  timing.patience =
+      static_cast<double>(options_.protocol.retry_budget + 1) * timeout +
+      msg_time;
+  timing.compute_delay = options_.compute_delay;
+  timing.locals = locals_;
+  timing.removed = &flags_.removed;
 
-  std::vector<std::uint8_t> live(n, 0);
-  std::size_t holds = 0;
-  for (core::worker_id i = 0; i < n; ++i) {
-    live[i] = (removed_[i] == 0 && !plan.down(i, round)) ? 1 : 0;
-    if (live[i] == 0 && removed_[i] == 0) ++holds;
-  }
-  std::size_t failovers = 0;
-  bool aborted = false;
-  core::worker_id s_final = 0;
-  std::vector<double> next_x = x_;
-  double clock = 0.0;
+  fd_degraded_round<net::reliable_delivery, fd_deadline_timing> flow{
+      n,
+      costs,
+      locals_,
+      options_.protocol.faults,
+      net::reliable_delivery{*rel_},
+      timing,
+      tr,
+      lane,
+      counters_.failover,
+      report_,
+      x_,
+      alpha_bar_,
+      scratch_,
+      flags_};
+  const degraded_outcome outcome = flow.run(round);
 
-  // --- Phase 1: all-to-all broadcast among live workers; H_t = senders
-  //     that reached every polling receiver within the budget. ---
-  std::vector<std::uint8_t> delivered(n * n, 0);
-  double phase1_end = result.compute_duration;
-  for (net::node_id i = 0; i < n; ++i) {
-    if (live[i] == 0) continue;
-    std::size_t position = 0;
-    for (net::node_id j = 0; j < n; ++j) {
-      if (j == i || live[j] == 0) continue;
-      const double depart =
-          locals_[i] + static_cast<double>(position++) * serialize;
-      ++result.messages;
-      const std::size_t k = attempts_to_deliver(i, j);
-      const bool polling = !plan.crashed_during(j, round);
-      if (k > 0) {
-        result.retransmits += k - 1;
-        if (polling) {
-          delivered[j * n + i] = 1;
-          phase1_end = std::max(
-              phase1_end,
-              depart + static_cast<double>(k - 1) * timeout + msg_time);
-        }
-      } else {
-        result.retransmits += budget;
-        ++losses;
-        if (polling) phase1_end = std::max(phase1_end, depart + patience);
-      }
-    }
-  }
-  clock = phase1_end;
-
-  std::vector<std::uint8_t> in_h(n, 0);
-  std::size_t h_count = 0;
-  for (net::node_id i = 0; i < n; ++i) {
-    in_h[i] = live[i];
-    if (live[i] == 0) continue;
-    for (net::node_id j = 0; j < n; ++j) {
-      if (j == i || live[j] == 0 || plan.crashed_during(j, round)) continue;
-      if (delivered[j * n + i] == 0) {
-        in_h[i] = 0;
-        break;
-      }
-    }
-    if (in_h[i] != 0) ++h_count;
-  }
-  for (core::worker_id i = 0; i < n; ++i) {
-    if (live[i] == 0) continue;
-    if (plan.crashed_during(i, round)) {
-      ++holds;  // broadcast, then stopped computing
-    } else if (in_h[i] == 0) {
-      ++holds;  // excluded from the round: broadcast lost past budget
-    }
-  }
-
-  if (h_count == 0) {
-    aborted = true;
-  } else {
-    // --- Election and min consensus over H_t. ---
-    core::worker_id s = n;
-    double alpha_t = 1.0;
-    for (core::worker_id i = 0; i < n; ++i) {
-      if (in_h[i] == 0) continue;
-      if (s == n || locals_[i] > locals_[s]) s = i;
-      alpha_t = std::min(alpha_t, alpha_bar_[i]);
-    }
-    s_final = s;
-
-    // A mid-crashed straggler cannot absorb: re-elect before the decision
-    // uploads (the re-send cost shows up as one extra deadline below).
-    if (plan.crashed_during(s, round)) {
-      core::worker_id s2 = n;
-      for (core::worker_id i = 0; i < n; ++i) {
-        if (in_h[i] == 0 || i == s || plan.crashed_during(i, round)) {
-          continue;
-        }
-        if (s2 == n || locals_[i] > locals_[s2]) s2 = i;
-      }
-      if (s2 == n) {
-        aborted = true;
-      } else {
-        ++failovers;
-        ++report_.straggler_failovers;
-        ++result.straggler_failovers;
-        clock += patience;  // movers time out on the dead straggler first
-        s_final = s2;
-      }
-    }
-
-    if (!aborted) {
-      // --- Phase 2: movers update and upload {x_new, x_old}; straggler
-      //     absorbs the delta sum. ---
-      double delta = 0.0;
-      double phase2_end = clock;
-      for (net::node_id i = 0; i < n; ++i) {
-        if (in_h[i] == 0 || i == s || i == s_final ||
-            plan.crashed_during(i, round)) {
-          continue;
-        }
-        const double xp =
-            core::max_acceptable_workload(*costs[i], x_[i], locals_[s]);
-        const double tentative = x_[i] + alpha_t * (xp - x_[i]);
-        ++result.messages;
-        const std::size_t k = attempts_to_deliver(i, s_final);
-        const double sent_at = clock + options_.compute_delay;
-        if (k > 0) {
-          result.retransmits += k - 1;
-          next_x[i] = tentative;
-          delta += tentative - x_[i];
-          phase2_end = std::max(
-              phase2_end,
-              sent_at + static_cast<double>(k - 1) * timeout + msg_time);
-        } else {
-          result.retransmits += budget;
-          ++losses;
-          ++holds;  // decision lost past budget: the mover rolls back
-          phase2_end = std::max(phase2_end, sent_at + patience);
-        }
-      }
-      clock = phase2_end;
-
-      const double raw = x_[s_final] - delta;
-      next_x[s_final] = std::max(0.0, raw);
-      if (raw < 0.0) {
-        double total = 0.0;
-        for (double v : next_x) total += v;
-        for (double& v : next_x) v /= total;
-      }
-      alpha_bar_[s_final] = core::next_step_size(alpha_bar_[s_final], n,
-                                                 next_x[s_final]);
-    }
-  }
-
-  if (aborted) {
-    next_x = x_;  // every worker holds
-    ++report_.aborted_rounds;
-  }
-  x_ = std::move(next_x);
+  x_.swap(scratch_.next_x);
+  finish_degraded_round(outcome, rel_->stats(), tr, lane, "fd", round,
+                        counters_, report_, mirrored_);
   DOLBIE_REQUIRE(on_simplex(x_),
                  "degraded async-FD round " << round
                                             << " left the allocation off "
                                                "the simplex");
 
-  result.zero_step_holds = holds;
-  result.aborted = aborted;
-  result.degraded = holds > 0 || failovers > 0 || aborted;
-  if (result.degraded) ++report_.degraded_rounds;
-  report_.zero_step_holds += holds;
-  report_.retransmits += result.retransmits;
-  report_.timeouts += result.retransmits + losses;
-
   result.next_allocation = x_;
-  result.round_duration = std::max(clock, result.compute_duration);
+  result.messages = timing.messages;
+  result.retransmits = rel_->stats().retransmits - before.retransmits;
+  result.zero_step_holds = outcome.holds;
+  result.straggler_failovers = outcome.failovers;
+  result.aborted = outcome.aborted;
+  result.degraded =
+      outcome.holds > 0 || outcome.failovers > 0 || outcome.aborted;
+  result.compute_duration = timing.compute_duration;
+  result.round_duration = std::max(timing.clock, timing.compute_duration);
   result.protocol_duration = result.round_duration - result.compute_duration;
+  round_span.arg("straggler",
+                 static_cast<std::uint64_t>(outcome.straggler));
+  round_span.arg("alpha_consensus", outcome.consensus_alpha);
+  round_span.arg("messages", static_cast<std::uint64_t>(timing.messages));
   return result;
 }
 

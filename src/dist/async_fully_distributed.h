@@ -12,14 +12,18 @@
 // an actual event schedule. The produced iterates are bit-identical to
 // the sequential reference.
 //
-// Fault tolerance: with `protocol.faults` enabled the engine switches to
-// the deadline-synchronized arithmetic model of async_master_worker,
-// with Algorithm-2 semantics matching the synchronous engine's degraded
-// mode — participant set H_t (broadcast heard by every polling receiver),
-// election and min-consensus over H_t, delta-sum absorption, straggler
-// failover, churn-path retirement of permanent crashes. The clean path is
-// untouched (bit-identical timing and allocations).
+// Fault tolerance: with `protocol.faults` enabled the engine runs the
+// unified protocol core's dist/fd_round.h state machine — the exact same
+// transitions as the synchronous engine's degraded mode (participant set
+// H_t, min-consensus over H_t, delta-sum absorption, straggler failover,
+// churn retirement), over an internal net::network + net::reliable_link
+// pair — instantiated with a deadline-arithmetic timing model. Degraded
+// iterates are bit-identical to the synchronous engine under the same
+// fault plan; only the clock differs. The clean path is untouched
+// (bit-identical timing and allocations).
 #pragma once
+
+#include <memory>
 
 #include "core/policy.h"
 #include "dist/async_master_worker.h"  // async_options, async_round_result
@@ -40,6 +44,8 @@ class async_fully_distributed {
   async_round_result run_round(const cost::cost_view& costs);
 
   /// Cumulative fault/degradation accounting (all zero on the clean path).
+  /// Mirrored into protocol.metrics (when attached) as the same
+  /// dist.*/net.* counters the synchronous engines publish.
   const fault_report& faults() const { return report_; }
 
   void reset();
@@ -48,7 +54,6 @@ class async_fully_distributed {
   async_round_result run_round_clean(const cost::cost_view& costs);
   async_round_result run_round_faulty(const cost::cost_view& costs,
                                       std::uint64_t round);
-  std::size_t attempts_to_deliver(std::size_t from, std::size_t to);
 
   async_options options_;
   core::allocation x_;
@@ -57,12 +62,18 @@ class async_fully_distributed {
   std::vector<double> locals_;
 
   // Fault-tolerant path (engaged only when options_.protocol.faults is
-  // enabled; the clean path never touches any of this).
+  // enabled; the clean path never touches any of this). The engine owns a
+  // private network + reliable link so the shared round state machine
+  // consumes the identical fault-roll stream as the synchronous engine.
   bool faulty_ = false;
   std::uint64_t round_ = 0;
-  std::vector<std::uint8_t> removed_;
-  std::vector<std::uint64_t> attempts_;  // per-link fault-roll counters
+  std::unique_ptr<net::network> net_;
+  std::unique_ptr<net::reliable_link> rel_;
+  round_scratch scratch_;
+  member_flags flags_;
+  engine_counters counters_;
   fault_report report_;
+  net::reliable_stats mirrored_;
 };
 
 }  // namespace dolbie::dist

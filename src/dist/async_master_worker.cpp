@@ -1,31 +1,129 @@
 #include "dist/async_master_worker.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/error.h"
 #include "common/simplex.h"
-#include "core/churn.h"
-#include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "dist/mw_round.h"
+#include "net/transport.h"
 #include "sim/event_queue.h"
 
 namespace dolbie::dist {
+namespace {
+
+// Deadline-arithmetic timing model for the shared MW round state machine.
+// Round deadlines re-impose a barrier structure on the asynchronous
+// execution — a receiver cannot act before its per-phase deadline when a
+// message might still be in flight — so virtual time advances phase by
+// phase: each delivery that took k transmissions lands at
+// (k - 1) * timeout + msg_time after its departure, and a message lost
+// past the retry budget costs the receiver its full patience window.
+struct mw_deadline_timing {
+  double msg_time = 0.0;
+  double serialize = 0.0;
+  double timeout = 0.0;
+  double patience = 0.0;
+  double compute_delay = 0.0;
+  std::span<const double> locals;
+  const std::vector<std::uint8_t>* removed = nullptr;
+
+  double compute_duration = 0.0;
+  double clock = 0.0;
+  double phase1_end = 0.0;
+  double phase3_end = 0.0;
+  std::vector<double> depart;   // round_info departure times
+  std::vector<double> info_at;  // round_info arrival times
+  std::vector<double> sent_at;  // decision departure times
+  std::size_t position = 0;     // master-NIC serialization slot
+  std::size_t messages = 0;
+
+  void round_begin() {
+    const std::size_t n = locals.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((*removed)[i] == 0) {
+        compute_duration = std::max(compute_duration, locals[i]);
+      }
+    }
+    phase1_end = compute_duration;
+    depart.assign(n, 0.0);
+    info_at.assign(n, 0.0);
+    sent_at.assign(n, 0.0);
+  }
+  void on_send() { ++messages; }
+  // Master waits out a full deadline for a silent worker.
+  void phase1_silent(core::worker_id) {
+    phase1_end = std::max(phase1_end, patience);
+  }
+  void phase1_delivered(core::worker_id i, std::size_t k) {
+    phase1_end = std::max(
+        phase1_end,
+        locals[i] + static_cast<double>(k - 1) * timeout + msg_time);
+  }
+  void phase1_lost(core::worker_id i) {
+    phase1_end = std::max(phase1_end, locals[i] + patience);
+  }
+  void phase1_done() {
+    clock = phase1_end;
+    phase3_end = clock;
+  }
+  // The master's NIC serializes the round_info downloads back-to-back.
+  void info_sent(core::worker_id i) {
+    depart[i] = clock + static_cast<double>(position++) * serialize;
+  }
+  void info_abandoned(core::worker_id i) {
+    phase3_end = std::max(phase3_end, depart[i] + patience);
+  }
+  void info_delivered(core::worker_id i, std::size_t k) {
+    info_at[i] =
+        depart[i] + static_cast<double>(k - 1) * timeout + msg_time;
+  }
+  void straggler_ready(core::worker_id i) {
+    phase3_end = std::max(phase3_end, info_at[i]);
+  }
+  void info_lost(core::worker_id i) {
+    phase3_end = std::max(phase3_end, depart[i] + patience);
+  }
+  void decision_sent(core::worker_id i) {
+    sent_at[i] = info_at[i] + compute_delay;
+  }
+  void decision_delivered(core::worker_id i, std::size_t k) {
+    phase3_end = std::max(
+        phase3_end,
+        sent_at[i] + static_cast<double>(k - 1) * timeout + msg_time);
+  }
+  void decision_lost(core::worker_id i) {
+    phase3_end = std::max(phase3_end, sent_at[i] + patience);
+  }
+  void decisions_done() { clock = phase3_end; }
+  void assignment_delivered(std::size_t k) {
+    clock += static_cast<double>(k - 1) * timeout + msg_time;
+  }
+  void assignment_lost() { clock += patience; }
+};
+
+}  // namespace
 
 async_master_worker::async_master_worker(std::size_t n_workers,
                                          async_options options)
     : options_(std::move(options)) {
-  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
   DOLBIE_REQUIRE(options_.compute_delay >= 0.0,
                  "compute delay must be >= 0");
-  if (options_.protocol.initial_partition.empty()) {
-    options_.protocol.initial_partition = uniform_point(n_workers);
-  }
-  DOLBIE_REQUIRE(options_.protocol.initial_partition.size() == n_workers,
-                 "initial partition size mismatch");
-  DOLBIE_REQUIRE(on_simplex(options_.protocol.initial_partition),
-                 "initial partition must lie on the simplex");
+  normalize_options(options_.protocol, n_workers);
   x_ = options_.protocol.initial_partition;
   faulty_ = options_.protocol.faults.enabled();
+  if (faulty_) {
+    net_ = std::make_unique<net::network>(n_workers + 1);  // + the master
+    net_->attach_faults(options_.protocol.faults);
+    net_->attach_tracer(options_.protocol.tracer, options_.protocol.trace_lane);
+    rel_ = std::make_unique<net::reliable_link>(
+        *net_, net::reliable_options{options_.protocol.retry_budget});
+    rel_->attach_tracer(options_.protocol.tracer, options_.protocol.trace_lane);
+    flags_.setup(n_workers, /*all_pairs=*/false);
+    scratch_.tentative.assign(n_workers, 0.0);
+  }
+  counters_.bind(options_.protocol.metrics, "", "", faulty_);
   reset();
 }
 
@@ -36,22 +134,11 @@ void async_master_worker::reset() {
                : core::initial_step_size(x_);
   round_ = 0;
   if (faulty_) {
-    const std::size_t nodes = x_.size() + 1;  // workers + master
-    removed_.assign(x_.size(), 0);
-    attempts_.assign(nodes * nodes, 0);
+    rel_->reset();
+    std::fill(flags_.removed.begin(), flags_.removed.end(), 0);
     report_ = {};
+    mirrored_ = {};
   }
-}
-
-std::size_t async_master_worker::attempts_to_deliver(std::size_t from,
-                                                     std::size_t to) {
-  const net::fault_plan& plan = options_.protocol.faults;
-  const std::size_t idx = from * (x_.size() + 1) + to;
-  for (std::size_t k = 1; k <= options_.protocol.retry_budget + 1; ++k) {
-    const std::uint64_t attempt = attempts_[idx]++;
-    if (!plan.roll_drop(from, to, attempt)) return k;
-  }
-  return 0;
 }
 
 async_round_result async_master_worker::run_round(
@@ -124,9 +211,7 @@ async_round_result async_master_worker::run_round_clean(
     if (i == master.straggler) return;  // straggler waits for assignment
     // Local decision computation, then upload.
     queue.schedule_in(options_.compute_delay, [&, i] {
-      const double xp = core::max_acceptable_workload(*costs[i], x_[i],
-                                                      master.l_t);
-      next_x[i] = x_[i] + alpha_ * (xp - x_[i]);
+      next_x[i] = decide_next_share(*costs[i], x_[i], master.l_t, alpha_);
       ready_at[i] = queue.now();  // holds its next-round share now
       ++messages;
       queue.schedule_in(msg_time, [&, i] { on_decision_arrival(i); });
@@ -166,275 +251,91 @@ async_round_result async_master_worker::run_round_clean(
   return result;
 }
 
-// Deadline-synchronized fault-tolerant round. Round deadlines re-impose a
-// barrier structure on the asynchronous execution — a receiver cannot act
-// before its per-phase deadline when a message might still be in flight —
-// so the timing here is computed phase by phase with direct arithmetic
-// over arrival times instead of an event queue. The allocation semantics
-// mirror the synchronous engine's degraded mode exactly.
+// Deadline-synchronized fault-tolerant round: the shared dist/mw_round.h
+// state machine over this engine's private reliable link, with the
+// deadline timing model pricing each delivery. The allocation semantics
+// are the synchronous engine's degraded mode by construction (identical
+// transitions, identical fault-roll stream).
 async_round_result async_master_worker::run_round_faulty(
     const cost::cost_view& costs, std::uint64_t round) {
   const std::size_t n = x_.size();
   DOLBIE_REQUIRE(costs.size() == n, "cost/worker count mismatch");
-  const net::fault_plan& plan = options_.protocol.faults;
-  const std::size_t budget = options_.protocol.retry_budget;
-  const net::node_id master = n;
 
   async_round_result result;
-  std::size_t losses = 0;  // deliveries abandoned past the budget
-
-  // Permanent crashes retire before the round starts.
-  for (core::worker_id i = 0; i < n; ++i) {
-    if (removed_[i] != 0 || !plan.permanently_down(i, round)) continue;
-    std::size_t heirs = 0;
-    for (core::worker_id j = 0; j < n; ++j) {
-      if (j != i && removed_[j] == 0) ++heirs;
-    }
-    if (heirs == 0) continue;
-    removed_[i] = 1;
-    std::vector<std::uint8_t> live_mask(n, 0);
-    for (core::worker_id j = 0; j < n; ++j) {
-      live_mask[j] = removed_[j] ? 0 : 1;
-    }
-    core::release_share_in_place(x_, i, live_mask);
-    double min_share = 1.0;
-    for (core::worker_id j = 0; j < n; ++j) {
-      if (removed_[j] == 0) min_share = std::min(min_share, x_[j]);
-    }
-    alpha_ = std::min(alpha_, core::feasible_step_cap(heirs, min_share));
-    ++report_.removed_workers;
-  }
-
+  // Locals are evaluated at the pre-retirement allocation — the same
+  // feedback the synchronous harness computes at current() before
+  // observe() — so sync-vs-async bit-identity covers churn rounds too.
   cost::evaluate_into(costs, x_, locals_);
-  for (core::worker_id i = 0; i < n; ++i) {
-    if (removed_[i] == 0) {
-      result.compute_duration = std::max(result.compute_duration, locals_[i]);
-    }
-  }
   if (n == 1) {
+    result.compute_duration = locals_[0];
     result.next_allocation = x_;
     result.round_duration = result.compute_duration;
     return result;
   }
 
+  net_->set_round(round);
+  const net::reliable_stats before = rel_->stats();
+  obs::tracer* tr = options_.protocol.tracer;
+  const std::uint32_t lane = options_.protocol.trace_lane;
+  obs::span round_span(tr, lane, round, "round", "mw");
+
   const double msg_time = options_.link.message_time(options_.payload_bytes);
-  const double serialize = static_cast<double>(options_.payload_bytes) /
-                           options_.link.bytes_per_second;
   const double timeout = options_.retransmit_timeout < 0.0
                              ? 4.0 * msg_time
                              : options_.retransmit_timeout;
+  mw_deadline_timing timing;
+  timing.msg_time = msg_time;
+  timing.serialize = static_cast<double>(options_.payload_bytes) /
+                     options_.link.bytes_per_second;
+  timing.timeout = timeout;
   // How long a receiver waits before declaring an expected message lost.
-  const double patience =
-      static_cast<double>(budget + 1) * timeout + msg_time;
+  timing.patience =
+      static_cast<double>(options_.protocol.retry_budget + 1) * timeout +
+      msg_time;
+  timing.compute_delay = options_.compute_delay;
+  timing.locals = locals_;
+  timing.removed = &flags_.removed;
 
-  std::vector<std::uint8_t> live(n, 0);
-  std::size_t holds = 0;
-  for (core::worker_id i = 0; i < n; ++i) {
-    live[i] = (removed_[i] == 0 && !plan.down(i, round)) ? 1 : 0;
-    if (live[i] == 0 && removed_[i] == 0) ++holds;
-  }
-  std::size_t failovers = 0;
-  bool aborted = false;
-  core::worker_id s_final = 0;
+  mw_degraded_round<net::reliable_delivery, mw_deadline_timing> flow{
+      n,
+      n,  // the master occupies node id N
+      costs,
+      locals_,
+      options_.protocol.faults,
+      net::reliable_delivery{*rel_},
+      timing,
+      tr,
+      lane,
+      counters_.failover,
+      report_,
+      x_,
+      alpha_,
+      scratch_,
+      flags_};
+  const degraded_outcome outcome = flow.run(round);
 
-  std::vector<double> next_x = x_;
-  double clock = 0.0;  // end of the last completed phase
-
-  // --- Phase 1: live workers upload their local costs; the master's
-  //     deadline covers the slowest expected message. ---
-  std::vector<std::uint8_t> heard(n, 0);
-  std::vector<double> l(n, 0.0);
-  std::size_t heard_count = 0;
-  double phase1_end = result.compute_duration;
-  for (core::worker_id i = 0; i < n; ++i) {
-    if (removed_[i] != 0) continue;
-    if (live[i] == 0) {
-      // Master waits out a full deadline for a silent worker.
-      phase1_end = std::max(phase1_end, patience);
-      continue;
-    }
-    ++result.messages;
-    const std::size_t k = attempts_to_deliver(i, master);
-    if (k > 0) {
-      heard[i] = 1;
-      ++heard_count;
-      l[i] = locals_[i];
-      result.retransmits += k - 1;
-      phase1_end = std::max(
-          phase1_end,
-          locals_[i] + static_cast<double>(k - 1) * timeout + msg_time);
-    } else {
-      result.retransmits += budget;
-      ++losses;
-      ++holds;
-      phase1_end = std::max(phase1_end, locals_[i] + patience);
-    }
-  }
-  clock = phase1_end;
-
-  if (heard_count == 0) {
-    aborted = true;
-  } else {
-    // --- Election over the heard set. ---
-    core::worker_id s = n;
-    for (core::worker_id i = 0; i < n; ++i) {
-      if (heard[i] != 0 && (s == n || l[i] > l[s])) s = i;
-    }
-    s_final = s;
-
-    // --- Phases 2+3: round info out (NIC-serialized), decisions back.
-    //     A worker whose info or decision is lost past the budget holds. ---
-    std::vector<std::uint8_t> decided(n, 0);
-    std::vector<double> tentative(n, 0.0);
-    double phase3_end = clock;
-    std::size_t position = 0;
-    for (core::worker_id i = 0; i < n; ++i) {
-      if (heard[i] == 0) continue;
-      const double depart =
-          clock + static_cast<double>(position++) * serialize;
-      ++result.messages;
-      const std::size_t k_info = attempts_to_deliver(master, i);
-      if (plan.crashed_during(i, round)) {
-        // Sent its cost, then stopped computing: counts as a hold (unless
-        // it is the straggler, which the failover below handles).
-        if (k_info > 0) result.retransmits += k_info - 1;
-        if (k_info == 0) {
-          result.retransmits += budget;
-          ++losses;
-        }
-        if (i != s) ++holds;
-        phase3_end = std::max(phase3_end, depart + patience);
-        continue;
-      }
-      if (k_info == 0) {
-        result.retransmits += budget;
-        ++losses;
-        if (i != s) ++holds;
-        phase3_end = std::max(phase3_end, depart + patience);
-        continue;
-      }
-      result.retransmits += k_info - 1;
-      const double info_at =
-          depart + static_cast<double>(k_info - 1) * timeout + msg_time;
-      if (i == s) {
-        phase3_end = std::max(phase3_end, info_at);
-        continue;  // straggler waits for its assignment
-      }
-      const double xp =
-          core::max_acceptable_workload(*costs[i], x_[i], l[s]);
-      tentative[i] = x_[i] + alpha_ * (xp - x_[i]);
-      ++result.messages;
-      const std::size_t k_dec = attempts_to_deliver(i, master);
-      const double sent_at = info_at + options_.compute_delay;
-      if (k_dec > 0) {
-        result.retransmits += k_dec - 1;
-        decided[i] = 1;
-        next_x[i] = tentative[i];
-        phase3_end = std::max(
-            phase3_end,
-            sent_at + static_cast<double>(k_dec - 1) * timeout + msg_time);
-      } else {
-        result.retransmits += budget;
-        ++losses;
-        ++holds;  // the worker rolls back its unconfirmed decision
-        phase3_end = std::max(phase3_end, sent_at + patience);
-      }
-    }
-    clock = phase3_end;
-
-    // --- Phase 4: assign the remainder with deterministic failover. ---
-    bool clamped = false;
-    const auto try_assign = [&](core::worker_id cand) -> bool {
-      const double saved = next_x[cand];
-      next_x[cand] = x_[cand];
-      double claimed = 0.0;
-      for (core::worker_id j = 0; j < n; ++j) {
-        if (j != cand) claimed += next_x[j];
-      }
-      const double raw = 1.0 - claimed;
-      ++result.messages;
-      const std::size_t k_assign = attempts_to_deliver(master, cand);
-      if (k_assign == 0) {
-        result.retransmits += budget;
-        ++losses;
-        clock += patience;
-        next_x[cand] = saved;
-        return false;
-      }
-      result.retransmits += k_assign - 1;
-      ++result.messages;
-      const std::size_t k_confirm = attempts_to_deliver(cand, master);
-      if (k_confirm == 0) {
-        result.retransmits += budget;
-        ++losses;
-        clock += patience;
-        next_x[cand] = saved;
-        return false;
-      }
-      result.retransmits += k_confirm - 1;
-      clock += static_cast<double>(k_assign + k_confirm - 2) * timeout +
-               2.0 * msg_time;
-      next_x[cand] = std::max(0.0, raw);
-      clamped = raw < 0.0;
-      return true;
-    };
-
-    bool assigned = false;
-    if (!plan.crashed_during(s, round)) assigned = try_assign(s);
-    if (!assigned) {
-      for (;;) {
-        core::worker_id cand = n;
-        for (core::worker_id i = 0; i < n; ++i) {
-          if (i == s || heard[i] == 0 || plan.crashed_during(i, round)) {
-            continue;
-          }
-          if (cand == n || l[i] > l[cand]) cand = i;
-        }
-        if (cand == n) break;
-        heard[cand] = 0;  // consumed as a candidate
-        ++failovers;
-        ++report_.straggler_failovers;
-        ++result.straggler_failovers;
-        if (try_assign(cand)) {
-          assigned = true;
-          s_final = cand;
-          break;
-        }
-      }
-    }
-    if (!assigned) {
-      aborted = true;
-    } else {
-      if (clamped) {
-        double total = 0.0;
-        for (double v : next_x) total += v;
-        for (double& v : next_x) v /= total;
-      }
-      alpha_ = core::next_step_size(alpha_, n, next_x[s_final]);
-    }
-  }
-
-  if (aborted) {
-    next_x = x_;  // every worker holds
-    ++report_.aborted_rounds;
-  }
-  x_ = std::move(next_x);
+  finish_degraded_round(outcome, rel_->stats(), tr, lane, "mw", round,
+                        counters_, report_, mirrored_);
   DOLBIE_REQUIRE(on_simplex(x_),
                  "degraded async-MW round " << round
                                             << " left the allocation off "
                                                "the simplex");
 
-  result.zero_step_holds = holds;
-  result.aborted = aborted;
-  result.degraded = holds > 0 || failovers > 0 || aborted;
-  if (result.degraded) ++report_.degraded_rounds;
-  report_.zero_step_holds += holds;
-  report_.retransmits += result.retransmits;
-  report_.timeouts += result.retransmits + losses;
-
   result.next_allocation = x_;
-  result.round_duration = std::max(clock, result.compute_duration);
+  result.messages = timing.messages;
+  result.retransmits = rel_->stats().retransmits - before.retransmits;
+  result.zero_step_holds = outcome.holds;
+  result.straggler_failovers = outcome.failovers;
+  result.aborted = outcome.aborted;
+  result.degraded =
+      outcome.holds > 0 || outcome.failovers > 0 || outcome.aborted;
+  result.compute_duration = timing.compute_duration;
+  result.round_duration = std::max(timing.clock, timing.compute_duration);
   result.protocol_duration = result.round_duration - result.compute_duration;
+  round_span.arg("straggler",
+                 static_cast<std::uint64_t>(outcome.straggler));
+  round_span.arg("alpha_next", alpha_);
+  round_span.arg("messages", static_cast<std::uint64_t>(timing.messages));
   return result;
 }
 

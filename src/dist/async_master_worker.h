@@ -21,20 +21,25 @@
 //           tightens alpha by Eq. (7)
 //   round ends at max_i (time worker i holds x_{i,t+1})
 //
-// Fault tolerance: with `protocol.faults` enabled the engine switches to a
-// deadline-synchronized round computed by direct arithmetic over arrival
-// times (no event queue): each delivery rolls the fault plan up to
-// retry_budget + 1 times, a retransmission costs one timeout, and a
-// message lost past the budget degrades the round with the same semantics
-// as the synchronous engine — unheard workers hold x_{i,t}, the straggler
-// fails over deterministically, permanent crashes retire through
-// core/churn.h. The clean path is untouched (bit-identical timing and
-// allocations).
+// Fault tolerance: with `protocol.faults` enabled the engine runs the
+// unified protocol core's dist/mw_round.h state machine — the exact same
+// transitions as the synchronous engine's degraded mode, over an internal
+// net::network + net::reliable_link pair — instantiated with a
+// deadline-arithmetic timing model that prices every delivery in virtual
+// time from the number of transmissions it took. Because the wire layer
+// and the transitions are shared (not re-derived), the degraded iterates
+// are bit-identical to the synchronous engine under the same fault plan;
+// only the clock differs. The clean path is untouched (bit-identical
+// timing and allocations).
 #pragma once
+
+#include <memory>
 
 #include "core/policy.h"
 #include "dist/protocol.h"
 #include "net/delay_model.h"
+#include "net/network.h"
+#include "net/reliable.h"
 
 namespace dolbie::dist {
 
@@ -83,6 +88,8 @@ class async_master_worker {
   async_round_result run_round(const cost::cost_view& costs);
 
   /// Cumulative fault/degradation accounting (all zero on the clean path).
+  /// Mirrored into protocol.metrics (when attached) as the same
+  /// dist.*/net.* counters the synchronous engines publish.
   const fault_report& faults() const { return report_; }
 
   void reset();
@@ -91,10 +98,6 @@ class async_master_worker {
   async_round_result run_round_clean(const cost::cost_view& costs);
   async_round_result run_round_faulty(const cost::cost_view& costs,
                                       std::uint64_t round);
-  // One reliable delivery on the (from, to) link: rolls the fault plan up
-  // to retry_budget + 1 times and returns the attempt that got through
-  // (1-based), or 0 when the message is lost past the budget.
-  std::size_t attempts_to_deliver(std::size_t from, std::size_t to);
 
   async_options options_;
   core::allocation x_;
@@ -103,12 +106,18 @@ class async_master_worker {
   std::vector<double> locals_;
 
   // Fault-tolerant path (engaged only when options_.protocol.faults is
-  // enabled; the clean path never touches any of this).
+  // enabled; the clean path never touches any of this). The engine owns a
+  // private network + reliable link so the shared round state machine
+  // consumes the identical fault-roll stream as the synchronous engine.
   bool faulty_ = false;
   std::uint64_t round_ = 0;
-  std::vector<std::uint8_t> removed_;
-  std::vector<std::uint64_t> attempts_;  // per-link fault-roll counters
+  std::unique_ptr<net::network> net_;
+  std::unique_ptr<net::reliable_link> rel_;
+  round_scratch scratch_;
+  member_flags flags_;
+  engine_counters counters_;
   fault_report report_;
+  net::reliable_stats mirrored_;
 };
 
 }  // namespace dolbie::dist

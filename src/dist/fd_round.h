@@ -1,0 +1,309 @@
+// Fully-distributed (Alg. 2) round state machine of the unified protocol
+// core — the peer-to-peer sibling of dist/mw_round.h, same seams: a
+// delivery policy (net/transport.h) and a timing model. The synchronous
+// engine (dist/fully_distributed.h) instantiates it with `fd_null_timing`
+// (bit-identical to the pre-refactor path); the asynchronous engine
+// (dist/async_fully_distributed.h) supplies deadline arithmetic priced
+// from `Delivery::last_receive_attempts()`.
+//
+// The round's participant set H_t is the set of live workers whose
+// broadcast reached every polling receiver within the retry budget;
+// everyone agrees on H_t (a membership-oracle shortcut — simulating the
+// real agreement subprotocol round-trip would add wire phases without
+// changing the allocation arithmetic). Election and the consensus step
+// minimize over H_t only: min over a subset >= min over all workers, so
+// the consensus alpha stays inside every Eq. 7 cap and feasibility is
+// untouched. Workers outside H_t hold x_{i,t}.
+//
+// Degraded absorption: the straggler cannot compute 1 - sum(claimed)
+// because holders never upload their shares (the privacy property). On
+// this path decisions carry {x_{i,t+1}, x_{i,t}} and the straggler
+// absorbs via x_s - sum(x_new - x_old): total mass is conserved without
+// the straggler learning any holder's share.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/step_size.h"
+#include "core/types.h"
+#include "cost/cost_function.h"
+#include "dist/mw_round.h"  // decide_next_share
+#include "dist/protocol.h"
+#include "net/fault_plan.h"
+#include "net/message.h"
+#include "obs/trace.h"
+
+namespace dolbie::dist {
+
+/// Timing model that compiles to nothing — the synchronous engine's
+/// instantiation, which must stay bit-identical to the pre-refactor path.
+struct fd_null_timing {
+  void round_begin() {}
+  void on_send() {}
+  void broadcast_sent(core::worker_id, core::worker_id) {}
+  void broadcast_delivered(core::worker_id, core::worker_id, std::size_t) {}
+  void broadcast_lost(core::worker_id, core::worker_id) {}
+  void phase1_done() {}
+  void decision_sent(core::worker_id) {}
+  void failover() {}
+  void decision_delivered(core::worker_id, std::size_t) {}
+  void decision_lost(core::worker_id) {}
+  void phase2_done() {}
+};
+
+/// One fault-tolerant Alg. 2 round. Reads the played allocation `x`,
+/// builds x_{t+1} in `scratch.next_x` (the caller swaps after the round
+/// commits); `alpha_bar` is each worker's local step bound, tightened at
+/// the straggler and re-capped on churn.
+template <class Delivery, class Timing>
+struct fd_degraded_round {
+  std::size_t n;
+  const cost::cost_view& costs;
+  std::span<const double> locals;
+  const net::fault_plan& plan;
+  Delivery wire;
+  Timing& timing;
+  obs::tracer* tr;
+  std::uint32_t lane;
+  obs::counter* failover_counter;
+  fault_report& report;
+  std::vector<double>& x;          ///< x_t; mutated only by retirement
+  std::vector<double>& alpha_bar;  ///< per-worker local step bounds
+  round_scratch& scratch;
+  member_flags& flags;
+
+  void retire(core::worker_id id, std::uint64_t round) {
+    retirement r;
+    if (!retire_worker_share(x, flags, id, r)) return;
+    // Every survivor re-caps its local step against the shrunk worker
+    // set; the min consensus then propagates the tightest cap.
+    for (core::worker_id j = 0; j < n; ++j) {
+      if (flags.removed[j] == 0) {
+        alpha_bar[j] = std::min(alpha_bar[j], r.cap);
+      }
+    }
+    ++report.removed_workers;
+    if (tr != nullptr) {
+      tr->instant(lane, round, "worker_removed", "fd",
+                  {obs::arg_int("worker", id),
+                   obs::arg_int("survivors", r.heirs),
+                   obs::arg_num("alpha_cap", r.cap)});
+    }
+  }
+
+  degraded_outcome run(std::uint64_t round) {
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.removed[i] == 0 && plan.permanently_down(i, round)) {
+        retire(i, round);
+      }
+    }
+    timing.round_begin();
+
+    degraded_outcome out;
+    for (core::worker_id i = 0; i < n; ++i) {
+      flags.live[i] = (flags.removed[i] == 0 && !plan.down(i, round)) ? 1 : 0;
+      if (flags.live[i] == 0 && flags.removed[i] == 0) {
+        ++out.holds;  // temporarily down
+      }
+    }
+
+    wire.begin_round(round);
+    scratch.next_x = x;
+
+    // --- Phase 1: live workers (including mid-round crashers, whose
+    //     transport completes) broadcast (l_i, alpha-bar_i). ---
+    {
+      obs::span sp(tr, lane, round, "phase1.broadcast", "fd");
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.live[i] == 0) continue;
+        for (net::node_id j = 0; j < n; ++j) {
+          if (j == i || flags.live[j] == 0) continue;
+          wire.send({i, j, net::message_kind::cost_and_step,
+                     {locals[i], alpha_bar[i]}});
+          timing.on_send();
+          timing.broadcast_sent(i, j);
+        }
+      }
+    }
+
+    // Delivery resolution: every polling receiver (live, still computing)
+    // drains its inbox; a sender enters H_t only if all of them heard it.
+    scratch.inbox_l.assign(n, 0.0);
+    scratch.inbox_a.assign(n, 0.0);
+    std::fill(flags.delivered.begin(), flags.delivered.end(), 0);
+    for (net::node_id j = 0; j < n; ++j) {
+      if (flags.live[j] == 0 || plan.crashed_during(j, round)) continue;
+      for (net::node_id i = 0; i < n; ++i) {
+        if (i == j || flags.live[i] == 0) continue;
+        auto m = wire.receive(j, i);
+        if (m.has_value()) {
+          flags.delivered[j * n + i] = 1;
+          scratch.inbox_l[i] = m->payload[0];  // consistent across receivers
+          scratch.inbox_a[i] = m->payload[1];
+          timing.broadcast_delivered(j, i, wire.last_receive_attempts());
+        } else {
+          timing.broadcast_lost(j, i);
+        }
+      }
+    }
+    std::size_t h_count = 0;
+    for (net::node_id i = 0; i < n; ++i) {
+      flags.in_h[i] = flags.live[i];
+      if (flags.live[i] == 0) continue;
+      for (net::node_id j = 0; j < n; ++j) {
+        if (j == i || flags.live[j] == 0 || plan.crashed_during(j, round)) {
+          continue;
+        }
+        if (flags.delivered[j * n + i] == 0) {
+          flags.in_h[i] = 0;
+          break;
+        }
+      }
+      if (flags.in_h[i] != 0) {
+        ++h_count;
+        scratch.inbox_l[i] = locals[i];
+        scratch.inbox_a[i] = alpha_bar[i];
+      }
+    }
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.live[i] != 0 && flags.in_h[i] == 0 &&
+          !plan.crashed_during(i, round)) {
+        ++out.holds;  // excluded from the round: broadcast lost past budget
+      }
+      if (flags.live[i] != 0 && plan.crashed_during(i, round)) {
+        ++out.holds;  // sent its broadcast, then stopped computing
+      }
+    }
+    timing.phase1_done();
+
+    if (h_count == 0) {
+      out.aborted = true;
+      scratch.next_x = x;  // every worker holds
+      return out;
+    }
+
+    // --- Election over H_t: straggler by max cost, step by min consensus
+    //     (both with lowest-index tie-breaking, as in the clean path). ---
+    core::worker_id s = n;
+    double alpha_t = 1.0;
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.in_h[i] == 0) continue;
+      if (s == n || scratch.inbox_l[i] > scratch.inbox_l[s]) s = i;
+      alpha_t = std::min(alpha_t, scratch.inbox_a[i]);
+    }
+    out.straggler = s;
+    out.consensus_alpha = alpha_t;
+    if (tr != nullptr) {
+      tr->instant(lane, round, "straggler_elected", "fd",
+                  {obs::arg_int("worker", s),
+                   obs::arg_num("cost", scratch.inbox_l[s]),
+                   obs::arg_num("alpha_consensus", alpha_t)});
+    }
+
+    // --- Phase 2: movers (in H_t, still computing, not the straggler)
+    //     update locally and upload {x_new, x_old} to the straggler. ---
+    {
+      obs::span sp(tr, lane, round, "phase2.decision_uploads", "fd");
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.in_h[i] == 0 || i == s || plan.crashed_during(i, round)) {
+          continue;
+        }
+        scratch.tentative[i] =
+            decide_next_share(*costs[i], x[i], scratch.inbox_l[s], alpha_t);
+        wire.send({i, s, net::message_kind::decision,
+                   {scratch.tentative[i], x[i]}});
+        timing.on_send();
+        timing.decision_sent(i);
+      }
+    }
+
+    // A straggler that crashed mid-round cannot absorb: re-elect the
+    // next-highest cost in H_t that is still computing, and movers
+    // re-upload there. The new straggler discards its own tentative move
+    // (its share is derived, not decided).
+    core::worker_id s_final = s;
+    if (plan.crashed_during(s, round)) {
+      core::worker_id s2 = n;
+      for (core::worker_id i = 0; i < n; ++i) {
+        if (flags.in_h[i] == 0 || i == s || plan.crashed_during(i, round)) {
+          continue;
+        }
+        if (s2 == n || scratch.inbox_l[i] > scratch.inbox_l[s2]) s2 = i;
+      }
+      if (s2 == n) {
+        out.aborted = true;
+        scratch.next_x = x;  // every worker holds
+        return out;
+      }
+      ++out.failovers;
+      ++report.straggler_failovers;
+      if (failover_counter != nullptr) failover_counter->add(1);
+      if (tr != nullptr) {
+        tr->instant(lane, round, "straggler_failover", "fd",
+                    {obs::arg_int("from", s), obs::arg_int("to", s2),
+                     obs::arg_num("cost", scratch.inbox_l[s2])});
+      }
+      timing.failover();
+      obs::span sp(tr, lane, round, "phase2.failover_resend", "fd");
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.in_h[i] == 0 || i == s || i == s2 ||
+            plan.crashed_during(i, round)) {
+          continue;
+        }
+        wire.send({i, s2, net::message_kind::decision,
+                   {scratch.tentative[i], x[i]}});
+        timing.on_send();
+        timing.decision_sent(i);
+      }
+      s_final = s2;
+      out.straggler = s2;
+    }
+
+    // --- Post-phase: the straggler absorbs via the delta sum. A mover
+    //     whose decision never arrived rolls back to x_{i,t}. ---
+    double delta = 0.0;
+    for (net::node_id i = 0; i < n; ++i) {
+      if (flags.in_h[i] == 0 || i == s || i == s_final ||
+          plan.crashed_during(i, round)) {
+        continue;
+      }
+      auto m = wire.receive(s_final, i);
+      if (m.has_value()) {
+        scratch.next_x[i] = scratch.tentative[i];
+        delta += m->payload[0] - m->payload[1];
+        timing.decision_delivered(i, wire.last_receive_attempts());
+      } else {
+        ++out.holds;  // decision lost past budget: the mover rolls back
+        timing.decision_lost(i);
+      }
+    }
+    timing.phase2_done();
+    const double raw = x[s_final] - delta;
+    scratch.next_x[s_final] = std::max(0.0, raw);
+    if (raw < 0.0) {
+      // alpha ran ahead of the binding Eq. 7 cap (its source went
+      // unheard this round): rescale onto the simplex.
+      double total = 0.0;
+      for (double v : scratch.next_x) total += v;
+      for (double& v : scratch.next_x) v /= total;
+      if (tr != nullptr) {
+        tr->instant(lane, round, "renormalized", "fd",
+                    {obs::arg_num("total", total)});
+      }
+    }
+    const double alpha_before = alpha_bar[s_final];
+    alpha_bar[s_final] =
+        core::next_step_size(alpha_bar[s_final], n, scratch.next_x[s_final]);
+    if (tr != nullptr && alpha_bar[s_final] != alpha_before) {
+      tr->instant(lane, round, "alpha_tightened", "fd",
+                  {obs::arg_int("worker", s_final),
+                   obs::arg_num("alpha_bar", alpha_bar[s_final])});
+    }
+    return out;
+  }
+};
+
+}  // namespace dolbie::dist

@@ -4,9 +4,9 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
-#include "core/churn.h"
-#include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "dist/fd_round.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 
 namespace dolbie::dist {
@@ -14,14 +14,7 @@ namespace dolbie::dist {
 fully_distributed_policy::fully_distributed_policy(std::size_t n_workers,
                                                    protocol_options options)
     : n_(n_workers), options_(std::move(options)), net_(n_workers) {
-  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
-  if (options_.initial_partition.empty()) {
-    options_.initial_partition = uniform_point(n_workers);
-  }
-  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
-                 "initial partition size mismatch");
-  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
-                 "initial partition must lie on the simplex");
+  normalize_options(options_, n_);
   net_.attach_tracer(options_.tracer, options_.trace_lane);
   faulty_ = options_.faults.enabled();
   if (faulty_) {
@@ -29,25 +22,10 @@ fully_distributed_policy::fully_distributed_policy(std::size_t n_workers,
     rel_ = std::make_unique<net::reliable_link>(
         net_, net::reliable_options{options_.retry_budget});
     rel_->attach_tracer(options_.tracer, options_.trace_lane);
-    removed_.assign(n_, 0);
-    live_.assign(n_, 0);
-    in_h_.assign(n_, 0);
-    delivered_.assign(n_ * n_, 0);
-    tentative_.assign(n_, 0.0);
+    flags_.setup(n_, /*all_pairs=*/true);
+    scratch_.tentative.assign(n_, 0.0);
   }
-  if (options_.metrics != nullptr) {
-    rounds_counter_ = &options_.metrics->counter_named("fd.rounds");
-    alpha_gauge_ = &options_.metrics->gauge_named("fd.alpha_consensus");
-    straggler_gauge_ = &options_.metrics->gauge_named("fd.straggler");
-    if (faulty_) {
-      degraded_counter_ =
-          &options_.metrics->counter_named("dist.degraded_rounds");
-      failover_counter_ =
-          &options_.metrics->counter_named("dist.straggler_failovers");
-      retransmit_counter_ = &options_.metrics->counter_named("net.retransmits");
-      timeout_counter_ = &options_.metrics->counter_named("net.timeouts");
-    }
-  }
+  counters_.bind(options_.metrics, "fd", "fd.alpha_consensus", faulty_);
   reset();
 }
 
@@ -64,7 +42,7 @@ void fully_distributed_policy::reset() {
   round_ = 0;
   if (faulty_) {
     rel_->reset();
-    std::fill(removed_.begin(), removed_.end(), 0);
+    std::fill(flags_.removed.begin(), flags_.removed.end(), 0);
     fault_report_ = {};
     mirrored_ = {};
   }
@@ -90,6 +68,7 @@ void fully_distributed_policy::observe_clean(
   net_.reset_traffic();
   net_.set_round(round);
   const cost::cost_view& costs = *feedback.costs;
+  net::direct_delivery wire{net_};
   obs::tracer* tr = options_.tracer;
   const std::uint32_t lane = options_.trace_lane;
   obs::span round_span(tr, lane, round, "round", "fd");
@@ -101,7 +80,7 @@ void fully_distributed_policy::observe_clean(
     for (net::node_id i = 0; i < n_; ++i) {
       for (net::node_id j = 0; j < n_; ++j) {
         if (j == i) continue;
-        net_.send({i, j, net::message_kind::cost_and_step,
+        wire.send({i, j, net::message_kind::cost_and_step,
                    {feedback.local_costs[i], alpha_bar_[i]}});
       }
     }
@@ -111,29 +90,30 @@ void fully_distributed_policy::observe_clean(
   //     picture from its inbox, updates, and non-stragglers upload their
   //     decisions to the straggler (lines 5-10). We simulate each worker's
   //     computation with strictly worker-local inputs. ---
-  next_x_ = worker_x_;
+  scratch_.next_x = worker_x_;
   core::worker_id straggler = 0;     // as computed by worker 0; all agree
   double consensus_alpha = 0.0;      // likewise
   {
     obs::span sp(tr, lane, round, "phase2.decision_uploads", "fd");
     for (net::node_id i = 0; i < n_; ++i) {
       // Reassemble this worker's view: its own scalars plus the broadcasts.
-      inbox_l_.assign(n_, 0.0);
-      inbox_a_.assign(n_, 0.0);
-      inbox_l_[i] = feedback.local_costs[i];
-      inbox_a_[i] = alpha_bar_[i];
+      scratch_.inbox_l.assign(n_, 0.0);
+      scratch_.inbox_a.assign(n_, 0.0);
+      scratch_.inbox_l[i] = feedback.local_costs[i];
+      scratch_.inbox_a[i] = alpha_bar_[i];
       for (net::node_id j = 0; j < n_; ++j) {
         if (j == i) continue;
-        auto m = net_.receive(i, j);
+        auto m = wire.receive(i, j);
         DOLBIE_REQUIRE(m.has_value(),
                        "worker " << i << " missed broadcast from " << j);
-        inbox_l_[j] = m->payload[0];
-        inbox_a_[j] = m->payload[1];
+        scratch_.inbox_l[j] = m->payload[0];
+        scratch_.inbox_a[j] = m->payload[1];
       }
-      const core::worker_id s = argmax(inbox_l_);    // line 7
-      const double l_t = inbox_l_[s];
-      const double alpha_t = inbox_a_[argmin(inbox_a_)];  // line 6 (min
-                                                          // consensus)
+      const core::worker_id s = argmax(scratch_.inbox_l);         // line 7
+      const double l_t = scratch_.inbox_l[s];
+      const double alpha_t =
+          scratch_.inbox_a[argmin(scratch_.inbox_a)];  // line 6 (min
+                                                       // consensus)
       if (i == 0) {
         straggler = s;
         consensus_alpha = alpha_t;
@@ -147,10 +127,10 @@ void fully_distributed_policy::observe_clean(
                        "straggler consensus diverged at worker " << i);
       }
       if (i == s) continue;  // the straggler acts below
-      const double xp =
-          core::max_acceptable_workload(*costs[i], worker_x_[i], l_t);
-      next_x_[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
-      net_.send({i, s, net::message_kind::decision, {next_x_[i]}});  // line 9
+      scratch_.next_x[i] =
+          decide_next_share(*costs[i], worker_x_[i], l_t, alpha_t);
+      wire.send({i, s, net::message_kind::decision,
+                 {scratch_.next_x[i]}});  // line 9
       // line 10: alpha-bar_i unchanged.
     }
   }
@@ -160,329 +140,77 @@ void fully_distributed_policy::observe_clean(
   double claimed = 0.0;
   for (net::node_id j = 0; j < n_; ++j) {
     if (j == straggler) continue;
-    auto m = net_.receive(straggler, j);
+    auto m = wire.receive(straggler, j);
     DOLBIE_REQUIRE(m.has_value(),
                    "straggler missed decision from worker " << j);
     claimed += m->payload[0];
   }
-  next_x_[straggler] = std::max(0.0, 1.0 - claimed);
+  scratch_.next_x[straggler] = std::max(0.0, 1.0 - claimed);
   const double alpha_before = alpha_bar_[straggler];
   alpha_bar_[straggler] = core::next_step_size(alpha_bar_[straggler], n_,
-                                               next_x_[straggler]);
+                                               scratch_.next_x[straggler]);
   if (tr != nullptr && alpha_bar_[straggler] != alpha_before) {
     tr->instant(lane, round, "alpha_tightened", "fd",
                 {obs::arg_int("worker", straggler),
                  obs::arg_num("alpha_bar", alpha_bar_[straggler])});
   }
 
-  // Swap (not move) so next round's `next_x_ = worker_x_` copy reuses the
-  // retired buffer instead of allocating a fresh one.
-  worker_x_.swap(next_x_);
+  // Swap (not move) so next round's `scratch_.next_x = worker_x_` copy
+  // reuses the retired buffer instead of allocating a fresh one.
+  worker_x_.swap(scratch_.next_x);
   assembled_ = worker_x_;
   last_traffic_ = net_.total_traffic();
   round_span.arg("straggler", static_cast<std::uint64_t>(straggler));
   round_span.arg("alpha_consensus", consensus_alpha);
   round_span.arg("messages",
                  static_cast<std::uint64_t>(last_traffic_.messages_sent));
-  if (rounds_counter_ != nullptr) {
-    rounds_counter_->add(1);
-    alpha_gauge_->set(consensus_alpha);
-    straggler_gauge_->set(static_cast<double>(straggler));
-  }
+  counters_.round_complete(consensus_alpha, static_cast<double>(straggler));
 }
 
-void fully_distributed_policy::retire_worker(core::worker_id id,
-                                             std::uint64_t round) {
-  std::size_t heirs = 0;
-  for (core::worker_id j = 0; j < n_; ++j) {
-    if (j != id && removed_[j] == 0) ++heirs;
-  }
-  if (heirs == 0) return;  // the last worker keeps everything
-  removed_[id] = 1;
-  for (core::worker_id j = 0; j < n_; ++j) live_[j] = removed_[j] ? 0 : 1;
-  core::release_share_in_place(worker_x_, id, live_);
-  // Every survivor re-caps its local step against the shrunk worker set —
-  // the decentralized analogue of dolbie_policy::remove_worker. The min
-  // consensus then propagates the tightest cap.
-  double min_share = 1.0;
-  for (core::worker_id j = 0; j < n_; ++j) {
-    if (removed_[j] == 0) min_share = std::min(min_share, worker_x_[j]);
-  }
-  const double cap = core::feasible_step_cap(heirs, min_share);
-  for (core::worker_id j = 0; j < n_; ++j) {
-    if (removed_[j] == 0) alpha_bar_[j] = std::min(alpha_bar_[j], cap);
-  }
-  ++fault_report_.removed_workers;
-  if (options_.tracer != nullptr) {
-    options_.tracer->instant(
-        options_.trace_lane, round, "worker_removed", "fd",
-        {obs::arg_int("worker", id), obs::arg_int("survivors", heirs),
-         obs::arg_num("alpha_cap", cap)});
-  }
-}
-
-// The fault-tolerant round. The round's participant set H_t is the set of
-// live workers whose broadcast reached every polling receiver within the
-// retry budget; everyone agrees on H_t (a membership-oracle shortcut —
-// simulating the real agreement subprotocol round-trip would add wire
-// phases without changing the allocation arithmetic). Election and the
-// consensus step minimize over H_t only: min over a subset >= min over
-// all workers, so the consensus alpha stays inside every Eq. 7 cap and
-// feasibility is untouched. Workers outside H_t hold x_{i,t}.
-//
-// Degraded absorption: the straggler cannot compute 1 - sum(claimed)
-// because holders never upload their shares (the privacy property). On
-// this path decisions carry {x_{i,t+1}, x_{i,t}} and the straggler
-// absorbs via x_s - sum(x_new - x_old): total mass is conserved without
-// the straggler learning any holder's share.
+// The fault-tolerant round: one instantiation of the shared dist/fd_round.h
+// state machine (H_t membership, delta-sum absorption, straggler failover,
+// churn retirement) with the timing hooks compiled away.
 void fully_distributed_policy::observe_faulty(
     const core::round_feedback& feedback, std::uint64_t round) {
   net_.set_round(round);
   round_traffic_start_ = net_.total_traffic();
-  const cost::cost_view& costs = *feedback.costs;
-  const net::fault_plan& plan = options_.faults;
   obs::tracer* tr = options_.tracer;
   const std::uint32_t lane = options_.trace_lane;
   obs::span round_span(tr, lane, round, "round", "fd");
 
-  for (core::worker_id i = 0; i < n_; ++i) {
-    if (removed_[i] == 0 && plan.permanently_down(i, round)) {
-      retire_worker(i, round);
-    }
-  }
+  fd_null_timing timing;
+  fd_degraded_round<net::reliable_delivery, fd_null_timing> flow{
+      n_,
+      *feedback.costs,
+      feedback.local_costs,
+      options_.faults,
+      net::reliable_delivery{*rel_},
+      timing,
+      tr,
+      lane,
+      counters_.failover,
+      fault_report_,
+      worker_x_,
+      alpha_bar_,
+      scratch_,
+      flags_};
+  const degraded_outcome outcome = flow.run(round);
 
-  std::size_t holds = 0;
-  std::size_t live_count = 0;
-  for (core::worker_id i = 0; i < n_; ++i) {
-    live_[i] = (removed_[i] == 0 && !plan.down(i, round)) ? 1 : 0;
-    if (live_[i] != 0) {
-      ++live_count;
-    } else if (removed_[i] == 0) {
-      ++holds;  // temporarily down
-    }
-  }
-  std::size_t failovers = 0;
-  bool aborted = false;
-  core::worker_id s_final = 0;
-  double consensus_alpha = 0.0;
-
-  rel_->begin_round(round);
-  next_x_ = worker_x_;
-
-  // --- Phase 1: live workers (including mid-round crashers, whose
-  //     transport completes) broadcast (l_i, alpha-bar_i). ---
-  {
-    obs::span sp(tr, lane, round, "phase1.broadcast", "fd");
-    for (net::node_id i = 0; i < n_; ++i) {
-      if (live_[i] == 0) continue;
-      for (net::node_id j = 0; j < n_; ++j) {
-        if (j == i || live_[j] == 0) continue;
-        rel_->send({i, j, net::message_kind::cost_and_step,
-                    {feedback.local_costs[i], alpha_bar_[i]}});
-      }
-    }
-  }
-
-  // Delivery resolution: every polling receiver (live, still computing)
-  // drains its inbox; a sender enters H_t only if all of them heard it.
-  inbox_l_.assign(n_, 0.0);
-  inbox_a_.assign(n_, 0.0);
-  std::fill(delivered_.begin(), delivered_.end(), 0);
-  for (net::node_id j = 0; j < n_; ++j) {
-    if (live_[j] == 0 || plan.crashed_during(j, round)) continue;
-    for (net::node_id i = 0; i < n_; ++i) {
-      if (i == j || live_[i] == 0) continue;
-      auto m = rel_->receive(j, i);
-      if (m.has_value()) {
-        delivered_[j * n_ + i] = 1;
-        inbox_l_[i] = m->payload[0];  // consistent across receivers
-        inbox_a_[i] = m->payload[1];
-      }
-    }
-  }
-  std::size_t h_count = 0;
-  for (net::node_id i = 0; i < n_; ++i) {
-    in_h_[i] = live_[i];
-    if (live_[i] == 0) continue;
-    for (net::node_id j = 0; j < n_; ++j) {
-      if (j == i || live_[j] == 0 || plan.crashed_during(j, round)) continue;
-      if (delivered_[j * n_ + i] == 0) {
-        in_h_[i] = 0;
-        break;
-      }
-    }
-    if (in_h_[i] != 0) {
-      ++h_count;
-      inbox_l_[i] = feedback.local_costs[i];
-      inbox_a_[i] = alpha_bar_[i];
-    }
-  }
-  for (core::worker_id i = 0; i < n_; ++i) {
-    if (live_[i] != 0 && in_h_[i] == 0 && !plan.crashed_during(i, round)) {
-      ++holds;  // excluded from the round: broadcast lost past budget
-    }
-    if (live_[i] != 0 && plan.crashed_during(i, round)) {
-      ++holds;  // sent its broadcast, then stopped computing
-    }
-  }
-
-  if (h_count == 0) {
-    aborted = true;
-  } else {
-    // --- Election over H_t: straggler by max cost, step by min consensus
-    //     (both with lowest-index tie-breaking, as in the clean path). ---
-    core::worker_id s = n_;
-    double alpha_t = 1.0;
-    for (core::worker_id i = 0; i < n_; ++i) {
-      if (in_h_[i] == 0) continue;
-      if (s == n_ || inbox_l_[i] > inbox_l_[s]) s = i;
-      alpha_t = std::min(alpha_t, inbox_a_[i]);
-    }
-    s_final = s;
-    consensus_alpha = alpha_t;
-    if (tr != nullptr) {
-      tr->instant(lane, round, "straggler_elected", "fd",
-                  {obs::arg_int("worker", s),
-                   obs::arg_num("cost", inbox_l_[s]),
-                   obs::arg_num("alpha_consensus", alpha_t)});
-    }
-
-    // --- Phase 2: movers (in H_t, still computing, not the straggler)
-    //     update locally and upload {x_new, x_old} to the straggler. ---
-    {
-      obs::span sp(tr, lane, round, "phase2.decision_uploads", "fd");
-      for (net::node_id i = 0; i < n_; ++i) {
-        if (in_h_[i] == 0 || i == s || plan.crashed_during(i, round)) {
-          continue;
-        }
-        const double xp = core::max_acceptable_workload(
-            *costs[i], worker_x_[i], inbox_l_[s]);
-        tentative_[i] = worker_x_[i] + alpha_t * (xp - worker_x_[i]);
-        rel_->send({i, s, net::message_kind::decision,
-                    {tentative_[i], worker_x_[i]}});
-      }
-    }
-
-    // A straggler that crashed mid-round cannot absorb: re-elect the
-    // next-highest cost in H_t that is still computing, and movers
-    // re-upload there. The new straggler discards its own tentative move
-    // (its share is derived, not decided).
-    if (plan.crashed_during(s, round)) {
-      core::worker_id s2 = n_;
-      for (core::worker_id i = 0; i < n_; ++i) {
-        if (in_h_[i] == 0 || i == s || plan.crashed_during(i, round)) {
-          continue;
-        }
-        if (s2 == n_ || inbox_l_[i] > inbox_l_[s2]) s2 = i;
-      }
-      if (s2 == n_) {
-        aborted = true;
-      } else {
-        ++failovers;
-        ++fault_report_.straggler_failovers;
-        if (failover_counter_ != nullptr) failover_counter_->add(1);
-        if (tr != nullptr) {
-          tr->instant(lane, round, "straggler_failover", "fd",
-                      {obs::arg_int("from", s), obs::arg_int("to", s2),
-                       obs::arg_num("cost", inbox_l_[s2])});
-        }
-        obs::span sp(tr, lane, round, "phase2.failover_resend", "fd");
-        for (net::node_id i = 0; i < n_; ++i) {
-          if (in_h_[i] == 0 || i == s || i == s2 ||
-              plan.crashed_during(i, round)) {
-            continue;
-          }
-          rel_->send({i, s2, net::message_kind::decision,
-                      {tentative_[i], worker_x_[i]}});
-        }
-        s_final = s2;
-      }
-    }
-
-    if (!aborted) {
-      // --- Post-phase: the straggler absorbs via the delta sum. A mover
-      //     whose decision never arrived rolls back to x_{i,t}. ---
-      double delta = 0.0;
-      for (net::node_id i = 0; i < n_; ++i) {
-        if (in_h_[i] == 0 || i == s || i == s_final ||
-            plan.crashed_during(i, round)) {
-          continue;
-        }
-        auto m = rel_->receive(s_final, i);
-        if (m.has_value()) {
-          next_x_[i] = tentative_[i];
-          delta += m->payload[0] - m->payload[1];
-        } else {
-          ++holds;  // decision lost past budget: the mover rolls back
-        }
-      }
-      const double raw = worker_x_[s_final] - delta;
-      next_x_[s_final] = std::max(0.0, raw);
-      if (raw < 0.0) {
-        // alpha ran ahead of the binding Eq. 7 cap (its source went
-        // unheard this round): rescale onto the simplex.
-        double total = 0.0;
-        for (double v : next_x_) total += v;
-        for (double& v : next_x_) v /= total;
-        if (tr != nullptr) {
-          tr->instant(lane, round, "renormalized", "fd",
-                      {obs::arg_num("total", total)});
-        }
-      }
-      const double alpha_before = alpha_bar_[s_final];
-      alpha_bar_[s_final] = core::next_step_size(alpha_bar_[s_final], n_,
-                                                 next_x_[s_final]);
-      if (tr != nullptr && alpha_bar_[s_final] != alpha_before) {
-        tr->instant(lane, round, "alpha_tightened", "fd",
-                    {obs::arg_int("worker", s_final),
-                     obs::arg_num("alpha_bar", alpha_bar_[s_final])});
-      }
-    }
-  }
-
-  if (aborted) {
-    next_x_ = worker_x_;  // every worker holds
-  }
-  worker_x_.swap(next_x_);
-  finish_round(round, holds, failovers, aborted);
-  round_span.arg("straggler", static_cast<std::uint64_t>(s_final));
-  round_span.arg("alpha_consensus", consensus_alpha);
+  worker_x_.swap(scratch_.next_x);
+  finish_round(round, outcome);
+  round_span.arg("straggler", static_cast<std::uint64_t>(outcome.straggler));
+  round_span.arg("alpha_consensus", outcome.consensus_alpha);
   round_span.arg("messages",
                  static_cast<std::uint64_t>(last_traffic_.messages_sent));
-  if (rounds_counter_ != nullptr) {
-    rounds_counter_->add(1);
-    alpha_gauge_->set(consensus_alpha);
-    straggler_gauge_->set(static_cast<double>(s_final));
-  }
+  counters_.round_complete(outcome.consensus_alpha,
+                           static_cast<double>(outcome.straggler));
 }
 
 void fully_distributed_policy::finish_round(std::uint64_t round,
-                                            std::size_t holds,
-                                            std::size_t failovers,
-                                            bool aborted) {
-  const bool degraded = holds > 0 || failovers > 0 || aborted;
-  if (degraded) {
-    ++fault_report_.degraded_rounds;
-    if (aborted) ++fault_report_.aborted_rounds;
-    if (degraded_counter_ != nullptr) degraded_counter_->add(1);
-    if (options_.tracer != nullptr) {
-      options_.tracer->instant(options_.trace_lane, round, "degraded_round",
-                               "fd",
-                               {obs::arg_int("holds", holds),
-                                obs::arg_int("aborted", aborted ? 1 : 0)});
-    }
-  }
-  fault_report_.zero_step_holds += holds;
-  const net::reliable_stats& st = rel_->stats();
-  if (retransmit_counter_ != nullptr) {
-    retransmit_counter_->add(st.retransmits - mirrored_.retransmits);
-    timeout_counter_->add(st.timeouts - mirrored_.timeouts);
-  }
-  mirrored_ = st;
-  fault_report_.retransmits = st.retransmits;
-  fault_report_.timeouts = st.timeouts;
-  fault_report_.duplicates_discarded = st.duplicates_discarded;
-
+                                            const degraded_outcome& outcome) {
+  finish_degraded_round(outcome, rel_->stats(), options_.tracer,
+                        options_.trace_lane, "fd", round, counters_,
+                        fault_report_, mirrored_);
   DOLBIE_REQUIRE(on_simplex(worker_x_),
                  "degraded FD round " << round
                                       << " left the allocation off the "

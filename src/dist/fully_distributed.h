@@ -20,17 +20,12 @@
 // The produced iterates are bit-identical to core::dolbie_policy (asserted
 // by tests/dist_equivalence_test).
 //
-// Fault tolerance: with `protocol_options::faults` enabled the round runs
-// over net::reliable_link and completes in degraded mode when messages are
-// lost past the retry budget. The round's participant set H_t is the set
-// of workers whose broadcast reached every polling receiver — election and
-// the consensus step minimize over H_t only (min over a subset upper-bounds
-// the min over all, so Eq. 7 feasibility is preserved); workers outside
-// H_t hold x_{i,t}. On this path decisions carry {x_{i,t+1}, x_{i,t}} so
-// the straggler can absorb via the delta sum without learning the holders'
-// shares — a deliberate, documented relaxation of the clean path's
-// single-scalar privacy. A straggler that crashed mid-round is re-elected
-// deterministically and movers re-upload. See DESIGN.md §8.
+// Fault tolerance: with `protocol_options::faults` enabled the round is
+// one instantiation of the unified protocol core's dist/fd_round.h state
+// machine (shared with the asynchronous engine) over net::reliable_link —
+// degraded completion via the participant set H_t, delta-sum absorption,
+// deterministic straggler failover and churn retirement. See
+// DESIGN.md §8-9.
 #pragma once
 
 #include <memory>
@@ -74,9 +69,7 @@ class fully_distributed_policy final : public core::online_policy {
                      std::uint64_t round);
   void observe_faulty(const core::round_feedback& feedback,
                       std::uint64_t round);
-  void retire_worker(core::worker_id id, std::uint64_t round);
-  void finish_round(std::uint64_t round, std::size_t holds,
-                    std::size_t failovers, bool aborted);
+  void finish_round(std::uint64_t round, const degraded_outcome& outcome);
 
   std::size_t n_;
   protocol_options options_;
@@ -86,38 +79,27 @@ class fully_distributed_policy final : public core::online_policy {
   std::vector<double> worker_x_;
   std::vector<double> alpha_bar_;
 
-  // Round scratch, kept as members so the per-round (and, for the inbox
-  // pair, per-worker) loops reuse their storage instead of allocating:
-  // next_x_ is the round's x_{t+1} under construction; inbox_l_/inbox_a_
-  // are the (l_j, alpha-bar_j) view each worker reassembles from its inbox.
-  std::vector<double> next_x_;
-  std::vector<double> inbox_l_;
-  std::vector<double> inbox_a_;
-
   core::allocation assembled_;
   net::traffic_totals last_traffic_;
+
+  // Round scratch shared with the protocol core (dist/protocol.h), kept
+  // as a member so the per-round (and, for the inbox pair, per-worker)
+  // loops reuse their storage instead of allocating: scratch_.next_x is
+  // the round's x_{t+1} under construction; inbox_l/inbox_a are the
+  // (l_j, alpha-bar_j) view each worker reassembles from its inbox.
+  round_scratch scratch_;
 
   // Fault-tolerant path (engaged only when options_.faults is enabled;
   // the clean path never touches any of this).
   bool faulty_ = false;
   std::unique_ptr<net::reliable_link> rel_;
-  std::vector<std::uint8_t> removed_;    // permanent membership
-  std::vector<std::uint8_t> live_;       // per-round scratch
-  std::vector<std::uint8_t> in_h_;       // round participant set H_t
-  std::vector<std::uint8_t> delivered_;  // n*n broadcast delivery bitmap
-  std::vector<double> tentative_;        // movers' tentative decisions
+  member_flags flags_;
   net::traffic_totals round_traffic_start_;
   fault_report fault_report_;
 
-  // Observability (null when options_.metrics is unset).
+  // Observability (unbound when options_.metrics is unset).
   std::uint64_t round_ = 0;
-  obs::counter* rounds_counter_ = nullptr;
-  obs::gauge* alpha_gauge_ = nullptr;
-  obs::gauge* straggler_gauge_ = nullptr;
-  obs::counter* degraded_counter_ = nullptr;
-  obs::counter* failover_counter_ = nullptr;
-  obs::counter* retransmit_counter_ = nullptr;
-  obs::counter* timeout_counter_ = nullptr;
+  engine_counters counters_;
   net::reliable_stats mirrored_;  // last stats already mirrored to metrics
 };
 

@@ -4,9 +4,9 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
-#include "core/churn.h"
-#include "core/max_acceptable.h"
 #include "core/step_size.h"
+#include "dist/mw_round.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 
 namespace dolbie::dist {
@@ -14,14 +14,7 @@ namespace dolbie::dist {
 master_worker_policy::master_worker_policy(std::size_t n_workers,
                                            protocol_options options)
     : n_(n_workers), options_(std::move(options)), net_(n_workers + 1) {
-  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
-  if (options_.initial_partition.empty()) {
-    options_.initial_partition = uniform_point(n_workers);
-  }
-  DOLBIE_REQUIRE(options_.initial_partition.size() == n_workers,
-                 "initial partition size mismatch");
-  DOLBIE_REQUIRE(on_simplex(options_.initial_partition),
-                 "initial partition must lie on the simplex");
+  normalize_options(options_, n_);
   net_.attach_tracer(options_.tracer, options_.trace_lane);
   faulty_ = options_.faults.enabled();
   if (faulty_) {
@@ -29,25 +22,10 @@ master_worker_policy::master_worker_policy(std::size_t n_workers,
     rel_ = std::make_unique<net::reliable_link>(
         net_, net::reliable_options{options_.retry_budget});
     rel_->attach_tracer(options_.tracer, options_.trace_lane);
-    removed_.assign(n_, 0);
-    live_.assign(n_, 0);
-    heard_.assign(n_, 0);
-    decided_.assign(n_, 0);
-    tentative_.assign(n_, 0.0);
+    flags_.setup(n_, /*all_pairs=*/false);
+    scratch_.tentative.assign(n_, 0.0);
   }
-  if (options_.metrics != nullptr) {
-    rounds_counter_ = &options_.metrics->counter_named("mw.rounds");
-    alpha_gauge_ = &options_.metrics->gauge_named("mw.alpha");
-    straggler_gauge_ = &options_.metrics->gauge_named("mw.straggler");
-    if (faulty_) {
-      degraded_counter_ =
-          &options_.metrics->counter_named("dist.degraded_rounds");
-      failover_counter_ =
-          &options_.metrics->counter_named("dist.straggler_failovers");
-      retransmit_counter_ = &options_.metrics->counter_named("net.retransmits");
-      timeout_counter_ = &options_.metrics->counter_named("net.timeouts");
-    }
-  }
+  counters_.bind(options_.metrics, "mw", "mw.alpha", faulty_);
   reset();
 }
 
@@ -62,7 +40,7 @@ void master_worker_policy::reset() {
   round_ = 0;
   if (faulty_) {
     rel_->reset();
-    std::fill(removed_.begin(), removed_.end(), 0);
+    std::fill(flags_.removed.begin(), flags_.removed.end(), 0);
     fault_report_ = {};
     mirrored_ = {};
   }
@@ -88,30 +66,32 @@ void master_worker_policy::observe_clean(const core::round_feedback& feedback,
   net_.reset_traffic();
   net_.set_round(round);
   const cost::cost_view& costs = *feedback.costs;
+  net::direct_delivery wire{net_};
   obs::tracer* tr = options_.tracer;
   const std::uint32_t lane = options_.trace_lane;
   obs::span round_span(tr, lane, round, "round", "mw");
 
   // --- Phase 1: each worker sends its local cost to the master (l.4);
   //     the master drains the incast. ---
-  master_l_.assign(n_, 0.0);
+  std::vector<double>& master_l = scratch_.inbox_l;
+  master_l.assign(n_, 0.0);
   {
     obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
     for (net::node_id i = 0; i < n_; ++i) {
-      net_.send({i, master_id(), net::message_kind::local_cost,
+      wire.send({i, master_id(), net::message_kind::local_cost,
                  {feedback.local_costs[i]}});
     }
     for (net::node_id i = 0; i < n_; ++i) {
-      auto m = net_.receive(master_id(), i);
+      auto m = wire.receive(master_id(), i);
       DOLBIE_REQUIRE(m.has_value(), "master missed cost from worker " << i);
-      master_l_[i] = m->payload[0];
+      master_l[i] = m->payload[0];
     }
   }
 
   // --- Phase 2: the master aggregates, identifies the straggler and
   //     broadcasts round info (lines 9-12). ---
-  const core::worker_id s = argmax(master_l_);
-  const double l_t = master_l_[s];
+  const core::worker_id s = argmax(master_l);
+  const double l_t = master_l[s];
   if (tr != nullptr) {
     tr->instant(lane, round, "straggler_elected", "mw",
                 {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});
@@ -119,8 +99,7 @@ void master_worker_policy::observe_clean(const core::round_feedback& feedback,
   {
     obs::span sp(tr, lane, round, "phase2.round_info_downloads", "mw");
     for (net::node_id i = 0; i < n_; ++i) {
-      net_.send({master_id(), i, net::message_kind::round_info,
-                 {l_t, alpha_, i == s ? 0.0 : 1.0}});
+      wire.send(make_round_info(master_id(), i, l_t, alpha_, i != s));
     }
   }
 
@@ -129,16 +108,13 @@ void master_worker_policy::observe_clean(const core::round_feedback& feedback,
   {
     obs::span sp(tr, lane, round, "phase3.decision_uploads", "mw");
     for (net::node_id i = 0; i < n_; ++i) {
-      auto m = net_.receive(i, master_id());
+      auto m = wire.receive(i, master_id());
       DOLBIE_REQUIRE(m.has_value(), "worker " << i << " missed round info");
-      const double global_cost = m->payload[0];
-      const double alpha = m->payload[1];
-      const bool non_straggler = m->payload[2] != 0.0;
-      if (!non_straggler) continue;  // straggler waits for its assignment
-      const double xp = core::max_acceptable_workload(*costs[i], worker_x_[i],
-                                                      global_cost);
-      worker_x_[i] = worker_x_[i] + alpha * (xp - worker_x_[i]);
-      net_.send({i, master_id(), net::message_kind::decision, {worker_x_[i]}});
+      const round_info info = decode_round_info(*m);
+      if (!info.non_straggler) continue;  // waits for its assignment
+      worker_x_[i] =
+          decide_next_share(*costs[i], worker_x_[i], info.l_t, info.alpha);
+      wire.send({i, master_id(), net::message_kind::decision, {worker_x_[i]}});
     }
   }
 
@@ -150,17 +126,17 @@ void master_worker_policy::observe_clean(const core::round_feedback& feedback,
     double claimed = 0.0;
     for (net::node_id i = 0; i < n_; ++i) {
       if (i == s) continue;
-      auto m = net_.receive(master_id(), i);
+      auto m = wire.receive(master_id(), i);
       DOLBIE_REQUIRE(m.has_value(),
                      "master missed decision from worker " << i);
       claimed += m->payload[0];
     }
     const double straggler_next = std::max(0.0, 1.0 - claimed);
-    net_.send(
+    wire.send(
         {master_id(), s, net::message_kind::assignment, {straggler_next}});
     alpha_ = core::next_step_size(alpha_, n_, straggler_next);
 
-    auto m = net_.receive(s, master_id());
+    auto m = wire.receive(s, master_id());
     DOLBIE_REQUIRE(m.has_value(), "straggler missed its assignment");
     worker_x_[s] = m->payload[0];
   }
@@ -171,296 +147,52 @@ void master_worker_policy::observe_clean(const core::round_feedback& feedback,
   round_span.arg("alpha_next", alpha_);
   round_span.arg("messages",
                  static_cast<std::uint64_t>(last_traffic_.messages_sent));
-  if (rounds_counter_ != nullptr) {
-    rounds_counter_->add(1);
-    alpha_gauge_->set(alpha_);
-    straggler_gauge_->set(static_cast<double>(s));
-  }
+  counters_.round_complete(alpha_, static_cast<double>(s));
 }
 
-void master_worker_policy::retire_worker(core::worker_id id,
-                                         std::uint64_t round) {
-  std::size_t heirs = 0;
-  for (core::worker_id j = 0; j < n_; ++j) {
-    if (j != id && removed_[j] == 0) ++heirs;
-  }
-  if (heirs == 0) return;  // the last worker keeps everything
-  removed_[id] = 1;
-  for (core::worker_id j = 0; j < n_; ++j) live_[j] = removed_[j] ? 0 : 1;
-  core::release_share_in_place(worker_x_, id, live_);
-  // Conservative re-cap over the surviving shares — the engine-side
-  // analogue of dolbie_policy::remove_worker's alpha re-cap.
-  double min_share = 1.0;
-  for (core::worker_id j = 0; j < n_; ++j) {
-    if (removed_[j] == 0) min_share = std::min(min_share, worker_x_[j]);
-  }
-  alpha_ = std::min(alpha_, core::feasible_step_cap(heirs, min_share));
-  ++fault_report_.removed_workers;
-  if (options_.tracer != nullptr) {
-    options_.tracer->instant(
-        options_.trace_lane, round, "worker_removed", "mw",
-        {obs::arg_int("worker", id), obs::arg_int("survivors", heirs),
-         obs::arg_num("alpha", alpha_)});
-  }
-}
-
-// The fault-tolerant round: reliable delivery with bounded retransmit,
-// round deadlines, degraded completion and straggler failover. Semantics:
-//
-//   * a worker the master does not hear from (down, crashed mid-round, or
-//     lost past the retry budget) takes a zero-length Eq. 5 step — it
-//     holds x_{i,t}, and the straggler's Eq. 6 remainder accounts for it
-//     at its current share, which the master legitimately tracks;
-//   * a worker's decision commits only when the master confirms receipt
-//     (the pull-model ack); unconfirmed decisions roll back to x_{i,t};
-//   * the round itself commits when the straggler adopts its assignment.
-//     If the elected straggler is unreachable, the master re-elects the
-//     next-highest heard cost deterministically; if no candidate is
-//     reachable the whole round aborts (every worker holds).
+// The fault-tolerant round: one instantiation of the shared dist/mw_round.h
+// state machine (reliable delivery, degraded completion, straggler
+// failover, churn retirement) with the timing hooks compiled away.
 void master_worker_policy::observe_faulty(const core::round_feedback& feedback,
                                           std::uint64_t round) {
   net_.set_round(round);
   round_traffic_start_ = net_.total_traffic();
-  const cost::cost_view& costs = *feedback.costs;
-  const net::fault_plan& plan = options_.faults;
   obs::tracer* tr = options_.tracer;
   const std::uint32_t lane = options_.trace_lane;
   obs::span round_span(tr, lane, round, "round", "mw");
 
-  // Membership: permanent crashes retire through the shared churn math
-  // before the round starts.
-  for (core::worker_id i = 0; i < n_; ++i) {
-    if (removed_[i] == 0 && plan.permanently_down(i, round)) {
-      retire_worker(i, round);
-    }
-  }
+  mw_null_timing timing;
+  mw_degraded_round<net::reliable_delivery, mw_null_timing> flow{
+      n_,
+      master_id(),
+      *feedback.costs,
+      feedback.local_costs,
+      options_.faults,
+      net::reliable_delivery{*rel_},
+      timing,
+      tr,
+      lane,
+      counters_.failover,
+      fault_report_,
+      worker_x_,
+      alpha_,
+      scratch_,
+      flags_};
+  const degraded_outcome outcome = flow.run(round);
 
-  round_start_x_ = worker_x_;
-  std::size_t holds = 0;  // worker-rounds defaulting to x_{i,t}
-  for (core::worker_id i = 0; i < n_; ++i) {
-    live_[i] = (removed_[i] == 0 && !plan.down(i, round)) ? 1 : 0;
-    if (live_[i] == 0 && removed_[i] == 0) ++holds;  // temporarily down
-  }
-  std::size_t failovers = 0;
-  bool aborted = false;
-  core::worker_id s_final = 0;
-
-  rel_->begin_round(round);
-
-  // --- Phase 1: live workers (including mid-round crashers, whose
-  //     transport completes) upload their local costs. ---
-  master_l_.assign(n_, 0.0);
-  std::size_t heard_count = 0;
-  {
-    obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
-    for (net::node_id i = 0; i < n_; ++i) {
-      if (live_[i] == 0) continue;
-      rel_->send({i, master_id(), net::message_kind::local_cost,
-                  {feedback.local_costs[i]}});
-    }
-    std::fill(heard_.begin(), heard_.end(), 0);
-    for (net::node_id i = 0; i < n_; ++i) {
-      if (live_[i] == 0) continue;
-      auto m = rel_->receive(master_id(), i);
-      if (m.has_value()) {
-        heard_[i] = 1;
-        ++heard_count;
-        master_l_[i] = m->payload[0];
-      } else {
-        ++holds;  // unheard past budget: excluded from the round
-      }
-    }
-  }
-
-  if (heard_count == 0) {
-    // Nobody reached the master: the round aborts, every worker holds.
-    aborted = true;
-    worker_x_ = round_start_x_;
-  } else {
-    // --- Phase 2: elect over the heard set, broadcast round info. ---
-    core::worker_id s = n_;
-    for (core::worker_id i = 0; i < n_; ++i) {
-      if (heard_[i] != 0 && (s == n_ || master_l_[i] > master_l_[s])) s = i;
-    }
-    const double l_t = master_l_[s];
-    s_final = s;
-    if (tr != nullptr) {
-      tr->instant(lane, round, "straggler_elected", "mw",
-                  {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});
-    }
-    {
-      obs::span sp(tr, lane, round, "phase2.round_info_downloads", "mw");
-      for (net::node_id i = 0; i < n_; ++i) {
-        if (heard_[i] == 0) continue;
-        rel_->send({master_id(), i, net::message_kind::round_info,
-                    {l_t, alpha_, i == s ? 0.0 : 1.0}});
-      }
-    }
-
-    // --- Phase 3: reachable non-stragglers compute tentative decisions
-    //     and upload them. A worker that crashed mid-round or missed its
-    //     round info holds x_{i,t}. ---
-    {
-      obs::span sp(tr, lane, round, "phase3.decision_uploads", "mw");
-      std::fill(decided_.begin(), decided_.end(), 0);
-      for (net::node_id i = 0; i < n_; ++i) {
-        if (heard_[i] == 0) continue;
-        if (plan.crashed_during(i, round)) {
-          if (i != s) ++holds;  // died after its phase-1 upload
-          continue;
-        }
-        // Every reachable worker consumes its round info — the straggler
-        // included, or the stale message would alias the assignment it
-        // pulls from the same link in phase 4.
-        auto m = rel_->receive(i, master_id());
-        if (i == s) continue;  // the straggler waits for its assignment
-        if (!m.has_value()) {
-          ++holds;  // round info lost past budget: zero step
-          continue;
-        }
-        const double xp = core::max_acceptable_workload(
-            *costs[i], worker_x_[i], m->payload[0]);
-        tentative_[i] = worker_x_[i] + m->payload[1] * (xp - worker_x_[i]);
-        rel_->send(
-            {i, master_id(), net::message_kind::decision, {tentative_[i]}});
-        decided_[i] = 1;
-      }
-    }
-
-    // --- Phase 4: commit confirmed decisions, assign the remainder with
-    //     deterministic straggler failover. ---
-    {
-      obs::span sp(tr, lane, round, "phase4.assignment_download", "mw");
-      for (net::node_id i = 0; i < n_; ++i) {
-        if (decided_[i] == 0) continue;
-        auto m = rel_->receive(master_id(), i);
-        if (m.has_value()) {
-          worker_x_[i] = m->payload[0];
-        } else {
-          decided_[i] = 0;  // never acked: the worker rolls back
-          ++holds;
-        }
-      }
-
-      bool clamped = false;
-      const auto try_assign = [&](core::worker_id cand) -> bool {
-        // The straggler's share is derived, not decided: revert any move
-        // the candidate committed as a non-straggler before re-deriving.
-        const double saved = worker_x_[cand];
-        worker_x_[cand] = round_start_x_[cand];
-        double claimed = 0.0;
-        for (core::worker_id j = 0; j < n_; ++j) {
-          if (j != cand) claimed += worker_x_[j];
-        }
-        const double raw = 1.0 - claimed;
-        const double next = std::max(0.0, raw);
-        rel_->send(
-            {master_id(), cand, net::message_kind::assignment, {next}});
-        auto m = rel_->receive(cand, master_id());
-        if (!m.has_value()) {
-          worker_x_[cand] = saved;  // unreachable: keep its committed move
-          return false;
-        }
-        worker_x_[cand] = m->payload[0];
-        clamped = raw < 0.0;
-        return true;
-      };
-
-      bool assigned = false;
-      if (!plan.crashed_during(s, round)) assigned = try_assign(s);
-      if (!assigned) {
-        // Failover chain: next-highest heard cost among workers that are
-        // still running, lowest index on ties; reuse heard_ to mark
-        // exhausted candidates.
-        core::worker_id prev = s;
-        for (;;) {
-          core::worker_id cand = n_;
-          for (core::worker_id i = 0; i < n_; ++i) {
-            if (i == s || heard_[i] == 0 || plan.crashed_during(i, round)) {
-              continue;
-            }
-            if (cand == n_ || master_l_[i] > master_l_[cand]) cand = i;
-          }
-          if (cand == n_) break;
-          heard_[cand] = 0;  // consumed as a candidate
-          ++failovers;
-          ++fault_report_.straggler_failovers;
-          if (failover_counter_ != nullptr) failover_counter_->add(1);
-          if (tr != nullptr) {
-            tr->instant(lane, round, "straggler_failover", "mw",
-                        {obs::arg_int("from", prev), obs::arg_int("to", cand),
-                         obs::arg_num("cost", master_l_[cand])});
-          }
-          if (try_assign(cand)) {
-            assigned = true;
-            s_final = cand;
-            break;
-          }
-          prev = cand;
-        }
-      }
-      if (!assigned) {
-        aborted = true;
-        worker_x_ = round_start_x_;
-      } else {
-        if (clamped) {
-          // The remainder went negative: alpha ran ahead of the binding
-          // Eq. 7 cap (its source went unheard in a degraded round).
-          // Rescale onto the simplex like the sequential reference.
-          double total = 0.0;
-          for (double v : worker_x_) total += v;
-          for (double& v : worker_x_) v /= total;
-          if (tr != nullptr) {
-            tr->instant(lane, round, "renormalized", "mw",
-                        {obs::arg_num("total", total)});
-          }
-        }
-        // Conservative re-cap from the realized straggler share (Eq. 7
-        // with the full worker count — a superset bound stays safe).
-        alpha_ = core::next_step_size(alpha_, n_, worker_x_[s_final]);
-      }
-    }
-  }
-
-  finish_round(round, holds, failovers, aborted, s_final);
-  round_span.arg("straggler", static_cast<std::uint64_t>(s_final));
+  finish_round(round, outcome);
+  round_span.arg("straggler", static_cast<std::uint64_t>(outcome.straggler));
   round_span.arg("alpha_next", alpha_);
   round_span.arg("messages",
                  static_cast<std::uint64_t>(last_traffic_.messages_sent));
-  if (rounds_counter_ != nullptr) {
-    rounds_counter_->add(1);
-    alpha_gauge_->set(alpha_);
-    straggler_gauge_->set(static_cast<double>(s_final));
-  }
+  counters_.round_complete(alpha_, static_cast<double>(outcome.straggler));
 }
 
-void master_worker_policy::finish_round(std::uint64_t round, std::size_t holds,
-                                        std::size_t failovers, bool aborted,
-                                        core::worker_id straggler) {
-  (void)straggler;
-  const bool degraded = holds > 0 || failovers > 0 || aborted;
-  if (degraded) {
-    ++fault_report_.degraded_rounds;
-    if (aborted) ++fault_report_.aborted_rounds;
-    if (degraded_counter_ != nullptr) degraded_counter_->add(1);
-    if (options_.tracer != nullptr) {
-      options_.tracer->instant(options_.trace_lane, round, "degraded_round",
-                               "mw",
-                               {obs::arg_int("holds", holds),
-                                obs::arg_int("aborted", aborted ? 1 : 0)});
-    }
-  }
-  fault_report_.zero_step_holds += holds;
-  const net::reliable_stats& st = rel_->stats();
-  if (retransmit_counter_ != nullptr) {
-    retransmit_counter_->add(st.retransmits - mirrored_.retransmits);
-    timeout_counter_->add(st.timeouts - mirrored_.timeouts);
-  }
-  mirrored_ = st;
-  fault_report_.retransmits = st.retransmits;
-  fault_report_.timeouts = st.timeouts;
-  fault_report_.duplicates_discarded = st.duplicates_discarded;
-
+void master_worker_policy::finish_round(std::uint64_t round,
+                                        const degraded_outcome& outcome) {
+  finish_degraded_round(outcome, rel_->stats(), options_.tracer,
+                        options_.trace_lane, "mw", round, counters_,
+                        fault_report_, mirrored_);
   DOLBIE_REQUIRE(on_simplex(worker_x_),
                  "degraded MW round " << round
                                       << " left the allocation off the "

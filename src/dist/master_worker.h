@@ -18,15 +18,13 @@
 // The produced iterates are bit-identical to core::dolbie_policy (asserted
 // by tests/dist_equivalence_test).
 //
-// Fault tolerance: when `protocol_options::faults` is enabled the engine
-// runs every message through net::reliable_link and enforces round
-// deadlines — a phase message missing past the retry budget degrades the
-// round instead of failing it (the affected worker holds x_{i,t}; the
-// master, which legitimately tracks all assignments in Algorithm 1,
-// defaults the missing decision to the worker's current share). A crashed
-// or unreachable straggler is re-elected deterministically (next-highest
-// heard local cost); permanent crashes retire the worker through the
-// shared churn math of core/churn.h. See DESIGN.md §8.
+// Fault tolerance: when `protocol_options::faults` is enabled the round is
+// one instantiation of the unified protocol core's dist/mw_round.h state
+// machine (shared with the asynchronous engine) over net::reliable_link —
+// a phase message missing past the retry budget degrades the round instead
+// of failing it, a crashed or unreachable straggler is re-elected
+// deterministically, and permanent crashes retire the worker through the
+// shared churn math of core/churn.h. See DESIGN.md §8-9.
 #pragma once
 
 #include <memory>
@@ -70,10 +68,7 @@ class master_worker_policy final : public core::online_policy {
                      std::uint64_t round);
   void observe_faulty(const core::round_feedback& feedback,
                       std::uint64_t round);
-  void retire_worker(core::worker_id id, std::uint64_t round);
-  void finish_round(std::uint64_t round, std::size_t holds,
-                    std::size_t failovers, bool aborted,
-                    core::worker_id straggler);
+  void finish_round(std::uint64_t round, const degraded_outcome& outcome);
 
   std::size_t n_;
   protocol_options options_;
@@ -82,37 +77,28 @@ class master_worker_policy final : public core::online_policy {
   // Worker-local state: each worker only ever reads/writes its own entry.
   std::vector<double> worker_x_;
 
-  // Master-local state. `master_l_` is the master's phase-1 inbox, kept as
-  // a member so the round loop reuses its storage instead of allocating.
+  // Master-local state.
   double alpha_ = 0.0;
-  std::vector<double> master_l_;
 
   // Harness-side assembled view of the allocation.
   core::allocation assembled_;
   net::traffic_totals last_traffic_;
 
+  // Round scratch shared with the protocol core (dist/protocol.h);
+  // scratch_.inbox_l doubles as the clean path's phase-1 master inbox.
+  round_scratch scratch_;
+
   // Fault-tolerant path (engaged only when options_.faults is enabled;
   // the clean path never touches any of this).
   bool faulty_ = false;
   std::unique_ptr<net::reliable_link> rel_;
-  std::vector<std::uint8_t> removed_;    // permanent membership
-  std::vector<std::uint8_t> live_;       // per-round scratch
-  std::vector<std::uint8_t> heard_;      // phase-1 inbox bitmap
-  std::vector<std::uint8_t> decided_;    // decision committed this round
-  std::vector<double> round_start_x_;    // rollback / abort snapshot
-  std::vector<double> tentative_;        // phase-3 tentative decisions
+  member_flags flags_;
   net::traffic_totals round_traffic_start_;
   fault_report fault_report_;
 
-  // Observability (null when options_.metrics is unset).
+  // Observability (unbound when options_.metrics is unset).
   std::uint64_t round_ = 0;
-  obs::counter* rounds_counter_ = nullptr;
-  obs::gauge* alpha_gauge_ = nullptr;
-  obs::gauge* straggler_gauge_ = nullptr;
-  obs::counter* degraded_counter_ = nullptr;
-  obs::counter* failover_counter_ = nullptr;
-  obs::counter* retransmit_counter_ = nullptr;
-  obs::counter* timeout_counter_ = nullptr;
+  engine_counters counters_;
   net::reliable_stats mirrored_;  // last stats already mirrored to metrics
 };
 

@@ -1,0 +1,342 @@
+// Master-worker (Alg. 1) round state machine of the unified protocol core.
+//
+// `mw_degraded_round` is the fault-tolerant round — reliable delivery with
+// bounded retransmit, degraded completion, straggler failover and churn
+// retirement — written once as pure transitions over a delivery policy
+// (net/transport.h) and a timing model. The synchronous engine
+// (dist/master_worker.h) instantiates it with `mw_null_timing` (every hook
+// compiles away, so the flow is byte-for-byte the pre-refactor sync path:
+// same rolls, same traces, same allocations); the asynchronous engine
+// (dist/async_master_worker.h) instantiates it with a deadline-arithmetic
+// timing model that prices each delivery in virtual time from
+// `Delivery::last_receive_attempts()`.
+//
+// Degraded-round semantics (shared by both instantiations):
+//
+//   * a worker the master does not hear from (down, crashed mid-round, or
+//     lost past the retry budget) takes a zero-length Eq. 5 step — it
+//     holds x_{i,t}, and the straggler's Eq. 6 remainder accounts for it
+//     at its current share, which the master legitimately tracks;
+//   * a worker's decision commits only when the master confirms receipt
+//     (the pull-model ack); unconfirmed decisions roll back to x_{i,t};
+//   * the round itself commits when the straggler adopts its assignment.
+//     If the elected straggler is unreachable, the master re-elects the
+//     next-highest heard cost deterministically; if no candidate is
+//     reachable the whole round aborts (every worker holds).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/churn.h"
+#include "core/max_acceptable.h"
+#include "core/step_size.h"
+#include "core/types.h"
+#include "cost/cost_function.h"
+#include "dist/protocol.h"
+#include "net/fault_plan.h"
+#include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dolbie::dist {
+
+/// The Eq. 4/5 update every realization shares: solve for the maximum
+/// acceptable workload x'_{i,t} at the revealed global cost and move an
+/// alpha-fraction towards it. Kept as one inline kernel so all call sites
+/// use the identical floating-point evaluation order.
+inline double decide_next_share(const cost::cost_function& cost, double x,
+                                double global_cost, double alpha) {
+  const double xp = core::max_acceptable_workload(cost, x, global_cost);
+  return x + alpha * (xp - x);
+}
+
+/// Timing model that compiles to nothing — the synchronous engine's
+/// instantiation, which must stay bit-identical to the pre-refactor path.
+struct mw_null_timing {
+  void round_begin() {}
+  void on_send() {}
+  void phase1_silent(core::worker_id) {}
+  void phase1_delivered(core::worker_id, std::size_t) {}
+  void phase1_lost(core::worker_id) {}
+  void phase1_done() {}
+  void info_sent(core::worker_id) {}
+  void info_abandoned(core::worker_id) {}
+  void info_delivered(core::worker_id, std::size_t) {}
+  void straggler_ready(core::worker_id) {}
+  void info_lost(core::worker_id) {}
+  void decision_sent(core::worker_id) {}
+  void decision_delivered(core::worker_id, std::size_t) {}
+  void decision_lost(core::worker_id) {}
+  void decisions_done() {}
+  void assignment_delivered(std::size_t) {}
+  void assignment_lost() {}
+};
+
+/// One fault-tolerant Alg. 1 round over `Delivery` (a net/transport.h
+/// policy) and `Timing` (mw_null_timing, or the async deadline model).
+/// Thin reference aggregate: constructing one per round is allocation-free.
+template <class Delivery, class Timing>
+struct mw_degraded_round {
+  std::size_t n;
+  net::node_id master;
+  const cost::cost_view& costs;
+  std::span<const double> locals;
+  const net::fault_plan& plan;
+  Delivery wire;
+  Timing& timing;
+  obs::tracer* tr;
+  std::uint32_t lane;
+  obs::counter* failover_counter;
+  fault_report& report;
+  std::vector<double>& x;      ///< the allocation, updated in place
+  double& alpha;               ///< the master's step size
+  round_scratch& scratch;
+  member_flags& flags;
+
+  void retire(core::worker_id id, std::uint64_t round) {
+    retirement r;
+    if (!retire_worker_share(x, flags, id, r)) return;
+    alpha = std::min(alpha, r.cap);
+    ++report.removed_workers;
+    if (tr != nullptr) {
+      tr->instant(lane, round, "worker_removed", "mw",
+                  {obs::arg_int("worker", id),
+                   obs::arg_int("survivors", r.heirs),
+                   obs::arg_num("alpha", alpha)});
+    }
+  }
+
+  degraded_outcome run(std::uint64_t round) {
+    // Membership: permanent crashes retire through the shared churn math
+    // before the round starts.
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.removed[i] == 0 && plan.permanently_down(i, round)) {
+        retire(i, round);
+      }
+    }
+    timing.round_begin();
+
+    scratch.start_x = x;
+    degraded_outcome out;
+    for (core::worker_id i = 0; i < n; ++i) {
+      flags.live[i] = (flags.removed[i] == 0 && !plan.down(i, round)) ? 1 : 0;
+      if (flags.live[i] == 0 && flags.removed[i] == 0) {
+        ++out.holds;  // temporarily down
+        timing.phase1_silent(i);
+      }
+    }
+
+    wire.begin_round(round);
+
+    // --- Phase 1: live workers (including mid-round crashers, whose
+    //     transport completes) upload their local costs. ---
+    scratch.inbox_l.assign(n, 0.0);
+    std::size_t heard_count = 0;
+    {
+      obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.live[i] == 0) continue;
+        wire.send({i, master, net::message_kind::local_cost, {locals[i]}});
+        timing.on_send();
+      }
+      std::fill(flags.heard.begin(), flags.heard.end(), 0);
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.live[i] == 0) continue;
+        auto m = wire.receive(master, i);
+        if (m.has_value()) {
+          flags.heard[i] = 1;
+          ++heard_count;
+          scratch.inbox_l[i] = m->payload[0];
+          timing.phase1_delivered(i, wire.last_receive_attempts());
+        } else {
+          ++out.holds;  // unheard past budget: excluded from the round
+          timing.phase1_lost(i);
+        }
+      }
+    }
+    timing.phase1_done();
+
+    if (heard_count == 0) {
+      // Nobody reached the master: the round aborts, every worker holds.
+      out.aborted = true;
+      x = scratch.start_x;
+      return out;
+    }
+
+    // --- Phase 2: elect over the heard set, broadcast round info. ---
+    core::worker_id s = n;
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.heard[i] != 0 &&
+          (s == n || scratch.inbox_l[i] > scratch.inbox_l[s])) {
+        s = i;
+      }
+    }
+    const double l_t = scratch.inbox_l[s];
+    out.straggler = s;
+    if (tr != nullptr) {
+      tr->instant(lane, round, "straggler_elected", "mw",
+                  {obs::arg_int("worker", s), obs::arg_num("cost", l_t)});
+    }
+    {
+      obs::span sp(tr, lane, round, "phase2.round_info_downloads", "mw");
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.heard[i] == 0) continue;
+        wire.send(make_round_info(master, i, l_t, alpha, i != s));
+        timing.on_send();
+        timing.info_sent(i);
+      }
+    }
+
+    // --- Phase 3: reachable non-stragglers compute tentative decisions
+    //     and upload them. A worker that crashed mid-round or missed its
+    //     round info holds x_{i,t}. ---
+    {
+      obs::span sp(tr, lane, round, "phase3.decision_uploads", "mw");
+      std::fill(flags.decided.begin(), flags.decided.end(), 0);
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.heard[i] == 0) continue;
+        if (plan.crashed_during(i, round)) {
+          if (i != s) ++out.holds;  // died after its phase-1 upload
+          timing.info_abandoned(i);
+          continue;
+        }
+        // Every reachable worker consumes its round info — the straggler
+        // included, or the stale message would alias the assignment it
+        // pulls from the same link in phase 4.
+        auto m = wire.receive(i, master);
+        const std::size_t k_info = wire.last_receive_attempts();
+        if (i == s) {  // the straggler waits for its assignment
+          if (m.has_value()) {
+            timing.info_delivered(i, k_info);
+            timing.straggler_ready(i);
+          } else {
+            timing.info_lost(i);
+          }
+          continue;
+        }
+        if (!m.has_value()) {
+          ++out.holds;  // round info lost past budget: zero step
+          timing.info_lost(i);
+          continue;
+        }
+        timing.info_delivered(i, k_info);
+        const round_info info = decode_round_info(*m);
+        scratch.tentative[i] =
+            decide_next_share(*costs[i], x[i], info.l_t, info.alpha);
+        wire.send(
+            {i, master, net::message_kind::decision, {scratch.tentative[i]}});
+        timing.on_send();
+        timing.decision_sent(i);
+        flags.decided[i] = 1;
+      }
+    }
+
+    // --- Phase 4: commit confirmed decisions, assign the remainder with
+    //     deterministic straggler failover. ---
+    {
+      obs::span sp(tr, lane, round, "phase4.assignment_download", "mw");
+      for (net::node_id i = 0; i < n; ++i) {
+        if (flags.decided[i] == 0) continue;
+        auto m = wire.receive(master, i);
+        if (m.has_value()) {
+          x[i] = m->payload[0];
+          timing.decision_delivered(i, wire.last_receive_attempts());
+        } else {
+          flags.decided[i] = 0;  // never acked: the worker rolls back
+          ++out.holds;
+          timing.decision_lost(i);
+        }
+      }
+      timing.decisions_done();
+
+      bool clamped = false;
+      const auto try_assign = [&](core::worker_id cand) -> bool {
+        // The straggler's share is derived, not decided: revert any move
+        // the candidate committed as a non-straggler before re-deriving.
+        const double saved = x[cand];
+        x[cand] = scratch.start_x[cand];
+        double claimed = 0.0;
+        for (core::worker_id j = 0; j < n; ++j) {
+          if (j != cand) claimed += x[j];
+        }
+        const double raw = 1.0 - claimed;
+        const double next = std::max(0.0, raw);
+        wire.send({master, cand, net::message_kind::assignment, {next}});
+        timing.on_send();
+        auto m = wire.receive(cand, master);
+        if (!m.has_value()) {
+          x[cand] = saved;  // unreachable: keep its committed move
+          timing.assignment_lost();
+          return false;
+        }
+        timing.assignment_delivered(wire.last_receive_attempts());
+        x[cand] = m->payload[0];
+        clamped = raw < 0.0;
+        return true;
+      };
+
+      bool assigned = false;
+      if (!plan.crashed_during(s, round)) assigned = try_assign(s);
+      if (!assigned) {
+        // Failover chain: next-highest heard cost among workers that are
+        // still running, lowest index on ties; reuse flags.heard to mark
+        // exhausted candidates.
+        core::worker_id prev = s;
+        for (;;) {
+          core::worker_id cand = n;
+          for (core::worker_id i = 0; i < n; ++i) {
+            if (i == s || flags.heard[i] == 0 ||
+                plan.crashed_during(i, round)) {
+              continue;
+            }
+            if (cand == n || scratch.inbox_l[i] > scratch.inbox_l[cand]) {
+              cand = i;
+            }
+          }
+          if (cand == n) break;
+          flags.heard[cand] = 0;  // consumed as a candidate
+          ++out.failovers;
+          ++report.straggler_failovers;
+          if (failover_counter != nullptr) failover_counter->add(1);
+          if (tr != nullptr) {
+            tr->instant(lane, round, "straggler_failover", "mw",
+                        {obs::arg_int("from", prev), obs::arg_int("to", cand),
+                         obs::arg_num("cost", scratch.inbox_l[cand])});
+          }
+          if (try_assign(cand)) {
+            assigned = true;
+            out.straggler = cand;
+            break;
+          }
+          prev = cand;
+        }
+      }
+      if (!assigned) {
+        out.aborted = true;
+        x = scratch.start_x;
+      } else {
+        if (clamped) {
+          // The remainder went negative: alpha ran ahead of the binding
+          // Eq. 7 cap (its source went unheard in a degraded round).
+          // Rescale onto the simplex like the sequential reference.
+          double total = 0.0;
+          for (double v : x) total += v;
+          for (double& v : x) v /= total;
+          if (tr != nullptr) {
+            tr->instant(lane, round, "renormalized", "mw",
+                        {obs::arg_num("total", total)});
+          }
+        }
+        // Conservative re-cap from the realized straggler share (Eq. 7
+        // with the full worker count — a superset bound stays safe).
+        alpha = core::next_step_size(alpha, n, x[out.straggler]);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace dolbie::dist

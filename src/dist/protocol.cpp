@@ -1,0 +1,104 @@
+#include "dist/protocol.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+#include "common/simplex.h"
+#include "core/churn.h"
+#include "core/step_size.h"
+#include "net/reliable.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dolbie::dist {
+
+void normalize_options(protocol_options& options, std::size_t n_workers) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker");
+  if (options.initial_partition.empty()) {
+    options.initial_partition = uniform_point(n_workers);
+  }
+  DOLBIE_REQUIRE(options.initial_partition.size() == n_workers,
+                 "initial partition size mismatch");
+  DOLBIE_REQUIRE(on_simplex(options.initial_partition),
+                 "initial partition must lie on the simplex");
+}
+
+bool retire_worker_share(std::vector<double>& x, member_flags& flags,
+                         core::worker_id id, retirement& out) {
+  const std::size_t n = x.size();
+  std::size_t heirs = 0;
+  for (core::worker_id j = 0; j < n; ++j) {
+    if (j != id && flags.removed[j] == 0) ++heirs;
+  }
+  if (heirs == 0) return false;  // the last worker keeps everything
+  flags.removed[id] = 1;
+  for (core::worker_id j = 0; j < n; ++j) {
+    flags.live[j] = flags.removed[j] ? 0 : 1;
+  }
+  core::release_share_in_place(x, id, flags.live);
+  // Conservative re-cap over the surviving shares.
+  double min_share = 1.0;
+  for (core::worker_id j = 0; j < n; ++j) {
+    if (flags.removed[j] == 0) min_share = std::min(min_share, x[j]);
+  }
+  out.heirs = heirs;
+  out.cap = core::feasible_step_cap(heirs, min_share);
+  return true;
+}
+
+void engine_counters::bind(obs::metrics_registry* metrics,
+                           std::string_view prefix,
+                           std::string_view alpha_gauge, bool faulty) {
+  if (metrics == nullptr) return;
+  if (!prefix.empty()) {
+    rounds = &metrics->counter_named(std::string(prefix) + ".rounds");
+    alpha = &metrics->gauge_named(std::string(alpha_gauge));
+    straggler = &metrics->gauge_named(std::string(prefix) + ".straggler");
+  }
+  if (faulty) {
+    degraded = &metrics->counter_named("dist.degraded_rounds");
+    failover = &metrics->counter_named("dist.straggler_failovers");
+    retransmits = &metrics->counter_named("net.retransmits");
+    timeouts = &metrics->counter_named("net.timeouts");
+  }
+}
+
+void engine_counters::round_complete(double alpha_value,
+                                     double straggler_id) {
+  if (rounds == nullptr) return;
+  rounds->add(1);
+  alpha->set(alpha_value);
+  straggler->set(straggler_id);
+}
+
+void finish_degraded_round(const degraded_outcome& outcome,
+                           const net::reliable_stats& stats,
+                           obs::tracer* tracer, std::uint32_t lane,
+                           std::string_view category, std::uint64_t round,
+                           engine_counters& counters, fault_report& report,
+                           net::reliable_stats& mirrored) {
+  const bool degraded =
+      outcome.holds > 0 || outcome.failovers > 0 || outcome.aborted;
+  if (degraded) {
+    ++report.degraded_rounds;
+    if (outcome.aborted) ++report.aborted_rounds;
+    if (counters.degraded != nullptr) counters.degraded->add(1);
+    if (tracer != nullptr) {
+      tracer->instant(lane, round, "degraded_round", category,
+                      {obs::arg_int("holds", outcome.holds),
+                       obs::arg_int("aborted", outcome.aborted ? 1 : 0)});
+    }
+  }
+  report.zero_step_holds += outcome.holds;
+  if (counters.retransmits != nullptr) {
+    counters.retransmits->add(stats.retransmits - mirrored.retransmits);
+    counters.timeouts->add(stats.timeouts - mirrored.timeouts);
+  }
+  mirrored = stats;
+  report.retransmits = stats.retransmits;
+  report.timeouts = stats.timeouts;
+  report.duplicates_discarded = stats.duplicates_discarded;
+}
+
+}  // namespace dolbie::dist

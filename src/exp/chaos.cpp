@@ -7,6 +7,9 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "core/dolbie.h"
+#include "dist/async_fully_distributed.h"
+#include "dist/async_master_worker.h"
 #include "dist/fully_distributed.h"
 #include "dist/master_worker.h"
 #include "exp/harness.h"
@@ -14,6 +17,26 @@
 
 namespace dolbie::exp {
 namespace {
+
+constexpr const char* kEngineNames[] = {"MW", "FD", "MW-async", "FD-async"};
+
+/// Drive one event-driven engine with the harness's accounting: the
+/// round-t global cost is evaluated at the allocation the engine holds
+/// entering the round, exactly as run() scores a policy's current().
+template <typename Engine>
+void run_async_cell(Engine& engine, environment& env, std::size_t rounds,
+                    chaos_row& row) {
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const cost::cost_vector costs = env.next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const core::round_outcome outcome =
+        core::evaluate_round(view, engine.allocation());
+    row.cumulative_cost += outcome.global_cost;
+    engine.run_round(view);
+  }
+  row.report = engine.faults();
+  row.simplex_ok = on_simplex(engine.allocation());
+}
 
 chaos_row run_cell(const chaos_options& options, std::size_t engine,
                    double drop_rate) {
@@ -33,20 +56,29 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
 
   chaos_row row;
   row.drop_rate = drop_rate;
+  row.engine = kEngineNames[engine];
   if (engine == 0) {
-    row.engine = "MW";
     dist::master_worker_policy policy(options.workers, popts);
     const run_trace trace = run(policy, *env, hopts);
     row.cumulative_cost = trace.global_cost.total();
     row.report = policy.faults();
     row.simplex_ok = on_simplex(policy.current());
-  } else {
-    row.engine = "FD";
+  } else if (engine == 1) {
     dist::fully_distributed_policy policy(options.workers, popts);
     const run_trace trace = run(policy, *env, hopts);
     row.cumulative_cost = trace.global_cost.total();
     row.report = policy.faults();
     row.simplex_ok = on_simplex(policy.current());
+  } else {
+    dist::async_options aopts;
+    aopts.protocol = popts;
+    if (engine == 2) {
+      dist::async_master_worker e(options.workers, aopts);
+      run_async_cell(e, *env, options.rounds, row);
+    } else {
+      dist::async_fully_distributed e(options.workers, aopts);
+      run_async_cell(e, *env, options.rounds, row);
+    }
   }
   return row;
 }
@@ -58,23 +90,24 @@ std::vector<chaos_row> run_chaos_grid(const chaos_options& options) {
   if (std::find(rates.begin(), rates.end(), 0.0) == rates.end()) {
     rates.insert(rates.begin(), 0.0);
   }
-  const std::size_t cells = 2 * rates.size();
+  const std::size_t engines = options.include_async ? 4 : 2;
+  const std::size_t cells = engines * rates.size();
   std::vector<chaos_row> rows = parallel_map<chaos_row>(
       cells, [&](std::size_t cell) {
         return run_cell(options, cell / rates.size(),
                         rates[cell % rates.size()]);
       });
   // Excess over each engine's own zero-drop baseline.
-  for (std::size_t e = 0; e < 2; ++e) {
+  for (std::size_t e = 0; e < engines; ++e) {
     double baseline = 0.0;
     for (const chaos_row& row : rows) {
-      if (row.engine == (e == 0 ? "MW" : "FD") && row.drop_rate == 0.0) {
+      if (row.engine == kEngineNames[e] && row.drop_rate == 0.0) {
         baseline = row.cumulative_cost;
         break;
       }
     }
     for (chaos_row& row : rows) {
-      if (row.engine == (e == 0 ? "MW" : "FD")) {
+      if (row.engine == kEngineNames[e]) {
         row.excess_vs_clean = row.cumulative_cost - baseline;
       }
     }
@@ -154,6 +187,7 @@ chaos_options chaos_options_from_args(const cli_args& args) {
   if (!schedule.empty()) {
     options.crashes = net::parse_crash_schedule(schedule);
   }
+  options.include_async = args.has("chaos-async");
   return options;
 }
 

@@ -1,6 +1,8 @@
 // Chaos harness: regret under message loss and worker crashes.
 //
-// Plays both synchronous protocol realizations against a synthetic
+// Plays both synchronous protocol realizations (and, with
+// `include_async`, the two event-driven engines — which instantiate the
+// same dist/mw_round.h / fd_round.h state machines) against a synthetic
 // environment across a grid of drop rates (and an optional crash
 // schedule), all under one deterministic fault seed, and reports the
 // cumulative-cost excess of each faulty run over its own clean (zero-drop)
@@ -10,7 +12,7 @@
 //
 // Wired into the fig3 and comm-complexity benches behind the flag family
 //   --chaos --fault-seed=N --drop-rate=D | --drop-rates=a,b,c
-//   --crash-schedule=node@round[-recover],...
+//   --crash-schedule=node@round[-recover],... --chaos-async
 //   --chaos-rounds=T --chaos-workers=N --chaos-jsonl=out.jsonl
 #pragma once
 
@@ -37,11 +39,15 @@ struct chaos_options {
   std::vector<net::crash_window> crashes;
   std::size_t retry_budget = 5;
   synthetic_family family = synthetic_family::affine;
+  /// Also run the event-driven engines (rows "MW-async"/"FD-async"),
+  /// appended after the synchronous rows. Off by default: the sync rows
+  /// keep their historical positions.
+  bool include_async = false;
 };
 
 /// One cell of the chaos grid: engine x drop rate.
 struct chaos_row {
-  std::string engine;  ///< "MW" or "FD"
+  std::string engine;  ///< "MW", "FD", "MW-async" or "FD-async"
   double drop_rate = 0.0;
   double cumulative_cost = 0.0;
   /// cumulative_cost minus the same engine's zero-drop baseline.

@@ -73,6 +73,7 @@ void reliable_link::prune_outbox(link_state& link) {
 
 std::optional<message> reliable_link::receive(node_id to, node_id from) {
   link_state& link = state(from, to);
+  last_receive_attempts_ = 0;
   for (;;) {
     drain_transport(link, to, from);
     // Release the next in-order message if it has arrived.
@@ -80,6 +81,13 @@ std::optional<message> reliable_link::receive(node_id to, node_id from) {
       if (it->seq == link.next_expected) {
         message out = std::move(*it);
         link.reorder.erase(it);
+        last_receive_attempts_ = 1;
+        for (const pending& p : link.outbox) {
+          if (p.msg.seq == out.seq) {
+            last_receive_attempts_ = p.attempts + 1;
+            break;
+          }
+        }
         ++link.next_expected;
         prune_outbox(link);  // consumption is the implicit cumulative ack
         return out;

@@ -76,6 +76,13 @@ class reliable_link {
   /// abandoned sequence so later traffic on the link still flows.
   std::optional<message> receive(node_id to, node_id from);
 
+  /// Transmissions the most recently receive()d message took (1 = the
+  /// original send got through, k = k - 1 retransmissions first), or 0
+  /// when that receive returned nullopt (nothing pending, or the retry
+  /// budget expired). The asynchronous engines' timing models read this
+  /// to price each delivery in virtual time.
+  std::size_t last_receive_attempts() const { return last_receive_attempts_; }
+
   const reliable_stats& stats() const { return stats_; }
 
   /// Forget everything (sequence numbers included); the underlying
@@ -104,6 +111,7 @@ class reliable_link {
   reliable_options options_;
   std::vector<link_state> links_;
   reliable_stats stats_;
+  std::size_t last_receive_attempts_ = 0;
   obs::tracer* tracer_ = nullptr;
   std::uint32_t trace_lane_ = 0;
   std::uint64_t round_ = 0;

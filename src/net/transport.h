@@ -1,0 +1,63 @@
+// Delivery-policy seam of the unified protocol core (dist/mw_round.h,
+// dist/fd_round.h).
+//
+// The round state machines are written against a minimal delivery concept:
+//
+//   void begin_round(std::uint64_t round);
+//   void send(message m);
+//   std::optional<message> receive(node_id to, node_id from);
+//   std::size_t last_receive_attempts() const;
+//
+// Two policies implement it:
+//
+//   * `direct_delivery` — best-effort sends straight through the network;
+//     every message is required to arrive (the clean, zero-fault path).
+//     begin_round is a no-op and every delivery "takes" one attempt.
+//   * `reliable_delivery` — net/reliable.h underneath: per-link sequence
+//     numbers, bounded retransmit under virtual-time timeouts, duplicate
+//     and reorder absorption. last_receive_attempts() reports how many
+//     transmissions the released message took (0 when the retry budget
+//     expired), which is what the asynchronous timing models consume.
+//
+// Both are thin aggregates over references — constructing one per round is
+// free and allocation-less, so the shared round flows stay on the PR 3
+// zero-allocation hot path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/network.h"
+#include "net/reliable.h"
+
+namespace dolbie::net {
+
+/// Best-effort delivery: the clean path's policy. Loss is a protocol bug,
+/// not an expected outcome, so there is no epoch state to purge and every
+/// released message took exactly one transmission.
+struct direct_delivery {
+  network& net;
+
+  void begin_round(std::uint64_t /*round*/) {}
+  void send(message m) { net.send(std::move(m)); }
+  std::optional<message> receive(node_id to, node_id from) {
+    return net.receive(to, from);
+  }
+  std::size_t last_receive_attempts() const { return 1; }
+};
+
+/// Reliable delivery: the degraded-mode policy (net/reliable.h semantics).
+struct reliable_delivery {
+  reliable_link& link;
+
+  void begin_round(std::uint64_t round) { link.begin_round(round); }
+  void send(message m) { link.send(std::move(m)); }
+  std::optional<message> receive(node_id to, node_id from) {
+    return link.receive(to, from);
+  }
+  std::size_t last_receive_attempts() const {
+    return link.last_receive_attempts();
+  }
+};
+
+}  // namespace dolbie::net

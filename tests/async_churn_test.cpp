@@ -1,0 +1,137 @@
+// Churn through the event-driven engines: a permanent crash at N=30 must
+// retire the worker through the shared protocol-core path (dist/protocol.h
+// retire_worker_share over core/churn.h) exactly as the synchronous
+// engines do — the allocation stays on the simplex every round, the
+// retired worker's share goes (and stays) zero, and the surviving step
+// sizes remain Eq. (7)-safe for the shrunken membership.
+#include <gtest/gtest.h>
+
+#include "common/simplex.h"
+#include "dist/async_fully_distributed.h"
+#include "dist/async_master_worker.h"
+#include "exp/scenario.h"
+
+namespace dolbie::dist {
+namespace {
+
+constexpr std::size_t kWorkers = 30;
+constexpr core::worker_id kCasualty = 13;
+constexpr std::uint64_t kCrashRound = 10;
+constexpr int kRounds = 25;
+
+async_options crash_plan_options() {
+  async_options o;
+  o.protocol.faults.seed = 7;
+  o.protocol.faults.crashes.push_back(
+      {kCasualty, kCrashRound, net::crash_window::kNever});
+  return o;
+}
+
+// The worker is silent (and retired) from the round after its mid-round
+// crash; its share must be released over the survivors by then.
+bool retired_by(int round) {
+  return static_cast<std::uint64_t>(round) > kCrashRound;
+}
+
+TEST(AsyncChurn, MasterWorkerRetiresPermanentCrashSoundly) {
+  async_master_worker engine(kWorkers, crash_plan_options());
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 7);
+  for (int t = 0; t < kRounds; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const async_round_result r = engine.run_round(cost::view_of(costs));
+    ASSERT_TRUE(on_simplex(r.next_allocation)) << "round " << t;
+    // Eq. (7)-safe: the master step size stays a usable step for the
+    // surviving membership (the retirement cap may tighten it, never
+    // break it).
+    ASSERT_GT(engine.step_size(), 0.0) << "round " << t;
+    ASSERT_LE(engine.step_size(), 1.0) << "round " << t;
+    if (retired_by(t)) {
+      ASSERT_EQ(r.next_allocation[kCasualty], 0.0) << "round " << t;
+    }
+  }
+  EXPECT_EQ(engine.faults().removed_workers, 1u);
+  // Once retired, the worker exchanges no messages: a full degraded round
+  // costs at most 3(N-1) transmissions (phase-1 uploads, infos, decisions
+  // and the assignment over the 29 survivors).
+  auto tail = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 8);
+  const async_round_result last =
+      engine.run_round(cost::view_of(tail->next_round()));
+  EXPECT_LE(last.messages, 3 * (kWorkers - 1));
+}
+
+TEST(AsyncChurn, FullyDistributedRetiresPermanentCrashSoundly) {
+  async_fully_distributed engine(kWorkers, crash_plan_options());
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 7);
+  for (int t = 0; t < kRounds; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const async_round_result r = engine.run_round(cost::view_of(costs));
+    ASSERT_TRUE(on_simplex(r.next_allocation)) << "round " << t;
+    // Every surviving local step size stays Eq. (7)-safe; the retirement
+    // cap applies to all of them (the consensus min must be safe no
+    // matter which alpha-bar wins).
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      if (i == kCasualty && retired_by(t)) continue;
+      ASSERT_GT(engine.local_step_sizes()[i], 0.0)
+          << "round " << t << " worker " << i;
+      ASSERT_LE(engine.local_step_sizes()[i], 1.0)
+          << "round " << t << " worker " << i;
+    }
+    if (retired_by(t)) {
+      ASSERT_EQ(r.next_allocation[kCasualty], 0.0) << "round " << t;
+    }
+  }
+  EXPECT_EQ(engine.faults().removed_workers, 1u);
+  // Survivors broadcast only among themselves: (N-1)(N-2) broadcasts plus
+  // at most N-2 decisions.
+  auto tail = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 8);
+  const async_round_result last =
+      engine.run_round(cost::view_of(tail->next_round()));
+  EXPECT_LE(last.messages, (kWorkers - 1) * (kWorkers - 2) + (kWorkers - 2));
+}
+
+TEST(AsyncChurn, RetirementSurvivesLinkLossOnTopOfTheCrash) {
+  async_options o = crash_plan_options();
+  o.protocol.faults.drop_rate = 0.2;
+  async_master_worker mw(kWorkers, o);
+  async_fully_distributed fd(kWorkers, o);
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 7);
+  for (int t = 0; t < kRounds; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const async_round_result rm = mw.run_round(view);
+    const async_round_result rf = fd.run_round(view);
+    ASSERT_TRUE(on_simplex(rm.next_allocation)) << "round " << t;
+    ASSERT_TRUE(on_simplex(rf.next_allocation)) << "round " << t;
+    if (retired_by(t)) {
+      ASSERT_EQ(rm.next_allocation[kCasualty], 0.0) << "round " << t;
+      ASSERT_EQ(rf.next_allocation[kCasualty], 0.0) << "round " << t;
+    }
+  }
+  EXPECT_EQ(mw.faults().removed_workers, 1u);
+  EXPECT_EQ(fd.faults().removed_workers, 1u);
+  EXPECT_GT(mw.faults().retransmits, 0u);
+  EXPECT_GT(fd.faults().retransmits, 0u);
+}
+
+TEST(AsyncChurn, ResetRestoresFullMembership) {
+  async_master_worker engine(kWorkers, crash_plan_options());
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 7);
+  for (int t = 0; t < kRounds; ++t) {
+    engine.run_round(cost::view_of(env->next_round()));
+  }
+  ASSERT_EQ(engine.faults().removed_workers, 1u);
+  engine.reset();
+  EXPECT_EQ(engine.faults().removed_workers, 0u);
+  for (double v : engine.allocation()) {
+    EXPECT_DOUBLE_EQ(v, 1.0 / kWorkers);
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::dist

@@ -414,5 +414,47 @@ TEST(Chaos, GridHarnessReportsBaselineAndExcess) {
   EXPECT_TRUE(has_fd);
 }
 
+// With include_async the grid doubles: the event-driven engines run the
+// same cells (rows appended after the sync ones, which keep their
+// positions). Since all four engines instantiate the same round state
+// machines, each async row's cumulative cost must equal its synchronous
+// sibling's bit for bit — the grid is a second end-to-end witness of the
+// unified-core equivalence, clean and degraded.
+TEST(Chaos, GridIncludesAsyncEnginesOnRequest) {
+  exp::chaos_options options;
+  options.workers = 6;
+  options.rounds = 40;
+  options.drop_rates = {0.2};
+  options.retry_budget = 3;
+  options.include_async = true;
+  const std::vector<exp::chaos_row> rows = exp::run_chaos_grid(options);
+  ASSERT_EQ(rows.size(), 8u);  // 4 engines x {0.0, 0.2}
+  const auto cell = [&](const std::string& engine,
+                        double rate) -> const exp::chaos_row& {
+    for (const exp::chaos_row& row : rows) {
+      if (row.engine == engine && row.drop_rate == rate) return row;
+    }
+    ADD_FAILURE() << "missing cell " << engine << " @ " << rate;
+    return rows.front();
+  };
+  for (const double rate : {0.0, 0.2}) {
+    EXPECT_EQ(cell("MW-async", rate).cumulative_cost,
+              cell("MW", rate).cumulative_cost)
+        << "drop " << rate;
+    EXPECT_EQ(cell("FD-async", rate).cumulative_cost,
+              cell("FD", rate).cumulative_cost)
+        << "drop " << rate;
+    EXPECT_EQ(cell("MW-async", rate).report.retransmits,
+              cell("MW", rate).report.retransmits)
+        << "drop " << rate;
+    EXPECT_EQ(cell("FD-async", rate).report.retransmits,
+              cell("FD", rate).report.retransmits)
+        << "drop " << rate;
+  }
+  for (const exp::chaos_row& row : rows) {
+    EXPECT_TRUE(row.simplex_ok) << row.engine << " " << row.drop_rate;
+  }
+}
+
 }  // namespace
 }  // namespace dolbie

@@ -8,6 +8,8 @@
 
 #include "common/simplex.h"
 #include "cost/affine.h"
+#include "dist/async_fully_distributed.h"
+#include "dist/async_master_worker.h"
 #include "dist/fully_distributed.h"
 #include "dist/master_worker.h"
 #include "exp/scenario.h"
@@ -119,6 +121,109 @@ TEST(FullyDistributedPolicy, ResetRestoresState) {
   }
   EXPECT_TRUE(on_simplex(p.current()));
 }
+
+// --- Sync vs. async bit-identity (the unified-protocol-core contract) ---
+//
+// The synchronous and event-driven engines instantiate the same round
+// state machines (dist/mw_round.h, dist/fd_round.h); under a zero-delay
+// link the asynchronous clock collapses and the two execution models must
+// produce bit-identical iterates and step sizes — on the clean path *and*
+// under a seeded lossy fault plan, where both engines must also consume
+// the identical fault-roll stream (same retransmits, same degraded
+// rounds, same holds).
+
+async_options zero_delay_options(const protocol_options& protocol) {
+  async_options o;
+  o.protocol = protocol;
+  o.link.base_latency = 0.0;
+  o.link.bytes_per_second = 1e18;  // serialization time ~0
+  return o;
+}
+
+protocol_options lossy_plan() {
+  protocol_options o;
+  o.faults.seed = 2026;
+  o.faults.drop_rate = 0.2;
+  return o;
+}
+
+void expect_same_fault_report(const fault_report& a, const fault_report& b) {
+  EXPECT_EQ(a.degraded_rounds, b.degraded_rounds);
+  EXPECT_EQ(a.straggler_failovers, b.straggler_failovers);
+  EXPECT_EQ(a.removed_workers, b.removed_workers);
+  EXPECT_EQ(a.zero_step_holds, b.zero_step_holds);
+  EXPECT_EQ(a.aborted_rounds, b.aborted_rounds);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
+class SyncAsyncBitIdentity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SyncAsyncBitIdentity, MasterWorkerMatchesAcrossExecutionModels) {
+  const bool faulty = GetParam();
+  constexpr std::size_t kWorkers = 12;
+  const protocol_options protocol = faulty ? lossy_plan() : protocol_options{};
+  master_worker_policy sync(kWorkers, protocol);
+  async_master_worker async(kWorkers, zero_delay_options(protocol));
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 7);
+  for (int t = 0; t < 40; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const auto locals = cost::evaluate(view, sync.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    sync.observe(fb);
+    const async_round_result r = async.run_round(view);
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      ASSERT_EQ(r.next_allocation[i], sync.current()[i])
+          << "round " << t << " worker " << i;
+    }
+    ASSERT_EQ(async.step_size(), sync.master_step_size()) << "round " << t;
+  }
+  if (faulty) {
+    EXPECT_GT(async.faults().retransmits, 0u);  // the plan actually bit
+  }
+  expect_same_fault_report(async.faults(), sync.faults());
+}
+
+TEST_P(SyncAsyncBitIdentity, FullyDistributedMatchesAcrossExecutionModels) {
+  const bool faulty = GetParam();
+  constexpr std::size_t kWorkers = 9;
+  const protocol_options protocol = faulty ? lossy_plan() : protocol_options{};
+  fully_distributed_policy sync(kWorkers, protocol);
+  async_fully_distributed async(kWorkers, zero_delay_options(protocol));
+  auto env = exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::mixed, 7);
+  for (int t = 0; t < 40; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const auto locals = cost::evaluate(view, sync.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    sync.observe(fb);
+    const async_round_result r = async.run_round(view);
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      ASSERT_EQ(r.next_allocation[i], sync.current()[i])
+          << "round " << t << " worker " << i;
+      ASSERT_EQ(async.local_step_sizes()[i], sync.local_step_sizes()[i])
+          << "round " << t << " worker " << i;
+    }
+  }
+  if (faulty) {
+    EXPECT_GT(async.faults().retransmits, 0u);
+  }
+  expect_same_fault_report(async.faults(), sync.faults());
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanAndLossy, SyncAsyncBitIdentity,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("lossy_drop20")
+                                             : std::string("clean");
+                         });
 
 TEST(ProtocolTraffic, BytesScaleWithMessages) {
   auto env = exp::make_synthetic_environment(
