@@ -3,7 +3,8 @@
 // scalar/virtual baseline, and dolbie_policy::observe() allocates nothing
 // in steady state.
 //
-//   $ ./hot_path [--workers=N] [--rounds=N] [--reps=N] [--smoke] [--json]
+//   $ ./hot_path [--workers=N] [--rounds=N] [--reps=N] [--realizations=R]
+//                [--sweep-rounds=N] [--smoke] [--json]
 //                [--out=BENCH_hot_path.json]
 //
 // Measured quantities (per cost family: affine = the paper's distributed-ML
@@ -16,6 +17,12 @@
 //                         classification cost a policy pays when the cost
 //                         vector changes every round)
 //   speedup               scalar / batch
+// The mixed family is the lock-step bisection showcase: composite lanes
+// bisect in a shared iteration loop, so its speedup has its own CI floor
+// (kMixedSpeedupFloor, emitted as mixed_speedup_floor in the JSON). A
+// cross-realization sweep section prices R realizations folded into one
+// grouped Eq. (4) call per round — the run_many_lockstep shape — in
+// realizations/sec against the per-realization scalar loop.
 // Plus the end-to-end policy numbers: observe_ns_per_round and — via the
 // global counting allocator below — allocs_per_round after warm-up, which
 // must be 0 (also asserted by tests/batch_cost_test).
@@ -25,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -223,6 +231,102 @@ family_result time_max_acceptable(std::size_t n, std::size_t rounds,
   return r;
 }
 
+struct sweep_result {
+  double scalar_ns = 0.0;        // per realization, looping max_acceptable_vector
+  double grouped_ns = 0.0;       // per realization, one max_acceptable_groups call
+  double scalar_rps = 0.0;       // realizations/sec
+  double grouped_rps = 0.0;
+  double speedup = 0.0;
+};
+
+/// Cross-realization batch mode: R realizations of the mixed family share
+/// one concatenated rebind + grouped Eq. (4) call per round, vs the obvious
+/// per-realization scalar loop. This is the shape run_many_lockstep feeds.
+sweep_result time_sweep(std::size_t n, std::size_t realizations,
+                        std::size_t rounds, std::size_t reps) {
+  std::vector<cost::cost_vector> per_real;
+  cost::cost_vector all;
+  for (std::size_t r = 0; r < realizations; ++r) {
+    per_real.push_back(make_costs(n, /*mixed=*/true));
+    for (auto& f : make_costs(n, /*mixed=*/true)) all.push_back(std::move(f));
+  }
+  const cost::cost_view all_view = cost::view_of(all);
+  std::vector<cost::cost_view> views;
+  for (const auto& g : per_real) views.push_back(cost::view_of(g));
+
+  std::vector<double> x(realizations * n);
+  std::vector<double> group_cost(realizations);
+  std::vector<std::size_t> stragglers(realizations);
+  for (std::size_t r = 0; r < realizations; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      x[r * n + j] = 1.0 / static_cast<double>(n);
+    }
+    double l = 0.0;
+    for (const cost::cost_function* f : views[r]) {
+      l = std::max(l, f->value(1.0 / static_cast<double>(n)));
+    }
+    group_cost[r] = l;
+    stragglers[r] = r % n;
+  }
+
+  cost::batch_evaluator batch(all_view);
+  std::vector<double> grouped_out(realizations * n, 0.0);
+
+  // Bit-identity guard before timing: grouped == per-realization scalar.
+  batch.max_acceptable_groups(x, group_cost, stragglers, grouped_out);
+  for (std::size_t r = 0; r < realizations; ++r) {
+    const std::vector<double> want = core::max_acceptable_vector(
+        views[r],
+        std::vector<double>(x.begin() + static_cast<std::ptrdiff_t>(r * n),
+                            x.begin() +
+                                static_cast<std::ptrdiff_t>((r + 1) * n)),
+        group_cost[r], stragglers[r]);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (grouped_out[r * n + j] != want[j]) {
+        std::cerr << "FATAL: grouped/scalar divergence at realization " << r
+                  << " worker " << j << ": " << grouped_out[r * n + j]
+                  << " vs " << want[j] << "\n";
+        std::exit(1);
+      }
+    }
+  }
+
+  std::vector<double> xr(n, 1.0 / static_cast<double>(n));
+  double best_scalar = 1e300, best_grouped = 1e300;
+  double sink = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    auto t0 = clock_type::now();
+    for (std::size_t t = 0; t < rounds; ++t) {
+      for (std::size_t r = 0; r < realizations; ++r) {
+        const std::vector<double> xp = core::max_acceptable_vector(
+            views[r], xr, group_cost[r], stragglers[r]);
+        sink += xp[n - 1];
+      }
+    }
+    auto t1 = clock_type::now();
+    for (std::size_t t = 0; t < rounds; ++t) {
+      batch.max_acceptable_groups(x, group_cost, stragglers, grouped_out);
+      sink += grouped_out[realizations * n - 1];
+    }
+    auto t2 = clock_type::now();
+    const double denom = static_cast<double>(rounds * realizations);
+    const auto ns = [](auto a, auto b) {
+      return std::chrono::duration<double, std::nano>(b - a).count();
+    };
+    best_scalar = std::min(best_scalar, ns(t0, t1) / denom);
+    best_grouped = std::min(best_grouped, ns(t1, t2) / denom);
+  }
+  if (sink == 12345.6789) std::cerr << "";  // defeat dead-code elimination
+
+  sweep_result s;
+  s.scalar_ns = best_scalar;
+  s.grouped_ns = best_grouped;
+  s.scalar_rps = 1e9 / best_scalar;
+  s.grouped_rps = 1e9 / best_grouped;
+  s.speedup = best_scalar / best_grouped;
+  return s;
+}
+
 struct observe_result {
   double ns_per_round = 0.0;
   double allocs_per_round = 0.0;
@@ -297,6 +401,18 @@ int main(int argc, char** argv) {
   const family_result mixed = time_max_acceptable(n, rounds, reps, true);
   print_family("mixed", mixed);
 
+  const std::size_t realizations = args.get_u64("realizations", 16);
+  const std::size_t sweep_rounds =
+      args.get_u64("sweep-rounds", smoke ? 500 : 5000);
+  const sweep_result sweep = time_sweep(n, realizations, sweep_rounds, reps);
+  std::printf(
+      "\ncross-realization sweep (R=%zu mixed realizations per round):\n"
+      "  per-realization %8.1f ns/realization  (%.0f realizations/sec)\n"
+      "  grouped batch   %8.1f ns/realization  (%.0f realizations/sec)\n"
+      "  speedup %.2fx\n",
+      realizations, sweep.scalar_ns, sweep.scalar_rps, sweep.grouped_ns,
+      sweep.grouped_rps, sweep.speedup);
+
   const observe_result obs_affine = time_observe(n, rounds, reps, false);
   const observe_result obs_mixed = time_observe(n, rounds, reps, true);
   std::printf(
@@ -309,11 +425,18 @@ int main(int argc, char** argv) {
   // Exit code contract (used by the CI smoke job): 0 = clean, 1 = hard
   // failure (the allocation contract is timing-independent and must never
   // regress), 2 = perf floor missed (tolerated on noisy shared runners).
+  constexpr double kMixedSpeedupFloor = 1.5;
   bool slow = false;
   bool allocating = false;
   if (affine.speedup < 2.0) {
     std::cout << "\nWARNING: affine batch speedup " << affine.speedup
               << "x below the 2x regression floor\n";
+    slow = true;
+  }
+  if (mixed.speedup < kMixedSpeedupFloor) {
+    std::cout << "\nWARNING: mixed batch speedup " << mixed.speedup
+              << "x below the " << kMixedSpeedupFloor
+              << "x regression floor (lock-step bisection regressed?)\n";
     slow = true;
   }
   if (obs_affine.allocs_per_round != 0.0 ||
@@ -341,6 +464,16 @@ int main(int argc, char** argv) {
        << "    \"mixed\": {\"ns_per_round\": " << obs_mixed.ns_per_round
        << ", \"allocs_per_round\": " << obs_mixed.allocs_per_round << "}\n"
        << "  },\n"
+       << "  \"sweep\": {\n"
+       << "    \"realizations\": " << realizations << ",\n"
+       << "    \"scalar_ns_per_realization\": " << sweep.scalar_ns << ",\n"
+       << "    \"grouped_ns_per_realization\": " << sweep.grouped_ns << ",\n"
+       << "    \"scalar_realizations_per_sec\": " << sweep.scalar_rps << ",\n"
+       << "    \"grouped_realizations_per_sec\": " << sweep.grouped_rps
+       << ",\n"
+       << "    \"speedup\": " << sweep.speedup << "\n"
+       << "  },\n"
+       << "  \"mixed_speedup_floor\": " << kMixedSpeedupFloor << ",\n"
        << "  \"speedup\": " << affine.speedup << ",\n"
        << "  \"allocation_free\": "
        << ((obs_affine.allocs_per_round == 0.0 &&

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "common/bisect.h"
 #include "common/error.h"
 #include "common/simplex.h"
 
 namespace dolbie::baselines {
 
 instantaneous_solution solve_instantaneous(const cost::cost_view& costs,
-                                           double tolerance) {
+                                           double tolerance,
+                                           double relative_tolerance) {
   DOLBIE_REQUIRE(!costs.empty(), "no cost functions to optimize");
   const std::size_t n = costs.size();
   const auto coverage = [&](double l) {
@@ -31,8 +33,15 @@ instantaneous_solution solve_instantaneous(const cost::cost_view& costs,
     out.level = lo;
   } else {
     // Invariant: coverage(lo) < 1 <= coverage(hi); return hi at tolerance so
-    // the produced level is always achievable.
-    for (int it = 0; it < 200 && hi - lo > tolerance; ++it) {
+    // the produced level is always achievable. The stop width combines the
+    // absolute and relative tolerances (bisect_stop_width) so wide brackets
+    // still terminate at full relative precision instead of burning the
+    // iteration budget once the absolute target drops below the ulp.
+    bisect_options level_opts;
+    level_opts.tolerance = tolerance;
+    level_opts.relative_tolerance = relative_tolerance;
+    for (int it = 0;
+         it < 200 && hi - lo > bisect_stop_width(lo, hi, level_opts); ++it) {
       const double mid = lo + (hi - lo) / 2.0;
       if (coverage(mid) >= 1.0) {
         hi = mid;

@@ -23,9 +23,14 @@ struct instantaneous_solution {
 };
 
 /// Solve min_x max_i f_i(x_i) s.t. x on the simplex. `tolerance` bounds the
-/// bisection error on the level.
+/// absolute bisection error on the level; `relative_tolerance` bounds it
+/// relative to the bracket magnitude. The relative term is what makes large
+/// aggregate loads converge: with costs of magnitude 1e12 an absolute stop
+/// of 1e-10 sits below the bracket's ulp, so the bisection would spin all
+/// 200 iterations with the midpoint rounding onto an endpoint.
 instantaneous_solution solve_instantaneous(const cost::cost_view& costs,
-                                           double tolerance = 1e-10);
+                                           double tolerance = 1e-10,
+                                           double relative_tolerance = 1e-12);
 
 /// The clairvoyant OPT policy: previews the round's costs and plays the
 /// instantaneous minimizer.

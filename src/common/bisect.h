@@ -6,9 +6,20 @@
 // erasure (and its potential heap allocation) on the per-round hot path.
 // The historical std::function-typed overloads remain as thin wrappers for
 // callers that already hold an erased callable.
+//
+// `bisect_max_true_lanes` is the lock-step lane-parallel variant: K
+// independent searches advance through one shared iteration loop with
+// branch-free (select) interval updates, so a batch caller evaluates its
+// predicate for all lanes at once over contiguous arrays. Each lane's probe
+// sequence is exactly the scalar `bisect_max_true` sequence, so results are
+// bit-identical to K scalar calls by construction.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "common/error.h"
 
@@ -17,14 +28,31 @@ namespace dolbie {
 /// Options controlling bisection termination.
 struct bisect_options {
   double tolerance = 1e-12;  ///< absolute interval width at which to stop
+  /// Relative interval width at which to stop: the search also terminates
+  /// once the bracket is narrower than `relative_tolerance * max(|lo|,
+  /// |hi|)`. Essential on wide brackets (the OPT water-level solver at
+  /// large aggregate loads): an absolute tolerance below the ulp of the
+  /// bracket endpoints can never be reached — the midpoint rounds onto an
+  /// endpoint and the loop spins until max_iterations without converging
+  /// further. 0 (the default) preserves the historical absolute-only stop.
+  double relative_tolerance = 0.0;
   int max_iterations = 200;  ///< hard cap on halving steps
 };
+
+/// The interval width at which a bracket [lo, hi] counts as converged under
+/// `options`: the larger of the absolute tolerance and the relative
+/// tolerance scaled by the bracket magnitude.
+inline double bisect_stop_width(double lo, double hi,
+                                const bisect_options& options) {
+  const double scale = std::max(std::abs(lo), std::abs(hi));
+  return std::max(options.tolerance, options.relative_tolerance * scale);
+}
 
 /// Largest x in [lo, hi] with pred(x) true, assuming pred is "true then
 /// false" on [lo, hi] (i.e. {x : pred(x)} is a prefix interval).
 ///
 /// Preconditions: lo <= hi and pred(lo) is true. Returns a point within
-/// `options.tolerance` of the true boundary (from below, so the returned
+/// the stop width of the true boundary (from below, so the returned
 /// point itself satisfies pred up to floating-point evaluation of pred).
 template <class Pred>
 double bisect_max_true(double lo, double hi, Pred&& pred,
@@ -35,7 +63,8 @@ double bisect_max_true(double lo, double hi, Pred&& pred,
   if (pred(hi)) return hi;
   double good = lo;  // invariant: pred(good) holds
   double bad = hi;   // invariant: pred(bad) fails
-  for (int it = 0; it < options.max_iterations && bad - good > options.tolerance;
+  for (int it = 0; it < options.max_iterations &&
+                   bad - good > bisect_stop_width(good, bad, options);
        ++it) {
     const double mid = good + (bad - good) / 2.0;
     if (pred(mid)) {
@@ -48,8 +77,8 @@ double bisect_max_true(double lo, double hi, Pred&& pred,
 }
 
 /// Root of an increasing function g on [lo, hi]: the x with g(x) ~= 0.
-/// Preconditions: g(lo) <= 0 <= g(hi). Returns a point within tolerance of
-/// the true root.
+/// Preconditions: g(lo) <= 0 <= g(hi). Returns a point within the stop
+/// width of the true root.
 template <class Fn>
 double bisect_root_increasing(double lo, double hi, Fn&& g,
                               const bisect_options& options = {}) {
@@ -63,8 +92,9 @@ double bisect_root_increasing(double lo, double hi, Fn&& g,
   if (ghi == 0.0) return hi;
   double below = lo;  // invariant: g(below) <= 0
   double above = hi;  // invariant: g(above) >= 0
-  for (int it = 0;
-       it < options.max_iterations && above - below > options.tolerance; ++it) {
+  for (int it = 0; it < options.max_iterations &&
+                   above - below > bisect_stop_width(below, above, options);
+       ++it) {
     const double mid = below + (above - below) / 2.0;
     const double gm = g(mid);
     if (gm == 0.0) return mid;
@@ -78,6 +108,70 @@ double bisect_root_increasing(double lo, double hi, Fn&& g,
   // by invariant, while g(midpoint) may be positive — for the Eq. 4
   // max-acceptable-workload search that would admit an x with f(x) > l_t.
   return below;
+}
+
+/// Reusable per-lane working storage of `bisect_max_true_lanes`. Callers on
+/// the allocation-free hot path keep one alive and hand it to every search;
+/// `resize` is a no-op once the capacity is warm.
+struct bisect_lane_scratch {
+  std::vector<double> mid;
+  std::vector<unsigned char> pred;
+  std::vector<unsigned char> active;
+
+  void resize(std::size_t lanes) {
+    mid.resize(lanes);
+    pred.resize(lanes);
+    active.resize(lanes);
+  }
+};
+
+/// Lock-step lane-parallel `bisect_max_true` over `lanes` independent
+/// searches. On entry good[k]/bad[k] hold lane k's bracket with the usual
+/// invariants (pred true at good[k], false at bad[k], good[k] <= bad[k] —
+/// the caller resolves endpoint cases first, exactly like the scalar
+/// wrapper's pred(lo)/pred(hi) checks). On return good[k] is lane k's
+/// answer.
+///
+/// `pred` is invoked as pred(const double* mid, unsigned char* out) and must
+/// write out[k] != 0 iff lane k's predicate holds at mid[k], for every lane
+/// (converged lanes included — their probes are ignored, so the evaluation
+/// must merely be side-effect free).
+///
+/// Bit-identity to the scalar loop holds by construction: a lane is updated
+/// every shared iteration until its own bracket reaches the scalar stop
+/// width, with the same `good + (bad - good) / 2.0` midpoint arithmetic, so
+/// its probe sequence is exactly what `bisect_max_true` would have produced.
+/// The interval updates are selects (no data-dependent branches), which is
+/// what lets the surrounding batch evaluator run wide without the
+/// per-iteration mispredict penalty of the scalar loop.
+template <class BatchPred>
+void bisect_max_true_lanes(std::size_t lanes, double* good, double* bad,
+                           bisect_lane_scratch& scratch, BatchPred&& pred,
+                           const bisect_options& options = {}) {
+  if (lanes == 0) return;
+  scratch.resize(lanes);
+  double* mid = scratch.mid.data();
+  unsigned char* take = scratch.pred.data();
+  unsigned char* active = scratch.active.data();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    unsigned any = 0;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const double width = bad[k] - good[k];
+      const unsigned char act =
+          width > bisect_stop_width(good[k], bad[k], options) ? 1 : 0;
+      active[k] = act;
+      any |= act;
+      mid[k] = good[k] + width / 2.0;
+    }
+    if (any == 0) break;
+    pred(mid, take);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const bool up = active[k] != 0 && take[k] != 0;
+      const bool down = active[k] != 0 && take[k] == 0;
+      good[k] = up ? mid[k] : good[k];
+      bad[k] = down ? mid[k] : bad[k];
+    }
+  }
 }
 
 /// Type-erased wrappers (same algorithm; kept for callers that already hold

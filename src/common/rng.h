@@ -4,8 +4,20 @@
 // over std::mt19937_64, so every experiment is reproducible bit-for-bit from
 // a single --seed. Sub-streams are derived with `fork`, which decorrelates
 // child generators (e.g. one per worker) without sharing state.
+//
+// The variate transforms are written out explicitly rather than delegating
+// to std::uniform_real_distribution / std::normal_distribution /
+// std::bernoulli_distribution: the standard leaves those algorithms
+// implementation-defined, so the same seed yields different streams under
+// libstdc++ vs libc++ — silently breaking the bit-for-bit contract across
+// toolchains. mt19937_64's raw output sequence, by contrast, is fully
+// specified, and the transforms below are pure bit manipulation on top of
+// it (uniform / uniform_int / bernoulli are exactly portable; gaussian is
+// portable up to libm's log/cos rounding, the only remaining platform
+// dependence). tests/rng_test.cpp pins golden outputs for a fixed seed.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -16,25 +28,56 @@ class rng {
  public:
   explicit rng(std::uint64_t seed) : engine_(seed) {}
 
-  /// Uniform double in [lo, hi).
+  /// Uniform double in [0, 1): the engine's top 53 bits scaled by 2^-53,
+  /// each representable multiple of 2^-53 equally likely. Consumes exactly
+  /// one engine draw.
+  double uniform01() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi) (returns lo when lo == hi). Consumes
+  /// exactly one engine draw.
   double uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    const double v = lo + (hi - lo) * uniform01();
+    // lo + (hi - lo) * u can round up to hi for u just below 1 when the
+    // interval is narrow; pull such draws back inside the half-open range.
+    return v < hi ? v : std::nextafter(hi, lo);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Unbiased: draws are rejected
+  /// until one lands in the largest multiple of the range size, so each
+  /// value is exactly equally likely (consumes one draw almost always).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) {  // full 64-bit range: every draw is in range
+      return static_cast<std::int64_t>(engine_());
+    }
+    // threshold = 2^64 mod span, computed in 64-bit arithmetic.
+    const std::uint64_t threshold = (0ULL - span) % span;
+    std::uint64_t draw = engine_();
+    while (draw < threshold) draw = engine_();
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     draw % span);
   }
 
-  /// Gaussian with the given mean and standard deviation.
+  /// Gaussian with the given mean and standard deviation: Box-Muller,
+  /// cosine branch only, so every call consumes exactly two engine draws
+  /// (no pair caching — the draw count stays a simple function of the call
+  /// count, which keeps forked streams aligned).
   double gaussian(double mean, double stddev) {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    // u1 in (0, 1] keeps log() finite; u2 in [0, 1).
+    const double u1 =
+        (static_cast<double>(engine_() >> 11) + 1.0) * 0x1.0p-53;
+    const double u2 = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;  // 2*pi
+    return mean + stddev * (radius * std::cos(theta));
   }
 
-  /// Bernoulli trial with success probability p.
-  bool bernoulli(double p) {
-    return std::bernoulli_distribution(p)(engine_);
-  }
+  /// Bernoulli trial with success probability p. Consumes exactly one
+  /// engine draw; p <= 0 never succeeds, p >= 1 always does.
+  bool bernoulli(double p) { return uniform01() < p; }
 
   /// Derive an independent child generator. The stream index keeps children
   /// forked from the same parent distinct.

@@ -128,6 +128,41 @@ void dolbie_policy::observe(const round_feedback& feedback) {
   batch_.rebind(*feedback.costs);
   max_acceptable_vector_into(batch_, x_, l_t, s, last_xp_);
 
+  update_after_max_acceptable(s, round, round_span);
+}
+
+void dolbie_policy::observe_prepared(worker_id straggler, double global_cost,
+                                     std::span<const double> max_acceptable) {
+  DOLBIE_REQUIRE(max_acceptable.size() == x_.size(),
+                 "prepared round has " << max_acceptable.size()
+                                       << " entries for " << x_.size()
+                                       << " workers");
+  DOLBIE_REQUIRE(straggler < x_.size(),
+                 "straggler index " << straggler << " out of range");
+  const std::size_t n = x_.size();
+  const std::uint64_t round = round_++;
+  if (n == 1) return;  // single worker always carries everything
+  obs::tracer* tr = options_.tracer;
+  obs::span round_span(tr, options_.trace_lane, round, "round", "seq");
+  if (tr != nullptr) {
+    tr->instant(options_.trace_lane, round, "straggler_elected", "seq",
+                {obs::arg_int("worker", straggler),
+                 obs::arg_num("cost", global_cost)});
+  }
+
+  // x' was computed by the caller (grouped batch evaluation across
+  // realizations); keep it in last_xp_ exactly like observe() does.
+  last_xp_.assign(max_acceptable.begin(), max_acceptable.end());
+
+  update_after_max_acceptable(straggler, round, round_span);
+}
+
+void dolbie_policy::update_after_max_acceptable(worker_id s,
+                                                std::uint64_t round,
+                                                obs::span& round_span) {
+  const std::size_t n = x_.size();
+  obs::tracer* tr = options_.tracer;
+
   double applied = alpha_;
   if (options_.rule == step_rule::exact_feasibility) {
     // Clamp to the exact per-round feasibility bound derived in Sec. IV-B:

@@ -27,6 +27,7 @@ class metrics_registry;
 class tracer;
 class counter;
 class gauge;
+class span;
 }  // namespace dolbie::obs
 
 namespace dolbie::core {
@@ -81,6 +82,18 @@ class dolbie_policy final : public online_policy {
   void observe(const round_feedback& feedback) override;
   void reset() override;
 
+  /// Batched-round seam: apply one observed round whose straggler election
+  /// and Eq. (4) vector were computed externally — the lock-step
+  /// cross-realization sweep (exp::run_lockstep) evaluates x' for R
+  /// realizations through one grouped batch_evaluator call and feeds each
+  /// policy through here. `max_acceptable` must be exactly what observe()
+  /// would have computed against the current allocation: clamp(
+  /// inverse_max_i(global_cost), x_i, 1) per non-straggler, the straggler
+  /// pinned at its own x. The update then matches observe() bit for bit
+  /// (same Eq. 5/6/7 code path, same trace records).
+  void observe_prepared(worker_id straggler, double global_cost,
+                        std::span<const double> max_acceptable);
+
   /// Step size alpha_t that will be applied to the *next* observed round.
   double step_size() const { return alpha_; }
 
@@ -120,6 +133,11 @@ class dolbie_policy final : public online_policy {
 
  private:
   void emit_alpha_recapped(const char* why);
+  /// The Eq. 5/6/7 tail of a round, shared by observe() and
+  /// observe_prepared(): consumes last_xp_ (already holding this round's
+  /// x'), updates x_ and alpha_, and stamps the round span/metrics.
+  void update_after_max_acceptable(worker_id s, std::uint64_t round,
+                                   obs::span& round_span);
 
   allocation x_;
   double alpha_ = 0.0;

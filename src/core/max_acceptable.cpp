@@ -49,4 +49,16 @@ void max_acceptable_vector_into(const cost::batch_evaluator& batch,
   batch.max_acceptable(x, global_cost, straggler, out);
 }
 
+void max_acceptable_vector_groups_into(const cost::batch_evaluator& batch,
+                                       std::span<const double> x,
+                                       std::span<const double> group_cost,
+                                       std::span<const std::size_t> stragglers,
+                                       std::vector<double>& out) {
+  DOLBIE_REQUIRE(batch.size() == x.size(),
+                 "cost/allocation size mismatch: " << batch.size() << " vs "
+                                                   << x.size());
+  out.resize(x.size());
+  batch.max_acceptable_groups(x, group_cost, stragglers, out);
+}
+
 }  // namespace dolbie::core

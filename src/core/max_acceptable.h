@@ -8,6 +8,7 @@
 // The non-negative gap (x' - x) is the risk-averse assistance budget.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "cost/batch.h"
@@ -42,5 +43,17 @@ void max_acceptable_vector_into(const cost::cost_view& costs,
 void max_acceptable_vector_into(const cost::batch_evaluator& batch,
                                 const allocation& x, double global_cost,
                                 worker_id straggler, std::vector<double>& out);
+
+/// Cross-realization Eq. (4): `batch` is bound over the concatenation of
+/// `group_cost.size()` same-sized realization views; group r gets round
+/// cost group_cost[r] and straggler stragglers[r] (an index within the
+/// group). Bit-identical to one max_acceptable_vector_into call per group,
+/// but all groups' bisection lanes share one lock-step loop. Resizes `out`
+/// to batch.size() (a no-op once warm).
+void max_acceptable_vector_groups_into(const cost::batch_evaluator& batch,
+                                       std::span<const double> x,
+                                       std::span<const double> group_cost,
+                                       std::span<const std::size_t> stragglers,
+                                       std::vector<double>& out);
 
 }  // namespace dolbie::core

@@ -13,11 +13,12 @@
 namespace dolbie::cost {
 namespace {
 
-// Multi-versioned all-affine loops: GCC/Clang emit one clone per target
-// and pick the widest the CPU supports at load time (ifunc), so the
-// shipped binary stays baseline-portable. The loops are division-bound
-// and IEEE 754 division is correctly rounded at every vector width, so
-// the clones differ in speed only, never in bits.
+// Multi-versioned hot loops: GCC/Clang emit one clone per target and pick
+// the widest the CPU supports at load time (ifunc), so the shipped binary
+// stays baseline-portable. Per-element arithmetic is identical in every
+// clone (IEEE division/selects are exact at any vector width, the libm
+// calls stay scalar calls, and per-lane accumulation order never changes),
+// so the clones differ in speed only, never in bits.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define DOLBIE_MULTIVERSIONED \
   __attribute__((target_clones("default", "avx2")))
@@ -54,6 +55,81 @@ void affine_max_acceptable_loop(const double* slope, const double* intercept,
   }
 }
 
+// Grouped (per-element l) variant for the cross-realization sweep path.
+DOLBIE_MULTIVERSIONED
+void affine_max_acceptable_loop_multi(const double* slope,
+                                      const double* intercept, const double* x,
+                                      std::size_t n, const double* l,
+                                      double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tilde =
+        affine_cost::inverse_max_kernel(slope[i], intercept[i], l[i]);
+    out[i] = tilde < x[i] ? x[i] : (tilde > 1.0 ? 1.0 : tilde);
+  }
+}
+
+// Composite term kinds in the flattened term lane.
+enum term_kind : std::uint8_t {
+  term_affine = 0,
+  term_power = 1,
+  term_exp = 2,
+  term_sat = 3,
+  term_opaque = 4,
+};
+
+// One composite lane's value at x: weighted terms accumulated in original
+// term order through the same family kernels the members use, so the result
+// equals composite_cost::value(x) bit for bit (opaque terms make the same
+// virtual value call the member makes).
+double composite_value_at(const std::uint32_t* begin, const std::uint8_t* kind,
+                          const double* w, const double* p0, const double* p1,
+                          const double* p2, const cost_function* const* tf,
+                          std::size_t k, double x) {
+  double acc = 0.0;
+  for (std::uint32_t t = begin[k]; t < begin[k + 1]; ++t) {
+    double v;
+    switch (kind[t]) {
+      case term_affine:
+        v = affine_cost::value_kernel(p0[t], p1[t], x);
+        break;
+      case term_power:
+        v = power_cost::value_kernel(p0[t], p1[t], p2[t], x);
+        break;
+      case term_exp:
+        v = exponential_cost::value_kernel(p0[t], p1[t], p2[t], x);
+        break;
+      case term_sat:
+        v = saturating_cost::value_kernel(p0[t], p1[t], p2[t], x);
+        break;
+      default:
+        v = tf[t]->value(x);
+        break;
+    }
+    acc += w[t] * v;
+  }
+  return acc;
+}
+
+// The lock-step bisection predicate over all active composite lanes: one
+// probe per lane per shared iteration, no virtual dispatch for analytic
+// terms, and — unlike the scalar bisection — no data-dependent branch on
+// the probe outcome (the caller's interval update is a select). The term
+// kinds repeat identically every iteration, so the switch predicts
+// perfectly; this loop is where the mixed-lane cliff dies.
+DOLBIE_MULTIVERSIONED
+void composite_pred_loop(const std::uint32_t* begin, const std::uint8_t* kind,
+                         const double* w, const double* p0, const double* p1,
+                         const double* p2, const cost_function* const* tf,
+                         const std::size_t* slot, const double* lane_l,
+                         std::size_t lanes, const double* mid,
+                         unsigned char* out) {
+  for (std::size_t a = 0; a < lanes; ++a) {
+    const double v = composite_value_at(begin, kind, w, p0, p1, p2, tf,
+                                        slot[a], mid[a]);
+    out[a] = v <= lane_l[a] ? 1 : 0;
+  }
+}
+
 }  // namespace
 
 void batch_evaluator::rebind(const cost_view& costs) {
@@ -74,9 +150,19 @@ void batch_evaluator::rebind(const cost_view& costs) {
   sat_knee_.clear();
   sat_intercept_.clear();
   piecewise_index_.clear();
-  piecewise_f_.clear();
+  pw_begin_.clear();
+  pw_x_.clear();
+  pw_y_.clear();
   composite_index_.clear();
-  composite_f_.clear();
+  comp_begin_.clear();
+  term_kind_.clear();
+  term_weight_.clear();
+  term_p0_.clear();
+  term_p1_.clear();
+  term_p2_.clear();
+  term_f_.clear();
+  bounded_index_.clear();
+  bounded_f_.clear();
   generic_index_.clear();
   generic_f_.clear();
 
@@ -110,11 +196,65 @@ void batch_evaluator::rebind(const cost_view& costs) {
       sat_knee_.push_back(c->knee());
       sat_intercept_.push_back(c->intercept());
     } else if (ti == typeid(piecewise_linear_cost)) {
+      const auto* c = static_cast<const piecewise_linear_cost*>(f);
       piecewise_index_.push_back(i);
-      piecewise_f_.push_back(static_cast<const piecewise_linear_cost*>(f));
+      if (pw_begin_.empty()) pw_begin_.push_back(0);
+      for (const knot& kn : c->knots()) {
+        pw_x_.push_back(kn.x);
+        pw_y_.push_back(kn.y);
+      }
+      pw_begin_.push_back(static_cast<std::uint32_t>(pw_x_.size()));
     } else if (ti == typeid(composite_cost)) {
+      const auto* c = static_cast<const composite_cost*>(f);
       composite_index_.push_back(i);
-      composite_f_.push_back(static_cast<const composite_cost*>(f));
+      if (comp_begin_.empty()) comp_begin_.push_back(0);
+      for (const composite_cost::term& t : c->term_list()) {
+        const cost_function* tf = t.f.get();
+        const std::type_info& tti = typeid(*tf);
+        term_weight_.push_back(t.weight);
+        if (tti == typeid(affine_cost)) {
+          const auto* a = static_cast<const affine_cost*>(tf);
+          term_kind_.push_back(term_affine);
+          term_p0_.push_back(a->slope());
+          term_p1_.push_back(a->intercept());
+          term_p2_.push_back(0.0);
+          term_f_.push_back(nullptr);
+        } else if (tti == typeid(power_cost)) {
+          const auto* p = static_cast<const power_cost*>(tf);
+          term_kind_.push_back(term_power);
+          term_p0_.push_back(p->scale());
+          term_p1_.push_back(p->exponent());
+          term_p2_.push_back(p->intercept());
+          term_f_.push_back(nullptr);
+        } else if (tti == typeid(exponential_cost)) {
+          const auto* e = static_cast<const exponential_cost*>(tf);
+          term_kind_.push_back(term_exp);
+          term_p0_.push_back(e->scale());
+          term_p1_.push_back(e->rate());
+          term_p2_.push_back(e->intercept());
+          term_f_.push_back(nullptr);
+        } else if (tti == typeid(saturating_cost)) {
+          const auto* s = static_cast<const saturating_cost*>(tf);
+          term_kind_.push_back(term_sat);
+          term_p0_.push_back(s->scale());
+          term_p1_.push_back(s->knee());
+          term_p2_.push_back(s->intercept());
+          term_f_.push_back(nullptr);
+        } else {
+          // Nested composites / piecewise / user terms stay opaque: the
+          // lock-step probe makes the same virtual value call the scalar
+          // sum makes.
+          term_kind_.push_back(term_opaque);
+          term_p0_.push_back(0.0);
+          term_p1_.push_back(0.0);
+          term_p2_.push_back(0.0);
+          term_f_.push_back(tf);
+        }
+      }
+      comp_begin_.push_back(static_cast<std::uint32_t>(term_kind_.size()));
+    } else if (f->inverse_max_via_bounded_bisection()) {
+      bounded_index_.push_back(i);
+      bounded_f_.push_back(f);
     } else {
       generic_index_.push_back(i);
       generic_f_.push_back(f);
@@ -123,6 +263,55 @@ void batch_evaluator::rebind(const cost_view& costs) {
   // Costs were classified in index order, so a full affine lane is the
   // identity permutation.
   all_affine_ = affine_index_.size() == n_;
+
+  // Warm the lock-step search scratch now: binding establishes every
+  // capacity the evaluation methods need, so they stay allocation-free from
+  // the first call (the composite and bounded sections reuse these in turn).
+  const std::size_t lanes =
+      std::max(composite_index_.size(), bounded_index_.size());
+  lane_slot_.resize(lanes);
+  lane_good_.resize(lanes);
+  lane_bad_.resize(lanes);
+  lane_l_.resize(lanes);
+  lane_scratch_.resize(lanes);
+  l_elem_.resize(n_);
+}
+
+double batch_evaluator::piecewise_value(std::size_t k, double x) const {
+  // Same arithmetic as piecewise_linear_cost::value over the flat knot
+  // arrays: clamp, find the first knot with knot.x >= x (what the member's
+  // lower_bound returns), interpolate on the segment below it.
+  const double v = x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  const std::uint32_t b = pw_begin_[k];
+  const std::uint32_t e = pw_begin_[k + 1];
+  std::uint32_t j = b;
+  while (j < e && pw_x_[j] < v) ++j;  // j < e always: last knot sits at x=1
+  if (j == b) return pw_y_[b];
+  const double frac = (v - pw_x_[j - 1]) / (pw_x_[j] - pw_x_[j - 1]);
+  return pw_y_[j - 1] + frac * (pw_y_[j] - pw_y_[j - 1]);
+}
+
+double batch_evaluator::piecewise_inverse_max(std::size_t k, double l) const {
+  // Same analytic segment walk as piecewise_linear_cost::inverse_max.
+  const std::uint32_t b = pw_begin_[k];
+  const std::uint32_t e = pw_begin_[k + 1];
+  if (pw_y_[b] > l) return 0.0;
+  if (pw_y_[e - 1] <= l) return 1.0;
+  for (std::uint32_t j = b + 1; j < e; ++j) {
+    if (pw_y_[j] > l) {
+      if (pw_y_[j] == pw_y_[j - 1]) return pw_x_[j];  // flat segment
+      const double frac = (l - pw_y_[j - 1]) / (pw_y_[j] - pw_y_[j - 1]);
+      return pw_x_[j - 1] + frac * (pw_x_[j] - pw_x_[j - 1]);
+    }
+  }
+  return 1.0;  // unreachable given the early returns above
+}
+
+double batch_evaluator::composite_value(std::size_t k, double x) const {
+  return composite_value_at(comp_begin_.data(), term_kind_.data(),
+                            term_weight_.data(), term_p0_.data(),
+                            term_p1_.data(), term_p2_.data(), term_f_.data(),
+                            k, x);
 }
 
 void batch_evaluator::values(std::span<const double> x,
@@ -158,11 +347,15 @@ void batch_evaluator::values(std::span<const double> x,
   }
   for (std::size_t k = 0; k < piecewise_index_.size(); ++k) {
     const std::size_t i = piecewise_index_[k];
-    out[i] = piecewise_f_[k]->value(x[i]);  // final class: devirtualized
+    out[i] = piecewise_value(k, x[i]);
   }
   for (std::size_t k = 0; k < composite_index_.size(); ++k) {
     const std::size_t i = composite_index_[k];
-    out[i] = composite_f_[k]->value(x[i]);  // final class: devirtualized
+    out[i] = composite_value(k, x[i]);
+  }
+  for (std::size_t k = 0; k < bounded_index_.size(); ++k) {
+    const std::size_t i = bounded_index_[k];
+    out[i] = bounded_f_[k]->value(x[i]);  // unknown type: virtual
   }
   for (std::size_t k = 0; k < generic_index_.size(); ++k) {
     const std::size_t i = generic_index_[k];
@@ -170,37 +363,120 @@ void batch_evaluator::values(std::span<const double> x,
   }
 }
 
-template <class Emit>
-void batch_evaluator::inverse_max_each(double l, Emit&& emit) const {
+template <class LAt, class Emit>
+void batch_evaluator::inverse_max_each(LAt&& l_at, Emit&& emit) const {
   for (std::size_t k = 0; k < affine_index_.size(); ++k) {
-    emit(affine_index_[k], affine_cost::inverse_max_kernel(
-                               affine_slope_[k], affine_intercept_[k], l));
+    const std::size_t i = affine_index_[k];
+    emit(i, affine_cost::inverse_max_kernel(affine_slope_[k],
+                                            affine_intercept_[k], l_at(i)));
   }
   for (std::size_t k = 0; k < power_index_.size(); ++k) {
-    emit(power_index_[k],
-         power_cost::inverse_max_kernel(power_scale_[k], power_exponent_[k],
-                                        power_intercept_[k], l));
+    const std::size_t i = power_index_[k];
+    emit(i, power_cost::inverse_max_kernel(power_scale_[k], power_exponent_[k],
+                                           power_intercept_[k], l_at(i)));
   }
   for (std::size_t k = 0; k < exp_index_.size(); ++k) {
-    emit(exp_index_[k],
-         exponential_cost::inverse_max_kernel(exp_scale_[k], exp_rate_[k],
-                                              exp_intercept_[k], l));
+    const std::size_t i = exp_index_[k];
+    emit(i, exponential_cost::inverse_max_kernel(exp_scale_[k], exp_rate_[k],
+                                                 exp_intercept_[k], l_at(i)));
   }
   for (std::size_t k = 0; k < sat_index_.size(); ++k) {
-    emit(sat_index_[k],
-         saturating_cost::inverse_max_kernel(sat_scale_[k], sat_knee_[k],
-                                             sat_intercept_[k], l));
+    const std::size_t i = sat_index_[k];
+    emit(i, saturating_cost::inverse_max_kernel(sat_scale_[k], sat_knee_[k],
+                                                sat_intercept_[k], l_at(i)));
   }
   for (std::size_t k = 0; k < piecewise_index_.size(); ++k) {
-    emit(piecewise_index_[k], piecewise_f_[k]->inverse_max(l));
+    const std::size_t i = piecewise_index_[k];
+    emit(i, piecewise_inverse_max(k, l_at(i)));
   }
-  for (std::size_t k = 0; k < composite_index_.size(); ++k) {
-    // composite_cost::inverse_max is the devirtualized bisection template;
-    // through a final-class pointer the whole probe loop inlines.
-    emit(composite_index_[k], composite_f_[k]->inverse_max(l));
+
+  // Composite lanes: resolve the endpoint cases exactly like the scalar
+  // inverse_max_by_bisection (value(0) > l -> 0, value(1) <= l -> 1), then
+  // run every remaining search through one lock-step loop. Lane k's probe
+  // sequence equals the scalar bisection's, so each emitted value is
+  // bit-identical to composite_cost::inverse_max(l).
+  const std::size_t nc = composite_index_.size();
+  if (nc != 0) {
+    lane_slot_.resize(nc);
+    lane_good_.resize(nc);
+    lane_bad_.resize(nc);
+    lane_l_.resize(nc);
+    std::size_t active = 0;
+    for (std::size_t k = 0; k < nc; ++k) {
+      const std::size_t i = composite_index_[k];
+      const double l = l_at(i);
+      if (composite_value(k, 0.0) > l) {
+        emit(i, 0.0);
+      } else if (composite_value(k, 1.0) <= l) {
+        emit(i, 1.0);
+      } else {
+        lane_slot_[active] = k;
+        lane_l_[active] = l;
+        lane_good_[active] = 0.0;
+        lane_bad_[active] = 1.0;
+        ++active;
+      }
+    }
+    if (active != 0) {
+      bisect_max_true_lanes(
+          active, lane_good_.data(), lane_bad_.data(), lane_scratch_,
+          [this, active](const double* mid, unsigned char* take) {
+            composite_pred_loop(comp_begin_.data(), term_kind_.data(),
+                                term_weight_.data(), term_p0_.data(),
+                                term_p1_.data(), term_p2_.data(),
+                                term_f_.data(), lane_slot_.data(),
+                                lane_l_.data(), active, mid, take);
+          });
+      for (std::size_t a = 0; a < active; ++a) {
+        emit(composite_index_[lane_slot_[a]], lane_good_[a]);
+      }
+    }
   }
+
+  // Bounded-generic lanes: same lock-step search, probing the virtual
+  // value() — the exact calls the base-class fallback makes, in the exact
+  // order, so the opt-in contract keeps this bit-identical to scalar.
+  const std::size_t nb = bounded_index_.size();
+  if (nb != 0) {
+    lane_slot_.resize(nb);
+    lane_good_.resize(nb);
+    lane_bad_.resize(nb);
+    lane_l_.resize(nb);
+    std::size_t active = 0;
+    for (std::size_t k = 0; k < nb; ++k) {
+      const std::size_t i = bounded_index_[k];
+      const double l = l_at(i);
+      if (bounded_f_[k]->value(0.0) > l) {
+        emit(i, 0.0);
+      } else if (bounded_f_[k]->value(1.0) <= l) {
+        emit(i, 1.0);
+      } else {
+        lane_slot_[active] = k;
+        lane_l_[active] = l;
+        lane_good_[active] = 0.0;
+        lane_bad_[active] = 1.0;
+        ++active;
+      }
+    }
+    if (active != 0) {
+      bisect_max_true_lanes(
+          active, lane_good_.data(), lane_bad_.data(), lane_scratch_,
+          [this, active](const double* mid, unsigned char* take) {
+            for (std::size_t a = 0; a < active; ++a) {
+              take[a] =
+                  bounded_f_[lane_slot_[a]]->value(mid[a]) <= lane_l_[a] ? 1
+                                                                         : 0;
+            }
+          });
+      for (std::size_t a = 0; a < active; ++a) {
+        emit(bounded_index_[lane_slot_[a]], lane_good_[a]);
+      }
+    }
+  }
+
   for (std::size_t k = 0; k < generic_index_.size(); ++k) {
-    emit(generic_index_[k], generic_f_[k]->inverse_max(l));
+    const std::size_t i = generic_index_[k];
+    emit(i, generic_f_[k]->inverse_max(l_at(i)));
   }
 }
 
@@ -213,7 +489,8 @@ void batch_evaluator::inverse_max(double l, std::span<double> out) const {
                             n_, l, out.data());
     return;
   }
-  inverse_max_each(l, [out](std::size_t i, double tilde) { out[i] = tilde; });
+  inverse_max_each([l](std::size_t) { return l; },
+                   [out](std::size_t i, double tilde) { out[i] = tilde; });
 }
 
 void batch_evaluator::max_acceptable(std::span<const double> x,
@@ -233,11 +510,54 @@ void batch_evaluator::max_acceptable(std::span<const double> x,
     affine_max_acceptable_loop(affine_slope_.data(), affine_intercept_.data(),
                                x.data(), n_, global_cost, out.data());
   } else {
-    inverse_max_each(global_cost, [out, x](std::size_t i, double tilde) {
-      out[i] = tilde < x[i] ? x[i] : (tilde > 1.0 ? 1.0 : tilde);
-    });
+    inverse_max_each(
+        [global_cost](std::size_t) { return global_cost; },
+        [out, x](std::size_t i, double tilde) {
+          out[i] = tilde < x[i] ? x[i] : (tilde > 1.0 ? 1.0 : tilde);
+        });
   }
   out[straggler] = x[straggler];
+}
+
+void batch_evaluator::max_acceptable_groups(
+    std::span<const double> x, std::span<const double> group_cost,
+    std::span<const std::size_t> stragglers, std::span<double> out) const {
+  const std::size_t groups = group_cost.size();
+  DOLBIE_REQUIRE(groups != 0, "grouped max_acceptable needs >= 1 group");
+  DOLBIE_REQUIRE(n_ % groups == 0, "bound size " << n_
+                                                 << " is not a multiple of "
+                                                 << groups << " groups");
+  const std::size_t m = n_ / groups;
+  DOLBIE_REQUIRE(x.size() == n_ && out.size() == n_,
+                 "grouped max_acceptable: expected "
+                     << n_ << " entries, got x=" << x.size() << " out="
+                     << out.size());
+  DOLBIE_REQUIRE(stragglers.size() == groups,
+                 "expected " << groups << " stragglers, got "
+                             << stragglers.size());
+  l_elem_.resize(n_);
+  for (std::size_t r = 0; r < groups; ++r) {
+    DOLBIE_REQUIRE(stragglers[r] < m, "straggler index "
+                                          << stragglers[r]
+                                          << " out of range for group size "
+                                          << m);
+    for (std::size_t j = 0; j < m; ++j) l_elem_[r * m + j] = group_cost[r];
+  }
+  if (all_affine_) {
+    affine_max_acceptable_loop_multi(affine_slope_.data(),
+                                     affine_intercept_.data(), x.data(), n_,
+                                     l_elem_.data(), out.data());
+  } else {
+    inverse_max_each(
+        [this](std::size_t i) { return l_elem_[i]; },
+        [out, x](std::size_t i, double tilde) {
+          out[i] = tilde < x[i] ? x[i] : (tilde > 1.0 ? 1.0 : tilde);
+        });
+  }
+  for (std::size_t r = 0; r < groups; ++r) {
+    const std::size_t s = r * m + stragglers[r];
+    out[s] = x[s];
+  }
 }
 
 }  // namespace dolbie::cost

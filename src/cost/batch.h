@@ -8,21 +8,31 @@
 // bit-identical results to the scalar per-object API (asserted by
 // tests/batch_cost_test).
 //
+// Families without a closed-form inverse (composite, plus user types that
+// opt into `inverse_max_via_bounded_bisection`) do not fall back to one
+// scalar bisection per element: all their searches run through one shared
+// lock-step loop (`bisect_max_true_lanes`), probing every lane per
+// iteration over the flattened SoA term arrays with branch-free interval
+// updates. Each lane's probe sequence is exactly the scalar bisection's, so
+// bit-identity survives. Piecewise costs get a flattened knot lane with the
+// same analytic segment-walk arithmetic as the scalar member.
+//
 // Intended use: keep one batch_evaluator alive per policy/run and rebind it
 // whenever the round's cost vector changes. Rebinding reuses the internal
 // storage, so after the first round with the steady-state family mix the
-// whole evaluate -> inverse_max path performs zero allocations.
+// whole evaluate -> inverse_max path performs zero allocations. The
+// evaluation methods are const but use internal scratch, so a single
+// instance must not be shared across threads (each run owns its own).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/bisect.h"
 #include "cost/cost_function.h"
 
 namespace dolbie::cost {
-
-class piecewise_linear_cost;
-class composite_cost;
 
 class batch_evaluator {
  public:
@@ -49,18 +59,43 @@ class batch_evaluator {
   void max_acceptable(std::span<const double> x, double global_cost,
                       std::size_t straggler, std::span<double> out) const;
 
+  /// Cross-realization Eq. (4): the bound view is the concatenation of
+  /// `group_cost.size()` equally-sized realization groups (size() must be a
+  /// multiple of the group count). Group r gets its own round cost
+  /// group_cost[r] and its own straggler stragglers[r] (an index *within*
+  /// the group). Equivalent to one `max_acceptable` call per group over
+  /// that group's sub-view — bit-identical, because every element's
+  /// arithmetic depends only on its own parameters and its group's l — but
+  /// all groups' bisection lanes share one lock-step loop, which is where
+  /// the sweep-throughput win comes from.
+  void max_acceptable_groups(std::span<const double> x,
+                             std::span<const double> group_cost,
+                             std::span<const std::size_t> stragglers,
+                             std::span<double> out) const;
+
   /// Entries evaluated through typed per-family lanes (vs. the virtual
-  /// fallback lane). Exposed for tests and the hot-path bench.
-  std::size_t devirtualized_count() const { return n_ - generic_f_.size(); }
+  /// lanes). Bounded-generic entries bisect virtual `value` calls, so they
+  /// count as virtual here even though their searches run lock-step.
+  std::size_t devirtualized_count() const {
+    return n_ - generic_f_.size() - bounded_f_.size();
+  }
   std::size_t generic_count() const { return generic_f_.size(); }
+  /// Unknown types opted into the lock-step bounded-bisection lane.
+  std::size_t bounded_generic_count() const { return bounded_f_.size(); }
 
  private:
-  // Calls emit(i, tilde_i) with tilde_i = inverse_max_i(l) for every bound
-  // cost, lane by lane. Lets max_acceptable fuse the Eq. (4) clamp into the
-  // family loops (one pass over out) while inverse_max shares the exact
-  // same per-element arithmetic. Instantiated in batch.cpp only.
-  template <class Emit>
-  void inverse_max_each(double l, Emit&& emit) const;
+  // Calls emit(i, tilde_i) with tilde_i = inverse_max_i(l_at(i)) for every
+  // bound cost, lane by lane (emission order is unspecified; each i is
+  // emitted exactly once). Lets max_acceptable fuse the Eq. (4) clamp into
+  // the family loops while inverse_max shares the exact same per-element
+  // arithmetic, and lets the grouped entry point vary l per element.
+  // Instantiated in batch.cpp only.
+  template <class LAt, class Emit>
+  void inverse_max_each(LAt&& l_at, Emit&& emit) const;
+
+  double piecewise_value(std::size_t k, double x) const;
+  double piecewise_inverse_max(std::size_t k, double l) const;
+  double composite_value(std::size_t k, double x) const;
 
   std::size_t n_ = 0;
   // True when every bound cost is affine (the paper's distributed-ML
@@ -82,17 +117,39 @@ class batch_evaluator {
   std::vector<std::size_t> sat_index_;
   std::vector<double> sat_scale_, sat_knee_, sat_intercept_;
 
-  // Families with internal structure: typed pointers so the (final-class)
-  // member calls devirtualize and inline.
+  // Piecewise-linear lane: knots flattened CSR-style (lane k's knots live
+  // at [pw_begin_[k], pw_begin_[k+1])). Value and inverse replicate the
+  // scalar members' arithmetic exactly over the flat arrays.
   std::vector<std::size_t> piecewise_index_;
-  std::vector<const piecewise_linear_cost*> piecewise_f_;
+  std::vector<std::uint32_t> pw_begin_;
+  std::vector<double> pw_x_, pw_y_;
 
+  // Composite lane: terms flattened CSR-style (lane k's terms live at
+  // [comp_begin_[k], comp_begin_[k+1])). Analytic terms carry their family
+  // kind + parameters; terms of unknown type stay opaque (virtual value
+  // through term_f_). Accumulation runs in original term order so the sum
+  // matches composite_cost::value bit for bit.
   std::vector<std::size_t> composite_index_;
-  std::vector<const composite_cost*> composite_f_;
+  std::vector<std::uint32_t> comp_begin_;
+  std::vector<std::uint8_t> term_kind_;
+  std::vector<double> term_weight_, term_p0_, term_p1_, term_p2_;
+  std::vector<const cost_function*> term_f_;  // null for analytic terms
 
-  // Unknown concrete types: classic virtual dispatch.
+  // Unknown types opted into lock-step bisection of their virtual value()
+  // (see cost_function::inverse_max_via_bounded_bisection).
+  std::vector<std::size_t> bounded_index_;
+  std::vector<const cost_function*> bounded_f_;
+
+  // Unknown concrete types: classic per-element virtual dispatch.
   std::vector<std::size_t> generic_index_;
   std::vector<const cost_function*> generic_f_;
+
+  // Lock-step search state, reused across calls (the public evaluation
+  // methods are const; all of this is pure scratch).
+  mutable std::vector<std::size_t> lane_slot_;
+  mutable std::vector<double> lane_good_, lane_bad_, lane_l_;
+  mutable bisect_lane_scratch lane_scratch_;
+  mutable std::vector<double> l_elem_;  // per-element l for grouped calls
 };
 
 }  // namespace dolbie::cost

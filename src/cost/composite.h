@@ -33,6 +33,11 @@ class composite_cost final : public cost_function {
 
   std::size_t terms() const { return terms_.size(); }
 
+  /// The underlying terms, in evaluation order. The batch evaluator flattens
+  /// them into its SoA term lane; summation order there must match `value`
+  /// exactly (floating-point addition does not reassociate).
+  const std::vector<term>& term_list() const { return terms_; }
+
  private:
   std::vector<term> terms_;
 };

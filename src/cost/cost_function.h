@@ -29,6 +29,17 @@ class cost_function {
   /// when value(1) <= l. Default implementation bisects `value`.
   virtual double inverse_max(double l) const;
 
+  /// Opt-in for user-defined types the batch evaluator cannot classify:
+  /// return true iff this type's `inverse_max` is exactly the base-class
+  /// bisection-of-`value` fallback (no override, or an override that is
+  /// bit-identical to it). The batch evaluator then runs the function in its
+  /// lock-step bounded-bisection lane — same probe sequence as the scalar
+  /// fallback, evaluated together with the other bisection lanes — instead
+  /// of one virtual `inverse_max` call per element. Defaults to false: a
+  /// type with a custom analytic `inverse_max` must stay on the scalar
+  /// fallback or batch results would diverge from the scalar path.
+  virtual bool inverse_max_via_bounded_bisection() const { return false; }
+
   /// Human-readable description, for traces and error messages.
   virtual std::string describe() const = 0;
 };

@@ -8,7 +8,9 @@
 
 #include "baselines/opt.h"
 #include "common/error.h"
+#include "common/simplex.h"
 #include "core/dolbie.h"
+#include "core/max_acceptable.h"
 
 namespace dolbie::exp {
 
@@ -86,6 +88,122 @@ run_trace run(core::online_policy& policy, environment& env,
   trace.wall_seconds =
       std::chrono::duration<double>(clock::now() - run_begin).count();
   return trace;
+}
+
+std::vector<run_trace> run_lockstep(
+    std::span<core::dolbie_policy* const> policies,
+    std::span<environment* const> envs, const harness_options& options) {
+  const std::size_t realizations = policies.size();
+  DOLBIE_REQUIRE(realizations >= 1,
+                 "lockstep run needs at least one realization");
+  DOLBIE_REQUIRE(envs.size() == realizations,
+                 "lockstep run has " << realizations << " policies but "
+                                     << envs.size() << " environments");
+  DOLBIE_REQUIRE(options.rounds >= 1, "need at least one round");
+  for (std::size_t r = 0; r < realizations; ++r) {
+    DOLBIE_REQUIRE(policies[r] != nullptr && envs[r] != nullptr,
+                   "lockstep run got a null policy/environment at slot " << r);
+  }
+  const std::size_t m = policies[0]->workers();
+  for (std::size_t r = 0; r < realizations; ++r) {
+    DOLBIE_REQUIRE(policies[r]->workers() == m && envs[r]->workers() == m,
+                   "lockstep realizations must share one worker count (slot "
+                       << r << " differs from " << m << ")");
+  }
+  using clock = std::chrono::steady_clock;
+  const auto run_begin = clock::now();
+
+  std::vector<run_trace> traces(realizations);
+  for (std::size_t r = 0; r < realizations; ++r) {
+    policies[r]->reset();
+    traces[r].global_cost.set_name(std::string(policies[r]->name()));
+    traces[r].global_cost.reserve(options.rounds);
+  }
+
+  // Per-realization delayed-feedback rings, exactly as in run(). All
+  // realizations enqueue once per round, so readiness is uniform: feedback
+  // flows for every realization from round `delay` on.
+  std::vector<std::deque<std::pair<cost::cost_vector, core::round_outcome>>>
+      in_flight(realizations);
+
+  // Hoisted scratch shared by every round.
+  std::vector<cost::cost_view> views(realizations);
+  cost::cost_view round_view;  // concatenation of the R stale views
+  cost::batch_evaluator batch;
+  std::vector<double> x_all(realizations * m);
+  std::vector<double> xp_all;
+  std::vector<double> group_cost(realizations);
+  std::vector<std::size_t> stragglers(realizations);
+  double decision_total = 0.0;
+
+  for (std::size_t t = 0; t < options.rounds; ++t) {
+    // Environment + evaluation phase: per realization, same order and
+    // arithmetic as run() (scalar virtual value calls — bit-identity of the
+    // recorded series needs them untouched).
+    for (std::size_t r = 0; r < realizations; ++r) {
+      run_trace& trace = traces[r];
+      const auto env_begin = clock::now();
+      cost::cost_vector costs = envs[r]->next_round();
+      trace.environment_seconds +=
+          std::chrono::duration<double>(clock::now() - env_begin).count();
+      cost::view_into(costs, views[r]);
+      core::round_outcome outcome =
+          core::evaluate_round(views[r], policies[r]->current());
+      trace.global_cost.push(outcome.global_cost);
+      if (options.record_allocations) {
+        trace.allocations.push_back(outcome.decision);
+      }
+      if (options.record_step_sizes) {
+        trace.step_sizes.push_back(policies[r]->step_size());
+      }
+      if (options.track_regret) {
+        const baselines::instantaneous_solution opt =
+            baselines::solve_instantaneous(views[r]);
+        trace.optimal_cost.push(opt.value);
+        trace.regret.record(outcome.global_cost, opt.value, opt.x);
+        trace.lipschitz_estimate = std::max(
+            trace.lipschitz_estimate, core::estimate_lipschitz(views[r]));
+      }
+      in_flight[r].emplace_back(std::move(costs), std::move(outcome));
+    }
+    if (t + 1 <= options.feedback_delay) continue;  // all still stale
+
+    // Observe phase, batched: elect each realization's straggler exactly
+    // like observe() (argmax over the stale local costs), gather the
+    // current allocations, and run Eq. (4) for all R realizations as
+    // groups of one shared lock-step batch call.
+    const auto begin = clock::now();
+    round_view.clear();
+    for (std::size_t r = 0; r < realizations; ++r) {
+      const auto& [stale_costs, stale_outcome] = in_flight[r].front();
+      for (const auto& c : stale_costs) round_view.push_back(c.get());
+      const std::size_t s = argmax(stale_outcome.local_costs);
+      stragglers[r] = s;
+      group_cost[r] = stale_outcome.local_costs[s];
+      const core::allocation& x = policies[r]->current();
+      std::copy(x.begin(), x.end(), x_all.begin() + r * m);
+    }
+    batch.rebind(round_view);
+    core::max_acceptable_vector_groups_into(batch, x_all, group_cost,
+                                            stragglers, xp_all);
+    for (std::size_t r = 0; r < realizations; ++r) {
+      policies[r]->observe_prepared(
+          stragglers[r], group_cost[r],
+          std::span<const double>(xp_all).subspan(r * m, m));
+      in_flight[r].pop_front();
+    }
+    decision_total +=
+        std::chrono::duration<double>(clock::now() - begin).count();
+  }
+
+  const double wall =
+      std::chrono::duration<double>(clock::now() - run_begin).count();
+  for (run_trace& trace : traces) {
+    trace.decision_seconds =
+        decision_total / static_cast<double>(realizations);
+    trace.wall_seconds = wall / static_cast<double>(realizations);
+  }
+  return traces;
 }
 
 }  // namespace dolbie::exp

@@ -4,12 +4,17 @@
 // and decision-making wall time.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/series.h"
 #include "core/policy.h"
 #include "core/regret.h"
 #include "exp/scenario.h"
+
+namespace dolbie::core {
+class dolbie_policy;
+}  // namespace dolbie::core
 
 namespace dolbie::exp {
 
@@ -49,5 +54,19 @@ struct run_trace {
 /// Run `policy` (reset first) against `env` for `options.rounds` rounds.
 run_trace run(core::online_policy& policy, environment& env,
               const harness_options& options = {});
+
+/// Lock-step batch-of-realizations runner: plays R same-shaped DOLBIE runs
+/// round by round, evaluating every realization's Eq. (4) vector through
+/// one grouped batch_evaluator bound over the concatenated round views —
+/// all R bisection searches advance in one shared lock-step loop instead of
+/// R scalar ones. trace[r] is bit-identical to run(*policies[r], *envs[r],
+/// options) in every recorded series (global/optimal cost, allocations,
+/// step sizes, regret); only the measured timing fields differ — the
+/// decision and wall time of a shared phase are attributed evenly across
+/// realizations. Requirements: policies and envs are parallel arrays of one
+/// worker count; every policy is reset first.
+std::vector<run_trace> run_lockstep(
+    std::span<core::dolbie_policy* const> policies,
+    std::span<environment* const> envs, const harness_options& options = {});
 
 }  // namespace dolbie::exp

@@ -1,6 +1,9 @@
 #include "exp/parallel_sweep.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "core/dolbie.h"
 
 namespace dolbie::exp {
 
@@ -54,6 +57,56 @@ std::vector<run_trace> run_many(std::size_t runs,
   return run_many(
       runs, make_policy, make_env,
       [&options](std::size_t) { return options; }, parallel);
+}
+
+std::vector<run_trace> run_many_lockstep(
+    std::size_t runs, const run_policy_factory& make_policy,
+    const environment_factory& make_env, const harness_options& options,
+    const parallel_options& parallel) {
+  if (runs == 0) return {};
+  if (parallel.timings != nullptr) parallel.timings->reserve_slots(runs);
+  std::vector<run_trace> traces(runs);
+  // Consecutive fixed-size blocks: block b owns runs [b*W, min(runs,
+  // (b+1)*W)). The partition is a pure function of the run index, so the
+  // thread pool only decides when a block runs, never what it computes —
+  // the serial==parallel contract every fan-out here follows.
+  const std::size_t blocks =
+      (runs + lockstep_block_size - 1) / lockstep_block_size;
+  thread_pool pool(parallel.threads);
+  pool.parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t lo = b * lockstep_block_size;
+    const std::size_t hi = std::min(runs, lo + lockstep_block_size);
+    const std::size_t width = hi - lo;
+    std::vector<std::unique_ptr<core::online_policy>> owned_policies(width);
+    std::vector<std::unique_ptr<environment>> owned_envs(width);
+    std::vector<core::dolbie_policy*> policies(width);
+    std::vector<environment*> envs(width);
+    for (std::size_t k = 0; k < width; ++k) {
+      owned_policies[k] = make_policy(lo + k);
+      owned_envs[k] = make_env(lo + k);
+      DOLBIE_REQUIRE(owned_policies[k] != nullptr && owned_envs[k] != nullptr,
+                     "run_many_lockstep factories returned null for run "
+                         << lo + k);
+      policies[k] =
+          dynamic_cast<core::dolbie_policy*>(owned_policies[k].get());
+      DOLBIE_REQUIRE(policies[k] != nullptr,
+                     "run_many_lockstep requires DOLBIE policies, run "
+                         << lo + k << " built "
+                         << owned_policies[k]->name());
+      envs[k] = owned_envs[k].get();
+    }
+    std::vector<run_trace> block_traces = run_lockstep(policies, envs,
+                                                       options);
+    for (std::size_t k = 0; k < width; ++k) {
+      traces[lo + k] = std::move(block_traces[k]);
+      if (parallel.timings != nullptr) {
+        parallel.timings->record(
+            lo + k, harness_timing("run " + std::to_string(lo + k),
+                                   traces[lo + k], options.rounds));
+      }
+    }
+  });
+  return traces;
 }
 
 ml_sweep_result parallel_sweep_training(const std::string& name,

@@ -102,6 +102,13 @@ std::vector<run_trace> run_many(std::size_t runs,
                                 const harness_options& options = {},
                                 const parallel_options& parallel = {});
 
+/// Fixed partition width of run_many_lockstep: runs are grouped into
+/// consecutive blocks of this many realizations, each block played through
+/// exp::run_lockstep. A pure function of the run index — never of the
+/// thread count — so results stay bit-identical at any DOLBIE_THREADS.
+inline constexpr std::size_t lockstep_block_size = 16;
+
+
 /// Parallel port of sweep_training (same seed schedule: realization r uses
 /// base_seed + r, exactly what the serial loop did), so the result is
 /// bit-identical to exp::sweep_training at any thread count. Realizations
@@ -114,5 +121,21 @@ ml_sweep_result parallel_sweep_training(const std::string& name,
                                         std::uint64_t base_seed,
                                         double accuracy_target = -1.0,
                                         const parallel_options& parallel = {});
+
+/// Cross-realization lock-step variant of run_many for DOLBIE sweeps whose
+/// runs share cost-family structure: runs are partitioned into consecutive
+/// fixed-size blocks (lockstep_block_size), each block played round by
+/// round with every realization's Eq. (4) vector computed through one
+/// grouped batch evaluation (exp::run_lockstep) — R bisection searches in
+/// one lock-step loop instead of R scalar ones. Blocks fan out across
+/// parallel.threads. trace[i] is bit-identical to run_many's trace[i] in
+/// every recorded series, at any thread count (the block partition depends
+/// only on the run index). Requirements: make_policy must produce
+/// core::dolbie_policy instances (checked) and every run must share one
+/// worker count and the same harness options.
+std::vector<run_trace> run_many_lockstep(
+    std::size_t runs, const run_policy_factory& make_policy,
+    const environment_factory& make_env, const harness_options& options = {},
+    const parallel_options& parallel = {});
 
 }  // namespace dolbie::exp

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/error.h"
@@ -7,6 +8,12 @@
 namespace dolbie::sim {
 
 void event_queue::schedule(sim_time at, std::function<void()> action) {
+  // NaN would break the heap comparator's strict weak ordering (and slips
+  // through a bare `at >= now_` check only by failing it); +inf orders fine
+  // but is always a bug — an event that can never meaningfully fire yet
+  // advances now() to infinity, poisoning every later schedule. Reject both.
+  DOLBIE_REQUIRE(std::isfinite(at),
+                 "cannot schedule at non-finite time " << at);
   DOLBIE_REQUIRE(at >= now_, "cannot schedule into the past: " << at
                                                                << " < "
                                                                << now_);

@@ -10,6 +10,14 @@ namespace dolbie::stats {
 double percentile(std::span<const double> values, double p) {
   DOLBIE_REQUIRE(!values.empty(), "percentile of empty range");
   DOLBIE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile " << p << " out of range");
+  // A NaN breaks std::sort's strict weak ordering (undefined behavior, in
+  // practice a silently garbled order), and infinities poison the rank
+  // interpolation — chaos/latency series can produce both. Reject instead.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    DOLBIE_REQUIRE(std::isfinite(values[i]),
+                   "percentile input [" << i << "] is not finite: "
+                                        << values[i]);
+  }
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
@@ -21,6 +29,12 @@ double percentile(std::span<const double> values, double p) {
 }
 
 five_number_summary box_stats(std::span<const double> values) {
+  DOLBIE_REQUIRE(!values.empty(), "box_stats of empty range");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    DOLBIE_REQUIRE(std::isfinite(values[i]),
+                   "box_stats input [" << i << "] is not finite: "
+                                       << values[i]);
+  }
   five_number_summary s;
   s.min = percentile(values, 0.0);
   s.q1 = percentile(values, 25.0);

@@ -9,6 +9,7 @@
 // dolbie_policy::observe() performs zero heap allocations. A global
 // counting operator new/delete (below) makes that an exact count.
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -17,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "core/dolbie.h"
 #include "core/max_acceptable.h"
 #include "cost/affine.h"
@@ -81,6 +83,21 @@ class quadratic_cost : public cost::cost_function {
   double scale_;
 };
 
+/// An unknown family that opts into the lock-step bounded-bisection lane:
+/// it does NOT override inverse_max, so the base-class [0, 1] bisection is
+/// its exact scalar semantics and the lane-parallel search reproduces it
+/// bit for bit (same midpoints, same virtual value() probes).
+class bounded_quadratic_cost : public cost::cost_function {
+ public:
+  explicit bounded_quadratic_cost(double scale) : scale_(scale) {}
+  double value(double x) const override { return 0.05 + scale_ * x * x; }
+  bool inverse_max_via_bounded_bisection() const override { return true; }
+  std::string describe() const override { return "bounded-quadratic"; }
+
+ private:
+  double scale_;
+};
+
 cost::cost_vector make_mixed() {
   cost::cost_vector out;
   out.push_back(std::make_unique<cost::affine_cost>(2.0, 0.3));
@@ -94,6 +111,7 @@ cost::cost_vector make_mixed() {
   terms.push_back({0.5, std::make_unique<cost::power_cost>(2.0, 2.0, 0.0)});
   out.push_back(std::make_unique<cost::composite_cost>(std::move(terms)));
   out.push_back(std::make_unique<quadratic_cost>(1.7));  // generic lane
+  out.push_back(std::make_unique<bounded_quadratic_cost>(2.1));  // bounded
   out.push_back(std::make_unique<cost::affine_cost>(0.0, 0.15));  // slope 0
   return out;
 }
@@ -104,7 +122,8 @@ TEST(BatchCost, LaneClassification) {
   cost::batch_evaluator batch(view);
   EXPECT_EQ(batch.size(), costs.size());
   EXPECT_EQ(batch.generic_count(), 1u);  // only quadratic_cost
-  EXPECT_EQ(batch.devirtualized_count(), costs.size() - 1);
+  EXPECT_EQ(batch.bounded_generic_count(), 1u);  // bounded_quadratic_cost
+  EXPECT_EQ(batch.devirtualized_count(), costs.size() - 2);
 }
 
 TEST(BatchCost, ValuesBitIdenticalToScalar) {
@@ -196,6 +215,117 @@ TEST(BatchCost, AllAffineFastPathBitIdentical) {
       EXPECT_EQ(got[i], want[i]) << "worker " << i << " l=" << l;
     }
   }
+}
+
+// Many bisection-backed workers at once: the lock-step driver packs all
+// composite (and bounded-generic) lanes into one shared iteration loop, so
+// an odd lane count exercises the vectorized predicate's SIMD tail. Every
+// lane must still match its own scalar bisection exactly.
+TEST(BatchCost, LockStepLanesBitIdenticalAtScale) {
+  cost::cost_vector costs;
+  for (int i = 0; i < 37; ++i) {  // odd count: SIMD tail lanes
+    std::vector<cost::composite_cost::term> terms;
+    terms.push_back(
+        {1.0, std::make_unique<cost::affine_cost>(
+                  0.5 + 0.1 * static_cast<double>(i % 7),
+                  0.05 * static_cast<double>(i % 5))});
+    terms.push_back(
+        {0.25 + 0.05 * static_cast<double>(i % 3),
+         std::make_unique<cost::power_cost>(
+             1.0 + 0.2 * static_cast<double>(i % 4),
+             1.5 + 0.1 * static_cast<double>(i % 6), 0.0)});
+    if (i % 2 == 0) {
+      terms.push_back({0.1, std::make_unique<cost::exponential_cost>(
+                                0.3, 1.1, 0.02)});
+    }
+    costs.push_back(std::make_unique<cost::composite_cost>(std::move(terms)));
+    costs.push_back(std::make_unique<bounded_quadratic_cost>(
+        0.8 + 0.15 * static_cast<double>(i % 9)));
+  }
+  const cost::cost_view view = cost::view_of(costs);
+  cost::batch_evaluator batch(view);
+  EXPECT_EQ(batch.bounded_generic_count(), 37u);
+  const std::size_t n = view.size();
+  std::vector<double> got(n);
+  for (double l : {0.0, 0.03, 0.07, 0.2, 0.45, 0.8, 1.5, 3.0, 10.0}) {
+    batch.inverse_max(l, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], view[i]->inverse_max(l)) << "worker " << i
+                                                 << " l=" << l;
+    }
+  }
+}
+
+// The grouped entry point evaluates G independent Eq. 4 instances (one per
+// realization) through a single rebind + lock-step pass. Each element's
+// arithmetic depends only on its own parameters and its group's level, so
+// the result must equal G separate per-group max_acceptable calls exactly.
+TEST(BatchCost, MaxAcceptableGroupsBitIdenticalToPerGroupCalls) {
+  constexpr std::size_t kGroups = 5;
+  const cost::cost_vector group = make_mixed();
+  const std::size_t m = group.size();
+  // Concatenate kGroups copies (fresh instances — same parameters).
+  cost::cost_vector all;
+  std::vector<cost::cost_vector> per_group;
+  for (std::size_t r = 0; r < kGroups; ++r) {
+    cost::cost_vector g = make_mixed();
+    cost::cost_vector g2 = make_mixed();
+    for (auto& f : g) all.push_back(std::move(f));
+    per_group.push_back(std::move(g2));
+  }
+  const cost::cost_view all_view = cost::view_of(all);
+  cost::batch_evaluator batch(all_view);
+
+  std::vector<double> x(kGroups * m);
+  std::vector<double> group_cost(kGroups);
+  std::vector<std::size_t> stragglers(kGroups);
+  for (std::size_t r = 0; r < kGroups; ++r) {
+    for (std::size_t j = 0; j < m; ++j) {
+      x[r * m + j] = static_cast<double>(j + 1) /
+                     static_cast<double>(m * (m + 1) / 2);
+    }
+    group_cost[r] = 0.2 + 0.4 * static_cast<double>(r);
+    stragglers[r] = (2 * r + 1) % m;
+  }
+  std::vector<double> got(kGroups * m);
+  batch.max_acceptable_groups(x, group_cost, stragglers, got);
+  for (std::size_t r = 0; r < kGroups; ++r) {
+    const cost::cost_view gview = cost::view_of(per_group[r]);
+    const std::vector<double> want = core::max_acceptable_vector(
+        gview,
+        std::vector<double>(x.begin() + static_cast<std::ptrdiff_t>(r * m),
+                            x.begin() +
+                                static_cast<std::ptrdiff_t>((r + 1) * m)),
+        group_cost[r], stragglers[r]);
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(got[r * m + j], want[j]) << "group " << r << " worker " << j;
+    }
+  }
+}
+
+TEST(BatchCost, MaxAcceptableGroupsValidatesShapes) {
+  const cost::cost_vector costs = make_mixed();
+  const std::size_t m = costs.size();
+  cost::batch_evaluator batch(cost::view_of(costs));
+  std::vector<double> x(m, 1.0 / static_cast<double>(m)), out(m);
+  // 1 group over the whole view is fine...
+  batch.max_acceptable_groups(x, std::vector<double>{1.0},
+                              std::vector<std::size_t>{0}, out);
+  // ...but a group count that does not divide n, a straggler index outside
+  // the group, or mismatched spans must throw.
+  EXPECT_THROW(batch.max_acceptable_groups(
+                   x, std::vector<double>{1.0, 2.0},
+                   std::vector<std::size_t>{0, 0}, out),
+               invariant_error);
+  EXPECT_THROW(batch.max_acceptable_groups(
+                   x, std::vector<double>{1.0}, std::vector<std::size_t>{m},
+                   out),
+               invariant_error);
+  std::vector<double> short_x(m - 1);
+  EXPECT_THROW(batch.max_acceptable_groups(
+                   short_x, std::vector<double>{1.0},
+                   std::vector<std::size_t>{0}, out),
+               invariant_error);
 }
 
 TEST(BatchCost, RebindSwitchesViews) {

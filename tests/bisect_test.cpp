@@ -1,6 +1,7 @@
 #include "common/bisect.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +113,131 @@ TEST(BisectRootIncreasing, ReturnedPointIsConservative) {
     EXPECT_LE(g(found), 0.0) << "root " << root;
     EXPECT_NEAR(found, root, 1e-9) << "root " << root;
   }
+}
+
+// Regression: with only an absolute tolerance, a bracket of magnitude 1e12
+// can never close — the stop width 1e-12 sits far below ulp(1e12) ≈ 2e-4,
+// the midpoint eventually rounds onto an endpoint, and the loop spins
+// through all 200 iterations without converging further. The relative term
+// restores convergence at every magnitude.
+TEST(BisectRelativeTolerance, ConvergesAcrossBracketMagnitudes) {
+  bisect_options opts;
+  opts.tolerance = 1e-12;
+  opts.relative_tolerance = 1e-12;
+  for (double scale : {1e-6, 1e-3, 1.0, 1e3, 1e6, 1e9, 1e12}) {
+    const double root = 0.3 * scale;
+    const double found = bisect_root_increasing(
+        0.0, scale, [&](double x) { return x - root; }, opts);
+    // Accuracy proportional to the bracket: the relative stop width is
+    // rel_tol * scale, plus a couple of ulps of slack for the arithmetic.
+    EXPECT_NEAR(found, root, 1e-11 * scale + 1e-12) << "scale " << scale;
+    EXPECT_LE(found, root) << "scale " << scale;
+  }
+}
+
+TEST(BisectRelativeTolerance, UlpStallOnHugeBracketIsFixed) {
+  // Pure absolute tolerance on [0, 1e12]: the loop stalls once the width
+  // reaches the bracket's ulp and the answer is stuck ~2e-4 off. With the
+  // relative term the same search lands within 1e-11 * 1e12 = 10 ulp-ish.
+  const double root = 1e11;
+  const auto g = [&](double x) { return x - root; };
+  bisect_options rel;
+  rel.tolerance = 1e-12;
+  rel.relative_tolerance = 1e-12;
+  const double with_rel = bisect_root_increasing(0.0, 1e12, g, rel);
+  EXPECT_NEAR(with_rel, root, 1e-11 * 1e12);
+
+  bisect_options abs_only;
+  abs_only.tolerance = 1e-12;  // below ulp(1e12): cannot be met exactly
+  const double without = bisect_root_increasing(0.0, 1e12, g, abs_only);
+  // Still lands as close as the bracket's representable grid allows (the
+  // width stops shrinking at the ulp, it does not diverge).
+  EXPECT_NEAR(without, root, 1e-2);
+}
+
+TEST(BisectRelativeTolerance, DefaultZeroKeepsLegacyBehavior) {
+  // relative_tolerance defaults to 0.0 so existing callers see the exact
+  // same probe sequence as before the option existed.
+  const double a =
+      bisect_max_true(0.0, 1.0, [](double x) { return x <= 0.37; });
+  bisect_options explicit_zero;
+  explicit_zero.relative_tolerance = 0.0;
+  const double b = bisect_max_true(
+      0.0, 1.0, [](double x) { return x <= 0.37; }, explicit_zero);
+  EXPECT_EQ(a, b);
+}
+
+// The lock-step lane driver must reproduce the scalar probe sequence
+// bit-for-bit: same midpoints, same interval updates, so the converged
+// lower endpoint is exactly equal lane by lane.
+TEST(BisectLanes, BitIdenticalToScalarPerLane) {
+  constexpr std::size_t kLanes = 23;  // odd count exercises SIMD tails
+  std::vector<double> boundary(kLanes);
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    boundary[k] = 0.01 + 0.98 * static_cast<double>(k) / (kLanes - 1);
+  }
+  std::vector<double> good(kLanes, 0.0);
+  std::vector<double> bad(kLanes, 1.0);
+  bisect_lane_scratch scratch;
+  bisect_max_true_lanes(kLanes, good.data(), bad.data(), scratch,
+                        [&](const double* mid, unsigned char* out) {
+                          for (std::size_t k = 0; k < kLanes; ++k) {
+                            out[k] = mid[k] <= boundary[k] ? 1 : 0;
+                          }
+                        });
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    const double scalar = bisect_max_true(
+        0.0, 1.0, [&](double x) { return x <= boundary[k]; });
+    EXPECT_EQ(good[k], scalar) << "lane " << k;
+  }
+}
+
+TEST(BisectLanes, SingleLaneAndEmptyAreSafe) {
+  bisect_lane_scratch scratch;
+  bisect_max_true_lanes(0, nullptr, nullptr, scratch,
+                        [](const double*, unsigned char*) { FAIL(); });
+
+  double good = 0.0;
+  double bad = 1.0;
+  bisect_max_true_lanes(1, &good, &bad, scratch,
+                        [](const double* mid, unsigned char* out) {
+                          out[0] = mid[0] <= 0.37 ? 1 : 0;
+                        });
+  EXPECT_EQ(good,
+            bisect_max_true(0.0, 1.0, [](double x) { return x <= 0.37; }));
+}
+
+TEST(BisectLanes, ConvergedLanesStopMovingWhileOthersContinue) {
+  // Lane 0 starts already converged (width below tolerance); lane 1 needs
+  // the full search. The driver must leave lane 0's interval untouched.
+  std::vector<double> good{0.5, 0.0};
+  std::vector<double> bad{0.5 + 1e-15, 1.0};
+  bisect_lane_scratch scratch;
+  bisect_max_true_lanes(2, good.data(), bad.data(), scratch,
+                        [](const double* mid, unsigned char* out) {
+                          out[0] = 1;
+                          out[1] = mid[1] <= 0.8 ? 1 : 0;
+                        });
+  EXPECT_EQ(good[0], 0.5);
+  EXPECT_EQ(bad[0], 0.5 + 1e-15);
+  EXPECT_NEAR(good[1], 0.8, 1e-10);
+}
+
+TEST(BisectLanes, RespectsRelativeTolerance) {
+  // Same ulp-stall setup as the scalar test, but driven through the lane
+  // API with a wide bracket rescaled into lane storage.
+  bisect_options opts;
+  opts.tolerance = 1e-12;
+  opts.relative_tolerance = 1e-12;
+  double good = 0.0;
+  double bad = 1e12;
+  bisect_lane_scratch scratch;
+  bisect_max_true_lanes(1, &good, &bad, scratch,
+                        [](const double* mid, unsigned char* out) {
+                          out[0] = mid[0] <= 1e11 ? 1 : 0;
+                        },
+                        opts);
+  EXPECT_NEAR(good, 1e11, 1e-11 * 1e12);
 }
 
 // Property sweep: the boundary is recovered for many positions.

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -70,6 +71,26 @@ TEST(EventQueue, RejectsPastAndNull) {
   EXPECT_THROW(q.schedule(4.0, [] {}), invariant_error);
   EXPECT_THROW(q.schedule(6.0, nullptr), invariant_error);
   EXPECT_THROW(q.schedule_in(-1.0, [] {}), invariant_error);
+}
+
+// Regression: a NaN timestamp only failed the `at >= now()` check by
+// accident of NaN comparisons, and +inf passed it outright — an event that
+// can never meaningfully fire, yet once popped it advances now() to
+// infinity and poisons every later schedule. Both are rejected explicitly.
+TEST(EventQueue, RejectsNonFiniteTimes) {
+  event_queue q;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(q.schedule(nan, [] {}), invariant_error);
+  EXPECT_THROW(q.schedule(inf, [] {}), invariant_error);
+  EXPECT_THROW(q.schedule(-inf, [] {}), invariant_error);
+  EXPECT_THROW(q.schedule_in(nan, [] {}), invariant_error);
+  EXPECT_THROW(q.schedule_in(inf, [] {}), invariant_error);
+  // The queue stays usable after a rejected schedule.
+  bool fired = false;
+  q.schedule(1.0, [&] { fired = true; });
+  q.run_to_completion();
+  EXPECT_TRUE(fired);
 }
 
 TEST(EventQueue, RunToCompletionCountsAndGuards) {

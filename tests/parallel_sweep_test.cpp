@@ -321,6 +321,116 @@ TEST(ParallelSweepDeterminism, RunManyMatchesSerialHarnessLoop) {
   }
 }
 
+TEST(ParallelSweepDeterminism, RunManyLockstepBitIdenticalToRunMany) {
+  // The cross-realization batch mode folds each round's Eq. 4 searches for a
+  // whole block of realizations into one grouped lock-step pass. Every
+  // recorded series must equal the per-realization harness exactly — the
+  // lanes share iteration structure but never arithmetic. 20 runs crosses
+  // the fixed 16-run block boundary, so both a full and a partial block are
+  // exercised; the partition is a pure function of the run index, which is
+  // what keeps the output thread-count-invariant.
+  constexpr std::size_t kRuns = 20;
+  static constexpr std::size_t kWorkers = 6;  // lockstep requires one worker count
+  const auto make_policy = [](std::size_t) {
+    return std::make_unique<core::dolbie_policy>(kWorkers);
+  };
+  const auto make_env = [](std::size_t i) {
+    return make_synthetic_environment(kWorkers, synthetic_family::mixed,
+                                      rng::stream_seed(2026, i));
+  };
+  harness_options options;
+  options.rounds = 25;
+  options.track_regret = true;
+  options.record_step_sizes = true;
+
+  std::vector<run_trace> serial;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    auto policy = make_policy(i);
+    auto env = make_env(i);
+    serial.push_back(run(*policy, *env, options));
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    parallel_options parallel;
+    parallel.threads = threads;
+    stats::timing_registry timings;
+    parallel.timings = &timings;
+    const std::vector<run_trace> traces =
+        run_many_lockstep(kRuns, make_policy, make_env, options, parallel);
+    ASSERT_EQ(traces.size(), serial.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      for (std::size_t t = 0; t < options.rounds; ++t) {
+        ASSERT_EQ(traces[i].global_cost[t], serial[i].global_cost[t])
+            << "run " << i << " round " << t << " threads " << threads;
+        ASSERT_EQ(traces[i].optimal_cost[t], serial[i].optimal_cost[t])
+            << "run " << i << " round " << t << " threads " << threads;
+        ASSERT_EQ(traces[i].step_sizes[t], serial[i].step_sizes[t])
+            << "run " << i << " round " << t << " threads " << threads;
+      }
+      ASSERT_EQ(traces[i].regret.regret(), serial[i].regret.regret())
+          << "run " << i << " threads " << threads;
+      ASSERT_EQ(traces[i].regret.path_length(),
+                serial[i].regret.path_length())
+          << "run " << i << " threads " << threads;
+    }
+    ASSERT_EQ(timings.runs().size(), kRuns);
+  }
+}
+
+TEST(ParallelSweepDeterminism, RunManyLockstepMatchesUnderFeedbackDelay) {
+  // Delayed feedback keeps d rounds in flight per realization; readiness is
+  // uniform across a block (every realization enqueues once per round), so
+  // the lockstep observe phase stays aligned. Compare against run() with
+  // the same delay.
+  constexpr std::size_t kRuns = 5;
+  static constexpr std::size_t kWorkers = 5;
+  const auto make_policy = [](std::size_t) {
+    return std::make_unique<core::dolbie_policy>(kWorkers);
+  };
+  const auto make_env = [](std::size_t i) {
+    return make_synthetic_environment(kWorkers, synthetic_family::mixed,
+                                      rng::stream_seed(7, i));
+  };
+  harness_options options;
+  options.rounds = 18;
+  options.feedback_delay = 2;
+
+  std::vector<run_trace> serial;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    auto policy = make_policy(i);
+    auto env = make_env(i);
+    serial.push_back(run(*policy, *env, options));
+  }
+  parallel_options one_thread;
+  one_thread.threads = 1;
+  const std::vector<run_trace> traces =
+      run_many_lockstep(kRuns, make_policy, make_env, options, one_thread);
+  ASSERT_EQ(traces.size(), serial.size());
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    for (std::size_t t = 0; t < options.rounds; ++t) {
+      ASSERT_EQ(traces[i].global_cost[t], serial[i].global_cost[t])
+          << "run " << i << " round " << t;
+    }
+  }
+}
+
+TEST(ParallelSweepDeterminism, RunManyLockstepRejectsMixedWorkerCounts) {
+  const auto make_policy = [](std::size_t i) {
+    return std::make_unique<core::dolbie_policy>(4 + i % 2);
+  };
+  const auto make_env = [](std::size_t i) {
+    return make_synthetic_environment(4 + i % 2, synthetic_family::affine,
+                                      rng::stream_seed(1, i));
+  };
+  harness_options options;
+  options.rounds = 3;
+  parallel_options one_thread;
+  one_thread.threads = 1;
+  EXPECT_THROW(
+      run_many_lockstep(4, make_policy, make_env, options, one_thread),
+      invariant_error);
+}
+
 TEST(ParallelSweepDeterminism, GridFanOutIsThreadCountInvariant) {
   // A 2-D (grid point, realization) fan-out keyed by stream_seed — the
   // shape the ported ablation benches use.

@@ -1,5 +1,6 @@
 #include "stats/percentile.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -52,6 +53,31 @@ TEST(Percentile, Throws) {
   EXPECT_THROW(percentile(std::vector<double>{}, 50.0), invariant_error);
   EXPECT_THROW(percentile(std::vector<double>{1.0}, -1.0), invariant_error);
   EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0), invariant_error);
+}
+
+// Regression: a NaN in the input used to reach std::sort, whose comparator
+// requires a strict weak ordering — undefined behavior that in practice
+// silently garbled the sorted order and produced a wrong (finite-looking)
+// percentile. Non-finite inputs are now rejected up front.
+TEST(Percentile, RejectsNonFiniteInput) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(percentile(std::vector<double>{1.0, nan, 3.0}, 50.0),
+               invariant_error);
+  EXPECT_THROW(percentile(std::vector<double>{1.0, inf}, 50.0),
+               invariant_error);
+  EXPECT_THROW(percentile(std::vector<double>{-inf, 1.0}, 50.0),
+               invariant_error);
+  EXPECT_THROW(percentile(std::vector<double>{nan}, 0.0), invariant_error);
+}
+
+TEST(BoxStats, RejectsNonFiniteInputAndEmptyRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(box_stats(std::vector<double>{}), invariant_error);
+  EXPECT_THROW(box_stats(std::vector<double>{2.0, nan}), invariant_error);
+  EXPECT_THROW(box_stats(std::vector<double>{2.0, inf, 1.0}),
+               invariant_error);
 }
 
 TEST(BoxStats, FiveNumbersOrdered) {
