@@ -23,9 +23,11 @@ void redistribute_after_leave(std::vector<double>& x, worker_id id) {
 }
 
 void release_share_in_place(std::vector<double>& x, worker_id id,
-                            const std::vector<std::uint8_t>& live) {
+                            const std::vector<std::uint8_t>& live,
+                            double target) {
   DOLBIE_REQUIRE(id < x.size(), "worker " << id << " out of range");
   DOLBIE_REQUIRE(live.size() == x.size(), "live mask size mismatch");
+  DOLBIE_REQUIRE(target > 0.0, "conservation target must be positive");
   const double freed = x[id];
   x[id] = 0.0;
   double remaining = 0.0;
@@ -43,19 +45,21 @@ void release_share_in_place(std::vector<double>& x, worker_id id,
       if (j != id && live[j] != 0) x[j] *= scale;
     }
   } else {
-    const double share = 1.0 / static_cast<double>(heirs);
+    const double share = target / static_cast<double>(heirs);
     for (std::size_t j = 0; j < x.size(); ++j) {
       if (j != id && live[j] != 0) x[j] = share;
     }
   }
-  // Renormalize over the heirs (the in-place analogue of normalized()).
+  // Renormalize over the heirs onto the group's conserved mass (the
+  // in-place analogue of normalized(); `x[j] /= total` bit for bit when
+  // target == 1.0, the flat engines' case).
   double total = 0.0;
   for (std::size_t j = 0; j < x.size(); ++j) {
     if (j != id && live[j] != 0) total += x[j];
   }
   if (total > 0.0) {
     for (std::size_t j = 0; j < x.size(); ++j) {
-      if (j != id && live[j] != 0) x[j] /= total;
+      if (j != id && live[j] != 0) x[j] = x[j] / total * target;
     }
   }
 }

@@ -24,8 +24,12 @@ void redistribute_after_leave(std::vector<double>& x, worker_id id);
 /// In-place variant: worker `id` keeps its slot, pinned to zero; only
 /// workers with `live[j] != 0` (and `j != id`) absorb the freed share,
 /// again proportionally with a uniform fallback, renormalized over the
-/// heirs. Requires at least one live heir.
+/// heirs. Requires at least one live heir. `target` is the total mass
+/// this worker group conserves — 1.0 for a flat engine (the division is
+/// bit-identical to the historical renormalization), a shard's slice
+/// under the hierarchical layer.
 void release_share_in_place(std::vector<double>& x, worker_id id,
-                            const std::vector<std::uint8_t>& live);
+                            const std::vector<std::uint8_t>& live,
+                            double target = 1.0);
 
 }  // namespace dolbie::core

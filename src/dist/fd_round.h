@@ -54,10 +54,26 @@ struct fd_null_timing {
   void phase2_done() {}
 };
 
+/// What stage_broadcast learned: the participant count |H_t|, the max
+/// cost over H_t (the shard's l_t contribution) and the min local step
+/// bound over H_t (the shard's alpha contribution) — both computed with
+/// the election's exact comparison chain.
+struct fd_stage_result {
+  std::size_t participants = 0;
+  double max_cost = 0.0;
+  double min_alpha = 1.0;
+};
+
 /// One fault-tolerant Alg. 2 round. Reads the played allocation `x`,
 /// builds x_{t+1} in `scratch.next_x` (the caller swaps after the round
 /// commits); `alpha_bar` is each worker's local step bound, tightened at
 /// the straggler and re-capped on churn.
+///
+/// Split into two stages around the consensus values, mirroring
+/// mw_round.h: `stage_broadcast` runs membership + the all-pairs phase 1
+/// and H_t resolution; `stage_commit(l_t, alpha_t)` elects, moves and
+/// absorbs against supplied consensus values. `run()` composes them with
+/// the local max/min — byte-for-byte the flat round.
 template <class Delivery, class Timing>
 struct fd_degraded_round {
   std::size_t n;
@@ -74,10 +90,15 @@ struct fd_degraded_round {
   std::vector<double>& alpha_bar;  ///< per-worker local step bounds
   round_scratch& scratch;
   member_flags& flags;
+  /// Total workload this worker group conserves (renormalization target);
+  /// 1.0 for the flat protocol, a shard's slice under the hierarchy.
+  double target = 1.0;
+  /// Worker count for the Eq. 7 tightening; 0 = use `n` (see mw_round.h).
+  std::size_t cap_workers = 0;
 
   void retire(core::worker_id id, std::uint64_t round) {
     retirement r;
-    if (!retire_worker_share(x, flags, id, r)) return;
+    if (!retire_worker_share(x, flags, id, r, target)) return;
     // Every survivor re-caps its local step against the shrunk worker
     // set; the min consensus then propagates the tightest cap.
     for (core::worker_id j = 0; j < n; ++j) {
@@ -86,6 +107,8 @@ struct fd_degraded_round {
       }
     }
     ++report.removed_workers;
+    // Reclaim the retired worker's link buffers (accounting-neutral).
+    wire.retire_node(id);
     if (tr != nullptr) {
       tr->instant(lane, round, "worker_removed", "fd",
                   {obs::arg_int("worker", id),
@@ -94,7 +117,10 @@ struct fd_degraded_round {
     }
   }
 
-  degraded_outcome run(std::uint64_t round) {
+  /// Stage 1 of the split round: membership, the all-pairs broadcast and
+  /// H_t resolution. On an empty H_t the abort is recorded in `out` and
+  /// next_x already holds x.
+  fd_stage_result stage_broadcast(std::uint64_t round, degraded_outcome& out) {
     for (core::worker_id i = 0; i < n; ++i) {
       if (flags.removed[i] == 0 && plan.permanently_down(i, round)) {
         retire(i, round);
@@ -102,7 +128,6 @@ struct fd_degraded_round {
     }
     timing.round_begin();
 
-    degraded_outcome out;
     for (core::worker_id i = 0; i < n; ++i) {
       flags.live[i] = (flags.removed[i] == 0 && !plan.down(i, round)) ? 1 : 0;
       if (flags.live[i] == 0 && flags.removed[i] == 0) {
@@ -179,20 +204,40 @@ struct fd_degraded_round {
     }
     timing.phase1_done();
 
+    fd_stage_result res;
+    res.participants = h_count;
     if (h_count == 0) {
       out.aborted = true;
       scratch.next_x = x;  // every worker holds
-      return out;
+      return res;
     }
+    // Max cost / min step over H_t: the exact scan the election runs, so
+    // both values are bit-identical to the elected straggler's cost and
+    // the flat consensus step.
+    core::worker_id top = n;
+    double min_a = 1.0;
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.in_h[i] == 0) continue;
+      if (top == n || scratch.inbox_l[i] > scratch.inbox_l[top]) top = i;
+      min_a = std::min(min_a, scratch.inbox_a[i]);
+    }
+    res.max_cost = scratch.inbox_l[top];
+    res.min_alpha = min_a;
+    return res;
+  }
 
-    // --- Election over H_t: straggler by max cost, step by min consensus
-    //     (both with lowest-index tie-breaking, as in the clean path). ---
+  /// Stage 2: election, the movers' Eq. 5 steps and the straggler's
+  /// delta-sum absorption, all against the supplied consensus pair (the
+  /// shard's own max/min on the flat path, the tree consensus under the
+  /// hierarchical layer).
+  void stage_commit(std::uint64_t round, double l_t, double alpha_t,
+                    degraded_outcome& out) {
+    // --- Election over H_t: straggler by max cost (lowest-index
+    //     tie-breaking, as in the clean path). ---
     core::worker_id s = n;
-    double alpha_t = 1.0;
     for (core::worker_id i = 0; i < n; ++i) {
       if (flags.in_h[i] == 0) continue;
       if (s == n || scratch.inbox_l[i] > scratch.inbox_l[s]) s = i;
-      alpha_t = std::min(alpha_t, scratch.inbox_a[i]);
     }
     out.straggler = s;
     out.consensus_alpha = alpha_t;
@@ -212,7 +257,7 @@ struct fd_degraded_round {
           continue;
         }
         scratch.tentative[i] =
-            decide_next_share(*costs[i], x[i], scratch.inbox_l[s], alpha_t);
+            decide_next_share(*costs[i], x[i], l_t, alpha_t);
         wire.send({i, s, net::message_kind::decision,
                    {scratch.tentative[i], x[i]}});
         timing.on_send();
@@ -236,7 +281,7 @@ struct fd_degraded_round {
       if (s2 == n) {
         out.aborted = true;
         scratch.next_x = x;  // every worker holds
-        return out;
+        return;
       }
       ++out.failovers;
       ++report.straggler_failovers;
@@ -285,23 +330,35 @@ struct fd_degraded_round {
     scratch.next_x[s_final] = std::max(0.0, raw);
     if (raw < 0.0) {
       // alpha ran ahead of the binding Eq. 7 cap (its source went
-      // unheard this round): rescale onto the simplex.
+      // unheard this round): rescale onto the group's mass. (scale ==
+      // total exactly when target == 1.0, so the flat division is
+      // untouched bit for bit.)
       double total = 0.0;
       for (double v : scratch.next_x) total += v;
-      for (double& v : scratch.next_x) v /= total;
+      const double scale = total / target;
+      for (double& v : scratch.next_x) v /= scale;
       if (tr != nullptr) {
         tr->instant(lane, round, "renormalized", "fd",
                     {obs::arg_num("total", total)});
       }
     }
     const double alpha_before = alpha_bar[s_final];
+    const std::size_t ncap = cap_workers == 0 ? n : cap_workers;
     alpha_bar[s_final] =
-        core::next_step_size(alpha_bar[s_final], n, scratch.next_x[s_final]);
+        core::next_step_size(alpha_bar[s_final], ncap,
+                             scratch.next_x[s_final]);
     if (tr != nullptr && alpha_bar[s_final] != alpha_before) {
       tr->instant(lane, round, "alpha_tightened", "fd",
                   {obs::arg_int("worker", s_final),
                    obs::arg_num("alpha_bar", alpha_bar[s_final])});
     }
+  }
+
+  degraded_outcome run(std::uint64_t round) {
+    degraded_outcome out;
+    const fd_stage_result up = stage_broadcast(round, out);
+    if (out.aborted) return out;
+    stage_commit(round, up.max_cost, up.min_alpha, out);
     return out;
   }
 };

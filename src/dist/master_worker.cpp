@@ -13,7 +13,13 @@ namespace dolbie::dist {
 
 master_worker_policy::master_worker_policy(std::size_t n_workers,
                                            protocol_options options)
-    : n_(n_workers), options_(std::move(options)), net_(n_workers + 1) {
+    // Star topology around the master: Alg. 1 only ever uses the
+    // worker<->master links, so the channel storage is O(n), not O(n^2) —
+    // what keeps the flat engine feasible at N = 10^5. Fault rolls key on
+    // (from, to), never on storage layout, so transcripts are unchanged.
+    : n_(n_workers),
+      options_(std::move(options)),
+      net_(n_workers + 1, /*hub=*/n_workers) {
   normalize_options(options_, n_);
   net_.attach_tracer(options_.tracer, options_.trace_lane);
   faulty_ = options_.faults.enabled();

@@ -75,9 +75,24 @@ struct mw_null_timing {
   void assignment_lost() {}
 };
 
+/// What stage_upload learned: how many workers the master heard this
+/// round, and the max heard cost (the shard's l_t contribution — equal to
+/// the elected straggler's cost, comparison for comparison).
+struct mw_stage_result {
+  std::size_t heard = 0;
+  double max_cost = 0.0;
+};
+
 /// One fault-tolerant Alg. 1 round over `Delivery` (a net/transport.h
 /// policy) and `Timing` (mw_null_timing, or the async deadline model).
 /// Thin reference aggregate: constructing one per round is allocation-free.
+///
+/// The round is split into two stages around the global-cost consensus so
+/// the hierarchical layer (src/shard) can interpose a reduction-tree
+/// round between them: `stage_upload` runs membership + phase 1 (cost
+/// uploads), `stage_commit(l_t)` runs phases 2-4 against a supplied
+/// global cost. `run()` composes them with l_t = the local max and adopts
+/// the Eq. 7 step-size candidate — byte-for-byte the flat round.
 template <class Delivery, class Timing>
 struct mw_degraded_round {
   std::size_t n;
@@ -95,12 +110,23 @@ struct mw_degraded_round {
   double& alpha;               ///< the master's step size
   round_scratch& scratch;
   member_flags& flags;
+  /// Total workload this worker group conserves (Eq. 6 remainder base and
+  /// renormalization target). 1.0 for the flat protocol — the paper's
+  /// simplex; a shard's slice of it under the hierarchical layer.
+  double target = 1.0;
+  /// Worker count for the Eq. 7 step-size candidate; 0 = use `n`. The
+  /// hierarchical layer passes the global N: feasible_step_cap decreases
+  /// in the worker count, so the global cap is safe within every shard.
+  std::size_t cap_workers = 0;
 
   void retire(core::worker_id id, std::uint64_t round) {
     retirement r;
-    if (!retire_worker_share(x, flags, id, r)) return;
+    if (!retire_worker_share(x, flags, id, r, target)) return;
     alpha = std::min(alpha, r.cap);
     ++report.removed_workers;
+    // The retired worker's links never carry traffic again; reclaim their
+    // buffers (accounting-neutral — see network::retire_node).
+    wire.retire_node(id);
     if (tr != nullptr) {
       tr->instant(lane, round, "worker_removed", "mw",
                   {obs::arg_int("worker", id),
@@ -109,7 +135,10 @@ struct mw_degraded_round {
     }
   }
 
-  degraded_outcome run(std::uint64_t round) {
+  /// Stage 1 of the split round: membership (churn retirement, liveness)
+  /// and the phase-1 cost uploads. On a wholly silent round the abort is
+  /// recorded in `out` and the allocation is already restored.
+  mw_stage_result stage_upload(std::uint64_t round, degraded_outcome& out) {
     // Membership: permanent crashes retire through the shared churn math
     // before the round starts.
     for (core::worker_id i = 0; i < n; ++i) {
@@ -120,7 +149,6 @@ struct mw_degraded_round {
     timing.round_begin();
 
     scratch.start_x = x;
-    degraded_outcome out;
     for (core::worker_id i = 0; i < n; ++i) {
       flags.live[i] = (flags.removed[i] == 0 && !plan.down(i, round)) ? 1 : 0;
       if (flags.live[i] == 0 && flags.removed[i] == 0) {
@@ -134,7 +162,7 @@ struct mw_degraded_round {
     // --- Phase 1: live workers (including mid-round crashers, whose
     //     transport completes) upload their local costs. ---
     scratch.inbox_l.assign(n, 0.0);
-    std::size_t heard_count = 0;
+    mw_stage_result res;
     {
       obs::span sp(tr, lane, round, "phase1.cost_uploads", "mw");
       for (net::node_id i = 0; i < n; ++i) {
@@ -148,7 +176,7 @@ struct mw_degraded_round {
         auto m = wire.receive(master, i);
         if (m.has_value()) {
           flags.heard[i] = 1;
-          ++heard_count;
+          ++res.heard;
           scratch.inbox_l[i] = m->payload[0];
           timing.phase1_delivered(i, wire.last_receive_attempts());
         } else {
@@ -159,13 +187,31 @@ struct mw_degraded_round {
     }
     timing.phase1_done();
 
-    if (heard_count == 0) {
+    if (res.heard == 0) {
       // Nobody reached the master: the round aborts, every worker holds.
       out.aborted = true;
       x = scratch.start_x;
-      return out;
+      return res;
     }
+    // Max heard cost: the same ascending-index strict-greater scan the
+    // phase-2 election runs, so the value is bit-identical to the elected
+    // straggler's cost.
+    core::worker_id top = n;
+    for (core::worker_id i = 0; i < n; ++i) {
+      if (flags.heard[i] != 0 &&
+          (top == n || scratch.inbox_l[i] > scratch.inbox_l[top])) {
+        top = i;
+      }
+    }
+    res.max_cost = scratch.inbox_l[top];
+    return res;
+  }
 
+  /// Stage 2: phases 2-4 against the supplied global cost (the shard's
+  /// own max on the flat path, the tree consensus under the hierarchical
+  /// layer). Leaves the Eq. 7 candidate in `out.alpha_candidate` — the
+  /// caller decides whether to adopt it (flat) or min-reduce it (tree).
+  void stage_commit(std::uint64_t round, double l_t, degraded_outcome& out) {
     // --- Phase 2: elect over the heard set, broadcast round info. ---
     core::worker_id s = n;
     for (core::worker_id i = 0; i < n; ++i) {
@@ -174,7 +220,6 @@ struct mw_degraded_round {
         s = i;
       }
     }
-    const double l_t = scratch.inbox_l[s];
     out.straggler = s;
     if (tr != nullptr) {
       tr->instant(lane, round, "straggler_elected", "mw",
@@ -262,7 +307,7 @@ struct mw_degraded_round {
         for (core::worker_id j = 0; j < n; ++j) {
           if (j != cand) claimed += x[j];
         }
-        const double raw = 1.0 - claimed;
+        const double raw = target - claimed;
         const double next = std::max(0.0, raw);
         wire.send({master, cand, net::message_kind::assignment, {next}});
         timing.on_send();
@@ -321,10 +366,13 @@ struct mw_degraded_round {
         if (clamped) {
           // The remainder went negative: alpha ran ahead of the binding
           // Eq. 7 cap (its source went unheard in a degraded round).
-          // Rescale onto the simplex like the sequential reference.
+          // Rescale onto the group's mass like the sequential reference.
+          // (scale == total exactly when target == 1.0, so the flat
+          // division is untouched bit for bit.)
           double total = 0.0;
           for (double v : x) total += v;
-          for (double& v : x) v /= total;
+          const double scale = total / target;
+          for (double& v : x) v /= scale;
           if (tr != nullptr) {
             tr->instant(lane, round, "renormalized", "mw",
                         {obs::arg_num("total", total)});
@@ -332,9 +380,19 @@ struct mw_degraded_round {
         }
         // Conservative re-cap from the realized straggler share (Eq. 7
         // with the full worker count — a superset bound stays safe).
-        alpha = core::next_step_size(alpha, n, x[out.straggler]);
+        const std::size_t ncap = cap_workers == 0 ? n : cap_workers;
+        out.alpha_candidate = core::next_step_size(alpha, ncap,
+                                                   x[out.straggler]);
       }
     }
+  }
+
+  degraded_outcome run(std::uint64_t round) {
+    degraded_outcome out;
+    const mw_stage_result up = stage_upload(round, out);
+    if (out.aborted) return out;
+    stage_commit(round, up.max_cost, out);
+    if (!out.aborted) alpha = out.alpha_candidate;
     return out;
   }
 };

@@ -22,10 +22,12 @@ void normalize_options(protocol_options& options, std::size_t n_workers) {
                  "initial partition size mismatch");
   DOLBIE_REQUIRE(on_simplex(options.initial_partition),
                  "initial partition must lie on the simplex");
+  net::validate_crash_schedule(options.faults.crashes, n_workers);
 }
 
 bool retire_worker_share(std::vector<double>& x, member_flags& flags,
-                         core::worker_id id, retirement& out) {
+                         core::worker_id id, retirement& out,
+                         double target) {
   const std::size_t n = x.size();
   std::size_t heirs = 0;
   for (core::worker_id j = 0; j < n; ++j) {
@@ -36,11 +38,14 @@ bool retire_worker_share(std::vector<double>& x, member_flags& flags,
   for (core::worker_id j = 0; j < n; ++j) {
     flags.live[j] = flags.removed[j] ? 0 : 1;
   }
-  core::release_share_in_place(x, id, flags.live);
-  // Conservative re-cap over the surviving shares.
+  core::release_share_in_place(x, id, flags.live, target);
+  // Conservative re-cap over the surviving shares, read relative to the
+  // group's conserved mass (the division is exact at target == 1.0).
   double min_share = 1.0;
   for (core::worker_id j = 0; j < n; ++j) {
-    if (flags.removed[j] == 0) min_share = std::min(min_share, x[j]);
+    if (flags.removed[j] == 0) {
+      min_share = std::min(min_share, x[j] / target);
+    }
   }
   out.heirs = heirs;
   out.cap = core::feasible_step_cap(heirs, min_share);

@@ -151,8 +151,12 @@ struct retirement {
   std::size_t heirs = 0;
   double cap = 1.0;
 };
+/// `target` is the group's conserved mass (1.0 for the flat engines, a
+/// shard's slice under the hierarchy): the heirs renormalize onto it and
+/// the Eq. 7 re-cap reads the surviving shares relative to it.
 bool retire_worker_share(std::vector<double>& x, member_flags& flags,
-                         core::worker_id id, retirement& out);
+                         core::worker_id id, retirement& out,
+                         double target = 1.0);
 
 /// What a degraded round resolved to; the engines feed it into the shared
 /// accounting and their round-span args.
@@ -162,6 +166,10 @@ struct degraded_outcome {
   bool aborted = false;       ///< no progress; every worker held
   core::worker_id straggler = 0;   ///< the straggler that finally absorbed
   double consensus_alpha = 0.0;    ///< FD only: the round's min consensus
+  /// MW only: the Eq. 7 step-size candidate derived from the realized
+  /// straggler share. The flat round adopts it directly; the hierarchical
+  /// layer min-reduces the candidates of every shard at the tree root.
+  double alpha_candidate = 0.0;
 };
 
 /// The per-engine metrics bindings (null when no registry is attached).

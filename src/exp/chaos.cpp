@@ -14,11 +14,13 @@
 #include "dist/master_worker.h"
 #include "exp/harness.h"
 #include "exp/parallel_sweep.h"
+#include "shard/hierarchical_engine.h"
 
 namespace dolbie::exp {
 namespace {
 
-constexpr const char* kEngineNames[] = {"MW", "FD", "MW-async", "FD-async"};
+constexpr const char* kEngineNames[] = {"MW",       "FD",      "MW-async",
+                                        "FD-async", "MW-hier", "FD-hier"};
 
 /// Drive one event-driven engine with the harness's accounting: the
 /// round-t global cost is evaluated at the allocation the engine holds
@@ -69,7 +71,7 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
     row.cumulative_cost = trace.global_cost.total();
     row.report = policy.faults();
     row.simplex_ok = on_simplex(policy.current());
-  } else {
+  } else if (engine == 2 || engine == 3) {
     dist::async_options aopts;
     aopts.protocol = popts;
     if (engine == 2) {
@@ -79,6 +81,19 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
       dist::async_fully_distributed e(options.workers, aopts);
       run_async_cell(e, *env, options.rounds, row);
     }
+  } else {
+    shard::hierarchical_options sopts;
+    sopts.protocol = popts;
+    sopts.plan.shard_size = options.shard_size;
+    sopts.plan.fanin = options.fanin;
+    sopts.mode = engine == 4 ? shard::shard_protocol::master_worker
+                             : shard::shard_protocol::fully_distributed;
+    sopts.aggregator_crashes = options.aggregator_crashes;
+    shard::hierarchical_engine policy(options.workers, sopts);
+    const run_trace trace = run(policy, *env, hopts);
+    row.cumulative_cost = trace.global_cost.total();
+    row.report = policy.report();
+    row.simplex_ok = on_simplex(policy.current());
   }
   return row;
 }
@@ -90,15 +105,27 @@ std::vector<chaos_row> run_chaos_grid(const chaos_options& options) {
   if (std::find(rates.begin(), rates.end(), 0.0) == rates.end()) {
     rates.insert(rates.begin(), 0.0);
   }
-  const std::size_t engines = options.include_async ? 4 : 2;
-  const std::size_t cells = engines * rates.size();
+  std::vector<std::size_t> engines;
+  if (options.include_flat) {
+    engines.push_back(0);
+    engines.push_back(1);
+  }
+  if (options.include_async) {
+    engines.push_back(2);
+    engines.push_back(3);
+  }
+  if (options.include_hierarchical) {
+    engines.push_back(4);
+    engines.push_back(5);
+  }
+  const std::size_t cells = engines.size() * rates.size();
   std::vector<chaos_row> rows = parallel_map<chaos_row>(
       cells, [&](std::size_t cell) {
-        return run_cell(options, cell / rates.size(),
+        return run_cell(options, engines[cell / rates.size()],
                         rates[cell % rates.size()]);
       });
   // Excess over each engine's own zero-drop baseline.
-  for (std::size_t e = 0; e < engines; ++e) {
+  for (const std::size_t e : engines) {
     double baseline = 0.0;
     for (const chaos_row& row : rows) {
       if (row.engine == kEngineNames[e] && row.drop_rate == 0.0) {
@@ -155,9 +182,9 @@ void write_chaos_jsonl(std::ostream& os, const chaos_options& options,
 }
 
 bool chaos_requested(const cli_args& args) {
-  return args.has("chaos") || args.has("fault-seed") ||
-         args.has("drop-rate") || args.has("drop-rates") ||
-         args.has("crash-schedule");
+  return args.has("chaos") || args.has("chaos-hier") ||
+         args.has("fault-seed") || args.has("drop-rate") ||
+         args.has("drop-rates") || args.has("crash-schedule");
 }
 
 chaos_options chaos_options_from_args(const cli_args& args) {
@@ -187,7 +214,18 @@ chaos_options chaos_options_from_args(const cli_args& args) {
   if (!schedule.empty()) {
     options.crashes = net::parse_crash_schedule(schedule);
   }
+  options.include_flat = !args.has("chaos-no-flat");
   options.include_async = args.has("chaos-async");
+  options.include_hierarchical = args.has("chaos-hier");
+  DOLBIE_REQUIRE(options.include_flat || options.include_async ||
+                     options.include_hierarchical,
+                 "--chaos-no-flat needs --chaos-hier or --chaos-async");
+  options.shard_size = args.get_u64("shard-size", 0);
+  options.fanin = args.get_u64("fanin", 4);
+  const std::string agg_schedule = args.get_string("agg-crash-schedule", "");
+  if (!agg_schedule.empty()) {
+    options.aggregator_crashes = net::parse_crash_schedule(agg_schedule);
+  }
   return options;
 }
 

@@ -14,6 +14,8 @@
 //   --chaos --fault-seed=N --drop-rate=D | --drop-rates=a,b,c
 //   --crash-schedule=node@round[-recover],... --chaos-async
 //   --chaos-rounds=T --chaos-workers=N --chaos-jsonl=out.jsonl
+//   --chaos-hier --shard-size=S --fanin=F --chaos-no-flat
+//   --agg-crash-schedule=agg@round[-recover],...
 #pragma once
 
 #include <iosfwd>
@@ -39,10 +41,24 @@ struct chaos_options {
   std::vector<net::crash_window> crashes;
   std::size_t retry_budget = 5;
   synthetic_family family = synthetic_family::affine;
+  /// Run the flat synchronous engines (rows "MW"/"FD"). On by default;
+  /// switched off (--chaos-no-flat) for large-N grids where the flat FD
+  /// engine's n^2 broadcast is intractable and only the hierarchical
+  /// rows make sense.
+  bool include_flat = true;
   /// Also run the event-driven engines (rows "MW-async"/"FD-async"),
   /// appended after the synchronous rows. Off by default: the sync rows
   /// keep their historical positions.
   bool include_async = false;
+  /// Also run the hierarchical shard engines (rows "MW-hier"/"FD-hier",
+  /// appended last). This is the scale path: per-node traffic is
+  /// O(shard size + log N), so the grid stays tractable at N = 10^5.
+  bool include_hierarchical = false;
+  /// Sharding knobs for the hierarchical rows (0 = ceil(sqrt(N))).
+  std::size_t shard_size = 0;
+  std::size_t fanin = 4;
+  /// Crash windows over aggregator (tree-node) ids, hierarchical rows only.
+  std::vector<net::crash_window> aggregator_crashes;
 };
 
 /// One cell of the chaos grid: engine x drop rate.

@@ -1,11 +1,13 @@
 #include "net/channel.h"
 
+#include <utility>
+
 namespace dolbie::net {
 
 void channel::push(message m) { queue_.push_back(std::move(m)); }
 
 void channel::push_before_tail(message m) {
-  if (queue_.empty()) {
+  if (empty()) {
     queue_.push_back(std::move(m));
     return;
   }
@@ -13,10 +15,26 @@ void channel::push_before_tail(message m) {
 }
 
 std::optional<message> channel::pop() {
-  if (queue_.empty()) return std::nullopt;
-  message m = std::move(queue_.front());
-  queue_.pop_front();
+  if (empty()) return std::nullopt;
+  message m = std::move(queue_[head_++]);
+  if (head_ == queue_.size()) {
+    // Fully drained: rewind so the buffer is reused from the front.
+    queue_.clear();
+    head_ = 0;
+  } else if (head_ >= 32 && head_ * 2 >= queue_.size()) {
+    // Mixed push/pop traffic: compact once the consumed prefix dominates,
+    // keeping the amortized cost O(1) per message and the footprint
+    // proportional to the live backlog.
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   return m;
+}
+
+void channel::release() {
+  std::vector<message>().swap(queue_);
+  head_ = 0;
 }
 
 }  // namespace dolbie::net

@@ -2,10 +2,17 @@
 // state in src/dist/, which keeps the protocol implementations honest about
 // what information each node actually has. Traffic accounting lives in the
 // owning network's obs::metrics_registry (per-peer counters), not here.
+//
+// Storage is a vector with a consumed-prefix index rather than a deque: a
+// libstdc++ deque preallocates a ~half-KiB block per instance, which at the
+// hierarchical layer's scale (hundreds of thousands of channels across the
+// shard networks) would dwarf the protocol state itself. An empty channel
+// here owns no heap at all, and the steady-state push/pop cycle reuses one
+// allocation.
 #pragma once
 
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "net/message.h"
 
@@ -26,11 +33,17 @@ class channel {
   /// Pop the oldest message, or nullopt when empty.
   std::optional<message> pop();
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  /// Drop every pending message and release the backing storage. Used when
+  /// a node is permanently retired: its links will never carry traffic
+  /// again, so the capacity is reclaimed instead of cached.
+  void release();
+
+  bool empty() const { return head_ == queue_.size(); }
+  std::size_t pending() const { return queue_.size() - head_; }
 
  private:
-  std::deque<message> queue_;
+  std::vector<message> queue_;  // live region is [head_, queue_.size())
+  std::size_t head_ = 0;        // messages consumed from the front
 };
 
 }  // namespace dolbie::net

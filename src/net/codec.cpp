@@ -12,7 +12,7 @@ namespace {
 constexpr std::size_t kHeaderBytes = 1 + 1 + 2 + 4 + 4 + 4 + 4;
 
 constexpr std::uint8_t kMaxKind =
-    static_cast<std::uint8_t>(message_kind::cost_and_step);
+    static_cast<std::uint8_t>(message_kind::shard_broadcast);
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xff));

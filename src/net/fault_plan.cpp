@@ -109,4 +109,20 @@ std::vector<crash_window> parse_crash_schedule(const std::string& spec) {
   return out;
 }
 
+void validate_crash_schedule(const std::vector<crash_window>& crashes,
+                             std::size_t n_nodes) {
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const crash_window& w = crashes[i];
+    DOLBIE_REQUIRE(w.node < n_nodes, "crash schedule names node "
+                                         << w.node << " but only " << n_nodes
+                                         << " nodes exist");
+    for (std::size_t j = 0; j < i; ++j) {
+      DOLBIE_REQUIRE(
+          crashes[j].node != w.node || crashes[j].crash_round != w.crash_round,
+          "duplicate crash window: node " << w.node << " crashes at round "
+                                          << w.crash_round << " twice");
+    }
+  }
+}
+
 }  // namespace dolbie::net

@@ -86,4 +86,13 @@ struct fault_plan {
 /// malformed input; an empty string yields an empty schedule.
 std::vector<crash_window> parse_crash_schedule(const std::string& spec);
 
+/// Validate a crash schedule against a node universe of `n_nodes`: every
+/// window's node id must be in range, and no two windows may share the
+/// same (node, crash_round) pair — a node cannot die mid-round twice in
+/// one round, and such duplicates are invariably schedule typos.
+/// Overlapping windows with distinct crash rounds stay legal (the
+/// predicates OR them). Throws invariant_error on violation.
+void validate_crash_schedule(const std::vector<crash_window>& crashes,
+                             std::size_t n_nodes);
+
 }  // namespace dolbie::net

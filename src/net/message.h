@@ -21,6 +21,8 @@ enum class message_kind : std::uint8_t {
   decision,        ///< non-straggler -> master/straggler: x_{i,t+1}
   assignment,      ///< master -> straggler: x_{s,t+1}           (Alg. 1 l.15)
   cost_and_step,   ///< peer broadcast: l_{i,t}, alpha-bar_{i,t} (Alg. 2 l.4)
+  shard_reduce,    ///< aggregator -> parent: shard summary {max, min, count}
+  shard_broadcast, ///< aggregator -> child: round consensus {l_t, alpha_t}
 };
 
 /// One in-flight message.

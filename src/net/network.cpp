@@ -1,5 +1,8 @@
 #include "net/network.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/error.h"
 #include "obs/trace.h"
 
@@ -7,9 +10,59 @@ namespace dolbie::net {
 
 network::network(std::size_t n_nodes)
     : n_(n_nodes),
+      dense_(true),
       links_(n_nodes * n_nodes),
       pending_drops_(n_nodes * n_nodes, 0) {
   DOLBIE_REQUIRE(n_nodes >= 1, "network needs at least one node");
+  init_metrics();
+}
+
+network::network(std::size_t n_nodes, node_id hub) : n_(n_nodes) {
+  DOLBIE_REQUIRE(n_nodes >= 1, "network needs at least one node");
+  DOLBIE_REQUIRE(hub < n_nodes, "star hub " << hub << " out of range for "
+                                            << n_nodes << " nodes");
+  dense_ = false;
+  edges_.reserve(n_nodes >= 1 ? 2 * (n_nodes - 1) : 0);
+  for (node_id i = 0; i < n_; ++i) {
+    if (i == hub) continue;
+    edges_.emplace_back(i, hub);
+    edges_.emplace_back(hub, i);
+  }
+  index_edges();
+  init_metrics();
+}
+
+network::network(std::size_t n_nodes,
+                 std::vector<std::pair<node_id, node_id>> edges)
+    : n_(n_nodes), dense_(false), edges_(std::move(edges)) {
+  DOLBIE_REQUIRE(n_nodes >= 1, "network needs at least one node");
+  for (const auto& [from, to] : edges_) {
+    DOLBIE_REQUIRE(from < n_ && to < n_, "edge (" << from << " -> " << to
+                                                  << ") out of range for "
+                                                  << n_ << " nodes");
+    DOLBIE_REQUIRE(from != to, "self-edge at node " << from);
+  }
+  index_edges();
+  init_metrics();
+}
+
+void network::index_edges() {
+  std::sort(edges_.begin(), edges_.end());
+  DOLBIE_REQUIRE(
+      std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+      "duplicate edge in sparse topology");
+  links_.resize(edges_.size());
+  pending_drops_.assign(edges_.size(), 0);
+  in_edges_.assign(n_, {});
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    in_edges_[edges_[i].second].emplace_back(edges_[i].first, i);
+  }
+  // edges_ is sorted by (from, to), so each receiver's incoming list is
+  // already in ascending sender order — the scan order receive_any and
+  // pending_for promise.
+}
+
+void network::init_metrics() {
   total_messages_ = &metrics_.counter_named("net.messages_sent");
   total_bytes_ = &metrics_.counter_named("net.bytes_sent");
   peer_messages_.reserve(n_);
@@ -21,12 +74,27 @@ network::network(std::size_t n_nodes)
   }
 }
 
+std::size_t network::link_index(node_id from, node_id to) const {
+  if (dense_) return from * n_ + to;
+  const auto key = std::make_pair(from, to);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), key);
+  DOLBIE_REQUIRE(it != edges_.end() && *it == key,
+                 "link (" << from << " -> " << to
+                          << ") does not exist in this topology");
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+std::pair<node_id, node_id> network::link_endpoints(std::size_t index) const {
+  if (dense_) return {index / n_, index % n_};
+  return edges_[index];
+}
+
 channel& network::link(node_id from, node_id to) {
-  return links_[from * n_ + to];
+  return links_[link_index(from, to)];
 }
 
 const channel& network::link(node_id from, node_id to) const {
-  return links_[from * n_ + to];
+  return links_[link_index(from, to)];
 }
 
 void network::account_sent(const message& m) {
@@ -42,8 +110,8 @@ void network::send(message m) {
                                        << ") out of range for " << n_
                                        << " nodes");
   DOLBIE_REQUIRE(m.from != m.to, "node " << m.from << " sent to itself");
+  const std::size_t idx = link_index(m.from, m.to);
   account_sent(m);
-  const std::size_t idx = m.from * n_ + m.to;
   std::size_t& drops = pending_drops_[idx];
   if (drops > 0) {
     // The sender still paid for the message; it just never arrives.
@@ -66,16 +134,16 @@ void network::send(message m) {
     const bool reorder = faults_.roll_reorder(m.from, m.to, attempt);
     if (duplicate) {
       ++duplicated_;
-      link(m.from, m.to).push(m);  // the copy travels first
+      links_[idx].push(m);  // the copy travels first
     }
     if (reorder) {
-      link(m.from, m.to).push_before_tail(std::move(m));
+      links_[idx].push_before_tail(std::move(m));
     } else {
-      link(m.from, m.to).push(std::move(m));
+      links_[idx].push(std::move(m));
     }
     return;
   }
-  link(m.from, m.to).push(std::move(m));
+  links_[idx].push(std::move(m));
 }
 
 void network::trace_drop(const message& m) {
@@ -88,7 +156,7 @@ void network::trace_drop(const message& m) {
 
 void network::attach_faults(fault_plan plan) {
   faults_ = std::move(plan);
-  fault_attempts_.assign(n_ * n_, 0);
+  fault_attempts_.assign(links_.size(), 0);
 }
 
 void network::attach_tracer(obs::tracer* tracer, std::uint32_t lane) {
@@ -98,7 +166,7 @@ void network::attach_tracer(obs::tracer* tracer, std::uint32_t lane) {
 
 void network::inject_drop(node_id from, node_id to, std::size_t count) {
   DOLBIE_REQUIRE(from < n_ && to < n_, "drop endpoints out of range");
-  pending_drops_[from * n_ + to] += count;
+  pending_drops_[link_index(from, to)] += count;
 }
 
 std::optional<message> network::receive(node_id to, node_id from) {
@@ -108,18 +176,56 @@ std::optional<message> network::receive(node_id to, node_id from) {
 
 std::optional<message> network::receive_any(node_id to) {
   DOLBIE_REQUIRE(to < n_, "receive endpoint out of range");
-  for (node_id from = 0; from < n_; ++from) {
-    if (auto m = link(from, to).pop()) return m;
+  if (dense_) {
+    for (node_id from = 0; from < n_; ++from) {
+      if (auto m = links_[from * n_ + to].pop()) return m;
+    }
+    return std::nullopt;
+  }
+  for (const auto& in : in_edges_[to]) {
+    if (auto m = links_[in.second].pop()) return m;
   }
   return std::nullopt;
 }
 
 std::size_t network::pending_for(node_id to) const {
+  DOLBIE_REQUIRE(to < n_, "receive endpoint out of range");
   std::size_t total = 0;
-  for (node_id from = 0; from < n_; ++from) {
-    total += link(from, to).pending();
+  if (dense_) {
+    for (node_id from = 0; from < n_; ++from) {
+      total += links_[from * n_ + to].pending();
+    }
+    return total;
+  }
+  for (const auto& in : in_edges_[to]) {
+    total += links_[in.second].pending();
   }
   return total;
+}
+
+std::uint64_t network::peer_messages_sent(node_id id) const {
+  DOLBIE_REQUIRE(id < n_, "peer id out of range");
+  return static_cast<std::uint64_t>(peer_messages_[id]->value());
+}
+
+std::uint64_t network::peer_bytes_sent(node_id id) const {
+  DOLBIE_REQUIRE(id < n_, "peer id out of range");
+  return static_cast<std::uint64_t>(peer_bytes_[id]->value());
+}
+
+void network::retire_node(node_id id) {
+  DOLBIE_REQUIRE(id < n_, "retired node out of range");
+  if (dense_) {
+    for (node_id peer = 0; peer < n_; ++peer) {
+      if (peer == id) continue;
+      links_[id * n_ + peer].release();
+      links_[peer * n_ + id].release();
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].first == id || edges_[i].second == id) links_[i].release();
+  }
 }
 
 traffic_totals network::total_traffic() const {

@@ -1,8 +1,20 @@
-// The simulated network: a dense matrix of point-to-point channels with
-// registry-backed traffic accounting. Deterministic and single-threaded by
-// design — protocol progress is driven explicitly in phases by
-// src/dist/runner, which makes every interleaving reproducible (and the
-// tests meaningful).
+// The simulated network: point-to-point channels with registry-backed
+// traffic accounting. Deterministic and single-threaded by design —
+// protocol progress is driven explicitly in phases by src/dist/runner,
+// which makes every interleaving reproducible (and the tests meaningful).
+//
+// Three topologies share one implementation:
+//   - dense: every ordered (from, to) pair has a channel (n^2 storage) —
+//     the historical default, required by the fully distributed protocol's
+//     all-pairs broadcast;
+//   - star: only worker<->hub links exist (2(n-1) channels) — the
+//     master/worker protocol's actual communication pattern, which is what
+//     makes flat MW feasible at N = 10^5;
+//   - sparse: an explicit directed edge list — the hierarchical layer's
+//     aggregator trees.
+// Fault rolls key on (seed, salt, from, to, attempt), never on storage
+// layout, so a protocol that only ever uses the links a sparser topology
+// keeps produces bit-identical transcripts on either topology.
 //
 // Observability: every send bumps total and per-sender ("per-peer")
 // message/byte counters in an obs::metrics_registry owned by the network
@@ -12,6 +24,8 @@
 // message.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/channel.h"
@@ -32,11 +46,22 @@ struct traffic_totals {
 
 class network {
  public:
+  /// Dense topology: every ordered pair of distinct nodes is linked.
   explicit network(std::size_t n_nodes);
+
+  /// Star topology: links exist only between `hub` and every other node
+  /// (both directions). Sends on any other pair are protocol errors.
+  network(std::size_t n_nodes, node_id hub);
+
+  /// Sparse topology: exactly the given directed edges exist. Endpoints
+  /// must be in range and distinct; duplicate edges are rejected.
+  network(std::size_t n_nodes,
+          std::vector<std::pair<node_id, node_id>> edges);
 
   std::size_t nodes() const { return n_; }
 
-  /// Send a message; `m.from`/`m.to` must be valid node ids and distinct.
+  /// Send a message; `m.from`/`m.to` must be valid node ids and distinct,
+  /// and the (from, to) link must exist in the topology.
   void send(message m);
 
   /// Receive the oldest pending message from `from` to `to`.
@@ -52,6 +77,10 @@ class network {
   /// Aggregate traffic since construction or the last reset.
   traffic_totals total_traffic() const;
 
+  /// Cumulative messages / bytes sent by one node (per-peer counters).
+  std::uint64_t peer_messages_sent(node_id id) const;
+  std::uint64_t peer_bytes_sent(node_id id) const;
+
   /// Zero every traffic-derived figure together: the metrics registry
   /// (totals and per-peer counters) *and* the fault counters (`dropped_`,
   /// `duplicated_`) they are read against — resetting one but not the
@@ -59,6 +88,26 @@ class network {
   /// (inject_drop budgets, the attached fault plan and its per-link
   /// attempt counters) are configuration, not accounting, and survive.
   void reset_traffic();
+
+  /// Release the channel storage of every link touching `id`, dropping any
+  /// undelivered messages. For permanently retired nodes (churn): their
+  /// links never carry traffic again, so long faulty runs at large N would
+  /// otherwise hold dead buffers forever. Accounting is untouched; the
+  /// links remain usable (empty) if addressed again.
+  void retire_node(node_id id);
+
+  /// Number of channels in this topology (dense counts self-slots too).
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Storage index of the (from, to) link; requires the link to exist.
+  /// Layered transports (net/reliable.h) index their per-link state with
+  /// this so their storage matches the topology instead of assuming n^2.
+  std::size_t link_index(node_id from, node_id to) const;
+
+  /// Endpoints of the link at a storage index (inverse of link_index).
+  /// Dense topologies enumerate self-pairs (from == to) as well; callers
+  /// iterating link storage must skip those.
+  std::pair<node_id, node_id> link_endpoints(std::size_t index) const;
 
   /// The backing registry (total + per-peer counters), for snapshots.
   const obs::metrics_registry& metrics() const { return metrics_; }
@@ -92,13 +141,22 @@ class network {
   const fault_plan& faults() const { return faults_; }
 
  private:
+  void init_metrics();
+  void index_edges();
   channel& link(node_id from, node_id to);
   const channel& link(node_id from, node_id to) const;
   void account_sent(const message& m);
   void trace_drop(const message& m);
 
   std::size_t n_;
-  std::vector<channel> links_;  // dense n*n matrix, row = from, col = to
+  bool dense_ = true;
+  /// Sparse/star: directed edges sorted by (from, to); the link at
+  /// edges_[i] is stored in links_[i]. Empty in dense mode.
+  std::vector<std::pair<node_id, node_id>> edges_;
+  /// Sparse/star: per-receiver incoming links as (from, storage index),
+  /// sorted by `from` so receive_any keeps its id-order determinism.
+  std::vector<std::vector<std::pair<node_id, std::size_t>>> in_edges_;
+  std::vector<channel> links_;  // dense: n*n matrix; sparse: one per edge
   std::vector<std::size_t> pending_drops_;  // same indexing as links_
   std::size_t dropped_ = 0;
   std::size_t duplicated_ = 0;

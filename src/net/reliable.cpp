@@ -8,7 +8,7 @@
 namespace dolbie::net {
 
 reliable_link::reliable_link(network& net, reliable_options options)
-    : net_(net), options_(options), links_(net.nodes() * net.nodes()) {
+    : net_(net), options_(options), links_(net.link_count()) {
   DOLBIE_REQUIRE(options_.retry_budget >= 1,
                  "retry budget must be at least 1");
 }
@@ -20,22 +20,20 @@ void reliable_link::attach_tracer(obs::tracer* tracer, std::uint32_t lane) {
 
 void reliable_link::begin_round(std::uint64_t round) {
   round_ = round;
-  const std::size_t n = net_.nodes();
-  for (node_id from = 0; from < n; ++from) {
-    for (node_id to = 0; to < n; ++to) {
-      if (from == to) continue;
-      link_state& link = state(from, to);
-      // Sweep bytes still sitting in the channel: their round is over, so
-      // releasing them now would feed a stale phase value into the new
-      // round's state machine.
-      while (net_.receive(to, from).has_value()) ++stats_.stale_purged;
-      stats_.stale_purged += link.reorder.size();
-      link.reorder.clear();
-      link.outbox.clear();
-      // The receiver gives up on anything unconsumed and resynchronizes
-      // with the sender's counter.
-      link.next_expected = link.next_seq;
-    }
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    const auto [from, to] = net_.link_endpoints(idx);
+    if (from == to) continue;  // dense self-slot, never carries traffic
+    link_state& link = links_[idx];
+    // Sweep bytes still sitting in the channel: their round is over, so
+    // releasing them now would feed a stale phase value into the new
+    // round's state machine.
+    while (net_.receive(to, from).has_value()) ++stats_.stale_purged;
+    stats_.stale_purged += link.reorder.size();
+    link.reorder.clear();
+    link.outbox.clear();
+    // The receiver gives up on anything unconsumed and resynchronizes
+    // with the sender's counter.
+    link.next_expected = link.next_seq;
   }
 }
 
@@ -65,10 +63,11 @@ void reliable_link::drain_transport(link_state& link, node_id to,
 }
 
 void reliable_link::prune_outbox(link_state& link) {
-  while (!link.outbox.empty() &&
-         link.outbox.front().msg.seq < link.next_expected) {
-    link.outbox.pop_front();
-  }
+  // The outbox is FIFO by construction (seq stamped on push), so the
+  // acknowledged messages form a prefix; one erase drops them all.
+  auto it = link.outbox.begin();
+  while (it != link.outbox.end() && it->msg.seq < link.next_expected) ++it;
+  link.outbox.erase(link.outbox.begin(), it);
 }
 
 std::optional<message> reliable_link::receive(node_id to, node_id from) {
@@ -134,17 +133,24 @@ std::optional<message> reliable_link::receive(node_id to, node_id from) {
 }
 
 void reliable_link::reset() {
-  const std::size_t n = net_.nodes();
-  for (node_id from = 0; from < n; ++from) {
-    for (node_id to = 0; to < n; ++to) {
-      if (from == to) continue;
-      while (net_.receive(to, from).has_value()) {
-      }
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    const auto [from, to] = net_.link_endpoints(idx);
+    if (from == to) continue;
+    while (net_.receive(to, from).has_value()) {
     }
   }
   links_.assign(links_.size(), {});
   stats_ = {};
   round_ = 0;
+}
+
+void reliable_link::retire_node(node_id id) {
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    const auto [from, to] = net_.link_endpoints(idx);
+    if (from != id && to != id) continue;
+    links_[idx] = {};
+  }
+  net_.retire_node(id);
 }
 
 }  // namespace dolbie::net

@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -89,6 +88,12 @@ class reliable_link {
   /// network's channels are swept too.
   void reset();
 
+  /// Reset the per-link state (sequence counters, retransmission and
+  /// reorder buffers) of every link touching `id` and release the
+  /// underlying channels. For permanently retired nodes — their links
+  /// never carry traffic again. Accounting (`stats()`) is untouched.
+  void retire_node(node_id id);
+
  private:
   struct pending {
     message msg;
@@ -97,12 +102,14 @@ class reliable_link {
   struct link_state {
     std::uint32_t next_seq = 1;       // sender side: next seq to stamp
     std::uint32_t next_expected = 1;  // receiver side: next seq to release
-    std::deque<pending> outbox;       // sent, not yet consumed
+    std::vector<pending> outbox;      // sent, not yet consumed (FIFO)
     std::vector<message> reorder;     // arrived out of order
   };
 
+  // Per-link state is indexed through the network's topology (one slot per
+  // channel), so a star or sparse network costs O(links), not O(n^2).
   link_state& state(node_id from, node_id to) {
-    return links_[from * net_.nodes() + to];
+    return links_[net_.link_index(from, to)];
   }
   void drain_transport(link_state& link, node_id to, node_id from);
   void prune_outbox(link_state& link);

@@ -7,6 +7,7 @@
 //   void send(message m);
 //   std::optional<message> receive(node_id to, node_id from);
 //   std::size_t last_receive_attempts() const;
+//   void retire_node(node_id id);   // reclaim a retired node's link state
 //
 // Two policies implement it:
 //
@@ -44,6 +45,7 @@ struct direct_delivery {
     return net.receive(to, from);
   }
   std::size_t last_receive_attempts() const { return 1; }
+  void retire_node(node_id id) { net.retire_node(id); }
 };
 
 /// Reliable delivery: the degraded-mode policy (net/reliable.h semantics).
@@ -58,6 +60,7 @@ struct reliable_delivery {
   std::size_t last_receive_attempts() const {
     return link.last_receive_attempts();
   }
+  void retire_node(node_id id) { link.retire_node(id); }
 };
 
 }  // namespace dolbie::net

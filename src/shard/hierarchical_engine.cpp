@@ -1,0 +1,611 @@
+#include "shard/hierarchical_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/simplex.h"
+#include "core/step_size.h"
+#include "dist/fd_round.h"
+#include "dist/mw_round.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dolbie::shard {
+namespace {
+
+// MW shards run the master-worker star with the leaf aggregator co-located
+// as the master (hub id m); FD shards need the all-pairs broadcast.
+net::network make_shard_net(std::size_t m, shard_protocol mode) {
+  if (mode == shard_protocol::master_worker) {
+    return net::network(m + 1, static_cast<net::node_id>(m));
+  }
+  return net::network(m);
+}
+
+// The worker fault schedule, re-keyed into one shard: crash windows keep
+// their rounds but are renamed to shard-local slots; link-fault rolls get
+// a decorrelated per-shard seed (shard 0 keeps the base seed, which is
+// what makes the K = 1 configuration transcript-identical to the flat
+// engines — slot ids equal global ids there).
+net::fault_plan shard_faults(const net::fault_plan& base,
+                             const shard_plan& plan, std::size_t k) {
+  net::fault_plan local;
+  local.seed = k == 0 ? base.seed
+                      : rng::stream_seed(base.seed,
+                                         static_cast<std::uint64_t>(k));
+  local.drop_rate = base.drop_rate;
+  local.duplicate_rate = base.duplicate_rate;
+  local.reorder_rate = base.reorder_rate;
+  local.force = base.force;
+  for (const net::crash_window& w : base.crashes) {
+    if (plan.shard_of[w.node] != k) continue;
+    local.crashes.push_back({static_cast<net::node_id>(plan.slot_of[w.node]),
+                             w.crash_round, w.recover_round});
+  }
+  return local;
+}
+
+}  // namespace
+
+/// Everything one shard owns: its slice of the allocation, its network
+/// (plus the reliable layer when its fault plan is live) and the round
+/// machines' state. Heap-held — net::network is not movable.
+struct hierarchical_engine::shard_rt {
+  std::size_t m;                ///< member count
+  double mass = 0.0;            ///< this shard's slice of the simplex
+  net::fault_plan faults;       ///< shard-local schedule (slot ids)
+  bool faulty = false;
+  net::network net;
+  std::unique_ptr<net::reliable_link> rel;
+
+  std::vector<double> x;          ///< shard-local allocation slice
+  std::vector<double> alpha_bar;  ///< FD per-worker step bounds
+  double alpha_view = 0.0;        ///< MW per-round copy of the global step
+  /// MW: Eq. 7 caps discovered while cut off from the root (churn
+  /// retirement in an unreached round), re-announced once the path heals.
+  double carry_cap = std::numeric_limits<double>::infinity();
+  dist::round_scratch scratch;
+  dist::member_flags flags;
+  cost::cost_view costs;        ///< per-round gathered views
+  std::vector<double> locals;
+
+  shard_rt(std::size_t members, shard_protocol mode, net::fault_plan local,
+           std::size_t retry_budget, obs::tracer* tracer, std::uint32_t lane)
+      : m(members),
+        faults(std::move(local)),
+        faulty(faults.enabled()),
+        net(make_shard_net(members, mode)) {
+    net.attach_tracer(tracer, lane);
+    if (faulty) {
+      net.attach_faults(faults);
+      rel = std::make_unique<net::reliable_link>(
+          net, net::reliable_options{retry_budget});
+      rel->attach_tracer(tracer, lane);
+    }
+    flags.setup(m, /*all_pairs=*/mode == shard_protocol::fully_distributed);
+    scratch.tentative.assign(m, 0.0);
+    costs.assign(m, nullptr);
+    locals.assign(m, 0.0);
+  }
+};
+
+namespace {
+
+// The stage-split round machines, instantiated per shard exactly as the
+// flat engines instantiate them — the delivery policy is the only degree
+// of freedom (direct for a fault-free shard, reliable otherwise).
+template <class Delivery>
+dist::mw_stage_result mw_upload(hierarchical_engine::shard_rt& sh,
+                                Delivery wire, std::uint64_t round,
+                                obs::tracer* tr, std::uint32_t lane,
+                                obs::counter* failover,
+                                dist::fault_report& report,
+                                std::size_t cap_workers,
+                                dist::degraded_outcome& out) {
+  dist::mw_null_timing timing;
+  dist::mw_degraded_round<Delivery, dist::mw_null_timing> flow{
+      sh.m,    static_cast<net::node_id>(sh.m),
+      sh.costs, sh.locals,
+      sh.faults, wire,
+      timing,  tr,
+      lane,    failover,
+      report,  sh.x,
+      sh.alpha_view, sh.scratch,
+      sh.flags, sh.mass,
+      cap_workers};
+  return flow.stage_upload(round, out);
+}
+
+template <class Delivery>
+void mw_commit(hierarchical_engine::shard_rt& sh, Delivery wire,
+               std::uint64_t round, double l_t, obs::tracer* tr,
+               std::uint32_t lane, obs::counter* failover,
+               dist::fault_report& report, std::size_t cap_workers,
+               dist::degraded_outcome& out) {
+  dist::mw_null_timing timing;
+  dist::mw_degraded_round<Delivery, dist::mw_null_timing> flow{
+      sh.m,    static_cast<net::node_id>(sh.m),
+      sh.costs, sh.locals,
+      sh.faults, wire,
+      timing,  tr,
+      lane,    failover,
+      report,  sh.x,
+      sh.alpha_view, sh.scratch,
+      sh.flags, sh.mass,
+      cap_workers};
+  flow.stage_commit(round, l_t, out);
+}
+
+template <class Delivery>
+dist::fd_stage_result fd_broadcast(hierarchical_engine::shard_rt& sh,
+                                   Delivery wire, std::uint64_t round,
+                                   obs::tracer* tr, std::uint32_t lane,
+                                   obs::counter* failover,
+                                   dist::fault_report& report,
+                                   std::size_t cap_workers,
+                                   dist::degraded_outcome& out) {
+  dist::fd_null_timing timing;
+  dist::fd_degraded_round<Delivery, dist::fd_null_timing> flow{
+      sh.m,    sh.costs,
+      sh.locals, sh.faults,
+      wire,    timing,
+      tr,      lane,
+      failover, report,
+      sh.x,    sh.alpha_bar,
+      sh.scratch, sh.flags,
+      sh.mass, cap_workers};
+  return flow.stage_broadcast(round, out);
+}
+
+template <class Delivery>
+void fd_commit(hierarchical_engine::shard_rt& sh, Delivery wire,
+               std::uint64_t round, double l_t, double alpha_t,
+               obs::tracer* tr, std::uint32_t lane, obs::counter* failover,
+               dist::fault_report& report, std::size_t cap_workers,
+               dist::degraded_outcome& out) {
+  dist::fd_null_timing timing;
+  dist::fd_degraded_round<Delivery, dist::fd_null_timing> flow{
+      sh.m,    sh.costs,
+      sh.locals, sh.faults,
+      wire,    timing,
+      tr,      lane,
+      failover, report,
+      sh.x,    sh.alpha_bar,
+      sh.scratch, sh.flags,
+      sh.mass, cap_workers};
+  flow.stage_commit(round, l_t, alpha_t, out);
+}
+
+}  // namespace
+
+hierarchical_engine::hierarchical_engine(std::size_t n_workers,
+                                         hierarchical_options options)
+    : n_(n_workers),
+      options_(std::move(options)),
+      plan_(make_shard_plan(n_workers, options_.plan)),
+      tree_(plan_, options_.protocol.tracer, options_.protocol.trace_lane) {
+  dist::normalize_options(options_.protocol, n_);
+  net::validate_crash_schedule(options_.aggregator_crashes,
+                               plan_.aggregators());
+  agg_plan_.crashes = options_.aggregator_crashes;
+  faulty_ = options_.protocol.faults.enabled() ||
+            !options_.aggregator_crashes.empty();
+
+  const std::size_t n_shards = plan_.shards();
+  shards_.reserve(n_shards);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    shards_.push_back(std::make_unique<shard_rt>(
+        plan_.members[k].size(), options_.mode,
+        shard_faults(options_.protocol.faults, plan_, k),
+        options_.protocol.retry_budget, options_.protocol.tracer,
+        options_.protocol.trace_lane));
+  }
+
+  counters_.bind(options_.protocol.metrics, "hier", "hier.alpha", faulty_);
+  if (options_.protocol.metrics != nullptr) {
+    options_.protocol.metrics->gauge_named("shard.level_depth")
+        .set(static_cast<double>(plan_.depth));
+    options_.protocol.metrics->gauge_named("shard.fanin")
+        .set(static_cast<double>(plan_.fanin));
+  }
+
+  leaf_max_.assign(n_shards, 0.0);
+  leaf_min_.assign(n_shards, 0.0);
+  contribute_.assign(n_shards, 0);
+  pass3_.assign(n_shards, 0);
+  reached_.assign(n_shards, 0);
+  agg_live_.assign(plan_.aggregators(), 1);
+  outcomes_.assign(n_shards, {});
+  ran_.assign(n_shards, 0);
+  participants_.assign(n_shards, 0);
+  reset();
+}
+
+hierarchical_engine::~hierarchical_engine() = default;
+
+std::string_view hierarchical_engine::name() const {
+  return options_.mode == shard_protocol::master_worker ? "DOLBIE-HIER-MW"
+                                                        : "DOLBIE-HIER-FD";
+}
+
+void hierarchical_engine::reset() {
+  const core::allocation& part = options_.protocol.initial_partition;
+  const double alpha1 = options_.protocol.initial_step >= 0.0
+                            ? options_.protocol.initial_step
+                            : core::initial_step_size(part);
+  alpha_ = alpha1;
+
+  // Shard masses are algebraic, not merely numeric: shard 0 takes the
+  // complement of the others, so the masses sum to exactly 1.0 — and a
+  // single shard's mass is exactly 1.0, the flat engines' target.
+  double others = 0.0;
+  for (std::size_t k = plan_.shards(); k-- > 0;) {
+    shard_rt& sh = *shards_[k];
+    sh.x.resize(sh.m);
+    double own = 0.0;
+    for (std::size_t slot = 0; slot < sh.m; ++slot) {
+      sh.x[slot] = part[plan_.members[k][slot]];
+      own += sh.x[slot];
+    }
+    if (k > 0) {
+      sh.mass = own;
+      others += own;
+    } else {
+      sh.mass = 1.0 - others;
+    }
+    sh.alpha_bar.assign(sh.m, alpha1);
+    sh.alpha_view = alpha1;
+    sh.carry_cap = std::numeric_limits<double>::infinity();
+    sh.flags.setup(sh.m, /*all_pairs=*/options_.mode ==
+                             shard_protocol::fully_distributed);
+    if (sh.rel != nullptr) sh.rel->reset();
+    // Fault rolls key on per-link attempt counters that deliberately
+    // survive reset_traffic (they are configuration, not accounting);
+    // re-attaching the plan rewinds them so a replay reproduces the
+    // exact fault transcript.
+    if (sh.faulty) sh.net.attach_faults(sh.faults);
+    sh.net.reset_traffic();
+  }
+  tree_.reset();
+  assembled_ = part;
+  round_ = 0;
+  report_ = {};
+  mirrored_ = {};
+  last_traffic_ = {};
+  traffic_mark_ = {};
+}
+
+void hierarchical_engine::observe(const core::round_feedback& feedback) {
+  DOLBIE_REQUIRE(feedback.costs != nullptr, "feedback carries no costs");
+  DOLBIE_REQUIRE(feedback.local_costs.size() == n_, "feedback size mismatch");
+  const std::uint64_t round = round_++;
+  if (n_ == 1) return;
+
+  const bool mw = options_.mode == shard_protocol::master_worker;
+  const std::size_t n_shards = plan_.shards();
+  obs::tracer* tr = options_.protocol.tracer;
+  const std::uint32_t lane = options_.protocol.trace_lane;
+  traffic_mark_ = cumulative_traffic();
+  obs::span round_span(tr, lane, round, "round", "shard");
+
+  // Round-granular aggregator liveness: a node that dies mid-round is
+  // absent for the whole round (its shard holds; no partial summaries).
+  for (std::size_t a = 0; a < plan_.aggregators(); ++a) {
+    agg_live_[a] = (!agg_plan_.down(static_cast<net::node_id>(a), round) &&
+                    !agg_plan_.crashed_during(static_cast<net::node_id>(a),
+                                              round))
+                       ? 1
+                       : 0;
+  }
+
+  // --- Stage A: every shard with a live leaf aggregator runs the first
+  //     stage of its round machine (membership + cost exchange) and
+  //     produces its summary. ---
+  std::size_t total_holds = 0;
+  std::size_t total_failovers = 0;
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    shard_rt& sh = *shards_[k];
+    outcomes_[k] = {};
+    ran_[k] = 0;
+    contribute_[k] = 0;
+    participants_[k] = 0;
+    sh.net.set_round(round);
+    if (mw) sh.alpha_view = alpha_;
+    if (agg_live_[k] == 0) {
+      // The shard is headless this round: every standing member holds.
+      for (std::size_t slot = 0; slot < sh.m; ++slot) {
+        if (sh.flags.removed[slot] == 0) ++total_holds;
+      }
+      continue;
+    }
+    for (std::size_t slot = 0; slot < sh.m; ++slot) {
+      const core::worker_id g = plan_.members[k][slot];
+      sh.costs[slot] = (*feedback.costs)[g];
+      sh.locals[slot] = feedback.local_costs[g];
+    }
+    ran_[k] = 1;
+    if (mw) {
+      const dist::mw_stage_result up =
+          sh.faulty
+              ? mw_upload(sh, net::reliable_delivery{*sh.rel}, round, tr,
+                          lane, counters_.failover, report_, n_,
+                          outcomes_[k])
+              : mw_upload(sh, net::direct_delivery{sh.net}, round, tr, lane,
+                          counters_.failover, report_, n_, outcomes_[k]);
+      participants_[k] = up.heard;
+      if (!outcomes_[k].aborted) {
+        contribute_[k] = 1;
+        leaf_max_[k] = up.max_cost;
+        leaf_min_[k] = sh.alpha_view;  // retire caps already folded in
+      }
+    } else {
+      const dist::fd_stage_result up =
+          sh.faulty
+              ? fd_broadcast(sh, net::reliable_delivery{*sh.rel}, round, tr,
+                             lane, counters_.failover, report_, n_,
+                             outcomes_[k])
+              : fd_broadcast(sh, net::direct_delivery{sh.net}, round, tr,
+                             lane, counters_.failover, report_, n_,
+                             outcomes_[k]);
+      participants_[k] = up.participants;
+      if (!outcomes_[k].aborted) {
+        contribute_[k] = 1;
+        leaf_max_[k] = up.max_cost;
+        leaf_min_[k] = up.min_alpha;
+      }
+    }
+  }
+
+  // --- Tree up: fold (max cost, min step) to the root... ---
+  const reduce_result up =
+      tree_.reduce(round, leaf_max_, leaf_min_, contribute_, agg_live_);
+
+  // --- ...and down: the consensus pair reaches every shard whose path to
+  //     the root is all-live. No contributor at the root (dead root, or
+  //     every contributing subtree cut off) aborts the round globally. ---
+  if (up.contributors > 0) {
+    tree_.broadcast(round, up.max_value, up.min_value, agg_live_, reached_);
+  } else {
+    std::fill(reached_.begin(), reached_.end(), 0);
+  }
+
+  // --- Stage B: shards that contributed and heard back commit against
+  //     the global consensus; everyone else holds. ---
+  bool any_committed = false;
+  core::worker_id straggler_global = 0;
+  bool straggler_known = false;
+  double straggler_cost = 0.0;
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    shard_rt& sh = *shards_[k];
+    const bool commit_now =
+        ran_[k] != 0 && contribute_[k] != 0 && reached_[k] != 0;
+    if (!commit_now) {
+      if (ran_[k] != 0) total_holds += participants_[k];
+      // A shard cut off from the root cannot announce an Eq. 7 cap it
+      // discovered through churn this round; carry it until it can.
+      if (mw && ran_[k] != 0 && reached_[k] == 0) {
+        sh.carry_cap = std::min(sh.carry_cap, sh.alpha_view);
+      }
+      total_holds += outcomes_[k].holds;
+      total_failovers += outcomes_[k].failovers;
+      continue;
+    }
+    if (mw) {
+      sh.alpha_view = up.min_value;  // adopt the broadcast consensus step
+      if (sh.faulty) {
+        mw_commit(sh, net::reliable_delivery{*sh.rel}, round, up.max_value,
+                  tr, lane, counters_.failover, report_, n_, outcomes_[k]);
+      } else {
+        mw_commit(sh, net::direct_delivery{sh.net}, round, up.max_value, tr,
+                  lane, counters_.failover, report_, n_, outcomes_[k]);
+      }
+    } else {
+      if (sh.faulty) {
+        fd_commit(sh, net::reliable_delivery{*sh.rel}, round, up.max_value,
+                  up.min_value, tr, lane, counters_.failover, report_, n_,
+                  outcomes_[k]);
+      } else {
+        fd_commit(sh, net::direct_delivery{sh.net}, round, up.max_value,
+                  up.min_value, tr, lane, counters_.failover, report_, n_,
+                  outcomes_[k]);
+      }
+      if (!outcomes_[k].aborted) {
+        sh.x.swap(sh.scratch.next_x);
+        // Same zero-share corner as the MW candidate: a clamped absorber
+        // tightens its local bound to an exact zero, which would freeze
+        // the whole tree's consensus permanently. Restore the round's
+        // consensus step — renormalization already absorbed the overrun.
+        for (double& bound : sh.alpha_bar) {
+          if (bound <= 0.0) bound = up.min_value;
+        }
+      }
+    }
+    total_holds += outcomes_[k].holds;
+    total_failovers += outcomes_[k].failovers;
+    if (!outcomes_[k].aborted) {
+      any_committed = true;
+      // The global straggler (for the gauge / round span): the committed
+      // shard owning the global max — same strict-greater, lowest-first
+      // chain as the flat election.
+      if (!straggler_known || leaf_max_[k] > straggler_cost) {
+        straggler_known = true;
+        straggler_cost = leaf_max_[k];
+        straggler_global = plan_.members[k][outcomes_[k].straggler];
+      }
+    }
+  }
+
+  // --- MW pass C: fold the Eq. 7 candidates (committed shards) and the
+  //     current views (aborted-but-reached shards — they still carry any
+  //     churn re-cap) back to the root; the min is alpha_{t+1}. ---
+  if (mw && up.contributors > 0) {
+    // Eq. 7 is driven by the global straggler's post-move share alone, so
+    // only the committed shard owning the global max folds in its
+    // alpha_candidate. Every other reached shard contributes its current
+    // view (consensus plus any churn re-cap): their local absorbers are
+    // clamped against the global l_t and would otherwise zero the step.
+    std::size_t owner = n_shards;
+    for (std::size_t k = 0; k < n_shards; ++k) {
+      if (ran_[k] != 0 && contribute_[k] != 0 && reached_[k] != 0 &&
+          !outcomes_[k].aborted && leaf_max_[k] == up.max_value) {
+        owner = k;
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < n_shards; ++k) {
+      shard_rt& sh = *shards_[k];
+      pass3_[k] = 0;
+      if (ran_[k] == 0 || reached_[k] == 0) continue;
+      double cand =
+          k == owner ? outcomes_[k].alpha_candidate : sh.alpha_view;
+      // A shard's absorber can clamp to an exact zero share (the climb
+      // toward the global l_t overran the shard's fixed mass and the
+      // renormalization safety net took over). Eq. 7 is mute at s = 0 —
+      // hold the consensus step instead of freezing the system forever.
+      if (cand <= 0.0) cand = sh.alpha_view;
+      cand = std::min(cand, sh.carry_cap);
+      sh.carry_cap = std::numeric_limits<double>::infinity();
+      leaf_min_[k] = cand;
+      leaf_max_[k] = cand;  // unused by the min fold
+      pass3_[k] = 1;
+    }
+    const reduce_result caps =
+        tree_.reduce(round, leaf_max_, leaf_min_, pass3_, agg_live_);
+    if (caps.contributors > 0) alpha_ = caps.min_value;
+  } else if (!mw && any_committed) {
+    alpha_ = up.min_value;  // display: the round's consensus step
+  }
+
+  // --- Accounting: the shared degraded-round semantics, aggregated over
+  //     every shard (mirrors finish_degraded_round). ---
+  const bool global_abort = !any_committed;
+  if (global_abort) ++report_.aborted_rounds;
+  const bool degraded = total_holds > 0 || total_failovers > 0 ||
+                        global_abort;
+  if (degraded) {
+    ++report_.degraded_rounds;
+    if (counters_.degraded != nullptr) counters_.degraded->add(1);
+    if (tr != nullptr) {
+      tr->instant(lane, round, "degraded_round", "shard",
+                  {obs::arg_int("holds", total_holds),
+                   obs::arg_int("aborted", global_abort ? 1 : 0)});
+    }
+  }
+  report_.zero_step_holds += total_holds;
+  net::reliable_stats agg;
+  for (const auto& shp : shards_) {
+    if (shp->rel == nullptr) continue;
+    const net::reliable_stats& s = shp->rel->stats();
+    agg.retransmits += s.retransmits;
+    agg.timeouts += s.timeouts;
+    agg.deadlines_expired += s.deadlines_expired;
+    agg.duplicates_discarded += s.duplicates_discarded;
+    agg.stale_purged += s.stale_purged;
+  }
+  if (counters_.retransmits != nullptr) {
+    counters_.retransmits->add(agg.retransmits - mirrored_.retransmits);
+    counters_.timeouts->add(agg.timeouts - mirrored_.timeouts);
+  }
+  mirrored_ = agg;
+  report_.retransmits = agg.retransmits;
+  report_.timeouts = agg.timeouts;
+  report_.duplicates_discarded = agg.duplicates_discarded;
+
+  assemble();
+  DOLBIE_REQUIRE(on_simplex(assembled_),
+                 "hierarchical round " << round
+                                       << " left the allocation off the "
+                                          "simplex");
+  const net::traffic_totals totals = cumulative_traffic();
+  last_traffic_ = {totals.messages_sent - traffic_mark_.messages_sent,
+                   totals.bytes_sent - traffic_mark_.bytes_sent};
+  round_span.arg("straggler",
+                 straggler_known
+                     ? static_cast<std::uint64_t>(straggler_global)
+                     : static_cast<std::uint64_t>(n_));
+  round_span.arg("alpha_next", alpha_);
+  round_span.arg("messages",
+                 static_cast<std::uint64_t>(last_traffic_.messages_sent));
+  counters_.round_complete(
+      alpha_, straggler_known ? static_cast<double>(straggler_global) : -1.0);
+}
+
+void hierarchical_engine::assemble() {
+  for (std::size_t k = 0; k < plan_.shards(); ++k) {
+    const shard_rt& sh = *shards_[k];
+    for (std::size_t slot = 0; slot < sh.m; ++slot) {
+      assembled_[plan_.members[k][slot]] = sh.x[slot];
+    }
+  }
+}
+
+net::traffic_totals hierarchical_engine::cumulative_traffic() const {
+  net::traffic_totals out = tree_.traffic();
+  for (const auto& shp : shards_) {
+    const net::traffic_totals t = shp->net.total_traffic();
+    out.messages_sent += t.messages_sent;
+    out.bytes_sent += t.bytes_sent;
+  }
+  return out;
+}
+
+net::traffic_totals hierarchical_engine::total_traffic() const {
+  return cumulative_traffic();
+}
+
+std::uint64_t hierarchical_engine::worker_messages_sent(
+    core::worker_id i) const {
+  const shard_rt& sh = *shards_[plan_.shard_of[i]];
+  return sh.net.peer_messages_sent(
+      static_cast<net::node_id>(plan_.slot_of[i]));
+}
+
+std::uint64_t hierarchical_engine::aggregator_messages_sent(
+    std::size_t a) const {
+  std::uint64_t total = tree_.node_messages_sent(a);
+  if (a < plan_.shards() && options_.mode == shard_protocol::master_worker) {
+    const shard_rt& sh = *shards_[a];
+    total += sh.net.peer_messages_sent(static_cast<net::node_id>(sh.m));
+  }
+  return total;
+}
+
+std::uint64_t hierarchical_engine::aggregator_bytes_sent(
+    std::size_t a) const {
+  std::uint64_t total = tree_.node_bytes_sent(a);
+  if (a < plan_.shards() && options_.mode == shard_protocol::master_worker) {
+    const shard_rt& sh = *shards_[a];
+    total += sh.net.peer_bytes_sent(static_cast<net::node_id>(sh.m));
+  }
+  return total;
+}
+
+std::uint64_t hierarchical_engine::max_node_messages_sent() const {
+  std::uint64_t peak = 0;
+  for (core::worker_id i = 0; i < n_; ++i) {
+    peak = std::max(peak, worker_messages_sent(i));
+  }
+  for (std::size_t a = 0; a < plan_.aggregators(); ++a) {
+    peak = std::max(peak, aggregator_messages_sent(a));
+  }
+  return peak;
+}
+
+std::uint64_t hierarchical_engine::max_node_bytes_sent() const {
+  std::uint64_t peak = 0;
+  for (core::worker_id i = 0; i < n_; ++i) {
+    const shard_rt& sh = *shards_[plan_.shard_of[i]];
+    peak = std::max(peak, sh.net.peer_bytes_sent(static_cast<net::node_id>(
+                              plan_.slot_of[i])));
+  }
+  for (std::size_t a = 0; a < plan_.aggregators(); ++a) {
+    peak = std::max(peak, aggregator_bytes_sent(a));
+  }
+  return peak;
+}
+
+}  // namespace dolbie::shard

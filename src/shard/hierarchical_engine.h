@@ -1,0 +1,134 @@
+// The hierarchical DOLBIE engine: the tentpole of the shard layer. Workers
+// are partitioned by shard/plan.h; each shard runs the unified round state
+// machines (dist/mw_round.h / dist/fd_round.h) over its own O(shard size)
+// network, conserving its slice of the simplex mass (the round machines'
+// `target` seam); shard summaries meet in shard/reduction_tree.h, which
+// carries the global straggler cost l_t and the step-size consensus up and
+// down in O(log N) hops. Per-node traffic is O(shard size + fan-in) per
+// round — what makes N = 10^5 tractable where the flat FD engine's n^2
+// broadcast is not.
+//
+// Equivalence guarantees (tests/hierarchical_engine_test.cpp):
+//   * configured as a single shard (shard_size >= N), the engine is
+//     bit-identical to the flat engines' allocations, clean and faulty:
+//     the tree degenerates to one node, the shard's mass is exactly 1.0,
+//     and the stage-split machines compose back into the flat round;
+//   * per-shard straggler election is Eq. 6/7-safe: each shard's straggler
+//     absorbs only its shard's remainder (mass is conserved shard-locally,
+//     so no worker ever absorbs across shards), and every Eq. 7 candidate
+//     is computed with the *global* worker count N — feasible_step_cap
+//     decreases in N, so the global cap is safe inside every shard.
+//
+// Aggregator failures are round-granular (crash windows over tree-node
+// ids): a shard whose leaf aggregator — or any tree ancestor — is down
+// simply holds x_{i,t} for the round and contributes nothing; the rest of
+// the hierarchy completes normally. A dead root aborts the round for
+// everyone (no l_t exists). MW step-size caps discovered by a cut-off
+// shard (churn retirement) are carried locally and re-announced once the
+// path heals, so no Eq. 7 tightening is ever lost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/types.h"
+#include "dist/protocol.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+#include "net/reliable.h"
+#include "shard/plan.h"
+#include "shard/reduction_tree.h"
+
+namespace dolbie::shard {
+
+/// Which protocol realization runs inside each shard.
+enum class shard_protocol { master_worker, fully_distributed };
+
+struct hierarchical_options {
+  /// Worker-level options, exactly as the flat engines take them: initial
+  /// partition/step, observability, worker fault schedule (crash windows
+  /// name *global* worker ids; the engine remaps them into shards and
+  /// derives decorrelated per-shard fault seeds).
+  dist::protocol_options protocol;
+  /// Sharding and tree shape.
+  plan_options plan;
+  shard_protocol mode = shard_protocol::master_worker;
+  /// Round-granular crash windows over aggregator (tree-node) ids,
+  /// independent of the worker schedule.
+  std::vector<net::crash_window> aggregator_crashes;
+};
+
+class hierarchical_engine final : public core::online_policy {
+ public:
+  hierarchical_engine(std::size_t n_workers, hierarchical_options options);
+  ~hierarchical_engine() override;
+
+  std::string_view name() const override;
+  std::size_t workers() const override { return n_; }
+  const core::allocation& current() const override { return assembled_; }
+  void observe(const core::round_feedback& feedback) override;
+  void reset() override;
+
+  const shard_plan& plan() const { return plan_; }
+  /// MW: the global step size; FD: the latest committed consensus step.
+  double step_size() const { return alpha_; }
+  const dist::fault_report& report() const { return report_; }
+
+  /// Traffic of the last observe() across every shard net and the tree.
+  net::traffic_totals last_round_traffic() const { return last_traffic_; }
+  /// Cumulative traffic across every shard net and the tree.
+  net::traffic_totals total_traffic() const;
+  /// Cumulative messages sent by worker i (on its shard's network).
+  std::uint64_t worker_messages_sent(core::worker_id i) const;
+  /// Cumulative messages/bytes sent by aggregator a: its tree links, plus
+  /// — for a leaf fronting an MW shard — the co-located master's sends.
+  std::uint64_t aggregator_messages_sent(std::size_t a) const;
+  std::uint64_t aggregator_bytes_sent(std::size_t a) const;
+  /// Max cumulative messages sent over every physical node (workers and
+  /// aggregators) — divided by rounds, the O(shard size + log N) per-node
+  /// bound tests/shard_scale_test.cpp asserts.
+  std::uint64_t max_node_messages_sent() const;
+  std::uint64_t max_node_bytes_sent() const;
+
+  /// Opaque per-shard runtime (defined in the .cpp; public so the round
+  /// machine instantiation helpers there can take it by reference).
+  struct shard_rt;
+
+ private:
+  void assemble();
+  net::traffic_totals cumulative_traffic() const;
+
+  std::size_t n_;
+  hierarchical_options options_;
+  shard_plan plan_;
+  reduction_tree tree_;
+  /// Liveness predicates over aggregator ids (crashes only).
+  net::fault_plan agg_plan_;
+  bool faulty_ = false;
+  std::vector<std::unique_ptr<shard_rt>> shards_;
+
+  core::allocation assembled_;
+  double alpha_ = 0.0;
+  std::uint64_t round_ = 0;
+  dist::fault_report report_;
+  net::reliable_stats mirrored_;
+  dist::engine_counters counters_;
+  net::traffic_totals last_traffic_;
+  net::traffic_totals traffic_mark_;
+
+  // Per-round staging (worker-count-free: all O(K + A)).
+  std::vector<double> leaf_max_;
+  std::vector<double> leaf_min_;
+  std::vector<std::uint8_t> contribute_;
+  std::vector<std::uint8_t> pass3_;
+  std::vector<std::uint8_t> reached_;
+  std::vector<std::uint8_t> agg_live_;
+  std::vector<dist::degraded_outcome> outcomes_;
+  std::vector<std::uint8_t> ran_;
+  std::vector<std::size_t> participants_;
+};
+
+}  // namespace dolbie::shard

@@ -1,0 +1,95 @@
+#include "shard/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dolbie::shard {
+
+shard_plan make_shard_plan(std::size_t n_workers,
+                           const plan_options& options) {
+  DOLBIE_REQUIRE(n_workers >= 1, "need at least one worker to shard");
+  DOLBIE_REQUIRE(options.fanin >= 2,
+                 "reduction-tree fan-in must be at least 2, got "
+                     << options.fanin);
+
+  std::size_t size = options.shard_size;
+  if (size == 0) {
+    size = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n_workers))));
+    size = std::max<std::size_t>(size, 2);
+  }
+  size = std::min(size, n_workers);
+
+  shard_plan plan;
+  plan.n_workers = n_workers;
+  plan.fanin = options.fanin;
+
+  // Membership: contiguous blocks over the (optionally shuffled) worker
+  // order, then sorted ascending within each shard so shard-local index
+  // order matches global id order (the election tie-breaking invariant,
+  // and the K = 1 identity: members[0] == 0..N-1 verbatim).
+  std::vector<core::worker_id> order(n_workers);
+  std::iota(order.begin(), order.end(), core::worker_id{0});
+  if (options.shuffle && n_workers > 1) {
+    rng gen(options.seed);
+    for (std::size_t i = n_workers - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          gen.uniform_int(0, static_cast<std::int64_t>(i)));
+      std::swap(order[i], order[j]);
+    }
+  }
+  const std::size_t n_shards = (n_workers + size - 1) / size;
+  plan.members.resize(n_shards);
+  plan.shard_of.assign(n_workers, 0);
+  plan.slot_of.assign(n_workers, 0);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    const std::size_t begin = k * size;
+    const std::size_t end = std::min(begin + size, n_workers);
+    plan.members[k].assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                           order.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(plan.members[k].begin(), plan.members[k].end());
+    for (std::size_t slot = 0; slot < plan.members[k].size(); ++slot) {
+      plan.shard_of[plan.members[k][slot]] = k;
+      plan.slot_of[plan.members[k][slot]] = slot;
+    }
+  }
+
+  // Tree: group the current top level into fan-in sized runs until one
+  // node remains. Ids are assigned level by level, so every level is a
+  // contiguous ascending id range and the root is the last id.
+  plan.parent.assign(n_shards, 0);
+  plan.children.assign(n_shards, {});
+  plan.level.assign(n_shards, 0);
+  std::vector<std::size_t> current(n_shards);
+  std::iota(current.begin(), current.end(), std::size_t{0});
+  std::size_t lvl = 0;
+  while (current.size() > 1) {
+    ++lvl;
+    std::vector<std::size_t> next;
+    next.reserve((current.size() + options.fanin - 1) / options.fanin);
+    for (std::size_t i = 0; i < current.size(); i += options.fanin) {
+      const std::size_t node = plan.parent.size();
+      plan.parent.push_back(0);
+      plan.children.emplace_back();
+      plan.level.push_back(lvl);
+      const std::size_t stop = std::min(i + options.fanin, current.size());
+      for (std::size_t j = i; j < stop; ++j) {
+        plan.parent[current[j]] = node;
+        plan.children[node].push_back(current[j]);
+      }
+      next.push_back(node);
+    }
+    current = std::move(next);
+  }
+  plan.root = current.front();
+  plan.parent[plan.root] = plan.root;
+  plan.depth = lvl + 1;
+  return plan;
+}
+
+}  // namespace dolbie::shard

@@ -1,0 +1,73 @@
+// Deterministic sharding policy of the hierarchical layer: partition the N
+// workers into K shards of bounded size and build the O(log N) reduction
+// tree over the K leaf aggregators (fan-in bounded internal nodes, one
+// root). The plan is a pure function of (N, plan_options) — no generator
+// state survives construction — so the same seed reproduces the same
+// hierarchy bit for bit on any platform, and the contiguous default is
+// stable under churn: retiring a worker never reshuffles the survivors'
+// shard assignment (shards shrink in place, exactly like the flat
+// engines' membership flags).
+//
+// Identity guarantee: shard_size >= N yields a single shard whose member
+// list is 0..N-1 in order (slot == global id), which is what makes the
+// hierarchical engine bit-identical to the flat engines at K = 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace dolbie::shard {
+
+/// How to partition the workers and shape the reduction tree.
+struct plan_options {
+  /// Workers per shard; 0 selects ceil(sqrt(N)) (at least 2), the size
+  /// that balances shard-internal traffic against tree depth. The last
+  /// shard may be smaller.
+  std::size_t shard_size = 0;
+  /// Children per internal tree node; must be >= 2.
+  std::size_t fanin = 4;
+  /// Seed for the optional membership shuffle.
+  std::uint64_t seed = 0;
+  /// Shuffle workers across shards (seeded Fisher-Yates) instead of the
+  /// contiguous-block default. Members stay sorted ascending within each
+  /// shard either way, so shard-local index order matches global id order
+  /// (the election tie-breaking invariant).
+  bool shuffle = false;
+};
+
+/// The materialized hierarchy: worker -> shard maps plus the aggregator
+/// tree. Aggregator ids are tree-node ids: the K leaves are 0..K-1 (leaf
+/// k fronts shard k), internal nodes follow level by level, the root is
+/// the last id. With K == 1 the root *is* leaf 0 and the tree is trivial.
+struct shard_plan {
+  std::size_t n_workers = 0;
+  std::size_t fanin = 0;
+
+  /// members[k] = global worker ids of shard k, sorted ascending.
+  std::vector<std::vector<core::worker_id>> members;
+  /// shard_of[i] / slot_of[i]: worker i's shard and its index therein.
+  std::vector<std::size_t> shard_of;
+  std::vector<std::size_t> slot_of;
+
+  /// parent[a] for every aggregator (the root points at itself);
+  /// children[a] is empty for leaves, ascending for internal nodes.
+  std::vector<std::size_t> parent;
+  std::vector<std::vector<std::size_t>> children;
+  /// level[a]: 0 for leaves, increasing towards the root.
+  std::vector<std::size_t> level;
+  std::size_t root = 0;
+  /// Number of tree levels (1 when K == 1).
+  std::size_t depth = 1;
+
+  std::size_t shards() const { return members.size(); }
+  std::size_t aggregators() const { return parent.size(); }
+};
+
+/// Build the plan. Throws (common/error.h invariants) on n_workers == 0
+/// or fanin < 2. shard_size 0 defaults to ceil(sqrt(N)) (at least 2);
+/// explicit sizes are clamped to n_workers.
+shard_plan make_shard_plan(std::size_t n_workers, const plan_options& options);
+
+}  // namespace dolbie::shard

@@ -1,0 +1,152 @@
+#include "shard/reduction_tree.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "net/message.h"
+#include "obs/trace.h"
+
+namespace dolbie::shard {
+namespace {
+
+// Both directions of every child<->parent link, so summaries flow up and
+// consensus flows down over the same sparse storage. K == 1 degenerates
+// to a single node with no edges (the root is the leaf; nothing to say).
+net::network make_tree_net(const shard_plan& plan) {
+  std::vector<std::pair<net::node_id, net::node_id>> edges;
+  edges.reserve(2 * (plan.aggregators() - 1));
+  for (std::size_t a = 0; a < plan.aggregators(); ++a) {
+    if (a == plan.root) continue;
+    const auto child = static_cast<net::node_id>(a);
+    const auto parent = static_cast<net::node_id>(plan.parent[a]);
+    edges.emplace_back(child, parent);
+    edges.emplace_back(parent, child);
+  }
+  return net::network(plan.aggregators(), std::move(edges));
+}
+
+}  // namespace
+
+reduction_tree::reduction_tree(const shard_plan& plan, obs::tracer* tracer,
+                               std::uint32_t lane)
+    : plan_(&plan),
+      net_(make_tree_net(plan)),
+      tracer_(tracer),
+      lane_(lane) {
+  level_nodes_.resize(plan.depth);
+  for (std::size_t a = 0; a < plan.aggregators(); ++a) {
+    level_nodes_[plan.level[a]].push_back(a);
+  }
+  part_max_.assign(plan.aggregators(), 0.0);
+  part_min_.assign(plan.aggregators(), 0.0);
+  part_count_.assign(plan.aggregators(), 0);
+  have_.assign(plan.aggregators(), 0);
+}
+
+reduce_result reduction_tree::reduce(
+    std::uint64_t round, const std::vector<double>& leaf_max,
+    const std::vector<double>& leaf_min,
+    const std::vector<std::uint8_t>& contribute,
+    const std::vector<std::uint8_t>& agg_live) {
+  const shard_plan& plan = *plan_;
+  const std::size_t n_shards = plan.shards();
+  DOLBIE_REQUIRE(leaf_max.size() == n_shards && leaf_min.size() == n_shards &&
+                     contribute.size() == n_shards &&
+                     agg_live.size() == plan.aggregators(),
+                 "reduce input sizes do not match the plan");
+  net_.set_round(round);
+
+  std::fill(part_count_.begin(), part_count_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    if (contribute[k] == 0 || agg_live[k] == 0) continue;
+    part_max_[k] = leaf_max[k];
+    part_min_[k] = leaf_min[k];
+    part_count_[k] = 1;
+  }
+
+  // Level by level: every live node with a non-empty partial forwards it
+  // to a live parent; parents fold arrivals in child-id order.
+  for (std::size_t lvl = 0; lvl + 1 < plan.depth; ++lvl) {
+    obs::span sp(tracer_, lane_, round,
+                 ("tree.reduce.level" + std::to_string(lvl + 1)).c_str(),
+                 "shard");
+    for (const std::size_t a : level_nodes_[lvl]) {
+      if (part_count_[a] == 0 || agg_live[a] == 0) continue;
+      const std::size_t parent = plan.parent[a];
+      // Membership-oracle shortcut: a child never addresses a parent the
+      // round's liveness already names down, so no stale summary can
+      // linger in the channel into a later round.
+      if (agg_live[parent] == 0) continue;
+      net_.send({static_cast<net::node_id>(a),
+                 static_cast<net::node_id>(parent),
+                 net::message_kind::shard_reduce,
+                 {part_max_[a], part_min_[a],
+                  static_cast<double>(part_count_[a])}});
+    }
+    for (const std::size_t p : level_nodes_[lvl + 1]) {
+      if (agg_live[p] == 0) continue;
+      for (const std::size_t c : plan.children[p]) {
+        auto m = net_.receive(static_cast<net::node_id>(p),
+                              static_cast<net::node_id>(c));
+        if (!m.has_value()) continue;
+        const double mx = m->payload[0];
+        const double mn = m->payload[1];
+        const auto count = static_cast<std::size_t>(m->payload[2]);
+        if (part_count_[p] == 0) {
+          part_max_[p] = mx;
+          part_min_[p] = mn;
+        } else {
+          part_max_[p] = std::max(part_max_[p], mx);
+          part_min_[p] = std::min(part_min_[p], mn);
+        }
+        part_count_[p] += count;
+      }
+    }
+  }
+
+  const std::size_t root = plan.root;
+  if (agg_live[root] == 0 || part_count_[root] == 0) return {};
+  return {part_max_[root], part_min_[root], part_count_[root]};
+}
+
+void reduction_tree::broadcast(std::uint64_t round, double a, double b,
+                               const std::vector<std::uint8_t>& agg_live,
+                               std::vector<std::uint8_t>& reached) {
+  const shard_plan& plan = *plan_;
+  DOLBIE_REQUIRE(agg_live.size() == plan.aggregators(),
+                 "broadcast liveness size does not match the plan");
+  net_.set_round(round);
+  reached.assign(plan.shards(), 0);
+  std::fill(have_.begin(), have_.end(), 0);
+  if (agg_live[plan.root] == 0) return;
+  have_[plan.root] = 1;
+
+  for (std::size_t lvl = plan.depth; lvl-- > 1;) {
+    obs::span sp(tracer_, lane_, round,
+                 ("tree.broadcast.level" + std::to_string(lvl)).c_str(),
+                 "shard");
+    for (const std::size_t p : level_nodes_[lvl]) {
+      if (have_[p] == 0) continue;
+      for (const std::size_t c : plan.children[p]) {
+        if (agg_live[c] == 0) continue;  // oracle shortcut, as in reduce
+        net_.send({static_cast<net::node_id>(p), static_cast<net::node_id>(c),
+                   net::message_kind::shard_broadcast, {a, b}});
+      }
+    }
+    for (const std::size_t p : level_nodes_[lvl]) {
+      for (const std::size_t c : plan.children[p]) {
+        auto m = net_.receive(static_cast<net::node_id>(c),
+                              static_cast<net::node_id>(p));
+        if (m.has_value()) have_[c] = 1;
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < plan.shards(); ++k) {
+    reached[k] = have_[k];
+  }
+}
+
+}  // namespace dolbie::shard

@@ -1,0 +1,90 @@
+// The O(log N) aggregation layer of the hierarchical engine: a sparse
+// net::network over the plan's aggregator nodes carries shard summaries up
+// the tree (`reduce`: max cost, min step, contributor count) and the
+// round's consensus pair back down (`broadcast`: l_t, alpha_t). Every hop
+// is a real wire message (message_kind::shard_reduce / shard_broadcast),
+// so traffic accounting and the per-node O(shard size + log N) message
+// bound fall out of the ordinary per-peer counters.
+//
+// Aggregator failures are round-granular: a node named down by the
+// engine's liveness vector neither sends nor combines this round, and —
+// the membership-oracle shortcut the round machines already use — its
+// children skip sending to it, so no stale summary ever survives into a
+// later round. A dead interior node silently detaches its whole subtree:
+// the shards below it hold (the engine sees `reached[k] == false`) while
+// the rest of the tree completes normally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "shard/plan.h"
+
+namespace dolbie::obs {
+class tracer;
+}  // namespace dolbie::obs
+
+namespace dolbie::shard {
+
+/// What the root learned this round.
+struct reduce_result {
+  double max_value = 0.0;
+  double min_value = 0.0;
+  /// Total leaf contributors folded into the root's summary; 0 when the
+  /// root itself was down or every contributing subtree was cut off.
+  std::size_t contributors = 0;
+};
+
+class reduction_tree {
+ public:
+  /// Per-level reduce/broadcast spans are recorded on `lane` when a
+  /// tracer is attached (category "shard").
+  reduction_tree(const shard_plan& plan, obs::tracer* tracer,
+                 std::uint32_t lane);
+
+  /// Fold the leaf summaries up to the root. Leaf k contributes
+  /// (leaf_max[k], leaf_min[k]) iff contribute[k] != 0 and the leaf is
+  /// live; values from distinct children are combined in child-id order,
+  /// so the result is deterministic and — max/min being order-free —
+  /// equal to the flat engine's scan.
+  reduce_result reduce(std::uint64_t round,
+                       const std::vector<double>& leaf_max,
+                       const std::vector<double>& leaf_min,
+                       const std::vector<std::uint8_t>& contribute,
+                       const std::vector<std::uint8_t>& agg_live);
+
+  /// Push the consensus pair (a, b) from the root down; reached[k] is set
+  /// for every shard whose leaf received it over an all-live path.
+  void broadcast(std::uint64_t round, double a, double b,
+                 const std::vector<std::uint8_t>& agg_live,
+                 std::vector<std::uint8_t>& reached);
+
+  /// Cumulative tree traffic (the sparse network's totals).
+  net::traffic_totals traffic() const { return net_.total_traffic(); }
+  /// Cumulative messages sent by one aggregator on tree links.
+  std::uint64_t node_messages_sent(std::size_t agg) const {
+    return net_.peer_messages_sent(static_cast<net::node_id>(agg));
+  }
+  std::uint64_t node_bytes_sent(std::size_t agg) const {
+    return net_.peer_bytes_sent(static_cast<net::node_id>(agg));
+  }
+
+  void reset() { net_.reset_traffic(); }
+
+ private:
+  const shard_plan* plan_;
+  net::network net_;
+  /// Aggregator ids grouped by tree level (level_nodes_[0] = the leaves),
+  /// ascending within a level.
+  std::vector<std::vector<std::size_t>> level_nodes_;
+  /// Per-round partial summaries, indexed by aggregator id.
+  std::vector<double> part_max_;
+  std::vector<double> part_min_;
+  std::vector<std::size_t> part_count_;
+  std::vector<std::uint8_t> have_;  // broadcast: node holds the pair
+  obs::tracer* tracer_;
+  std::uint32_t lane_;
+};
+
+}  // namespace dolbie::shard

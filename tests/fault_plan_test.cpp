@@ -1,0 +1,87 @@
+// Crash-schedule parsing and validation edge cases: the "node@round[-recover]"
+// grammar must reject every malformed token with a diagnostic rather than
+// silently mis-scheduling a fault, and validate_crash_schedule must catch
+// out-of-range node ids and duplicate (node, crash_round) windows before an
+// engine runs a single round.
+#include "net/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dist/master_worker.h"
+
+namespace dolbie::net {
+namespace {
+
+TEST(ParseCrashSchedule, EmptyStringYieldsEmptySchedule) {
+  EXPECT_TRUE(parse_crash_schedule("").empty());
+  // Stray separators carry no tokens.
+  EXPECT_TRUE(parse_crash_schedule(",,").empty());
+}
+
+TEST(ParseCrashSchedule, SingleEntryWithoutRecoverIsPermanent) {
+  const auto windows = parse_crash_schedule("3@50");
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].node, 3u);
+  EXPECT_EQ(windows[0].crash_round, 50u);
+  EXPECT_EQ(windows[0].recover_round, crash_window::kNever);
+}
+
+TEST(ParseCrashSchedule, RecoverWindowAndMultipleEntries) {
+  const auto windows = parse_crash_schedule("3@50-80,5@100");
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].node, 3u);
+  EXPECT_EQ(windows[0].crash_round, 50u);
+  EXPECT_EQ(windows[0].recover_round, 80u);
+  EXPECT_EQ(windows[1].node, 5u);
+  EXPECT_EQ(windows[1].recover_round, crash_window::kNever);
+}
+
+TEST(ParseCrashSchedule, MalformedTokensThrow) {
+  EXPECT_THROW(parse_crash_schedule("3"), invariant_error);       // no '@'
+  EXPECT_THROW(parse_crash_schedule("@5"), invariant_error);      // no node
+  EXPECT_THROW(parse_crash_schedule("3@"), invariant_error);      // no round
+  EXPECT_THROW(parse_crash_schedule("x@5"), invariant_error);     // not a number
+  EXPECT_THROW(parse_crash_schedule("3@10-"), invariant_error);   // no recover
+  EXPECT_THROW(parse_crash_schedule("3@10-x"), invariant_error);
+  // A good entry does not excuse a bad neighbour.
+  EXPECT_THROW(parse_crash_schedule("2@5,bad"), invariant_error);
+}
+
+TEST(ParseCrashSchedule, RecoverMustFollowCrash) {
+  EXPECT_THROW(parse_crash_schedule("3@10-10"), invariant_error);
+  EXPECT_THROW(parse_crash_schedule("3@10-5"), invariant_error);
+}
+
+TEST(ValidateCrashSchedule, AcceptsInRangeAndOverlappingWindows) {
+  // Overlapping windows with distinct crash rounds are legal: the
+  // liveness predicates OR them.
+  const std::vector<crash_window> windows = {{1, 10, 50}, {1, 30, 80}};
+  EXPECT_NO_THROW(validate_crash_schedule(windows, 4));
+  EXPECT_NO_THROW(validate_crash_schedule({}, 0));
+}
+
+TEST(ValidateCrashSchedule, RejectsOutOfRangeNode) {
+  EXPECT_THROW(validate_crash_schedule({{4, 10, 20}}, 4), invariant_error);
+  EXPECT_THROW(validate_crash_schedule({{99, 0, 1}}, 4), invariant_error);
+}
+
+TEST(ValidateCrashSchedule, RejectsDuplicateWindow) {
+  // Same (node, crash_round) pair twice — a node cannot die mid-round
+  // twice in one round; invariably a schedule typo.
+  const std::vector<crash_window> windows = {{2, 10, 20}, {2, 10, 40}};
+  EXPECT_THROW(validate_crash_schedule(windows, 4), invariant_error);
+}
+
+TEST(ValidateCrashSchedule, EngineConstructorsRejectBadSchedules) {
+  // normalize_options runs the validation, so a schedule naming a worker
+  // outside the group fails fast at engine construction.
+  dist::protocol_options options;
+  options.faults.crashes = {{8, 10, crash_window::kNever}};
+  EXPECT_THROW(dist::master_worker_policy(8, options), invariant_error);
+  options.faults.crashes = {{2, 10, 20}, {2, 10, 30}};
+  EXPECT_THROW(dist::master_worker_policy(8, options), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::net

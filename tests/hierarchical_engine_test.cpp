@@ -1,0 +1,423 @@
+// Equivalence and degradation tests of the hierarchical shard engine.
+//
+// The load-bearing guarantee is bit-identity at K = 1: configured as a
+// single shard, the hierarchy must reproduce the flat engines' allocations
+// exactly — clean and faulty — because the shard's mass is exactly 1.0,
+// slot ids equal global ids, the fault seed is the base seed, and the tree
+// degenerates to a wireless single node. One deliberate exception: the
+// flat FD *clean* path sums the straggler's remainder as 1 - sum(claimed)
+// while the unified machine absorbs the delta-sum (algebraically equal,
+// not FP-equal), so the clean-FD comparison pins the machine path on both
+// sides via a sentinel never-firing crash window and checks the clean path
+// to near-equality only.
+//
+// Multi-shard runs are checked for the structural invariants the design
+// argues (DESIGN.md §10): simplex every round, per-shard mass
+// conservation, step sizes in (0, 1], aggregator outages holding exactly
+// the shards below the dead node, and full-transcript determinism.
+#include "shard/hierarchical_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/simplex.h"
+#include "cost/cost_function.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
+#include "exp/chaos.h"
+#include "exp/scenario.h"
+
+namespace dolbie {
+namespace {
+
+// A worker crash window that never fires: it flips a flat engine onto the
+// fault-tolerant machine path (reliable link, unified round machine)
+// without perturbing a single message.
+const std::vector<net::crash_window> kSentinelCrash = {
+    {0, 1000000, net::crash_window::kNever}};
+
+shard::hierarchical_options hier_options(dist::protocol_options protocol,
+                                         shard::shard_protocol mode,
+                                         std::size_t shard_size = 0) {
+  shard::hierarchical_options options;
+  options.protocol = std::move(protocol);
+  options.plan.shard_size = shard_size;
+  options.mode = mode;
+  return options;
+}
+
+dist::protocol_options faulty_protocol() {
+  dist::protocol_options options;
+  options.faults.seed = 1002;
+  options.faults.drop_rate = 0.2;
+  options.faults.crashes = {{1, 90, net::crash_window::kNever}};
+  options.retry_budget = 3;
+  return options;
+}
+
+// Drive two policies in lockstep against identically-seeded environments
+// and require bit-identical allocations after every round.
+template <class PolicyA, class PolicyB>
+void expect_lockstep_identical(PolicyA& a, PolicyB& b, std::size_t n,
+                               std::size_t rounds, std::uint64_t env_seed,
+                               exp::synthetic_family family) {
+  auto env_a = exp::make_synthetic_environment(n, family, env_seed);
+  auto env_b = exp::make_synthetic_environment(n, family, env_seed);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const cost::cost_vector costs_a = env_a->next_round();
+    const cost::cost_vector costs_b = env_b->next_round();
+    const cost::cost_view view_a = cost::view_of(costs_a);
+    const cost::cost_view view_b = cost::view_of(costs_b);
+    const auto locals_a = cost::evaluate(view_a, a.current());
+    const auto locals_b = cost::evaluate(view_b, b.current());
+    ASSERT_EQ(locals_a, locals_b) << "diverged before round " << t;
+    core::round_feedback fa;
+    fa.costs = &view_a;
+    fa.local_costs = locals_a;
+    core::round_feedback fb;
+    fb.costs = &view_b;
+    fb.local_costs = locals_b;
+    a.observe(fa);
+    b.observe(fb);
+    ASSERT_EQ(a.current(), b.current()) << "round " << t;
+  }
+}
+
+TEST(HierarchicalEngine, SingleShardMwCleanIsBitIdenticalToFlat) {
+  constexpr std::size_t kN = 8;
+  shard::hierarchical_options hopts = hier_options(
+      {}, shard::shard_protocol::master_worker, kN);
+  shard::hierarchical_engine hier(kN, std::move(hopts));
+  dist::master_worker_policy flat(kN, {});
+  ASSERT_EQ(hier.plan().shards(), 1u);
+  expect_lockstep_identical(hier, flat, kN, 120, 42,
+                            exp::synthetic_family::mixed);
+  EXPECT_EQ(hier.step_size(), flat.master_step_size());
+  EXPECT_EQ(hier.report().degraded_rounds, 0u);
+}
+
+TEST(HierarchicalEngine, SingleShardMwFaultyIsBitIdenticalToFlat) {
+  constexpr std::size_t kN = 8;
+  const dist::protocol_options protocol = faulty_protocol();
+  shard::hierarchical_engine hier(
+      kN, hier_options(protocol, shard::shard_protocol::master_worker, kN));
+  dist::master_worker_policy flat(kN, protocol);
+  expect_lockstep_identical(hier, flat, kN, 150, 42,
+                            exp::synthetic_family::mixed);
+  EXPECT_EQ(hier.step_size(), flat.master_step_size());
+  // The same degradation transcript, not just the same iterates.
+  EXPECT_EQ(hier.report().degraded_rounds, flat.faults().degraded_rounds);
+  EXPECT_EQ(hier.report().zero_step_holds, flat.faults().zero_step_holds);
+  EXPECT_EQ(hier.report().removed_workers, flat.faults().removed_workers);
+  EXPECT_EQ(hier.report().retransmits, flat.faults().retransmits);
+  EXPECT_EQ(flat.faults().removed_workers, 1u);  // the crash actually hit
+}
+
+TEST(HierarchicalEngine, SingleShardFdFaultyIsBitIdenticalToFlat) {
+  constexpr std::size_t kN = 8;
+  const dist::protocol_options protocol = faulty_protocol();
+  shard::hierarchical_engine hier(
+      kN,
+      hier_options(protocol, shard::shard_protocol::fully_distributed, kN));
+  dist::fully_distributed_policy flat(kN, protocol);
+  expect_lockstep_identical(hier, flat, kN, 150, 42,
+                            exp::synthetic_family::mixed);
+  EXPECT_EQ(hier.report().degraded_rounds, flat.faults().degraded_rounds);
+  EXPECT_EQ(hier.report().removed_workers, flat.faults().removed_workers);
+}
+
+TEST(HierarchicalEngine, SingleShardFdMachinePathIsBitIdenticalToFlat) {
+  // The sentinel crash never fires but pins both engines to the unified
+  // machine path — the apples-to-apples clean comparison for FD.
+  constexpr std::size_t kN = 8;
+  dist::protocol_options protocol;
+  protocol.faults.crashes = kSentinelCrash;
+  shard::hierarchical_engine hier(
+      kN,
+      hier_options(protocol, shard::shard_protocol::fully_distributed, kN));
+  dist::fully_distributed_policy flat(kN, protocol);
+  expect_lockstep_identical(hier, flat, kN, 120, 42,
+                            exp::synthetic_family::mixed);
+  EXPECT_EQ(hier.report().degraded_rounds, 0u);
+  EXPECT_EQ(flat.faults().degraded_rounds, 0u);
+}
+
+TEST(HierarchicalEngine, SingleShardFdCleanTracksFlatClean) {
+  // Clean flat FD computes the straggler remainder as 1 - sum(claimed);
+  // the machine absorbs the delta-sum. Algebraically identical, FP-wise
+  // only near-identical — so this one is a tolerance check by design.
+  constexpr std::size_t kN = 8;
+  shard::hierarchical_engine hier(
+      kN, hier_options({}, shard::shard_protocol::fully_distributed, kN));
+  dist::fully_distributed_policy flat(kN, {});
+  auto env_a = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  auto env_b = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  for (std::size_t t = 0; t < 120; ++t) {
+    const cost::cost_vector costs_a = env_a->next_round();
+    const cost::cost_vector costs_b = env_b->next_round();
+    const cost::cost_view view_a = cost::view_of(costs_a);
+    const cost::cost_view view_b = cost::view_of(costs_b);
+    const std::vector<double> locals_a = cost::evaluate(view_a, hier.current());
+    const std::vector<double> locals_b = cost::evaluate(view_b, flat.current());
+    core::round_feedback fa;
+    fa.costs = &view_a;
+    fa.local_costs = locals_a;
+    core::round_feedback fb;
+    fb.costs = &view_b;
+    fb.local_costs = locals_b;
+    hier.observe(fa);
+    flat.observe(fb);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_NEAR(hier.current()[i], flat.current()[i], 1e-9)
+          << "round " << t << " worker " << i;
+    }
+  }
+}
+
+// Per-shard mass conservation: the round machines renormalize each shard
+// against its own mass (the `target` seam), so the slice sums never drift.
+void check_shard_masses(const shard::hierarchical_engine& hier,
+                        const std::vector<double>& masses) {
+  const shard::shard_plan& plan = hier.plan();
+  for (std::size_t k = 0; k < plan.shards(); ++k) {
+    double sum = 0.0;
+    for (const core::worker_id i : plan.members[k]) sum += hier.current()[i];
+    EXPECT_NEAR(sum, masses[k], 1e-9) << "shard " << k;
+  }
+}
+
+std::vector<double> initial_masses(const shard::hierarchical_engine& hier) {
+  std::vector<double> masses(hier.plan().shards(), 0.0);
+  for (std::size_t k = 0; k < hier.plan().shards(); ++k) {
+    for (const core::worker_id i : hier.plan().members[k]) {
+      masses[k] += hier.current()[i];
+    }
+  }
+  return masses;
+}
+
+void drive_with_invariants(shard::hierarchical_engine& hier, std::size_t n,
+                           std::size_t rounds, std::uint64_t env_seed) {
+  const std::vector<double> masses = initial_masses(hier);
+  auto env = exp::make_synthetic_environment(
+      n, exp::synthetic_family::mixed, env_seed);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    hier.observe(fb);
+    ASSERT_TRUE(on_simplex(hier.current())) << "round " << t;
+    ASSERT_GT(hier.step_size(), 0.0);
+    ASSERT_LE(hier.step_size(), 1.0);
+    check_shard_masses(hier, masses);
+  }
+}
+
+TEST(HierarchicalEngine, MultiShardKeepsInvariantsCleanAndFaulty) {
+  constexpr std::size_t kN = 12;
+  for (const shard::shard_protocol mode :
+       {shard::shard_protocol::master_worker,
+        shard::shard_protocol::fully_distributed}) {
+    {
+      shard::hierarchical_engine hier(kN, hier_options({}, mode, 4));
+      ASSERT_EQ(hier.plan().shards(), 3u);
+      drive_with_invariants(hier, kN, 150, 42);
+      EXPECT_EQ(hier.report().degraded_rounds, 0u);
+    }
+    {
+      shard::hierarchical_engine hier(
+          kN, hier_options(faulty_protocol(), mode, 4));
+      drive_with_invariants(hier, kN, 150, 42);
+      EXPECT_EQ(hier.report().removed_workers, 1u);
+      EXPECT_GT(hier.report().retransmits, 0u);
+    }
+  }
+}
+
+TEST(HierarchicalEngine, ShuffledMembershipKeepsInvariants) {
+  constexpr std::size_t kN = 20;
+  shard::hierarchical_options options =
+      hier_options({}, shard::shard_protocol::master_worker, 5);
+  options.plan.shuffle = true;
+  options.plan.seed = 11;
+  shard::hierarchical_engine hier(kN, std::move(options));
+  ASSERT_EQ(hier.plan().shards(), 4u);
+  drive_with_invariants(hier, kN, 100, 7);
+}
+
+TEST(HierarchicalEngine, LeafAggregatorOutageHoldsExactlyItsShard) {
+  constexpr std::size_t kN = 12;
+  shard::hierarchical_options options =
+      hier_options({}, shard::shard_protocol::master_worker, 4);
+  // Aggregators: leaves 0,1,2 front shards 0,1,2; node 3 is the root.
+  options.aggregator_crashes = {{1, 10, 20}};
+  shard::hierarchical_engine hier(kN, std::move(options));
+  ASSERT_EQ(hier.plan().aggregators(), 4u);
+  const std::vector<double> masses = initial_masses(hier);
+
+  auto env = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  core::allocation before_outage;
+  double moved_elsewhere = 0.0;
+  for (std::size_t t = 0; t < 40; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    if (t == 10) before_outage = hier.current();
+    hier.observe(fb);
+    ASSERT_TRUE(on_simplex(hier.current())) << "round " << t;
+    check_shard_masses(hier, masses);
+    if (t >= 10 && t < 20) {
+      // Shard 1 (workers 4..7) is headless: its slice must hold exactly.
+      for (const core::worker_id i : hier.plan().members[1]) {
+        ASSERT_EQ(hier.current()[i], before_outage[i])
+            << "round " << t << " worker " << i;
+      }
+      for (const core::worker_id i : hier.plan().members[0]) {
+        moved_elsewhere +=
+            std::abs(hier.current()[i] - before_outage[i]);
+      }
+    }
+  }
+  // The healthy shards kept iterating through the outage...
+  EXPECT_GT(moved_elsewhere, 0.0);
+  // ...and every outage round was accounted as degraded (4 holds each).
+  EXPECT_GE(hier.report().degraded_rounds, 10u);
+  EXPECT_GE(hier.report().zero_step_holds, 40u);
+  EXPECT_EQ(hier.report().aborted_rounds, 0u);
+}
+
+TEST(HierarchicalEngine, RootOutageFreezesEveryone) {
+  constexpr std::size_t kN = 12;
+  shard::hierarchical_options options =
+      hier_options({}, shard::shard_protocol::fully_distributed, 4);
+  options.aggregator_crashes = {{3, 30, net::crash_window::kNever}};
+  shard::hierarchical_engine hier(kN, std::move(options));
+  ASSERT_EQ(hier.plan().root, 3u);
+
+  auto env = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  core::allocation frozen;
+  double alpha_frozen = 0.0;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    if (t == 30) {
+      frozen = hier.current();
+      alpha_frozen = hier.step_size();
+    }
+    hier.observe(fb);
+    if (t >= 30) {
+      ASSERT_EQ(hier.current(), frozen) << "round " << t;
+      ASSERT_EQ(hier.step_size(), alpha_frozen) << "round " << t;
+    }
+  }
+  // Rounds 30..59: no consensus exists, so every round aborts globally.
+  EXPECT_EQ(hier.report().aborted_rounds, 30u);
+  EXPECT_GE(hier.report().degraded_rounds, 30u);
+}
+
+TEST(HierarchicalEngine, FaultyMultiShardRunsAreDeterministic) {
+  constexpr std::size_t kN = 12;
+  const auto run_once = [] {
+    shard::hierarchical_options options = hier_options(
+        faulty_protocol(), shard::shard_protocol::master_worker, 4);
+    options.aggregator_crashes = {{1, 40, 70}};
+    shard::hierarchical_engine hier(kN, std::move(options));
+    auto env = exp::make_synthetic_environment(
+        kN, exp::synthetic_family::mixed, 5);
+    std::vector<double> iterates;
+    for (std::size_t t = 0; t < 120; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      const cost::cost_view view = cost::view_of(costs);
+      const std::vector<double> locals = cost::evaluate(view, hier.current());
+      core::round_feedback fb;
+      fb.costs = &view;
+      fb.local_costs = locals;
+      hier.observe(fb);
+      for (const double x : hier.current()) iterates.push_back(x);
+    }
+    return std::make_pair(iterates, hier.report());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second.degraded_rounds, b.second.degraded_rounds);
+  EXPECT_EQ(a.second.zero_step_holds, b.second.zero_step_holds);
+  EXPECT_EQ(a.second.retransmits, b.second.retransmits);
+  EXPECT_GT(a.second.retransmits, 0u);
+}
+
+TEST(HierarchicalEngine, ResetReplaysTheExactTranscript) {
+  constexpr std::size_t kN = 12;
+  shard::hierarchical_engine hier(kN, hier_options(
+      faulty_protocol(), shard::shard_protocol::fully_distributed, 4));
+  const auto run_pass = [&hier] {
+    auto env = exp::make_synthetic_environment(
+        kN, exp::synthetic_family::mixed, 5);
+    std::vector<double> iterates;
+    for (std::size_t t = 0; t < 80; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      const cost::cost_view view = cost::view_of(costs);
+      const std::vector<double> locals = cost::evaluate(view, hier.current());
+      core::round_feedback fb;
+      fb.costs = &view;
+      fb.local_costs = locals;
+      hier.observe(fb);
+      for (const double x : hier.current()) iterates.push_back(x);
+    }
+    return iterates;
+  };
+  const auto first = run_pass();
+  hier.reset();
+  const auto second = run_pass();
+  EXPECT_EQ(first, second);
+}
+
+// The chaos grid gains the hierarchical rows on request (appended last,
+// historical row positions untouched). This test is re-registered under
+// DOLBIE_THREADS 1/2/8: the grid runs through parallel_map, so it also
+// witnesses thread-count determinism of the shard layer.
+TEST(HierarchicalEngine, ChaosGridIncludesHierarchicalRowsOnRequest) {
+  exp::chaos_options options;
+  options.workers = 12;
+  options.rounds = 40;
+  options.drop_rates = {0.2};
+  options.retry_budget = 3;
+  options.include_hierarchical = true;
+  options.shard_size = 4;
+  options.aggregator_crashes = {{1, 10, 20}};
+  const std::vector<exp::chaos_row> rows = exp::run_chaos_grid(options);
+  ASSERT_EQ(rows.size(), 8u);  // {MW, FD, MW-hier, FD-hier} x {0.0, 0.2}
+  bool saw_hier_mw = false;
+  bool saw_hier_fd = false;
+  for (const exp::chaos_row& row : rows) {
+    EXPECT_TRUE(row.simplex_ok) << row.engine << " " << row.drop_rate;
+    EXPECT_TRUE(std::isfinite(row.cumulative_cost)) << row.engine;
+    saw_hier_mw = saw_hier_mw || row.engine == "MW-hier";
+    saw_hier_fd = saw_hier_fd || row.engine == "FD-hier";
+    if (row.engine == "MW-hier" || row.engine == "FD-hier") {
+      // The aggregator outage degrades even the zero-drop baseline.
+      EXPECT_GT(row.report.degraded_rounds, 0u) << row.engine;
+    }
+  }
+  EXPECT_TRUE(saw_hier_mw);
+  EXPECT_TRUE(saw_hier_fd);
+}
+
+}  // namespace
+}  // namespace dolbie

@@ -1,0 +1,164 @@
+// The shard plan is a pure function of (N, options): these tests pin the
+// identity guarantee (shard_size >= N reproduces the flat engine's index
+// space exactly), the contiguous default, the inverse-map consistency, the
+// seeded-shuffle determinism, and the fan-in-bounded tree shape the
+// reduction layer relies on.
+#include "shard/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dolbie::shard {
+namespace {
+
+// Every worker appears in exactly one shard, ascending within it, and the
+// inverse maps agree with the membership lists.
+void check_partition_consistency(const shard_plan& plan) {
+  std::vector<std::size_t> seen(plan.n_workers, 0);
+  for (std::size_t k = 0; k < plan.shards(); ++k) {
+    const auto& members = plan.members[k];
+    ASSERT_FALSE(members.empty());
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+    for (std::size_t slot = 0; slot < members.size(); ++slot) {
+      const auto i = members[slot];
+      ASSERT_LT(i, plan.n_workers);
+      ++seen[i];
+      EXPECT_EQ(plan.shard_of[i], k);
+      EXPECT_EQ(plan.slot_of[i], slot);
+    }
+  }
+  for (std::size_t i = 0; i < plan.n_workers; ++i) EXPECT_EQ(seen[i], 1u);
+}
+
+// Leaves are 0..K-1, levels are contiguous, every non-root's parent sits
+// exactly one level up and lists it among ascending children, and the
+// root is the last id with a self-parent.
+void check_tree_shape(const shard_plan& plan) {
+  const std::size_t n_aggs = plan.aggregators();
+  ASSERT_EQ(plan.level.size(), n_aggs);
+  ASSERT_EQ(plan.children.size(), n_aggs);
+  EXPECT_EQ(plan.root, n_aggs - 1);
+  EXPECT_EQ(plan.parent[plan.root], plan.root);
+  EXPECT_EQ(plan.level[plan.root], plan.depth - 1);
+  for (std::size_t k = 0; k < plan.shards(); ++k) {
+    EXPECT_EQ(plan.level[k], 0u);
+    EXPECT_TRUE(plan.children[k].empty());
+  }
+  for (std::size_t a = 0; a < n_aggs; ++a) {
+    if (a == plan.root) continue;
+    const std::size_t p = plan.parent[a];
+    ASSERT_LT(p, n_aggs);
+    EXPECT_EQ(plan.level[p], plan.level[a] + 1);
+    const auto& kids = plan.children[p];
+    EXPECT_TRUE(std::is_sorted(kids.begin(), kids.end()));
+    EXPECT_LE(kids.size(), plan.fanin);
+    EXPECT_NE(std::find(kids.begin(), kids.end(), a), kids.end());
+  }
+}
+
+TEST(ShardPlan, SingleShardIsTheFlatIndexSpace) {
+  const shard_plan plan = make_shard_plan(7, {.shard_size = 7});
+  ASSERT_EQ(plan.shards(), 1u);
+  EXPECT_EQ(plan.aggregators(), 1u);
+  EXPECT_EQ(plan.root, 0u);
+  EXPECT_EQ(plan.depth, 1u);
+  EXPECT_EQ(plan.parent[0], 0u);
+  ASSERT_EQ(plan.members[0].size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(plan.members[0][i], i);
+    EXPECT_EQ(plan.shard_of[i], 0u);
+    EXPECT_EQ(plan.slot_of[i], i);  // slot == global id: the K=1 identity
+  }
+  // Oversized requests clamp to N with the same result.
+  const shard_plan clamped = make_shard_plan(7, {.shard_size = 100});
+  EXPECT_EQ(clamped.shards(), 1u);
+  EXPECT_EQ(clamped.members[0], plan.members[0]);
+}
+
+TEST(ShardPlan, DefaultShardSizeIsCeilSqrtN) {
+  const shard_plan plan = make_shard_plan(100, {});
+  EXPECT_EQ(plan.members[0].size(), 10u);  // ceil(sqrt(100))
+  EXPECT_EQ(plan.shards(), 10u);
+  const shard_plan odd = make_shard_plan(30, {});
+  EXPECT_EQ(odd.members[0].size(), 6u);  // ceil(sqrt(30))
+  EXPECT_EQ(odd.shards(), 5u);
+  // Tiny groups still get shards of at least 2.
+  const shard_plan tiny = make_shard_plan(3, {});
+  EXPECT_EQ(tiny.members[0].size(), 2u);
+  check_partition_consistency(plan);
+  check_partition_consistency(odd);
+  check_partition_consistency(tiny);
+}
+
+TEST(ShardPlan, ContiguousBlocksByDefault) {
+  const shard_plan plan = make_shard_plan(10, {.shard_size = 4});
+  ASSERT_EQ(plan.shards(), 3u);
+  EXPECT_EQ(plan.members[0], (std::vector<core::worker_id>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.members[1], (std::vector<core::worker_id>{4, 5, 6, 7}));
+  EXPECT_EQ(plan.members[2], (std::vector<core::worker_id>{8, 9}));
+  check_partition_consistency(plan);
+  check_tree_shape(plan);
+}
+
+TEST(ShardPlan, TreeGroupsLeavesByFanin) {
+  // K = 10 leaves at fan-in 4: 3 internal nodes over {0-3},{4-7},{8,9},
+  // then one root over those three.
+  const shard_plan plan = make_shard_plan(40, {.shard_size = 4, .fanin = 4});
+  ASSERT_EQ(plan.shards(), 10u);
+  ASSERT_EQ(plan.aggregators(), 14u);
+  EXPECT_EQ(plan.depth, 3u);
+  EXPECT_EQ(plan.children[10], (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.children[11], (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(plan.children[12], (std::vector<std::size_t>{8, 9}));
+  EXPECT_EQ(plan.children[13], (std::vector<std::size_t>{10, 11, 12}));
+  EXPECT_EQ(plan.root, 13u);
+  check_tree_shape(plan);
+}
+
+TEST(ShardPlan, DepthIsLogarithmicAtScale) {
+  const shard_plan plan = make_shard_plan(100000, {});
+  check_tree_shape(plan);
+  // ceil(sqrt(1e5)) = 317 -> 316 shards; fan-in 4 folds them in
+  // ceil(log4(316)) = 5 internal levels.
+  EXPECT_EQ(plan.members[0].size(), 317u);
+  EXPECT_LE(plan.depth,
+            2 + static_cast<std::size_t>(std::log(static_cast<double>(
+                                             plan.shards())) /
+                                         std::log(4.0)));
+}
+
+TEST(ShardPlan, ShuffleIsSeedDeterministic) {
+  const plan_options options{.shard_size = 8, .fanin = 3, .seed = 7,
+                             .shuffle = true};
+  const shard_plan a = make_shard_plan(50, options);
+  const shard_plan b = make_shard_plan(50, options);
+  ASSERT_EQ(a.shards(), b.shards());
+  for (std::size_t k = 0; k < a.shards(); ++k) {
+    EXPECT_EQ(a.members[k], b.members[k]);
+  }
+  check_partition_consistency(a);
+  check_tree_shape(a);
+
+  plan_options other = options;
+  other.seed = 8;
+  const shard_plan c = make_shard_plan(50, other);
+  check_partition_consistency(c);
+  bool differs = false;
+  for (std::size_t k = 0; k < a.shards() && !differs; ++k) {
+    differs = a.members[k] != c.members[k];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShardPlan, RejectsDegenerateInputs) {
+  EXPECT_THROW(make_shard_plan(0, {}), invariant_error);
+  EXPECT_THROW(make_shard_plan(10, {.fanin = 1}), invariant_error);
+  EXPECT_THROW(make_shard_plan(10, {.fanin = 0}), invariant_error);
+}
+
+}  // namespace
+}  // namespace dolbie::shard

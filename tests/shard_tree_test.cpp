@@ -1,0 +1,188 @@
+// The reduction tree must agree with a flat scan (max/min are order-free)
+// whenever the paths are live, count contributors exactly, and degrade the
+// way the engine relies on: a dead leaf drops one summary, a dead interior
+// node silently detaches its whole subtree, a dead root aborts the round
+// for everyone. Traffic flows over real wire messages, one hop per edge.
+#include "shard/reduction_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shard/plan.h"
+
+namespace dolbie::shard {
+namespace {
+
+// shard_size = 1 makes K = N leaves: pure tree tests, no worker layer.
+shard_plan leaf_plan(std::size_t leaves, std::size_t fanin) {
+  return make_shard_plan(leaves, {.shard_size = 1, .fanin = fanin});
+}
+
+struct fixture {
+  shard_plan plan;
+  reduction_tree tree;
+  std::vector<double> leaf_max;
+  std::vector<double> leaf_min;
+  std::vector<std::uint8_t> contribute;
+  std::vector<std::uint8_t> agg_live;
+
+  explicit fixture(std::size_t leaves, std::size_t fanin = 4)
+      : plan(leaf_plan(leaves, fanin)), tree(plan, nullptr, 0) {
+    leaf_max.resize(leaves);
+    leaf_min.resize(leaves);
+    for (std::size_t k = 0; k < leaves; ++k) {
+      // Distinct, unsorted values: max at leaf 3 (mod), min at leaf 1.
+      leaf_max[k] = 10.0 + static_cast<double>((k * 7) % leaves);
+      leaf_min[k] = 0.5 - 0.01 * static_cast<double>((k * 3) % leaves);
+    }
+    contribute.assign(leaves, 1);
+    agg_live.assign(plan.aggregators(), 1);
+  }
+
+  // The flat scan the tree must reproduce over live, contributing leaves
+  // whose whole root path is live.
+  reduce_result scan() const {
+    reduce_result r;
+    for (std::size_t k = 0; k < plan.shards(); ++k) {
+      if (contribute[k] == 0) continue;
+      bool path_live = true;
+      std::size_t a = k;
+      while (true) {
+        if (agg_live[a] == 0) path_live = false;
+        if (a == plan.root) break;
+        a = plan.parent[a];
+      }
+      if (!path_live) continue;
+      if (r.contributors == 0) {
+        r.max_value = leaf_max[k];
+        r.min_value = leaf_min[k];
+      } else {
+        r.max_value = std::max(r.max_value, leaf_max[k]);
+        r.min_value = std::min(r.min_value, leaf_min[k]);
+      }
+      ++r.contributors;
+    }
+    return r;
+  }
+};
+
+void expect_matches_scan(fixture& f, std::uint64_t round) {
+  const reduce_result expected = f.scan();
+  const reduce_result got =
+      f.tree.reduce(round, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  EXPECT_EQ(got.contributors, expected.contributors);
+  if (expected.contributors > 0) {
+    EXPECT_EQ(got.max_value, expected.max_value);
+    EXPECT_EQ(got.min_value, expected.min_value);
+  }
+}
+
+TEST(ReductionTree, SingleLeafHasNoWire) {
+  fixture f(1);
+  ASSERT_EQ(f.plan.depth, 1u);
+  const reduce_result r =
+      f.tree.reduce(1, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  EXPECT_EQ(r.contributors, 1u);
+  EXPECT_EQ(r.max_value, f.leaf_max[0]);
+  EXPECT_EQ(r.min_value, f.leaf_min[0]);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, r.max_value, r.min_value, f.agg_live, reached);
+  ASSERT_EQ(reached.size(), 1u);
+  EXPECT_EQ(reached[0], 1);
+  EXPECT_EQ(f.tree.traffic().messages_sent, 0u);  // root == leaf: no hops
+}
+
+TEST(ReductionTree, AllLiveMatchesFlatScanAndCountsHops) {
+  fixture f(10);
+  expect_matches_scan(f, 1);
+  // One upward hop per non-root node.
+  EXPECT_EQ(f.tree.traffic().messages_sent, f.plan.aggregators() - 1);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_EQ(reached[k], 1);
+  // ... and one downward hop per non-root node.
+  EXPECT_EQ(f.tree.traffic().messages_sent, 2 * (f.plan.aggregators() - 1));
+}
+
+TEST(ReductionTree, DeadLeafDropsOneSummary) {
+  fixture f(10);
+  f.agg_live[2] = 0;
+  expect_matches_scan(f, 1);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(reached[k], k == 2 ? 0 : 1) << "leaf " << k;
+  }
+}
+
+TEST(ReductionTree, MaskedLeafIsExcludedButStillReached) {
+  fixture f(10);
+  f.contribute[5] = 0;
+  expect_matches_scan(f, 1);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  EXPECT_EQ(reached[5], 1);  // holding back a summary is not being down
+}
+
+TEST(ReductionTree, DeadInteriorNodeDetachesItsSubtree) {
+  // K = 10 at fan-in 4: internal node 11 fronts leaves 4..7.
+  fixture f(10);
+  ASSERT_EQ(f.plan.children[11], (std::vector<std::size_t>{4, 5, 6, 7}));
+  f.agg_live[11] = 0;
+  expect_matches_scan(f, 1);
+  const reduce_result got =
+      f.tree.reduce(2, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  EXPECT_EQ(got.contributors, 6u);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(2, 1.0, 2.0, f.agg_live, reached);
+  for (std::size_t k = 0; k < 10; ++k) {
+    const bool cut = k >= 4 && k <= 7;
+    EXPECT_EQ(reached[k], cut ? 0 : 1) << "leaf " << k;
+  }
+}
+
+TEST(ReductionTree, DeadRootAbortsEveryone) {
+  fixture f(10);
+  f.agg_live[f.plan.root] = 0;
+  const reduce_result got =
+      f.tree.reduce(1, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  EXPECT_EQ(got.contributors, 0u);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_EQ(reached[k], 0);
+  // The leaf hops still happen (their parents are live); the oracle
+  // shortcut stops the last hop into the dead root, and the broadcast
+  // never starts.
+  EXPECT_EQ(f.tree.traffic().messages_sent, 10u);
+}
+
+TEST(ReductionTree, RepeatedRoundsAreDeterministic) {
+  fixture f(17, 3);
+  const reduce_result first =
+      f.tree.reduce(1, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  const reduce_result second =
+      f.tree.reduce(2, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  EXPECT_EQ(first.max_value, second.max_value);
+  EXPECT_EQ(first.min_value, second.min_value);
+  EXPECT_EQ(first.contributors, second.contributors);
+  expect_matches_scan(f, 3);
+}
+
+TEST(ReductionTree, PerNodeTrafficIsFaninBounded) {
+  fixture f(16, 4);
+  std::vector<std::uint8_t> reached;
+  const std::uint64_t rounds = 5;
+  for (std::uint64_t r = 1; r <= rounds; ++r) {
+    f.tree.reduce(r, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+    f.tree.broadcast(r, 1.0, 2.0, f.agg_live, reached);
+  }
+  for (std::size_t a = 0; a < f.plan.aggregators(); ++a) {
+    // Per round: at most one hop up plus fan-in hops down.
+    EXPECT_LE(f.tree.node_messages_sent(a), rounds * (1 + f.plan.fanin))
+        << "aggregator " << a;
+  }
+}
+
+}  // namespace
+}  // namespace dolbie::shard
