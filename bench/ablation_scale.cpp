@@ -19,14 +19,28 @@
 // BENCH_hot_path.json) so the O(shard size + log N) scaling is pinned by
 // CI. The flat FD engine's n^2 broadcast is only run at N <= 10^3.
 //
+// At the largest N the hierarchical engines additionally sweep the
+// intra-round pool width (threads in {1, 2, 8}); the sweep doubles as a
+// determinism gate — every non-timing column must be bit-identical across
+// widths (exit 1 otherwise) — and prices the tentpole speedup, whose 3x
+// floor at N = 10^5 / 8 threads is enforced (exit 2 on a miss) only when
+// the host actually has >= 8 hardware threads and the run is not smoke
+// (speedup_floor_enforced in the JSON says which). --baseline=PATH
+// compares against a committed snapshot: a per-node message-envelope
+// regression exits 1, a 3x ns/round blowup exits 2, mismatched
+// rounds/seed/smoke skip the comparison.
+//
 //   $ ./ablation_scale --json [--smoke] [--rounds=N] [--seed=N]
 //                      [--out=BENCH_ablation_scale.json]
+//                      [--baseline=BENCH_ablation_scale.json]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -50,6 +64,8 @@ using namespace dolbie;
 struct scale_cell {
   std::string engine;
   std::size_t workers = 0;
+  /// Intra-round pool width (hierarchical engines only; flat cells are 1).
+  std::size_t threads = 1;
   std::size_t rounds = 0;
   double ns_per_round = 0.0;
   double cumulative_cost = 0.0;
@@ -106,20 +122,49 @@ scale_cell run_scale_cell(std::string engine, Policy& policy, std::size_t n,
   return cell;
 }
 
+/// One hierarchical engine's threads-sweep outcome at the largest N.
+struct speedup_row {
+  std::string engine;
+  std::size_t workers = 0;
+  std::size_t threads = 0;  ///< the wide end of the sweep
+  double speedup = 0.0;     ///< ns(threads=1) / ns(threads=widest)
+};
+
+/// The ISSUE floor: >= 3x ns/round at N = 10^5, 8 threads vs 1. Only
+/// enforceable where 8 hardware threads exist and the full grid ran.
+constexpr double kParallelSpeedupFloor = 3.0;
+
 void write_scale_json(std::ostream& os, const std::vector<scale_cell>& cells,
-                      std::size_t rounds, std::uint64_t seed, bool smoke) {
+                      const std::vector<speedup_row>& speedups,
+                      std::size_t rounds, std::uint64_t seed, bool smoke,
+                      bool floor_enforced) {
   os << "{\n"
      << "  \"bench\": \"ablation_scale\",\n"
      << "  \"mode\": \"worker_scale\",\n"
      << "  \"rounds\": " << rounds << ",\n"
      << "  \"seed\": " << seed << ",\n"
      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n"
+     << "  \"parallel_speedup_floor\": " << kParallelSpeedupFloor << ",\n"
+     << "  \"speedup_floor_enforced\": " << (floor_enforced ? "true" : "false")
+     << ",\n"
+     << "  \"speedups\": [\n";
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    const speedup_row& s = speedups[i];
+    os << "    {\"engine\": \"" << s.engine << "\""
+       << ", \"workers\": " << s.workers << ", \"threads\": " << s.threads
+       << ", \"speedup\": " << s.speedup << "}"
+       << (i + 1 < speedups.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
      << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const scale_cell& c = cells[i];
     const double r = static_cast<double>(c.rounds);
     os << "    {\"engine\": \"" << c.engine << "\""
        << ", \"workers\": " << c.workers
+       << ", \"threads\": " << c.threads
        << ", \"ns_per_round\": " << c.ns_per_round
        << ", \"max_node_messages_per_round\": "
        << static_cast<double>(c.max_node_messages) / r
@@ -134,12 +179,133 @@ void write_scale_json(std::ostream& os, const std::vector<scale_cell>& cells,
   os << "  ]\n}\n";
 }
 
+// --- committed-baseline comparison -----------------------------------------
+//
+// The committed BENCH_ablation_scale.json is this bench's own output, one
+// cell object per line; a full JSON parser would be overkill for a format
+// we emit ourselves, so the comparison extracts fields with string finds.
+
+bool extract_number(const std::string& line, const std::string& key,
+                    double& out) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string& out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto begin = pos + needle.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+struct baseline_cell {
+  std::string engine;
+  double workers = 0.0;
+  double threads = 1.0;
+  double ns_per_round = 0.0;
+  double max_node_messages_per_round = 0.0;
+  double total_messages = 0.0;
+};
+
+/// 0 = clean, 1 = message-envelope regression (deterministic, hard),
+/// 2 = ns/round blowup (timing, tolerated on noisy runners).
+int compare_with_baseline(const std::string& path,
+                          const std::vector<scale_cell>& cells,
+                          std::size_t rounds, std::uint64_t seed,
+                          bool smoke) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cout << "\nbaseline " << path << " not readable; skipping\n";
+    return 0;
+  }
+  std::vector<baseline_cell> base;
+  double base_rounds = -1.0;
+  double base_seed = -1.0;
+  bool base_smoke = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    baseline_cell b;
+    if (extract_string(line, "engine", b.engine)) {
+      extract_number(line, "workers", b.workers);
+      extract_number(line, "threads", b.threads);
+      extract_number(line, "ns_per_round", b.ns_per_round);
+      extract_number(line, "max_node_messages_per_round",
+                     b.max_node_messages_per_round);
+      extract_number(line, "total_messages", b.total_messages);
+      // The speedups array also carries engine/workers/threads lines; only
+      // cell lines have per-round envelopes.
+      if (line.find("max_node_messages_per_round") != std::string::npos) {
+        base.push_back(std::move(b));
+      }
+      continue;
+    }
+    extract_number(line, "rounds", base_rounds);
+    extract_number(line, "seed", base_seed);
+    if (line.find("\"smoke\": true") != std::string::npos) base_smoke = true;
+  }
+  if (base_rounds != static_cast<double>(rounds) ||
+      base_seed != static_cast<double>(seed) || base_smoke != smoke) {
+    std::cout << "\nbaseline " << path
+              << " was recorded under different rounds/seed/smoke; "
+                 "skipping comparison\n";
+    return 0;
+  }
+  int rc = 0;
+  for (const scale_cell& c : cells) {
+    const baseline_cell* match = nullptr;
+    for (const baseline_cell& b : base) {
+      if (b.engine == c.engine &&
+          b.workers == static_cast<double>(c.workers) &&
+          b.threads == static_cast<double>(c.threads)) {
+        match = &b;
+        break;
+      }
+    }
+    if (match == nullptr) continue;  // new dimension, nothing to regress
+    const double r = static_cast<double>(c.rounds);
+    const double envelope = static_cast<double>(c.max_node_messages) / r;
+    // Message counts are deterministic; the committed numbers only carry
+    // print precision, so allow a formatting-sized slack.
+    if (envelope > match->max_node_messages_per_round * 1.0001 ||
+        static_cast<double>(c.total_messages) >
+            match->total_messages * 1.0001) {
+      std::cout << "\nFAILURE: " << c.engine << " N=" << c.workers
+                << " threads=" << c.threads
+                << " message envelope regressed vs baseline ("
+                << envelope << " vs " << match->max_node_messages_per_round
+                << " msgs/round/node, " << c.total_messages << " vs "
+                << match->total_messages << " total)\n";
+      rc = 1;
+    }
+    if (rc != 1 && match->ns_per_round > 0.0 &&
+        c.ns_per_round > 3.0 * match->ns_per_round) {
+      std::cout << "\nWARNING: " << c.engine << " N=" << c.workers
+                << " threads=" << c.threads << " ns/round "
+                << c.ns_per_round << " is >3x the baseline "
+                << match->ns_per_round << "\n";
+      rc = std::max(rc, 2);
+    }
+  }
+  if (rc == 0) std::cout << "\nbaseline " << path << ": no regressions\n";
+  return rc;
+}
+
 int run_scale_mode(const exp::cli_args& args) {
   const bool smoke = args.has("smoke");
   const std::size_t rounds = args.get_u64("rounds", smoke ? 3 : 5);
   const std::uint64_t seed = args.get_u64("seed", 42);
   std::vector<std::size_t> sizes{30, 1000, 10000, 100000};
   if (smoke) sizes.pop_back();
+  const std::size_t sweep_n = sizes.back();
+  const std::vector<std::size_t> widths{1, 2, 8};
 
   std::cout << "=== Scale: flat vs hierarchical engines, N in {30..."
             << sizes.back() << "}, T=" << rounds
@@ -157,22 +323,30 @@ int run_scale_mode(const exp::cli_args& args) {
       dist::fully_distributed_policy policy(n, {});
       cells.push_back(run_scale_cell("FD-flat", policy, n, rounds, seed));
     }
+    // The largest N sweeps the intra-round pool width; smaller grids pin
+    // threads = 1 so their rows stay comparable release to release.
     for (const bool mw : {true, false}) {
-      shard::hierarchical_options sopts;
-      sopts.mode = mw ? shard::shard_protocol::master_worker
-                      : shard::shard_protocol::fully_distributed;
-      shard::hierarchical_engine policy(n, sopts);
-      cells.push_back(run_scale_cell(mw ? "MW-hier" : "FD-hier", policy, n,
-                                     rounds, seed));
+      for (const std::size_t threads : widths) {
+        if (n != sweep_n && threads != 1) continue;
+        shard::hierarchical_options sopts;
+        sopts.mode = mw ? shard::shard_protocol::master_worker
+                        : shard::shard_protocol::fully_distributed;
+        sopts.threads = threads;
+        shard::hierarchical_engine policy(n, sopts);
+        cells.push_back(run_scale_cell(mw ? "MW-hier" : "FD-hier", policy, n,
+                                       rounds, seed));
+        cells.back().threads = threads;
+      }
     }
   }
 
-  exp::table t({"engine", "N", "ns/round", "max node msgs/round",
+  exp::table t({"engine", "N", "threads", "ns/round", "max node msgs/round",
                 "max node bytes/round", "total msgs", "simplex"});
   bool all_ok = true;
   for (const scale_cell& c : cells) {
     const double r = static_cast<double>(c.rounds);
     t.add_row({c.engine, std::to_string(c.workers),
+               std::to_string(c.threads),
                exp::format_double(c.ns_per_round, 0),
                exp::format_double(static_cast<double>(c.max_node_messages) / r,
                                   1),
@@ -187,13 +361,85 @@ int run_scale_mode(const exp::cli_args& args) {
                "O(N) with O(N^2) totals (FD);\nthe hierarchical rows stay "
                "O(shard size + log N) per node at every N.\n";
 
+  // Cross-width determinism gate: the threads sweep must agree on every
+  // non-timing column bit for bit — the tentpole contract, priced here on
+  // the same grid CI consumes.
+  bool deterministic = true;
+  for (const scale_cell& c : cells) {
+    if (c.threads == 1) continue;
+    for (const scale_cell& s : cells) {
+      if (s.threads != 1 || s.engine != c.engine || s.workers != c.workers) {
+        continue;
+      }
+      if (c.cumulative_cost != s.cumulative_cost ||
+          c.max_node_messages != s.max_node_messages ||
+          c.max_node_bytes != s.max_node_bytes ||
+          c.total_messages != s.total_messages ||
+          c.total_bytes != s.total_bytes || c.simplex_ok != s.simplex_ok) {
+        std::cout << "\nFAILURE: " << c.engine << " N=" << c.workers
+                  << " diverges between threads=1 and threads=" << c.threads
+                  << " (parallel round execution is not deterministic)\n";
+        deterministic = false;
+      }
+    }
+  }
+
+  // The tentpole speedup: serial vs widest pool at the largest N.
+  std::vector<speedup_row> speedups;
+  for (const char* engine : {"MW-hier", "FD-hier"}) {
+    const scale_cell* serial = nullptr;
+    const scale_cell* widest = nullptr;
+    for (const scale_cell& c : cells) {
+      if (c.engine != engine || c.workers != sweep_n) continue;
+      if (c.threads == 1) serial = &c;
+      if (widest == nullptr || c.threads > widest->threads) widest = &c;
+    }
+    if (serial == nullptr || widest == nullptr || widest->threads == 1) {
+      continue;
+    }
+    speedups.push_back({engine, sweep_n, widest->threads,
+                        serial->ns_per_round / widest->ns_per_round});
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool floor_enforced = !smoke && hw >= 8;
+  bool floor_ok = true;
+  for (const speedup_row& s : speedups) {
+    std::cout << "\n" << s.engine << " N=" << s.workers << " speedup at "
+              << s.threads << " threads: "
+              << exp::format_double(s.speedup, 2) << "x"
+              << (floor_enforced ? "" : " (floor not enforced here)") << "\n";
+    if (floor_enforced && s.speedup < kParallelSpeedupFloor) {
+      std::cout << "WARNING: below the " << kParallelSpeedupFloor
+                << "x parallel-round floor\n";
+      floor_ok = false;
+    }
+  }
+  if (!floor_enforced && !speedups.empty()) {
+    std::cout << "(speedup floor needs >= 8 hardware threads and a full "
+                 "run; this host has "
+              << hw << ")\n";
+  }
+
   const std::string path =
       args.get_string("out", "BENCH_ablation_scale.json");
   std::ofstream os(path);
   DOLBIE_REQUIRE(os.good(), "cannot open " << path);
-  write_scale_json(os, cells, rounds, seed, smoke);
+  write_scale_json(os, cells, speedups, rounds, seed, smoke, floor_enforced);
   std::cout << "\nWrote " << cells.size() << " cells to " << path << "\n";
-  return all_ok ? 0 : 1;
+
+  int baseline_rc = 0;
+  if (args.has("baseline")) {
+    baseline_rc = compare_with_baseline(args.get_string("baseline", ""),
+                                        cells, rounds, seed, smoke);
+  }
+
+  // Exit-code contract, as bench/hot_path.cpp: 0 = clean, 1 = hard
+  // deterministic failure, 2 = perf floor missed (tolerated on noisy
+  // shared runners).
+  if (!all_ok || !deterministic || baseline_rc == 1) return 1;
+  if (!floor_ok || baseline_rc == 2) return 2;
+  return 0;
 }
 
 }  // namespace

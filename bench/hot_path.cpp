@@ -22,7 +22,9 @@
 // (kMixedSpeedupFloor, emitted as mixed_speedup_floor in the JSON). A
 // cross-realization sweep section prices R realizations folded into one
 // grouped Eq. (4) call per round — the run_many_lockstep shape — in
-// realizations/sec against the per-realization scalar loop.
+// realizations/sec against the per-realization scalar loop; its speedup
+// carries the same 1.5x CI floor (kSweepSpeedupFloor, emitted as
+// sweep_speedup_floor in the JSON).
 // Plus the end-to-end policy numbers: observe_ns_per_round and — via the
 // global counting allocator below — allocs_per_round after warm-up, which
 // must be 0 (also asserted by tests/batch_cost_test).
@@ -426,6 +428,7 @@ int main(int argc, char** argv) {
   // failure (the allocation contract is timing-independent and must never
   // regress), 2 = perf floor missed (tolerated on noisy shared runners).
   constexpr double kMixedSpeedupFloor = 1.5;
+  constexpr double kSweepSpeedupFloor = 1.5;
   bool slow = false;
   bool allocating = false;
   if (affine.speedup < 2.0) {
@@ -437,6 +440,12 @@ int main(int argc, char** argv) {
     std::cout << "\nWARNING: mixed batch speedup " << mixed.speedup
               << "x below the " << kMixedSpeedupFloor
               << "x regression floor (lock-step bisection regressed?)\n";
+    slow = true;
+  }
+  if (sweep.speedup < kSweepSpeedupFloor) {
+    std::cout << "\nWARNING: cross-realization sweep speedup " << sweep.speedup
+              << "x below the " << kSweepSpeedupFloor
+              << "x regression floor (grouped batching regressed?)\n";
     slow = true;
   }
   if (obs_affine.allocs_per_round != 0.0 ||
@@ -474,6 +483,7 @@ int main(int argc, char** argv) {
        << "    \"speedup\": " << sweep.speedup << "\n"
        << "  },\n"
        << "  \"mixed_speedup_floor\": " << kMixedSpeedupFloor << ",\n"
+       << "  \"sweep_speedup_floor\": " << kSweepSpeedupFloor << ",\n"
        << "  \"speedup\": " << affine.speedup << ",\n"
        << "  \"allocation_free\": "
        << ((obs_affine.allocs_per_round == 0.0 &&

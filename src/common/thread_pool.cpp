@@ -11,6 +11,28 @@
 
 namespace dolbie {
 
+namespace {
+
+// The pool whose batch this thread is currently draining (nullptr outside
+// a job). Backs the non-reentrancy assertion in parallel_for: a nested
+// call would recurse unboundedly on the serial fast path and deadlock on a
+// threaded pool (the inner batch can never start while the outer one holds
+// `job`), so we fail loudly instead. Thread-local writes are two stores
+// per claimed index — noise next to the jobs themselves.
+thread_local const void* tl_draining_pool = nullptr;
+
+struct draining_guard {
+  const void* prev;
+  explicit draining_guard(const void* pool) : prev(tl_draining_pool) {
+    tl_draining_pool = pool;
+  }
+  ~draining_guard() { tl_draining_pool = prev; }
+  draining_guard(const draining_guard&) = delete;
+  draining_guard& operator=(const draining_guard&) = delete;
+};
+
+}  // namespace
+
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("DOLBIE_THREADS")) {
     char* end = nullptr;
@@ -46,6 +68,7 @@ struct thread_pool::impl {
       const auto* batch = job;
       lk.unlock();
       try {
+        const draining_guard guard(this);
         (*batch)(i);
         lk.lock();
       } catch (...) {
@@ -91,8 +114,14 @@ std::size_t thread_pool::size() const { return impl_->workers.size() + 1; }
 void thread_pool::parallel_for(std::size_t n,
                                const std::function<void(std::size_t)>& job) {
   if (n == 0) return;
+  DOLBIE_REQUIRE(tl_draining_pool != static_cast<const void*>(impl_.get()),
+                 "thread_pool::parallel_for called from a job running on "
+                 "the same pool (nested parallel_for is not supported)");
   if (impl_->workers.empty()) {
-    // Serial fast path: no synchronization at all.
+    // Serial fast path: no synchronization at all. The guard still marks
+    // the thread as inside this pool so a nested call trips the assertion
+    // above instead of recursing.
+    const draining_guard guard(impl_.get());
     for (std::size_t i = 0; i < n; ++i) job(i);
     return;
   }

@@ -43,7 +43,11 @@ class thread_pool {
   /// block until all complete. The calling thread executes jobs too. The
   /// first exception thrown by any job is rethrown here after the batch
   /// drains (remaining unclaimed indices are abandoned). Not reentrant:
-  /// a job must not call parallel_for on the same pool.
+  /// a job must not call parallel_for on the same pool — enforced by a
+  /// thread-local in-pool flag, so a nested call throws invariant_error
+  /// (on every path, including the serial fast path) instead of
+  /// deadlocking. Nesting across *different* pools is fine; that is how
+  /// an engine-owned pool runs inside an exp::parallel_map job.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& job);
 

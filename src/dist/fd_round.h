@@ -29,6 +29,7 @@
 
 #include "core/step_size.h"
 #include "core/types.h"
+#include "cost/batch.h"
 #include "cost/cost_function.h"
 #include "dist/mw_round.h"  // decide_next_share
 #include "dist/protocol.h"
@@ -95,6 +96,10 @@ struct fd_degraded_round {
   double target = 1.0;
   /// Worker count for the Eq. 7 tightening; 0 = use `n` (see mw_round.h).
   std::size_t cap_workers = 0;
+  /// Optional SoA evaluator bound over `costs`; when set, the movers'
+  /// Eq. 4 solves run as one batched pass (bit-identical kernels, see
+  /// mw_round.h / cost/batch.h). Null keeps the scalar path verbatim.
+  const cost::batch_evaluator* batch = nullptr;
 
   void retire(core::worker_id id, std::uint64_t round) {
     retirement r;
@@ -252,12 +257,18 @@ struct fd_degraded_round {
     //     update locally and upload {x_new, x_old} to the straggler. ---
     {
       obs::span sp(tr, lane, round, "phase2.decision_uploads", "fd");
+      if (batch != nullptr) {
+        scratch.xp.resize(n);
+        batch->max_acceptable(x, l_t, s, scratch.xp);
+      }
       for (net::node_id i = 0; i < n; ++i) {
         if (flags.in_h[i] == 0 || i == s || plan.crashed_during(i, round)) {
           continue;
         }
         scratch.tentative[i] =
-            decide_next_share(*costs[i], x[i], l_t, alpha_t);
+            batch == nullptr
+                ? decide_next_share(*costs[i], x[i], l_t, alpha_t)
+                : x[i] + alpha_t * (scratch.xp[i] - x[i]);
         wire.send({i, s, net::message_kind::decision,
                    {scratch.tentative[i], x[i]}});
         timing.on_send();

@@ -34,6 +34,7 @@
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
 #include "core/types.h"
+#include "cost/batch.h"
 #include "cost/cost_function.h"
 #include "dist/protocol.h"
 #include "net/fault_plan.h"
@@ -118,6 +119,12 @@ struct mw_degraded_round {
   /// hierarchical layer passes the global N: feasible_step_cap decreases
   /// in the worker count, so the global cap is safe within every shard.
   std::size_t cap_workers = 0;
+  /// Optional SoA evaluator bound over `costs`. When set, phase 3 computes
+  /// every Eq. 4 solve through one batched pass (cost/batch.h — kernels
+  /// bit-identical to the scalar path by construction) instead of one
+  /// virtual inverse_max per worker. Null keeps the scalar path verbatim
+  /// (the flat engines' instantiation).
+  const cost::batch_evaluator* batch = nullptr;
 
   void retire(core::worker_id id, std::uint64_t round) {
     retirement r;
@@ -241,6 +248,13 @@ struct mw_degraded_round {
     {
       obs::span sp(tr, lane, round, "phase3.decision_uploads", "mw");
       std::fill(flags.decided.begin(), flags.decided.end(), 0);
+      if (batch != nullptr) {
+        // Every round info decoded below carries exactly (l_t, alpha) —
+        // payload doubles round-trip the wire bit-exactly — so the blend
+        // can use this one precomputed Eq. 4 vector for all workers.
+        scratch.xp.resize(n);
+        batch->max_acceptable(x, l_t, out.straggler, scratch.xp);
+      }
       for (net::node_id i = 0; i < n; ++i) {
         if (flags.heard[i] == 0) continue;
         if (plan.crashed_during(i, round)) {
@@ -270,7 +284,9 @@ struct mw_degraded_round {
         timing.info_delivered(i, k_info);
         const round_info info = decode_round_info(*m);
         scratch.tentative[i] =
-            decide_next_share(*costs[i], x[i], info.l_t, info.alpha);
+            batch == nullptr
+                ? decide_next_share(*costs[i], x[i], info.l_t, info.alpha)
+                : x[i] + info.alpha * (scratch.xp[i] - x[i]);
         wire.send(
             {i, master, net::message_kind::decision, {scratch.tentative[i]}});
         timing.on_send();

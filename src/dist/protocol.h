@@ -118,6 +118,7 @@ struct round_scratch {
   std::vector<double> tentative;  ///< tentative Eq. 5 decisions
   std::vector<double> inbox_l;    ///< reassembled cost inbox (l_j view)
   std::vector<double> inbox_a;    ///< reassembled step inbox (FD only)
+  std::vector<double> xp;         ///< batched Eq. 4 output (batch path only)
 };
 
 /// Membership / delivery flags of the degraded round flows. `delivered`

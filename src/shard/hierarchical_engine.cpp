@@ -1,13 +1,16 @@
 #include "shard/hierarchical_engine.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <utility>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/simplex.h"
+#include "common/thread_pool.h"
 #include "core/step_size.h"
+#include "cost/batch.h"
 #include "dist/fd_round.h"
 #include "dist/mw_round.h"
 #include "net/transport.h"
@@ -53,7 +56,9 @@ net::fault_plan shard_faults(const net::fault_plan& base,
 
 /// Everything one shard owns: its slice of the allocation, its network
 /// (plus the reliable layer when its fault plan is live) and the round
-/// machines' state. Heap-held — net::network is not movable.
+/// machines' state. Heap-held — net::network is not movable. The whole
+/// struct is thread-confined: exactly one Stage A/B job touches it per
+/// round, so nothing here needs synchronization.
 struct hierarchical_engine::shard_rt {
   std::size_t m;                ///< member count
   double mass = 0.0;            ///< this shard's slice of the simplex
@@ -61,6 +66,7 @@ struct hierarchical_engine::shard_rt {
   bool faulty = false;
   net::network net;
   std::unique_ptr<net::reliable_link> rel;
+  std::uint32_t lane = 0;       ///< this shard's private trace lane
 
   std::vector<double> x;          ///< shard-local allocation slice
   std::vector<double> alpha_bar;  ///< FD per-worker step bounds
@@ -72,13 +78,24 @@ struct hierarchical_engine::shard_rt {
   dist::member_flags flags;
   cost::cost_view costs;        ///< per-round gathered views
   std::vector<double> locals;
+  /// Cumulative counters this shard's round machines mutate
+  /// (removed_workers, straggler_failovers); the engine sums them into the
+  /// public report post-barrier, so jobs never share a report.
+  dist::fault_report rep;
+  /// SoA Eq. 4 evaluator, rebound over `costs` every round. Rebinding is
+  /// O(m) coefficient copies — caching by pointer identity is unsound
+  /// because environments free each round's cost functions afterwards, so
+  /// a recycled address can alias a *different* function next round.
+  cost::batch_evaluator batch;
 
   shard_rt(std::size_t members, shard_protocol mode, net::fault_plan local,
-           std::size_t retry_budget, obs::tracer* tracer, std::uint32_t lane)
+           std::size_t retry_budget, obs::tracer* tracer,
+           std::uint32_t lane_id)
       : m(members),
         faults(std::move(local)),
         faulty(faults.enabled()),
-        net(make_shard_net(members, mode)) {
+        net(make_shard_net(members, mode)),
+        lane(lane_id) {
     net.attach_tracer(tracer, lane);
     if (faulty) {
       net.attach_faults(faults);
@@ -88,6 +105,7 @@ struct hierarchical_engine::shard_rt {
     }
     flags.setup(m, /*all_pairs=*/mode == shard_protocol::fully_distributed);
     scratch.tentative.assign(m, 0.0);
+    scratch.xp.assign(m, 0.0);
     costs.assign(m, nullptr);
     locals.assign(m, 0.0);
   }
@@ -97,7 +115,8 @@ namespace {
 
 // The stage-split round machines, instantiated per shard exactly as the
 // flat engines instantiate them — the delivery policy is the only degree
-// of freedom (direct for a fault-free shard, reliable otherwise).
+// of freedom (direct for a fault-free shard, reliable otherwise), plus
+// the shard's persistent batch evaluator so Eq. 4 runs on the SoA path.
 template <class Delivery>
 dist::mw_stage_result mw_upload(hierarchical_engine::shard_rt& sh,
                                 Delivery wire, std::uint64_t round,
@@ -116,7 +135,7 @@ dist::mw_stage_result mw_upload(hierarchical_engine::shard_rt& sh,
       report,  sh.x,
       sh.alpha_view, sh.scratch,
       sh.flags, sh.mass,
-      cap_workers};
+      cap_workers, &sh.batch};
   return flow.stage_upload(round, out);
 }
 
@@ -136,7 +155,7 @@ void mw_commit(hierarchical_engine::shard_rt& sh, Delivery wire,
       report,  sh.x,
       sh.alpha_view, sh.scratch,
       sh.flags, sh.mass,
-      cap_workers};
+      cap_workers, &sh.batch};
   flow.stage_commit(round, l_t, out);
 }
 
@@ -157,7 +176,8 @@ dist::fd_stage_result fd_broadcast(hierarchical_engine::shard_rt& sh,
       failover, report,
       sh.x,    sh.alpha_bar,
       sh.scratch, sh.flags,
-      sh.mass, cap_workers};
+      sh.mass, cap_workers,
+      &sh.batch};
   return flow.stage_broadcast(round, out);
 }
 
@@ -176,7 +196,8 @@ void fd_commit(hierarchical_engine::shard_rt& sh, Delivery wire,
       failover, report,
       sh.x,    sh.alpha_bar,
       sh.scratch, sh.flags,
-      sh.mass, cap_workers};
+      sh.mass, cap_workers,
+      &sh.batch};
   flow.stage_commit(round, l_t, alpha_t, out);
 }
 
@@ -198,11 +219,25 @@ hierarchical_engine::hierarchical_engine(std::size_t n_workers,
   const std::size_t n_shards = plan_.shards();
   shards_.reserve(n_shards);
   for (std::size_t k = 0; k < n_shards; ++k) {
+    // Shard k records on trace_lane + k: one writer per lane within every
+    // barrier window, and the (round, lane, seq) merge keeps the combined
+    // trace byte-identical at any pool width. K = 1 keeps everything on
+    // trace_lane — the PR 7 layout.
     shards_.push_back(std::make_unique<shard_rt>(
         plan_.members[k].size(), options_.mode,
         shard_faults(options_.protocol.faults, plan_, k),
         options_.protocol.retry_budget, options_.protocol.tracer,
-        options_.protocol.trace_lane));
+        options_.protocol.trace_lane + static_cast<std::uint32_t>(k)));
+  }
+
+  // The intra-round pool: only worth owning when there is both work to
+  // split (more than one shard) and width to split it over. Serial and
+  // pooled execution are bit-identical, so this is purely a perf choice.
+  const std::size_t width =
+      options_.threads != 0 ? options_.threads : default_thread_count();
+  if (n_shards > 1 && width > 1) {
+    pool_ = std::make_unique<thread_pool>(width);
+    tree_.set_pool(pool_.get());
   }
 
   counters_.bind(options_.protocol.metrics, "hier", "hier.alpha", faulty_);
@@ -262,6 +297,7 @@ void hierarchical_engine::reset() {
     sh.carry_cap = std::numeric_limits<double>::infinity();
     sh.flags.setup(sh.m, /*all_pairs=*/options_.mode ==
                              shard_protocol::fully_distributed);
+    sh.rep = {};
     if (sh.rel != nullptr) sh.rel->reset();
     // Fault rolls key on per-link attempt counters that deliberately
     // survive reset_traffic (they are configuration, not accounting);
@@ -302,12 +338,22 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
                        : 0;
   }
 
+  // Fan a per-shard stage over the pool (serial when there is none). Each
+  // job touches only its own shard_rt and the k-indexed staging slots —
+  // zero shared mutable state — and all work is keyed by shard id alone,
+  // so the round is bit-identical at any pool width.
+  const auto over_shards = [&](const std::function<void(std::size_t)>& job) {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(n_shards, job);
+    } else {
+      for (std::size_t k = 0; k < n_shards; ++k) job(k);
+    }
+  };
+
   // --- Stage A: every shard with a live leaf aggregator runs the first
   //     stage of its round machine (membership + cost exchange) and
   //     produces its summary. ---
-  std::size_t total_holds = 0;
-  std::size_t total_failovers = 0;
-  for (std::size_t k = 0; k < n_shards; ++k) {
+  over_shards([&](std::size_t k) {
     shard_rt& sh = *shards_[k];
     outcomes_[k] = {};
     ran_[k] = 0;
@@ -317,25 +363,29 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
     if (mw) sh.alpha_view = alpha_;
     if (agg_live_[k] == 0) {
       // The shard is headless this round: every standing member holds.
+      // Recorded in the shard's outcome slot; the post-barrier accounting
+      // folds it into the round's totals.
       for (std::size_t slot = 0; slot < sh.m; ++slot) {
-        if (sh.flags.removed[slot] == 0) ++total_holds;
+        if (sh.flags.removed[slot] == 0) ++outcomes_[k].holds;
       }
-      continue;
+      return;
     }
     for (std::size_t slot = 0; slot < sh.m; ++slot) {
       const core::worker_id g = plan_.members[k][slot];
       sh.costs[slot] = (*feedback.costs)[g];
       sh.locals[slot] = feedback.local_costs[g];
     }
+    sh.batch.rebind(sh.costs);
     ran_[k] = 1;
     if (mw) {
       const dist::mw_stage_result up =
           sh.faulty
               ? mw_upload(sh, net::reliable_delivery{*sh.rel}, round, tr,
-                          lane, counters_.failover, report_, n_,
+                          sh.lane, counters_.failover, sh.rep, n_,
                           outcomes_[k])
-              : mw_upload(sh, net::direct_delivery{sh.net}, round, tr, lane,
-                          counters_.failover, report_, n_, outcomes_[k]);
+              : mw_upload(sh, net::direct_delivery{sh.net}, round, tr,
+                          sh.lane, counters_.failover, sh.rep, n_,
+                          outcomes_[k]);
       participants_[k] = up.heard;
       if (!outcomes_[k].aborted) {
         contribute_[k] = 1;
@@ -346,10 +396,10 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
       const dist::fd_stage_result up =
           sh.faulty
               ? fd_broadcast(sh, net::reliable_delivery{*sh.rel}, round, tr,
-                             lane, counters_.failover, report_, n_,
+                             sh.lane, counters_.failover, sh.rep, n_,
                              outcomes_[k])
               : fd_broadcast(sh, net::direct_delivery{sh.net}, round, tr,
-                             lane, counters_.failover, report_, n_,
+                             sh.lane, counters_.failover, sh.rep, n_,
                              outcomes_[k]);
       participants_[k] = up.participants;
       if (!outcomes_[k].aborted) {
@@ -358,7 +408,7 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
         leaf_min_[k] = up.min_alpha;
       }
     }
-  }
+  });
 
   // --- Tree up: fold (max cost, min step) to the root... ---
   const reduce_result up =
@@ -375,42 +425,26 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
 
   // --- Stage B: shards that contributed and heard back commit against
   //     the global consensus; everyone else holds. ---
-  bool any_committed = false;
-  core::worker_id straggler_global = 0;
-  bool straggler_known = false;
-  double straggler_cost = 0.0;
-  for (std::size_t k = 0; k < n_shards; ++k) {
+  over_shards([&](std::size_t k) {
     shard_rt& sh = *shards_[k];
-    const bool commit_now =
-        ran_[k] != 0 && contribute_[k] != 0 && reached_[k] != 0;
-    if (!commit_now) {
-      if (ran_[k] != 0) total_holds += participants_[k];
-      // A shard cut off from the root cannot announce an Eq. 7 cap it
-      // discovered through churn this round; carry it until it can.
-      if (mw && ran_[k] != 0 && reached_[k] == 0) {
-        sh.carry_cap = std::min(sh.carry_cap, sh.alpha_view);
-      }
-      total_holds += outcomes_[k].holds;
-      total_failovers += outcomes_[k].failovers;
-      continue;
-    }
+    if (ran_[k] == 0 || contribute_[k] == 0 || reached_[k] == 0) return;
     if (mw) {
       sh.alpha_view = up.min_value;  // adopt the broadcast consensus step
       if (sh.faulty) {
         mw_commit(sh, net::reliable_delivery{*sh.rel}, round, up.max_value,
-                  tr, lane, counters_.failover, report_, n_, outcomes_[k]);
+                  tr, sh.lane, counters_.failover, sh.rep, n_, outcomes_[k]);
       } else {
         mw_commit(sh, net::direct_delivery{sh.net}, round, up.max_value, tr,
-                  lane, counters_.failover, report_, n_, outcomes_[k]);
+                  sh.lane, counters_.failover, sh.rep, n_, outcomes_[k]);
       }
     } else {
       if (sh.faulty) {
         fd_commit(sh, net::reliable_delivery{*sh.rel}, round, up.max_value,
-                  up.min_value, tr, lane, counters_.failover, report_, n_,
+                  up.min_value, tr, sh.lane, counters_.failover, sh.rep, n_,
                   outcomes_[k]);
       } else {
         fd_commit(sh, net::direct_delivery{sh.net}, round, up.max_value,
-                  up.min_value, tr, lane, counters_.failover, report_, n_,
+                  up.min_value, tr, sh.lane, counters_.failover, sh.rep, n_,
                   outcomes_[k]);
       }
       if (!outcomes_[k].aborted) {
@@ -423,6 +457,32 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
           if (bound <= 0.0) bound = up.min_value;
         }
       }
+    }
+  });
+
+  // --- Post-barrier fold (serial, shard-id order — the exact order the
+  //     serial walk used): hold/failover sums, the Eq. 7 carry caps and
+  //     the global straggler election. ---
+  std::size_t total_holds = 0;
+  std::size_t total_failovers = 0;
+  bool any_committed = false;
+  core::worker_id straggler_global = 0;
+  bool straggler_known = false;
+  double straggler_cost = 0.0;
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    shard_rt& sh = *shards_[k];
+    const bool committed =
+        ran_[k] != 0 && contribute_[k] != 0 && reached_[k] != 0;
+    if (!committed) {
+      if (ran_[k] != 0) total_holds += participants_[k];
+      // A shard cut off from the root cannot announce an Eq. 7 cap it
+      // discovered through churn this round; carry it until it can.
+      if (mw && ran_[k] != 0 && reached_[k] == 0) {
+        sh.carry_cap = std::min(sh.carry_cap, sh.alpha_view);
+      }
+      total_holds += outcomes_[k].holds;
+      total_failovers += outcomes_[k].failovers;
+      continue;
     }
     total_holds += outcomes_[k].holds;
     total_failovers += outcomes_[k].failovers;
@@ -496,6 +556,15 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
     }
   }
   report_.zero_step_holds += total_holds;
+  // The round machines counted removals/failovers into their shard's own
+  // report (thread-confined); the public totals are the order-free sums of
+  // those cumulative per-shard counters.
+  report_.removed_workers = 0;
+  report_.straggler_failovers = 0;
+  for (const auto& shp : shards_) {
+    report_.removed_workers += shp->rep.removed_workers;
+    report_.straggler_failovers += shp->rep.straggler_failovers;
+  }
   net::reliable_stats agg;
   for (const auto& shp : shards_) {
     if (shp->rel == nullptr) continue;
@@ -535,11 +604,17 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
 }
 
 void hierarchical_engine::assemble() {
-  for (std::size_t k = 0; k < plan_.shards(); ++k) {
+  // Shards partition the worker ids, so the slice writes are disjoint.
+  const auto write_slice = [&](std::size_t k) {
     const shard_rt& sh = *shards_[k];
     for (std::size_t slot = 0; slot < sh.m; ++slot) {
       assembled_[plan_.members[k][slot]] = sh.x[slot];
     }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(plan_.shards(), write_slice);
+  } else {
+    for (std::size_t k = 0; k < plan_.shards(); ++k) write_slice(k);
   }
 }
 

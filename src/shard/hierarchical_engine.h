@@ -26,6 +26,16 @@
 // everyone (no l_t exists). MW step-size caps discovered by a cut-off
 // shard (churn retirement) are carried locally and re-announced once the
 // path heals, so no Eq. 7 tightening is ever lost.
+//
+// Rounds execute in parallel over an engine-owned deterministic
+// thread_pool (DESIGN.md §11): each shard is a thread-confined context
+// (its network, reliable link, round-machine scratch, batch evaluator,
+// fault counters and trace lane), Stage A and Stage B fan out one job per
+// shard, the reduction tree fans out per level over its aggregators, and
+// every cross-shard fold (hold/failover sums, the global straggler, the
+// Eq. 7 pass) runs serially post-barrier in shard-id order — so rounds
+// are bit-identical at any pool width, the PR 1 contract extended to
+// intra-round execution.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +52,10 @@
 #include "shard/plan.h"
 #include "shard/reduction_tree.h"
 
+namespace dolbie {
+class thread_pool;
+}  // namespace dolbie
+
 namespace dolbie::shard {
 
 /// Which protocol realization runs inside each shard.
@@ -51,7 +65,11 @@ struct hierarchical_options {
   /// Worker-level options, exactly as the flat engines take them: initial
   /// partition/step, observability, worker fault schedule (crash windows
   /// name *global* worker ids; the engine remaps them into shards and
-  /// derives decorrelated per-shard fault seeds).
+  /// derives decorrelated per-shard fault seeds). When tracing, the
+  /// engine and the tree record on `trace_lane` and shard k records on
+  /// `trace_lane + k` — reserve K consecutive lanes per engine, so the
+  /// per-lane buffers keep concurrent shard jobs contention-free and the
+  /// (round, lane, seq) merge stays byte-identical at any thread count.
   dist::protocol_options protocol;
   /// Sharding and tree shape.
   plan_options plan;
@@ -59,6 +77,12 @@ struct hierarchical_options {
   /// Round-granular crash windows over aggregator (tree-node) ids,
   /// independent of the worker schedule.
   std::vector<net::crash_window> aggregator_crashes;
+  /// Intra-round parallelism: the pool width driving Stage A/B over the
+  /// shards and the tree's per-level relays (0 = default_thread_count(),
+  /// which honors DOLBIE_THREADS; 1 = serial, no pool). Any width yields
+  /// bit-identical rounds — iterates, step sizes, fault reports, merged
+  /// traces — asserted by tests/hierarchical_engine_test.cpp.
+  std::size_t threads = 0;
 };
 
 class hierarchical_engine final : public core::online_policy {
@@ -109,6 +133,10 @@ class hierarchical_engine final : public core::online_policy {
   net::fault_plan agg_plan_;
   bool faulty_ = false;
   std::vector<std::unique_ptr<shard_rt>> shards_;
+  /// Intra-round pool (null = serial: single shard, or width 1). Shared
+  /// with the tree's per-level relays; jobs only ever run shard- or
+  /// parent-confined work, never a nested parallel_for on this pool.
+  std::unique_ptr<thread_pool> pool_;
 
   core::allocation assembled_;
   double alpha_ = 0.0;

@@ -5,11 +5,28 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "net/message.h"
 #include "obs/trace.h"
 
 namespace dolbie::shard {
 namespace {
+
+// Fan a level's per-parent relay jobs over the pool only when the level is
+// wide enough to amortize the dispatch; narrow levels (and the levels near
+// the root — there are O(log N) of them, each a handful of nodes) run the
+// plain loop.
+constexpr std::size_t kMinParallelParents = 4;
+
+template <class Job>
+void for_each_parent(thread_pool* pool, std::size_t n_parents,
+                     const Job& job) {
+  if (pool != nullptr && n_parents >= kMinParallelParents) {
+    pool->parallel_for(n_parents, job);
+    return;
+  }
+  for (std::size_t pi = 0; pi < n_parents; ++pi) job(pi);
+}
 
 // Both directions of every child<->parent link, so summaries flow up and
 // consensus flows down over the same sparse storage. K == 1 degenerates
@@ -67,26 +84,29 @@ reduce_result reduction_tree::reduce(
   }
 
   // Level by level: every live node with a non-empty partial forwards it
-  // to a live parent; parents fold arrivals in child-id order.
+  // to a live parent; parents fold arrivals in child-id order. One relay
+  // job per live parent (its children's sends, then its own folds): the
+  // children partition over parents, so each (child, parent) channel and
+  // each partial slot has exactly one writer per level, and the fold order
+  // inside a job is the serial walk's — bit-identical at any pool width.
   for (std::size_t lvl = 0; lvl + 1 < plan.depth; ++lvl) {
     obs::span sp(tracer_, lane_, round,
                  ("tree.reduce.level" + std::to_string(lvl + 1)).c_str(),
                  "shard");
-    for (const std::size_t a : level_nodes_[lvl]) {
-      if (part_count_[a] == 0 || agg_live[a] == 0) continue;
-      const std::size_t parent = plan.parent[a];
+    const std::vector<std::size_t>& parents = level_nodes_[lvl + 1];
+    for_each_parent(pool_, parents.size(), [&](std::size_t pi) {
+      const std::size_t p = parents[pi];
       // Membership-oracle shortcut: a child never addresses a parent the
       // round's liveness already names down, so no stale summary can
       // linger in the channel into a later round.
-      if (agg_live[parent] == 0) continue;
-      net_.send({static_cast<net::node_id>(a),
-                 static_cast<net::node_id>(parent),
-                 net::message_kind::shard_reduce,
-                 {part_max_[a], part_min_[a],
-                  static_cast<double>(part_count_[a])}});
-    }
-    for (const std::size_t p : level_nodes_[lvl + 1]) {
-      if (agg_live[p] == 0) continue;
+      if (agg_live[p] == 0) return;
+      for (const std::size_t c : plan.children[p]) {
+        if (part_count_[c] == 0 || agg_live[c] == 0) continue;
+        net_.send({static_cast<net::node_id>(c), static_cast<net::node_id>(p),
+                   net::message_kind::shard_reduce,
+                   {part_max_[c], part_min_[c],
+                    static_cast<double>(part_count_[c])}});
+      }
       for (const std::size_t c : plan.children[p]) {
         auto m = net_.receive(static_cast<net::node_id>(p),
                               static_cast<net::node_id>(c));
@@ -103,7 +123,7 @@ reduce_result reduction_tree::reduce(
         }
         part_count_[p] += count;
       }
-    }
+    });
   }
 
   const std::size_t root = plan.root;
@@ -123,25 +143,28 @@ void reduction_tree::broadcast(std::uint64_t round, double a, double b,
   if (agg_live[plan.root] == 0) return;
   have_[plan.root] = 1;
 
+  // Same per-parent relay shape as reduce: each job sends the pair to its
+  // live children and marks their receipts. A child has exactly one
+  // parent, so `have_[c]` has one writer per level.
   for (std::size_t lvl = plan.depth; lvl-- > 1;) {
     obs::span sp(tracer_, lane_, round,
                  ("tree.broadcast.level" + std::to_string(lvl)).c_str(),
                  "shard");
-    for (const std::size_t p : level_nodes_[lvl]) {
-      if (have_[p] == 0) continue;
+    const std::vector<std::size_t>& parents = level_nodes_[lvl];
+    for_each_parent(pool_, parents.size(), [&](std::size_t pi) {
+      const std::size_t p = parents[pi];
+      if (have_[p] == 0) return;
       for (const std::size_t c : plan.children[p]) {
         if (agg_live[c] == 0) continue;  // oracle shortcut, as in reduce
         net_.send({static_cast<net::node_id>(p), static_cast<net::node_id>(c),
                    net::message_kind::shard_broadcast, {a, b}});
       }
-    }
-    for (const std::size_t p : level_nodes_[lvl]) {
       for (const std::size_t c : plan.children[p]) {
         auto m = net_.receive(static_cast<net::node_id>(c),
                               static_cast<net::node_id>(p));
         if (m.has_value()) have_[c] = 1;
       }
-    }
+    });
   }
 
   for (std::size_t k = 0; k < plan.shards(); ++k) {

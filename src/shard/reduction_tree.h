@@ -21,6 +21,10 @@
 #include "net/network.h"
 #include "shard/plan.h"
 
+namespace dolbie {
+class thread_pool;
+}  // namespace dolbie
+
 namespace dolbie::obs {
 class tracer;
 }  // namespace dolbie::obs
@@ -42,6 +46,15 @@ class reduction_tree {
   /// tracer is attached (category "shard").
   reduction_tree(const shard_plan& plan, obs::tracer* tracer,
                  std::uint32_t lane);
+
+  /// Run each level's relay in parallel over its parent nodes (nullptr =
+  /// serial). One job per live parent performs its children's sends and
+  /// its own folds, so every (child, parent) channel — and every child's
+  /// partial/receipt slot — has exactly one writer per level; levels are
+  /// barriers. Folds stay in child-id order inside each job, so the
+  /// result is bit-identical to the serial walk at any pool width. The
+  /// pool is borrowed, not owned, and must outlive the tree's use.
+  void set_pool(thread_pool* pool) { pool_ = pool; }
 
   /// Fold the leaf summaries up to the root. Leaf k contributes
   /// (leaf_max[k], leaf_min[k]) iff contribute[k] != 0 and the leaf is
@@ -85,6 +98,7 @@ class reduction_tree {
   std::vector<std::uint8_t> have_;  // broadcast: node holds the pair
   obs::tracer* tracer_;
   std::uint32_t lane_;
+  thread_pool* pool_ = nullptr;  // intra-level parallelism (borrowed)
 };
 
 }  // namespace dolbie::shard

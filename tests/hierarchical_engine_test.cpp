@@ -20,14 +20,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/simplex.h"
+#include "cost/affine.h"
 #include "cost/cost_function.h"
 #include "dist/fully_distributed.h"
 #include "dist/master_worker.h"
 #include "exp/chaos.h"
 #include "exp/scenario.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace dolbie {
 namespace {
@@ -174,6 +181,55 @@ TEST(HierarchicalEngine, SingleShardFdCleanTracksFlatClean) {
     for (std::size_t i = 0; i < kN; ++i) {
       ASSERT_NEAR(hier.current()[i], flat.current()[i], 1e-9)
           << "round " << t << " worker " << i;
+    }
+  }
+}
+
+// Regression: environments free each round's cost functions after the
+// round, so the allocator can hand the *same addresses* back for the next
+// round's different functions. The per-shard batch evaluator must be
+// rebound every round — a pointer-identity cache silently evaluated stale
+// coefficients whenever addresses were recycled (history-dependent
+// results in the chaos grid). Engine A sees fresh allocations every
+// round; engine B sees identical parameters placement-reconstructed in
+// fixed slots (same addresses, new contents — the worst case). They must
+// stay bit-identical.
+TEST(HierarchicalEngine, RecycledCostAddressesDoNotStaleTheBatch) {
+  constexpr std::size_t kN = 8;
+  for (const shard::shard_protocol mode :
+       {shard::shard_protocol::master_worker,
+        shard::shard_protocol::fully_distributed}) {
+    shard::hierarchical_engine fresh(kN, hier_options({}, mode, 4));
+    shard::hierarchical_engine recycled(kN, hier_options({}, mode, 4));
+    std::vector<std::optional<cost::affine_cost>> slots(kN);
+    for (std::size_t t = 0; t < 60; ++t) {
+      cost::cost_vector costs_a;
+      cost::cost_view view_b(kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        const double slope =
+            0.5 + 0.1 * static_cast<double>((t * 7 + i * 3) % 11);
+        const double intercept = 0.1 * static_cast<double>((t * 5 + i) % 7);
+        costs_a.push_back(
+            std::make_unique<cost::affine_cost>(slope, intercept));
+        slots[i].emplace(slope, intercept);  // same address, new function
+        view_b[i] = &*slots[i];
+      }
+      const cost::cost_view view_a = cost::view_of(costs_a);
+      const std::vector<double> locals_a =
+          cost::evaluate(view_a, fresh.current());
+      const std::vector<double> locals_b =
+          cost::evaluate(view_b, recycled.current());
+      ASSERT_EQ(locals_a, locals_b) << "round " << t;
+      core::round_feedback fa;
+      fa.costs = &view_a;
+      fa.local_costs = locals_a;
+      core::round_feedback fb;
+      fb.costs = &view_b;
+      fb.local_costs = locals_b;
+      fresh.observe(fa);
+      recycled.observe(fb);
+      ASSERT_EQ(fresh.current(), recycled.current()) << "round " << t;
+      ASSERT_EQ(fresh.step_size(), recycled.step_size()) << "round " << t;
     }
   }
 }
@@ -386,6 +442,92 @@ TEST(HierarchicalEngine, ResetReplaysTheExactTranscript) {
   hier.reset();
   const auto second = run_pass();
   EXPECT_EQ(first, second);
+}
+
+// The tentpole contract of intra-round parallelism (DESIGN.md §11): a
+// multi-shard faulty run — message drops, a worker churn retirement, and
+// an aggregator crash window — is bit-identical at every pool width.
+// `threads = 1` forces the serial path (no pool is even constructed);
+// wider pools fan Stage A/B over the shards and the tree levels over
+// their parents. Iterates, step sizes, the full fault report, traffic,
+// and the merged trace bytes must all match the serial run exactly.
+struct parallel_run {
+  std::vector<double> iterates;
+  std::vector<double> alphas;
+  dist::fault_report report;
+  std::uint64_t messages = 0;
+  std::uint64_t max_node_messages = 0;
+  std::string trace;
+};
+
+parallel_run run_parallel_case(shard::shard_protocol mode,
+                               std::size_t threads) {
+  constexpr std::size_t kN = 24;
+  obs::tracer tracer({.clock = obs::clock_kind::logical});
+  shard::hierarchical_options options =
+      hier_options(faulty_protocol(), mode, 6);
+  options.protocol.tracer = &tracer;
+  options.aggregator_crashes = {{1, 30, 60}};
+  options.threads = threads;
+  shard::hierarchical_engine hier(kN, std::move(options));
+  auto env =
+      exp::make_synthetic_environment(kN, exp::synthetic_family::mixed, 7);
+  parallel_run out;
+  for (std::size_t t = 0; t < 120; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    hier.observe(fb);
+    for (const double x : hier.current()) out.iterates.push_back(x);
+    out.alphas.push_back(hier.step_size());
+  }
+  out.report = hier.report();
+  out.messages = hier.total_traffic().messages_sent;
+  out.max_node_messages = hier.max_node_messages_sent();
+  std::ostringstream os;
+  obs::export_jsonl(os, tracer.merged());
+  out.trace = os.str();
+  return out;
+}
+
+void expect_parallel_matches_serial(shard::shard_protocol mode) {
+  const parallel_run serial = run_parallel_case(mode, 1);
+  // The schedule must actually degrade the run, or the test proves less
+  // than it claims.
+  EXPECT_GT(serial.report.degraded_rounds, 0u);
+  EXPECT_GT(serial.report.zero_step_holds, 0u);
+  EXPECT_EQ(serial.report.removed_workers, 1u);
+  EXPECT_GT(serial.report.retransmits, 0u);
+  EXPECT_NE(serial.trace.find("tree.reduce.level1"), std::string::npos);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const parallel_run wide = run_parallel_case(mode, threads);
+    ASSERT_EQ(wide.iterates, serial.iterates) << "threads=" << threads;
+    EXPECT_EQ(wide.alphas, serial.alphas) << "threads=" << threads;
+    EXPECT_EQ(wide.report.degraded_rounds, serial.report.degraded_rounds);
+    EXPECT_EQ(wide.report.straggler_failovers,
+              serial.report.straggler_failovers);
+    EXPECT_EQ(wide.report.removed_workers, serial.report.removed_workers);
+    EXPECT_EQ(wide.report.zero_step_holds, serial.report.zero_step_holds);
+    EXPECT_EQ(wide.report.aborted_rounds, serial.report.aborted_rounds);
+    EXPECT_EQ(wide.report.retransmits, serial.report.retransmits);
+    EXPECT_EQ(wide.report.timeouts, serial.report.timeouts);
+    EXPECT_EQ(wide.report.duplicates_discarded,
+              serial.report.duplicates_discarded);
+    EXPECT_EQ(wide.messages, serial.messages) << "threads=" << threads;
+    EXPECT_EQ(wide.max_node_messages, serial.max_node_messages);
+    EXPECT_EQ(wide.trace, serial.trace) << "threads=" << threads;
+  }
+}
+
+TEST(HierarchicalEngine, ParallelMwIsBitIdenticalToSerial) {
+  expect_parallel_matches_serial(shard::shard_protocol::master_worker);
+}
+
+TEST(HierarchicalEngine, ParallelFdIsBitIdenticalToSerial) {
+  expect_parallel_matches_serial(shard::shard_protocol::fully_distributed);
 }
 
 // The chaos grid gains the hierarchical rows on request (appended last,

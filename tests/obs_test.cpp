@@ -200,6 +200,39 @@ TEST(Tracer, ConcurrentLanesMergeIdenticallyToSerial) {
   EXPECT_EQ(run(8), serial);
 }
 
+TEST(Tracer, ManyLaneShardSpansMergeIdenticallyToSerial) {
+  // Lanes >> threads: the hierarchical engine's layout. Each of 64 shard
+  // lanes records the shape of a shard round — an outer round span with a
+  // nested phase span and an instant — while a pool narrower than the lane
+  // count recycles its threads across many lanes per barrier window. A
+  // lane still has exactly one writer at a time, so the (round, lane, seq)
+  // merge is byte-identical at any width.
+  constexpr std::size_t kLanes = 64;
+  const auto run = [](std::size_t threads) {
+    tracer tr(logical_options());
+    thread_pool pool(threads);
+    for (std::uint64_t round = 0; round < 3; ++round) {
+      pool.parallel_for(kLanes, [&](std::size_t lane_idx) {
+        const auto lane = static_cast<std::uint32_t>(lane_idx);
+        span sp(&tr, lane, round, "round", "shard");
+        {
+          span phase(&tr, lane, round, "phase1.cost_uploads", "shard");
+          tr.instant(lane, round, "straggler_elected", "shard",
+                     {arg_int("worker", static_cast<std::uint64_t>(lane_idx))});
+        }
+        sp.arg("alpha", 1.0 / static_cast<double>(lane_idx + 1));
+      });
+    }
+    std::ostringstream out;
+    export_jsonl(out, tr.merged());
+    return out.str();
+  };
+  const std::string serial = run(1);
+  EXPECT_NE(serial.find("\"lane\":63"), std::string::npos);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
 // --- exporters -------------------------------------------------------------
 
 TEST(Export, ChromeTraceGolden) {

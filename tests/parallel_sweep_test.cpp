@@ -119,6 +119,30 @@ TEST(ThreadPool, PropagatesTheFirstJobException) {
   }
 }
 
+TEST(ThreadPool, NestedParallelForOnTheSamePoolThrows) {
+  // Re-entering a pool from one of its own jobs would deadlock the
+  // fixed-width drain (and scramble determinism), so it asserts — on the
+  // serial fast path too, where the bug would otherwise hide.
+  for (std::size_t threads : {1u, 4u}) {
+    thread_pool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(
+            4, [&](std::size_t) { pool.parallel_for(2, [](std::size_t) {}); }),
+        invariant_error);
+    // Nesting across *distinct* pools is fine (an engine-owned pool inside
+    // an exp::parallel_map job is exactly this shape).
+    std::atomic<int> total{0};
+    pool.parallel_for(4, [&](std::size_t) {
+      thread_pool inner(2);
+      inner.parallel_for(2, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 8);
+    // And the outer pool survives the assertion.
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 16);
+  }
+}
+
 // --- rng::stream_seed ------------------------------------------------------
 
 TEST(StreamSeed, IsAPureFunctionWithDistinctStreams) {
