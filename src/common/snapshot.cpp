@@ -1,0 +1,133 @@
+#include "common/snapshot.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+
+namespace dolbie {
+namespace {
+
+void put(std::vector<std::uint8_t>& out, std::uint64_t v, std::size_t n) {
+  for (std::size_t b = 0; b < n; ++b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double double_of(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void snapshot_writer::u8(std::uint8_t v) { put(bytes_, v, 1); }
+void snapshot_writer::u16(std::uint16_t v) { put(bytes_, v, 2); }
+void snapshot_writer::u32(std::uint32_t v) { put(bytes_, v, 4); }
+void snapshot_writer::u64(std::uint64_t v) { put(bytes_, v, 8); }
+
+void snapshot_writer::f64(double v) {
+  DOLBIE_REQUIRE(std::isfinite(v), "snapshot scalar is not finite");
+  put(bytes_, bits_of(v), 8);
+}
+
+void snapshot_writer::f64_or_inf(double v) {
+  DOLBIE_REQUIRE(!std::isnan(v) &&
+                     v != -std::numeric_limits<double>::infinity(),
+                 "snapshot scalar is NaN or -inf");
+  put(bytes_, bits_of(v), 8);
+}
+
+void snapshot_writer::raw(const std::uint8_t* data, std::size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+std::uint64_t snapshot_reader::take(std::size_t n) {
+  DOLBIE_REQUIRE(n <= size_ - pos_, "snapshot truncated");
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + b]) << (8 * b);
+  }
+  pos_ += n;
+  return v;
+}
+
+std::uint8_t snapshot_reader::u8() { return static_cast<std::uint8_t>(take(1)); }
+std::uint16_t snapshot_reader::u16() {
+  return static_cast<std::uint16_t>(take(2));
+}
+std::uint32_t snapshot_reader::u32() {
+  return static_cast<std::uint32_t>(take(4));
+}
+std::uint64_t snapshot_reader::u64() { return take(8); }
+
+double snapshot_reader::f64() {
+  const double v = double_of(take(8));
+  DOLBIE_REQUIRE(std::isfinite(v), "snapshot carries a non-finite scalar");
+  return v;
+}
+
+double snapshot_reader::f64_or_inf() {
+  const double v = double_of(take(8));
+  DOLBIE_REQUIRE(!std::isnan(v) &&
+                     v != -std::numeric_limits<double>::infinity(),
+                 "snapshot carries a NaN or -inf scalar");
+  return v;
+}
+
+const std::uint8_t* snapshot_reader::raw(std::size_t size) {
+  DOLBIE_REQUIRE(size <= size_ - pos_, "snapshot truncated");
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += size;
+  return p;
+}
+
+void snapshot_reader::finish() const {
+  DOLBIE_REQUIRE(pos_ == size_, "snapshot carries " << (size_ - pos_)
+                                                    << " trailing bytes");
+}
+
+void snapshot_reader::require_count(std::uint64_t count,
+                                    std::size_t min_bytes) const {
+  DOLBIE_REQUIRE(count <= remaining() / (min_bytes == 0 ? 1 : min_bytes),
+                 "snapshot count " << count
+                                   << " exceeds what the remaining bytes "
+                                      "could encode");
+}
+
+void write_snapshot_header(snapshot_writer& w, snapshot_kind kind,
+                           std::uint64_t workers) {
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(workers);
+}
+
+void read_snapshot_header(snapshot_reader& r, snapshot_kind kind,
+                          std::uint64_t workers) {
+  const std::uint32_t magic = r.u32();
+  DOLBIE_REQUIRE(magic == kSnapshotMagic,
+                 "snapshot magic mismatch (got " << magic << ")");
+  const std::uint16_t version = r.u16();
+  DOLBIE_REQUIRE(version == kSnapshotVersion,
+                 "snapshot version " << version << " unsupported (expected "
+                                     << kSnapshotVersion << ")");
+  const std::uint8_t k = r.u8();
+  DOLBIE_REQUIRE(k == static_cast<std::uint8_t>(kind),
+                 "snapshot engine kind " << static_cast<int>(k)
+                                         << " does not match this engine");
+  const std::uint64_t n = r.u64();
+  DOLBIE_REQUIRE(n == workers, "snapshot was taken with "
+                                   << n << " workers, this engine has "
+                                   << workers);
+}
+
+}  // namespace dolbie

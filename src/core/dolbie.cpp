@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "common/snapshot.h"
 #include "core/churn.h"
 #include "core/max_acceptable.h"
 #include "core/step_size.h"
@@ -218,6 +219,28 @@ void dolbie_policy::update_after_max_acceptable(worker_id s,
     alpha_gauge_->set(alpha_);
     straggler_gauge_->set(static_cast<double>(s));
   }
+}
+
+std::vector<std::uint8_t> dolbie_policy::snapshot_bytes() const {
+  snapshot_writer w;
+  write_snapshot_header(w, snapshot_kind::dolbie_policy, x_.size());
+  w.f64(alpha_);
+  w.u64(round_);
+  for (const double v : x_) w.f64(v);
+  return w.take();
+}
+
+void dolbie_policy::restore_bytes(const std::vector<std::uint8_t>& bytes) {
+  snapshot_reader r(bytes);
+  read_snapshot_header(r, snapshot_kind::dolbie_policy, x_.size());
+  state saved;
+  saved.alpha = r.f64();
+  const std::uint64_t round = r.u64();
+  saved.x.resize(x_.size());
+  for (double& v : saved.x) v = r.f64();
+  r.finish();
+  restore(saved);  // simplex / alpha validation and re-cap
+  round_ = round;
 }
 
 }  // namespace dolbie::core

@@ -116,6 +116,14 @@ class dolbie_policy final : public online_policy {
   /// worker count and alpha in [0, 1].
   void restore(const state& saved);
 
+  /// The same state as versioned snapshot bytes (common/snapshot.h) plus
+  /// the round index, so a restored policy keeps stamping traces/metrics
+  /// where the killed process stopped. restore_bytes rejects truncated,
+  /// oversized, version-mismatched or non-finite input (invariant_error)
+  /// and applies the same validation as restore(state).
+  std::vector<std::uint8_t> snapshot_bytes() const;
+  void restore_bytes(const std::vector<std::uint8_t>& bytes);
+
   /// Worker churn (membership changes between rounds, an extension beyond
   /// the paper's fixed worker set — its Sec. VII "dynamic load balancing in
   /// a multi-worker system" setting with elastic membership):

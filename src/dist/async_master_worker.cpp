@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "common/snapshot.h"
 #include "core/step_size.h"
 #include "dist/mw_round.h"
 #include "net/transport.h"
@@ -337,6 +338,51 @@ async_round_result async_master_worker::run_round_faulty(
   round_span.arg("alpha_next", alpha_);
   round_span.arg("messages", static_cast<std::uint64_t>(timing.messages));
   return result;
+}
+
+std::vector<std::uint8_t> async_master_worker::snapshot() const {
+  snapshot_writer w;
+  write_snapshot_header(w, snapshot_kind::async_master_worker, x_.size());
+  w.f64(alpha_);
+  w.u64(round_);
+  for (const double v : x_) w.f64(v);
+  w.u8(faulty_ ? 1 : 0);
+  if (faulty_) {
+    for (const std::uint8_t v : flags_.removed) w.u8(v);
+    snapshot_report(w, report_);
+    snapshot_reliable_stats(w, mirrored_);
+    net_->snapshot_to(w);
+    rel_->snapshot_to(w);
+  }
+  return w.take();
+}
+
+void async_master_worker::restore(const std::vector<std::uint8_t>& bytes) {
+  reset();
+  try {
+    snapshot_reader r(bytes);
+    read_snapshot_header(r, snapshot_kind::async_master_worker, x_.size());
+    alpha_ = r.f64();
+    round_ = r.u64();
+    for (double& v : x_) v = r.f64();
+    const std::uint8_t faulty = r.u8();
+    DOLBIE_REQUIRE((faulty != 0) == faulty_,
+                   "snapshot fault-path flag does not match this engine");
+    if (faulty_) {
+      for (std::uint8_t& v : flags_.removed) {
+        v = r.u8();
+        DOLBIE_REQUIRE(v <= 1, "snapshot membership flag is not 0/1");
+      }
+      restore_report(r, report_);
+      restore_reliable_stats(r, mirrored_);
+      net_->restore_from(r);
+      rel_->restore_from(r);
+    }
+    r.finish();
+  } catch (...) {
+    reset();
+    throw;
+  }
 }
 
 }  // namespace dolbie::dist

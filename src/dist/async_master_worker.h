@@ -94,6 +94,15 @@ class async_master_worker {
 
   void reset();
 
+  /// Serialize the complete cross-round state (iterate, step size, round
+  /// index, membership, channels, reliable-link sequencing, fault-roll
+  /// cursors) into versioned snapshot bytes; restore rebuilds it so the
+  /// continuation is bit-identical to the uninterrupted run. Restore
+  /// throws invariant_error on corrupt or mismatched bytes, leaving the
+  /// engine reset.
+  std::vector<std::uint8_t> snapshot() const;
+  void restore(const std::vector<std::uint8_t>& bytes);
+
  private:
   async_round_result run_round_clean(const cost::cost_view& costs);
   async_round_result run_round_faulty(const cost::cost_view& costs,

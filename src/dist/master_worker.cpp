@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "common/snapshot.h"
 #include "core/step_size.h"
 #include "dist/mw_round.h"
 #include "net/transport.h"
@@ -208,6 +209,57 @@ void master_worker_policy::finish_round(std::uint64_t round,
   last_traffic_ = {
       totals.messages_sent - round_traffic_start_.messages_sent,
       totals.bytes_sent - round_traffic_start_.bytes_sent};
+}
+
+std::vector<std::uint8_t> master_worker_policy::snapshot() const {
+  snapshot_writer w;
+  write_snapshot_header(w, snapshot_kind::master_worker, n_);
+  w.f64(alpha_);
+  w.u64(round_);
+  for (const double v : worker_x_) w.f64(v);
+  for (const double v : assembled_) w.f64(v);
+  w.u64(last_traffic_.messages_sent);
+  w.u64(last_traffic_.bytes_sent);
+  net_.snapshot_to(w);
+  w.u8(faulty_ ? 1 : 0);
+  if (faulty_) {
+    for (const std::uint8_t v : flags_.removed) w.u8(v);
+    snapshot_report(w, fault_report_);
+    snapshot_reliable_stats(w, mirrored_);
+    rel_->snapshot_to(w);
+  }
+  return w.take();
+}
+
+void master_worker_policy::restore(const std::vector<std::uint8_t>& bytes) {
+  reset();
+  try {
+    snapshot_reader r(bytes);
+    read_snapshot_header(r, snapshot_kind::master_worker, n_);
+    alpha_ = r.f64();
+    round_ = r.u64();
+    for (double& v : worker_x_) v = r.f64();
+    for (double& v : assembled_) v = r.f64();
+    last_traffic_.messages_sent = static_cast<std::size_t>(r.u64());
+    last_traffic_.bytes_sent = static_cast<std::size_t>(r.u64());
+    net_.restore_from(r);
+    const std::uint8_t faulty = r.u8();
+    DOLBIE_REQUIRE((faulty != 0) == faulty_,
+                   "snapshot fault-path flag does not match this engine");
+    if (faulty_) {
+      for (std::uint8_t& v : flags_.removed) {
+        v = r.u8();
+        DOLBIE_REQUIRE(v <= 1, "snapshot membership flag is not 0/1");
+      }
+      restore_report(r, fault_report_);
+      restore_reliable_stats(r, mirrored_);
+      rel_->restore_from(r);
+    }
+    r.finish();
+  } catch (...) {
+    reset();
+    throw;
+  }
 }
 
 }  // namespace dolbie::dist

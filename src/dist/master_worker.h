@@ -62,6 +62,15 @@ class master_worker_policy final : public core::online_policy {
   /// links. Production callers have no business poking it.
   net::network& transport() { return net_; }
 
+  /// Serialize the complete cross-round state (iterate, step size, round
+  /// index, membership, channels, reliable-link sequencing, fault-roll
+  /// cursors) into versioned snapshot bytes; restore rebuilds it so the
+  /// continuation is bit-identical to the uninterrupted run. Restore
+  /// throws invariant_error on corrupt or mismatched bytes, leaving the
+  /// engine reset.
+  std::vector<std::uint8_t> snapshot() const;
+  void restore(const std::vector<std::uint8_t>& bytes);
+
  private:
   net::node_id master_id() const { return n_; }
   void observe_clean(const core::round_feedback& feedback,

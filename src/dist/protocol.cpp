@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "common/snapshot.h"
 #include "core/churn.h"
 #include "core/step_size.h"
 #include "net/reliable.h"
@@ -104,6 +105,45 @@ void finish_degraded_round(const degraded_outcome& outcome,
   report.retransmits = stats.retransmits;
   report.timeouts = stats.timeouts;
   report.duplicates_discarded = stats.duplicates_discarded;
+}
+
+void snapshot_report(snapshot_writer& w, const fault_report& report) {
+  w.u64(report.degraded_rounds);
+  w.u64(report.straggler_failovers);
+  w.u64(report.removed_workers);
+  w.u64(report.zero_step_holds);
+  w.u64(report.aborted_rounds);
+  w.u64(report.retransmits);
+  w.u64(report.timeouts);
+  w.u64(report.duplicates_discarded);
+}
+
+void restore_report(snapshot_reader& r, fault_report& report) {
+  report.degraded_rounds = static_cast<std::size_t>(r.u64());
+  report.straggler_failovers = static_cast<std::size_t>(r.u64());
+  report.removed_workers = static_cast<std::size_t>(r.u64());
+  report.zero_step_holds = static_cast<std::size_t>(r.u64());
+  report.aborted_rounds = static_cast<std::size_t>(r.u64());
+  report.retransmits = static_cast<std::size_t>(r.u64());
+  report.timeouts = static_cast<std::size_t>(r.u64());
+  report.duplicates_discarded = static_cast<std::size_t>(r.u64());
+}
+
+void snapshot_reliable_stats(snapshot_writer& w,
+                             const net::reliable_stats& stats) {
+  w.u64(stats.retransmits);
+  w.u64(stats.timeouts);
+  w.u64(stats.deadlines_expired);
+  w.u64(stats.duplicates_discarded);
+  w.u64(stats.stale_purged);
+}
+
+void restore_reliable_stats(snapshot_reader& r, net::reliable_stats& stats) {
+  stats.retransmits = static_cast<std::size_t>(r.u64());
+  stats.timeouts = static_cast<std::size_t>(r.u64());
+  stats.deadlines_expired = static_cast<std::size_t>(r.u64());
+  stats.duplicates_discarded = static_cast<std::size_t>(r.u64());
+  stats.stale_purged = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace dolbie::dist

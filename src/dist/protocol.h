@@ -20,6 +20,11 @@
 #include "net/fault_plan.h"
 #include "net/message.h"
 
+namespace dolbie {
+class snapshot_reader;
+class snapshot_writer;
+}  // namespace dolbie
+
 namespace dolbie::obs {
 class counter;
 class gauge;
@@ -209,5 +214,14 @@ void finish_degraded_round(const degraded_outcome& outcome,
                            std::string_view category, std::uint64_t round,
                            engine_counters& counters, fault_report& report,
                            net::reliable_stats& mirrored);
+
+/// Checkpoint building blocks shared by every engine's snapshot()/restore()
+/// (common/snapshot.h): the cumulative fault report and the engine-side
+/// mirror of the reliable layer's stats, as fixed runs of u64 fields.
+void snapshot_report(snapshot_writer& w, const fault_report& report);
+void restore_report(snapshot_reader& r, fault_report& report);
+void snapshot_reliable_stats(snapshot_writer& w,
+                             const net::reliable_stats& stats);
+void restore_reliable_stats(snapshot_reader& r, net::reliable_stats& stats);
 
 }  // namespace dolbie::dist

@@ -1,12 +1,16 @@
 #include "exp/chaos.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.h"
 #include "common/simplex.h"
+#include "common/snapshot.h"
 #include "core/dolbie.h"
 #include "dist/async_fully_distributed.h"
 #include "dist/async_master_worker.h"
@@ -22,19 +26,164 @@ namespace {
 constexpr const char* kEngineNames[] = {"MW",       "FD",      "MW-async",
                                         "FD-async", "MW-hier", "FD-hier"};
 
+/// True when the kill/checkpoint/restore drill replaces the plain
+/// exp::run-driven cells with the resumable manual drive loop.
+bool recovery_active(const chaos_options& options) {
+  return options.kill_at > 0 || !options.restore_path.empty();
+}
+
+/// Per-cell checkpoint file: <dir>/<engine>_<rate with '.' -> 'p'>.ckpt.
+std::string cell_checkpoint_file(const std::string& dir, const char* engine,
+                                 double rate) {
+  std::string key = std::to_string(rate);
+  for (char& c : key) {
+    if (c == '.') c = 'p';
+  }
+  return dir + "/" + engine + "_" + key + ".ckpt";
+}
+
+/// Write one cell's checkpoint: chaos_checkpoint-framed header, the
+/// partial cumulative cost, the cut round, then the engine's own
+/// length-prefixed snapshot bytes.
+void write_cell_checkpoint(const std::string& path, std::uint64_t workers,
+                           double partial_cost, std::uint64_t kill_round,
+                           const std::vector<std::uint8_t>& engine_bytes) {
+  snapshot_writer w;
+  write_snapshot_header(w, snapshot_kind::chaos_checkpoint, workers);
+  w.f64(partial_cost);
+  w.u64(kill_round);
+  w.u64(engine_bytes.size());
+  w.raw(engine_bytes.data(), engine_bytes.size());
+  std::ofstream out(path, std::ios::binary);
+  DOLBIE_REQUIRE(out.good(), "cannot open checkpoint file " << path);
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.bytes().size()));
+  DOLBIE_REQUIRE(out.good(), "short write to checkpoint file " << path);
+}
+
+struct cell_checkpoint {
+  double partial_cost = 0.0;
+  std::uint64_t kill_round = 0;
+  std::vector<std::uint8_t> engine_bytes;
+};
+
+cell_checkpoint read_cell_checkpoint(const std::string& path,
+                                     std::uint64_t workers,
+                                     std::uint64_t rounds) {
+  std::ifstream in(path, std::ios::binary);
+  DOLBIE_REQUIRE(in.good(), "cannot open checkpoint file " << path);
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  snapshot_reader r(bytes);
+  cell_checkpoint ck;
+  read_snapshot_header(r, snapshot_kind::chaos_checkpoint, workers);
+  ck.partial_cost = r.f64();
+  ck.kill_round = r.u64();
+  DOLBIE_REQUIRE(ck.kill_round >= 1 && ck.kill_round < rounds,
+                 "checkpoint " << path << " was cut at round "
+                               << ck.kill_round << ", outside this grid's "
+                               << rounds << " rounds");
+  const std::uint64_t size = r.u64();
+  r.require_count(size, 1);
+  const std::uint8_t* data = r.raw(size);
+  ck.engine_bytes.assign(data, data + size);
+  r.finish();
+  return ck;
+}
+
+/// The resumable drive loop for a phase-synchronous engine: exactly the
+/// sequence run() plays (reset, evaluate the round at current(), observe),
+/// restricted to rounds [start, stop). The cost sum accumulates left to
+/// right — the same order series::total() folds — so a killed cell's
+/// stored partial plus the resumed remainder is bit-identical to the
+/// uninterrupted run's total.
+template <typename Policy>
+void drive_policy_rounds(Policy& policy, environment& env,
+                         std::uint64_t start, std::uint64_t stop,
+                         chaos_row& row) {
+  for (std::uint64_t t = 0; t < start; ++t) {
+    (void)env.next_round();  // fast-forward the deterministic cost stream
+  }
+  for (std::uint64_t t = start; t < stop; ++t) {
+    const cost::cost_vector costs = env.next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const core::round_outcome outcome =
+        core::evaluate_round(view, policy.current());
+    row.cumulative_cost += outcome.global_cost;
+    core::round_feedback feedback;
+    feedback.costs = &view;
+    feedback.local_costs = outcome.local_costs;
+    policy.observe(feedback);
+  }
+}
+
+/// Kill/checkpoint/restore orchestration for one phase-synchronous cell.
+template <typename Policy>
+void run_policy_recovery_cell(Policy& policy, environment& env,
+                              const chaos_options& options, double drop_rate,
+                              chaos_row& row) {
+  policy.reset();
+  std::uint64_t start = 0;
+  if (!options.restore_path.empty()) {
+    const cell_checkpoint ck = read_cell_checkpoint(
+        cell_checkpoint_file(options.restore_path, row.engine.c_str(),
+                             drop_rate),
+        options.workers, options.rounds);
+    policy.restore(ck.engine_bytes);
+    row.cumulative_cost = ck.partial_cost;
+    start = ck.kill_round;
+  }
+  const std::uint64_t stop =
+      options.kill_at > 0
+          ? std::min<std::uint64_t>(options.kill_at, options.rounds)
+          : options.rounds;
+  drive_policy_rounds(policy, env, start, stop, row);
+  if (!options.checkpoint_path.empty()) {
+    write_cell_checkpoint(
+        cell_checkpoint_file(options.checkpoint_path, row.engine.c_str(),
+                             drop_rate),
+        options.workers, row.cumulative_cost, stop, policy.snapshot());
+  }
+}
+
 /// Drive one event-driven engine with the harness's accounting: the
 /// round-t global cost is evaluated at the allocation the engine holds
 /// entering the round, exactly as run() scores a policy's current().
+/// Honors the same kill/checkpoint/restore drill as the sync cells.
 template <typename Engine>
-void run_async_cell(Engine& engine, environment& env, std::size_t rounds,
+void run_async_cell(Engine& engine, environment& env,
+                    const chaos_options& options, double drop_rate,
                     chaos_row& row) {
-  for (std::size_t t = 0; t < rounds; ++t) {
+  std::uint64_t start = 0;
+  if (!options.restore_path.empty()) {
+    const cell_checkpoint ck = read_cell_checkpoint(
+        cell_checkpoint_file(options.restore_path, row.engine.c_str(),
+                             drop_rate),
+        options.workers, options.rounds);
+    engine.restore(ck.engine_bytes);
+    row.cumulative_cost = ck.partial_cost;
+    start = ck.kill_round;
+  }
+  const std::uint64_t stop =
+      options.kill_at > 0
+          ? std::min<std::uint64_t>(options.kill_at, options.rounds)
+          : options.rounds;
+  for (std::uint64_t t = 0; t < start; ++t) {
+    (void)env.next_round();  // fast-forward the deterministic cost stream
+  }
+  for (std::uint64_t t = start; t < stop; ++t) {
     const cost::cost_vector costs = env.next_round();
     const cost::cost_view view = cost::view_of(costs);
     const core::round_outcome outcome =
         core::evaluate_round(view, engine.allocation());
     row.cumulative_cost += outcome.global_cost;
     engine.run_round(view);
+  }
+  if (!options.checkpoint_path.empty()) {
+    write_cell_checkpoint(
+        cell_checkpoint_file(options.checkpoint_path, row.engine.c_str(),
+                             drop_rate),
+        options.workers, row.cumulative_cost, stop, engine.snapshot());
   }
   row.report = engine.faults();
   row.simplex_ok = on_simplex(engine.allocation());
@@ -59,16 +208,25 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
   chaos_row row;
   row.drop_rate = drop_rate;
   row.engine = kEngineNames[engine];
+  const bool recovery = recovery_active(options);
   if (engine == 0) {
     dist::master_worker_policy policy(options.workers, popts);
-    const run_trace trace = run(policy, *env, hopts);
-    row.cumulative_cost = trace.global_cost.total();
+    if (recovery) {
+      run_policy_recovery_cell(policy, *env, options, drop_rate, row);
+    } else {
+      const run_trace trace = run(policy, *env, hopts);
+      row.cumulative_cost = trace.global_cost.total();
+    }
     row.report = policy.faults();
     row.simplex_ok = on_simplex(policy.current());
   } else if (engine == 1) {
     dist::fully_distributed_policy policy(options.workers, popts);
-    const run_trace trace = run(policy, *env, hopts);
-    row.cumulative_cost = trace.global_cost.total();
+    if (recovery) {
+      run_policy_recovery_cell(policy, *env, options, drop_rate, row);
+    } else {
+      const run_trace trace = run(policy, *env, hopts);
+      row.cumulative_cost = trace.global_cost.total();
+    }
     row.report = policy.faults();
     row.simplex_ok = on_simplex(policy.current());
   } else if (engine == 2 || engine == 3) {
@@ -76,10 +234,10 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
     aopts.protocol = popts;
     if (engine == 2) {
       dist::async_master_worker e(options.workers, aopts);
-      run_async_cell(e, *env, options.rounds, row);
+      run_async_cell(e, *env, options, drop_rate, row);
     } else {
       dist::async_fully_distributed e(options.workers, aopts);
-      run_async_cell(e, *env, options.rounds, row);
+      run_async_cell(e, *env, options, drop_rate, row);
     }
   } else {
     shard::hierarchical_options sopts;
@@ -90,8 +248,12 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
                              : shard::shard_protocol::fully_distributed;
     sopts.aggregator_crashes = options.aggregator_crashes;
     shard::hierarchical_engine policy(options.workers, sopts);
-    const run_trace trace = run(policy, *env, hopts);
-    row.cumulative_cost = trace.global_cost.total();
+    if (recovery) {
+      run_policy_recovery_cell(policy, *env, options, drop_rate, row);
+    } else {
+      const run_trace trace = run(policy, *env, hopts);
+      row.cumulative_cost = trace.global_cost.total();
+    }
     row.report = policy.report();
     row.simplex_ok = on_simplex(policy.current());
   }
@@ -101,6 +263,12 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
 }  // namespace
 
 std::vector<chaos_row> run_chaos_grid(const chaos_options& options) {
+  if (!options.checkpoint_path.empty()) {
+    DOLBIE_REQUIRE(options.kill_at >= 1 && options.kill_at < options.rounds,
+                   "--checkpoint needs --kill-at inside (0, "
+                       << options.rounds << ") to know where to cut");
+    std::filesystem::create_directories(options.checkpoint_path);
+  }
   std::vector<double> rates = options.drop_rates;
   if (std::find(rates.begin(), rates.end(), 0.0) == rates.end()) {
     rates.insert(rates.begin(), 0.0);
@@ -161,6 +329,10 @@ void print_chaos_table(std::ostream& os, const std::vector<chaos_row>& rows) {
 
 void write_chaos_jsonl(std::ostream& os, const chaos_options& options,
                        const std::vector<chaos_row>& rows) {
+  // Full round-trip precision: the chaos-smoke restore leg compares the
+  // resumed grid's costs to the uninterrupted grid's for exact equality.
+  const std::streamsize saved =
+      os.precision(std::numeric_limits<double>::max_digits10);
   for (const chaos_row& row : rows) {
     os << "{\"engine\":\"" << row.engine << "\""
        << ",\"drop_rate\":" << row.drop_rate
@@ -179,12 +351,14 @@ void write_chaos_jsonl(std::ostream& os, const chaos_options& options,
        << ",\"simplex_ok\":" << (row.simplex_ok ? "true" : "false")
        << "}\n";
   }
+  os.precision(saved);
 }
 
 bool chaos_requested(const cli_args& args) {
   return args.has("chaos") || args.has("chaos-hier") ||
          args.has("fault-seed") || args.has("drop-rate") ||
-         args.has("drop-rates") || args.has("crash-schedule");
+         args.has("drop-rates") || args.has("crash-schedule") ||
+         args.has("kill-at") || args.has("restore");
 }
 
 chaos_options chaos_options_from_args(const cli_args& args) {
@@ -226,6 +400,24 @@ chaos_options chaos_options_from_args(const cli_args& args) {
   if (!agg_schedule.empty()) {
     options.aggregator_crashes = net::parse_crash_schedule(agg_schedule);
   }
+  options.kill_at = args.get_u64("kill-at", 0);
+  options.checkpoint_path = args.get_string("checkpoint", "");
+  options.restore_path = args.get_string("restore", "");
+  if (options.kill_at > 0) {
+    DOLBIE_REQUIRE(options.kill_at < options.rounds,
+                   "--kill-at=" << options.kill_at
+                                << " must fall before the run's "
+                                << options.rounds << " rounds");
+    DOLBIE_REQUIRE(
+        !options.checkpoint_path.empty(),
+        "--kill-at without --checkpoint=DIR loses the partial run");
+  } else {
+    DOLBIE_REQUIRE(options.checkpoint_path.empty(),
+                   "--checkpoint needs --kill-at=R to know where to cut");
+  }
+  DOLBIE_REQUIRE(options.restore_path.empty() || options.kill_at == 0,
+                 "--restore resumes a killed run; drop --kill-at/--checkpoint "
+                 "on the resuming invocation");
   return options;
 }
 
@@ -234,6 +426,14 @@ void run_chaos_from_args(std::ostream& os, const cli_args& args) {
   os << "\n=== chaos: regret vs drop rate (fault seed "
      << options.fault_seed << ", N=" << options.workers << ", T="
      << options.rounds << ") ===\n\n";
+  if (options.kill_at > 0) {
+    os << "Crash drill: every cell killed after round " << options.kill_at
+       << ", checkpoints under " << options.checkpoint_path << "\n\n";
+  }
+  if (!options.restore_path.empty()) {
+    os << "Crash drill: every cell resumed from " << options.restore_path
+       << "\n\n";
+  }
   const std::vector<chaos_row> rows = run_chaos_grid(options);
   print_chaos_table(os, rows);
   bool all_ok = true;

@@ -16,6 +16,15 @@
 //   --chaos-rounds=T --chaos-workers=N --chaos-jsonl=out.jsonl
 //   --chaos-hier --shard-size=S --fanin=F --chaos-no-flat
 //   --agg-crash-schedule=agg@round[-recover],...
+//   --kill-at=R --checkpoint=DIR --restore=DIR
+//
+// The last line is the crash-recovery drill (DESIGN.md §12): --kill-at
+// stops every cell after R rounds and --checkpoint writes one snapshot
+// file per cell wrapping the engine's versioned bytes plus the partial
+// cumulative cost; a second invocation with --restore resumes each cell
+// from those files and replays the remaining rounds. The resumed grid is
+// bit-identical to the uninterrupted one (CI's chaos-smoke leg asserts
+// equality of the two JSONL artifacts row by row).
 #pragma once
 
 #include <iosfwd>
@@ -59,6 +68,18 @@ struct chaos_options {
   std::size_t fanin = 4;
   /// Crash windows over aggregator (tree-node) ids, hierarchical rows only.
   std::vector<net::crash_window> aggregator_crashes;
+
+  /// Crash-recovery drill. kill_at > 0 stops every cell after that many
+  /// rounds (the "kill"); checkpoint_path then receives one
+  /// <engine>_<rate>.ckpt file per cell — a chaos_checkpoint-framed
+  /// snapshot wrapping the engine bytes, the cut round and the partial
+  /// cumulative cost. restore_path resumes each cell from those files:
+  /// the engine is rebuilt from bytes, the environment fast-forwarded,
+  /// and the remaining rounds replayed; the resumed cumulative cost is
+  /// bit-identical to the uninterrupted run's.
+  std::uint64_t kill_at = 0;
+  std::string checkpoint_path;
+  std::string restore_path;
 };
 
 /// One cell of the chaos grid: engine x drop rate.

@@ -41,6 +41,10 @@ class channel {
   bool empty() const { return head_ == queue_.size(); }
   std::size_t pending() const { return queue_.size() - head_; }
 
+  /// The i-th pending message, oldest first (i < pending()). Read-only
+  /// iteration for engine snapshots; delivery still goes through pop().
+  const message& peek(std::size_t i) const { return queue_[head_ + i]; }
+
  private:
   std::vector<message> queue_;  // live region is [head_, queue_.size())
   std::size_t head_ = 0;        // messages consumed from the front

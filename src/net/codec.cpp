@@ -122,4 +122,19 @@ message decode(const std::vector<std::uint8_t>& bytes) {
   return m;
 }
 
+void encode_into(const message& m, snapshot_writer& w) {
+  const std::vector<std::uint8_t> bytes = encode(m);
+  w.u32(static_cast<std::uint32_t>(bytes.size()));
+  w.raw(bytes.data(), bytes.size());
+}
+
+message decode_from(snapshot_reader& r) {
+  const std::uint32_t size = r.u32();
+  DOLBIE_REQUIRE(size >= kHeaderBytes &&
+                     size <= kHeaderBytes + 8 * kMaxPayloadScalars,
+                 "embedded message size " << size << " outside wire bounds");
+  const std::uint8_t* p = r.raw(size);
+  return decode(std::vector<std::uint8_t>(p, p + size));
+}
+
 }  // namespace dolbie::net

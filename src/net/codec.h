@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "net/message.h"
 
 namespace dolbie::net {
@@ -51,5 +52,12 @@ std::vector<std::uint8_t> encode(const message& m);
 /// trailing bytes, unknown kind or flag bits, oversized payload count,
 /// non-finite payload scalars.
 message decode(const std::vector<std::uint8_t>& bytes);
+
+/// Length-prefixed embedding of a message inside an engine snapshot
+/// (common/snapshot.h): u32 byte count, then the encode() bytes. Restores
+/// through decode(), so in-flight messages inherit the wire format's full
+/// hostile-input validation.
+void encode_into(const message& m, snapshot_writer& w);
+message decode_from(snapshot_reader& r);
 
 }  // namespace dolbie::net

@@ -27,25 +27,44 @@ double unit_roll(std::uint64_t seed, std::uint64_t salt, node_id from,
 }  // namespace
 
 bool fault_plan::crashed_during(node_id node, std::uint64_t round) const {
-  for (const crash_window& w : crashes) {
-    if (w.node == node && w.crash_round == round) return true;
-  }
-  return false;
+  return crashed_during(node, round, 0);
 }
 
 bool fault_plan::down(node_id node, std::uint64_t round) const {
+  return down(node, round, 0);
+}
+
+bool fault_plan::permanently_down(node_id node, std::uint64_t round) const {
+  return permanently_down(node, round, 0);
+}
+
+bool fault_plan::crashed_during(node_id node, std::uint64_t round,
+                                std::uint64_t ignore_before) const {
   for (const crash_window& w : crashes) {
-    if (w.node == node && w.crash_round < round && round < w.recover_round) {
+    if (w.node == node && w.crash_round >= ignore_before &&
+        w.crash_round == round) {
       return true;
     }
   }
   return false;
 }
 
-bool fault_plan::permanently_down(node_id node, std::uint64_t round) const {
+bool fault_plan::down(node_id node, std::uint64_t round,
+                      std::uint64_t ignore_before) const {
   for (const crash_window& w : crashes) {
-    if (w.node == node && w.recover_round == crash_window::kNever &&
-        w.crash_round < round) {
+    if (w.node == node && w.crash_round >= ignore_before &&
+        w.crash_round < round && round < w.recover_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fault_plan::permanently_down(node_id node, std::uint64_t round,
+                                  std::uint64_t ignore_before) const {
+  for (const crash_window& w : crashes) {
+    if (w.node == node && w.crash_round >= ignore_before &&
+        w.recover_round == crash_window::kNever && w.crash_round < round) {
       return true;
     }
   }

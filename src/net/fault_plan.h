@@ -73,6 +73,19 @@ struct fault_plan {
   /// The worker is down at `round` and never recovers.
   bool permanently_down(node_id node, std::uint64_t round) const;
 
+  /// Variants that ignore crash windows opening before `ignore_before`:
+  /// when the shard layer's self-healing promotes a replacement host onto
+  /// a tree-node id at round R (shard/reduction_tree.h), the windows that
+  /// killed the old host stop applying to the new one — only windows with
+  /// crash_round >= R still name this node. ignore_before == 0 is the
+  /// plain predicate.
+  bool crashed_during(node_id node, std::uint64_t round,
+                      std::uint64_t ignore_before) const;
+  bool down(node_id node, std::uint64_t round,
+            std::uint64_t ignore_before) const;
+  bool permanently_down(node_id node, std::uint64_t round,
+                        std::uint64_t ignore_before) const;
+
   /// Deterministic per-attempt fault rolls. `attempt` is a per-link
   /// monotone counter maintained by the caller (network / async engines).
   bool roll_drop(node_id from, node_id to, std::uint64_t attempt) const;

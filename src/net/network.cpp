@@ -4,6 +4,8 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/snapshot.h"
+#include "net/codec.h"
 #include "obs/trace.h"
 
 namespace dolbie::net {
@@ -231,6 +233,74 @@ void network::retire_node(node_id id) {
 traffic_totals network::total_traffic() const {
   return {static_cast<std::size_t>(total_messages_->value()),
           static_cast<std::size_t>(total_bytes_->value())};
+}
+
+void network::snapshot_to(snapshot_writer& w) const {
+  w.u64(links_.size());
+  for (const channel& ch : links_) {
+    w.u64(ch.pending());
+    for (std::size_t i = 0; i < ch.pending(); ++i) {
+      encode_into(ch.peek(i), w);
+    }
+  }
+  for (const std::size_t drops : pending_drops_) w.u64(drops);
+  w.u64(dropped_);
+  w.u64(duplicated_);
+  // The fault-plan attempt cursors: the plan's rolls are pure functions of
+  // (seed, link, attempt), so restoring the cursors resumes the exact
+  // fault transcript mid-stream.
+  w.u8(faults_.enabled() ? 1 : 0);
+  if (faults_.enabled()) {
+    for (const std::uint64_t attempt : fault_attempts_) w.u64(attempt);
+  }
+  w.u64(total_messages_->value());
+  w.u64(total_bytes_->value());
+  for (node_id i = 0; i < n_; ++i) {
+    w.u64(peer_messages_[i]->value());
+    w.u64(peer_bytes_[i]->value());
+  }
+}
+
+void network::restore_from(snapshot_reader& r) {
+  const std::uint64_t link_count = r.u64();
+  DOLBIE_REQUIRE(link_count == links_.size(),
+                 "network snapshot has " << link_count
+                                         << " links, this topology has "
+                                         << links_.size());
+  for (channel& ch : links_) {
+    ch.release();
+    const std::uint64_t pending = r.u64();
+    // Each embedded message costs at least its u32 length prefix plus the
+    // 20-byte wire header, bounding what a corrupt count can allocate.
+    r.require_count(pending, 24);
+    for (std::uint64_t i = 0; i < pending; ++i) {
+      // Restored directly into storage: these messages were already sent
+      // (and fault-rolled) before the snapshot; re-sending would double
+      // the accounting and burn fresh rolls.
+      ch.push(decode_from(r));
+    }
+  }
+  for (std::size_t& drops : pending_drops_) {
+    drops = static_cast<std::size_t>(r.u64());
+  }
+  dropped_ = static_cast<std::size_t>(r.u64());
+  duplicated_ = static_cast<std::size_t>(r.u64());
+  const bool had_faults = r.u8() != 0;
+  DOLBIE_REQUIRE(had_faults == faults_.enabled(),
+                 "network snapshot fault attachment does not match this "
+                 "network's configuration");
+  if (had_faults) {
+    DOLBIE_REQUIRE(fault_attempts_.size() == links_.size(),
+                   "fault attempt cursors not sized for this topology");
+    for (std::uint64_t& attempt : fault_attempts_) attempt = r.u64();
+  }
+  metrics_.reset();
+  total_messages_->add(r.u64());
+  total_bytes_->add(r.u64());
+  for (node_id i = 0; i < n_; ++i) {
+    peer_messages_[i]->add(r.u64());
+    peer_bytes_[i]->add(r.u64());
+  }
 }
 
 void network::reset_traffic() {

@@ -32,6 +32,11 @@
 #include "net/fault_plan.h"
 #include "obs/metrics.h"
 
+namespace dolbie {
+class snapshot_reader;
+class snapshot_writer;
+}  // namespace dolbie
+
 namespace dolbie::obs {
 class tracer;
 }  // namespace dolbie::obs
@@ -139,6 +144,17 @@ class network {
   /// messages still count as sent, exactly like injected drops.
   void attach_faults(fault_plan plan);
   const fault_plan& faults() const { return faults_; }
+
+  /// Serialize the mutable delivery state — channel contents, scheduled
+  /// drops, the fault counters (dropped/duplicated and the per-link
+  /// attempt cursors the plan's rolls key on) and the traffic counters —
+  /// for an engine snapshot. Topology and configuration are not written:
+  /// the restoring network must be constructed identically first.
+  void snapshot_to(snapshot_writer& w) const;
+  /// Restore state written by snapshot_to into an identically constructed
+  /// network (same topology, same fault attachment). Throws
+  /// invariant_error on shape mismatch or corrupt bytes.
+  void restore_from(snapshot_reader& r);
 
  private:
   void init_metrics();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/snapshot.h"
+#include "net/codec.h"
 #include "obs/trace.h"
 
 namespace dolbie::net {
@@ -142,6 +144,61 @@ void reliable_link::reset() {
   links_.assign(links_.size(), {});
   stats_ = {};
   round_ = 0;
+}
+
+void reliable_link::snapshot_to(snapshot_writer& w) const {
+  w.u64(links_.size());
+  for (const link_state& link : links_) {
+    w.u32(link.next_seq);
+    w.u32(link.next_expected);
+    w.u64(link.outbox.size());
+    for (const pending& p : link.outbox) {
+      encode_into(p.msg, w);
+      w.u64(p.attempts);
+    }
+    w.u64(link.reorder.size());
+    for (const message& m : link.reorder) encode_into(m, w);
+  }
+  w.u64(stats_.retransmits);
+  w.u64(stats_.timeouts);
+  w.u64(stats_.deadlines_expired);
+  w.u64(stats_.duplicates_discarded);
+  w.u64(stats_.stale_purged);
+  w.u64(round_);
+}
+
+void reliable_link::restore_from(snapshot_reader& r) {
+  const std::uint64_t link_count = r.u64();
+  DOLBIE_REQUIRE(link_count == links_.size(),
+                 "reliable snapshot has " << link_count
+                                          << " links, this topology has "
+                                          << links_.size());
+  for (link_state& link : links_) {
+    link = {};
+    link.next_seq = r.u32();
+    link.next_expected = r.u32();
+    const std::uint64_t outbox = r.u64();
+    r.require_count(outbox, 32);
+    link.outbox.reserve(outbox);
+    for (std::uint64_t i = 0; i < outbox; ++i) {
+      pending p;
+      p.msg = decode_from(r);
+      p.attempts = static_cast<std::size_t>(r.u64());
+      link.outbox.push_back(std::move(p));
+    }
+    const std::uint64_t reorder = r.u64();
+    r.require_count(reorder, 24);
+    link.reorder.reserve(reorder);
+    for (std::uint64_t i = 0; i < reorder; ++i) {
+      link.reorder.push_back(decode_from(r));
+    }
+  }
+  stats_.retransmits = static_cast<std::size_t>(r.u64());
+  stats_.timeouts = static_cast<std::size_t>(r.u64());
+  stats_.deadlines_expired = static_cast<std::size_t>(r.u64());
+  stats_.duplicates_discarded = static_cast<std::size_t>(r.u64());
+  stats_.stale_purged = static_cast<std::size_t>(r.u64());
+  round_ = r.u64();
 }
 
 void reliable_link::retire_node(node_id id) {

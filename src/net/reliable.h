@@ -94,6 +94,14 @@ class reliable_link {
   /// never carry traffic again. Accounting (`stats()`) is untouched.
   void retire_node(node_id id);
 
+  /// Serialize the per-link sequencing / retransmission / reorder state,
+  /// the cumulative stats and the round epoch for an engine snapshot. The
+  /// wrapped network's channels are snapshotted separately by its owner.
+  void snapshot_to(snapshot_writer& w) const;
+  /// Restore state written by snapshot_to over an identically shaped
+  /// network. Throws invariant_error on shape mismatch or corrupt bytes.
+  void restore_from(snapshot_reader& r);
+
  private:
   struct pending {
     message msg;

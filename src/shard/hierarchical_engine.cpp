@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "common/simplex.h"
 #include "common/thread_pool.h"
 #include "core/step_size.h"
@@ -215,6 +216,12 @@ hierarchical_engine::hierarchical_engine(std::size_t n_workers,
   agg_plan_.crashes = options_.aggregator_crashes;
   faulty_ = options_.protocol.faults.enabled() ||
             !options_.aggregator_crashes.empty();
+  // Engage repair only when something can actually die permanently, so
+  // zero-fault rounds stay on the exact pre-repair code path.
+  repair_active_ = options_.self_heal && (!options_.aggregator_crashes.empty() ||
+                                          options_.outage_threshold > 0);
+  revive_round_.assign(plan_.aggregators(), 0);
+  outage_streak_.assign(plan_.aggregators(), 0);
 
   const std::size_t n_shards = plan_.shards();
   shards_.reserve(n_shards);
@@ -246,6 +253,8 @@ hierarchical_engine::hierarchical_engine(std::size_t n_workers,
         .set(static_cast<double>(plan_.depth));
     options_.protocol.metrics->gauge_named("shard.fanin")
         .set(static_cast<double>(plan_.fanin));
+    repairs_counter_ =
+        &options_.protocol.metrics->counter_named("shard.tree_repairs");
   }
 
   leaf_max_.assign(n_shards, 0.0);
@@ -307,6 +316,9 @@ void hierarchical_engine::reset() {
     sh.net.reset_traffic();
   }
   tree_.reset();
+  std::fill(revive_round_.begin(), revive_round_.end(), std::uint64_t{0});
+  std::fill(outage_streak_.begin(), outage_streak_.end(), std::uint64_t{0});
+  repairs_.clear();
   assembled_ = part;
   round_ = 0;
   report_ = {};
@@ -328,14 +340,42 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
   traffic_mark_ = cumulative_traffic();
   obs::span round_span(tr, lane, round, "round", "shard");
 
+  // Self-healing first: a node diagnosed permanently dead (kNever window
+  // open, or outage streak past the threshold) is repaired before this
+  // round's liveness is read, so the repaired topology carries the round.
+  if (repair_active_) heal(round, tr, lane);
+
   // Round-granular aggregator liveness: a node that dies mid-round is
   // absent for the whole round (its shard holds; no partial summaries).
+  // Under repair, windows older than a promotion's takeover round no
+  // longer name the node (the replacement host is a different machine),
+  // and excised nodes are simply gone.
   for (std::size_t a = 0; a < plan_.aggregators(); ++a) {
-    agg_live_[a] = (!agg_plan_.down(static_cast<net::node_id>(a), round) &&
-                    !agg_plan_.crashed_during(static_cast<net::node_id>(a),
-                                              round))
-                       ? 1
-                       : 0;
+    if (repair_active_) {
+      agg_live_[a] =
+          (!tree_.retired(a) &&
+           !agg_plan_.down(static_cast<net::node_id>(a), round,
+                           revive_round_[a]) &&
+           !agg_plan_.crashed_during(static_cast<net::node_id>(a), round,
+                                     revive_round_[a]))
+              ? 1
+              : 0;
+    } else {
+      agg_live_[a] = (!agg_plan_.down(static_cast<net::node_id>(a), round) &&
+                      !agg_plan_.crashed_during(static_cast<net::node_id>(a),
+                                                round))
+                         ? 1
+                         : 0;
+    }
+  }
+  if (repair_active_) {
+    for (std::size_t a = 0; a < plan_.aggregators(); ++a) {
+      if (tree_.retired(a) || agg_live_[a] != 0) {
+        outage_streak_[a] = 0;
+      } else {
+        ++outage_streak_[a];
+      }
+    }
   }
 
   // Fan a per-shard stage over the pool (serial when there is none). Each
@@ -601,6 +641,189 @@ void hierarchical_engine::observe(const core::round_feedback& feedback) {
                  static_cast<std::uint64_t>(last_traffic_.messages_sent));
   counters_.round_complete(
       alpha_, straggler_known ? static_cast<double>(straggler_global) : -1.0);
+}
+
+void hierarchical_engine::heal(std::uint64_t round, obs::tracer* tr,
+                               std::uint32_t lane) {
+  // Ascending id order: children are examined before their ancestors, so a
+  // cascade (a node excised onto a parent that is itself dead) resolves in
+  // one deterministic pass — the parent's own repair sees the children it
+  // just absorbed.
+  for (std::size_t a = 0; a < plan_.aggregators(); ++a) {
+    if (tree_.retired(a)) continue;
+    const bool perm = agg_plan_.permanently_down(static_cast<net::node_id>(a),
+                                                 round, revive_round_[a]);
+    const bool streak_dead = options_.outage_threshold > 0 &&
+                             outage_streak_[a] >= options_.outage_threshold;
+    if (!perm && !streak_dead) continue;
+    repair_aggregator(a, round, tr, lane);
+  }
+}
+
+void hierarchical_engine::repair_aggregator(std::size_t node,
+                                            std::uint64_t round,
+                                            obs::tracer* tr,
+                                            std::uint32_t lane) {
+  tree_repair rec;
+  rec.round = round;
+  rec.node = node;
+  if (tree_.can_reparent(node)) {
+    // Excise the dead internal node: its children fit into the
+    // grandparent within the fan-in bound, so the subtree re-homes with
+    // no replacement host needed.
+    rec.act = tree_repair::action::reparented;
+    rec.replacement = tree_.current_parent(node);
+    tree_.reparent_children(node);
+  } else {
+    // Promote: the lowest-id live worker of the subtree takes over the
+    // tree-node id (the same lowest-id tie-break the straggler election
+    // uses). Crash windows opening before this round stop applying — the
+    // id now names a different machine.
+    rec.act = tree_repair::action::promoted;
+    rec.replacement = lowest_live_worker_below(node);
+    revive_round_[node] = round;
+    outage_streak_[node] = 0;
+  }
+  repairs_.push_back(rec);
+  if (repairs_counter_ != nullptr) repairs_counter_->add(1);
+  if (tr != nullptr) {
+    tr->instant(lane, round, "tree_repaired", "shard",
+                {obs::arg_int("node", rec.node),
+                 obs::arg_int("reparented",
+                              rec.act == tree_repair::action::reparented ? 1
+                                                                         : 0),
+                 obs::arg_int("replacement", rec.replacement)});
+  }
+}
+
+std::size_t hierarchical_engine::lowest_live_worker_below(
+    std::size_t node) const {
+  // Min-fold over the subtree's leaves in the current (repaired)
+  // topology; within a shard the members are ascending, so the first
+  // standing slot is that shard's lowest global id.
+  std::vector<std::size_t> stack{node};
+  std::size_t best = n_;  // sentinel: every member churned away
+  while (!stack.empty()) {
+    const std::size_t a = stack.back();
+    stack.pop_back();
+    if (a < plan_.shards()) {
+      const shard_rt& sh = *shards_[a];
+      for (std::size_t slot = 0; slot < sh.m; ++slot) {
+        if (sh.flags.removed[slot] == 0) {
+          best = std::min(best,
+                          static_cast<std::size_t>(plan_.members[a][slot]));
+          break;
+        }
+      }
+      continue;
+    }
+    for (const std::size_t c : tree_.current_children(a)) stack.push_back(c);
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> hierarchical_engine::snapshot() const {
+  snapshot_writer w;
+  write_snapshot_header(w, snapshot_kind::hierarchical, n_);
+  w.f64(alpha_);
+  w.u64(round_);
+  dist::snapshot_report(w, report_);
+  dist::snapshot_reliable_stats(w, mirrored_);
+  w.u64(last_traffic_.messages_sent);
+  w.u64(last_traffic_.bytes_sent);
+  // Repair history first: restore replays the reparented entries against
+  // a reset tree, so the network shapes agree before the tree's own bytes
+  // are read.
+  w.u64(repairs_.size());
+  for (const tree_repair& rec : repairs_) {
+    w.u64(rec.round);
+    w.u64(rec.node);
+    w.u8(static_cast<std::uint8_t>(rec.act));
+    w.u64(rec.replacement);
+  }
+  for (const std::uint64_t v : revive_round_) w.u64(v);
+  for (const std::uint64_t v : outage_streak_) w.u64(v);
+  tree_.snapshot_to(w);
+  for (const auto& shp : shards_) {
+    const shard_rt& sh = *shp;
+    w.u64(sh.m);
+    w.f64(sh.mass);
+    for (const double v : sh.x) w.f64(v);
+    for (const double v : sh.alpha_bar) w.f64(v);
+    w.f64(sh.alpha_view);
+    w.f64_or_inf(sh.carry_cap);
+    for (const std::uint8_t v : sh.flags.removed) w.u8(v);
+    dist::snapshot_report(w, sh.rep);
+    sh.net.snapshot_to(w);
+    w.u8(sh.rel != nullptr ? 1 : 0);
+    if (sh.rel != nullptr) sh.rel->snapshot_to(w);
+  }
+  return w.take();
+}
+
+void hierarchical_engine::restore(const std::vector<std::uint8_t>& bytes) {
+  reset();
+  try {
+    snapshot_reader r(bytes);
+    read_snapshot_header(r, snapshot_kind::hierarchical, n_);
+    alpha_ = r.f64();
+    round_ = r.u64();
+    dist::restore_report(r, report_);
+    dist::restore_reliable_stats(r, mirrored_);
+    last_traffic_.messages_sent = static_cast<std::size_t>(r.u64());
+    last_traffic_.bytes_sent = static_cast<std::size_t>(r.u64());
+    const std::uint64_t n_repairs = r.u64();
+    r.require_count(n_repairs, 25);
+    repairs_.clear();
+    repairs_.reserve(n_repairs);
+    for (std::uint64_t i = 0; i < n_repairs; ++i) {
+      tree_repair rec;
+      rec.round = r.u64();
+      rec.node = static_cast<std::size_t>(r.u64());
+      const std::uint8_t act = r.u8();
+      rec.replacement = static_cast<std::size_t>(r.u64());
+      DOLBIE_REQUIRE(rec.node < plan_.aggregators() && act <= 1,
+                     "snapshot repair log entry is malformed");
+      rec.act = static_cast<tree_repair::action>(act);
+      repairs_.push_back(rec);
+    }
+    for (const tree_repair& rec : repairs_) {
+      if (rec.act == tree_repair::action::reparented) {
+        tree_.reparent_children(rec.node);
+      }
+    }
+    for (std::uint64_t& v : revive_round_) v = r.u64();
+    for (std::uint64_t& v : outage_streak_) v = r.u64();
+    tree_.restore_from(r);
+    for (auto& shp : shards_) {
+      shard_rt& sh = *shp;
+      const std::uint64_t m = r.u64();
+      DOLBIE_REQUIRE(m == sh.m, "snapshot shard has "
+                                    << m << " members, this shard has "
+                                    << sh.m);
+      sh.mass = r.f64();
+      for (double& v : sh.x) v = r.f64();
+      for (double& v : sh.alpha_bar) v = r.f64();
+      sh.alpha_view = r.f64();
+      sh.carry_cap = r.f64_or_inf();
+      for (std::uint8_t& v : sh.flags.removed) {
+        v = r.u8();
+        DOLBIE_REQUIRE(v <= 1, "snapshot membership flag is not 0/1");
+      }
+      dist::restore_report(r, sh.rep);
+      sh.net.restore_from(r);
+      const std::uint8_t has_rel = r.u8();
+      DOLBIE_REQUIRE((has_rel != 0) == (sh.rel != nullptr),
+                     "snapshot reliable-link flag does not match this "
+                     "shard's fault configuration");
+      if (sh.rel != nullptr) sh.rel->restore_from(r);
+    }
+    r.finish();
+  } catch (...) {
+    reset();
+    throw;
+  }
+  assemble();
 }
 
 void hierarchical_engine::assemble() {

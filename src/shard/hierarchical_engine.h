@@ -77,6 +77,23 @@ struct hierarchical_options {
   /// Round-granular crash windows over aggregator (tree-node) ids,
   /// independent of the worker schedule.
   std::vector<net::crash_window> aggregator_crashes;
+  /// Deterministic tree repair (DESIGN.md §12). When a node is diagnosed
+  /// permanently dead — a kNever crash window has opened, or (with
+  /// outage_threshold > 0) it has been down for that many consecutive
+  /// rounds — the engine repairs the tree at the start of the next round:
+  /// a non-root internal node whose children fit into the grandparent
+  /// within the fan-in bound is excised (reparent); every other node is
+  /// revived in place, modeling the lowest-id live worker of its subtree
+  /// taking over the tree-node id (promotion) — crash windows opening
+  /// before the takeover stop applying to the id. Repairs are a pure
+  /// function of (plan, fault schedule, outage history), so runs stay
+  /// bit-reproducible; zero-fault runs never repair and stay bit-identical
+  /// to self_heal = false.
+  bool self_heal = true;
+  /// Consecutive down rounds after which a node is declared permanently
+  /// dead even without a kNever window; 0 disables the streak diagnosis
+  /// (explicit permanent windows still heal).
+  std::size_t outage_threshold = 0;
   /// Intra-round parallelism: the pool width driving Stage A/B over the
   /// shards and the tree's per-level relays (0 = default_thread_count(),
   /// which honors DOLBIE_THREADS; 1 = serial, no pool). Any width yields
@@ -100,6 +117,20 @@ class hierarchical_engine final : public core::online_policy {
   /// MW: the global step size; FD: the latest committed consensus step.
   double step_size() const { return alpha_; }
   const dist::fault_report& report() const { return report_; }
+  /// Ordered log of self-healing actions taken so far (empty when
+  /// self_heal is off or nothing died permanently).
+  const std::vector<tree_repair>& repairs() const { return repairs_; }
+  /// The repaired tree topology, for tests and tooling.
+  const reduction_tree& tree() const { return tree_; }
+
+  /// Serialize the complete cross-round state (round index, step sizes,
+  /// per-shard iterates and membership, channels, reliable-link sequencing,
+  /// fault cursors, repair history) into versioned snapshot bytes; restore
+  /// rebuilds it so the continuation is bit-identical to the uninterrupted
+  /// run. Restore throws invariant_error on corrupt or mismatched bytes,
+  /// leaving the engine reset.
+  std::vector<std::uint8_t> snapshot() const;
+  void restore(const std::vector<std::uint8_t>& bytes);
 
   /// Traffic of the last observe() across every shard net and the tree.
   net::traffic_totals last_round_traffic() const { return last_traffic_; }
@@ -124,6 +155,10 @@ class hierarchical_engine final : public core::online_policy {
  private:
   void assemble();
   net::traffic_totals cumulative_traffic() const;
+  void heal(std::uint64_t round, obs::tracer* tr, std::uint32_t lane);
+  void repair_aggregator(std::size_t node, std::uint64_t round,
+                         obs::tracer* tr, std::uint32_t lane);
+  std::size_t lowest_live_worker_below(std::size_t node) const;
 
   std::size_t n_;
   hierarchical_options options_;
@@ -132,6 +167,17 @@ class hierarchical_engine final : public core::online_policy {
   /// Liveness predicates over aggregator ids (crashes only).
   net::fault_plan agg_plan_;
   bool faulty_ = false;
+  /// Self-healing engaged: the option is on and something can actually
+  /// die permanently (a crash schedule exists or a streak threshold is
+  /// set) — keeps zero-fault rounds on the exact pre-repair path.
+  bool repair_active_ = false;
+  /// Per-aggregator: the round a promotion took over the node id (crash
+  /// windows opening earlier no longer apply), and the current run of
+  /// consecutive down rounds feeding outage_threshold.
+  std::vector<std::uint64_t> revive_round_;
+  std::vector<std::uint64_t> outage_streak_;
+  std::vector<tree_repair> repairs_;
+  obs::counter* repairs_counter_ = nullptr;
   std::vector<std::unique_ptr<shard_rt>> shards_;
   /// Intra-round pool (null = serial: single shard, or width 1). Shared
   /// with the tree's per-level relays; jobs only ever run shard- or

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/snapshot.h"
 #include "common/thread_pool.h"
 #include "net/message.h"
 #include "obs/trace.h"
@@ -28,38 +29,67 @@ void for_each_parent(thread_pool* pool, std::size_t n_parents,
   for (std::size_t pi = 0; pi < n_parents; ++pi) job(pi);
 }
 
-// Both directions of every child<->parent link, so summaries flow up and
-// consensus flows down over the same sparse storage. K == 1 degenerates
-// to a single node with no edges (the root is the leaf; nothing to say).
-net::network make_tree_net(const shard_plan& plan) {
-  std::vector<std::pair<net::node_id, net::node_id>> edges;
-  edges.reserve(2 * (plan.aggregators() - 1));
-  for (std::size_t a = 0; a < plan.aggregators(); ++a) {
-    if (a == plan.root) continue;
-    const auto child = static_cast<net::node_id>(a);
-    const auto parent = static_cast<net::node_id>(plan.parent[a]);
-    edges.emplace_back(child, parent);
-    edges.emplace_back(parent, child);
-  }
-  return net::network(plan.aggregators(), std::move(edges));
-}
-
 }  // namespace
 
 reduction_tree::reduction_tree(const shard_plan& plan, obs::tracer* tracer,
                                std::uint32_t lane)
     : plan_(&plan),
-      net_(make_tree_net(plan)),
+      cur_parent_(plan.parent),
+      cur_children_(plan.children),
+      retired_(plan.aggregators(), 0),
+      base_msgs_(plan.aggregators(), 0),
+      base_bytes_(plan.aggregators(), 0),
       tracer_(tracer),
       lane_(lane) {
-  level_nodes_.resize(plan.depth);
-  for (std::size_t a = 0; a < plan.aggregators(); ++a) {
-    level_nodes_[plan.level[a]].push_back(a);
-  }
+  rebuild_levels();
+  rebuild_net();
   part_max_.assign(plan.aggregators(), 0.0);
   part_min_.assign(plan.aggregators(), 0.0);
   part_count_.assign(plan.aggregators(), 0);
   have_.assign(plan.aggregators(), 0);
+}
+
+void reduction_tree::rebuild_levels() {
+  const shard_plan& plan = *plan_;
+  const std::size_t n_aggs = plan.aggregators();
+  // Parent ids always exceed their children's (the plan lays internal
+  // nodes out level by level, and a reparent only moves children to a
+  // still-larger grandparent id), so one ascending pass sees every child
+  // before its parent.
+  std::vector<std::size_t> level_of(n_aggs, 0);
+  depth_ = 1;
+  for (std::size_t a = 0; a < n_aggs; ++a) {
+    if (retired_[a] != 0) continue;
+    std::size_t lvl = 0;
+    for (const std::size_t c : cur_children_[a]) {
+      lvl = std::max(lvl, level_of[c] + 1);
+    }
+    level_of[a] = lvl;
+    depth_ = std::max(depth_, lvl + 1);
+  }
+  level_nodes_.assign(depth_, {});
+  for (std::size_t a = 0; a < n_aggs; ++a) {
+    if (retired_[a] != 0) continue;
+    level_nodes_[level_of[a]].push_back(a);
+  }
+}
+
+// Both directions of every live child<->parent link, so summaries flow up
+// and consensus flows down over the same sparse storage. K == 1
+// degenerates to a single node with no edges (the root is the leaf;
+// nothing to say).
+void reduction_tree::rebuild_net() {
+  const shard_plan& plan = *plan_;
+  std::vector<std::pair<net::node_id, net::node_id>> edges;
+  edges.reserve(2 * (plan.aggregators() - 1));
+  for (std::size_t a = 0; a < plan.aggregators(); ++a) {
+    if (a == plan.root || retired_[a] != 0) continue;
+    const auto child = static_cast<net::node_id>(a);
+    const auto parent = static_cast<net::node_id>(cur_parent_[a]);
+    edges.emplace_back(child, parent);
+    edges.emplace_back(parent, child);
+  }
+  net_ = std::make_unique<net::network>(plan.aggregators(), std::move(edges));
 }
 
 reduce_result reduction_tree::reduce(
@@ -73,7 +103,7 @@ reduce_result reduction_tree::reduce(
                      contribute.size() == n_shards &&
                      agg_live.size() == plan.aggregators(),
                  "reduce input sizes do not match the plan");
-  net_.set_round(round);
+  net_->set_round(round);
 
   std::fill(part_count_.begin(), part_count_.end(), std::size_t{0});
   for (std::size_t k = 0; k < n_shards; ++k) {
@@ -89,7 +119,7 @@ reduce_result reduction_tree::reduce(
   // children partition over parents, so each (child, parent) channel and
   // each partial slot has exactly one writer per level, and the fold order
   // inside a job is the serial walk's — bit-identical at any pool width.
-  for (std::size_t lvl = 0; lvl + 1 < plan.depth; ++lvl) {
+  for (std::size_t lvl = 0; lvl + 1 < depth_; ++lvl) {
     obs::span sp(tracer_, lane_, round,
                  ("tree.reduce.level" + std::to_string(lvl + 1)).c_str(),
                  "shard");
@@ -100,16 +130,17 @@ reduce_result reduction_tree::reduce(
       // round's liveness already names down, so no stale summary can
       // linger in the channel into a later round.
       if (agg_live[p] == 0) return;
-      for (const std::size_t c : plan.children[p]) {
+      for (const std::size_t c : cur_children_[p]) {
         if (part_count_[c] == 0 || agg_live[c] == 0) continue;
-        net_.send({static_cast<net::node_id>(c), static_cast<net::node_id>(p),
-                   net::message_kind::shard_reduce,
-                   {part_max_[c], part_min_[c],
-                    static_cast<double>(part_count_[c])}});
+        net_->send({static_cast<net::node_id>(c),
+                    static_cast<net::node_id>(p),
+                    net::message_kind::shard_reduce,
+                    {part_max_[c], part_min_[c],
+                     static_cast<double>(part_count_[c])}});
       }
-      for (const std::size_t c : plan.children[p]) {
-        auto m = net_.receive(static_cast<net::node_id>(p),
-                              static_cast<net::node_id>(c));
+      for (const std::size_t c : cur_children_[p]) {
+        auto m = net_->receive(static_cast<net::node_id>(p),
+                               static_cast<net::node_id>(c));
         if (!m.has_value()) continue;
         const double mx = m->payload[0];
         const double mn = m->payload[1];
@@ -137,7 +168,7 @@ void reduction_tree::broadcast(std::uint64_t round, double a, double b,
   const shard_plan& plan = *plan_;
   DOLBIE_REQUIRE(agg_live.size() == plan.aggregators(),
                  "broadcast liveness size does not match the plan");
-  net_.set_round(round);
+  net_->set_round(round);
   reached.assign(plan.shards(), 0);
   std::fill(have_.begin(), have_.end(), 0);
   if (agg_live[plan.root] == 0) return;
@@ -146,7 +177,7 @@ void reduction_tree::broadcast(std::uint64_t round, double a, double b,
   // Same per-parent relay shape as reduce: each job sends the pair to its
   // live children and marks their receipts. A child has exactly one
   // parent, so `have_[c]` has one writer per level.
-  for (std::size_t lvl = plan.depth; lvl-- > 1;) {
+  for (std::size_t lvl = depth_; lvl-- > 1;) {
     obs::span sp(tracer_, lane_, round,
                  ("tree.broadcast.level" + std::to_string(lvl)).c_str(),
                  "shard");
@@ -154,14 +185,16 @@ void reduction_tree::broadcast(std::uint64_t round, double a, double b,
     for_each_parent(pool_, parents.size(), [&](std::size_t pi) {
       const std::size_t p = parents[pi];
       if (have_[p] == 0) return;
-      for (const std::size_t c : plan.children[p]) {
+      for (const std::size_t c : cur_children_[p]) {
         if (agg_live[c] == 0) continue;  // oracle shortcut, as in reduce
-        net_.send({static_cast<net::node_id>(p), static_cast<net::node_id>(c),
-                   net::message_kind::shard_broadcast, {a, b}});
+        net_->send({static_cast<net::node_id>(p),
+                    static_cast<net::node_id>(c),
+                    net::message_kind::shard_broadcast,
+                    {a, b}});
       }
-      for (const std::size_t c : plan.children[p]) {
-        auto m = net_.receive(static_cast<net::node_id>(c),
-                              static_cast<net::node_id>(p));
+      for (const std::size_t c : cur_children_[p]) {
+        auto m = net_->receive(static_cast<net::node_id>(c),
+                               static_cast<net::node_id>(p));
         if (m.has_value()) have_[c] = 1;
       }
     });
@@ -170,6 +203,97 @@ void reduction_tree::broadcast(std::uint64_t round, double a, double b,
   for (std::size_t k = 0; k < plan.shards(); ++k) {
     reached[k] = have_[k];
   }
+}
+
+bool reduction_tree::can_reparent(std::size_t d) const {
+  const shard_plan& plan = *plan_;
+  if (d >= plan.aggregators() || d == plan.root || d < plan.shards() ||
+      retired_[d] != 0) {
+    return false;
+  }
+  const std::size_t p = cur_parent_[d];
+  // The parent sheds d and absorbs d's children.
+  return cur_children_[p].size() - 1 + cur_children_[d].size() <= plan.fanin;
+}
+
+void reduction_tree::reparent_children(std::size_t d) {
+  DOLBIE_REQUIRE(can_reparent(d),
+                 "reparent of tree node " << d << " is not legal");
+  const std::size_t g = cur_parent_[d];
+  std::vector<std::size_t> merged;
+  merged.reserve(cur_children_[g].size() - 1 + cur_children_[d].size());
+  for (const std::size_t c : cur_children_[g]) {
+    if (c != d) merged.push_back(c);
+  }
+  merged.insert(merged.end(), cur_children_[d].begin(),
+                cur_children_[d].end());
+  std::sort(merged.begin(), merged.end());
+  for (const std::size_t c : cur_children_[d]) cur_parent_[c] = g;
+  cur_children_[g] = std::move(merged);
+  cur_children_[d].clear();
+  cur_parent_[d] = d;
+  retired_[d] = 1;
+  repaired_ = true;
+  // The rebuilt network starts from zero counters; fold the discarded
+  // instance's traffic into the bases so the totals stay monotone.
+  const net::traffic_totals t = net_->total_traffic();
+  base_traffic_.messages_sent += t.messages_sent;
+  base_traffic_.bytes_sent += t.bytes_sent;
+  for (std::size_t a = 0; a < plan_->aggregators(); ++a) {
+    base_msgs_[a] += net_->peer_messages_sent(static_cast<net::node_id>(a));
+    base_bytes_[a] += net_->peer_bytes_sent(static_cast<net::node_id>(a));
+  }
+  rebuild_levels();
+  rebuild_net();
+}
+
+net::traffic_totals reduction_tree::traffic() const {
+  net::traffic_totals t = net_->total_traffic();
+  t.messages_sent += base_traffic_.messages_sent;
+  t.bytes_sent += base_traffic_.bytes_sent;
+  return t;
+}
+
+std::uint64_t reduction_tree::node_messages_sent(std::size_t agg) const {
+  return base_msgs_[agg] +
+         net_->peer_messages_sent(static_cast<net::node_id>(agg));
+}
+
+std::uint64_t reduction_tree::node_bytes_sent(std::size_t agg) const {
+  return base_bytes_[agg] +
+         net_->peer_bytes_sent(static_cast<net::node_id>(agg));
+}
+
+void reduction_tree::reset() {
+  if (repaired_) {
+    cur_parent_ = plan_->parent;
+    cur_children_ = plan_->children;
+    std::fill(retired_.begin(), retired_.end(), std::uint8_t{0});
+    repaired_ = false;
+    rebuild_levels();
+    rebuild_net();
+  } else {
+    net_->reset_traffic();
+  }
+  base_traffic_ = {};
+  std::fill(base_msgs_.begin(), base_msgs_.end(), std::uint64_t{0});
+  std::fill(base_bytes_.begin(), base_bytes_.end(), std::uint64_t{0});
+}
+
+void reduction_tree::snapshot_to(snapshot_writer& w) const {
+  w.u64(base_traffic_.messages_sent);
+  w.u64(base_traffic_.bytes_sent);
+  for (const std::uint64_t v : base_msgs_) w.u64(v);
+  for (const std::uint64_t v : base_bytes_) w.u64(v);
+  net_->snapshot_to(w);
+}
+
+void reduction_tree::restore_from(snapshot_reader& r) {
+  base_traffic_.messages_sent = static_cast<std::size_t>(r.u64());
+  base_traffic_.bytes_sent = static_cast<std::size_t>(r.u64());
+  for (std::uint64_t& v : base_msgs_) v = r.u64();
+  for (std::uint64_t& v : base_bytes_) v = r.u64();
+  net_->restore_from(r);
 }
 
 }  // namespace dolbie::shard

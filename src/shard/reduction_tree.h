@@ -13,15 +13,28 @@
 // later round. A dead interior node silently detaches its whole subtree:
 // the shards below it hold (the engine sees `reached[k] == false`) while
 // the rest of the tree completes normally.
+//
+// Self-healing: the engine may excise a *permanently* dead internal node
+// by splicing its children onto the grandparent (`reparent_children`),
+// provided the merged fan-in stays within the plan's bound. The tree then
+// walks the repaired topology — current_parent / current_children — while
+// the plan stays immutable, so a full `reset()` restores the pristine
+// shape. Repairs preserve the plan's id order invariant (every parent id
+// exceeds its children's ids: a grandparent's id exceeds the excised
+// node's, which exceeds its children's), so ascending id remains a
+// topological order and the level walk stays deterministic.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/network.h"
 #include "shard/plan.h"
 
 namespace dolbie {
+class snapshot_reader;
+class snapshot_writer;
 class thread_pool;
 }  // namespace dolbie
 
@@ -38,6 +51,27 @@ struct reduce_result {
   /// Total leaf contributors folded into the root's summary; 0 when the
   /// root itself was down or every contributing subtree was cut off.
   std::size_t contributors = 0;
+};
+
+/// One self-healing action taken by the engine (shard/hierarchical_engine.h)
+/// — the engine keeps the ordered log; replaying the `reparented` entries
+/// against a freshly reset tree reconstructs the repaired topology, which
+/// is how snapshots restore it.
+struct tree_repair {
+  enum class action : std::uint8_t {
+    /// A replacement host took over the dead node's tree-node id in
+    /// place; `replacement` is the promoted worker's global id (the
+    /// lowest-id live worker in the node's subtree).
+    promoted = 0,
+    /// The dead internal node was excised and its children now report to
+    /// the grandparent; `replacement` is that grandparent's node id.
+    reparented = 1,
+  };
+
+  std::uint64_t round = 0;   ///< round the repair fired
+  std::size_t node = 0;      ///< the repaired tree-node id
+  action act = action::promoted;
+  std::size_t replacement = 0;
 };
 
 class reduction_tree {
@@ -73,24 +107,65 @@ class reduction_tree {
                  const std::vector<std::uint8_t>& agg_live,
                  std::vector<std::uint8_t>& reached);
 
-  /// Cumulative tree traffic (the sparse network's totals).
-  net::traffic_totals traffic() const { return net_.total_traffic(); }
-  /// Cumulative messages sent by one aggregator on tree links.
-  std::uint64_t node_messages_sent(std::size_t agg) const {
-    return net_.peer_messages_sent(static_cast<net::node_id>(agg));
-  }
-  std::uint64_t node_bytes_sent(std::size_t agg) const {
-    return net_.peer_bytes_sent(static_cast<net::node_id>(agg));
+  /// --- self-healing topology -------------------------------------------
+
+  /// Whether excising internal node `d` is legal: d must be a non-root
+  /// internal node whose children fit into its parent within the plan's
+  /// fan-in bound (the parent sheds d and gains d's children).
+  bool can_reparent(std::size_t d) const;
+
+  /// Excise `d`: move its children (in ascending order) onto its parent,
+  /// retire d, and rebuild the level walk and the tree network for the
+  /// new shape. Traffic accounting carries across the rebuild. Requires
+  /// can_reparent(d).
+  void reparent_children(std::size_t d);
+
+  /// Node excised by a reparent — it no longer appears on any level and
+  /// carries no traffic.
+  bool retired(std::size_t a) const { return retired_[a] != 0; }
+
+  /// Current parent / children of `a` in the (possibly repaired)
+  /// topology. The root still points at itself.
+  std::size_t current_parent(std::size_t a) const { return cur_parent_[a]; }
+  const std::vector<std::size_t>& current_children(std::size_t a) const {
+    return cur_children_[a];
   }
 
-  void reset() { net_.reset_traffic(); }
+  /// Cumulative tree traffic, carried across topology rebuilds.
+  net::traffic_totals traffic() const;
+  /// Cumulative messages sent by one aggregator on tree links.
+  std::uint64_t node_messages_sent(std::size_t agg) const;
+  std::uint64_t node_bytes_sent(std::size_t agg) const;
+
+  /// Restore the pristine plan topology and zero the traffic accounting.
+  void reset();
+
+  /// Serialize the tree network's channels and the carried traffic bases.
+  /// The topology itself is NOT written: the engine replays its repair
+  /// log against a reset tree first, then calls restore_from — so the
+  /// network shapes line up by construction.
+  void snapshot_to(snapshot_writer& w) const;
+  void restore_from(snapshot_reader& r);
 
  private:
+  void rebuild_levels();
+  void rebuild_net();
+
   const shard_plan* plan_;
-  net::network net_;
+  std::unique_ptr<net::network> net_;
+  /// Repaired topology (equal to the plan's until a reparent fires).
+  std::vector<std::size_t> cur_parent_;
+  std::vector<std::vector<std::size_t>> cur_children_;
+  std::vector<std::uint8_t> retired_;
+  bool repaired_ = false;
   /// Aggregator ids grouped by tree level (level_nodes_[0] = the leaves),
-  /// ascending within a level.
+  /// ascending within a level; retired nodes appear on no level.
   std::vector<std::vector<std::size_t>> level_nodes_;
+  std::size_t depth_ = 1;
+  /// Traffic accumulated by network instances discarded on rebuilds.
+  net::traffic_totals base_traffic_;
+  std::vector<std::uint64_t> base_msgs_;
+  std::vector<std::uint64_t> base_bytes_;
   /// Per-round partial summaries, indexed by aggregator id.
   std::vector<double> part_max_;
   std::vector<double> part_min_;

@@ -1,12 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "common/error.h"
 #include "common/simplex.h"
+#include "common/snapshot.h"
 #include "core/dolbie.h"
 #include "core/step_size.h"
 #include "cost/affine.h"
+#include "dist/async_fully_distributed.h"
+#include "dist/async_master_worker.h"
+#include "dist/fully_distributed.h"
+#include "dist/master_worker.h"
 #include "exp/harness.h"
 #include "exp/scenario.h"
+#include "net/fault_plan.h"
+#include "shard/hierarchical_engine.h"
 
 namespace dolbie::core {
 namespace {
@@ -125,5 +135,341 @@ TEST(Checkpoint, RestoreClearsDerivedState) {
   EXPECT_DOUBLE_EQ(p.step_size(), 0.2);
 }
 
+TEST(Checkpoint, SnapshotBytesRoundTrip) {
+  auto env = exp::make_synthetic_environment(
+      5, exp::synthetic_family::affine, 99);
+  dolbie_policy original(5);
+  exp::harness_options o;
+  o.rounds = 30;
+  exp::run(original, *env, o);
+  const std::vector<std::uint8_t> bytes = original.snapshot_bytes();
+
+  dolbie_policy resumed(5);
+  resumed.restore_bytes(bytes);
+  EXPECT_EQ(resumed.step_size(), original.step_size());
+  ASSERT_EQ(resumed.current().size(), original.current().size());
+  for (std::size_t i = 0; i < original.current().size(); ++i) {
+    EXPECT_EQ(resumed.current()[i], original.current()[i]) << "worker " << i;
+  }
+}
+
+TEST(Checkpoint, RestoreBytesRejectsCorruption) {
+  dolbie_policy p(5);
+  const std::vector<std::uint8_t> good = p.snapshot_bytes();
+
+  std::vector<std::uint8_t> truncated(good.begin(), good.end() - 1);
+  EXPECT_THROW(p.restore_bytes(truncated), invariant_error);
+
+  std::vector<std::uint8_t> oversized = good;
+  oversized.push_back(0);
+  EXPECT_THROW(p.restore_bytes(oversized), invariant_error);
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(p.restore_bytes(bad_magic), invariant_error);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] = 0xFF;  // version u16 follows the u32 magic
+  EXPECT_THROW(p.restore_bytes(bad_version), invariant_error);
+
+  dolbie_policy narrower(4);
+  EXPECT_THROW(narrower.restore_bytes(good), invariant_error);
+}
+
 }  // namespace
 }  // namespace dolbie::core
+
+namespace dolbie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Whole-engine checkpoints: kill any of the five protocol engines mid-run
+// under a faulty plan, restore a fresh engine from the bytes alone, and the
+// continuation (per-round global costs, final allocation, cumulative fault
+// report) is bit-identical to the uninterrupted run. DESIGN.md §12.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kWorkers = 12;
+constexpr std::size_t kTotal = 60;
+constexpr std::size_t kCut = 30;
+constexpr std::uint64_t kEnvSeed = 99;
+
+/// A plan that exercises every piece of persisted state before the cut:
+/// steady losses (reliable-link retries), a transient crash window
+/// (degraded rounds) and a permanent crash (churn retirement).
+dist::protocol_options faulty_protocol() {
+  dist::protocol_options popts;
+  popts.faults.seed = 7;
+  popts.faults.drop_rate = 0.2;
+  popts.faults.crashes = {{2, 10, 20}, {4, 25, net::crash_window::kNever}};
+  popts.retry_budget = 5;
+  return popts;
+}
+
+std::unique_ptr<exp::environment> fresh_env() {
+  return exp::make_synthetic_environment(
+      kWorkers, exp::synthetic_family::affine, kEnvSeed);
+}
+
+const dist::fault_report& report_of(const dist::master_worker_policy& p) {
+  return p.faults();
+}
+const dist::fault_report& report_of(const dist::fully_distributed_policy& p) {
+  return p.faults();
+}
+const dist::fault_report& report_of(const shard::hierarchical_engine& p) {
+  return p.report();
+}
+
+void expect_reports_equal(const dist::fault_report& a,
+                          const dist::fault_report& b) {
+  EXPECT_EQ(a.degraded_rounds, b.degraded_rounds);
+  EXPECT_EQ(a.straggler_failovers, b.straggler_failovers);
+  EXPECT_EQ(a.removed_workers, b.removed_workers);
+  EXPECT_EQ(a.zero_step_holds, b.zero_step_holds);
+  EXPECT_EQ(a.aborted_rounds, b.aborted_rounds);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.duplicates_discarded, b.duplicates_discarded);
+}
+
+/// Play `rounds` rounds with the harness's exact accounting (evaluate at
+/// current(), then observe), recording the per-round global costs.
+template <typename Policy>
+void drive_policy(Policy& policy, exp::environment& env, std::size_t rounds,
+                  std::vector<double>& costs_out) {
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const cost::cost_vector costs = env.next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const core::round_outcome outcome =
+        core::evaluate_round(view, policy.current());
+    costs_out.push_back(outcome.global_cost);
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = outcome.local_costs;
+    policy.observe(fb);
+  }
+}
+
+template <typename Engine>
+void drive_async(Engine& engine, exp::environment& env, std::size_t rounds,
+                 std::vector<double>& costs_out) {
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const cost::cost_vector costs = env.next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const core::round_outcome outcome =
+        core::evaluate_round(view, engine.allocation());
+    costs_out.push_back(outcome.global_cost);
+    engine.run_round(view);
+  }
+}
+
+void expect_costs_equal(const std::vector<double>& reference,
+                        std::size_t offset,
+                        const std::vector<double>& resumed) {
+  ASSERT_EQ(reference.size(), offset + resumed.size());
+  for (std::size_t t = 0; t < resumed.size(); ++t) {
+    EXPECT_EQ(reference[offset + t], resumed[t])
+        << "round " << offset + t << " diverged after restore";
+  }
+}
+
+/// Uninterrupted reference vs kill-at-kCut + restore-from-bytes, for a
+/// phase-synchronous engine built by `make`.
+template <typename Make>
+void expect_policy_resumes_bit_identically(Make make) {
+  auto full = make();
+  full->reset();
+  auto env1 = fresh_env();
+  std::vector<double> reference;
+  drive_policy(*full, *env1, kTotal, reference);
+
+  auto killed = make();
+  killed->reset();
+  auto env2 = fresh_env();
+  std::vector<double> prefix;
+  drive_policy(*killed, *env2, kCut, prefix);
+  const std::vector<std::uint8_t> bytes = killed->snapshot();
+
+  auto resumed = make();
+  resumed->restore(bytes);
+  auto env3 = fresh_env();
+  for (std::size_t t = 0; t < kCut; ++t) (void)env3->next_round();
+  std::vector<double> suffix;
+  drive_policy(*resumed, *env3, kTotal - kCut, suffix);
+
+  expect_costs_equal(reference, kCut, suffix);
+  ASSERT_EQ(full->current().size(), resumed->current().size());
+  for (std::size_t i = 0; i < full->current().size(); ++i) {
+    EXPECT_EQ(full->current()[i], resumed->current()[i]) << "worker " << i;
+  }
+  expect_reports_equal(report_of(*full), report_of(*resumed));
+}
+
+template <typename Make>
+void expect_async_resumes_bit_identically(Make make) {
+  auto full = make();
+  auto env1 = fresh_env();
+  std::vector<double> reference;
+  drive_async(*full, *env1, kTotal, reference);
+
+  auto killed = make();
+  auto env2 = fresh_env();
+  std::vector<double> prefix;
+  drive_async(*killed, *env2, kCut, prefix);
+  const std::vector<std::uint8_t> bytes = killed->snapshot();
+
+  auto resumed = make();
+  resumed->restore(bytes);
+  auto env3 = fresh_env();
+  for (std::size_t t = 0; t < kCut; ++t) (void)env3->next_round();
+  std::vector<double> suffix;
+  drive_async(*resumed, *env3, kTotal - kCut, suffix);
+
+  expect_costs_equal(reference, kCut, suffix);
+  ASSERT_EQ(full->allocation().size(), resumed->allocation().size());
+  for (std::size_t i = 0; i < full->allocation().size(); ++i) {
+    EXPECT_EQ(full->allocation()[i], resumed->allocation()[i])
+        << "worker " << i;
+  }
+  expect_reports_equal(full->faults(), resumed->faults());
+}
+
+TEST(EngineCheckpoint, MasterWorkerResumesBitIdentically) {
+  expect_policy_resumes_bit_identically([] {
+    return std::make_unique<dist::master_worker_policy>(kWorkers,
+                                                        faulty_protocol());
+  });
+}
+
+TEST(EngineCheckpoint, FullyDistributedResumesBitIdentically) {
+  expect_policy_resumes_bit_identically([] {
+    return std::make_unique<dist::fully_distributed_policy>(
+        kWorkers, faulty_protocol());
+  });
+}
+
+TEST(EngineCheckpoint, AsyncMasterWorkerResumesBitIdentically) {
+  expect_async_resumes_bit_identically([] {
+    dist::async_options aopts;
+    aopts.protocol = faulty_protocol();
+    return std::make_unique<dist::async_master_worker>(kWorkers, aopts);
+  });
+}
+
+TEST(EngineCheckpoint, AsyncFullyDistributedResumesBitIdentically) {
+  expect_async_resumes_bit_identically([] {
+    dist::async_options aopts;
+    aopts.protocol = faulty_protocol();
+    return std::make_unique<dist::async_fully_distributed>(kWorkers, aopts);
+  });
+}
+
+shard::hierarchical_options faulty_hier_options() {
+  shard::hierarchical_options sopts;
+  sopts.protocol = faulty_protocol();
+  sopts.plan.shard_size = 4;
+  sopts.plan.fanin = 4;
+  sopts.mode = shard::shard_protocol::fully_distributed;
+  // Leaf aggregator 1 dies permanently at round 8: the cut at round 30
+  // happens *after* the self-heal promotion, so the snapshot must carry
+  // the repair history for the resumed run to keep healing coherently.
+  sopts.aggregator_crashes = {{1, 8, net::crash_window::kNever}};
+  return sopts;
+}
+
+TEST(EngineCheckpoint, HierarchicalResumesBitIdenticallyAfterRepair) {
+  expect_policy_resumes_bit_identically([] {
+    return std::make_unique<shard::hierarchical_engine>(
+        kWorkers, faulty_hier_options());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Hostile snapshot bytes: decode must throw invariant_error and leave the
+// engine reset (able to run from round zero), never hand garbage to the
+// protocol state.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> mid_run_mw_bytes() {
+  dist::master_worker_policy p(kWorkers, faulty_protocol());
+  p.reset();
+  auto env = fresh_env();
+  std::vector<double> costs;
+  drive_policy(p, *env, kCut, costs);
+  return p.snapshot();
+}
+
+TEST(EngineCheckpoint, RestoreRejectsTruncatedBytes) {
+  const std::vector<std::uint8_t> good = mid_run_mw_bytes();
+  dist::master_worker_policy p(kWorkers, faulty_protocol());
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{10},
+                                 good.size() / 2, good.size() - 1}) {
+    std::vector<std::uint8_t> cut(good.begin(),
+                                  good.begin() + static_cast<long>(keep));
+    EXPECT_THROW(p.restore(cut), invariant_error) << "kept " << keep;
+  }
+}
+
+TEST(EngineCheckpoint, RestoreRejectsTrailingBytes) {
+  std::vector<std::uint8_t> oversized = mid_run_mw_bytes();
+  oversized.push_back(0);
+  dist::master_worker_policy p(kWorkers, faulty_protocol());
+  EXPECT_THROW(p.restore(oversized), invariant_error);
+}
+
+TEST(EngineCheckpoint, RestoreRejectsBadMagicAndVersion) {
+  const std::vector<std::uint8_t> good = mid_run_mw_bytes();
+  dist::master_worker_policy p(kWorkers, faulty_protocol());
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(p.restore(bad_magic), invariant_error);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] = 0xFF;  // version u16 follows the u32 magic
+  EXPECT_THROW(p.restore(bad_version), invariant_error);
+}
+
+TEST(EngineCheckpoint, RestoreRejectsNonFinitePayload) {
+  std::vector<std::uint8_t> bytes = mid_run_mw_bytes();
+  // The first field after the 15-byte header (magic u32, version u16,
+  // kind u8, workers u64) is alpha as an f64 — overwrite it with NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(bytes.data() + 15, &nan, sizeof nan);
+  dist::master_worker_policy p(kWorkers, faulty_protocol());
+  EXPECT_THROW(p.restore(bytes), invariant_error);
+}
+
+TEST(EngineCheckpoint, RestoreRejectsWrongWorkerCount) {
+  const std::vector<std::uint8_t> good = mid_run_mw_bytes();
+  dist::master_worker_policy narrower(kWorkers - 1, faulty_protocol());
+  EXPECT_THROW(narrower.restore(good), invariant_error);
+}
+
+TEST(EngineCheckpoint, RestoreRejectsWrongEngineKind) {
+  const std::vector<std::uint8_t> mw = mid_run_mw_bytes();
+  dist::fully_distributed_policy fd(kWorkers, faulty_protocol());
+  EXPECT_THROW(fd.restore(mw), invariant_error);
+}
+
+TEST(EngineCheckpoint, FailedRestoreLeavesEngineReset) {
+  std::vector<std::uint8_t> bytes = mid_run_mw_bytes();
+  bytes.pop_back();
+  dist::master_worker_policy p(kWorkers, faulty_protocol());
+  EXPECT_THROW(p.restore(bytes), invariant_error);
+  // The engine must be at round zero and fully usable: a fresh run after
+  // the failed restore matches a run on a never-touched engine.
+  auto env1 = fresh_env();
+  std::vector<double> after_failure;
+  drive_policy(p, *env1, 10, after_failure);
+  dist::master_worker_policy pristine(kWorkers, faulty_protocol());
+  pristine.reset();
+  auto env2 = fresh_env();
+  std::vector<double> clean;
+  drive_policy(pristine, *env2, 10, clean);
+  expect_costs_equal(clean, 0, after_failure);
+}
+
+}  // namespace
+}  // namespace dolbie

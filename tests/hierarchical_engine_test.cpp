@@ -353,11 +353,12 @@ TEST(HierarchicalEngine, LeafAggregatorOutageHoldsExactlyItsShard) {
   EXPECT_EQ(hier.report().aborted_rounds, 0u);
 }
 
-TEST(HierarchicalEngine, RootOutageFreezesEveryone) {
+TEST(HierarchicalEngine, RootOutageFreezesEveryoneWithoutSelfHeal) {
   constexpr std::size_t kN = 12;
   shard::hierarchical_options options =
       hier_options({}, shard::shard_protocol::fully_distributed, 4);
   options.aggregator_crashes = {{3, 30, net::crash_window::kNever}};
+  options.self_heal = false;
   shard::hierarchical_engine hier(kN, std::move(options));
   ASSERT_EQ(hier.plan().root, 3u);
 
@@ -385,6 +386,113 @@ TEST(HierarchicalEngine, RootOutageFreezesEveryone) {
   // Rounds 30..59: no consensus exists, so every round aborts globally.
   EXPECT_EQ(hier.report().aborted_rounds, 30u);
   EXPECT_GE(hier.report().degraded_rounds, 30u);
+  EXPECT_TRUE(hier.repairs().empty());
+}
+
+TEST(HierarchicalEngine, RootOutagePromotesAndResumes) {
+  constexpr std::size_t kN = 12;
+  shard::hierarchical_options options =
+      hier_options({}, shard::shard_protocol::fully_distributed, 4);
+  options.aggregator_crashes = {{3, 30, net::crash_window::kNever}};
+  shard::hierarchical_engine hier(kN, std::move(options));
+  ASSERT_EQ(hier.plan().root, 3u);
+
+  auto env = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  core::allocation at_crash;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    if (t == 30) at_crash = hier.current();
+    hier.observe(fb);
+    ASSERT_TRUE(on_simplex(hier.current())) << "round " << t;
+  }
+  // Round 30 crashes mid-round (aborts); the heal fires at round 31 —
+  // worker 0, the lowest live id in the whole tree, takes over the root —
+  // and every later round completes.
+  EXPECT_EQ(hier.report().aborted_rounds, 1u);
+  ASSERT_EQ(hier.repairs().size(), 1u);
+  EXPECT_EQ(hier.repairs()[0].round, 31u);
+  EXPECT_EQ(hier.repairs()[0].node, 3u);
+  EXPECT_EQ(hier.repairs()[0].act, shard::tree_repair::action::promoted);
+  EXPECT_EQ(hier.repairs()[0].replacement, 0u);
+  EXPECT_FALSE(hier.tree().retired(3));
+  EXPECT_NE(hier.current(), at_crash);
+}
+
+TEST(HierarchicalEngine, AggregatorCrashReparentsSubtreeWithinFanin) {
+  // N = 10 at shard_size 2, fan-in 4: leaves 0..4, node 5 fronts leaves
+  // {0..3}, node 6 fronts leaf {4}, root 7 holds {5, 6}. Killing 6 lets
+  // the heal excise it — the root absorbs leaf 4 directly (2 children,
+  // inside the fan-in bound) instead of promoting a replacement host.
+  constexpr std::size_t kN = 10;
+  shard::hierarchical_options options =
+      hier_options({}, shard::shard_protocol::fully_distributed, 2);
+  options.aggregator_crashes = {{6, 10, net::crash_window::kNever}};
+  shard::hierarchical_engine hier(kN, std::move(options));
+  ASSERT_EQ(hier.plan().root, 7u);
+  ASSERT_EQ(hier.plan().children[6], (std::vector<std::size_t>{4}));
+
+  auto env = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  core::allocation at_repair;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    hier.observe(fb);
+    if (t == 11) at_repair = hier.current();
+    ASSERT_TRUE(on_simplex(hier.current())) << "round " << t;
+  }
+  ASSERT_EQ(hier.repairs().size(), 1u);
+  EXPECT_EQ(hier.repairs()[0].round, 11u);
+  EXPECT_EQ(hier.repairs()[0].node, 6u);
+  EXPECT_EQ(hier.repairs()[0].act, shard::tree_repair::action::reparented);
+  EXPECT_EQ(hier.repairs()[0].replacement, 7u);
+  EXPECT_TRUE(hier.tree().retired(6));
+  EXPECT_EQ(hier.tree().current_parent(4), 7u);
+  // An interior death never aborts the whole round, and after the repair
+  // the detached shard (workers 8, 9) keeps adapting instead of holding.
+  EXPECT_EQ(hier.report().aborted_rounds, 0u);
+  EXPECT_FALSE(hier.current()[8] == at_repair[8] &&
+               hier.current()[9] == at_repair[9]);
+}
+
+TEST(HierarchicalEngine, OutageStreakThresholdTriggersRepair) {
+  // The same topology, but the window recovers: with an outage threshold
+  // the engine gives up on the flapping node once it has been dark for
+  // `outage_threshold` consecutive rounds and repairs anyway.
+  constexpr std::size_t kN = 10;
+  shard::hierarchical_options options =
+      hier_options({}, shard::shard_protocol::fully_distributed, 2);
+  options.aggregator_crashes = {{6, 10, 50}};
+  options.outage_threshold = 5;
+  shard::hierarchical_engine hier(kN, std::move(options));
+
+  auto env = exp::make_synthetic_environment(
+      kN, exp::synthetic_family::mixed, 42);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const cost::cost_vector costs = env->next_round();
+    const cost::cost_view view = cost::view_of(costs);
+    const std::vector<double> locals = cost::evaluate(view, hier.current());
+    core::round_feedback fb;
+    fb.costs = &view;
+    fb.local_costs = locals;
+    hier.observe(fb);
+  }
+  ASSERT_EQ(hier.repairs().size(), 1u);
+  EXPECT_EQ(hier.repairs()[0].node, 6u);
+  // The mid-round crash at round 10 starts the streak; rounds 11..14 grow
+  // it to 5, so the heal fires entering round 15.
+  EXPECT_EQ(hier.repairs()[0].round, 15u);
+  EXPECT_TRUE(hier.tree().retired(6));
 }
 
 TEST(HierarchicalEngine, FaultyMultiShardRunsAreDeterministic) {
@@ -442,6 +550,53 @@ TEST(HierarchicalEngine, ResetReplaysTheExactTranscript) {
   hier.reset();
   const auto second = run_pass();
   EXPECT_EQ(first, second);
+}
+
+// The same replay contract through the self-healing path: a permanent
+// aggregator crash (tree repair at round 11) plus a permanent worker crash
+// (churn retirement at round 90) must leave reset() able to rewind the
+// repaired topology, the revive bookkeeping and the membership back to
+// round zero — the second pass replays the first byte for byte, repairs
+// included.
+TEST(HierarchicalEngine, ResetReplaysTheRepairedTranscript) {
+  constexpr std::size_t kN = 10;
+  shard::hierarchical_options options =
+      hier_options(faulty_protocol(), shard::shard_protocol::fully_distributed,
+                   2);
+  options.aggregator_crashes = {{6, 10, net::crash_window::kNever}};
+  shard::hierarchical_engine hier(kN, std::move(options));
+  const auto run_pass = [&hier] {
+    auto env = exp::make_synthetic_environment(
+        kN, exp::synthetic_family::mixed, 5);
+    std::vector<double> iterates;
+    for (std::size_t t = 0; t < 120; ++t) {
+      const cost::cost_vector costs = env->next_round();
+      const cost::cost_view view = cost::view_of(costs);
+      const std::vector<double> locals = cost::evaluate(view, hier.current());
+      core::round_feedback fb;
+      fb.costs = &view;
+      fb.local_costs = locals;
+      hier.observe(fb);
+      for (const double x : hier.current()) iterates.push_back(x);
+    }
+    return std::make_pair(iterates, hier.report());
+  };
+  const auto first = run_pass();
+  ASSERT_EQ(hier.repairs().size(), 1u);
+  ASSERT_EQ(first.second.removed_workers, 1u);  // churn actually fired
+  const auto first_repairs = hier.repairs();
+  hier.reset();
+  EXPECT_TRUE(hier.repairs().empty());
+  EXPECT_FALSE(hier.tree().retired(6));
+  const auto second = run_pass();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second.removed_workers, second.second.removed_workers);
+  EXPECT_EQ(first.second.degraded_rounds, second.second.degraded_rounds);
+  EXPECT_EQ(first.second.aborted_rounds, second.second.aborted_rounds);
+  ASSERT_EQ(hier.repairs().size(), first_repairs.size());
+  EXPECT_EQ(hier.repairs()[0].round, first_repairs[0].round);
+  EXPECT_EQ(hier.repairs()[0].node, first_repairs[0].node);
+  EXPECT_EQ(hier.repairs()[0].replacement, first_repairs[0].replacement);
 }
 
 // The tentpole contract of intra-round parallelism (DESIGN.md §11): a

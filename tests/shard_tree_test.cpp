@@ -169,6 +169,83 @@ TEST(ReductionTree, RepeatedRoundsAreDeterministic) {
   expect_matches_scan(f, 3);
 }
 
+// K = 10 at fan-in 4: node 12 fronts leaves {8, 9}; its parent (the root,
+// 13) holds {10, 11, 12}. Excising 12 leaves the root with 2 + 2 = 4
+// children — inside the fan-in bound — while excising 11 (four children)
+// would push the root to 6, outside it.
+TEST(ReductionTree, ReparentMovesChildrenToGrandparent) {
+  fixture f(10);
+  ASSERT_EQ(f.plan.children[12], (std::vector<std::size_t>{8, 9}));
+  ASSERT_TRUE(f.tree.can_reparent(12));
+  f.tree.reparent_children(12);
+  EXPECT_TRUE(f.tree.retired(12));
+  EXPECT_EQ(f.tree.current_parent(8), 13u);
+  EXPECT_EQ(f.tree.current_parent(9), 13u);
+  EXPECT_EQ(f.tree.current_children(13),
+            (std::vector<std::size_t>{8, 9, 10, 11}));
+  // Membership is unchanged, so an all-live round still reduces over every
+  // leaf and the broadcast still reaches all of them.
+  expect_matches_scan(f, 1);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_EQ(reached[k], 1);
+}
+
+TEST(ReductionTree, RetiredNodeNoLongerBlocksItsSubtree) {
+  fixture f(10);
+  f.tree.reparent_children(12);
+  // The excised node being marked dead is irrelevant now: it carries no
+  // traffic and appears on no level, so all ten leaves still contribute.
+  f.agg_live[12] = 0;
+  const reduce_result got =
+      f.tree.reduce(1, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  EXPECT_EQ(got.contributors, 10u);
+  std::vector<std::uint8_t> reached;
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_EQ(reached[k], 1);
+}
+
+TEST(ReductionTree, ReparentRespectsFaninBoundAndNodeRoles) {
+  fixture f(10);
+  EXPECT_FALSE(f.tree.can_reparent(11));           // root would hold 6 > 4
+  EXPECT_FALSE(f.tree.can_reparent(f.plan.root));  // root has no grandparent
+  EXPECT_FALSE(f.tree.can_reparent(0));  // leaves heal by promotion instead
+  f.tree.reparent_children(12);
+  EXPECT_FALSE(f.tree.can_reparent(12));  // already retired
+}
+
+TEST(ReductionTree, ResetRestoresPristineTopology) {
+  fixture f(10);
+  f.tree.reparent_children(12);
+  ASSERT_TRUE(f.tree.retired(12));
+  f.tree.reset();
+  EXPECT_FALSE(f.tree.retired(12));
+  EXPECT_EQ(f.tree.current_parent(12), 13u);
+  EXPECT_EQ(f.tree.current_children(13),
+            (std::vector<std::size_t>{10, 11, 12}));
+  EXPECT_EQ(f.tree.traffic().messages_sent, 0u);
+  expect_matches_scan(f, 1);
+}
+
+TEST(ReductionTree, TrafficCountersStayMonotoneAcrossReparent) {
+  fixture f(10);
+  std::vector<std::uint8_t> reached;
+  f.tree.reduce(1, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  f.tree.broadcast(1, 1.0, 2.0, f.agg_live, reached);
+  const std::uint64_t before = f.tree.traffic().messages_sent;
+  const std::uint64_t node8_before = f.tree.node_messages_sent(8);
+  ASSERT_GT(before, 0u);
+  f.tree.reparent_children(12);
+  // The rebuilt wire starts empty; the pre-repair totals must fold into
+  // the bases so the accessors never move backwards.
+  EXPECT_EQ(f.tree.traffic().messages_sent, before);
+  EXPECT_EQ(f.tree.node_messages_sent(8), node8_before);
+  f.tree.reduce(2, f.leaf_max, f.leaf_min, f.contribute, f.agg_live);
+  f.tree.broadcast(2, 1.0, 2.0, f.agg_live, reached);
+  EXPECT_GT(f.tree.traffic().messages_sent, before);
+  EXPECT_GT(f.tree.node_messages_sent(8), node8_before);
+}
+
 TEST(ReductionTree, PerNodeTrafficIsFaninBounded) {
   fixture f(16, 4);
   std::vector<std::uint8_t> reached;
