@@ -1,0 +1,160 @@
+// Client <-> dolbied-master wire protocol: frames (net/codec framing) on
+// a dedicated port, one opcode byte plus little-endian fields. The client
+// submits a cost-function stream by naming its generator (worker count,
+// synthetic family, seed — the stream is deterministic in those) and
+// reads back the per-round iterates and global costs the cluster
+// produced; the master replies with one round frame per protocol round
+// and a final cumulative-cost frame. Malformed frames are
+// invariant_error-loud on both ends, like every other decoder in the
+// tree.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/scenario.h"
+
+namespace dolbie::daemon {
+
+// Client-protocol opcodes (disjoint from net::frame_op so a frame aimed
+// at the wrong port fails loudly instead of being misinterpreted).
+constexpr std::uint8_t kClientRun = 0x10;    ///< [n][rounds][seed][family][engine]
+constexpr std::uint8_t kClientRound = 0x11;  ///< [round][cost][n x iterate]
+constexpr std::uint8_t kClientDone = 0x12;   ///< [cumulative cost]
+constexpr std::uint8_t kClientError = 0x13;  ///< [utf-8 message]
+
+struct run_request {
+  std::uint32_t workers = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t seed = 0;
+  std::uint8_t family = 0;  ///< exp::synthetic_family value
+  std::uint8_t engine = 0;  ///< 0 = master-worker, 1 = fully-distributed
+};
+
+struct round_record {
+  std::uint32_t round = 0;
+  double global_cost = 0.0;
+  std::vector<double> iterate;
+};
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+inline std::vector<std::uint8_t> encode_run_request(const run_request& req) {
+  std::vector<std::uint8_t> body;
+  body.reserve(19);
+  body.push_back(kClientRun);
+  put_u32(body, req.workers);
+  put_u32(body, req.rounds);
+  put_u64(body, req.seed);
+  body.push_back(req.family);
+  body.push_back(req.engine);
+  return body;
+}
+
+inline run_request decode_run_request(const std::vector<std::uint8_t>& body) {
+  DOLBIE_REQUIRE(body.size() == 19 && body[0] == kClientRun,
+                 "malformed run request (" << body.size() << " bytes)");
+  run_request req;
+  req.workers = get_u32(&body[1]);
+  req.rounds = get_u32(&body[5]);
+  req.seed = get_u64(&body[9]);
+  req.family = body[17];
+  req.engine = body[18];
+  DOLBIE_REQUIRE(req.workers >= 1 && req.workers <= 4096,
+                 "run request worker count " << req.workers
+                                             << " outside [1, 4096]");
+  DOLBIE_REQUIRE(req.rounds >= 1 && req.rounds <= 1000000,
+                 "run request round count " << req.rounds
+                                            << " outside [1, 10^6]");
+  DOLBIE_REQUIRE(req.family <= 3, "unknown cost family "
+                                      << static_cast<int>(req.family));
+  DOLBIE_REQUIRE(req.engine <= 1, "unknown engine "
+                                      << static_cast<int>(req.engine));
+  return req;
+}
+
+inline std::vector<std::uint8_t> encode_round_record(
+    const round_record& rec) {
+  std::vector<std::uint8_t> body;
+  body.reserve(13 + 8 * rec.iterate.size());
+  body.push_back(kClientRound);
+  put_u32(body, rec.round);
+  put_f64(body, rec.global_cost);
+  for (double v : rec.iterate) put_f64(body, v);
+  return body;
+}
+
+inline round_record decode_round_record(const std::vector<std::uint8_t>& body,
+                                        std::size_t n_workers) {
+  DOLBIE_REQUIRE(body.size() == 13 + 8 * n_workers && body[0] == kClientRound,
+                 "malformed round record (" << body.size() << " bytes for "
+                                            << n_workers << " workers)");
+  round_record rec;
+  rec.round = get_u32(&body[1]);
+  rec.global_cost = get_f64(&body[5]);
+  rec.iterate.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    rec.iterate.push_back(get_f64(&body[13 + 8 * i]));
+  }
+  return rec;
+}
+
+/// Map a --family flag value to the wire byte; throws on unknown names.
+inline std::uint8_t family_code(const std::string& name) {
+  if (name == "affine") return 0;
+  if (name == "power") return 1;
+  if (name == "saturating") return 2;
+  if (name == "mixed") return 3;
+  DOLBIE_REQUIRE(false, "unknown cost family '"
+                            << name
+                            << "' (affine|power|saturating|mixed)");
+  return 0;  // unreachable
+}
+
+inline exp::synthetic_family family_from_code(std::uint8_t code) {
+  return static_cast<exp::synthetic_family>(code);
+}
+
+}  // namespace dolbie::daemon

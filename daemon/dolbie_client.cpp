@@ -1,0 +1,132 @@
+// dolbie_client — thin client for a dolbied master: submits a
+// cost-function stream (named by worker count, synthetic family and seed
+// — the stream is a deterministic function of those) and reads back the
+// per-round iterates and global costs the cluster produced.
+//
+//   $ dolbie_client --connect=127.0.0.1:7001 --workers=8 --rounds=20
+//                   [--seed=5] [--family=affine] [--engine=mw]
+//                   [--check-memory]
+//
+// --check-memory replays the identical scenario through the in-memory
+// engine in this process and exits nonzero unless the cluster's
+// cumulative cost and final iterate match bit for bit — the acceptance
+// gate the CI loopback leg runs.
+#include <cmath>
+#include <iostream>
+#include <optional>
+
+#include "cluster_proto.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "exp/transport.h"
+#include "net/codec.h"
+#include "net/socket.h"
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  try {
+    const exp::cli_args args(argc, argv);
+    const net::peer_address master =
+        exp::parse_peer(args.get_string("connect", "127.0.0.1:7001"));
+    daemon::run_request req;
+    req.workers = static_cast<std::uint32_t>(args.get_u64("workers", 8));
+    req.rounds = static_cast<std::uint32_t>(args.get_u64("rounds", 20));
+    req.seed = args.get_u64("seed", 5);
+    req.family = daemon::family_code(args.get_string("family", "affine"));
+    const std::string engine = args.get_string("engine", "mw");
+    req.engine = engine == "fd" ? 1 : 0;
+
+    net::tcp_socket conn = net::connect_with_retry(
+        master.host, master.port, std::chrono::milliseconds(10000));
+    {
+      std::vector<std::uint8_t> out;
+      net::append_frame(out, daemon::encode_run_request(req));
+      conn.write_all(out.data(), out.size());
+    }
+
+    std::vector<daemon::round_record> rounds;
+    std::optional<double> cumulative;
+    net::frame_parser parser;
+    std::uint8_t buf[4096];
+    while (!cumulative.has_value()) {
+      for (;;) {
+        std::optional<std::vector<std::uint8_t>> frame = parser.next();
+        if (!frame.has_value()) break;
+        const std::vector<std::uint8_t>& body = *frame;
+        DOLBIE_REQUIRE(!body.empty(), "empty frame from master");
+        if (body[0] == daemon::kClientRound) {
+          rounds.push_back(daemon::decode_round_record(body, req.workers));
+        } else if (body[0] == daemon::kClientDone) {
+          DOLBIE_REQUIRE(body.size() == 9, "malformed done frame");
+          cumulative = daemon::get_f64(&body[1]);
+        } else if (body[0] == daemon::kClientError) {
+          std::cerr << "dolbie_client: master reported: "
+                    << std::string(body.begin() + 1, body.end()) << "\n";
+          return 1;
+        } else {
+          DOLBIE_REQUIRE(false, "unknown frame opcode "
+                                    << static_cast<int>(body[0]));
+        }
+      }
+      if (cumulative.has_value()) break;
+      const net::read_result r =
+          conn.read_some(buf, sizeof(buf), std::chrono::milliseconds(60000));
+      DOLBIE_REQUIRE(!r.eof, "master closed the connection mid-run");
+      DOLBIE_REQUIRE(!r.timed_out, "timed out waiting for the master");
+      parser.feed(buf, r.bytes);
+    }
+    DOLBIE_REQUIRE(rounds.size() == req.rounds,
+                   "master returned " << rounds.size() << " rounds, expected "
+                                      << req.rounds);
+
+    std::cout << "cluster run: N=" << req.workers << " T=" << req.rounds
+              << " engine=" << (req.engine == 0 ? "mw" : "fd")
+              << " family=" << args.get_string("family", "affine")
+              << " seed=" << req.seed << "\n";
+    std::cout << "cumulative cost: " << exp::format_double(*cumulative, 17)
+              << "\n";
+    const std::vector<double>& final_x = rounds.back().iterate;
+    std::cout << "final iterate:";
+    for (double v : final_x) std::cout << ' ' << exp::format_double(v, 6);
+    std::cout << "\n";
+
+    if (!args.has("check-memory")) return 0;
+
+    // Replay the identical scenario through the in-memory engine and
+    // require a bit-exact match.
+    exp::transport_spec spec;
+    spec.kind = exp::transport_kind::memory;
+    spec.mode = req.engine == 0 ? dist::cluster_mode::master_worker
+                                : dist::cluster_mode::fully_distributed;
+    auto policy = exp::make_transport_policy(req.workers, spec, nullptr);
+    auto env = exp::make_synthetic_environment(
+        req.workers, daemon::family_from_code(req.family), req.seed);
+    exp::harness_options hopts;
+    hopts.rounds = req.rounds;
+    hopts.record_allocations = true;
+    const exp::run_trace trace = exp::run(*policy, *env, hopts);
+
+    bool ok = trace.global_cost.total() == *cumulative;
+    for (std::uint32_t t = 0; ok && t < req.rounds; ++t) {
+      ok = trace.global_cost[t] == rounds[t].global_cost;
+      for (std::size_t i = 0; ok && i < req.workers; ++i) {
+        ok = trace.allocations[t][i] == rounds[t].iterate[i];
+      }
+    }
+    if (!ok) {
+      std::cerr << "check-memory: MISMATCH — in-memory cumulative "
+                << exp::format_double(trace.global_cost.total(), 17)
+                << " vs cluster "
+                << exp::format_double(*cumulative, 17) << "\n";
+      return 1;
+    }
+    std::cout << "check-memory: OK — cluster matches the in-memory engine "
+                 "bit for bit over "
+              << req.rounds << " rounds\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "dolbie_client: " << e.what() << "\n";
+    return 1;
+  }
+}

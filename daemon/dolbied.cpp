@@ -1,0 +1,225 @@
+// dolbied — the long-running cluster daemon.
+//
+// Two roles behind one binary:
+//
+//   worker  hosts the message channels of its workers (net/socket_delivery
+//           socket_server): the passive side of the delivery seam. Needs
+//           no protocol configuration — the driver's ownership map decides
+//           which links live here.
+//   master  the driver: listens for client run requests, builds a
+//           dist::cluster_policy over the configured worker peers, plays
+//           the requested cost-function stream through the unchanged round
+//           state machines and streams the per-round iterates back.
+//
+// Both roles expose the obs metrics registry on an optional scrape port
+// (Prometheus text exposition over HTTP) and shut down cleanly on
+// SIGTERM/SIGINT.
+//
+//   $ dolbied --role=worker --listen=7101 [--metrics-port=9101]
+//   $ dolbied --role=master --listen=7001 --peers=127.0.0.1:7101,...
+//             [--metrics-port=9001] [--receive-timeout-ms=0]
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "cluster_proto.h"
+#include "dist/cluster.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "exp/transport.h"
+#include "net/codec.h"
+#include "net/socket.h"
+#include "net/socket_delivery.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+// Serve at most one queued scrape request; the metrics endpoint is a
+// poll-loop guest, never a blocking owner.
+void serve_metrics_once(dolbie::net::tcp_listener& listener,
+                        const dolbie::obs::metrics_registry& registry) {
+  using namespace dolbie;
+  net::tcp_socket conn = listener.accept(std::chrono::milliseconds(0));
+  if (!conn.valid()) return;
+  try {
+    // Drain whatever request line arrived (we answer any request with the
+    // exposition; the endpoint serves exactly one document).
+    std::uint8_t buf[1024];
+    conn.read_some(buf, sizeof(buf), std::chrono::milliseconds(100));
+    const std::string response = obs::prometheus_http_response(registry);
+    conn.write_all(reinterpret_cast<const std::uint8_t*>(response.data()),
+                   response.size());
+  } catch (const net::transport_error&) {
+    // A scraper that hung up mid-response is its problem, not ours.
+  }
+}
+
+int run_worker(std::uint16_t listen_port,
+               std::optional<std::uint16_t> metrics_port) {
+  using namespace dolbie;
+  obs::metrics_registry registry;
+  net::socket_server server(listen_port, &registry);
+  std::optional<net::tcp_listener> metrics_listener;
+  if (metrics_port.has_value()) metrics_listener.emplace(*metrics_port);
+  std::cout << "dolbied worker listening on 127.0.0.1:" << server.port();
+  if (metrics_listener.has_value()) {
+    std::cout << " (metrics on :" << metrics_listener->port() << ")";
+  }
+  std::cout << std::endl;
+  while (g_stop == 0) {
+    server.poll_once(std::chrono::milliseconds(50));
+    if (metrics_listener.has_value()) {
+      serve_metrics_once(*metrics_listener, registry);
+    }
+  }
+  const net::socket_server_stats stats = server.stats();
+  std::cout << "dolbied worker shutting down: " << stats.frames_received
+            << " frames, " << stats.pulls_served << " pulls, "
+            << stats.hostile_frames << " hostile" << std::endl;
+  return 0;
+}
+
+// One client session on the master: read the run request, drive the
+// cluster, stream the results back. Errors are reported to the client
+// when the socket still works, and never take the daemon down.
+void serve_client(dolbie::net::tcp_socket conn,
+                  const std::vector<dolbie::net::peer_address>& peers,
+                  std::uint64_t receive_timeout_ms,
+                  dolbie::obs::metrics_registry& registry) {
+  using namespace dolbie;
+  const auto send_frame = [&](const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> out;
+    net::append_frame(out, body);
+    conn.write_all(out.data(), out.size());
+  };
+  try {
+    net::frame_parser parser;
+    std::optional<std::vector<std::uint8_t>> request;
+    std::uint8_t buf[1024];
+    while (!request.has_value()) {
+      const net::read_result r =
+          conn.read_some(buf, sizeof(buf), std::chrono::milliseconds(5000));
+      if (r.eof || r.timed_out) return;
+      parser.feed(buf, r.bytes);
+      request = parser.next();
+    }
+    const daemon::run_request req = daemon::decode_run_request(*request);
+
+    dist::cluster_options copts;
+    copts.mode = req.engine == 0 ? dist::cluster_mode::master_worker
+                                 : dist::cluster_mode::fully_distributed;
+    copts.peers = peers;
+    copts.link.receive_timeout = std::chrono::milliseconds(receive_timeout_ms);
+    copts.metrics = &registry;
+    dist::cluster_policy policy(req.workers, copts);
+
+    auto env = exp::make_synthetic_environment(
+        req.workers, daemon::family_from_code(req.family), req.seed);
+    exp::harness_options hopts;
+    hopts.rounds = req.rounds;
+    hopts.record_allocations = true;
+    const exp::run_trace trace = exp::run(policy, *env, hopts);
+
+    for (std::uint32_t t = 0; t < req.rounds; ++t) {
+      daemon::round_record rec;
+      rec.round = t;
+      rec.global_cost = trace.global_cost[t];
+      rec.iterate = trace.allocations[t];
+      send_frame(daemon::encode_round_record(rec));
+    }
+    std::vector<std::uint8_t> done;
+    done.push_back(daemon::kClientDone);
+    daemon::put_f64(done, trace.global_cost.total());
+    send_frame(done);
+    std::cout << "dolbied master served run: N=" << req.workers
+              << " T=" << req.rounds << " cumulative="
+              << trace.global_cost.total()
+              << " degraded=" << policy.faults().degraded_rounds << std::endl;
+  } catch (const std::exception& e) {
+    try {
+      std::vector<std::uint8_t> err;
+      err.push_back(daemon::kClientError);
+      const char* what = e.what();
+      err.insert(err.end(), what, what + std::strlen(what));
+      send_frame(err);
+    } catch (...) {
+      // The client is gone; nothing left to tell it.
+    }
+    std::cout << "dolbied master run failed: " << e.what() << std::endl;
+  }
+}
+
+int run_master(std::uint16_t listen_port,
+               std::optional<std::uint16_t> metrics_port,
+               const std::vector<dolbie::net::peer_address>& peers,
+               std::uint64_t receive_timeout_ms) {
+  using namespace dolbie;
+  obs::metrics_registry registry;
+  net::tcp_listener listener(listen_port);
+  std::optional<net::tcp_listener> metrics_listener;
+  if (metrics_port.has_value()) metrics_listener.emplace(*metrics_port);
+  std::cout << "dolbied master listening on 127.0.0.1:" << listener.port()
+            << " with " << peers.size() << " worker peer(s)";
+  if (metrics_listener.has_value()) {
+    std::cout << " (metrics on :" << metrics_listener->port() << ")";
+  }
+  std::cout << std::endl;
+  while (g_stop == 0) {
+    net::tcp_socket conn = listener.accept(std::chrono::milliseconds(50));
+    if (conn.valid()) {
+      serve_client(std::move(conn), peers, receive_timeout_ms, registry);
+    }
+    if (metrics_listener.has_value()) {
+      serve_metrics_once(*metrics_listener, registry);
+    }
+  }
+  std::cout << "dolbied master shutting down" << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dolbie;
+  try {
+    const exp::cli_args args(argc, argv);
+    install_signal_handlers();
+    const std::string role = args.get_string("role", "");
+    const auto listen_port =
+        static_cast<std::uint16_t>(args.get_u64("listen", 0));
+    std::optional<std::uint16_t> metrics_port;
+    if (args.has("metrics-port")) {
+      metrics_port =
+          static_cast<std::uint16_t>(args.get_u64("metrics-port", 0));
+    }
+    if (role == "worker") {
+      return run_worker(listen_port, metrics_port);
+    }
+    if (role == "master") {
+      const std::vector<net::peer_address> peers =
+          exp::parse_peer_list(args.get_string("peers", ""));
+      return run_master(listen_port, metrics_port, peers,
+                        args.get_u64("receive-timeout-ms", 0));
+    }
+    std::cerr << "dolbied: --role must be worker or master\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dolbied: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -16,11 +16,51 @@
 // binary sweeps the crossover.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 
 #include "net/delay_model.h"
 
 namespace dolbie::dist {
+
+/// Wall-clock deadline for the socket transport's real-timer mode. The
+/// simulated timing models price rounds in *virtual* time (a poll-miss is
+/// the retransmission timer); when the same round machines drive a real
+/// cluster, receive loops instead spin until a `wall_deadline` expires.
+/// `unbounded()` (the default) never expires — the deterministic
+/// single-pull mode — so the virtual-time semantics are the zero-timeout
+/// special case of the real-timer mode, not a separate code path.
+class wall_deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Never expires — receive degenerates to one deterministic pull.
+  static wall_deadline unbounded() { return wall_deadline(); }
+
+  /// Expires `timeout` from now (zero or negative: already expired).
+  static wall_deadline after(std::chrono::milliseconds timeout) {
+    wall_deadline d;
+    d.bounded_ = true;
+    d.at_ = clock::now() + timeout;
+    return d;
+  }
+
+  bool bounded() const { return bounded_; }
+  bool expired() const { return bounded_ && clock::now() >= at_; }
+
+  /// Time left before expiry, clamped at zero; unbounded deadlines report
+  /// the maximum representable wait.
+  std::chrono::milliseconds remaining() const {
+    if (!bounded_) return std::chrono::milliseconds::max();
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  }
+
+ private:
+  bool bounded_ = false;
+  clock::time_point at_{};
+};
 
 struct round_timing {
   double master_worker_seconds = 0.0;

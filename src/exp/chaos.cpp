@@ -263,12 +263,6 @@ chaos_row run_cell(const chaos_options& options, std::size_t engine,
 }  // namespace
 
 std::vector<chaos_row> run_chaos_grid(const chaos_options& options) {
-  if (!options.checkpoint_path.empty()) {
-    DOLBIE_REQUIRE(options.kill_at >= 1 && options.kill_at < options.rounds,
-                   "--checkpoint needs --kill-at inside (0, "
-                       << options.rounds << ") to know where to cut");
-    std::filesystem::create_directories(options.checkpoint_path);
-  }
   std::vector<double> rates = options.drop_rates;
   if (std::find(rates.begin(), rates.end(), 0.0) == rates.end()) {
     rates.insert(rates.begin(), 0.0);
@@ -285,6 +279,46 @@ std::vector<chaos_row> run_chaos_grid(const chaos_options& options) {
   if (options.include_hierarchical) {
     engines.push_back(4);
     engines.push_back(5);
+  }
+  // Fail fast on a bad --checkpoint/--restore setup before any cell runs:
+  // a grid that dies mid-flight on an unwritable directory or a missing
+  // per-cell file wastes the whole sweep and leaves a half-written state
+  // directory behind.
+  if (!options.checkpoint_path.empty()) {
+    DOLBIE_REQUIRE(options.kill_at >= 1 && options.kill_at < options.rounds,
+                   "--checkpoint needs --kill-at inside (0, "
+                       << options.rounds << ") to know where to cut");
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_path, ec);
+    DOLBIE_REQUIRE(!ec, "--checkpoint directory " << options.checkpoint_path
+                                                  << " cannot be created: "
+                                                  << ec.message());
+    // Probe-write: surface a read-only or quota-exhausted directory now.
+    const std::string probe =
+        (std::filesystem::path(options.checkpoint_path) / ".probe").string();
+    {
+      std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+      out << "probe";
+      DOLBIE_REQUIRE(out.good(), "--checkpoint directory "
+                                     << options.checkpoint_path
+                                     << " is not writable");
+    }
+    std::filesystem::remove(probe, ec);
+  }
+  if (!options.restore_path.empty()) {
+    DOLBIE_REQUIRE(std::filesystem::is_directory(options.restore_path),
+                   "--restore directory " << options.restore_path
+                                          << " does not exist");
+    for (const std::size_t e : engines) {
+      for (const double rate : rates) {
+        const std::string path =
+            cell_checkpoint_file(options.restore_path, kEngineNames[e], rate);
+        DOLBIE_REQUIRE(std::filesystem::exists(path),
+                       "--restore is missing the checkpoint for engine "
+                           << kEngineNames[e] << " at drop rate " << rate
+                           << " (" << path << ")");
+      }
+    }
   }
   const std::size_t cells = engines.size() * rates.size();
   std::vector<chaos_row> rows = parallel_map<chaos_row>(

@@ -224,13 +224,23 @@ std::uint64_t cli_args::get_u64(const std::string& key,
                                 std::uint64_t fallback) const {
   const std::string v = get_string(key, "");
   if (v.empty()) return fallback;
-  return std::stoull(v);
+  std::size_t pos = 0;
+  const std::uint64_t parsed = std::stoull(v, &pos);
+  // A partial parse ("--listen=127.0.0.1:7101" reading as 127) binds
+  // the wrong port silently; refuse trailing garbage instead.
+  DOLBIE_REQUIRE(pos == v.size(),
+                 "--" << key << "=" << v << " is not a whole number");
+  return parsed;
 }
 
 double cli_args::get_double(const std::string& key, double fallback) const {
   const std::string v = get_string(key, "");
   if (v.empty()) return fallback;
-  return std::stod(v);
+  std::size_t pos = 0;
+  const double parsed = std::stod(v, &pos);
+  DOLBIE_REQUIRE(pos == v.size(),
+                 "--" << key << "=" << v << " is not a number");
+  return parsed;
 }
 
 }  // namespace dolbie::exp

@@ -58,7 +58,8 @@ void print_timings(std::ostream& os, const stats::timing_registry& timings,
                    double elapsed_seconds, std::size_t max_rows = 12);
 
 /// Parse a --flag=value style command line. Recognized keys are read with
-/// the getters; unknown flags throw. Used by every bench binary.
+/// the getters; unrecognized flags are ignored (each binary reads only
+/// the keys it documents). Used by every bench binary.
 class cli_args {
  public:
   cli_args(int argc, char** argv);

@@ -1,0 +1,55 @@
+// Transport selection for benches and the daemon client: parses the
+// --transport=memory|tcp flag family into a spec and builds the matching
+// policy — the in-memory engines (the deterministic default) or a
+// dist::cluster_policy driving remote dolbied daemons over TCP.
+//
+// Flags:
+//   --transport=memory|tcp     (default memory)
+//   --peers=host:port,...      (tcp only; one entry per worker daemon)
+//   --receive-timeout-ms=T     (tcp only; 0 = deterministic single pull)
+//   --engine=mw|fd             which protocol realization to run
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "dist/cluster.h"
+#include "exp/report.h"
+
+namespace dolbie::exp {
+
+enum class transport_kind { memory, tcp };
+
+struct transport_spec {
+  transport_kind kind = transport_kind::memory;
+  dist::cluster_mode mode = dist::cluster_mode::master_worker;
+  std::vector<net::peer_address> peers;
+  std::uint64_t receive_timeout_ms = 0;
+};
+
+/// Parse "host:port" (numeric IPv4 + port). Throws invariant_error on a
+/// malformed entry — a typo'd peer list must not silently shrink a
+/// cluster.
+net::peer_address parse_peer(const std::string& entry);
+
+/// Parse a comma-separated peer list ("127.0.0.1:7001,127.0.0.1:7002").
+std::vector<net::peer_address> parse_peer_list(const std::string& list);
+
+/// Read the --transport flag family. Throws invariant_error on an unknown
+/// transport or engine name, or when --peers accompanies
+/// --transport=memory (a misconfiguration worth refusing).
+transport_spec transport_from_args(const cli_args& args);
+
+/// Build the policy the spec names: the in-memory MW/FD engine, or a
+/// cluster_policy over the listed peers. `metrics` may be null. The
+/// in-memory policy is built with a forced (zero-fault) fault plan so
+/// it runs the same degraded round machinery the cluster always runs —
+/// that is what makes tcp-vs-memory comparisons bit-exact.
+std::unique_ptr<core::online_policy> make_transport_policy(
+    std::size_t n_workers, const transport_spec& spec,
+    obs::metrics_registry* metrics);
+
+}  // namespace dolbie::exp

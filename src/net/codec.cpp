@@ -137,4 +137,58 @@ message decode_from(snapshot_reader& r) {
   return decode(std::vector<std::uint8_t>(p, p + size));
 }
 
+void append_frame(std::vector<std::uint8_t>& out, const std::uint8_t* body,
+                  std::size_t size) {
+  DOLBIE_REQUIRE(size > 0, "empty frame body: every frame carries an opcode");
+  DOLBIE_REQUIRE(size <= kMaxFrameBytes,
+                 "frame body of " << size << " bytes exceeds cap "
+                                  << kMaxFrameBytes);
+  put_u32(out, static_cast<std::uint32_t>(size));
+  out.insert(out.end(), body, body + size);
+}
+
+void frame_parser::feed(const std::uint8_t* data, std::size_t size) {
+  const bool prefix_was_complete = buffer_.size() >= 4;
+  buffer_.insert(buffer_.end(), data, data + size);
+  // Validate a length prefix the moment it completes, before the body
+  // streams in — a hostile length must never drive buffering decisions.
+  if (!prefix_was_complete && buffer_.size() >= 4) {
+    const std::uint32_t body = get_u32(buffer_.data());
+    DOLBIE_REQUIRE(body > 0, "zero-length frame on stream");
+    DOLBIE_REQUIRE(body <= kMaxFrameBytes,
+                   "frame length prefix " << body << " exceeds cap "
+                                          << kMaxFrameBytes);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> frame_parser::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t body = get_u32(buffer_.data());
+  // feed() validated the prefix; re-check so a parser fed through raw
+  // buffer surgery still fails closed.
+  DOLBIE_REQUIRE(body > 0 && body <= kMaxFrameBytes,
+                 "frame length prefix " << body << " outside (0, "
+                                        << kMaxFrameBytes << "]");
+  if (buffer_.size() < 4 + static_cast<std::size_t>(body)) return std::nullopt;
+  std::vector<std::uint8_t> out(buffer_.begin() + 4,
+                                buffer_.begin() + 4 + body);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + body);
+  // The erase may have exposed the next frame's prefix; validate it now so
+  // a garbage second header is as loud as a garbage first one.
+  if (buffer_.size() >= 4) {
+    const std::uint32_t next_body = get_u32(buffer_.data());
+    DOLBIE_REQUIRE(next_body > 0, "zero-length frame on stream");
+    DOLBIE_REQUIRE(next_body <= kMaxFrameBytes,
+                   "frame length prefix " << next_body << " exceeds cap "
+                                          << kMaxFrameBytes);
+  }
+  return out;
+}
+
+void frame_parser::finish() const {
+  DOLBIE_REQUIRE(buffer_.empty(),
+                 "stream truncated mid-frame: " << buffer_.size()
+                                                << " dangling bytes");
+}
+
 }  // namespace dolbie::net

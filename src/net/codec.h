@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/snapshot.h"
@@ -59,5 +60,60 @@ message decode(const std::vector<std::uint8_t>& bytes);
 /// hostile-input validation.
 void encode_into(const message& m, snapshot_writer& w);
 message decode_from(snapshot_reader& r);
+
+// ---------------------------------------------------------------------------
+// Length-prefixed framing for byte streams (TCP).
+//
+// A stream carries frames: a u32 little-endian body length followed by the
+// body bytes. The body is opaque at this layer — the socket transport puts
+// a one-byte opcode plus an encode()d message or control payload inside.
+// The framing layer owns exactly one problem: reassembling whole frames
+// from the arbitrary fragments a socket hands back, and refusing hostile
+// prefixes (zero-length, oversized, truncated) loudly instead of letting a
+// corrupt length field drive an allocation or a blocked read.
+// ---------------------------------------------------------------------------
+
+/// Largest frame body the stream format accepts. Generously above the
+/// biggest legal wire message (20-byte header + 8 * kMaxPayloadScalars)
+/// plus framing overhead, while bounding what a corrupted length prefix
+/// can make a receiver buffer.
+constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+
+/// Append one frame (u32 length prefix + body) to `out`. Throws
+/// invariant_error when `body` is empty or exceeds kMaxFrameBytes — every
+/// legal frame carries at least an opcode byte.
+void append_frame(std::vector<std::uint8_t>& out,
+                  const std::uint8_t* body, std::size_t size);
+inline void append_frame(std::vector<std::uint8_t>& out,
+                         const std::vector<std::uint8_t>& body) {
+  append_frame(out, body.data(), body.size());
+}
+
+/// Incremental frame reassembler: feed() socket fragments of any size, then
+/// drain complete frames with next(). A hostile length prefix (zero or
+/// above kMaxFrameBytes) throws invariant_error the moment the four prefix
+/// bytes are in — before any body bytes are buffered. finish() asserts the
+/// stream ended on a frame boundary; a dangling partial frame means the
+/// peer died mid-write and throws.
+class frame_parser {
+ public:
+  /// Buffer `size` raw stream bytes. Validates any length prefix that
+  /// becomes complete; throws invariant_error on a hostile prefix.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Extract the next complete frame body, or empty when more bytes are
+  /// needed. Call in a loop — one feed() may complete several frames.
+  std::optional<std::vector<std::uint8_t>> next();
+
+  /// Bytes buffered toward an incomplete frame (0 = on a boundary).
+  std::size_t buffered() const { return buffer_.size(); }
+
+  /// Declare end-of-stream. Throws invariant_error when bytes of a partial
+  /// frame are still buffered (truncated stream).
+  void finish() const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
 
 }  // namespace dolbie::net

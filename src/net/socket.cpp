@@ -1,0 +1,200 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "common/error.h"
+
+namespace dolbie::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw transport_error(what + ": " + std::strerror(errno));
+}
+
+// poll() one descriptor for `events`; true = ready, false = timed out.
+// Throws transport_error on poll failure (EINTR restarts the wait).
+bool wait_ready(int fd, short events, std::chrono::milliseconds timeout) {
+  const bool forever = timeout == std::chrono::milliseconds::max();
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int ms =
+        forever ? -1 : static_cast<int>(std::min<std::int64_t>(
+                           timeout.count(), std::numeric_limits<int>::max()));
+    const int rc = ::poll(&p, 1, ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+tcp_socket::~tcp_socket() { close(); }
+
+tcp_socket::tcp_socket(tcp_socket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+tcp_socket& tcp_socket::operator=(tcp_socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void tcp_socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+tcp_socket tcp_socket::connect_to(const std::string& host,
+                                  std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw transport_error("not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd);
+  return tcp_socket(fd);
+}
+
+void tcp_socket::write_all(const std::uint8_t* data, std::size_t size) {
+  DOLBIE_REQUIRE(valid(), "write on an invalid socket");
+  std::size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd_, POLLOUT, std::chrono::milliseconds::max());
+        continue;
+      }
+      throw_errno("send");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+read_result tcp_socket::read_some(std::uint8_t* buf, std::size_t cap,
+                                  std::chrono::milliseconds timeout) {
+  DOLBIE_REQUIRE(valid(), "read on an invalid socket");
+  read_result out;
+  if (!wait_ready(fd_, POLLIN, timeout)) {
+    out.timed_out = true;
+    return out;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n > 0) {
+      out.bytes = static_cast<std::size_t>(n);
+      return out;
+    }
+    if (n == 0) {
+      out.eof = true;
+      return out;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+tcp_listener::tcp_listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen on 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+tcp_listener::~tcp_listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+tcp_socket tcp_listener::accept(std::chrono::milliseconds timeout) {
+  DOLBIE_REQUIRE(fd_ >= 0, "accept on an invalid listener");
+  if (!wait_ready(fd_, POLLIN, timeout)) return tcp_socket();
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return tcp_socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // The queued connection died between poll and accept — report a
+    // timeout-shaped miss and let the caller's loop come back around.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return tcp_socket();
+    }
+    throw_errno("accept");
+  }
+}
+
+tcp_socket connect_with_retry(const std::string& host, std::uint16_t port,
+                              std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    try {
+      return tcp_socket::connect_to(host, port);
+    } catch (const transport_error&) {
+      if (std::chrono::steady_clock::now() >= until) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+}
+
+}  // namespace dolbie::net

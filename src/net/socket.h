@@ -1,0 +1,105 @@
+// Thin RAII layer over POSIX TCP sockets: the only file in the tree that
+// speaks to the kernel's network stack. Everything above it (framing,
+// delivery semantics, the protocol state machines) is deterministic and
+// testable without sockets; everything below is the operating system.
+//
+// Error taxonomy: environmental failures (connection refused, peer reset,
+// write to a dead socket) throw `transport_error` — a runtime condition
+// the caller degrades around, mirroring how a lost message degrades a
+// round. Misuse of the API (writing on an invalid socket) stays
+// invariant_error-loud through DOLBIE_REQUIRE like the rest of the tree.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dolbie::net {
+
+/// Environmental transport failure: the peer or the network misbehaved.
+/// Distinct from invariant_error (a bug in this process) — callers catch
+/// transport_error to degrade, never invariant_error.
+class transport_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Outcome of one bounded read attempt.
+struct read_result {
+  std::size_t bytes = 0;   ///< bytes placed in the buffer
+  bool eof = false;        ///< peer closed its end cleanly
+  bool timed_out = false;  ///< deadline passed with nothing readable
+};
+
+/// One connected TCP stream (RAII: the descriptor closes with the object).
+/// Move-only; a moved-from socket is invalid.
+class tcp_socket {
+ public:
+  tcp_socket() = default;
+  explicit tcp_socket(int fd) : fd_(fd) {}
+  ~tcp_socket();
+
+  tcp_socket(const tcp_socket&) = delete;
+  tcp_socket& operator=(const tcp_socket&) = delete;
+  tcp_socket(tcp_socket&& other) noexcept;
+  tcp_socket& operator=(tcp_socket&& other) noexcept;
+
+  /// Connect to `host:port` (numeric IPv4, e.g. "127.0.0.1") with
+  /// TCP_NODELAY set — the transport's frames are small request/response
+  /// pairs, so Nagle batching would serialize every pull behind a delayed
+  /// ack. Throws transport_error when the connection fails.
+  static tcp_socket connect_to(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write the whole buffer, retrying short writes. Throws transport_error
+  /// when the peer is gone (EPIPE/ECONNRESET/...).
+  void write_all(const std::uint8_t* data, std::size_t size);
+
+  /// Read up to `cap` bytes, waiting at most `timeout` for the socket to
+  /// become readable (milliseconds::max() blocks indefinitely). Throws
+  /// transport_error on socket errors; EOF and timeout are ordinary
+  /// outcomes reported in the result.
+  read_result read_some(std::uint8_t* buf, std::size_t cap,
+                        std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP endpoint bound to 127.0.0.1 (the transport is a cluster
+/// backplane, not an internet-facing service; binding wider is a
+/// deployment decision this layer refuses to take implicitly).
+class tcp_listener {
+ public:
+  /// Bind and listen; `port` 0 picks an ephemeral port (read it back with
+  /// port()). Throws transport_error when the bind fails.
+  explicit tcp_listener(std::uint16_t port);
+  ~tcp_listener();
+
+  tcp_listener(const tcp_listener&) = delete;
+  tcp_listener& operator=(const tcp_listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  /// Accept one connection, waiting at most `timeout`. Returns an invalid
+  /// socket on timeout; throws transport_error on listener failure.
+  tcp_socket accept(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect with retry until `deadline` — daemons race their peers' startup
+/// on a real cluster, so a refused connection inside the window is normal.
+/// Throws transport_error once the deadline passes.
+tcp_socket connect_with_retry(const std::string& host, std::uint16_t port,
+                              std::chrono::milliseconds deadline);
+
+}  // namespace dolbie::net

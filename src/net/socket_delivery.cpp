@@ -1,0 +1,476 @@
+#include "net/socket_delivery.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+#include "dist/round_timing.h"
+#include "obs/metrics.h"
+
+namespace dolbie::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 4096;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> hello_body() {
+  return {static_cast<std::uint8_t>(frame_op::hello), kSocketProtocolVersion};
+}
+
+std::vector<std::uint8_t> msg_body(const message& m) {
+  std::vector<std::uint8_t> body;
+  body.reserve(1 + encoded_size(m));
+  body.push_back(static_cast<std::uint8_t>(frame_op::msg));
+  const std::vector<std::uint8_t> wire = encode(m);
+  body.insert(body.end(), wire.begin(), wire.end());
+  return body;
+}
+
+std::vector<std::uint8_t> pull_body(node_id to, node_id from) {
+  std::vector<std::uint8_t> body;
+  body.reserve(9);
+  body.push_back(static_cast<std::uint8_t>(frame_op::pull));
+  put_u32(body, static_cast<std::uint32_t>(to));
+  put_u32(body, static_cast<std::uint32_t>(from));
+  return body;
+}
+
+std::vector<std::uint8_t> begin_round_body(std::uint64_t round) {
+  std::vector<std::uint8_t> body;
+  body.reserve(9);
+  body.push_back(static_cast<std::uint8_t>(frame_op::begin_round));
+  put_u32(body, static_cast<std::uint32_t>(round & 0xffffffffu));
+  put_u32(body, static_cast<std::uint32_t>(round >> 32));
+  return body;
+}
+
+std::vector<std::uint8_t> retire_body(node_id id) {
+  std::vector<std::uint8_t> body;
+  body.reserve(5);
+  body.push_back(static_cast<std::uint8_t>(frame_op::retire));
+  put_u32(body, static_cast<std::uint32_t>(id));
+  return body;
+}
+
+std::vector<std::uint8_t> reply_body(const std::optional<message>& m) {
+  std::vector<std::uint8_t> body;
+  body.push_back(static_cast<std::uint8_t>(frame_op::reply));
+  body.push_back(m.has_value() ? 1 : 0);
+  if (m.has_value()) {
+    const std::vector<std::uint8_t> wire = encode(*m);
+    body.insert(body.end(), wire.begin(), wire.end());
+  }
+  return body;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// socket_server
+// ---------------------------------------------------------------------------
+
+socket_server::socket_server(std::uint16_t port,
+                             obs::metrics_registry* metrics)
+    : listener_(port) {
+  if (metrics != nullptr) {
+    frames_counter_ = &metrics->counter_named("daemon.frames_received");
+    hostile_counter_ = &metrics->counter_named("daemon.hostile_frames");
+    pulls_counter_ = &metrics->counter_named("daemon.pulls_served");
+  }
+}
+
+socket_server::~socket_server() = default;
+
+void socket_server::run() {
+  while (!stopped()) poll_once(std::chrono::milliseconds(50));
+}
+
+void socket_server::poll_once(std::chrono::milliseconds timeout) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back({listener_.fd(), POLLIN, 0});
+  for (const connection& c : conns_) fds.push_back({c.sock.fd(), POLLIN, 0});
+  const int ms = static_cast<int>(
+      std::min<std::int64_t>(timeout.count(), 1 << 30));
+  const int rc = ::poll(fds.data(), fds.size(), ms);
+  if (rc <= 0) return;  // timeout, or EINTR — the run loop comes back
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    tcp_socket accepted = listener_.accept(std::chrono::milliseconds(0));
+    if (accepted.valid()) {
+      conns_.push_back(connection{std::move(accepted), frame_parser{}});
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.connections_accepted;
+    }
+  }
+  // Service readable connections; drop the ones that failed. Iterate over
+  // the pollfd snapshot — conns_ appended above are picked up next cycle.
+  std::vector<std::size_t> closing;
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (!service(conns_[i - 1])) closing.push_back(i - 1);
+  }
+  for (auto it = closing.rbegin(); it != closing.rend(); ++it) {
+    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+}
+
+bool socket_server::service(connection& conn) {
+  std::uint8_t buf[kReadChunk];
+  read_result r;
+  try {
+    r = conn.sock.read_some(buf, sizeof(buf), std::chrono::milliseconds(0));
+  } catch (const transport_error&) {
+    return false;
+  }
+  if (r.eof) return false;
+  if (r.timed_out || r.bytes == 0) return true;
+  try {
+    conn.parser.feed(buf, r.bytes);
+    for (;;) {
+      std::optional<std::vector<std::uint8_t>> frame = conn.parser.next();
+      if (!frame.has_value()) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.frames_received;
+      }
+      if (frames_counter_ != nullptr) frames_counter_->add(1);
+      if (!handle_frame(conn, *frame)) return false;
+    }
+  } catch (const invariant_error&) {
+    // Hostile bytes (bad length prefix, bad opcode body, corrupt message
+    // encoding): count it and close this connection; the server and every
+    // other connection keep serving.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hostile_frames;
+    if (hostile_counter_ != nullptr) hostile_counter_->add(1);
+    return false;
+  } catch (const transport_error&) {
+    return false;
+  }
+  return true;
+}
+
+bool socket_server::handle_frame(connection& conn,
+                                 const std::vector<std::uint8_t>& body) {
+  DOLBIE_REQUIRE(!body.empty(), "empty frame body");
+  const auto op = static_cast<frame_op>(body[0]);
+  switch (op) {
+    case frame_op::hello: {
+      DOLBIE_REQUIRE(body.size() == 2, "malformed hello frame");
+      DOLBIE_REQUIRE(body[1] == kSocketProtocolVersion,
+                     "socket protocol version mismatch: peer speaks "
+                         << static_cast<int>(body[1]) << ", this host "
+                         << static_cast<int>(kSocketProtocolVersion));
+      return true;
+    }
+    case frame_op::msg: {
+      const message m = decode(
+          std::vector<std::uint8_t>(body.begin() + 1, body.end()));
+      link_channel& ch = channels_[{static_cast<std::uint32_t>(m.from),
+                                    static_cast<std::uint32_t>(m.to)}];
+      std::lock_guard<std::mutex> lock(mu_);
+      if (m.seq != 0 && m.seq < ch.next_expected) {
+        ++stats_.duplicates_discarded;
+        return true;
+      }
+      if (m.seq != 0) ch.next_expected = m.seq + 1;
+      ch.q.push_back(m);
+      ++stats_.messages_stored;
+      return true;
+    }
+    case frame_op::pull: {
+      DOLBIE_REQUIRE(body.size() == 9, "malformed pull frame");
+      const std::uint32_t to = get_u32(&body[1]);
+      const std::uint32_t from = get_u32(&body[5]);
+      std::optional<message> m;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = channels_.find({from, to});
+        if (it != channels_.end() && !it->second.q.empty()) {
+          m = std::move(it->second.q.front());
+          it->second.q.pop_front();
+        }
+        ++stats_.pulls_served;
+        if (!m.has_value()) ++stats_.empty_pulls;
+      }
+      if (pulls_counter_ != nullptr) pulls_counter_->add(1);
+      const std::vector<std::uint8_t> reply = reply_body(m);
+      std::vector<std::uint8_t> out;
+      append_frame(out, reply);
+      try {
+        conn.sock.write_all(out.data(), out.size());
+      } catch (const transport_error&) {
+        return false;
+      }
+      return true;
+    }
+    case frame_op::begin_round: {
+      DOLBIE_REQUIRE(body.size() == 9, "malformed begin_round frame");
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [key, ch] : channels_) {
+        stats_.stale_purged += ch.q.size();
+        ch.q.clear();
+      }
+      return true;
+    }
+    case frame_op::retire: {
+      DOLBIE_REQUIRE(body.size() == 5, "malformed retire frame");
+      const std::uint32_t id = get_u32(&body[1]);
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = channels_.begin(); it != channels_.end();) {
+        if (it->first.first == id || it->first.second == id) {
+          it = channels_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return true;
+    }
+    case frame_op::reset: {
+      DOLBIE_REQUIRE(body.size() == 1, "malformed reset frame");
+      std::lock_guard<std::mutex> lock(mu_);
+      channels_.clear();
+      return true;
+    }
+    case frame_op::reply:
+      break;  // server never receives replies — hostile
+  }
+  DOLBIE_REQUIRE(false,
+                 "unknown frame opcode " << static_cast<int>(body[0]));
+  return false;  // unreachable
+}
+
+socket_server_stats socket_server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// socket_link
+// ---------------------------------------------------------------------------
+
+socket_link::socket_link(std::size_t n_nodes, std::vector<int> owner,
+                         const std::vector<peer_address>& peers,
+                         socket_link_options options,
+                         obs::metrics_registry* metrics)
+    : n_(n_nodes),
+      owner_(std::move(owner)),
+      options_(options),
+      parsers_(peers.size()),
+      dead_(peers.size(), 0),
+      next_seq_(n_nodes * n_nodes, 1),
+      local_q_(n_nodes * n_nodes) {
+  DOLBIE_REQUIRE(owner_.size() == n_, "owner map size " << owner_.size()
+                                                        << " != node count "
+                                                        << n_);
+  for (int o : owner_) {
+    DOLBIE_REQUIRE(o >= -1 && o < static_cast<int>(peers.size()),
+                   "owner index " << o << " outside peer list of "
+                                  << peers.size());
+  }
+  if (metrics != nullptr) {
+    frames_counter_ = &metrics->counter_named("net.tcp.frames_sent");
+    pulls_counter_ = &metrics->counter_named("net.tcp.pulls");
+    failures_counter_ = &metrics->counter_named("net.tcp.peer_failures");
+  }
+  conns_.reserve(peers.size());
+  for (const peer_address& p : peers) {
+    conns_.push_back(
+        connect_with_retry(p.host, p.port, options_.connect_deadline));
+  }
+  std::vector<std::uint8_t> out;
+  append_frame(out, hello_body());
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    conns_[i].write_all(out.data(), out.size());
+    ++stats_.frames_sent;
+  }
+}
+
+void socket_link::mark_dead(std::size_t peer) {
+  if (dead_[peer] != 0) return;
+  dead_[peer] = 1;
+  conns_[peer].close();
+  ++stats_.peer_failures;
+  if (failures_counter_ != nullptr) failures_counter_->add(1);
+}
+
+bool socket_link::post(int peer, const std::vector<std::uint8_t>& body) {
+  const auto p = static_cast<std::size_t>(peer);
+  if (dead_[p] != 0) return false;
+  std::vector<std::uint8_t> out;
+  append_frame(out, body);
+  try {
+    conns_[p].write_all(out.data(), out.size());
+  } catch (const transport_error&) {
+    mark_dead(p);
+    return false;
+  }
+  ++stats_.frames_sent;
+  if (frames_counter_ != nullptr) frames_counter_->add(1);
+  return true;
+}
+
+void socket_link::broadcast(const std::vector<std::uint8_t>& body) {
+  for (std::size_t p = 0; p < conns_.size(); ++p) {
+    if (dead_[p] == 0) post(static_cast<int>(p), body);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> socket_link::read_reply(
+    std::size_t peer) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.reply_timeout;
+  std::uint8_t buf[kReadChunk];
+  for (;;) {
+    if (auto frame = parsers_[peer].next(); frame.has_value()) return frame;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return std::nullopt;
+    read_result r;
+    try {
+      r = conns_[peer].read_some(buf, sizeof(buf), left);
+    } catch (const transport_error&) {
+      return std::nullopt;
+    }
+    if (r.eof) return std::nullopt;
+    if (r.timed_out) return std::nullopt;
+    // Reply frames come from our own server; malformed ones mean the
+    // stream is corrupt — treat the peer as failed rather than throwing
+    // through a protocol round.
+    try {
+      parsers_[peer].feed(buf, r.bytes);
+    } catch (const invariant_error&) {
+      return std::nullopt;
+    }
+  }
+}
+
+void socket_link::begin_round(std::uint64_t round) {
+  broadcast(begin_round_body(round));
+  for (std::deque<message>& q : local_q_) {
+    stats_.stale_purged += q.size();
+    q.clear();
+  }
+}
+
+void socket_link::send(message m) {
+  DOLBIE_REQUIRE(m.from < n_ && m.to < n_,
+                 "send endpoints (" << m.from << " -> " << m.to
+                                    << ") outside node range " << n_);
+  m.seq = next_seq_[link_index(m.from, m.to)]++;
+  const int host = channel_host(m.from, m.to);
+  if (host < 0) {
+    local_q_[link_index(m.from, m.to)].push_back(std::move(m));
+    ++stats_.messages_sent;
+    return;
+  }
+  if (post(host, msg_body(m))) {
+    ++stats_.messages_sent;
+  } else {
+    ++stats_.dropped_sends;
+  }
+}
+
+std::optional<message> socket_link::receive(node_id to, node_id from) {
+  DOLBIE_REQUIRE(to < n_ && from < n_,
+                 "receive endpoints (" << from << " -> " << to
+                                       << ") outside node range " << n_);
+  last_receive_attempts_ = 0;
+  const int host = channel_host(from, to);
+  if (host < 0) {
+    std::deque<message>& q = local_q_[link_index(from, to)];
+    if (q.empty()) return std::nullopt;
+    message m = std::move(q.front());
+    q.pop_front();
+    last_receive_attempts_ = 1;
+    ++stats_.messages_received;
+    return m;
+  }
+  const auto p = static_cast<std::size_t>(host);
+  if (dead_[p] != 0) return std::nullopt;
+  // Virtual-time mode (timeout 0): exactly one pull, a miss is the timer.
+  // Real-timer mode: re-pull until the wall deadline expires.
+  const bool single = options_.receive_timeout.count() == 0;
+  const dist::wall_deadline deadline =
+      single ? dist::wall_deadline::unbounded()
+             : dist::wall_deadline::after(options_.receive_timeout);
+  std::size_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    ++stats_.pulls;
+    if (pulls_counter_ != nullptr) pulls_counter_->add(1);
+    if (!post(host, pull_body(to, from))) return std::nullopt;
+    const std::optional<std::vector<std::uint8_t>> frame = read_reply(p);
+    if (!frame.has_value()) {
+      mark_dead(p);
+      return std::nullopt;
+    }
+    const std::vector<std::uint8_t>& body = *frame;
+    if (body.size() < 2 ||
+        body[0] != static_cast<std::uint8_t>(frame_op::reply)) {
+      mark_dead(p);
+      return std::nullopt;
+    }
+    if (body[1] != 0) {
+      message m;
+      try {
+        m = decode(std::vector<std::uint8_t>(body.begin() + 2, body.end()));
+      } catch (const invariant_error&) {
+        mark_dead(p);
+        return std::nullopt;
+      }
+      last_receive_attempts_ = attempts;
+      ++stats_.messages_received;
+      return m;
+    }
+    ++stats_.empty_pulls;
+    if (single || deadline.expired()) return std::nullopt;
+    std::this_thread::sleep_for(std::min<std::chrono::milliseconds>(
+        options_.pull_interval, deadline.remaining()));
+  }
+}
+
+void socket_link::retire_node(node_id id) {
+  broadcast(retire_body(id));
+  for (node_id other = 0; other < n_; ++other) {
+    next_seq_[link_index(id, other)] = 1;
+    next_seq_[link_index(other, id)] = 1;
+    local_q_[link_index(id, other)].clear();
+    local_q_[link_index(other, id)].clear();
+  }
+}
+
+void socket_link::reset() {
+  std::vector<std::uint8_t> body;
+  body.push_back(static_cast<std::uint8_t>(frame_op::reset));
+  broadcast(body);
+  std::fill(next_seq_.begin(), next_seq_.end(), 1);
+  for (std::deque<message>& q : local_q_) q.clear();
+  last_receive_attempts_ = 0;
+}
+
+std::size_t socket_link::live_peers() const {
+  std::size_t live = 0;
+  for (std::uint8_t d : dead_) {
+    if (d == 0) ++live;
+  }
+  return live;
+}
+
+}  // namespace dolbie::net

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
+
+#include "obs/metrics.h"
 
 namespace dolbie::obs {
 
@@ -77,6 +80,67 @@ void export_chrome_trace(std::ostream& os,
     os << '}';
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+namespace {
+
+// Prometheus metric-name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's
+// dotted names ("net.messages_sent") map by replacing every illegal
+// character with '_'; a leading digit gets a '_' prefix.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+void export_prometheus(std::ostream& os, const metrics_registry& registry) {
+  for (const metric_sample& s : registry.samples()) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.kind) {
+      case metric_kind::counter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << ' ' << s.count << '\n';
+        break;
+      case metric_kind::gauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << ' ' << json_number(s.value) << '\n';
+        break;
+      case metric_kind::histogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.buckets[i];
+          os << name << "_bucket{le=\"" << json_number(s.bounds[i]) << "\"} "
+             << cumulative << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << s.count << '\n';
+        os << name << "_sum " << json_number(s.value) << '\n';
+        os << name << "_count " << s.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string prometheus_http_response(const metrics_registry& registry) {
+  std::ostringstream body;
+  export_prometheus(body, registry);
+  const std::string text = body.str();
+  std::ostringstream out;
+  out << "HTTP/1.0 200 OK\r\n"
+      << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      << "Content-Length: " << text.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << text;
+  return out.str();
 }
 
 void export_jsonl(std::ostream& os, const std::vector<trace_record>& records) {

@@ -14,6 +14,8 @@
 
 namespace dolbie::obs {
 
+class metrics_registry;
+
 /// Chrome trace-event format: spans become "X" (complete) events, instants
 /// "i"; the lane is the tid, the round is replicated into args.
 void export_chrome_trace(std::ostream& os,
@@ -28,5 +30,19 @@ std::string json_escape(std::string_view s);
 /// Deterministic JSON number rendering: integral values print without a
 /// fraction ("17"), others with %.17g round-trip precision.
 std::string json_number(double v);
+
+/// Prometheus text exposition (version 0.0.4) of every instrument in the
+/// registry, sorted by name. Metric names are sanitized to the Prometheus
+/// grammar ('.' and other illegal characters become '_'); histograms render
+/// as cumulative `_bucket{le="..."}` series plus `_sum` / `_count`, with a
+/// closing `+Inf` bucket. Deterministic: byte-identical output for
+/// identical registry contents.
+void export_prometheus(std::ostream& os, const metrics_registry& registry);
+
+/// A complete HTTP/1.0 response (status line, headers, body) carrying the
+/// export_prometheus exposition — what the dolbied scrape endpoint writes
+/// back per connection. Pure function of the registry, so the endpoint is
+/// testable without sockets.
+std::string prometheus_http_response(const metrics_registry& registry);
 
 }  // namespace dolbie::obs

@@ -103,6 +103,44 @@ std::vector<metric_row> metrics_registry::snapshot() const {
   return rows;
 }
 
+std::vector<metric_sample> metrics_registry::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<metric_sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const named_counter& c : counters_) {
+    metric_sample s;
+    s.name = c.name;
+    s.kind = metric_kind::counter;
+    s.count = c.value.value();
+    out.push_back(std::move(s));
+  }
+  for (const named_gauge& g : gauges_) {
+    metric_sample s;
+    s.name = g.name;
+    s.kind = metric_kind::gauge;
+    s.value = g.value.value();
+    out.push_back(std::move(s));
+  }
+  for (const named_histogram& h : histograms_) {
+    metric_sample s;
+    s.name = h.name;
+    s.kind = metric_kind::histogram;
+    s.count = h.value.count();
+    s.value = h.value.sum();
+    s.bounds = h.value.bounds();
+    s.buckets.reserve(s.bounds.size() + 1);
+    for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.buckets.push_back(h.value.bucket_count(i));
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const metric_sample& a, const metric_sample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 void metrics_registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (named_counter& c : counters_) c.value.reset();

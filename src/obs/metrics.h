@@ -80,6 +80,20 @@ struct metric_row {
   std::string value;  ///< formatted value (histograms: count/sum/buckets)
 };
 
+enum class metric_kind { counter, gauge, histogram };
+
+/// One typed instrument sample — the machine-readable counterpart of
+/// metric_row, consumed by exporters (obs/export.h Prometheus exposition)
+/// that need values, not formatted strings.
+struct metric_sample {
+  std::string name;
+  metric_kind kind = metric_kind::counter;
+  std::uint64_t count = 0;            ///< counter value / histogram count
+  double value = 0.0;                 ///< gauge value / histogram sum
+  std::vector<double> bounds;         ///< histogram upper bounds
+  std::vector<std::uint64_t> buckets; ///< per-bucket counts + overflow slot
+};
+
 /// Thread-safe find-or-create registry of named instruments. References
 /// returned by the *_named getters are stable for the registry's lifetime
 /// (deque storage, entries are never erased) — cache them at setup time and
@@ -98,6 +112,10 @@ class metrics_registry {
 
   /// All instruments, sorted by name (deterministic render order).
   std::vector<metric_row> snapshot() const;
+
+  /// Typed samples of every instrument, sorted by name. Exporters render
+  /// from this; snapshot() formats the same data for tables.
+  std::vector<metric_sample> samples() const;
 
   /// Zero every instrument, keeping the registrations (and thus the cached
   /// references) intact.

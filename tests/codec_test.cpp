@@ -202,5 +202,130 @@ TEST(Codec, FuzzRoundTripRandomMessages) {
   }
 }
 
+// ---- Length-prefixed framing (the socket transport's wire unit) ----
+
+std::vector<std::uint8_t> framed(const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, body);
+  return out;
+}
+
+TEST(Framing, RoundTripsSingleFrame) {
+  const std::vector<std::uint8_t> body = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> wire = framed(body);
+  ASSERT_EQ(wire.size(), body.size() + 4);
+  frame_parser p;
+  p.feed(wire.data(), wire.size());
+  const auto got = p.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, body);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.buffered(), 0u);
+  p.finish();  // clean boundary: must not throw
+}
+
+TEST(Framing, ReassemblesByteAtATime) {
+  // A TCP read can hand back any fragmentation; a frame delivered one
+  // byte at a time must reassemble identically.
+  const std::vector<std::uint8_t> body = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const std::vector<std::uint8_t> wire = framed(body);
+  frame_parser p;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(p.next().has_value());
+    p.feed(&wire[i], 1);
+  }
+  const auto got = p.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, body);
+}
+
+TEST(Framing, DrainsMultipleFramesFromOneFeed) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, std::vector<std::uint8_t>{1});
+  append_frame(wire, std::vector<std::uint8_t>{7});
+  append_frame(wire, std::vector<std::uint8_t>{2, 3});
+  frame_parser p;
+  p.feed(wire.data(), wire.size());
+  EXPECT_EQ(*p.next(), std::vector<std::uint8_t>{1});
+  EXPECT_EQ(*p.next(), std::vector<std::uint8_t>{7});
+  EXPECT_EQ(*p.next(), (std::vector<std::uint8_t>{2, 3}));
+  EXPECT_FALSE(p.next().has_value());
+}
+
+TEST(Framing, EmptyBodiesAreIllegal) {
+  // Every frame carries at least an opcode byte; an empty body is a bug
+  // on the sending side and hostile input on the receiving side.
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(append_frame(out, std::vector<std::uint8_t>{}),
+               invariant_error);
+}
+
+TEST(Framing, TruncatedStreamIsLoudAtFinish) {
+  const std::vector<std::uint8_t> wire = framed({1, 2, 3, 4});
+  frame_parser p;
+  p.feed(wire.data(), wire.size() - 1);  // connection died mid-frame
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_GT(p.buffered(), 0u);
+  EXPECT_THROW(p.finish(), invariant_error);
+}
+
+TEST(Framing, OversizedPrefixThrowsTheMomentItArrives) {
+  // Hostile header claiming a frame beyond kMaxFrameBytes: the parser
+  // must refuse as soon as the 4 prefix bytes are in, never buffer.
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(huge & 0xff),
+      static_cast<std::uint8_t>((huge >> 8) & 0xff),
+      static_cast<std::uint8_t>((huge >> 16) & 0xff),
+      static_cast<std::uint8_t>((huge >> 24) & 0xff)};
+  frame_parser p;
+  p.feed(prefix, 3);  // incomplete prefix: not yet judgeable
+  EXPECT_THROW(p.feed(prefix + 3, 1), invariant_error);
+}
+
+TEST(Framing, ZeroLengthPrefixIsRejected) {
+  const std::uint8_t prefix[4] = {0, 0, 0, 0};
+  frame_parser p;
+  EXPECT_THROW(p.feed(prefix, 4), invariant_error);
+}
+
+TEST(Framing, GarbageSecondHeaderIsAsLoudAsTheFirst) {
+  // A valid frame followed by a hostile header in the same feed: the
+  // garbage prefix surfaces the moment the parser reaches it.
+  std::vector<std::uint8_t> wire = framed({42});
+  const std::uint8_t garbage[4] = {0xff, 0xff, 0xff, 0xff};
+  wire.insert(wire.end(), garbage, garbage + 4);
+  frame_parser p;
+  p.feed(wire.data(), wire.size());  // first prefix completed valid
+  EXPECT_THROW(p.next(), invariant_error);
+}
+
+TEST(Framing, GarbageSecondHeaderFedAfterExtractionThrowsAtFeed) {
+  // Same hostile bytes arriving after the good frame was consumed: the
+  // prefix completes against an empty buffer and feed() itself refuses.
+  const std::vector<std::uint8_t> wire = framed({42});
+  frame_parser p;
+  p.feed(wire.data(), wire.size());
+  EXPECT_TRUE(p.next().has_value());
+  const std::uint8_t garbage[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(p.feed(garbage, 4), invariant_error);
+}
+
+TEST(Framing, AppendRejectsOversizedBody) {
+  std::vector<std::uint8_t> out;
+  const std::vector<std::uint8_t> body(kMaxFrameBytes + 1, 0);
+  EXPECT_THROW(append_frame(out, body), invariant_error);
+}
+
+TEST(Framing, MaxSizedBodyRoundTrips) {
+  const std::vector<std::uint8_t> body(kMaxFrameBytes, 0xab);
+  const std::vector<std::uint8_t> wire = framed(body);
+  frame_parser p;
+  p.feed(wire.data(), wire.size());
+  const auto got = p.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), kMaxFrameBytes);
+}
+
 }  // namespace
 }  // namespace dolbie::net

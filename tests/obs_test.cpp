@@ -275,6 +275,56 @@ TEST(Export, JsonlGolden) {
   EXPECT_EQ(out.str(), expected);
 }
 
+TEST(Export, PrometheusGolden) {
+  // Byte-exact golden for the scrape-endpoint exporter: dotted registry
+  // names sanitized to the Prometheus grammar, histogram buckets rendered
+  // cumulatively with the +Inf catch-all, samples sorted by name.
+  metrics_registry m;
+  m.counter_named("net.messages_sent").add(7);
+  m.gauge_named("alpha.value").set(0.25);
+  histogram& h = m.histogram_named("round.latency", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(10.0);
+  std::ostringstream out;
+  export_prometheus(out, m);
+  const std::string expected =
+      "# TYPE alpha_value gauge\n"
+      "alpha_value 0.25\n"
+      "# TYPE net_messages_sent counter\n"
+      "net_messages_sent 7\n"
+      "# TYPE round_latency histogram\n"
+      "round_latency_bucket{le=\"1\"} 1\n"
+      "round_latency_bucket{le=\"5\"} 2\n"
+      "round_latency_bucket{le=\"+Inf\"} 3\n"
+      "round_latency_sum 13.5\n"
+      "round_latency_count 3\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Export, PrometheusHttpResponseFramesTheBody) {
+  metrics_registry m;
+  m.counter_named("x").add(1);
+  const std::string response = prometheus_http_response(m);
+  const std::string body = "# TYPE x counter\nx 1\n";
+  std::ostringstream expected;
+  expected << "HTTP/1.0 200 OK\r\n"
+           << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  EXPECT_EQ(response, expected.str());
+}
+
+TEST(Export, PrometheusNameSanitization) {
+  metrics_registry m;
+  m.counter_named("9lives.of-a.metric").add(2);
+  std::ostringstream out;
+  export_prometheus(out, m);
+  EXPECT_EQ(out.str(),
+            "# TYPE _9lives_of_a_metric counter\n_9lives_of_a_metric 2\n");
+}
+
 TEST(Export, EscapesAndNumbers) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string_view("x\x01y", 3)), "x\\u0001y");
